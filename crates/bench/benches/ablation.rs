@@ -1,0 +1,95 @@
+//! Ablation timing: the design choices DESIGN.md calls out.
+//!
+//! * HEU-OE with and without the opportunistic-exchange pass;
+//! * deadline-split policies (proportional / equal-slack / setup-all)
+//!   inside the exact demand test;
+//! * DP grid resolution (see also the `mckp` bench).
+//!
+//! The *quality* side of these ablations (acceptance ratios, optimality
+//! gaps) is reported by `cargo run -p rto-bench --bin ablation`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rto_core::analysis::{processor_demand_test, OffloadedTask};
+use rto_core::deadline::SplitPolicy;
+use rto_core::task::Task;
+use rto_core::time::Duration;
+use rto_mckp::{HeuOeSolver, Item, MckpInstance, Solver};
+use rto_stats::Rng;
+
+fn ms(v: u64) -> Duration {
+    Duration::from_ms(v)
+}
+
+fn bench_exchange_pass(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(9);
+    let classes: Vec<Vec<Item>> = (0..30)
+        .map(|_| {
+            let mut w = rng.f64() * 0.01;
+            let mut p = rng.f64();
+            (0..11)
+                .map(|_| {
+                    w += rng.f64() * 0.01;
+                    p += rng.f64();
+                    Item::new(w, p)
+                })
+                .collect()
+        })
+        .collect();
+    let inst = MckpInstance::new(classes, 1.0).expect("valid");
+    let mut group = c.benchmark_group("ablation-heu-exchange");
+    group.bench_function("with-exchange", |b| {
+        let solver = HeuOeSolver::new();
+        b.iter(|| solver.solve(std::hint::black_box(&inst)).unwrap());
+    });
+    group.bench_function("greedy-only", |b| {
+        let solver = HeuOeSolver::without_exchange();
+        b.iter(|| solver.solve(std::hint::black_box(&inst)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_split_policies(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(10);
+    let tasks: Vec<Task> = (0..40)
+        .map(|i| {
+            let c = 2 + rng.u64_below(8);
+            Task::builder(i, format!("t{i}"))
+                .local_wcet(ms(c))
+                .setup_wcet(ms(1 + rng.u64_below(3)))
+                .compensation_wcet(ms(c))
+                .period(ms(400 + rng.u64_below(300)))
+                .build()
+                .expect("valid")
+        })
+        .collect();
+    let entries: Vec<OffloadedTask<'_>> = tasks
+        .iter()
+        .map(|t| OffloadedTask::new(t, ms(100)))
+        .collect();
+    let mut group = c.benchmark_group("ablation-split-policy");
+    for policy in [
+        SplitPolicy::Proportional,
+        SplitPolicy::EqualSlack,
+        SplitPolicy::SetupAll,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    processor_demand_test(
+                        [],
+                        entries.iter().copied(),
+                        policy,
+                        Duration::from_secs(2),
+                    )
+                    .expect("valid entries")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exchange_pass, bench_split_policies);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Schedulability-test cost: Theorem 3's O(n) density test versus the
+//! exact processor-demand test, over growing task counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rto_core::analysis::{density_test, processor_demand_test, OffloadedTask};
+use rto_core::deadline::SplitPolicy;
+use rto_core::task::Task;
+use rto_core::time::Duration;
+use rto_stats::Rng;
+
+fn ms(v: u64) -> Duration {
+    Duration::from_ms(v)
+}
+
+/// Generates `n` tasks, half of them offloaded.
+fn system(n: usize, seed: u64) -> (Vec<Task>, Vec<(usize, Duration)>) {
+    let mut rng = Rng::seed_from(seed);
+    let tasks: Vec<Task> = (0..n)
+        .map(|i| {
+            let c = 1 + rng.u64_below(10);
+            let t = 300 + rng.u64_below(400);
+            Task::builder(i, format!("t{i}"))
+                .local_wcet(ms(c))
+                .setup_wcet(ms(1 + rng.u64_below(3)))
+                .compensation_wcet(ms(c))
+                .period(ms(t))
+                .build()
+                .expect("generated parameters are valid")
+        })
+        .collect();
+    let offloads: Vec<(usize, Duration)> = (0..n / 2)
+        .map(|i| (i, ms(50 + rng.u64_below(100))))
+        .collect();
+    (tasks, offloads)
+}
+
+fn bench_tests(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedulability");
+    for &n in &[10usize, 100, 1000] {
+        let (tasks, offloads) = system(n, 42);
+        let locals: Vec<&Task> = tasks[offloads.len()..].iter().collect();
+        let entries: Vec<OffloadedTask<'_>> = offloads
+            .iter()
+            .map(|&(i, r)| OffloadedTask::new(&tasks[i], r))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("density-thm3", n), &n, |b, _| {
+            b.iter(|| {
+                density_test(locals.iter().copied(), entries.iter().copied())
+                    .expect("valid entries")
+            });
+        });
+        if n <= 100 {
+            group.bench_with_input(BenchmarkId::new("exact-demand", n), &n, |b, _| {
+                b.iter(|| {
+                    processor_demand_test(
+                        locals.iter().copied(),
+                        entries.iter().copied(),
+                        SplitPolicy::Proportional,
+                        Duration::from_secs(2),
+                    )
+                    .expect("valid entries")
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tests);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! End-to-end Offloading Decision Manager cost: instance construction +
+//! solving, DP vs HEU-OE, on the case study and the §6.2 system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rto_core::odm::OffloadingDecisionManager;
+use rto_mckp::{DpSolver, HeuOeSolver};
+use rto_stats::Rng;
+use rto_workloads::case_study::case_study_system;
+use rto_workloads::random::{random_system, RandomSystemParams};
+
+fn bench_odm(c: &mut Criterion) {
+    let case = OffloadingDecisionManager::new(case_study_system([1.0, 2.0, 3.0, 4.0]))
+        .expect("case study is valid");
+    let random = OffloadingDecisionManager::new(random_system(
+        &RandomSystemParams::default(),
+        &mut Rng::seed_from(5),
+    ))
+    .expect("generator output is valid");
+
+    let mut group = c.benchmark_group("odm-decide");
+    group.bench_function("case-study/dp", |b| {
+        b.iter(|| case.decide(&DpSolver::default()).expect("feasible"));
+    });
+    group.bench_function("case-study/heu-oe", |b| {
+        b.iter(|| case.decide(&HeuOeSolver::new()).expect("feasible"));
+    });
+    group.bench_function("random-30/dp", |b| {
+        b.iter(|| random.decide(&DpSolver::default()).expect("feasible"));
+    });
+    group.bench_function("random-30/heu-oe", |b| {
+        b.iter(|| random.decide(&HeuOeSolver::new()).expect("feasible"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_odm);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Simulator throughput: how much simulated time per wall-clock second,
+//! on the case study and on the §6.2 random system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rto_core::odm::OffloadingDecisionManager;
+use rto_mckp::DpSolver;
+use rto_server::Scenario;
+use rto_sim::{SimConfig, Simulation};
+use rto_stats::Rng;
+use rto_workloads::case_study::{case_study_system, shape_request};
+use rto_workloads::random::{random_system, RandomSystemParams};
+
+fn bench_case_study(c: &mut Criterion) {
+    let odm = OffloadingDecisionManager::new(case_study_system([1.0, 2.0, 3.0, 4.0]))
+        .expect("case study is valid");
+    let plan = odm.decide(&DpSolver::default()).expect("feasible");
+    c.bench_function("sim/case-study-10s", |b| {
+        b.iter(|| {
+            let server = Scenario::NotBusy.build_server(7).expect("preset valid");
+            Simulation::build(odm.tasks().to_vec(), plan.clone())
+                .expect("plan covers tasks")
+                .with_server(Box::new(server))
+                .with_request_shaper(Box::new(shape_request))
+                .run(SimConfig::for_seconds(10, 7))
+                .expect("valid config")
+        });
+    });
+}
+
+fn bench_random_system(c: &mut Criterion) {
+    let tasks = random_system(&RandomSystemParams::default(), &mut Rng::seed_from(3));
+    let odm = OffloadingDecisionManager::new(tasks).expect("generator output is valid");
+    let plan = odm.decide(&DpSolver::default()).expect("feasible");
+    c.bench_function("sim/random-30-tasks-10s", |b| {
+        b.iter(|| {
+            let server = Scenario::Busy.build_server(11).expect("preset valid");
+            Simulation::build(odm.tasks().to_vec(), plan.clone())
+                .expect("plan covers tasks")
+                .with_server(Box::new(server))
+                .run(SimConfig::for_seconds(10, 11))
+                .expect("valid config")
+        });
+    });
+}
+
+criterion_group!(benches, bench_case_study, bench_random_system);
+criterion_main!(benches);

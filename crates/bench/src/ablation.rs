@@ -1,0 +1,267 @@
+//! Quality ablations for the design choices DESIGN.md calls out:
+//!
+//! 1. **Schedulability-test acceptance** — the paper's Theorem 3 versus
+//!    the suspension-oblivious baseline (naive EDF analysis) versus the
+//!    exact processor-demand test, as a function of target load: the
+//!    classic acceptance-ratio sweep. Theorem 3 must dominate the naive
+//!    test and be dominated by the exact test.
+//! 2. **Deadline-split policy** — the proportional split versus
+//!    equal-slack and all-slack-to-setup, measured as exact-test
+//!    acceptance over random offloaded systems.
+//! 3. **Solver optimality** — HEU-OE (with and without the exchange
+//!    pass) and coarse-grid DP, relative to the fine-grid DP optimum.
+
+use rto_core::analysis::{
+    density_test, processor_demand_test, suspension_oblivious_test, OffloadedTask,
+};
+use rto_core::deadline::SplitPolicy;
+use rto_core::task::Task;
+use rto_core::time::Duration;
+use rto_mckp::{DpSolver, HeuOeSolver, Item, MckpInstance, Solver};
+use rto_stats::Rng;
+use rto_workloads::random::uunifast_offloaded_system;
+use serde::{Deserialize, Serialize};
+
+/// A random offloaded system with UUniFast-distributed densities summing
+/// to the target Theorem-3 load.
+fn random_offloaded_system(
+    n: usize,
+    target_load: f64,
+    rng: &mut Rng,
+) -> (Vec<Task>, Vec<Duration>) {
+    uunifast_offloaded_system(n, target_load, rng)
+        .into_iter()
+        .unzip()
+}
+
+/// One acceptance-ratio data point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcceptanceRow {
+    /// Target Theorem-3 load the systems were generated at.
+    pub target_load: f64,
+    /// Fraction accepted by Theorem 3.
+    pub theorem3: f64,
+    /// Fraction accepted by the suspension-oblivious (naive) test.
+    pub suspension_oblivious: f64,
+    /// Fraction accepted by the exact processor-demand test
+    /// (proportional split).
+    pub exact: f64,
+}
+
+/// Sweeps the acceptance ratio of the three schedulability tests.
+pub fn acceptance_sweep(seed: u64, systems_per_point: usize) -> Vec<AcceptanceRow> {
+    let mut rng = Rng::seed_from(seed);
+    let loads: Vec<f64> = (2..=13).map(|k| k as f64 / 10.0).collect();
+    loads
+        .iter()
+        .map(|&target| {
+            let mut t3 = 0usize;
+            let mut naive = 0usize;
+            let mut exact = 0usize;
+            for _ in 0..systems_per_point {
+                let (tasks, responses) = random_offloaded_system(8, target, &mut rng);
+                let entries: Vec<OffloadedTask<'_>> = tasks
+                    .iter()
+                    .zip(&responses)
+                    .map(|(t, &r)| OffloadedTask::new(t, r))
+                    .collect();
+                if density_test([], entries.iter().copied())
+                    .map(|r| r.schedulable)
+                    .unwrap_or(false)
+                {
+                    t3 += 1;
+                }
+                if suspension_oblivious_test([], entries.iter().copied())
+                    .map(|r| r.schedulable)
+                    .unwrap_or(false)
+                {
+                    naive += 1;
+                }
+                if processor_demand_test(
+                    [],
+                    entries.iter().copied(),
+                    SplitPolicy::Proportional,
+                    Duration::from_secs(3),
+                )
+                .map(|r| r.schedulable)
+                .unwrap_or(false)
+                {
+                    exact += 1;
+                }
+            }
+            let f = |x: usize| x as f64 / systems_per_point as f64;
+            AcceptanceRow {
+                target_load: target,
+                theorem3: f(t3),
+                suspension_oblivious: f(naive),
+                exact: f(exact),
+            }
+        })
+        .collect()
+}
+
+/// One split-policy data point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SplitPolicyRow {
+    /// Target load.
+    pub target_load: f64,
+    /// Exact-test acceptance with the proportional split.
+    pub proportional: f64,
+    /// Exact-test acceptance with the equal-slack split.
+    pub equal_slack: f64,
+    /// Exact-test acceptance with the all-slack-to-setup split.
+    pub setup_all: f64,
+}
+
+/// Sweeps exact-test acceptance per deadline-split policy.
+pub fn split_policy_sweep(seed: u64, systems_per_point: usize) -> Vec<SplitPolicyRow> {
+    let mut rng = Rng::seed_from(seed);
+    let loads: Vec<f64> = (6..=14).map(|k| k as f64 / 10.0).collect();
+    loads
+        .iter()
+        .map(|&target| {
+            let mut counts = [0usize; 3];
+            for _ in 0..systems_per_point {
+                let (tasks, responses) = random_offloaded_system(8, target, &mut rng);
+                let entries: Vec<OffloadedTask<'_>> = tasks
+                    .iter()
+                    .zip(&responses)
+                    .map(|(t, &r)| OffloadedTask::new(t, r))
+                    .collect();
+                for (k, policy) in [
+                    SplitPolicy::Proportional,
+                    SplitPolicy::EqualSlack,
+                    SplitPolicy::SetupAll,
+                ]
+                .into_iter()
+                .enumerate()
+                {
+                    let ok = processor_demand_test(
+                        [],
+                        entries.iter().copied(),
+                        policy,
+                        Duration::from_secs(3),
+                    )
+                    .map(|r| r.schedulable)
+                    .unwrap_or(false);
+                    if ok {
+                        counts[k] += 1;
+                    }
+                }
+            }
+            let f = |x: usize| x as f64 / systems_per_point as f64;
+            SplitPolicyRow {
+                target_load: target,
+                proportional: f(counts[0]),
+                equal_slack: f(counts[1]),
+                setup_all: f(counts[2]),
+            }
+        })
+        .collect()
+}
+
+/// Solver-quality summary over random MCKP instances.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolverGapRow {
+    /// Mean profit of HEU-OE relative to the fine-grid DP.
+    pub heu_oe: f64,
+    /// Mean profit of greedy-only HEU relative to the fine-grid DP.
+    pub greedy_only: f64,
+    /// Mean profit of a coarse (1 000-cell) DP relative to the fine DP.
+    pub dp_coarse: f64,
+    /// Number of instances evaluated.
+    pub instances: usize,
+}
+
+/// Measures mean optimality ratios over `instances` random instances.
+pub fn solver_gaps(seed: u64, instances: usize) -> SolverGapRow {
+    let mut rng = Rng::seed_from(seed);
+    let fine = DpSolver::with_resolution(100_000);
+    let coarse = DpSolver::with_resolution(1_000);
+    let heu = HeuOeSolver::new();
+    let greedy = HeuOeSolver::without_exchange();
+    let (mut heu_sum, mut greedy_sum, mut coarse_sum) = (0.0f64, 0.0f64, 0.0f64);
+    let mut counted = 0usize;
+    while counted < instances {
+        let classes: Vec<Vec<Item>> = (0..20)
+            .map(|_| {
+                let mut w = rng.f64() * 0.02;
+                let mut p = rng.f64();
+                (0..8)
+                    .map(|_| {
+                        w += rng.f64() * 0.02;
+                        p += rng.f64();
+                        Item::new(w, p)
+                    })
+                    .collect()
+            })
+            .collect();
+        let inst = MckpInstance::new(classes, 1.0).expect("valid");
+        let Ok(best) = fine.solve(&inst) else { continue };
+        let best_profit = inst.selection_profit(&best);
+        if best_profit <= 0.0 {
+            continue;
+        }
+        let ratio = |sel: &rto_mckp::Selection| inst.selection_profit(sel) / best_profit;
+        heu_sum += ratio(&heu.solve(&inst).expect("feasible"));
+        greedy_sum += ratio(&greedy.solve(&inst).expect("feasible"));
+        coarse_sum += ratio(&coarse.solve(&inst).expect("feasible"));
+        counted += 1;
+    }
+    SolverGapRow {
+        heu_oe: heu_sum / counted as f64,
+        greedy_only: greedy_sum / counted as f64,
+        dp_coarse: coarse_sum / counted as f64,
+        instances: counted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acceptance_ordering_naive_le_thm3_le_exact() {
+        let rows = acceptance_sweep(5, 40);
+        for r in &rows {
+            assert!(
+                r.suspension_oblivious <= r.theorem3 + 1e-9,
+                "naive beat Theorem 3 at load {}",
+                r.target_load
+            );
+            assert!(
+                r.theorem3 <= r.exact + 1e-9,
+                "Theorem 3 beat the exact test at load {}",
+                r.target_load
+            );
+        }
+        // Low load: everything accepted; high load: Theorem 3 rejects.
+        assert!(rows[0].theorem3 > 0.95);
+        assert!(rows.last().unwrap().theorem3 < 0.2);
+        // The sweep must show a real gap somewhere.
+        assert!(rows.iter().any(|r| r.theorem3 > r.suspension_oblivious + 0.2));
+    }
+
+    #[test]
+    fn proportional_split_dominates() {
+        let rows = split_policy_sweep(6, 30);
+        let mean = |f: fn(&SplitPolicyRow) -> f64| {
+            rows.iter().map(f).sum::<f64>() / rows.len() as f64
+        };
+        let prop = mean(|r| r.proportional);
+        let eq = mean(|r| r.equal_slack);
+        let setup = mean(|r| r.setup_all);
+        assert!(prop >= eq - 1e-9, "proportional {prop} < equal-slack {eq}");
+        assert!(prop >= setup - 1e-9, "proportional {prop} < setup-all {setup}");
+    }
+
+    #[test]
+    fn solver_gaps_are_small_and_ordered() {
+        let gaps = solver_gaps(7, 20);
+        assert_eq!(gaps.instances, 20);
+        assert!(gaps.heu_oe > 0.9, "HEU-OE ratio {}", gaps.heu_oe);
+        assert!(gaps.heu_oe >= gaps.greedy_only - 1e-9);
+        assert!(gaps.dp_coarse > 0.95, "coarse DP ratio {}", gaps.dp_coarse);
+        assert!(gaps.heu_oe <= 1.0 + 1e-9);
+    }
+}

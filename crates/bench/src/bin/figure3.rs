@@ -1,0 +1,56 @@
+//! Regenerates Figure 3: normalized total benefit versus estimation
+//! accuracy ratio, DP versus HEU-OE.
+//!
+//! Usage: `cargo run --release -p rto-bench --bin figure3 [seed] [--seeds N] [--json]`
+
+use rto_bench::figure3::{paper_ratios, run};
+use rto_bench::report::{text_table, write_json_lines};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let seed: u64 = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(|a| a.parse())
+        .transpose()?
+        .unwrap_or(2014);
+    let num_seeds: usize = args
+        .iter()
+        .position(|a| a == "--seeds")
+        .and_then(|i| args.get(i + 1))
+        .map(|a| a.parse())
+        .transpose()?
+        .unwrap_or(50);
+
+    eprintln!(
+        "figure3: 30-task random systems, {num_seeds} seeds from {seed}, \
+         ratios -40%..+40%"
+    );
+    let rows = run(seed, num_seeds, &paper_ratios())?;
+
+    if json {
+        write_json_lines(&rows, std::io::stdout().lock())?;
+        return Ok(());
+    }
+
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:+.0}%", r.ratio * 100.0),
+                format!("{:.4}", r.dp_normalized),
+                format!("{:.4}", r.heu_normalized),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        text_table(
+            &["accuracy_ratio", "dynamic_programming", "heu_oe"],
+            &table_rows
+        )
+    );
+    println!("(normalized to the x = 0 dynamic-programming plan, per seed)");
+    Ok(())
+}

@@ -1,0 +1,168 @@
+//! Figure 3: sensitivity of the total benefit to response-time
+//! estimation error, for the exact DP and the HEU-OE heuristic.
+//!
+//! Per seed and estimation-accuracy ratio `x`:
+//!
+//! 1. Generate the §6.2 random system (30 tasks, probabilistic benefits).
+//! 2. Distort every benefit function: point `(r, p)` becomes
+//!    `((1+x)·r, p)` — the estimator's view of the world.
+//! 3. Decide offloading on the *distorted* instance with each solver.
+//! 4. Value the plan with the *true* benefit functions at the enforced
+//!    response times (`G_true(R̂_i)`), i.e. the actual probability that
+//!    the server answers within the promised timer.
+//! 5. Normalize to the same seed's perfect-estimation (`x = 0`) DP value
+//!    and average across seeds.
+//!
+//! Positive `x` (over-estimated response times) makes offloading look
+//! more expensive than it is, so profitable offloads are skipped;
+//! negative `x` makes promises optimistic, so the compensation path
+//! eats benefits. Both sides lose — the paper's core message about
+//! estimator quality.
+
+use rto_core::odm::{OdmTask, OffloadingDecisionManager};
+use rto_mckp::{DpSolver, HeuOeSolver, Solver};
+use rto_stats::Rng;
+use rto_workloads::random::{random_system, RandomSystemParams};
+use serde::{Deserialize, Serialize};
+
+/// One Figure 3 data point (already averaged across seeds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Figure3Row {
+    /// The estimation accuracy ratio `x` (e.g. `-0.4` … `0.4`).
+    pub ratio: f64,
+    /// Mean normalized total benefit of the DP plans.
+    pub dp_normalized: f64,
+    /// Mean normalized total benefit of the HEU-OE plans.
+    pub heu_normalized: f64,
+}
+
+/// The paper's x-axis: −40 % … +40 % in 10 % steps.
+pub fn paper_ratios() -> Vec<f64> {
+    (-4..=4).map(|k| k as f64 / 10.0).collect()
+}
+
+/// Runs the Figure 3 experiment over `num_seeds` random systems.
+///
+/// # Errors
+///
+/// Propagates ODM errors; none occur with the §6.2 generator (its local
+/// utilization stays below 1).
+pub fn run(
+    base_seed: u64,
+    num_seeds: usize,
+    ratios: &[f64],
+) -> Result<Vec<Figure3Row>, Box<dyn std::error::Error>> {
+    run_with_params(base_seed, num_seeds, ratios, &RandomSystemParams::default())
+}
+
+/// [`run`] with custom workload parameters.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_with_params(
+    base_seed: u64,
+    num_seeds: usize,
+    ratios: &[f64],
+    params: &RandomSystemParams,
+) -> Result<Vec<Figure3Row>, Box<dyn std::error::Error>> {
+    let dp = DpSolver::default();
+    let heu = HeuOeSolver::new();
+    let mut dp_sums = vec![0.0f64; ratios.len()];
+    let mut heu_sums = vec![0.0f64; ratios.len()];
+
+    for s in 0..num_seeds {
+        let mut rng = Rng::seed_from(base_seed.wrapping_add(s as u64));
+        let true_tasks = random_system(params, &mut rng);
+
+        // The per-seed normalizer: perfect estimation with DP.
+        let perfect = decide_and_value(&true_tasks, 0.0, &dp)?;
+        if perfect <= 0.0 {
+            // Degenerate draw (no beneficial offloads at all): skip.
+            continue;
+        }
+        for (i, &ratio) in ratios.iter().enumerate() {
+            dp_sums[i] += decide_and_value(&true_tasks, ratio, &dp)? / perfect;
+            heu_sums[i] += decide_and_value(&true_tasks, ratio, &heu)? / perfect;
+        }
+    }
+
+    Ok(ratios
+        .iter()
+        .enumerate()
+        .map(|(i, &ratio)| Figure3Row {
+            ratio,
+            dp_normalized: dp_sums[i] / num_seeds as f64,
+            heu_normalized: heu_sums[i] / num_seeds as f64,
+        })
+        .collect())
+}
+
+/// Decides on the distorted instance and values the plan with the true
+/// benefit functions.
+fn decide_and_value(
+    true_tasks: &[OdmTask],
+    ratio: f64,
+    solver: &dyn Solver,
+) -> Result<f64, Box<dyn std::error::Error>> {
+    let distorted: Vec<OdmTask> = true_tasks
+        .iter()
+        .map(|t| {
+            Ok(OdmTask::new(t.task().clone(), t.benefit().distort(ratio)?)
+                .with_weight(t.weight()))
+        })
+        .collect::<Result<_, rto_core::CoreError>>()?;
+    let odm = OffloadingDecisionManager::new(distorted)?;
+    let plan = odm.decide(solver)?;
+    Ok(plan.evaluate_against(true_tasks)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_shape_holds() {
+        let ratios = [-0.4, -0.2, 0.0, 0.2, 0.4];
+        let rows = run(7, 8, &ratios).expect("experiment runs");
+        assert_eq!(rows.len(), 5);
+        let at = |x: f64| rows.iter().find(|r| r.ratio == x).unwrap();
+
+        // Perfect estimation is the maximum for DP, and normalizes to 1.
+        let perfect = at(0.0);
+        assert!((perfect.dp_normalized - 1.0).abs() < 1e-9);
+        for r in &rows {
+            assert!(
+                r.dp_normalized <= 1.0 + 1e-9,
+                "x={} beats perfect estimation: {}",
+                r.ratio,
+                r.dp_normalized
+            );
+        }
+
+        // Both directions of estimation error lose benefit.
+        assert!(at(-0.4).dp_normalized < perfect.dp_normalized - 0.05);
+        assert!(at(0.4).dp_normalized < perfect.dp_normalized - 0.01);
+        // Monotone on each side of the peak.
+        assert!(at(-0.4).dp_normalized <= at(-0.2).dp_normalized + 0.02);
+        assert!(at(0.4).dp_normalized <= at(0.2).dp_normalized + 0.02);
+
+        // The heuristic tracks the DP closely but never beats it at the
+        // peak.
+        assert!(perfect.heu_normalized <= 1.0 + 1e-9);
+        assert!(
+            perfect.heu_normalized > 0.9,
+            "HEU-OE too far from optimal: {}",
+            perfect.heu_normalized
+        );
+    }
+
+    #[test]
+    fn paper_ratio_grid() {
+        let r = paper_ratios();
+        assert_eq!(r.len(), 9);
+        assert_eq!(r[0], -0.4);
+        assert_eq!(r[8], 0.4);
+        assert!(r.contains(&0.0));
+    }
+}

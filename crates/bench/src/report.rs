@@ -1,0 +1,97 @@
+//! Small helpers for printing experiment results as aligned text tables
+//! and JSON lines.
+
+use serde::Serialize;
+use std::io::Write;
+
+/// Renders rows of cells as an aligned text table with a header.
+///
+/// # Panics
+///
+/// Panics if a row's length differs from the header's.
+pub fn text_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "ragged table row");
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes serializable rows as JSON lines.
+///
+/// # Errors
+///
+/// Returns any I/O or serialization error.
+pub fn write_json_lines<T: Serialize, W: Write>(
+    rows: &[T],
+    mut writer: W,
+) -> Result<(), Box<dyn std::error::Error>> {
+    for row in rows {
+        serde_json::to_writer(&mut writer, row)?;
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let out = text_table(
+            &["a", "long-header"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333".into(), "4444".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("long-header"));
+        // All data lines have the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        text_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn json_lines_roundtrip() {
+        #[derive(serde::Serialize)]
+        struct Row {
+            x: u32,
+        }
+        let mut buf = Vec::new();
+        write_json_lines(&[Row { x: 1 }, Row { x: 2 }], &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("{\"x\":1}"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Server-load sweep: the continuous curve behind Figure 2's three
+//! points.
+//!
+//! The paper evaluates three discrete contention scenarios. This
+//! experiment sweeps the background utilization of the same GPU server
+//! continuously from idle to past saturation and records the realized
+//! normalized benefit of the (fixed) case-study plan, with several seeds
+//! per point. The expected shape: a plateau near the idle benefit while
+//! queueing is light, a knee as waits approach the promised response
+//! times, and an asymptote at 1.0 (pure compensation) once the server
+//! saturates — deadline misses remaining zero throughout.
+
+use rto_core::odm::OffloadingDecisionManager;
+use rto_mckp::DpSolver;
+use rto_server::gpu::GpuServer;
+use rto_server::network::NetworkModel;
+use rto_server::Scenario;
+use rto_sim::{SimConfig, Simulation};
+use rto_workloads::case_study::{case_study_system, shape_request};
+use serde::{Deserialize, Serialize};
+
+/// One sweep data point (averaged across seeds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepRow {
+    /// Background utilization of the two-board server.
+    pub background_utilization: f64,
+    /// Mean normalized benefit across seeds.
+    pub normalized_benefit: f64,
+    /// Mean fraction of offloaded jobs whose result arrived in time.
+    pub remote_rate: f64,
+    /// Total deadline misses across all seeds (must be 0).
+    pub deadline_misses: usize,
+}
+
+/// Runs the sweep: `utilizations` background-load points, `seeds` runs
+/// per point, `horizon_secs` each.
+///
+/// # Errors
+///
+/// Propagates ODM/simulation configuration errors; none occur with the
+/// shipped case study.
+pub fn run(
+    utilizations: &[f64],
+    seeds: u64,
+    horizon_secs: u64,
+    base_seed: u64,
+) -> Result<Vec<SweepRow>, Box<dyn std::error::Error>> {
+    // The plan does not depend on the server: decide once.
+    let odm = OffloadingDecisionManager::new(case_study_system([1.0, 2.0, 3.0, 4.0]))?;
+    let plan = odm.decide(&DpSolver::default())?;
+
+    let mut rows = Vec::with_capacity(utilizations.len());
+    for &util in utilizations {
+        let mut benefit_sum = 0.0;
+        let mut remote_sum = 0.0;
+        let mut misses = 0usize;
+        for s in 0..seeds {
+            let seed = base_seed ^ (s << 32) ^ ((util * 1000.0) as u64);
+            // Background jobs keep the presets' 45 ms mean service time;
+            // arrival rate backs out of the target utilization:
+            // rate = util × boards / 0.045 s.
+            let background_rate = util * Scenario::NUM_BOARDS as f64 / 0.045;
+            let server = GpuServer::new(
+                Scenario::NUM_BOARDS,
+                Scenario::SERVICE_MEAN_MS,
+                Scenario::SERVICE_CV,
+                background_rate,
+                45.0,
+                NetworkModel::wlan(),
+                seed,
+            )?;
+            let report = Simulation::build(odm.tasks().to_vec(), plan.clone())?
+                .with_server(Box::new(server))
+                .with_request_shaper(Box::new(shape_request))
+                .run(SimConfig::for_seconds(horizon_secs, seed))?;
+            benefit_sum += report.normalized_benefit();
+            let offloaded = report.total_remote() + report.total_compensated();
+            remote_sum += if offloaded > 0 {
+                report.total_remote() as f64 / offloaded as f64
+            } else {
+                0.0
+            };
+            misses += report.total_deadline_misses();
+        }
+        rows.push(SweepRow {
+            background_utilization: util,
+            normalized_benefit: benefit_sum / seeds as f64,
+            remote_rate: remote_sum / seeds as f64,
+            deadline_misses: misses,
+        });
+    }
+    Ok(rows)
+}
+
+/// The default utilization grid: 0.0 to 1.2 in 0.1 steps.
+pub fn default_grid() -> Vec<f64> {
+    (0..=12).map(|k| k as f64 / 10.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_has_the_expected_shape() {
+        let rows = run(&[0.0, 0.5, 0.95, 1.2], 2, 4, 33).expect("sweep runs");
+        assert_eq!(rows.len(), 4);
+        // Deadline misses never occur, at any load.
+        assert!(rows.iter().all(|r| r.deadline_misses == 0));
+        // Benefit and remote rate decrease with load.
+        assert!(rows[0].normalized_benefit > rows[3].normalized_benefit + 0.2,
+            "no contrast across the sweep: {rows:?}");
+        assert!(rows[0].remote_rate > rows[3].remote_rate);
+        // Idle end matches the Figure 2 idle regime; saturated end decays
+        // toward the compensation floor of 1.0.
+        assert!(rows[0].normalized_benefit > 2.0);
+        assert!(rows[3].normalized_benefit < 2.5);
+        assert!(rows[3].normalized_benefit >= 1.0 - 1e-9);
+    }
+}

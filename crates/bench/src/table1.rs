@@ -1,0 +1,222 @@
+//! Table 1 regeneration: re-derive a benefit-function table from first
+//! principles, the way the paper measured its own (§6.1.2).
+//!
+//! For every case-study kernel and scaling level:
+//!
+//! * **Quality** — generate synthetic camera frames, degrade them to the
+//!   level's scale factor, and compute the PSNR against the original
+//!   (Table 1's benefit value). The lossless level reports the
+//!   conventional 99 dB cap, like the paper.
+//! * **Response time** — fire a measurement campaign of shaped offload
+//!   requests (payload and compute cost of that level) at the idle GPU
+//!   server through the rCUDA-like proxy, and report the 90th-percentile
+//!   response time (the paper's "coarse-grained statistic estimation").
+//!
+//! The absolute numbers differ from the authors' testbed, but the shape
+//! must match: PSNR and response time both strictly increase with the
+//! level, for every task.
+
+use rto_core::time::{Duration, Instant};
+use rto_server::{Scenario, ServerProxy};
+use rto_workloads::case_study::{
+    case_study_tasks, shape_request, SCALE_FACTORS, FRAME_HEIGHT, FRAME_WIDTH, TASK_NAMES,
+};
+use rto_workloads::imaging::{psnr, synthetic_scene};
+use rto_stats::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One regenerated benefit point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Task name.
+    pub task: String,
+    /// Benefit level (0 = local-quality baseline, 4 = full frame).
+    pub level: usize,
+    /// The level's image scale factor.
+    pub scale: f64,
+    /// Measured quality (PSNR dB against the full frame, averaged over
+    /// frames).
+    pub psnr_db: f64,
+    /// 90th-percentile measured response time in ms (`None` for the
+    /// local level — nothing is offloaded).
+    pub response_p90_ms: Option<f64>,
+}
+
+/// Regenerates the table: `frames` synthetic frames for the quality
+/// estimate, `probes` offload probes per level for the timing estimate.
+///
+/// # Errors
+///
+/// Propagates server-construction errors (none occur with the shipped
+/// scenario presets).
+pub fn run(seed: u64, frames: usize, probes: usize) -> Result<Vec<Table1Row>, Box<dyn std::error::Error>> {
+    let mut rng = Rng::seed_from(seed);
+    let tasks = case_study_tasks();
+    let mut rows = Vec::new();
+
+    // Quality per level: PSNR of degrade(scale) averaged over frames.
+    // (The same frames serve all four tasks: the paper's per-task PSNR
+    // differences come from their different test imagery; ours come from
+    // per-task frame seeds.)
+    for (task_idx, task) in tasks.iter().enumerate() {
+        let mut per_level_psnr = vec![0.0f64; SCALE_FACTORS.len()];
+        for _ in 0..frames {
+            let frame = synthetic_scene(FRAME_WIDTH, FRAME_HEIGHT, &mut rng);
+            for (level, &f) in SCALE_FACTORS.iter().enumerate() {
+                per_level_psnr[level] += psnr(&frame, &frame.degrade(f));
+            }
+        }
+        for p in &mut per_level_psnr {
+            *p /= frames as f64;
+        }
+
+        // Timing per offloadable level: probe the idle server. Each
+        // campaign gets a fresh server — campaigns all start at t = 0,
+        // and a reused server would still be draining the previous
+        // campaign's queue.
+        for (level, &scale) in SCALE_FACTORS.iter().enumerate() {
+            let response_p90_ms = if level == 0 {
+                None
+            } else {
+                let server = Scenario::Idle
+                    .build_server(seed ^ ((task_idx as u64 * 8 + level as u64 + 1) << 16))?;
+                let mut proxy = ServerProxy::new(server);
+                let request = shape_request(task, level);
+                let report = proxy.measure(
+                    &request,
+                    probes,
+                    Instant::ZERO,
+                    Duration::from_secs(2), // spaced out: no self-queueing
+                );
+                let est = report.to_estimator()?;
+                Some(est.quantile(0.9).as_ms_f64())
+            };
+            rows.push(Table1Row {
+                task: TASK_NAMES[task_idx].to_string(),
+                level,
+                scale,
+                psnr_db: per_level_psnr[level],
+                response_p90_ms,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Converts regenerated rows into per-task
+/// [`rto_core::benefit::BenefitFunction`]s — the
+/// §6.1.2 workflow end to end: measure quality and timing, then hand the
+/// result to the Offloading Decision Manager.
+///
+/// The local point carries level 0's PSNR; each offloadable level `j`
+/// becomes a point at its measured p90 response time with its PSNR as
+/// the value, keeping the case study's per-level setup costs.
+///
+/// # Errors
+///
+/// Returns [`rto_core::CoreError`] if the rows violate the benefit
+/// invariants (cannot happen for rows produced by [`run`]).
+pub fn to_benefit_functions(
+    rows: &[Table1Row],
+) -> Result<Vec<rto_core::benefit::BenefitFunction>, rto_core::CoreError> {
+    use rto_core::benefit::{BenefitFunction, BenefitPoint};
+    use rto_workloads::case_study::NUM_TASKS;
+
+    let tasks = case_study_tasks();
+    (0..NUM_TASKS)
+        .map(|task_idx| {
+            let name = TASK_NAMES[task_idx];
+            let task_rows: Vec<&Table1Row> =
+                rows.iter().filter(|r| r.task == name).collect();
+            let mut points = Vec::with_capacity(task_rows.len());
+            for row in task_rows {
+                match row.response_p90_ms {
+                    None => points.push(BenefitPoint::new(Duration::ZERO, row.psnr_db)),
+                    Some(ms) => points.push(BenefitPoint::with_costs(
+                        Duration::from_ms_f64(ms)?,
+                        row.psnr_db,
+                        // Reuse the case study's per-level setup costs;
+                        // compensation is the local rerun.
+                        rto_workloads::case_study::table1()[task_idx].points()[row.level]
+                            .setup_wcet
+                            .expect("case-study levels carry setup costs"),
+                        tasks[task_idx].local_wcet(),
+                    )),
+                }
+            }
+            BenefitFunction::new(points)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_benefits_feed_the_odm() {
+        use rto_core::odm::{OdmTask, OffloadingDecisionManager};
+        use rto_mckp::DpSolver;
+
+        let rows = run(13, 3, 60).expect("experiment runs");
+        let benefits = to_benefit_functions(&rows).expect("rows satisfy invariants");
+        assert_eq!(benefits.len(), 4);
+        for g in &benefits {
+            assert_eq!(g.num_levels(), 5);
+            assert_eq!(g.points()[4].value, 99.0);
+        }
+        // The derived functions drive a real decision.
+        let tasks = case_study_tasks()
+            .into_iter()
+            .zip(benefits)
+            .map(|(t, g)| OdmTask::new(t, g))
+            .collect();
+        let odm = OffloadingDecisionManager::new(tasks).expect("valid tasks");
+        let plan = odm.decide(&DpSolver::default()).expect("feasible");
+        assert!(plan.total_density() <= 1.0);
+        assert!(
+            plan.num_offloaded() >= 1,
+            "99 dB at sub-second latency should attract offloading"
+        );
+    }
+
+    #[test]
+    fn regenerated_table_has_paper_shape() {
+        let rows = run(11, 3, 40).expect("experiment runs");
+        assert_eq!(rows.len(), 4 * 5);
+        for task in TASK_NAMES {
+            let task_rows: Vec<&Table1Row> =
+                rows.iter().filter(|r| r.task == task).collect();
+            assert_eq!(task_rows.len(), 5);
+            // PSNR strictly increases with level and caps at 99.
+            for w in task_rows.windows(2) {
+                assert!(
+                    w[0].psnr_db < w[1].psnr_db + 1e-9,
+                    "{task}: PSNR not increasing: {} then {}",
+                    w[0].psnr_db,
+                    w[1].psnr_db
+                );
+            }
+            assert_eq!(task_rows[4].psnr_db, 99.0);
+            assert!(task_rows[0].psnr_db > 10.0);
+            // Response time increases with level (bigger payload+kernel).
+            assert!(task_rows[0].response_p90_ms.is_none());
+            let times: Vec<f64> = task_rows[1..]
+                .iter()
+                .map(|r| r.response_p90_ms.expect("offloadable level"))
+                .collect();
+            for w in times.windows(2) {
+                assert!(
+                    w[0] < w[1],
+                    "{task}: response times not increasing: {times:?}"
+                );
+            }
+            // Sanity: an idle server answers in sub-second time; a bound
+            // here catches clock/queue accounting bugs.
+            assert!(
+                times.iter().all(|&t| t < 3000.0),
+                "{task}: implausible response times {times:?}"
+            );
+        }
+    }
+}

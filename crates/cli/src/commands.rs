@@ -1,0 +1,332 @@
+//! The CLI commands: `plan`, `analyze`, `simulate`, `demo`.
+//!
+//! Each command is a pure function from a parsed [`SystemConfig`] to a
+//! report string, so the whole CLI is unit-testable without spawning the
+//! binary.
+
+use crate::config::SystemConfig;
+use rto_core::analysis::{
+    density_test, dm_response_time_analysis, processor_demand_test, suspension_oblivious_test,
+    OffloadedTask,
+};
+use rto_core::deadline::SplitPolicy;
+use rto_core::odm::{Decision, OffloadingDecisionManager, OffloadingPlan};
+use rto_core::qpa::qpa_test;
+use rto_core::time::Duration;
+use rto_server::Scenario;
+use rto_sim::render::render_gantt;
+use rto_sim::{SimConfig, Simulation};
+use std::fmt::Write as _;
+
+/// Builds the ODM and decides, shared by the commands.
+fn decide(config: &SystemConfig) -> Result<(OffloadingDecisionManager, OffloadingPlan), String> {
+    let tasks = config.build_tasks()?;
+    let odm = OffloadingDecisionManager::new(tasks).map_err(|e| e.to_string())?;
+    let plan = odm
+        .decide(config.solver.build().as_ref())
+        .map_err(|e| e.to_string())?;
+    Ok((odm, plan))
+}
+
+/// Renders the plan table for one decided system.
+fn plan_table(odm: &OffloadingDecisionManager, plan: &OffloadingPlan) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<24} {:>9} {:>12} {:>12} {:>9} {:>10}",
+        "task", "decision", "R (ms)", "D1 (ms)", "density", "benefit"
+    );
+    for (t, d) in odm.tasks().iter().zip(plan.decisions()) {
+        match d.decision {
+            Decision::Local => {
+                let _ = writeln!(
+                    out,
+                    "{:<24} {:>9} {:>12} {:>12} {:>9.4} {:>10.2}",
+                    t.task().name(),
+                    "local",
+                    "-",
+                    "-",
+                    d.density,
+                    d.benefit
+                );
+            }
+            Decision::Offload {
+                level,
+                response_time,
+                setup_deadline,
+                guaranteed,
+                ..
+            } => {
+                let tag = if guaranteed {
+                    format!("lvl{level}*")
+                } else {
+                    format!("lvl{level}")
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<24} {:>9} {:>12.3} {:>12.3} {:>9.4} {:>10.2}",
+                    t.task().name(),
+                    tag,
+                    response_time.as_ms_f64(),
+                    setup_deadline.as_ms_f64(),
+                    d.density,
+                    d.benefit
+                );
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\nTheorem-3 density: {:.4} (<= 1)   planned benefit: {:.2}   offloaded: {}/{}",
+        plan.total_density(),
+        plan.total_benefit(),
+        plan.num_offloaded(),
+        odm.tasks().len()
+    );
+    let _ = writeln!(out, "(* = level guaranteed by a declared server bound)");
+    out
+}
+
+/// `plan`: decide and print the offloading plan.
+///
+/// # Errors
+///
+/// Returns a human-readable message on config or feasibility errors.
+pub fn cmd_plan(config: &SystemConfig) -> Result<String, String> {
+    let (odm, plan) = decide(config)?;
+    Ok(plan_table(&odm, &plan))
+}
+
+/// `analyze`: run all four schedulability tests on the decided plan.
+///
+/// # Errors
+///
+/// Returns a human-readable message on config or feasibility errors.
+pub fn cmd_analyze(config: &SystemConfig) -> Result<String, String> {
+    let (odm, plan) = decide(config)?;
+    let locals: Vec<&rto_core::task::Task> = odm
+        .tasks()
+        .iter()
+        .zip(plan.decisions())
+        .filter(|(_, d)| !d.decision.is_offload())
+        .map(|(t, _)| t.task())
+        .collect();
+    let offloaded: Vec<OffloadedTask<'_>> = odm
+        .tasks()
+        .iter()
+        .zip(plan.decisions())
+        .filter_map(|(t, d)| match d.decision {
+            Decision::Offload {
+                response_time,
+                setup_wcet,
+                compensation_wcet,
+                ..
+            } => Some(OffloadedTask {
+                task: t.task(),
+                response_time,
+                setup_wcet: Some(setup_wcet),
+                compensation_wcet: Some(compensation_wcet),
+            }),
+            Decision::Local => None,
+        })
+        .collect();
+
+    let thm3 = density_test(locals.iter().copied(), offloaded.iter().copied())
+        .map_err(|e| e.to_string())?;
+    let qpa = qpa_test(
+        locals.iter().copied(),
+        offloaded.iter().copied(),
+        SplitPolicy::Proportional,
+    )
+    .map_err(|e| e.to_string())?;
+    let horizon = Duration::from_secs(config.horizon_secs.max(1));
+    let exact = processor_demand_test(
+        locals.iter().copied(),
+        offloaded.iter().copied(),
+        SplitPolicy::Proportional,
+        horizon,
+    )
+    .map_err(|e| e.to_string())?;
+    let naive = suspension_oblivious_test(locals.iter().copied(), offloaded.iter().copied())
+        .map_err(|e| e.to_string())?;
+    let dm = dm_response_time_analysis(locals.iter().copied(), offloaded.iter().copied())
+        .map_err(|e| e.to_string())?;
+
+    let mut out = plan_table(&odm, &plan);
+    let _ = writeln!(out, "\nSchedulability tests on this plan:");
+    let verdict = |ok: bool| if ok { "PASS" } else { "fail" };
+    let _ = writeln!(
+        out,
+        "  Theorem 3 (density)          {}  load {:.4}",
+        verdict(thm3.schedulable),
+        thm3.load
+    );
+    let _ = writeln!(
+        out,
+        "  QPA (exact, fast)            {}  {} demand evaluations",
+        verdict(qpa.schedulable),
+        qpa.evaluations
+    );
+    let _ = writeln!(
+        out,
+        "  processor demand (exact)     {}  peak ratio {:.4} over {} points",
+        verdict(exact.schedulable),
+        exact.peak_demand_ratio,
+        exact.points_checked
+    );
+    let _ = writeln!(
+        out,
+        "  suspension-oblivious (naive) {}  load {:.4}",
+        verdict(naive.schedulable),
+        naive.load
+    );
+    let _ = writeln!(
+        out,
+        "  deadline-monotonic RTA       {}  worst R/D {:.4}",
+        verdict(dm.schedulable),
+        dm.load
+    );
+    Ok(out)
+}
+
+/// `simulate`: decide, simulate against the configured scenario, report;
+/// optionally render the Gantt chart and export the full trace as JSON.
+///
+/// # Errors
+///
+/// Returns a human-readable message on config, feasibility, or
+/// simulation errors.
+pub fn cmd_simulate(
+    config: &SystemConfig,
+    gantt: bool,
+    trace_json: Option<&str>,
+) -> Result<String, String> {
+    let (odm, plan) = decide(config)?;
+    let scenario: Scenario = config.scenario.into();
+    let server = scenario.build_server(config.seed).map_err(|e| e.to_string())?;
+    let report = Simulation::build(odm.tasks().to_vec(), plan.clone())
+        .map_err(|e| e.to_string())?
+        .with_server(Box::new(server))
+        .run(SimConfig::for_seconds(config.horizon_secs.max(1), config.seed))
+        .map_err(|e| e.to_string())?;
+
+    let mut out = plan_table(&odm, &plan);
+    let _ = writeln!(
+        out,
+        "\nSimulated {}s against the {} server (seed {}):",
+        config.horizon_secs, scenario, config.seed
+    );
+    let _ = writeln!(
+        out,
+        "  jobs {:>4}   remote {:>4}   compensated {:>4}   misses {}",
+        report.jobs.len(),
+        report.total_remote(),
+        report.total_compensated(),
+        report.total_deadline_misses()
+    );
+    let _ = writeln!(
+        out,
+        "  realized benefit {:.2} / baseline {:.2}  ({:.3}x)   utilization {:.3}",
+        report.total_realized_benefit(),
+        report.total_baseline_benefit(),
+        report.normalized_benefit(),
+        report.utilization()
+    );
+    for stats in &report.per_task {
+        let name = odm
+            .tasks()
+            .iter()
+            .find(|t| t.task().id() == stats.task_id)
+            .map(|t| t.task().name().to_string())
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "    {:<24} jobs {:>3}  remote {:>3}  compensated {:>3}  misses {}",
+            name, stats.accountable, stats.remote_jobs, stats.compensated_jobs, stats.misses
+        );
+    }
+    if gantt {
+        let _ = writeln!(out, "\n{}", render_gantt(&report, 100));
+    }
+    if let Some(path) = trace_json {
+        let file = std::fs::File::create(path)
+            .map_err(|e| format!("cannot create {path}: {e}"))?;
+        report
+            .write_json(std::io::BufWriter::new(file))
+            .map_err(|e| format!("cannot write trace: {e}"))?;
+        let _ = writeln!(out, "full trace written to {path}");
+    }
+    Ok(out)
+}
+
+/// `demo`: print the sample config.
+pub fn cmd_demo() -> String {
+    serde_json::to_string_pretty(&SystemConfig::sample()).expect("sample serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_command_renders_table() {
+        let out = cmd_plan(&SystemConfig::sample()).unwrap();
+        assert!(out.contains("object-recognition"));
+        assert!(out.contains("control-loop"));
+        assert!(out.contains("Theorem-3 density"));
+        // The vision task should be offloaded at some level.
+        assert!(out.contains("lvl"), "{out}");
+    }
+
+    #[test]
+    fn analyze_command_runs_all_tests() {
+        let out = cmd_analyze(&SystemConfig::sample()).unwrap();
+        for needle in [
+            "Theorem 3 (density)",
+            "QPA (exact, fast)",
+            "processor demand (exact)",
+            "suspension-oblivious (naive)",
+            "deadline-monotonic RTA",
+        ] {
+            assert!(out.contains(needle), "missing {needle}:\n{out}");
+        }
+        assert!(out.contains("PASS"));
+    }
+
+    #[test]
+    fn simulate_command_reports_outcomes() {
+        let out = cmd_simulate(&SystemConfig::sample(), false, None).unwrap();
+        assert!(out.contains("Simulated 10s"));
+        assert!(out.contains("misses 0"), "{out}");
+        assert!(!out.contains("legend"));
+        let with_gantt = cmd_simulate(&SystemConfig::sample(), true, None).unwrap();
+        assert!(with_gantt.contains("legend"));
+    }
+
+    #[test]
+    fn simulate_exports_trace_json() {
+        let dir = std::env::temp_dir().join("rto-cli-test-trace.json");
+        let path = dir.to_str().unwrap();
+        let out = cmd_simulate(&SystemConfig::sample(), false, Some(path)).unwrap();
+        assert!(out.contains("full trace written"));
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.contains("per_task"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn demo_output_is_parseable() {
+        let text = cmd_demo();
+        let cfg = SystemConfig::from_json(&text).unwrap();
+        assert_eq!(cfg, SystemConfig::sample());
+    }
+
+    #[test]
+    fn errors_are_messages_not_panics() {
+        let mut cfg = SystemConfig::sample();
+        cfg.tasks.clear();
+        assert!(cmd_plan(&cfg).is_err());
+        assert!(cmd_analyze(&cfg).is_err());
+        assert!(cmd_simulate(&cfg, false, None).is_err());
+    }
+}

@@ -1,0 +1,66 @@
+//! `rto-cli` — plan, analyze, and simulate compensation-based offloading
+//! systems described in JSON.
+//!
+//! ```text
+//! rto-cli demo                       print a sample config
+//! rto-cli plan <config.json>         decide offloading (print the plan)
+//! rto-cli analyze <config.json>      plan + all schedulability tests
+//! rto-cli simulate <config.json>     plan + simulation report
+//! rto-cli simulate <config.json> --gantt             … plus an ASCII Gantt chart
+//! rto-cli simulate <config.json> --trace-json <out>  … plus a full JSON trace
+//! ```
+
+mod commands;
+mod config;
+
+use commands::{cmd_analyze, cmd_demo, cmd_plan, cmd_simulate};
+use config::SystemConfig;
+use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: rto-cli <demo | plan <file> | analyze <file> | simulate <file> [--gantt] [--trace-json <out>]>";
+
+fn load(path: &str) -> Result<SystemConfig, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    SystemConfig::from_json(&text)
+}
+
+fn run() -> Result<String, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("demo") => Ok(cmd_demo()),
+        Some("plan") => {
+            let path = args.get(1).ok_or(USAGE)?;
+            cmd_plan(&load(path)?)
+        }
+        Some("analyze") => {
+            let path = args.get(1).ok_or(USAGE)?;
+            cmd_analyze(&load(path)?)
+        }
+        Some("simulate") => {
+            let path = args.get(1).ok_or(USAGE)?;
+            let gantt = args.iter().any(|a| a == "--gantt");
+            let trace_json = args
+                .iter()
+                .position(|a| a == "--trace-json")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str);
+            cmd_simulate(&load(path)?, gantt, trace_json)
+        }
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,559 @@
+//! Schedulability tests (paper Theorem 3, plus exact and baseline tests).
+//!
+//! * [`density_test`] — the paper's Theorem 3: the EDF-based algorithm with
+//!   split sub-job deadlines schedules the system if
+//!   `Σ_offloaded (C_{i,1}+C_{i,2})/(D_i−R_i) + Σ_local C_i/T_i ≤ 1`.
+//! * [`processor_demand_test`] — an exact (QPA-style) processor-demand
+//!   check on the sub-job staircase dbfs; strictly less pessimistic than
+//!   Theorem 3 and used to cross-validate it in tests.
+//! * [`suspension_oblivious_test`] — the naive baseline the paper argues
+//!   against (§5.1): treat the whole offloaded job as one EDF job whose
+//!   suspension time is modelled as computation, i.e. demand
+//!   `(C_{i,1}+R_i+C_{i,2})/D_i`. Grossly pessimistic.
+//! * [`local_only_test`] — EDF utilization test with every task local.
+
+use crate::dbf::{dbf_local, dbf_offloaded, deadline_points, offloaded_deadline_points, OffloadedDemand};
+use crate::deadline::{offloaded_density, setup_deadline_with_costs, SplitPolicy};
+use crate::error::CoreError;
+use crate::task::Task;
+use crate::time::Duration;
+use serde::{Deserialize, Serialize};
+
+/// An offloaded task as seen by the schedulability tests: the task plus
+/// the promised response time and (possibly level-specific) costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OffloadedTask<'a> {
+    /// The underlying task.
+    pub task: &'a Task,
+    /// The promised `R_i`.
+    pub response_time: Duration,
+    /// Level-specific `C_{i,1}` override; `None` = task default.
+    pub setup_wcet: Option<Duration>,
+    /// Level-specific `C_{i,2}` override; `None` = task default.
+    pub compensation_wcet: Option<Duration>,
+}
+
+impl<'a> OffloadedTask<'a> {
+    /// Creates an entry with the task's default costs.
+    pub fn new(task: &'a Task, response_time: Duration) -> Self {
+        OffloadedTask {
+            task,
+            response_time,
+            setup_wcet: None,
+            compensation_wcet: None,
+        }
+    }
+
+    /// Effective setup WCET.
+    pub fn effective_setup(&self) -> Duration {
+        self.setup_wcet.unwrap_or_else(|| self.task.setup_wcet())
+    }
+
+    /// Effective compensation WCET.
+    pub fn effective_compensation(&self) -> Duration {
+        self.compensation_wcet
+            .unwrap_or_else(|| self.task.compensation_wcet())
+    }
+
+    /// Builds the demand-analysis parameters under a split policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::InvalidSplit`] from the deadline split.
+    pub fn demand(&self, policy: SplitPolicy) -> Result<OffloadedDemand, CoreError> {
+        let d1 = setup_deadline_with_costs(
+            self.task.deadline(),
+            self.effective_setup(),
+            self.effective_compensation(),
+            self.response_time,
+            policy,
+        )?;
+        Ok(OffloadedDemand {
+            setup_wcet: self.effective_setup(),
+            compensation_wcet: self.effective_compensation(),
+            response_time: self.response_time,
+            setup_deadline: d1,
+            deadline: self.task.deadline(),
+            period: self.task.period(),
+        })
+    }
+}
+
+/// Outcome of a schedulability test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedulabilityResult {
+    /// The left-hand side of the test (total density / utilization, or the
+    /// peak demand ratio for the exact test).
+    pub load: f64,
+    /// Whether the task set passed.
+    pub schedulable: bool,
+}
+
+/// Floating-point head-room used when comparing the density sum against 1.
+///
+/// The sum of up to a few hundred `f64` divisions carries relative error
+/// around `n·ε ≈ 1e-13`; accepting `load ≤ 1 + 1e-12` admits exact-fill
+/// systems (density exactly 1, allowed by Theorem 3) without admitting any
+/// genuinely overloaded system at practically relevant magnitudes.
+pub const DENSITY_EPSILON: f64 = 1e-12;
+
+/// Theorem 3: density test for the EDF-based algorithm with split
+/// deadlines.
+///
+/// Local tasks are charged their **density** `C_i/D_i`, which equals the
+/// paper's `C_i/T_i` for the implicit deadlines it presents and remains a
+/// sound bound for the constrained-deadline extension (`D_i ≤ T_i`) it
+/// sketches — utilization alone would not be.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidSplit`] if some offloaded entry has
+/// `R_i ≥ D_i` (such an assignment is invalid, not merely unschedulable).
+pub fn density_test<'a>(
+    local: impl IntoIterator<Item = &'a Task>,
+    offloaded: impl IntoIterator<Item = OffloadedTask<'a>>,
+) -> Result<SchedulabilityResult, CoreError> {
+    let mut load = 0.0f64;
+    for task in local {
+        load += task.local_density();
+    }
+    for entry in offloaded {
+        load += offloaded_density(
+            entry.task.deadline(),
+            entry.effective_setup(),
+            entry.effective_compensation(),
+            entry.response_time,
+        )?;
+    }
+    Ok(SchedulabilityResult {
+        load,
+        schedulable: load <= 1.0 + DENSITY_EPSILON,
+    })
+}
+
+/// Exact processor-demand (QPA-style) test on the sub-job staircases.
+///
+/// Checks `Σ dbf_i(t) ≤ t` at every step point `t ≤ horizon`. With
+/// `horizon` at least the hyperperiod plus the largest deadline this is a
+/// necessary-and-sufficient EDF test for the modelled (worst-case) demand;
+/// with a smaller horizon it remains sufficient *for the points checked*
+/// and is used here as a cross-validation of Theorem 3 (which it
+/// dominates: anything Theorem 3 accepts, this accepts too).
+///
+/// Returns the peak demand ratio `max_t Σ dbf(t)/t` over the checked
+/// points and, when violated, the first violating instant.
+///
+/// # Errors
+///
+/// Propagates [`CoreError::InvalidSplit`] from the deadline split.
+pub fn processor_demand_test<'a>(
+    local: impl IntoIterator<Item = &'a Task>,
+    offloaded: impl IntoIterator<Item = OffloadedTask<'a>>,
+    policy: SplitPolicy,
+    horizon: Duration,
+) -> Result<DemandTestResult, CoreError> {
+    let local: Vec<&Task> = local.into_iter().collect();
+    let offloaded: Vec<OffloadedTask<'a>> = offloaded.into_iter().collect();
+    let demands: Vec<OffloadedDemand> = offloaded
+        .iter()
+        .map(|o| o.demand(policy))
+        .collect::<Result<_, _>>()?;
+
+    let mut points: Vec<Duration> = Vec::new();
+    for task in &local {
+        points.extend(deadline_points(task.deadline(), task.period(), horizon));
+    }
+    for d in &demands {
+        points.extend(offloaded_deadline_points(d, horizon));
+    }
+    points.sort_unstable();
+    points.dedup();
+
+    let mut peak = 0.0f64;
+    let mut first_violation = None;
+    for &t in &points {
+        let mut demand = Duration::ZERO;
+        for task in &local {
+            demand += dbf_local(task, t);
+        }
+        for d in &demands {
+            demand += dbf_offloaded(d, t);
+        }
+        let ratio = demand.as_ns() as f64 / t.as_ns() as f64;
+        if ratio > peak {
+            peak = ratio;
+        }
+        if demand > t && first_violation.is_none() {
+            first_violation = Some(t);
+        }
+    }
+    Ok(DemandTestResult {
+        peak_demand_ratio: peak,
+        schedulable: first_violation.is_none(),
+        first_violation,
+        points_checked: points.len(),
+    })
+}
+
+/// Outcome of [`processor_demand_test`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DemandTestResult {
+    /// `max_t Σ dbf(t)/t` over the checked points.
+    pub peak_demand_ratio: f64,
+    /// Whether demand never exceeded supply at any checked point.
+    pub schedulable: bool,
+    /// The first instant where demand exceeded supply, if any.
+    pub first_violation: Option<Duration>,
+    /// Number of step points examined.
+    pub points_checked: usize,
+}
+
+/// The suspension-oblivious baseline (naive EDF, §5.1): the offloaded
+/// job's suspension `R_i` is modelled as computation with the original
+/// deadline, giving per-task load `(C_{i,1}+R_i+C_{i,2})/D_i`.
+///
+/// # Errors
+///
+/// Never fails on validated inputs; the `Result` mirrors
+/// [`density_test`]'s signature for drop-in comparison.
+pub fn suspension_oblivious_test<'a>(
+    local: impl IntoIterator<Item = &'a Task>,
+    offloaded: impl IntoIterator<Item = OffloadedTask<'a>>,
+) -> Result<SchedulabilityResult, CoreError> {
+    let mut load = 0.0f64;
+    for task in local {
+        load += task.local_density();
+    }
+    for entry in offloaded {
+        let inflated =
+            entry.effective_setup() + entry.response_time + entry.effective_compensation();
+        load += inflated.ratio(entry.task.deadline());
+    }
+    Ok(SchedulabilityResult {
+        load,
+        schedulable: load <= 1.0 + DENSITY_EPSILON,
+    })
+}
+
+/// Deadline-monotonic fixed-priority baseline: suspension-oblivious
+/// response-time analysis.
+///
+/// The paper (citing Ridouard, Richard & Cottet 2004) notes that neither
+/// fixed-priority nor plain EDF handles self-suspending tasks well; this
+/// function quantifies the fixed-priority side. Each offloaded task is
+/// inflated to `C'_i = C_{i,1} + R_i + C_{i,2}` (suspension modelled as
+/// execution), priorities are assigned deadline-monotonically, and the
+/// classic recurrence
+///
+/// ```text
+/// R_i = C'_i + Σ_{j ∈ hp(i)} ⌈R_i / T_j⌉ · C'_j
+/// ```
+///
+/// is iterated to fixpoint; the system passes iff `R_i ≤ D_i` for all
+/// tasks.
+///
+/// # Errors
+///
+/// Never fails on validated inputs; the `Result` mirrors the other
+/// tests' signatures.
+pub fn dm_response_time_analysis<'a>(
+    local: impl IntoIterator<Item = &'a Task>,
+    offloaded: impl IntoIterator<Item = OffloadedTask<'a>>,
+) -> Result<SchedulabilityResult, CoreError> {
+    struct Entry {
+        inflated: Duration,
+        deadline: Duration,
+        period: Duration,
+    }
+    let mut entries: Vec<Entry> = local
+        .into_iter()
+        .map(|t| Entry {
+            inflated: t.local_wcet(),
+            deadline: t.deadline(),
+            period: t.period(),
+        })
+        .collect();
+    for o in offloaded {
+        entries.push(Entry {
+            inflated: o.effective_setup() + o.response_time + o.effective_compensation(),
+            deadline: o.task.deadline(),
+            period: o.task.period(),
+        });
+    }
+    // Deadline-monotonic priority order (shortest deadline first).
+    entries.sort_by_key(|e| e.deadline);
+
+    let mut worst_ratio = 0.0f64;
+    let mut schedulable = true;
+    for (i, entry) in entries.iter().enumerate() {
+        let mut r = entry.inflated;
+        let mut converged = false;
+        // The fixpoint is bounded by the deadline: exceeding it already
+        // decides this task.
+        for _ in 0..1000 {
+            let interference: Duration = entries[..i]
+                .iter()
+                .map(|hp| hp.inflated * r.as_ns().div_ceil(hp.period.as_ns()).max(1))
+                .sum();
+            let next = entry.inflated + interference;
+            if next == r {
+                converged = true;
+                break;
+            }
+            r = next;
+            if r > entry.deadline {
+                break;
+            }
+        }
+        let ratio = r.ratio(entry.deadline);
+        worst_ratio = worst_ratio.max(ratio);
+        if !converged || r > entry.deadline {
+            schedulable = false;
+        }
+    }
+    Ok(SchedulabilityResult {
+        load: worst_ratio,
+        schedulable,
+    })
+}
+
+/// EDF density test with every task executed locally: `Σ C_i/D_i ≤ 1`
+/// (equal to the classic `Σ C_i/T_i ≤ 1` for implicit deadlines, sound
+/// for constrained ones).
+pub fn local_only_test<'a>(tasks: impl IntoIterator<Item = &'a Task>) -> SchedulabilityResult {
+    let load: f64 = tasks.into_iter().map(Task::local_density).sum();
+    SchedulabilityResult {
+        load,
+        schedulable: load <= 1.0 + DENSITY_EPSILON,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_ms(v)
+    }
+
+    fn task(id: usize, c: u64, c1: u64, c2: u64, t: u64) -> Task {
+        Task::builder(id, format!("t{id}"))
+            .local_wcet(ms(c))
+            .setup_wcet(ms(c1))
+            .compensation_wcet(ms(c2))
+            .period(ms(t))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn density_test_all_local_equals_utilization() {
+        let a = task(0, 20, 2, 20, 100);
+        let b = task(1, 30, 2, 30, 100);
+        let r = density_test([&a, &b], []).unwrap();
+        assert!((r.load - 0.5).abs() < 1e-12);
+        assert!(r.schedulable);
+    }
+
+    #[test]
+    fn density_test_mixed() {
+        let a = task(0, 20, 2, 20, 100); // local: 0.2
+        let b = task(1, 30, 2, 30, 100); // offloaded with R=36: (2+30)/64 = 0.5
+        let r = density_test([&a], [OffloadedTask::new(&b, ms(36))]).unwrap();
+        assert!((r.load - 0.7).abs() < 1e-12, "load {}", r.load);
+        assert!(r.schedulable);
+    }
+
+    #[test]
+    fn density_test_rejects_overload() {
+        let a = task(0, 90, 2, 90, 100);
+        let b = task(1, 30, 10, 30, 100); // (10+30)/(100-60) = 1.0
+        let r = density_test([&a], [OffloadedTask::new(&b, ms(60))]).unwrap();
+        assert!(r.load > 1.5);
+        assert!(!r.schedulable);
+    }
+
+    #[test]
+    fn density_test_exact_fill_accepted() {
+        let a = task(0, 50, 2, 50, 100);
+        let b = task(1, 50, 2, 50, 100);
+        let r = density_test([&a, &b], []).unwrap();
+        assert!((r.load - 1.0).abs() < 1e-12);
+        assert!(r.schedulable, "exact density 1 must pass (Theorem 3 uses <=)");
+    }
+
+    #[test]
+    fn density_test_invalid_response_time() {
+        let b = task(1, 30, 2, 30, 100);
+        assert!(density_test([], [OffloadedTask::new(&b, ms(100))]).is_err());
+    }
+
+    #[test]
+    fn per_level_cost_overrides_used() {
+        let b = task(1, 30, 10, 30, 100);
+        let mut entry = OffloadedTask::new(&b, ms(20));
+        entry.setup_wcet = Some(ms(2));
+        entry.compensation_wcet = Some(ms(6));
+        let r = density_test([], [entry]).unwrap();
+        assert!((r.load - 0.1).abs() < 1e-12, "load {}", r.load);
+    }
+
+    #[test]
+    fn exact_test_accepts_what_density_accepts() {
+        let a = task(0, 20, 2, 20, 100);
+        let b = task(1, 30, 2, 30, 100);
+        let off = OffloadedTask::new(&b, ms(36));
+        let density = density_test([&a], [off]).unwrap();
+        assert!(density.schedulable);
+        let exact = processor_demand_test([&a], [off], SplitPolicy::Proportional, ms(1000))
+            .unwrap();
+        assert!(exact.schedulable);
+        assert!(exact.peak_demand_ratio <= density.load + 1e-9);
+        assert!(exact.points_checked > 0);
+        assert_eq!(exact.first_violation, None);
+    }
+
+    #[test]
+    fn exact_test_less_pessimistic_than_density() {
+        // Density-infeasible but demand-feasible: the offloaded task's
+        // large density (C1+C2)/(D-R) = 30/40 = 0.75 plus a 0.3 local task
+        // breaks Theorem 3, but the actual staircase demand is only
+        // 60 ms per 100 ms period with workable offsets.
+        let a = task(0, 30, 2, 30, 100); // local: 0.3
+        let b = task(1, 25, 5, 25, 100); // offloaded with R=60
+        let off_b = OffloadedTask::new(&b, ms(60));
+        let density = density_test([&a], [off_b]).unwrap();
+        assert!(!density.schedulable, "load {}", density.load); // 1.05
+        let exact =
+            processor_demand_test([&a], [off_b], SplitPolicy::Proportional, ms(2000)).unwrap();
+        assert!(exact.schedulable, "peak {}", exact.peak_demand_ratio);
+        assert!(exact.peak_demand_ratio < density.load);
+    }
+
+    #[test]
+    fn exact_test_detects_genuine_overload() {
+        let a = task(0, 60, 10, 60, 100);
+        let b = task(1, 60, 10, 60, 100);
+        let r = processor_demand_test([&a, &b], [], SplitPolicy::Proportional, ms(1000)).unwrap();
+        assert!(!r.schedulable);
+        assert_eq!(r.first_violation, Some(ms(100)));
+        assert!(r.peak_demand_ratio > 1.0);
+    }
+
+    #[test]
+    fn suspension_oblivious_is_more_pessimistic() {
+        let b = task(1, 30, 2, 30, 100);
+        let off = OffloadedTask::new(&b, ms(36));
+        let ours = density_test([], [off]).unwrap();
+        let naive = suspension_oblivious_test([], [off]).unwrap();
+        // naive: (2+36+30)/100 = 0.68 vs ours (2+30)/64 = 0.5
+        assert!(naive.load > ours.load);
+    }
+
+    #[test]
+    fn suspension_oblivious_rejects_what_we_accept() {
+        // Three such tasks: ours 3*0.5=1.5 -> reject; but with R=10:
+        // ours (2+30)/90 = 0.356 each, 2 tasks = 0.711 accept;
+        // naive (2+10+30)/100 = 0.42 each, 2 tasks = 0.84 accept; push to 3 tasks:
+        // ours 1.07 reject, naive 1.26 reject. Use asymmetric case:
+        let t1 = task(1, 30, 2, 30, 100);
+        let t2 = task(2, 30, 2, 30, 100);
+        let offs = [
+            OffloadedTask::new(&t1, ms(50)),
+            OffloadedTask::new(&t2, ms(50)),
+        ];
+        // ours: 2 * 32/50 = 1.28 -> reject. Use R=25: 32/75=0.427 *2 = 0.85 accept.
+        let offs_ok = [
+            OffloadedTask::new(&t1, ms(25)),
+            OffloadedTask::new(&t2, ms(25)),
+        ];
+        let ours = density_test([], offs_ok).unwrap();
+        assert!(ours.schedulable);
+        // naive with R=25: (2+25+30)/100 = 0.57 * 2 = 1.14 -> reject.
+        let naive = suspension_oblivious_test([], offs_ok).unwrap();
+        assert!(!naive.schedulable, "naive load {}", naive.load);
+        let _ = offs;
+    }
+
+    #[test]
+    fn local_only_test_basic() {
+        let a = task(0, 50, 2, 50, 100);
+        let b = task(1, 60, 2, 60, 100);
+        let r = local_only_test([&a, &b]);
+        assert!((r.load - 1.1).abs() < 1e-12);
+        assert!(!r.schedulable);
+        assert!(local_only_test([&a]).schedulable);
+    }
+
+    #[test]
+    fn dm_rta_basic_feasible() {
+        // Rate/deadline-monotonic textbook pair: (C=1, T=4), (C=2, T=6).
+        let a = task(0, 1, 1, 1, 4);
+        let b = task(1, 2, 1, 2, 6);
+        let r = dm_response_time_analysis([&a, &b], []).unwrap();
+        assert!(r.schedulable);
+        // Worst response ratio: R_b = 2 + 1 = 3 -> 3/6 = 0.5... with
+        // ceil(3/4)=1 interference: R_b = 3; ratio max(1/4, 3/6) = 0.5.
+        assert!((r.load - 0.5).abs() < 1e-9, "load {}", r.load);
+    }
+
+    #[test]
+    fn dm_rta_detects_fp_infeasible_edf_feasible() {
+        // U = 1.0: EDF-schedulable, DM not (R_2 = 90 > 80).
+        let a = task(0, 25, 1, 25, 50);
+        let b = task(1, 40, 1, 40, 80);
+        let dm = dm_response_time_analysis([&a, &b], []).unwrap();
+        assert!(!dm.schedulable, "DM should reject: load {}", dm.load);
+        let edf = density_test([&a, &b], []).unwrap();
+        assert!(edf.schedulable);
+    }
+
+    #[test]
+    fn dm_rta_inflates_suspensions() {
+        // One offloaded task alone: inflated C' = 2 + 36 + 30 = 68 <= 100.
+        let b = task(1, 30, 2, 30, 100);
+        let off = OffloadedTask::new(&b, ms(36));
+        let r = dm_response_time_analysis([], [off]).unwrap();
+        assert!(r.schedulable);
+        assert!((r.load - 0.68).abs() < 1e-9, "load {}", r.load);
+        // Push R so the inflation overruns the deadline.
+        let off_late = OffloadedTask::new(&b, ms(67));
+        let r = dm_response_time_analysis([], [off_late]).unwrap();
+        assert!(r.load > 0.98);
+    }
+
+    #[test]
+    fn constrained_deadlines_charged_at_density() {
+        // C=50, D=60, T=200 twice: utilization 0.5 but genuinely
+        // infeasible (demand 100 at t=60) — the density test must reject
+        // it, and the exact test confirms.
+        let mk = |id: usize| {
+            Task::builder(id, format!("t{id}"))
+                .local_wcet(ms(50))
+                .period(ms(200))
+                .deadline(ms(60))
+                .build()
+                .unwrap()
+        };
+        let a = mk(0);
+        let b = mk(1);
+        let density = density_test([&a, &b], []).unwrap();
+        assert!(!density.schedulable, "load {}", density.load);
+        assert!((density.load - 100.0 / 60.0).abs() < 1e-9);
+        let exact =
+            processor_demand_test([&a, &b], [], SplitPolicy::Proportional, ms(2000)).unwrap();
+        assert!(!exact.schedulable, "the system really is infeasible");
+        // local_only_test agrees.
+        assert!(!local_only_test([&a, &b]).schedulable);
+    }
+
+    #[test]
+    fn empty_system_is_schedulable() {
+        let r = density_test([], []).unwrap();
+        assert_eq!(r.load, 0.0);
+        assert!(r.schedulable);
+        let e = processor_demand_test([], [], SplitPolicy::Proportional, ms(100)).unwrap();
+        assert!(e.schedulable);
+        assert_eq!(e.points_checked, 0);
+    }
+}

@@ -1,0 +1,390 @@
+//! Discretized benefit functions `G_i(r)` (paper §3.2).
+//!
+//! `G_i(r)` is the benefit obtained by offloading task `τ_i` when the
+//! estimated worst-case response time is set to `r`. The paper assumes:
+//!
+//! * `G_i` is **non-decreasing** in `r` — waiting longer can only help;
+//! * `G_i` is **discretized**: it changes value at `Q_i` points; the first
+//!   point is `r_{i,1} = 0` and `G_i(0)` stores the benefit of *local*
+//!   execution (no offloading at all);
+//! * benefit values can be success probabilities (§6.2), quality indices
+//!   such as PSNR (§6.1), or any other non-negative performance measure.
+//!
+//! The §5.2 extension is supported: each discrete point may carry its own
+//! setup/compensation WCETs (`C^j_{i,1}`, `C^j_{i,2}`) — in the case study
+//! different image-scaling levels have different preprocessing costs.
+
+use crate::error::CoreError;
+use crate::time::Duration;
+use serde::{Deserialize, Serialize};
+
+/// One discrete point of a benefit function.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BenefitPoint {
+    /// `r_{i,j}`: the estimated response time of this level; `0` for the
+    /// local-execution point.
+    pub response_time: Duration,
+    /// `G_i(r_{i,j})`: the benefit at this level (non-negative, finite).
+    pub value: f64,
+    /// Optional per-level setup WCET `C^j_{i,1}` (§5.2 extension);
+    /// `None` = use the task default.
+    pub setup_wcet: Option<Duration>,
+    /// Optional per-level compensation WCET `C^j_{i,2}`;
+    /// `None` = use the task default.
+    pub compensation_wcet: Option<Duration>,
+}
+
+impl BenefitPoint {
+    /// Creates a point using the task's default offloading costs.
+    pub fn new(response_time: Duration, value: f64) -> Self {
+        BenefitPoint {
+            response_time,
+            value,
+            setup_wcet: None,
+            compensation_wcet: None,
+        }
+    }
+
+    /// Creates a point with per-level costs (§5.2 extension).
+    pub fn with_costs(
+        response_time: Duration,
+        value: f64,
+        setup_wcet: Duration,
+        compensation_wcet: Duration,
+    ) -> Self {
+        BenefitPoint {
+            response_time,
+            value,
+            setup_wcet: Some(setup_wcet),
+            compensation_wcet: Some(compensation_wcet),
+        }
+    }
+}
+
+/// A validated, discretized, non-decreasing benefit function.
+///
+/// # Example
+///
+/// ```
+/// use rto_core::benefit::BenefitFunction;
+/// use rto_core::time::Duration;
+///
+/// // Local quality 22.5; 30.6 within 195 ms; 33.3 within 207 ms.
+/// let g = BenefitFunction::from_ms_points(&[
+///     (0.0, 22.5),
+///     (195.0, 30.6),
+///     (207.0, 33.3),
+/// ])?;
+/// assert_eq!(g.local_value(), 22.5);
+/// assert_eq!(g.eval(Duration::from_ms(200)), 30.6);
+/// assert_eq!(g.eval(Duration::from_ms(300)), 33.3);
+/// # Ok::<(), rto_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenefitFunction {
+    points: Vec<BenefitPoint>,
+}
+
+impl BenefitFunction {
+    /// Creates a benefit function from its discrete points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidBenefit`] when:
+    /// * `points` is empty, or the first point is not at time 0;
+    /// * response times are not strictly increasing;
+    /// * values are negative, NaN, infinite, or decreasing;
+    /// * a per-level cost override is zero (a free offload would break the
+    ///   density reduction).
+    pub fn new(points: Vec<BenefitPoint>) -> Result<Self, CoreError> {
+        let bad = |msg: String| Err(CoreError::InvalidBenefit(msg));
+        if points.is_empty() {
+            return bad("benefit function needs at least the local point".into());
+        }
+        if !points[0].response_time.is_zero() {
+            return bad(format!(
+                "first point must be at response time 0, got {}",
+                points[0].response_time
+            ));
+        }
+        for (j, p) in points.iter().enumerate() {
+            if !p.value.is_finite() || p.value < 0.0 {
+                return bad(format!("point {j}: value {} invalid", p.value));
+            }
+            if let Some(c) = p.setup_wcet {
+                if c.is_zero() {
+                    return bad(format!("point {j}: zero setup override"));
+                }
+            }
+            if j > 0 {
+                if p.response_time <= points[j - 1].response_time {
+                    return bad(format!(
+                        "response times not strictly increasing at point {j}"
+                    ));
+                }
+                if p.value < points[j - 1].value {
+                    return bad(format!("benefit decreases at point {j}"));
+                }
+            }
+        }
+        Ok(BenefitFunction { points })
+    }
+
+    /// Convenience constructor from `(milliseconds, value)` pairs; the
+    /// first pair must be `(0.0, local_value)`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BenefitFunction::new`], plus time-conversion errors.
+    pub fn from_ms_points(pairs: &[(f64, f64)]) -> Result<Self, CoreError> {
+        let points = pairs
+            .iter()
+            .map(|&(ms, v)| Ok(BenefitPoint::new(Duration::from_ms_f64(ms)?, v)))
+            .collect::<Result<Vec<_>, CoreError>>()?;
+        BenefitFunction::new(points)
+    }
+
+    /// Builds the §6.2-style probabilistic benefit function: the benefit
+    /// of achieving response time `times[k]` is `probabilities[k]`, and
+    /// local execution is worth `local_value` (0 in the paper's
+    /// simulation: a local run never produces the higher-performance
+    /// output).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidBenefit`] if the slices differ in
+    /// length or violate the usual invariants.
+    pub fn from_success_probabilities(
+        local_value: f64,
+        times: &[Duration],
+        probabilities: &[f64],
+    ) -> Result<Self, CoreError> {
+        if times.len() != probabilities.len() {
+            return Err(CoreError::InvalidBenefit(format!(
+                "{} times vs {} probabilities",
+                times.len(),
+                probabilities.len()
+            )));
+        }
+        let mut points = vec![BenefitPoint::new(Duration::ZERO, local_value)];
+        points.extend(
+            times
+                .iter()
+                .zip(probabilities)
+                .map(|(&t, &p)| BenefitPoint::new(t, p)),
+        );
+        BenefitFunction::new(points)
+    }
+
+    /// All points, in increasing response-time order. `points()[0]` is the
+    /// local-execution point.
+    pub fn points(&self) -> &[BenefitPoint] {
+        &self.points
+    }
+
+    /// Number of discrete points `Q_i` (including the local point).
+    pub fn num_levels(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `G_i(0)`: the benefit of local execution.
+    pub fn local_value(&self) -> f64 {
+        self.points[0].value
+    }
+
+    /// Evaluates the step function at `r`: the value of the largest point
+    /// with `response_time ≤ r`.
+    pub fn eval(&self, r: Duration) -> f64 {
+        let idx = self
+            .points
+            .partition_point(|p| p.response_time <= r);
+        self.points[idx - 1].value // idx >= 1 because points[0] is at 0
+    }
+
+    /// The offloading points (everything except the local point).
+    pub fn offload_points(&self) -> &[BenefitPoint] {
+        &self.points[1..]
+    }
+
+    /// Applies the Figure-3 estimation-error model: every offloading
+    /// point's response time is scaled by `(1 + ratio)`, values unchanged.
+    ///
+    /// A positive `ratio` models an estimator that *over-estimates* the
+    /// response time needed for each benefit level (the offloading option
+    /// then looks more expensive than it is); a negative `ratio` models
+    /// under-estimation (offloading looks cheaper, and the compensation
+    /// path will fire more often than planned).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidBenefit`] if `ratio ≤ −1` (response
+    /// times would collapse to zero or below) or scaling overflows.
+    pub fn distort(&self, ratio: f64) -> Result<BenefitFunction, CoreError> {
+        if !ratio.is_finite() || ratio <= -1.0 {
+            return Err(CoreError::InvalidBenefit(format!(
+                "distortion ratio {ratio} must be > -1"
+            )));
+        }
+        let factor = 1.0 + ratio;
+        let mut points = Vec::with_capacity(self.points.len());
+        points.push(self.points[0]);
+        for p in &self.points[1..] {
+            let mut q = *p;
+            q.response_time = p
+                .response_time
+                .scale_f64(factor)
+                .map_err(|e| CoreError::InvalidBenefit(e.to_string()))?;
+            points.push(q);
+        }
+        BenefitFunction::new(points)
+    }
+
+    /// Scales all benefit values by a non-negative weight (task importance
+    /// `w_i` in the case study), leaving response times untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidBenefit`] if `weight` is negative or
+    /// not finite.
+    pub fn scale_values(&self, weight: f64) -> Result<BenefitFunction, CoreError> {
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(CoreError::InvalidBenefit(format!(
+                "weight {weight} must be non-negative"
+            )));
+        }
+        let points = self
+            .points
+            .iter()
+            .map(|p| BenefitPoint {
+                value: p.value * weight,
+                ..*p
+            })
+            .collect();
+        BenefitFunction::new(points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> BenefitFunction {
+        BenefitFunction::from_ms_points(&[(0.0, 1.0), (100.0, 5.0), (200.0, 9.0)]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(BenefitFunction::new(vec![]).is_err());
+        // first point not at zero
+        assert!(BenefitFunction::from_ms_points(&[(1.0, 1.0)]).is_err());
+        // times not strictly increasing
+        assert!(BenefitFunction::from_ms_points(&[(0.0, 1.0), (5.0, 2.0), (5.0, 3.0)]).is_err());
+        // decreasing value
+        assert!(BenefitFunction::from_ms_points(&[(0.0, 5.0), (10.0, 3.0)]).is_err());
+        // negative / NaN value
+        assert!(BenefitFunction::from_ms_points(&[(0.0, -1.0)]).is_err());
+        assert!(BenefitFunction::from_ms_points(&[(0.0, f64::NAN)]).is_err());
+        // equal values allowed (non-decreasing)
+        assert!(BenefitFunction::from_ms_points(&[(0.0, 2.0), (10.0, 2.0)]).is_ok());
+        // single local point allowed
+        assert!(BenefitFunction::from_ms_points(&[(0.0, 2.0)]).is_ok());
+    }
+
+    #[test]
+    fn zero_setup_override_rejected() {
+        let points = vec![
+            BenefitPoint::new(Duration::ZERO, 1.0),
+            BenefitPoint::with_costs(Duration::from_ms(10), 2.0, Duration::ZERO, Duration::from_ms(1)),
+        ];
+        assert!(BenefitFunction::new(points).is_err());
+    }
+
+    #[test]
+    fn eval_steps() {
+        let g = simple();
+        assert_eq!(g.eval(Duration::ZERO), 1.0);
+        assert_eq!(g.eval(Duration::from_ms(99)), 1.0);
+        assert_eq!(g.eval(Duration::from_ms(100)), 5.0);
+        assert_eq!(g.eval(Duration::from_ms(150)), 5.0);
+        assert_eq!(g.eval(Duration::from_ms(200)), 9.0);
+        assert_eq!(g.eval(Duration::from_secs(10)), 9.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let g = simple();
+        assert_eq!(g.num_levels(), 3);
+        assert_eq!(g.local_value(), 1.0);
+        assert_eq!(g.offload_points().len(), 2);
+        assert_eq!(g.points()[1].value, 5.0);
+    }
+
+    #[test]
+    fn from_success_probabilities() {
+        let times: Vec<Duration> = [100u64, 150, 200].iter().map(|&m| Duration::from_ms(m)).collect();
+        let g = BenefitFunction::from_success_probabilities(0.0, &times, &[0.3, 0.6, 1.0]).unwrap();
+        assert_eq!(g.local_value(), 0.0);
+        assert_eq!(g.eval(Duration::from_ms(150)), 0.6);
+        // mismatched lengths
+        assert!(BenefitFunction::from_success_probabilities(0.0, &times, &[0.5]).is_err());
+        // decreasing probabilities rejected
+        assert!(BenefitFunction::from_success_probabilities(0.0, &times, &[0.9, 0.5, 1.0]).is_err());
+    }
+
+    #[test]
+    fn distort_scales_offload_times_only() {
+        let g = simple();
+        let d = g.distort(0.4).unwrap();
+        assert_eq!(d.points()[0].response_time, Duration::ZERO);
+        assert_eq!(d.points()[1].response_time, Duration::from_ms(140));
+        assert_eq!(d.points()[2].response_time, Duration::from_ms(280));
+        // values unchanged
+        assert_eq!(d.points()[1].value, 5.0);
+
+        let u = g.distort(-0.4).unwrap();
+        assert_eq!(u.points()[1].response_time, Duration::from_ms(60));
+    }
+
+    #[test]
+    fn distort_rejects_collapse() {
+        let g = simple();
+        assert!(g.distort(-1.0).is_err());
+        assert!(g.distort(f64::NAN).is_err());
+        assert!(g.distort(-0.999999).is_ok());
+    }
+
+    #[test]
+    fn distort_zero_is_identity() {
+        let g = simple();
+        assert_eq!(g.distort(0.0).unwrap(), g);
+    }
+
+    #[test]
+    fn scale_values() {
+        let g = simple().scale_values(3.0).unwrap();
+        assert_eq!(g.local_value(), 3.0);
+        assert_eq!(g.points()[2].value, 27.0);
+        assert!(simple().scale_values(-1.0).is_err());
+        assert_eq!(simple().scale_values(0.0).unwrap().local_value(), 0.0);
+    }
+
+    #[test]
+    fn per_level_costs_survive() {
+        let points = vec![
+            BenefitPoint::new(Duration::ZERO, 1.0),
+            BenefitPoint::with_costs(
+                Duration::from_ms(10),
+                2.0,
+                Duration::from_ms(3),
+                Duration::from_ms(7),
+            ),
+        ];
+        let g = BenefitFunction::new(points).unwrap();
+        let p = g.offload_points()[0];
+        assert_eq!(p.setup_wcet, Some(Duration::from_ms(3)));
+        assert_eq!(p.compensation_wcet, Some(Duration::from_ms(7)));
+        // distortion keeps cost overrides
+        let d = g.distort(0.1).unwrap();
+        assert_eq!(d.offload_points()[0].setup_wcet, Some(Duration::from_ms(3)));
+    }
+}

@@ -1,0 +1,331 @@
+//! The Local Compensation Manager (paper §3.3).
+//!
+//! A per-job state machine enforcing the compensation protocol:
+//!
+//! ```text
+//! Setup ──setup_finished──▶ Awaiting(timer = now + R_i)
+//! Awaiting ──result before timer──▶ PostProcessing ──▶ Done(Remote)
+//! Awaiting ──timer fires──────────▶ Compensating  ──▶ Done(Compensated)
+//! ```
+//!
+//! Results arriving after the timer are *dropped*: the compensation has
+//! already started and the paper's model never uses late results (the
+//! baseline quality of the compensation output is guaranteed instead).
+//! The manager is pure — it holds no event queue and performs no I/O — so
+//! the simulator (`rto-sim`) can drive it from its own timeline, and a
+//! real runtime could drive it from timer interrupts as the paper
+//! describes.
+
+use crate::error::CoreError;
+use crate::time::{Duration, Instant};
+use serde::{Deserialize, Serialize};
+
+/// Where a finished job's result came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobOutcome {
+    /// The server answered within `R_i`; post-processing completed.
+    Remote,
+    /// The timer fired; the local compensation completed.
+    Compensated,
+}
+
+/// The lifecycle phase of one offloaded job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobPhase {
+    /// Executing the setup sub-job `C_{i,1}`.
+    Setup,
+    /// Offloaded; waiting for the result or the timer.
+    Awaiting {
+        /// When the compensation timer fires.
+        timer_at: Instant,
+    },
+    /// The result arrived in time; executing `C_{i,3}`.
+    PostProcessing,
+    /// The timer fired; executing `C_{i,2}`.
+    Compensating,
+    /// The job finished.
+    Done(JobOutcome),
+}
+
+/// How an incoming server result was handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResultDisposition {
+    /// Accepted: the job moved to [`JobPhase::PostProcessing`].
+    Accepted,
+    /// The compensation already started (or the job finished); the late
+    /// result is discarded.
+    DroppedLate,
+}
+
+/// How a timer event was handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerDisposition {
+    /// The timer was live: the job moved to [`JobPhase::Compensating`].
+    StartedCompensation,
+    /// The result had already arrived (or the job finished); stale timer.
+    Stale,
+}
+
+/// The per-job compensation state machine.
+///
+/// # Example
+///
+/// ```
+/// use rto_core::compensation::{CompensationManager, JobPhase, ResultDisposition};
+/// use rto_core::time::{Duration, Instant};
+///
+/// let mut m = CompensationManager::new(Duration::from_ms(100));
+/// let t0 = Instant::from_ns(0);
+/// let timer = m.setup_finished(t0 + Duration::from_ms(5))?;
+/// assert_eq!(timer, t0 + Duration::from_ms(105));
+/// // Result arrives at 50 ms: accepted.
+/// let d = m.result_arrived(t0 + Duration::from_ms(50))?;
+/// assert_eq!(d, ResultDisposition::Accepted);
+/// assert_eq!(m.phase(), JobPhase::PostProcessing);
+/// # Ok::<(), rto_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompensationManager {
+    response_budget: Duration,
+    phase: JobPhase,
+}
+
+impl CompensationManager {
+    /// Creates a manager for one job with the promised response time
+    /// `R_i` (`response_budget`).
+    pub fn new(response_budget: Duration) -> Self {
+        CompensationManager {
+            response_budget,
+            phase: JobPhase::Setup,
+        }
+    }
+
+    /// The job's current phase.
+    pub fn phase(&self) -> JobPhase {
+        self.phase
+    }
+
+    /// The promised response time `R_i`.
+    pub fn response_budget(&self) -> Duration {
+        self.response_budget
+    }
+
+    /// The outcome, if the job is done.
+    pub fn outcome(&self) -> Option<JobOutcome> {
+        match self.phase {
+            JobPhase::Done(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Records that the setup sub-job finished at `now` and the offload
+    /// request was sent. Returns the instant at which the compensation
+    /// timer must fire (`now + R_i`) — the caller arms a timer interrupt
+    /// for it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidTransition`] unless the job is in
+    /// [`JobPhase::Setup`].
+    pub fn setup_finished(&mut self, now: Instant) -> Result<Instant, CoreError> {
+        match self.phase {
+            JobPhase::Setup => {
+                let timer_at = now + self.response_budget;
+                self.phase = JobPhase::Awaiting { timer_at };
+                Ok(timer_at)
+            }
+            other => Err(CoreError::InvalidTransition(format!(
+                "setup_finished in phase {other:?}"
+            ))),
+        }
+    }
+
+    /// Records a result arriving from the server at `now`.
+    ///
+    /// In time (strictly before or exactly at the timer): the job moves to
+    /// post-processing. Late: the result is dropped, the phase unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidTransition`] if the job has not been
+    /// offloaded yet ([`JobPhase::Setup`]).
+    pub fn result_arrived(&mut self, now: Instant) -> Result<ResultDisposition, CoreError> {
+        match self.phase {
+            JobPhase::Awaiting { timer_at } => {
+                if now <= timer_at {
+                    self.phase = JobPhase::PostProcessing;
+                    Ok(ResultDisposition::Accepted)
+                } else {
+                    // The runtime should have fired the timer already, but
+                    // tolerate event-ordering races at the same instant.
+                    self.phase = JobPhase::Compensating;
+                    Ok(ResultDisposition::DroppedLate)
+                }
+            }
+            JobPhase::Compensating | JobPhase::PostProcessing | JobPhase::Done(_) => {
+                Ok(ResultDisposition::DroppedLate)
+            }
+            JobPhase::Setup => Err(CoreError::InvalidTransition(
+                "result arrived before the job was offloaded".into(),
+            )),
+        }
+    }
+
+    /// Records the compensation timer firing at `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidTransition`] if the job was never
+    /// offloaded ([`JobPhase::Setup`]) or the timer fires before its
+    /// scheduled instant.
+    pub fn timer_fired(&mut self, now: Instant) -> Result<TimerDisposition, CoreError> {
+        match self.phase {
+            JobPhase::Awaiting { timer_at } => {
+                if now < timer_at {
+                    return Err(CoreError::InvalidTransition(format!(
+                        "timer fired at {now} before its scheduled {timer_at}"
+                    )));
+                }
+                self.phase = JobPhase::Compensating;
+                Ok(TimerDisposition::StartedCompensation)
+            }
+            JobPhase::PostProcessing | JobPhase::Compensating | JobPhase::Done(_) => {
+                Ok(TimerDisposition::Stale)
+            }
+            JobPhase::Setup => Err(CoreError::InvalidTransition(
+                "timer fired before the job was offloaded".into(),
+            )),
+        }
+    }
+
+    /// Records that the completion sub-job (post-processing or
+    /// compensation) finished; returns the job outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidTransition`] unless the job is in
+    /// [`JobPhase::PostProcessing`] or [`JobPhase::Compensating`].
+    pub fn completion_finished(&mut self) -> Result<JobOutcome, CoreError> {
+        let outcome = match self.phase {
+            JobPhase::PostProcessing => JobOutcome::Remote,
+            JobPhase::Compensating => JobOutcome::Compensated,
+            other => {
+                return Err(CoreError::InvalidTransition(format!(
+                    "completion_finished in phase {other:?}"
+                )))
+            }
+        };
+        self.phase = JobPhase::Done(outcome);
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_ms(v)
+    }
+
+    fn at(v: u64) -> Instant {
+        Instant::from_ns(v * 1_000_000)
+    }
+
+    #[test]
+    fn happy_path_remote() {
+        let mut m = CompensationManager::new(ms(100));
+        assert_eq!(m.phase(), JobPhase::Setup);
+        assert_eq!(m.response_budget(), ms(100));
+        let timer = m.setup_finished(at(5)).unwrap();
+        assert_eq!(timer, at(105));
+        assert_eq!(m.result_arrived(at(60)).unwrap(), ResultDisposition::Accepted);
+        assert_eq!(m.phase(), JobPhase::PostProcessing);
+        assert_eq!(m.completion_finished().unwrap(), JobOutcome::Remote);
+        assert_eq!(m.outcome(), Some(JobOutcome::Remote));
+    }
+
+    #[test]
+    fn timeout_path_compensated() {
+        let mut m = CompensationManager::new(ms(100));
+        m.setup_finished(at(5)).unwrap();
+        assert_eq!(
+            m.timer_fired(at(105)).unwrap(),
+            TimerDisposition::StartedCompensation
+        );
+        assert_eq!(m.phase(), JobPhase::Compensating);
+        // Late result is dropped.
+        assert_eq!(
+            m.result_arrived(at(110)).unwrap(),
+            ResultDisposition::DroppedLate
+        );
+        assert_eq!(m.phase(), JobPhase::Compensating);
+        assert_eq!(m.completion_finished().unwrap(), JobOutcome::Compensated);
+    }
+
+    #[test]
+    fn result_exactly_at_timer_accepted() {
+        let mut m = CompensationManager::new(ms(100));
+        m.setup_finished(at(0)).unwrap();
+        assert_eq!(m.result_arrived(at(100)).unwrap(), ResultDisposition::Accepted);
+    }
+
+    #[test]
+    fn timer_after_result_is_stale() {
+        let mut m = CompensationManager::new(ms(100));
+        m.setup_finished(at(0)).unwrap();
+        m.result_arrived(at(50)).unwrap();
+        assert_eq!(m.timer_fired(at(100)).unwrap(), TimerDisposition::Stale);
+        assert_eq!(m.phase(), JobPhase::PostProcessing);
+    }
+
+    #[test]
+    fn late_result_without_timer_event_starts_compensation() {
+        // If the runtime delivers the result event after the timer instant
+        // but before processing the timer event, the manager still
+        // enforces the protocol.
+        let mut m = CompensationManager::new(ms(100));
+        m.setup_finished(at(0)).unwrap();
+        assert_eq!(
+            m.result_arrived(at(150)).unwrap(),
+            ResultDisposition::DroppedLate
+        );
+        assert_eq!(m.phase(), JobPhase::Compensating);
+        assert_eq!(m.timer_fired(at(150)).unwrap(), TimerDisposition::Stale);
+    }
+
+    #[test]
+    fn invalid_transitions_rejected() {
+        let mut m = CompensationManager::new(ms(10));
+        assert!(m.result_arrived(at(0)).is_err());
+        assert!(m.timer_fired(at(0)).is_err());
+        assert!(m.completion_finished().is_err());
+        m.setup_finished(at(0)).unwrap();
+        assert!(m.setup_finished(at(1)).is_err());
+        assert!(m.completion_finished().is_err());
+        // Timer before schedule is a runtime bug.
+        assert!(m.timer_fired(at(5)).is_err());
+    }
+
+    #[test]
+    fn done_state_is_terminal() {
+        let mut m = CompensationManager::new(ms(10));
+        m.setup_finished(at(0)).unwrap();
+        m.result_arrived(at(5)).unwrap();
+        m.completion_finished().unwrap();
+        assert_eq!(m.result_arrived(at(20)).unwrap(), ResultDisposition::DroppedLate);
+        assert_eq!(m.timer_fired(at(20)).unwrap(), TimerDisposition::Stale);
+        assert!(m.completion_finished().is_err());
+    }
+
+    #[test]
+    fn zero_budget_fires_immediately() {
+        let mut m = CompensationManager::new(Duration::ZERO);
+        let timer = m.setup_finished(at(7)).unwrap();
+        assert_eq!(timer, at(7));
+        assert_eq!(
+            m.timer_fired(at(7)).unwrap(),
+            TimerDisposition::StartedCompensation
+        );
+    }
+}

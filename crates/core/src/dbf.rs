@@ -1,0 +1,278 @@
+//! Demand bound functions (paper Theorems 1 and 2).
+//!
+//! `dbf(τ_i, t)` is the maximum execution demand of (sub-)jobs of `τ_i`
+//! that both arrive in and have deadlines inside any window of length `t`
+//! (Baruah, Mok & Rosier 1990). The paper bounds these:
+//!
+//! * **Theorem 2** (local tasks): `dbf(τ_i, t) ≤ (C_i/T_i)·t` — standard
+//!   for sporadic, implicit-deadline tasks. We implement the *exact*
+//!   staircase `(⌊(t−D_i)/T_i⌋+1)·C_i`, which the bound dominates.
+//! * **Theorem 1** (offloaded tasks): with the proportional split,
+//!   `dbf(τ_i, t) ≤ ((C_{i,1}+C_{i,2})/(D_i−R_i))·t`. We also implement
+//!   the exact staircase of the two sub-jobs: the setup sub-job is
+//!   sporadic with deadline `D_{i,1}`, and the completion sub-job's
+//!   worst-case window is `D_i − D_{i,1} − R_i` (results can arrive as
+//!   late as the timer `R_i` after a setup that finished exactly at its
+//!   deadline).
+//!
+//! Property tests in `tests/` verify that the exact staircases never
+//! exceed the paper's linear bounds.
+
+use crate::task::Task;
+use crate::time::Duration;
+
+/// Exact demand bound function of a sporadic task with WCET `wcet`,
+/// relative deadline `deadline`, and minimum inter-arrival `period`, over
+/// any window of length `t`:
+///
+/// ```text
+/// dbf(t) = max(0, ⌊(t − D)/T⌋ + 1) · C
+/// ```
+///
+/// # Panics
+///
+/// Panics if `period` is zero.
+pub fn dbf_sporadic(wcet: Duration, deadline: Duration, period: Duration, t: Duration) -> Duration {
+    assert!(!period.is_zero(), "dbf of zero-period task");
+    match t.checked_sub(deadline) {
+        None => Duration::ZERO,
+        Some(rem) => {
+            let jobs = rem.as_ns() / period.as_ns() + 1;
+            wcet * jobs
+        }
+    }
+}
+
+/// Exact dbf of a task executed fully locally (Theorem 2's staircase).
+pub fn dbf_local(task: &Task, t: Duration) -> Duration {
+    dbf_sporadic(task.local_wcet(), task.deadline(), task.period(), t)
+}
+
+/// Theorem 2's linear bound `(C_i/T_i)·t`, in nanoseconds.
+pub fn dbf_local_bound_ns(task: &Task, t: Duration) -> f64 {
+    task.local_wcet().ratio(task.period()) * t.as_ns() as f64
+}
+
+/// The parameters of an offloaded task needed for demand analysis; costs
+/// may be level-specific (§5.2 extension), hence not read from the task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OffloadedDemand {
+    /// `C_{i,1}` actually used at the selected level.
+    pub setup_wcet: Duration,
+    /// `C_{i,2}` actually used at the selected level.
+    pub compensation_wcet: Duration,
+    /// The promised `R_i`.
+    pub response_time: Duration,
+    /// `D_{i,1}` as assigned by the split policy.
+    pub setup_deadline: Duration,
+    /// `D_i`.
+    pub deadline: Duration,
+    /// `T_i`.
+    pub period: Duration,
+}
+
+impl OffloadedDemand {
+    /// The completion sub-job's worst-case window:
+    /// `D_i − D_{i,1} − R_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `D_{i,1} + R_i ≥ D_i`, which a validated split can never
+    /// produce.
+    pub fn completion_window(&self) -> Duration {
+        self.deadline - self.setup_deadline - self.response_time
+    }
+}
+
+/// Exact dbf of an offloaded task.
+///
+/// The two sub-jobs of one job are precedence-chained — the completion
+/// sub-job is released at most `D_{i,1} + R_i` after the arrival — so
+/// their worst-case demand windows cannot be aligned independently.
+/// A worst-case window starts at one of the task's release instants,
+/// giving two critical alignments:
+///
+/// * **A** — window starts at a job arrival: setup deadlines fall at
+///   `D_{i,1} + kT`, completion deadlines at `D_i + kT`;
+/// * **B** — window starts at a (latest possible) completion release:
+///   completion deadlines fall at `W + kT` where
+///   `W = D_i − D_{i,1} − R_i`, and the *next* job's setup deadlines at
+///   `(T − R_i) + kT`.
+///
+/// The exact dbf is the pointwise max of the two alignments; property
+/// tests verify it never exceeds Theorem 1's linear bound.
+pub fn dbf_offloaded(d: &OffloadedDemand, t: Duration) -> Duration {
+    // Alignment A: anchored at an arrival.
+    let a = dbf_sporadic(d.setup_wcet, d.setup_deadline, d.period, t)
+        + dbf_sporadic(d.compensation_wcet, d.deadline, d.period, t);
+    // Alignment B: anchored at a latest completion release. The follow-up
+    // setup deadline lands at T − R (≥ D1 since D1 + R ≤ D ≤ T).
+    let follow_up_setup_deadline = d.period - d.response_time;
+    let b = dbf_sporadic(d.compensation_wcet, d.completion_window(), d.period, t)
+        + dbf_sporadic(d.setup_wcet, follow_up_setup_deadline, d.period, t);
+    a.max(b)
+}
+
+/// Theorem 1's linear bound `((C_{i,1}+C_{i,2})/(D_i−R_i))·t`, in
+/// nanoseconds.
+///
+/// # Panics
+///
+/// Panics if `R_i ≥ D_i`.
+pub fn dbf_offloaded_bound_ns(d: &OffloadedDemand, t: Duration) -> f64 {
+    let slack = d.deadline - d.response_time;
+    (d.setup_wcet + d.compensation_wcet).ratio(slack) * t.as_ns() as f64
+}
+
+/// The absolute-deadline check points of a sporadic task within
+/// `(0, horizon]`: `D + k·T` for `k = 0, 1, …`. These are the only points
+/// where the exact dbf steps, hence the only points a processor-demand
+/// (QPA-style) test needs to examine.
+pub fn deadline_points(
+    deadline: Duration,
+    period: Duration,
+    horizon: Duration,
+) -> impl Iterator<Item = Duration> {
+    let mut next = deadline;
+    std::iter::from_fn(move || {
+        if next > horizon {
+            return None;
+        }
+        let cur = next;
+        next += period;
+        Some(cur)
+    })
+}
+
+/// Check points for an offloaded task: the step points of both window
+/// alignments of [`dbf_offloaded`].
+pub fn offloaded_deadline_points(d: &OffloadedDemand, horizon: Duration) -> Vec<Duration> {
+    let mut points: Vec<Duration> =
+        deadline_points(d.setup_deadline, d.period, horizon).collect();
+    points.extend(deadline_points(d.deadline, d.period, horizon));
+    points.extend(deadline_points(d.completion_window(), d.period, horizon));
+    points.extend(deadline_points(
+        d.period - d.response_time,
+        d.period,
+        horizon,
+    ));
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deadline::{setup_deadline, SplitPolicy};
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_ms(v)
+    }
+
+    #[test]
+    fn sporadic_staircase() {
+        // C=2, D=5, T=10.
+        let dbf = |t| dbf_sporadic(ms(2), ms(5), ms(10), ms(t)).as_ms_f64();
+        assert_eq!(dbf(0), 0.0);
+        assert_eq!(dbf(4), 0.0);
+        assert_eq!(dbf(5), 2.0);
+        assert_eq!(dbf(14), 2.0);
+        assert_eq!(dbf(15), 4.0);
+        assert_eq!(dbf(25), 6.0);
+    }
+
+    #[test]
+    fn local_dbf_below_bound() {
+        let task = Task::builder(0, "t")
+            .local_wcet(ms(3))
+            .period(ms(10))
+            .build()
+            .unwrap();
+        for t in (1..200).map(ms) {
+            let exact = dbf_local(&task, t).as_ns() as f64;
+            let bound = dbf_local_bound_ns(&task, t);
+            assert!(exact <= bound + 1e-6, "t={t}: {exact} > {bound}");
+        }
+    }
+
+    fn demand(c1: u64, c2: u64, d: u64, r: u64) -> OffloadedDemand {
+        let task = Task::builder(0, "t")
+            .local_wcet(ms(c2.min(d)))
+            .setup_wcet(ms(c1))
+            .compensation_wcet(ms(c2))
+            .period(ms(d))
+            .build()
+            .unwrap();
+        let d1 = setup_deadline(&task, ms(r), SplitPolicy::Proportional).unwrap();
+        OffloadedDemand {
+            setup_wcet: ms(c1),
+            compensation_wcet: ms(c2),
+            response_time: ms(r),
+            setup_deadline: d1,
+            deadline: ms(d),
+            period: ms(d),
+        }
+    }
+
+    #[test]
+    fn offloaded_dbf_below_theorem1_bound() {
+        let d = demand(10, 30, 100, 20);
+        for t in (1..500).map(ms) {
+            let exact = dbf_offloaded(&d, t).as_ns() as f64;
+            let bound = dbf_offloaded_bound_ns(&d, t);
+            // Allow a 1-ns-scale tolerance from the floor-rounded D1.
+            assert!(exact <= bound * (1.0 + 1e-9) + 2.0, "t={t}: {exact} > {bound}");
+        }
+    }
+
+    #[test]
+    fn completion_window_formula() {
+        let d = demand(10, 30, 100, 20);
+        // D1 = 10*(80)/40 = 20ms; window = 100 - 20 - 20 = 60ms.
+        assert_eq!(d.setup_deadline, ms(20));
+        assert_eq!(d.completion_window(), ms(60));
+    }
+
+    #[test]
+    fn offloaded_dbf_values() {
+        let d = demand(10, 30, 100, 20);
+        // D1 = 20ms, W = 60ms, follow-up setup deadline at T - R = 80ms.
+        assert_eq!(dbf_offloaded(&d, ms(19)), Duration::ZERO);
+        assert_eq!(dbf_offloaded(&d, ms(20)), ms(10)); // A: setup
+        assert_eq!(dbf_offloaded(&d, ms(59)), ms(10));
+        assert_eq!(dbf_offloaded(&d, ms(60)), ms(30)); // B: completion
+        assert_eq!(dbf_offloaded(&d, ms(80)), ms(40)); // B: completion+setup
+        assert_eq!(dbf_offloaded(&d, ms(100)), ms(40)); // A catches up
+        assert_eq!(dbf_offloaded(&d, ms(120)), ms(50)); // A: 2 setups + 1 completion
+        assert_eq!(dbf_offloaded(&d, ms(160)), ms(70)); // B: 2 completions + 1 setup
+        // Every value stays within Theorem 1's bound 0.5 t.
+        for t in [20u64, 60, 80, 100, 120, 160] {
+            assert!(dbf_offloaded(&d, ms(t)).as_ms_f64() <= 0.5 * t as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn deadline_points_sequence() {
+        let pts: Vec<u64> = deadline_points(ms(5), ms(10), ms(40))
+            .map(|d| (d.as_ms_f64()) as u64)
+            .collect();
+        assert_eq!(pts, vec![5, 15, 25, 35]);
+        // horizon below first deadline -> empty
+        assert_eq!(deadline_points(ms(5), ms(10), ms(4)).count(), 0);
+    }
+
+    #[test]
+    fn offloaded_points_cover_both_subjobs() {
+        let d = demand(10, 30, 100, 20);
+        let pts = offloaded_deadline_points(&d, ms(250));
+        assert!(pts.contains(&ms(20)));
+        assert!(pts.contains(&ms(60)));
+        assert!(pts.contains(&ms(120)));
+        assert!(pts.contains(&ms(160)));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-period")]
+    fn zero_period_panics() {
+        dbf_sporadic(ms(1), ms(1), Duration::ZERO, ms(10));
+    }
+}

@@ -1,0 +1,276 @@
+//! Sub-job deadline assignment for offloaded tasks (paper §5.1).
+//!
+//! An offloaded job of task `τ_i` arriving at time `t` is split into:
+//!
+//! 1. a **setup sub-job** (WCET `C_{i,1}`), released at `t` with relative
+//!    deadline `D_{i,1}`;
+//! 2. a **completion sub-job** (WCET `C_{i,2}` on the compensation path or
+//!    `C_{i,3}` on the post-processing path), released when the result
+//!    arrives or the `R_i` timer fires, with absolute deadline `t + D_i`.
+//!
+//! The paper assigns `D_{i,1}` *proportionally to the computation times*:
+//!
+//! ```text
+//! D_{i,1} = C_{i,1} · (D_i − R_i) / (C_{i,1} + C_{i,2})
+//! ```
+//!
+//! which makes both sub-jobs have density exactly
+//! `(C_{i,1}+C_{i,2})/(D_i−R_i)` — the quantity bounded by Theorem 1.
+//! Two alternative split policies are provided for the ablation study.
+
+use crate::error::CoreError;
+use crate::task::Task;
+use crate::time::Duration;
+use serde::{Deserialize, Serialize};
+
+/// How the available slack `D_i − R_i` is divided between the setup and
+/// completion sub-jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SplitPolicy {
+    /// The paper's policy: slack proportional to WCETs, equalizing the two
+    /// sub-jobs' densities.
+    #[default]
+    Proportional,
+    /// Half the slack to each sub-job regardless of WCETs (ablation
+    /// baseline; suboptimal when `C_{i,1} ≠ C_{i,2}`).
+    EqualSlack,
+    /// All slack to the setup sub-job: `D_{i,1} = D_i − R_i − C_{i,2}`,
+    /// leaving the completion sub-job exactly its WCET (ablation
+    /// baseline; maximally permissive setup, brittle completion).
+    SetupAll,
+}
+
+/// Computes the setup sub-job's relative deadline `D_{i,1}` for task
+/// `task` offloaded with estimated response time `response_time`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidSplit`] when:
+/// * the task has a zero setup or compensation WCET (it cannot be
+///   offloaded at all);
+/// * `R_i ≥ D_i` (no slack remains for any local work);
+/// * `C_{i,1} + C_{i,2} > D_i − R_i` (the per-task density would exceed 1,
+///   so not even this task alone would be schedulable);
+/// * the policy yields `D_{i,1} < C_{i,1}` (setup could not finish even on
+///   an idle processor — can happen for [`SplitPolicy::SetupAll`] with
+///   pathological parameters, never for `Proportional`).
+pub fn setup_deadline(
+    task: &Task,
+    response_time: Duration,
+    policy: SplitPolicy,
+) -> Result<Duration, CoreError> {
+    setup_deadline_with_costs(
+        task.deadline(),
+        task.setup_wcet(),
+        task.compensation_wcet(),
+        response_time,
+        policy,
+    )
+}
+
+/// Cost-explicit variant of [`setup_deadline`], used when the §5.2
+/// per-level cost extension overrides the task's default WCETs.
+///
+/// # Errors
+///
+/// Same conditions as [`setup_deadline`].
+pub fn setup_deadline_with_costs(
+    deadline: Duration,
+    setup_wcet: Duration,
+    compensation_wcet: Duration,
+    response_time: Duration,
+    policy: SplitPolicy,
+) -> Result<Duration, CoreError> {
+    let bad = |msg: String| Err(CoreError::InvalidSplit(msg));
+    if setup_wcet.is_zero() {
+        return bad("task has zero setup WCET; it cannot be offloaded".into());
+    }
+    if compensation_wcet.is_zero() {
+        return bad("task has zero compensation WCET; timing cannot be guaranteed".into());
+    }
+    let slack = match deadline.checked_sub(response_time) {
+        Some(s) if !s.is_zero() => s,
+        _ => {
+            return bad(format!(
+                "estimated response time {response_time} leaves no slack before deadline \
+                 {deadline}"
+            ))
+        }
+    };
+    let total = setup_wcet + compensation_wcet;
+    if total > slack {
+        return bad(format!(
+            "C1 + C2 = {total} exceeds slack D - R = {slack}; per-task density > 1"
+        ));
+    }
+    let d1 = match policy {
+        // D1 = C1 * (D - R) / (C1 + C2), floor-rounded: conservative for
+        // the setup sub-job; the completion sub-job keeps deadline t + D
+        // regardless, so the residue is never lost.
+        SplitPolicy::Proportional => slack.mul_div_floor(setup_wcet.as_ns(), total.as_ns()),
+        SplitPolicy::EqualSlack => {
+            let spare = slack - total;
+            setup_wcet + spare / 2
+        }
+        SplitPolicy::SetupAll => slack - compensation_wcet,
+    };
+    if d1 < setup_wcet {
+        return bad(format!(
+            "policy {policy:?} yields setup deadline {d1} below its WCET {setup_wcet}"
+        ));
+    }
+    Ok(d1)
+}
+
+/// The per-task density contribution of an offloaded task under the
+/// proportional split: `(C_{i,1}+C_{i,2})/(D_i−R_i)` (Theorem 1).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidSplit`] if `R_i ≥ D_i`.
+pub fn offloaded_density(
+    deadline: Duration,
+    setup_wcet: Duration,
+    compensation_wcet: Duration,
+    response_time: Duration,
+) -> Result<f64, CoreError> {
+    let slack = deadline.checked_sub(response_time).ok_or_else(|| {
+        CoreError::InvalidSplit(format!(
+            "response time {response_time} is at or past deadline {deadline}"
+        ))
+    })?;
+    if slack.is_zero() {
+        return Err(CoreError::InvalidSplit(
+            "zero slack: density is unbounded".into(),
+        ));
+    }
+    Ok((setup_wcet + compensation_wcet).ratio(slack))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::Task;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_ms(v)
+    }
+
+    fn task(c1: u64, c2: u64, d: u64) -> Task {
+        Task::builder(0, "t")
+            .local_wcet(ms(c2.min(d)))
+            .setup_wcet(ms(c1))
+            .compensation_wcet(ms(c2))
+            .period(ms(d))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn proportional_matches_formula() {
+        // C1=10, C2=30, D=100, R=20: D1 = 10*(100-20)/40 = 20ms.
+        let t = task(10, 30, 100);
+        let d1 = setup_deadline(&t, ms(20), SplitPolicy::Proportional).unwrap();
+        assert_eq!(d1, ms(20));
+    }
+
+    #[test]
+    fn proportional_equalizes_densities() {
+        let t = task(7, 13, 100);
+        let r = ms(37);
+        let d1 = setup_deadline(&t, r, SplitPolicy::Proportional).unwrap();
+        let slack = t.deadline() - r;
+        let density1 = t.setup_wcet().ratio(d1);
+        // completion window is at least slack - D1 - 0 (released no later
+        // than t + D1 + R).
+        let window2 = slack - d1;
+        let density2 = t.compensation_wcet().ratio(window2);
+        let bound = (t.setup_wcet() + t.compensation_wcet()).ratio(slack);
+        assert!(density1 <= bound + 1e-9, "{density1} vs {bound}");
+        assert!(density2 <= bound + 1e-9, "{density2} vs {bound}");
+    }
+
+    #[test]
+    fn proportional_setup_deadline_at_least_wcet() {
+        // Floor rounding must never push D1 below C1 when C1+C2 <= slack.
+        for (c1, c2, d, r) in [(1u64, 1, 10, 7), (3, 5, 20, 11), (9, 1, 30, 19)] {
+            let t = task(c1, c2, d);
+            let d1 = setup_deadline(&t, ms(r), SplitPolicy::Proportional).unwrap();
+            assert!(d1 >= ms(c1), "D1 {d1} < C1 {c1}ms");
+        }
+    }
+
+    #[test]
+    fn equal_slack_split() {
+        // C1=10, C2=30, D=100, R=20: spare = 80-40 = 40; D1 = 10+20 = 30.
+        let t = task(10, 30, 100);
+        let d1 = setup_deadline(&t, ms(20), SplitPolicy::EqualSlack).unwrap();
+        assert_eq!(d1, ms(30));
+    }
+
+    #[test]
+    fn setup_all_split() {
+        // D1 = (100-20) - 30 = 50.
+        let t = task(10, 30, 100);
+        let d1 = setup_deadline(&t, ms(20), SplitPolicy::SetupAll).unwrap();
+        assert_eq!(d1, ms(50));
+    }
+
+    #[test]
+    fn rejects_no_slack() {
+        let t = task(10, 30, 100);
+        assert!(setup_deadline(&t, ms(100), SplitPolicy::Proportional).is_err());
+        assert!(setup_deadline(&t, ms(150), SplitPolicy::Proportional).is_err());
+    }
+
+    #[test]
+    fn rejects_density_above_one() {
+        // slack = 30 < C1+C2 = 40.
+        let t = task(10, 30, 100);
+        assert!(setup_deadline(&t, ms(70), SplitPolicy::Proportional).is_err());
+        // Exactly equal is fine (density 1).
+        assert!(setup_deadline(&t, ms(60), SplitPolicy::Proportional).is_ok());
+    }
+
+    #[test]
+    fn rejects_non_offloadable_task() {
+        let t = Task::builder(0, "local-only")
+            .local_wcet(ms(10))
+            .period(ms(100))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            setup_deadline(&t, ms(10), SplitPolicy::Proportional),
+            Err(CoreError::InvalidSplit(_))
+        ));
+    }
+
+    #[test]
+    fn per_level_costs_variant() {
+        let d1 = setup_deadline_with_costs(
+            ms(100),
+            ms(20),
+            ms(20),
+            ms(20),
+            SplitPolicy::Proportional,
+        )
+        .unwrap();
+        assert_eq!(d1, ms(40));
+    }
+
+    #[test]
+    fn offloaded_density_formula() {
+        let rho = offloaded_density(ms(100), ms(10), ms(30), ms(20)).unwrap();
+        assert!((rho - 0.5).abs() < 1e-12);
+        assert!(offloaded_density(ms(100), ms(10), ms(30), ms(100)).is_err());
+        assert!(offloaded_density(ms(100), ms(10), ms(30), ms(150)).is_err());
+    }
+
+    #[test]
+    fn zero_response_time_allowed_by_density() {
+        // R = 0 means "start compensation immediately if not instant":
+        // density (C1+C2)/D.
+        let rho = offloaded_density(ms(100), ms(10), ms(30), Duration::ZERO).unwrap();
+        assert!((rho - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,79 @@
+//! Error types for `rto-core`.
+
+use std::fmt;
+
+/// Errors produced by the core offloading machinery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A time value was negative, NaN, or out of range.
+    InvalidTime(String),
+    /// A task violates a model invariant (see [`crate::task::Task`]).
+    InvalidTask(String),
+    /// A benefit function violates its invariants (see
+    /// [`crate::benefit::BenefitFunction`]).
+    InvalidBenefit(String),
+    /// A deadline split was requested with parameters that make the
+    /// compensation mechanism impossible (e.g. `R_i ≥ D_i`).
+    InvalidSplit(String),
+    /// The Offloading Decision Manager could not produce a feasible plan.
+    Unschedulable(String),
+    /// An error bubbled up from the MCKP solver.
+    Solver(rto_mckp::SolveError),
+    /// The estimator was given unusable measurement data.
+    InvalidEstimate(String),
+    /// A compensation-manager state transition was invoked out of order.
+    InvalidTransition(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidTime(msg) => write!(f, "invalid time value: {msg}"),
+            CoreError::InvalidTask(msg) => write!(f, "invalid task: {msg}"),
+            CoreError::InvalidBenefit(msg) => write!(f, "invalid benefit function: {msg}"),
+            CoreError::InvalidSplit(msg) => write!(f, "invalid deadline split: {msg}"),
+            CoreError::Unschedulable(msg) => write!(f, "unschedulable: {msg}"),
+            CoreError::Solver(e) => write!(f, "solver error: {e}"),
+            CoreError::InvalidEstimate(msg) => write!(f, "invalid estimate: {msg}"),
+            CoreError::InvalidTransition(msg) => write!(f, "invalid transition: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rto_mckp::SolveError> for CoreError {
+    fn from(e: rto_mckp::SolveError) -> Self {
+        CoreError::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_variants() {
+        assert!(CoreError::InvalidTime("x".into()).to_string().contains("time"));
+        assert!(CoreError::InvalidTask("x".into()).to_string().contains("task"));
+        assert!(CoreError::InvalidBenefit("x".into()).to_string().contains("benefit"));
+        assert!(CoreError::InvalidSplit("x".into()).to_string().contains("split"));
+        assert!(CoreError::Unschedulable("x".into()).to_string().contains("unschedulable"));
+        assert!(CoreError::InvalidEstimate("x".into()).to_string().contains("estimate"));
+    }
+
+    #[test]
+    fn solver_error_wraps_with_source() {
+        let e: CoreError = rto_mckp::SolveError::Infeasible.into();
+        assert!(e.to_string().contains("solver error"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,428 @@
+//! The Benefit and Response Time Estimator (paper §3.2, §6.1.2).
+//!
+//! The timing-unreliable component gives no worst-case guarantee, but its
+//! *statistical* behaviour can be measured: collect response-time samples,
+//! build an empirical CDF, and read off "the response time that succeeds
+//! with probability p" for a grid of probabilities. That grid *is* the
+//! discretized benefit function of §6.2 (`G_i(r)` = success probability
+//! within `r`); for quality-style benefits (§6.1, PSNR) the same quantile
+//! grid supplies the response-time coordinates and the caller supplies the
+//! quality values.
+
+use crate::benefit::{BenefitFunction, BenefitPoint};
+use crate::error::CoreError;
+use crate::time::Duration;
+use rto_stats::Ecdf;
+
+/// Response-time statistics for one task/level against one server.
+///
+/// # Example
+///
+/// ```
+/// use rto_core::estimator::ResponseTimeEstimator;
+/// use rto_core::time::Duration;
+///
+/// let est = ResponseTimeEstimator::from_samples_ms(&[80.0, 120.0, 100.0, 160.0])?;
+/// assert_eq!(est.success_probability(Duration::from_ms(120)), 0.75);
+/// assert_eq!(est.quantile(0.5), Duration::from_ms(100));
+/// # Ok::<(), rto_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseTimeEstimator {
+    ecdf: Ecdf,
+}
+
+impl ResponseTimeEstimator {
+    /// Builds an estimator from response-time samples in milliseconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidEstimate`] if `samples` is empty or
+    /// contains NaN/negative values.
+    pub fn from_samples_ms(samples: &[f64]) -> Result<Self, CoreError> {
+        if samples.iter().any(|&s| s.is_nan() || s < 0.0) {
+            return Err(CoreError::InvalidEstimate(
+                "negative or NaN response-time sample".into(),
+            ));
+        }
+        let ecdf = Ecdf::new(samples.to_vec()).ok_or_else(|| {
+            CoreError::InvalidEstimate("no response-time samples".into())
+        })?;
+        Ok(ResponseTimeEstimator { ecdf })
+    }
+
+    /// Builds an estimator from [`Duration`] samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidEstimate`] if `samples` is empty.
+    pub fn from_samples(samples: &[Duration]) -> Result<Self, CoreError> {
+        let ms: Vec<f64> = samples.iter().map(|d| d.as_ms_f64()).collect();
+        Self::from_samples_ms(&ms)
+    }
+
+    /// Number of underlying samples.
+    pub fn num_samples(&self) -> usize {
+        self.ecdf.len()
+    }
+
+    /// The estimated probability of receiving a result within `r`.
+    pub fn success_probability(&self, r: Duration) -> f64 {
+        self.ecdf.eval(r.as_ms_f64())
+    }
+
+    /// The smallest observed response time achieving success probability
+    /// `p` — the natural candidate for the promised `R_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is NaN or greater than 1.
+    pub fn quantile(&self, p: f64) -> Duration {
+        let ms = self.ecdf.quantile(p);
+        Duration::from_ms_f64(ms).expect("samples validated non-negative")
+    }
+
+    /// A pessimistic worst-case estimate: the `percentile`-quantile (e.g.
+    /// 0.99). Purely advisory — the compensation mechanism is what makes
+    /// the system safe, not this number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percentile` is NaN or greater than 1.
+    pub fn estimated_wcrt(&self, percentile: f64) -> Duration {
+        self.quantile(percentile)
+    }
+
+    /// Builds the §6.2-style benefit function: for each probability in
+    /// `probability_grid` (values in `(0, 1]`, non-decreasing), one point
+    /// at `(quantile(p), p)`. Local execution is worth `local_value`.
+    ///
+    /// Quantiles that coincide (sparse sample sets) are merged, keeping
+    /// the highest probability; zero-quantile points are nudged to 1 ns so
+    /// the local point at `r = 0` stays unique.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidEstimate`] if the grid is empty or not
+    /// within `(0, 1]` in non-decreasing order.
+    pub fn benefit_function(
+        &self,
+        local_value: f64,
+        probability_grid: &[f64],
+    ) -> Result<BenefitFunction, CoreError> {
+        if probability_grid.is_empty() {
+            return Err(CoreError::InvalidEstimate("empty probability grid".into()));
+        }
+        let mut prev = 0.0;
+        for &p in probability_grid {
+            if !(p > 0.0 && p <= 1.0) || p < prev {
+                return Err(CoreError::InvalidEstimate(format!(
+                    "probability grid must be non-decreasing within (0, 1], got {p}"
+                )));
+            }
+            prev = p;
+        }
+        let mut points: Vec<BenefitPoint> = vec![BenefitPoint::new(Duration::ZERO, local_value)];
+        for &p in probability_grid {
+            let mut t = self.quantile(p);
+            if t.is_zero() {
+                t = Duration::from_ns(1);
+            }
+            match points.last_mut() {
+                Some(last) if last.response_time == t => last.value = last.value.max(p),
+                _ => points.push(BenefitPoint::new(t, p)),
+            }
+        }
+        // The grid's probabilities may undercut the local value; benefit
+        // functions must be non-decreasing, so lift any such point.
+        let mut running = points[0].value;
+        for p in points.iter_mut().skip(1) {
+            if p.value < running {
+                p.value = running;
+            }
+            running = p.value;
+        }
+        BenefitFunction::new(points)
+    }
+}
+
+/// A sliding-window online estimator: keeps the most recent `capacity`
+/// response-time samples and re-derives estimates on demand.
+///
+/// Real deployments measure the unreliable component *continuously* —
+/// server load drifts, networks degrade — so the §3.2 estimator must be
+/// refreshable. The window bounds both memory and the influence of stale
+/// history. The Dvoretzky–Kiefer–Wolfowitz inequality supplies a
+/// distribution-free confidence band: with probability `1 − α`, the true
+/// CDF lies within `ε = √(ln(2/α) / 2n)` of the empirical one, which
+/// turns "the measured success probability at `r`" into a defensible
+/// lower bound.
+///
+/// # Example
+///
+/// ```
+/// use rto_core::estimator::WindowedEstimator;
+/// use rto_core::time::Duration;
+///
+/// let mut w = WindowedEstimator::new(128);
+/// for k in 0..200u64 {
+///     w.push(Duration::from_ms(100 + k % 50));
+/// }
+/// assert_eq!(w.len(), 128); // only the window is retained
+/// let est = w.estimator()?;
+/// assert!(est.success_probability(Duration::from_ms(150)) > 0.9);
+/// # Ok::<(), rto_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowedEstimator {
+    capacity: usize,
+    window: std::collections::VecDeque<f64>, // milliseconds
+}
+
+impl WindowedEstimator {
+    /// Creates an estimator retaining at most `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        WindowedEstimator {
+            capacity,
+            window: std::collections::VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Records one observed response time, evicting the oldest sample
+    /// when the window is full.
+    pub fn push(&mut self, sample: Duration) {
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(sample.as_ms_f64());
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Whether no samples have been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Whether the window has reached its capacity.
+    pub fn is_full(&self) -> bool {
+        self.window.len() == self.capacity
+    }
+
+    /// Builds a snapshot [`ResponseTimeEstimator`] over the current
+    /// window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidEstimate`] when the window is empty.
+    pub fn estimator(&self) -> Result<ResponseTimeEstimator, CoreError> {
+        let samples: Vec<f64> = self.window.iter().copied().collect();
+        ResponseTimeEstimator::from_samples_ms(&samples)
+    }
+
+    /// The DKW half-width `ε = √(ln(2/α) / 2n)` at confidence `1 − alpha`.
+    ///
+    /// Returns `None` when the window is empty or `alpha` is outside
+    /// `(0, 1)`.
+    pub fn dkw_epsilon(&self, alpha: f64) -> Option<f64> {
+        if self.window.is_empty() || !(alpha > 0.0 && alpha < 1.0) {
+            return None;
+        }
+        let n = self.window.len() as f64;
+        Some(((2.0 / alpha).ln() / (2.0 * n)).sqrt())
+    }
+
+    /// A distribution-free lower confidence bound on the true success
+    /// probability within `r`: `max(0, F̂(r) − ε)` with DKW `ε` at
+    /// confidence `1 − alpha`.
+    ///
+    /// Feeding this (instead of the raw empirical probability) into the
+    /// benefit function makes the Figure-3 under-estimation regime — the
+    /// costly one — provably unlikely.
+    pub fn success_probability_lower_bound(&self, r: Duration, alpha: f64) -> Option<f64> {
+        let eps = self.dkw_epsilon(alpha)?;
+        let est = self.estimator().ok()?;
+        Some((est.success_probability(r) - eps).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est(samples: &[f64]) -> ResponseTimeEstimator {
+        ResponseTimeEstimator::from_samples_ms(samples).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(ResponseTimeEstimator::from_samples_ms(&[]).is_err());
+        assert!(ResponseTimeEstimator::from_samples_ms(&[1.0, -2.0]).is_err());
+        assert!(ResponseTimeEstimator::from_samples_ms(&[1.0, f64::NAN]).is_err());
+        assert_eq!(est(&[5.0, 3.0]).num_samples(), 2);
+    }
+
+    #[test]
+    fn from_duration_samples() {
+        let samples = [Duration::from_ms(10), Duration::from_ms(20)];
+        let e = ResponseTimeEstimator::from_samples(&samples).unwrap();
+        assert_eq!(e.success_probability(Duration::from_ms(10)), 0.5);
+    }
+
+    #[test]
+    fn probabilities_and_quantiles() {
+        let e = est(&[80.0, 100.0, 120.0, 160.0]);
+        assert_eq!(e.success_probability(Duration::from_ms(79)), 0.0);
+        assert_eq!(e.success_probability(Duration::from_ms(80)), 0.25);
+        assert_eq!(e.success_probability(Duration::from_ms(200)), 1.0);
+        assert_eq!(e.quantile(0.25), Duration::from_ms(80));
+        assert_eq!(e.quantile(1.0), Duration::from_ms(160));
+        assert_eq!(e.estimated_wcrt(0.99), Duration::from_ms(160));
+    }
+
+    #[test]
+    fn benefit_function_from_grid() {
+        let e = est(&[100.0, 110.0, 120.0, 130.0, 140.0, 150.0, 160.0, 170.0, 180.0, 190.0]);
+        let grid: Vec<f64> = (1..=10).map(|k| k as f64 / 10.0).collect();
+        let g = e.benefit_function(0.0, &grid).unwrap();
+        assert_eq!(g.local_value(), 0.0);
+        assert_eq!(g.num_levels(), 11);
+        // Quantile(0.5) = 140ms; G(140ms) = 0.5.
+        assert_eq!(g.eval(Duration::from_ms(140)), 0.5);
+        assert_eq!(g.eval(Duration::from_ms(190)), 1.0);
+    }
+
+    #[test]
+    fn benefit_function_merges_tied_quantiles() {
+        // Two samples: most grid probabilities map to the same quantiles.
+        let e = est(&[100.0, 200.0]);
+        let grid = [0.1, 0.5, 0.9, 1.0];
+        let g = e.benefit_function(0.0, &grid).unwrap();
+        // Quantile(0.1)=Quantile(0.5)=100, Quantile(0.9)=Quantile(1.0)=200.
+        assert_eq!(g.num_levels(), 3);
+        assert_eq!(g.eval(Duration::from_ms(100)), 0.5);
+        assert_eq!(g.eval(Duration::from_ms(200)), 1.0);
+    }
+
+    #[test]
+    fn benefit_function_validates_grid() {
+        let e = est(&[100.0]);
+        assert!(e.benefit_function(0.0, &[]).is_err());
+        assert!(e.benefit_function(0.0, &[0.0]).is_err());
+        assert!(e.benefit_function(0.0, &[1.1]).is_err());
+        assert!(e.benefit_function(0.0, &[0.5, 0.3]).is_err());
+    }
+
+    #[test]
+    fn benefit_function_lifts_below_local_values() {
+        // Local value 0.7 exceeds low grid probabilities; the function
+        // must stay non-decreasing.
+        let e = est(&[100.0, 200.0, 300.0, 400.0]);
+        let g = e.benefit_function(0.7, &[0.25, 0.5, 1.0]).unwrap();
+        assert_eq!(g.local_value(), 0.7);
+        for p in g.points() {
+            assert!(p.value >= 0.7);
+        }
+    }
+
+    #[test]
+    fn zero_samples_nudged_off_origin() {
+        let e = est(&[0.0, 10.0]);
+        let g = e.benefit_function(0.0, &[0.5, 1.0]).unwrap();
+        assert_eq!(g.points()[1].response_time, Duration::from_ns(1));
+    }
+
+    #[test]
+    fn window_evicts_oldest() {
+        let mut w = WindowedEstimator::new(3);
+        assert!(w.is_empty());
+        for v in [10u64, 20, 30, 40] {
+            w.push(Duration::from_ms(v));
+        }
+        assert!(w.is_full());
+        assert_eq!(w.len(), 3);
+        // 10 was evicted: quantile(1/3) is 20.
+        let est = w.estimator().unwrap();
+        assert_eq!(est.quantile(1.0 / 3.0), Duration::from_ms(20));
+        assert_eq!(est.quantile(1.0), Duration::from_ms(40));
+    }
+
+    #[test]
+    fn window_tracks_drift() {
+        // A server that degrades: the window forgets the good old days.
+        let mut w = WindowedEstimator::new(50);
+        for _ in 0..50 {
+            w.push(Duration::from_ms(10));
+        }
+        let before = w.estimator().unwrap().quantile(0.9);
+        for _ in 0..50 {
+            w.push(Duration::from_ms(100));
+        }
+        let after = w.estimator().unwrap().quantile(0.9);
+        assert_eq!(before, Duration::from_ms(10));
+        assert_eq!(after, Duration::from_ms(100));
+    }
+
+    #[test]
+    fn empty_window_errors() {
+        let w = WindowedEstimator::new(4);
+        assert!(w.estimator().is_err());
+        assert_eq!(w.dkw_epsilon(0.05), None);
+        assert_eq!(
+            w.success_probability_lower_bound(Duration::from_ms(1), 0.05),
+            None
+        );
+    }
+
+    #[test]
+    fn dkw_epsilon_shrinks_with_samples() {
+        let mut small = WindowedEstimator::new(10);
+        let mut large = WindowedEstimator::new(1000);
+        for k in 0..1000u64 {
+            if k < 10 {
+                small.push(Duration::from_ms(k + 1));
+            }
+            large.push(Duration::from_ms(k + 1));
+        }
+        let e_small = small.dkw_epsilon(0.05).unwrap();
+        let e_large = large.dkw_epsilon(0.05).unwrap();
+        assert!(e_small > e_large);
+        // n = 1000, alpha = 0.05: eps = sqrt(ln(40)/2000) ~ 0.0429.
+        assert!((e_large - 0.0429).abs() < 0.001, "eps {e_large}");
+        // Invalid alpha.
+        assert_eq!(large.dkw_epsilon(0.0), None);
+        assert_eq!(large.dkw_epsilon(1.0), None);
+    }
+
+    #[test]
+    fn lower_bound_below_empirical() {
+        let mut w = WindowedEstimator::new(100);
+        for k in 0..100u64 {
+            w.push(Duration::from_ms(100 + k));
+        }
+        let r = Duration::from_ms(150);
+        let empirical = w.estimator().unwrap().success_probability(r);
+        let lower = w.success_probability_lower_bound(r, 0.05).unwrap();
+        assert!(lower < empirical);
+        assert!(lower > 0.0);
+        // Never negative even at tiny empirical probabilities.
+        let lb = w
+            .success_probability_lower_bound(Duration::from_ms(100), 0.05)
+            .unwrap();
+        assert_eq!(lb, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        WindowedEstimator::new(0);
+    }
+}

@@ -1,0 +1,100 @@
+//! # rto-core — compensation-based real-time computation offloading
+//!
+//! This crate implements the primary contribution of *"Computation
+//! Offloading by Using Timing Unreliable Components in Real-Time Systems"*
+//! (Liu, Chen, Toma, Kuo, Deng — DAC 2014): a mechanism that lets a hard
+//! real-time system offload work to components with **no trustworthy
+//! worst-case timing** (GPUs, COTS accelerators, networked servers) while
+//! still guaranteeing every deadline.
+//!
+//! The idea: each offloaded task `τ_i` is given an *estimated* worst-case
+//! response time `R_i`. If the unreliable component has not answered within
+//! `R_i`, a **local compensation** of bounded WCET `C_{i,2}` runs instead.
+//! Scheduling-wise an offloaded job becomes two sub-jobs —
+//!
+//! * a *setup* sub-job (WCET `C_{i,1}`) with shortened relative deadline
+//!   `D_{i,1} = C_{i,1}·(D_i − R_i)/(C_{i,1}+C_{i,2})`, and
+//! * a *completion* sub-job (WCET `C_{i,2}`, or `C_{i,3} ≤ C_{i,2}` when
+//!   the result did arrive) with the original absolute deadline —
+//!
+//! and the whole system remains schedulable under EDF iff the Theorem-3
+//! density test passes:
+//!
+//! ```text
+//! Σ_offloaded (C_{i,1}+C_{i,2})/(D_i−R_i)  +  Σ_local C_i/T_i  ≤  1
+//! ```
+//!
+//! Picking *which* tasks to offload and *which* `R_i` to promise, so that
+//! total benefit is maximal subject to that test, is a multiple-choice
+//! knapsack problem solved by the [`odm`] module using the solvers in
+//! [`rto_mckp`].
+//!
+//! ## Module map
+//!
+//! | Module | Paper section | Contents |
+//! |---|---|---|
+//! | [`time`] | — | integer-nanosecond `Duration`/`Instant` |
+//! | [`task`] | §3, §4 | sporadic task model with offloading costs |
+//! | [`benefit`] | §3.2 | discretized benefit functions `G_i(r)` |
+//! | [`deadline`] | §5.1 | sub-job deadline assignment |
+//! | [`dbf`] | Thm 1–2 | demand bound functions (bounds + exact) |
+//! | [`analysis`] | Thm 3 | schedulability tests (density, QPA, baselines) |
+//! | [`odm`] | §5.2 | Offloading Decision Manager (MCKP reduction) |
+//! | [`compensation`] | §3.3 | Local Compensation Manager state machine |
+//! | [`estimator`] | §3.2, §6.1.2 | response-time statistics → benefit functions |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rto_core::prelude::*;
+//!
+//! // One task: 278 ms locally, or 5 ms setup + 278 ms compensation when
+//! // offloaded; period = deadline = 1 s.
+//! let task = Task::builder(0, "sift")
+//!     .local_wcet(Duration::from_ms_f64(278.0)?)
+//!     .setup_wcet(Duration::from_ms_f64(5.0)?)
+//!     .compensation_wcet(Duration::from_ms_f64(278.0)?)
+//!     .period(Duration::from_ms_f64(1000.0)?)
+//!     .build()?;
+//!
+//! // Benefit: quality 10 locally; quality 40 if the server answers
+//! // within 100 ms.
+//! let benefit = BenefitFunction::from_ms_points(&[(0.0, 10.0), (100.0, 40.0)])?;
+//!
+//! let odm = OffloadingDecisionManager::new(vec![OdmTask::new(task, benefit)])?;
+//! let plan = odm.decide(&rto_mckp::DpSolver::default())?;
+//! assert!(plan.total_density() <= 1.0);        // Theorem 3 holds
+//! assert_eq!(plan.num_offloaded(), 1);         // offloading pays off here
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod benefit;
+pub mod compensation;
+pub mod deadline;
+pub mod dbf;
+pub mod error;
+pub mod estimator;
+pub mod odm;
+pub mod qpa;
+pub mod task;
+pub mod time;
+
+pub use error::CoreError;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::analysis::{density_test, SchedulabilityResult};
+    pub use crate::benefit::{BenefitFunction, BenefitPoint};
+    pub use crate::compensation::{CompensationManager, JobOutcome};
+    pub use crate::deadline::{setup_deadline, SplitPolicy};
+    pub use crate::error::CoreError;
+    pub use crate::estimator::ResponseTimeEstimator;
+    pub use crate::odm::{Decision, OdmTask, OffloadingDecisionManager, OffloadingPlan};
+    pub use crate::qpa::{qpa_test, QpaResult};
+    pub use crate::task::{Task, TaskId, TaskSet};
+    pub use crate::time::{Duration, Instant};
+}

@@ -1,0 +1,452 @@
+//! Quick Processor-demand Analysis (QPA) for the split-deadline system.
+//!
+//! [`crate::analysis::processor_demand_test`] enumerates every dbf step
+//! point up to a horizon — exact, but `O(points)` with the horizon. QPA
+//! (Zhang & Burns, *Schedulability Analysis for Real-Time Systems with
+//! EDF Scheduling*, IEEE TC 2009) walks *backwards* from a busy-period
+//! bound, visiting only a handful of points in practice.
+//!
+//! ## Applying QPA to offloaded tasks
+//!
+//! The scan needs only two ingredients, both available for the split
+//! sub-job model:
+//!
+//! * the total demand `h(t)` — we use the same exact per-task
+//!   max-of-window-alignments dbf as the point test
+//!   ([`crate::dbf::dbf_offloaded`]); summing the two sub-job staircases
+//!   as if they were independent sporadic tasks would double-count (it is
+//!   bounded by `2ρ_i·t`, not `ρ_i·t`) and would wrongly reject systems
+//!   that Theorem 3 accepts;
+//! * the largest dbf step point below `t` — the union of the four step
+//!   sequences `D_{i,1}+kT`, `D_i+kT`, `W_i+kT`, `(T_i−R_i)+kT`.
+//!
+//! The analysis bound `L` is the minimum of the synchronous busy period
+//! `L_b` (each offloaded job contributes `C_{i,1}+C_{i,2}` of work per
+//! period) and the classic `L_a`, with offloaded tasks entering `L_a`
+//! through their Theorem-1 linear bound `ρ_i·t`.
+//!
+//! The result is equivalent to the exhaustive point test (property-tested
+//! in `tests/theorem_properties.rs`, which also checks the acceptance
+//! chain `Theorem 3 ⇒ QPA ⇒ exact`), at a fraction of the evaluations.
+
+use crate::analysis::OffloadedTask;
+use crate::dbf::{dbf_offloaded, OffloadedDemand};
+use crate::deadline::SplitPolicy;
+use crate::error::CoreError;
+use crate::task::Task;
+use crate::time::Duration;
+use serde::{Deserialize, Serialize};
+
+/// A deadline-step sequence `D + k·T`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct StepSeq {
+    first: Duration,
+    period: Duration,
+}
+
+impl StepSeq {
+    /// The largest step strictly smaller than `t`, if any.
+    fn last_before(&self, t: Duration) -> Option<Duration> {
+        if self.first >= t {
+            return None;
+        }
+        let k = (t.as_ns() - 1 - self.first.as_ns()) / self.period.as_ns();
+        Some(self.first + self.period * k)
+    }
+}
+
+/// Outcome of [`qpa_test`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QpaResult {
+    /// Whether the system passed.
+    pub schedulable: bool,
+    /// The busy-period bound `L` the scan started from.
+    pub analysis_bound: Duration,
+    /// Number of demand evaluations performed (the whole point of QPA:
+    /// this is tiny compared to enumerating every step point).
+    pub evaluations: usize,
+    /// The violating instant, when unschedulable.
+    pub first_violation: Option<Duration>,
+}
+
+/// Iteration cap for the synchronous-busy-period fixpoint; reaching it
+/// (utilization ≈ 1 with incommensurable periods) makes the test answer
+/// "not schedulable" rather than loop.
+const MAX_BUSY_ITERATIONS: usize = 100_000;
+
+/// QPA schedulability test for a mixed local/offloaded system.
+///
+/// # Errors
+///
+/// Propagates [`CoreError::InvalidSplit`] from the deadline split of an
+/// offloaded entry.
+pub fn qpa_test<'a>(
+    local: impl IntoIterator<Item = &'a Task>,
+    offloaded: impl IntoIterator<Item = OffloadedTask<'a>>,
+    policy: SplitPolicy,
+) -> Result<QpaResult, CoreError> {
+    // Local tasks: plain sporadic streams.
+    struct Local {
+        wcet: Duration,
+        deadline: Duration,
+        period: Duration,
+    }
+    let locals: Vec<Local> = local
+        .into_iter()
+        .map(|t| Local {
+            wcet: t.local_wcet(),
+            deadline: t.deadline(),
+            period: t.period(),
+        })
+        .collect();
+    let demands: Vec<OffloadedDemand> = offloaded
+        .into_iter()
+        .map(|o| o.demand(policy))
+        .collect::<Result<_, _>>()?;
+
+    if locals.is_empty() && demands.is_empty() {
+        return Ok(QpaResult {
+            schedulable: true,
+            analysis_bound: Duration::ZERO,
+            evaluations: 0,
+            first_violation: None,
+        });
+    }
+
+    // Work-based utilization (each offloaded job costs C1 + C2 per
+    // period): a necessary condition and the busy-period driver.
+    let utilization: f64 = locals
+        .iter()
+        .map(|l| l.wcet.ratio(l.period))
+        .chain(
+            demands
+                .iter()
+                .map(|d| (d.setup_wcet + d.compensation_wcet).ratio(d.period)),
+        )
+        .sum();
+    if utilization > 1.0 + 1e-12 {
+        return Ok(QpaResult {
+            schedulable: false,
+            analysis_bound: Duration::ZERO,
+            evaluations: 0,
+            first_violation: None,
+        });
+    }
+
+    let total_demand = |t: Duration| -> Duration {
+        let local_part = locals
+            .iter()
+            .map(|l| crate::dbf::dbf_sporadic(l.wcet, l.deadline, l.period, t))
+            .fold(Duration::ZERO, |a, b| a + b);
+        let off_part = demands
+            .iter()
+            .map(|d| dbf_offloaded(d, t))
+            .fold(Duration::ZERO, |a, b| a + b);
+        local_part + off_part
+    };
+
+    // L_b: synchronous busy period with per-period work C (local) and
+    // C1 + C2 (offloaded).
+    let works: Vec<(Duration, Duration)> = locals
+        .iter()
+        .map(|l| (l.wcet, l.period))
+        .chain(
+            demands
+                .iter()
+                .map(|d| (d.setup_wcet + d.compensation_wcet, d.period)),
+        )
+        .collect();
+    let mut w: Duration = works.iter().map(|&(c, _)| c).fold(Duration::ZERO, |a, b| a + b);
+    let mut l_b = None;
+    for _ in 0..MAX_BUSY_ITERATIONS {
+        let next: Duration = works
+            .iter()
+            .map(|&(c, t)| c * w.as_ns().div_ceil(t.as_ns()).max(1))
+            .fold(Duration::ZERO, |a, b| a + b);
+        if next == w {
+            l_b = Some(w);
+            break;
+        }
+        w = next;
+    }
+
+    // Step sequences (for the backward jumps) and their smallest firsts.
+    let mut seqs: Vec<StepSeq> = locals
+        .iter()
+        .map(|l| StepSeq {
+            first: l.deadline,
+            period: l.period,
+        })
+        .collect();
+    for d in &demands {
+        seqs.push(StepSeq {
+            first: d.setup_deadline,
+            period: d.period,
+        });
+        seqs.push(StepSeq {
+            first: d.deadline,
+            period: d.period,
+        });
+        seqs.push(StepSeq {
+            first: d.completion_window(),
+            period: d.period,
+        });
+        seqs.push(StepSeq {
+            first: d.period - d.response_time,
+            period: d.period,
+        });
+    }
+    let d_max = seqs.iter().map(|s| s.first).max().expect("non-empty");
+    let d_min = seqs.iter().map(|s| s.first).min().expect("non-empty");
+
+    // L_a: from h(t) <= Σ_local U_i(t − D_i + T_i) + Σ_off ρ_i·t
+    // (Theorem 1's linear bound), h(t) > t requires
+    //   t < Σ_local U_i(T_i − D_i) / (1 − U_local − Σρ).
+    let mut mix: f64 = 0.0; // U_local + Σρ
+    let mut slack_mass: f64 = 0.0; // Σ_local U_i(T_i − D_i) in ns
+    for l in &locals {
+        let u = l.wcet.ratio(l.period);
+        mix += u;
+        slack_mass += u * l.period.saturating_sub(l.deadline).as_ns() as f64;
+    }
+    for d in &demands {
+        mix += (d.setup_wcet + d.compensation_wcet).ratio(d.deadline - d.response_time);
+    }
+    let l_a = if mix < 1.0 - 1e-12 {
+        let la = slack_mass / (1.0 - mix);
+        Some(Duration::from_ns(la.ceil() as u64).max(d_max))
+    } else {
+        None
+    };
+
+    let bound = match (l_a, l_b) {
+        (Some(a), Some(b)) => a.min(b),
+        (Some(a), None) => a,
+        (None, Some(b)) => b,
+        (None, None) => {
+            return Ok(QpaResult {
+                schedulable: false,
+                analysis_bound: Duration::ZERO,
+                evaluations: 0,
+                first_violation: None,
+            });
+        }
+    };
+
+    // The QPA backward scan.
+    let last_step_before = |t: Duration| -> Option<Duration> {
+        seqs.iter().filter_map(|s| s.last_before(t)).max()
+    };
+    let mut evaluations = 0usize;
+    let mut t = match last_step_before(bound + Duration::from_ns(1)) {
+        Some(t) => t,
+        None => {
+            return Ok(QpaResult {
+                schedulable: true,
+                analysis_bound: bound,
+                evaluations,
+                first_violation: None,
+            })
+        }
+    };
+    loop {
+        let h = total_demand(t);
+        evaluations += 1;
+        if h > t {
+            return Ok(QpaResult {
+                schedulable: false,
+                analysis_bound: bound,
+                evaluations,
+                first_violation: Some(t),
+            });
+        }
+        if h < d_min {
+            return Ok(QpaResult {
+                schedulable: true,
+                analysis_bound: bound,
+                evaluations,
+                first_violation: None,
+            });
+        }
+        if h < t {
+            t = h;
+        } else {
+            match last_step_before(t) {
+                Some(prev) => t = prev,
+                None => {
+                    return Ok(QpaResult {
+                        schedulable: true,
+                        analysis_bound: bound,
+                        evaluations,
+                        first_violation: None,
+                    })
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{density_test, processor_demand_test};
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_ms(v)
+    }
+
+    fn task(id: usize, c: u64, c1: u64, c2: u64, t: u64) -> Task {
+        Task::builder(id, format!("t{id}"))
+            .local_wcet(ms(c))
+            .setup_wcet(ms(c1))
+            .compensation_wcet(ms(c2))
+            .period(ms(t))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn accepts_light_local_system() {
+        let a = task(0, 20, 2, 20, 100);
+        let b = task(1, 30, 2, 30, 100);
+        let r = qpa_test([&a, &b], [], SplitPolicy::Proportional).unwrap();
+        assert!(r.schedulable);
+        // The 50 ms busy period ends before the first 100 ms deadline, so
+        // QPA needs zero demand evaluations here.
+        assert_eq!(r.evaluations, 0);
+        assert_eq!(r.analysis_bound, ms(50));
+    }
+
+    #[test]
+    fn scans_when_deadlines_fall_inside_busy_period() {
+        // Constrained deadlines inside the busy period force a real scan.
+        let a = Task::builder(0, "a")
+            .local_wcet(ms(20))
+            .period(ms(100))
+            .deadline(ms(40))
+            .build()
+            .unwrap();
+        let b = Task::builder(1, "b")
+            .local_wcet(ms(30))
+            .period(ms(100))
+            .deadline(ms(60))
+            .build()
+            .unwrap();
+        let r = qpa_test([&a, &b], [], SplitPolicy::Proportional).unwrap();
+        assert!(r.schedulable);
+        assert!(r.evaluations > 0);
+    }
+
+    #[test]
+    fn rejects_overloaded_system() {
+        let a = task(0, 60, 2, 60, 100);
+        let b = task(1, 60, 2, 60, 100);
+        let r = qpa_test([&a, &b], [], SplitPolicy::Proportional).unwrap();
+        assert!(!r.schedulable);
+    }
+
+    #[test]
+    fn detects_deadline_violation_below_full_utilization() {
+        // Utilization < 1 but constrained deadlines make it infeasible:
+        // C=50, D=60, T=200 twice: demand 100 at t=60.
+        let a = Task::builder(0, "a")
+            .local_wcet(ms(50))
+            .period(ms(200))
+            .deadline(ms(60))
+            .build()
+            .unwrap();
+        let b = Task::builder(1, "b")
+            .local_wcet(ms(50))
+            .period(ms(200))
+            .deadline(ms(60))
+            .build()
+            .unwrap();
+        let r = qpa_test([&a, &b], [], SplitPolicy::Proportional).unwrap();
+        assert!(!r.schedulable);
+        assert_eq!(r.first_violation, Some(ms(60)));
+    }
+
+    #[test]
+    fn mixed_system_agrees_with_point_test() {
+        let a = task(0, 20, 2, 20, 100);
+        let b = task(1, 30, 2, 30, 100);
+        let off = OffloadedTask::new(&b, ms(36));
+        let qpa = qpa_test([&a], [off], SplitPolicy::Proportional).unwrap();
+        let exact =
+            processor_demand_test([&a], [off], SplitPolicy::Proportional, ms(2000)).unwrap();
+        assert_eq!(qpa.schedulable, exact.schedulable);
+        assert!(qpa.schedulable);
+    }
+
+    #[test]
+    fn regression_theorem3_accept_is_not_rejected() {
+        // The counterexample that broke the naive two-staircase model:
+        // Theorem 3 accepts (load 0.96); a sum of independent staircases
+        // would see demand 14 ms at t = 13.85 ms and wrongly reject.
+        let a = task(0, 8, 1, 8, 50);
+        let b = task(1, 9, 4, 9, 200);
+        let offs = [OffloadedTask::new(&a, ms(21)), OffloadedTask::new(&b, ms(180))];
+        let t3 = density_test([], offs).unwrap();
+        assert!(t3.schedulable, "precondition: load {}", t3.load);
+        let qpa = qpa_test([], offs, SplitPolicy::Proportional).unwrap();
+        assert!(qpa.schedulable, "QPA must accept what Theorem 3 accepts");
+    }
+
+    #[test]
+    fn theorem3_accept_implies_qpa_accept() {
+        for r_ms in [10u64, 30, 50] {
+            let a = task(0, 20, 5, 20, 100);
+            let b = task(1, 25, 5, 25, 120);
+            let offs = [
+                OffloadedTask::new(&a, ms(r_ms)),
+                OffloadedTask::new(&b, ms(r_ms)),
+            ];
+            let t3 = density_test([], offs).unwrap();
+            if t3.schedulable {
+                let qpa = qpa_test([], offs, SplitPolicy::Proportional).unwrap();
+                assert!(qpa.schedulable, "QPA rejected a Theorem-3 system at R={r_ms}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_system_schedulable() {
+        let r = qpa_test([], [], SplitPolicy::Proportional).unwrap();
+        assert!(r.schedulable);
+        assert_eq!(r.evaluations, 0);
+    }
+
+    #[test]
+    fn qpa_visits_few_points() {
+        // 10 tasks with long hyperperiod and constrained deadlines: the
+        // point-enumeration test would check thousands of points; QPA
+        // needs a handful.
+        let tasks: Vec<Task> = (0..10)
+            .map(|i| {
+                Task::builder(i, format!("t{i}"))
+                    .local_wcet(ms(5 + i as u64))
+                    .period(ms(97 + 13 * i as u64))
+                    .deadline(ms(90 + 10 * i as u64))
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let refs: Vec<&Task> = tasks.iter().collect();
+        let r = qpa_test(refs, [], SplitPolicy::Proportional).unwrap();
+        assert!(r.schedulable);
+        assert!(
+            r.evaluations < 200,
+            "QPA used {} evaluations; expected a handful",
+            r.evaluations
+        );
+    }
+
+    #[test]
+    fn exact_fill_is_accepted() {
+        // Utilization exactly 1 with implicit deadlines: EDF-schedulable.
+        let a = task(0, 50, 2, 50, 100);
+        let b = task(1, 50, 2, 50, 100);
+        let r = qpa_test([&a, &b], [], SplitPolicy::Proportional).unwrap();
+        assert!(r.schedulable, "exact fill must pass (busy period 100ms)");
+    }
+}

@@ -1,0 +1,523 @@
+//! The sporadic real-time task model with offloading costs (paper §3, §4).
+//!
+//! Each task `τ_i` carries the four execution-time characterizations of §3:
+//!
+//! * `C_i` — **local WCET**: worst-case execution time when the whole job
+//!   runs on the embedded processor;
+//! * `C_{i,1}` — **setup WCET**: local preprocessing to offload (data
+//!   compression, initialization, transmission start);
+//! * `C_{i,2}` — **compensation WCET**: local fallback executed when the
+//!   server misses the estimated response time;
+//! * `C_{i,3}` — **post-processing WCET**: handling a result that did
+//!   arrive in time; the model requires `C_{i,3} ≤ C_{i,2}`.
+//!
+//! Plus the recurrence parameters: minimum inter-arrival time `T_i` and
+//! relative deadline `D_i ≤ T_i` (constrained deadlines supported;
+//! implicit `D_i = T_i` is the builder default, as in the paper).
+
+use crate::error::CoreError;
+use crate::time::Duration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a task within a [`TaskSet`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TaskId(pub usize);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "τ{}", self.0)
+    }
+}
+
+/// A sporadic real-time task with offloading cost characterization.
+///
+/// Construct with [`Task::builder`]; the builder validates all model
+/// invariants. Fields are exposed through getters so invariants cannot be
+/// broken after construction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    id: TaskId,
+    name: String,
+    local_wcet: Duration,
+    setup_wcet: Duration,
+    compensation_wcet: Duration,
+    postprocess_wcet: Duration,
+    period: Duration,
+    deadline: Duration,
+}
+
+impl Task {
+    /// Starts building a task with the given id and human-readable name.
+    pub fn builder(id: usize, name: impl Into<String>) -> TaskBuilder {
+        TaskBuilder {
+            id: TaskId(id),
+            name: name.into(),
+            local_wcet: None,
+            setup_wcet: None,
+            compensation_wcet: None,
+            postprocess_wcet: None,
+            period: None,
+            deadline: None,
+        }
+    }
+
+    /// The task id.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// The human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `C_i`: worst-case execution time of fully-local execution.
+    pub fn local_wcet(&self) -> Duration {
+        self.local_wcet
+    }
+
+    /// `C_{i,1}`: worst-case setup (offload preparation) time.
+    pub fn setup_wcet(&self) -> Duration {
+        self.setup_wcet
+    }
+
+    /// `C_{i,2}`: worst-case local compensation time.
+    pub fn compensation_wcet(&self) -> Duration {
+        self.compensation_wcet
+    }
+
+    /// `C_{i,3}`: worst-case post-processing time (`≤ C_{i,2}`).
+    pub fn postprocess_wcet(&self) -> Duration {
+        self.postprocess_wcet
+    }
+
+    /// `T_i`: minimum inter-arrival time (period).
+    pub fn period(&self) -> Duration {
+        self.period
+    }
+
+    /// `D_i`: relative deadline (`≤ T_i`).
+    pub fn deadline(&self) -> Duration {
+        self.deadline
+    }
+
+    /// Local utilization `C_i / T_i`.
+    pub fn local_utilization(&self) -> f64 {
+        self.local_wcet.ratio(self.period)
+    }
+
+    /// Local density `C_i / D_i` (equals utilization for implicit
+    /// deadlines).
+    pub fn local_density(&self) -> f64 {
+        self.local_wcet.ratio(self.deadline)
+    }
+
+    /// Whether the deadline equals the period.
+    pub fn is_implicit_deadline(&self) -> bool {
+        self.deadline == self.period
+    }
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} \"{}\" C={} C1={} C2={} C3={} D={} T={}",
+            self.id,
+            self.name,
+            self.local_wcet,
+            self.setup_wcet,
+            self.compensation_wcet,
+            self.postprocess_wcet,
+            self.deadline,
+            self.period
+        )
+    }
+}
+
+/// Builder for [`Task`]; see [`Task::builder`].
+#[derive(Debug, Clone)]
+pub struct TaskBuilder {
+    id: TaskId,
+    name: String,
+    local_wcet: Option<Duration>,
+    setup_wcet: Option<Duration>,
+    compensation_wcet: Option<Duration>,
+    postprocess_wcet: Option<Duration>,
+    period: Option<Duration>,
+    deadline: Option<Duration>,
+}
+
+impl TaskBuilder {
+    /// Sets `C_i`, the local WCET. Required.
+    pub fn local_wcet(mut self, c: Duration) -> Self {
+        self.local_wcet = Some(c);
+        self
+    }
+
+    /// Sets `C_{i,1}`, the setup WCET. Defaults to zero (task can then
+    /// only run locally in any sensible plan).
+    pub fn setup_wcet(mut self, c: Duration) -> Self {
+        self.setup_wcet = Some(c);
+        self
+    }
+
+    /// Sets `C_{i,2}`, the compensation WCET. Defaults to `C_i`, the
+    /// "re-run the local version" compensation the paper suggests.
+    pub fn compensation_wcet(mut self, c: Duration) -> Self {
+        self.compensation_wcet = Some(c);
+        self
+    }
+
+    /// Sets `C_{i,3}`, the post-processing WCET. Defaults to zero.
+    pub fn postprocess_wcet(mut self, c: Duration) -> Self {
+        self.postprocess_wcet = Some(c);
+        self
+    }
+
+    /// Sets `T_i`, the period. Required.
+    pub fn period(mut self, t: Duration) -> Self {
+        self.period = Some(t);
+        self
+    }
+
+    /// Sets `D_i`, the relative deadline. Defaults to the period
+    /// (implicit deadline).
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Validates and builds the task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidTask`] when:
+    /// * the period or local WCET is missing or zero;
+    /// * `D_i = 0` or `D_i > T_i`;
+    /// * `C_i > D_i` (the task could never run locally in time);
+    /// * `C_{i,3} > C_{i,2}` (violates the model assumption of §3);
+    /// * `C_{i,1} + C_{i,2} > D_i` (offloading could never be feasible
+    ///   *and* compensated within the deadline — such a task must be
+    ///   modelled as local-only by leaving `setup_wcet` at zero).
+    pub fn build(self) -> Result<Task, CoreError> {
+        let bad = |msg: String| Err(CoreError::InvalidTask(msg));
+        let period = match self.period {
+            Some(t) if !t.is_zero() => t,
+            Some(_) => return bad("period must be positive".into()),
+            None => return bad("period is required".into()),
+        };
+        let deadline = self.deadline.unwrap_or(period);
+        if deadline.is_zero() {
+            return bad("deadline must be positive".into());
+        }
+        if deadline > period {
+            return bad(format!(
+                "deadline {deadline} exceeds period {period} (constrained-deadline model)"
+            ));
+        }
+        let local_wcet = match self.local_wcet {
+            Some(c) if !c.is_zero() => c,
+            Some(_) => return bad("local WCET must be positive".into()),
+            None => return bad("local WCET is required".into()),
+        };
+        if local_wcet > deadline {
+            return bad(format!(
+                "local WCET {local_wcet} exceeds deadline {deadline}"
+            ));
+        }
+        let setup_wcet = self.setup_wcet.unwrap_or(Duration::ZERO);
+        let compensation_wcet = self.compensation_wcet.unwrap_or(local_wcet);
+        let postprocess_wcet = self.postprocess_wcet.unwrap_or(Duration::ZERO);
+        if postprocess_wcet > compensation_wcet {
+            return bad(format!(
+                "post-processing WCET {postprocess_wcet} exceeds compensation WCET \
+                 {compensation_wcet} (model requires C3 <= C2)"
+            ));
+        }
+        if !setup_wcet.is_zero() && setup_wcet + compensation_wcet > deadline {
+            return bad(format!(
+                "setup {setup_wcet} + compensation {compensation_wcet} exceed deadline \
+                 {deadline}; offloading can never be compensated in time"
+            ));
+        }
+        Ok(Task {
+            id: self.id,
+            name: self.name,
+            local_wcet,
+            setup_wcet,
+            compensation_wcet,
+            postprocess_wcet,
+            period,
+            deadline,
+        })
+    }
+}
+
+/// An ordered collection of tasks with unique ids.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TaskSet {
+    tasks: Vec<Task>,
+}
+
+impl TaskSet {
+    /// Creates a task set, checking id uniqueness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidTask`] if two tasks share an id.
+    pub fn new(tasks: Vec<Task>) -> Result<Self, CoreError> {
+        let mut seen = std::collections::HashSet::new();
+        for t in &tasks {
+            if !seen.insert(t.id()) {
+                return Err(CoreError::InvalidTask(format!(
+                    "duplicate task id {}",
+                    t.id()
+                )));
+            }
+        }
+        Ok(TaskSet { tasks })
+    }
+
+    /// The tasks in insertion order.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Looks a task up by id.
+    pub fn get(&self, id: TaskId) -> Option<&Task> {
+        self.tasks.iter().find(|t| t.id() == id)
+    }
+
+    /// Iterates over the tasks.
+    pub fn iter(&self) -> std::slice::Iter<'_, Task> {
+        self.tasks.iter()
+    }
+
+    /// Total local utilization `Σ C_i / T_i`.
+    pub fn total_local_utilization(&self) -> f64 {
+        self.tasks.iter().map(Task::local_utilization).sum()
+    }
+
+    /// The hyperperiod (LCM of all periods), or `None` on overflow or for
+    /// an empty set.
+    pub fn hyperperiod(&self) -> Option<Duration> {
+        fn gcd(a: u64, b: u64) -> u64 {
+            if b == 0 {
+                a
+            } else {
+                gcd(b, a % b)
+            }
+        }
+        let mut acc: u64 = 1;
+        if self.tasks.is_empty() {
+            return None;
+        }
+        for t in &self.tasks {
+            let p = t.period().as_ns();
+            let g = gcd(acc, p);
+            acc = acc.checked_mul(p / g)?;
+        }
+        Some(Duration::from_ns(acc))
+    }
+}
+
+impl<'a> IntoIterator for &'a TaskSet {
+    type Item = &'a Task;
+    type IntoIter = std::slice::Iter<'a, Task>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tasks.iter()
+    }
+}
+
+impl FromIterator<Task> for Result<TaskSet, CoreError> {
+    fn from_iter<I: IntoIterator<Item = Task>>(iter: I) -> Self {
+        TaskSet::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_ms(v)
+    }
+
+    fn valid_task() -> Task {
+        Task::builder(1, "vision")
+            .local_wcet(ms(278))
+            .setup_wcet(ms(5))
+            .compensation_wcet(ms(278))
+            .postprocess_wcet(ms(2))
+            .period(ms(1000))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let t = Task::builder(0, "t")
+            .local_wcet(ms(10))
+            .period(ms(100))
+            .build()
+            .unwrap();
+        assert_eq!(t.deadline(), ms(100)); // implicit deadline
+        assert_eq!(t.compensation_wcet(), ms(10)); // defaults to C_i
+        assert_eq!(t.setup_wcet(), Duration::ZERO);
+        assert_eq!(t.postprocess_wcet(), Duration::ZERO);
+        assert!(t.is_implicit_deadline());
+    }
+
+    #[test]
+    fn getters_and_metrics() {
+        let t = valid_task();
+        assert_eq!(t.id(), TaskId(1));
+        assert_eq!(t.name(), "vision");
+        assert!((t.local_utilization() - 0.278).abs() < 1e-12);
+        assert!((t.local_density() - 0.278).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_missing_required() {
+        assert!(Task::builder(0, "t").period(ms(10)).build().is_err());
+        assert!(Task::builder(0, "t").local_wcet(ms(1)).build().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_values() {
+        assert!(Task::builder(0, "t")
+            .local_wcet(Duration::ZERO)
+            .period(ms(10))
+            .build()
+            .is_err());
+        assert!(Task::builder(0, "t")
+            .local_wcet(ms(1))
+            .period(Duration::ZERO)
+            .build()
+            .is_err());
+        assert!(Task::builder(0, "t")
+            .local_wcet(ms(1))
+            .period(ms(10))
+            .deadline(Duration::ZERO)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_constrained_violations() {
+        // D > T
+        assert!(Task::builder(0, "t")
+            .local_wcet(ms(1))
+            .period(ms(10))
+            .deadline(ms(20))
+            .build()
+            .is_err());
+        // C > D
+        assert!(Task::builder(0, "t")
+            .local_wcet(ms(15))
+            .period(ms(20))
+            .deadline(ms(10))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_c3_greater_than_c2() {
+        assert!(Task::builder(0, "t")
+            .local_wcet(ms(10))
+            .compensation_wcet(ms(5))
+            .postprocess_wcet(ms(6))
+            .period(ms(100))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_impossible_offload_costs() {
+        // setup + compensation > deadline
+        assert!(Task::builder(0, "t")
+            .local_wcet(ms(10))
+            .setup_wcet(ms(60))
+            .compensation_wcet(ms(50))
+            .period(ms(100))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn constrained_deadline_accepted() {
+        let t = Task::builder(0, "t")
+            .local_wcet(ms(5))
+            .period(ms(100))
+            .deadline(ms(50))
+            .build()
+            .unwrap();
+        assert!(!t.is_implicit_deadline());
+        assert!((t.local_density() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn task_set_uniqueness() {
+        let a = valid_task();
+        let mut b = valid_task();
+        b.id = TaskId(2);
+        assert!(TaskSet::new(vec![a.clone(), b]).is_ok());
+        let dup = valid_task();
+        assert!(TaskSet::new(vec![a, dup]).is_err());
+    }
+
+    #[test]
+    fn task_set_queries() {
+        let t1 = valid_task();
+        let mut t2 = valid_task();
+        t2.id = TaskId(2);
+        let ts = TaskSet::new(vec![t1, t2]).unwrap();
+        assert_eq!(ts.len(), 2);
+        assert!(!ts.is_empty());
+        assert!(ts.get(TaskId(1)).is_some());
+        assert!(ts.get(TaskId(9)).is_none());
+        assert!((ts.total_local_utilization() - 0.556).abs() < 1e-12);
+        assert_eq!(ts.iter().count(), 2);
+        assert_eq!((&ts).into_iter().count(), 2);
+    }
+
+    #[test]
+    fn hyperperiod() {
+        let t1 = Task::builder(0, "a")
+            .local_wcet(ms(1))
+            .period(ms(6))
+            .build()
+            .unwrap();
+        let t2 = Task::builder(1, "b")
+            .local_wcet(ms(1))
+            .period(ms(4))
+            .build()
+            .unwrap();
+        let ts = TaskSet::new(vec![t1, t2]).unwrap();
+        assert_eq!(ts.hyperperiod(), Some(ms(12)));
+        assert_eq!(TaskSet::default().hyperperiod(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = valid_task();
+        let s = t.to_string();
+        assert!(s.contains("τ1"));
+        assert!(s.contains("vision"));
+        assert_eq!(TaskId(3).to_string(), "τ3");
+    }
+}

@@ -1,0 +1,432 @@
+//! Integer-nanosecond time arithmetic.
+//!
+//! All timing quantities in the workspace are integer nanoseconds: the
+//! paper's fractional-millisecond measurements (e.g. `195.2814 ms` in
+//! Table 1) are exactly representable, and demand-bound arithmetic stays
+//! free of floating-point drift. Conversions to `f64` milliseconds exist
+//! for reporting and for density computations, where the loss is explicit
+//! and documented at the call site.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A non-negative span of time, in integer nanoseconds.
+///
+/// # Example
+///
+/// ```
+/// use rto_core::time::Duration;
+/// let d = Duration::from_ms_f64(1.5)?;
+/// assert_eq!(d.as_ns(), 1_500_000);
+/// assert_eq!(d + Duration::from_us(500), Duration::from_ms(2));
+/// # Ok::<(), rto_core::CoreError>(())
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Duration(u64);
+
+impl Duration {
+    /// The zero duration.
+    pub const ZERO: Duration = Duration(0);
+    /// The largest representable duration.
+    pub const MAX: Duration = Duration(u64::MAX);
+
+    /// Creates a duration from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        Duration(ns)
+    }
+
+    /// Creates a duration from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        Duration(us * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        Duration(ms * 1_000_000)
+    }
+
+    /// Creates a duration from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Duration(s * 1_000_000_000)
+    }
+
+    /// Creates a duration from fractional milliseconds, rounding to the
+    /// nearest nanosecond.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::InvalidTime`] if `ms` is negative, NaN,
+    /// or too large to represent.
+    pub fn from_ms_f64(ms: f64) -> Result<Self, crate::CoreError> {
+        if !ms.is_finite() || ms < 0.0 {
+            return Err(crate::CoreError::InvalidTime(format!(
+                "{ms} ms is not a valid duration"
+            )));
+        }
+        let ns = ms * 1e6;
+        if ns > u64::MAX as f64 {
+            return Err(crate::CoreError::InvalidTime(format!("{ms} ms overflows")));
+        }
+        Ok(Duration(ns.round() as u64))
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the nearest
+    /// nanosecond.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::InvalidTime`] if `secs` is negative,
+    /// NaN, or too large to represent.
+    pub fn from_secs_f64(secs: f64) -> Result<Self, crate::CoreError> {
+        Duration::from_ms_f64(secs * 1e3)
+    }
+
+    /// The raw nanosecond count.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// This duration in fractional milliseconds.
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// This duration in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Whether this is the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Checked subtraction; `None` on underflow.
+    pub const fn checked_sub(self, rhs: Duration) -> Option<Duration> {
+        match self.0.checked_sub(rhs.0) {
+            Some(ns) => Some(Duration(ns)),
+            None => None,
+        }
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    pub const fn saturating_sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition; `None` on overflow.
+    pub const fn checked_add(self, rhs: Duration) -> Option<Duration> {
+        match self.0.checked_add(rhs.0) {
+            Some(ns) => Some(Duration(ns)),
+            None => None,
+        }
+    }
+
+    /// Saturating addition.
+    pub const fn saturating_add(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_add(rhs.0))
+    }
+
+    /// The ratio `self / other` as `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    pub fn ratio(self, other: Duration) -> f64 {
+        assert!(!other.is_zero(), "division by zero duration");
+        self.0 as f64 / other.0 as f64
+    }
+
+    /// `⌊(self · numer) / denom⌋` computed in 128-bit arithmetic, used by
+    /// the proportional deadline split without precision loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denom` is zero or the result overflows `u64`.
+    pub fn mul_div_floor(self, numer: u64, denom: u64) -> Duration {
+        assert!(denom != 0, "mul_div_floor: zero denominator");
+        let v = (self.0 as u128 * numer as u128) / denom as u128;
+        assert!(v <= u64::MAX as u128, "mul_div_floor: overflow");
+        Duration(v as u64)
+    }
+
+    /// Scales this duration by a non-negative `f64` factor, rounding to the
+    /// nearest nanosecond.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::InvalidTime`] if `factor` is negative,
+    /// NaN, or the result overflows.
+    pub fn scale_f64(self, factor: f64) -> Result<Duration, crate::CoreError> {
+        if !factor.is_finite() || factor < 0.0 {
+            return Err(crate::CoreError::InvalidTime(format!(
+                "scale factor {factor} invalid"
+            )));
+        }
+        let ns = self.0 as f64 * factor;
+        if ns > u64::MAX as f64 {
+            return Err(crate::CoreError::InvalidTime("scaled duration overflows".into()));
+        }
+        Ok(Duration(ns.round() as u64))
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0.checked_add(rhs.0).expect("duration overflow"))
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.checked_sub(rhs.0).expect("duration underflow"))
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0.checked_mul(rhs).expect("duration overflow"))
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.6}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.6}ms", self.as_ms_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+impl std::iter::Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, |acc, d| acc + d)
+    }
+}
+
+/// An absolute point on the simulation timeline, in integer nanoseconds
+/// since time zero.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Instant(u64);
+
+impl Instant {
+    /// Time zero.
+    pub const ZERO: Instant = Instant(0);
+    /// The far future.
+    pub const MAX: Instant = Instant(u64::MAX);
+
+    /// Creates an instant from nanoseconds since time zero.
+    pub const fn from_ns(ns: u64) -> Self {
+        Instant(ns)
+    }
+
+    /// Nanoseconds since time zero.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// This instant in fractional milliseconds since time zero.
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// This instant in fractional seconds since time zero.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The duration since an earlier instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is after `self`.
+    pub fn since(self, earlier: Instant) -> Duration {
+        Duration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("`earlier` is after `self`"),
+        )
+    }
+
+    /// Checked version of [`Instant::since`]; `None` if `earlier > self`.
+    pub const fn checked_since(self, earlier: Instant) -> Option<Duration> {
+        match self.0.checked_sub(earlier.0) {
+            Some(ns) => Some(Duration(ns)),
+            None => None,
+        }
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, rhs: Duration) -> Instant {
+        Instant(self.0.checked_add(rhs.as_ns()).expect("instant overflow"))
+    }
+}
+
+impl AddAssign<Duration> for Instant {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Duration> for Instant {
+    type Output = Instant;
+    fn sub(self, rhs: Duration) -> Instant {
+        Instant(self.0.checked_sub(rhs.as_ns()).expect("instant underflow"))
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}ms", self.as_ms_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Duration::from_us(1), Duration::from_ns(1_000));
+        assert_eq!(Duration::from_ms(1), Duration::from_us(1_000));
+        assert_eq!(Duration::from_secs(1), Duration::from_ms(1_000));
+    }
+
+    #[test]
+    fn fractional_ms_exact_for_table1_values() {
+        // 195.2814 ms from Table 1 must be exactly 195_281_400 ns.
+        let d = Duration::from_ms_f64(195.2814).unwrap();
+        assert_eq!(d.as_ns(), 195_281_400);
+        assert!((d.as_ms_f64() - 195.2814).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_ms_f64_rejects_bad_values() {
+        assert!(Duration::from_ms_f64(-1.0).is_err());
+        assert!(Duration::from_ms_f64(f64::NAN).is_err());
+        assert!(Duration::from_ms_f64(f64::INFINITY).is_err());
+        assert!(Duration::from_ms_f64(0.0).is_ok());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Duration::from_ms(3);
+        let b = Duration::from_ms(2);
+        assert_eq!(a + b, Duration::from_ms(5));
+        assert_eq!(a - b, Duration::from_ms(1));
+        assert_eq!(a * 4, Duration::from_ms(12));
+        assert_eq!(a / 3, Duration::from_ms(1));
+        assert_eq!(b.checked_sub(a), None);
+        assert_eq!(b.saturating_sub(a), Duration::ZERO);
+        assert_eq!(Duration::MAX.checked_add(b), None);
+        assert_eq!(Duration::MAX.saturating_add(b), Duration::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = Duration::from_ms(1) - Duration::from_ms(2);
+    }
+
+    #[test]
+    fn ratio_and_mul_div() {
+        let c = Duration::from_ms(10);
+        let t = Duration::from_ms(40);
+        assert!((c.ratio(t) - 0.25).abs() < 1e-15);
+        // D1 = C1 * (D - R) / (C1 + C2): 10ms * 30ms / 40ms = 7.5ms
+        let split = Duration::from_ms(30).mul_div_floor(
+            Duration::from_ms(10).as_ns(),
+            Duration::from_ms(40).as_ns(),
+        );
+        assert_eq!(split, Duration::from_ms_f64(7.5).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero duration")]
+    fn ratio_zero_panics() {
+        Duration::from_ms(1).ratio(Duration::ZERO);
+    }
+
+    #[test]
+    fn scale_f64_behaviour() {
+        let d = Duration::from_ms(100);
+        assert_eq!(d.scale_f64(1.4).unwrap(), Duration::from_ms(140));
+        assert_eq!(d.scale_f64(0.6).unwrap(), Duration::from_ms(60));
+        assert!(d.scale_f64(-0.1).is_err());
+        assert!(d.scale_f64(f64::NAN).is_err());
+        assert_eq!(d.scale_f64(0.0).unwrap(), Duration::ZERO);
+    }
+
+    #[test]
+    fn instant_arithmetic() {
+        let t0 = Instant::from_ns(1000);
+        let t1 = t0 + Duration::from_ns(500);
+        assert_eq!(t1.as_ns(), 1500);
+        assert_eq!(t1.since(t0), Duration::from_ns(500));
+        assert_eq!(t0.checked_since(t1), None);
+        assert_eq!(t1 - Duration::from_ns(1500), Instant::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "after")]
+    fn since_backwards_panics() {
+        Instant::ZERO.since(Instant::from_ns(1));
+    }
+
+    #[test]
+    fn display_picks_units() {
+        assert_eq!(Duration::from_ns(5).to_string(), "5ns");
+        assert!(Duration::from_us(5).to_string().ends_with("us"));
+        assert!(Duration::from_ms(5).to_string().ends_with("ms"));
+        assert!(Duration::from_secs(5).to_string().ends_with('s'));
+        assert!(Instant::from_ns(1_000_000).to_string().contains("1.0"));
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Duration = [Duration::from_ms(1), Duration::from_ms(2)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, Duration::from_ms(3));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Duration::from_ms(1) < Duration::from_ms(2));
+        assert!(Instant::ZERO < Instant::from_ns(1));
+    }
+}

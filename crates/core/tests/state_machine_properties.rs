@@ -1,0 +1,149 @@
+//! Property tests for the compensation state machine and time
+//! arithmetic: random event sequences must never corrupt the protocol.
+
+use proptest::prelude::*;
+use rto_core::compensation::{
+    CompensationManager, JobOutcome, JobPhase, ResultDisposition, TimerDisposition,
+};
+use rto_core::time::{Duration, Instant};
+
+/// The external events a runtime can throw at one job's manager.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    SetupFinished(u64),
+    ResultArrived(u64),
+    TimerFired(u64),
+    CompletionFinished,
+}
+
+fn event_strategy() -> impl Strategy<Value = Ev> {
+    prop_oneof![
+        (0u64..1000).prop_map(Ev::SetupFinished),
+        (0u64..1000).prop_map(Ev::ResultArrived),
+        (0u64..1000).prop_map(Ev::TimerFired),
+        Just(Ev::CompletionFinished),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Whatever the event order, the manager either rejects the event
+    /// (with an error, never a panic) or moves through the protocol; once
+    /// `Done`, the outcome never changes.
+    #[test]
+    fn protocol_is_never_corrupted(
+        budget_ms in 1u64..200,
+        events in prop::collection::vec(event_strategy(), 1..30),
+    ) {
+        let mut m = CompensationManager::new(Duration::from_ms(budget_ms));
+        let mut done_outcome: Option<JobOutcome> = None;
+        for ev in events {
+            let phase_before = m.phase();
+            match ev {
+                Ev::SetupFinished(t) => {
+                    let r = m.setup_finished(Instant::from_ns(t * 1_000_000));
+                    // Legal only from Setup.
+                    prop_assert_eq!(r.is_ok(), phase_before == JobPhase::Setup);
+                    if let Ok(timer) = r {
+                        prop_assert_eq!(
+                            timer,
+                            Instant::from_ns(t * 1_000_000) + Duration::from_ms(budget_ms)
+                        );
+                    }
+                }
+                Ev::ResultArrived(t) => {
+                    let r = m.result_arrived(Instant::from_ns(t * 1_000_000));
+                    match phase_before {
+                        JobPhase::Setup => prop_assert!(r.is_err()),
+                        _ => prop_assert!(r.is_ok()),
+                    }
+                    if phase_before == JobPhase::PostProcessing
+                        || phase_before == JobPhase::Compensating
+                        || matches!(phase_before, JobPhase::Done(_))
+                    {
+                        prop_assert_eq!(r.unwrap(), ResultDisposition::DroppedLate);
+                    }
+                }
+                Ev::TimerFired(t) => {
+                    let now = Instant::from_ns(t * 1_000_000);
+                    let r = m.timer_fired(now);
+                    match phase_before {
+                        JobPhase::Setup => prop_assert!(r.is_err()),
+                        JobPhase::Awaiting { timer_at } => {
+                            if now < timer_at {
+                                prop_assert!(r.is_err(), "early timer must be a bug");
+                            } else {
+                                prop_assert_eq!(
+                                    r.unwrap(),
+                                    TimerDisposition::StartedCompensation
+                                );
+                            }
+                        }
+                        _ => prop_assert_eq!(r.unwrap(), TimerDisposition::Stale),
+                    }
+                }
+                Ev::CompletionFinished => {
+                    let r = m.completion_finished();
+                    match phase_before {
+                        JobPhase::PostProcessing => {
+                            prop_assert_eq!(r.unwrap(), JobOutcome::Remote)
+                        }
+                        JobPhase::Compensating => {
+                            prop_assert_eq!(r.unwrap(), JobOutcome::Compensated)
+                        }
+                        _ => prop_assert!(r.is_err()),
+                    }
+                }
+            }
+            // Done is absorbing.
+            if let Some(prev) = done_outcome {
+                prop_assert_eq!(m.outcome(), Some(prev), "outcome changed after Done");
+            }
+            if let Some(now_done) = m.outcome() {
+                done_outcome = Some(now_done);
+            }
+        }
+    }
+
+    /// Time arithmetic invariants used throughout the dbf math.
+    #[test]
+    fn duration_arithmetic_invariants(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let da = Duration::from_ns(a);
+        let db = Duration::from_ns(b);
+        // Commutativity and identity.
+        prop_assert_eq!(da + db, db + da);
+        prop_assert_eq!(da + Duration::ZERO, da);
+        // checked/saturating consistency.
+        match da.checked_sub(db) {
+            Some(d) => {
+                prop_assert_eq!(d, da.saturating_sub(db));
+                prop_assert_eq!(d + db, da);
+            }
+            None => {
+                prop_assert!(da < db);
+                prop_assert_eq!(da.saturating_sub(db), Duration::ZERO);
+            }
+        }
+        // Instant round trip.
+        let t = Instant::from_ns(a);
+        prop_assert_eq!((t + db).since(t), db);
+        prop_assert_eq!((t + db) - db, t);
+    }
+
+    /// `mul_div_floor` agrees with exact u128 arithmetic.
+    #[test]
+    fn mul_div_floor_exact(v in 0u64..1u64 << 40, num in 1u64..1u64 << 20, den in 1u64..1u64 << 20) {
+        let d = Duration::from_ns(v);
+        let got = d.mul_div_floor(num, den).as_ns();
+        let expect = ((v as u128 * num as u128) / den as u128) as u64;
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Millisecond round trips stay within rounding distance.
+    #[test]
+    fn ms_round_trip(ms in 0.0f64..1e9) {
+        let d = Duration::from_ms_f64(ms).unwrap();
+        prop_assert!((d.as_ms_f64() - ms).abs() < 1e-6 + ms * 1e-12);
+    }
+}

@@ -1,0 +1,225 @@
+//! Exact branch-and-bound for MCKP with an LP-relaxation bound.
+//!
+//! Used primarily as an independent exact oracle to validate
+//! [`crate::dp::DpSolver`] (the two must agree up to DP grid rounding), and
+//! as a grid-free exact solver for instances where weight discretization is
+//! undesirable.
+//!
+//! Search: depth-first over classes; at each node the remaining classes are
+//! bounded by [`crate::lp::lp_relaxation_suffix`]; nodes whose bound cannot
+//! beat the incumbent are pruned. The incumbent is initialized with the
+//! HEU-OE heuristic, which makes pruning effective immediately.
+
+use crate::error::SolveError;
+use crate::heu::HeuOeSolver;
+use crate::instance::MckpInstance;
+use crate::lp::{dominance_filter, lp_relaxation_suffix};
+use crate::solution::Selection;
+use crate::Solver;
+
+/// Exact branch-and-bound solver.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BranchBoundSolver {
+    /// Optional cap on explored nodes; `None` = unbounded. When the cap is
+    /// hit the solver returns [`SolveError::TooLarge`] instead of a
+    /// possibly suboptimal answer.
+    node_limit: Option<u64>,
+}
+
+impl BranchBoundSolver {
+    /// Creates an unbounded exact solver.
+    pub fn new() -> Self {
+        BranchBoundSolver { node_limit: None }
+    }
+
+    /// Sets a node-exploration cap, after which solving aborts with
+    /// [`SolveError::TooLarge`].
+    pub fn with_node_limit(limit: u64) -> Self {
+        BranchBoundSolver {
+            node_limit: Some(limit),
+        }
+    }
+}
+
+struct Search<'a> {
+    classes: &'a [Vec<crate::instance::Item>],
+    pruned: Vec<Vec<usize>>,
+    capacity: f64,
+    best_profit: f64,
+    best: Vec<usize>,
+    current: Vec<usize>,
+    nodes: u64,
+    node_limit: Option<u64>,
+    aborted: bool,
+}
+
+impl Search<'_> {
+    fn dfs(&mut self, k: usize, weight: f64, profit: f64) {
+        if self.aborted {
+            return;
+        }
+        self.nodes += 1;
+        if let Some(limit) = self.node_limit {
+            if self.nodes > limit {
+                self.aborted = true;
+                return;
+            }
+        }
+        if k == self.classes.len() {
+            if profit > self.best_profit {
+                self.best_profit = profit;
+                self.best = self.current.clone();
+            }
+            return;
+        }
+        // Bound the completion of this node.
+        match lp_relaxation_suffix(self.classes, k, self.capacity - weight) {
+            None => return, // cannot even fit minimum-weight items
+            Some(lp) => {
+                if profit + lp.upper_bound <= self.best_profit + 1e-12 {
+                    return;
+                }
+            }
+        }
+        // Try items in profit-descending order for early good incumbents.
+        let mut order = self.pruned[k].clone();
+        order.sort_by(|&a, &b| {
+            self.classes[k][b]
+                .profit
+                .partial_cmp(&self.classes[k][a].profit)
+                .expect("validated: no NaN")
+        });
+        for item_idx in order {
+            let item = self.classes[k][item_idx];
+            if weight + item.weight > self.capacity {
+                continue;
+            }
+            self.current[k] = item_idx;
+            self.dfs(k + 1, weight + item.weight, profit + item.profit);
+        }
+    }
+}
+
+impl Solver for BranchBoundSolver {
+    fn solve(&self, instance: &MckpInstance) -> Result<Selection, SolveError> {
+        if !instance.has_feasible_selection() {
+            return Err(SolveError::Infeasible);
+        }
+        // Seed the incumbent with the heuristic.
+        let seed = HeuOeSolver::new().solve(instance)?;
+        let mut search = Search {
+            classes: instance.classes(),
+            pruned: instance
+                .classes()
+                .iter()
+                .map(|c| dominance_filter(c))
+                .collect(),
+            capacity: instance.capacity(),
+            best_profit: instance.selection_profit(&seed),
+            best: seed.choices().to_vec(),
+            current: vec![0; instance.num_classes()],
+            nodes: 0,
+            node_limit: self.node_limit,
+            aborted: false,
+        };
+        search.dfs(0, 0.0, 0.0);
+        if search.aborted {
+            return Err(SolveError::TooLarge(format!(
+                "node limit {:?} exceeded",
+                self.node_limit
+            )));
+        }
+        let selection = Selection::new(search.best);
+        debug_assert!(instance.is_feasible(&selection));
+        Ok(selection)
+    }
+
+    fn name(&self) -> &'static str {
+        "branch-bound"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForceSolver;
+    use crate::instance::Item;
+
+    fn inst(classes: Vec<Vec<Item>>, capacity: f64) -> MckpInstance {
+        MckpInstance::new(classes, capacity).unwrap()
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let i = inst(
+            vec![
+                vec![Item::new(0.11, 2.0), Item::new(0.42, 6.5), Item::new(0.65, 8.0)],
+                vec![Item::new(0.05, 1.0), Item::new(0.33, 5.0)],
+                vec![Item::new(0.2, 3.0), Item::new(0.25, 3.2), Item::new(0.5, 7.7)],
+                vec![Item::new(0.01, 0.2), Item::new(0.3, 4.0)],
+            ],
+            1.0,
+        );
+        let bb = BranchBoundSolver::new().solve(&i).unwrap();
+        let bf = BruteForceSolver::default().solve(&i).unwrap();
+        assert!((i.selection_profit(&bb) - i.selection_profit(&bf)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let i = inst(vec![vec![Item::new(1.5, 1.0)]], 1.0);
+        assert_eq!(
+            BranchBoundSolver::new().solve(&i).unwrap_err(),
+            SolveError::Infeasible
+        );
+    }
+
+    #[test]
+    fn node_limit_aborts() {
+        // A zero-node cap aborts at the root of any search.
+        let classes: Vec<Vec<Item>> = (0..4)
+            .map(|c| {
+                (0..4)
+                    .map(|j| Item::new(0.05 + 0.05 * j as f64, (c + j) as f64 + 0.1))
+                    .collect()
+            })
+            .collect();
+        let i = inst(classes, 1.0);
+        match BranchBoundSolver::with_node_limit(0).solve(&i) {
+            Err(SolveError::TooLarge(_)) => {}
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exact_fill_found() {
+        let i = inst(
+            vec![
+                vec![Item::new(0.5, 5.0), Item::new(0.1, 1.0)],
+                vec![Item::new(0.5, 5.0), Item::new(0.1, 1.0)],
+            ],
+            1.0,
+        );
+        let sel = BranchBoundSolver::new().solve(&i).unwrap();
+        assert!((i.selection_profit(&sel) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_worse_than_heuristic() {
+        let i = inst(
+            vec![
+                vec![Item::new(0.0, 0.0), Item::new(0.35, 4.9), Item::new(0.5, 7.0)],
+                vec![Item::new(0.6, 10.0)],
+            ],
+            1.0,
+        );
+        let heu = HeuOeSolver::new().solve(&i).unwrap();
+        let bb = BranchBoundSolver::new().solve(&i).unwrap();
+        assert!(i.selection_profit(&bb) >= i.selection_profit(&heu) - 1e-12);
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(BranchBoundSolver::new().name(), "branch-bound");
+    }
+}

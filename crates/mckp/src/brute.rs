@@ -1,0 +1,148 @@
+//! Exhaustive enumeration for tiny MCKP instances.
+//!
+//! Only intended as a testing oracle: the number of candidate selections is
+//! the product of class sizes, so the solver refuses instances above a
+//! configurable combination cap instead of silently running forever.
+
+use crate::error::SolveError;
+use crate::instance::MckpInstance;
+use crate::solution::Selection;
+use crate::Solver;
+
+/// Brute-force solver with a combination cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BruteForceSolver {
+    max_combinations: u128,
+}
+
+impl BruteForceSolver {
+    /// Default combination cap.
+    pub const DEFAULT_MAX_COMBINATIONS: u128 = 2_000_000;
+
+    /// Creates a solver with the given combination cap.
+    pub fn with_max_combinations(max_combinations: u128) -> Self {
+        BruteForceSolver { max_combinations }
+    }
+}
+
+impl Default for BruteForceSolver {
+    fn default() -> Self {
+        BruteForceSolver {
+            max_combinations: Self::DEFAULT_MAX_COMBINATIONS,
+        }
+    }
+}
+
+impl Solver for BruteForceSolver {
+    fn solve(&self, instance: &MckpInstance) -> Result<Selection, SolveError> {
+        let combos: u128 = instance
+            .classes()
+            .iter()
+            .map(|c| c.len() as u128)
+            .product();
+        if combos > self.max_combinations {
+            return Err(SolveError::TooLarge(format!(
+                "{combos} combinations exceed cap {}",
+                self.max_combinations
+            )));
+        }
+
+        let classes = instance.classes();
+        let mut indices = vec![0usize; classes.len()];
+        let mut best: Option<(f64, Vec<usize>)> = None;
+        loop {
+            let weight: f64 = indices
+                .iter()
+                .enumerate()
+                .map(|(c, &j)| classes[c][j].weight)
+                .sum();
+            if weight <= instance.capacity() {
+                let profit: f64 = indices
+                    .iter()
+                    .enumerate()
+                    .map(|(c, &j)| classes[c][j].profit)
+                    .sum();
+                if best.as_ref().is_none_or(|(bp, _)| profit > *bp) {
+                    best = Some((profit, indices.clone()));
+                }
+            }
+            // Odometer increment.
+            let mut k = 0;
+            loop {
+                if k == classes.len() {
+                    return match best {
+                        Some((_, choices)) => Ok(Selection::new(choices)),
+                        None => Err(SolveError::Infeasible),
+                    };
+                }
+                indices[k] += 1;
+                if indices[k] < classes[k].len() {
+                    break;
+                }
+                indices[k] = 0;
+                k += 1;
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "brute-force"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Item;
+
+    #[test]
+    fn finds_optimum() {
+        let inst = MckpInstance::new(
+            vec![
+                vec![Item::new(0.2, 1.0), Item::new(0.6, 5.0)],
+                vec![Item::new(0.3, 2.0), Item::new(0.7, 4.0)],
+            ],
+            1.0,
+        )
+        .unwrap();
+        let sel = BruteForceSolver::default().solve(&inst).unwrap();
+        assert_eq!(inst.selection_profit(&sel), 7.0);
+    }
+
+    #[test]
+    fn infeasible() {
+        let inst = MckpInstance::new(vec![vec![Item::new(2.0, 1.0)]], 1.0).unwrap();
+        assert_eq!(
+            BruteForceSolver::default().solve(&inst).unwrap_err(),
+            SolveError::Infeasible
+        );
+    }
+
+    #[test]
+    fn too_large_guard() {
+        let classes: Vec<Vec<Item>> = (0..8)
+            .map(|_| (0..10).map(|j| Item::new(0.01 * j as f64, j as f64)).collect())
+            .collect();
+        let inst = MckpInstance::new(classes, 1.0).unwrap();
+        match BruteForceSolver::with_max_combinations(1000).solve(&inst) {
+            Err(SolveError::TooLarge(_)) => {}
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_class() {
+        let inst = MckpInstance::new(
+            vec![vec![Item::new(0.5, 1.0), Item::new(0.4, 2.0), Item::new(0.9, 3.0)]],
+            0.6,
+        )
+        .unwrap();
+        let sel = BruteForceSolver::default().solve(&inst).unwrap();
+        assert_eq!(sel.choices(), &[1]);
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(BruteForceSolver::default().name(), "brute-force");
+    }
+}

@@ -1,0 +1,301 @@
+//! Exact pseudo-polynomial dynamic programming for MCKP.
+//!
+//! This is the "dynamic programming algorithm \[Dudzinski & Walukiewicz
+//! 1987\]" the paper adopts (§5.2): a profit-maximizing DP over a weight
+//! grid. The paper's weights are real densities in `[0, 1]`, so the grid is
+//! obtained by **rounding weights up** to a configurable resolution. The
+//! consequences are:
+//!
+//! * any returned selection is feasible for the *true* real-valued
+//!   capacity (safety is never compromised), and
+//! * optimality is exact *on the rounded instance*; with the default
+//!   resolution of 10⁴ grid units the rounding loss per item is below
+//!   10⁻⁴ of the capacity, which is far below the granularity of the
+//!   paper's benefit functions.
+//!
+//! Runtime is `O(total_items × resolution)`; memory is
+//! `O(num_classes × resolution)` for choice reconstruction.
+
+use crate::error::SolveError;
+use crate::instance::MckpInstance;
+use crate::lp::dominance_filter;
+use crate::solution::Selection;
+use crate::Solver;
+
+/// Exact DP solver over a discretized weight grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DpSolver {
+    resolution: usize,
+}
+
+impl DpSolver {
+    /// Default number of grid units the capacity is divided into.
+    pub const DEFAULT_RESOLUTION: usize = 10_000;
+
+    /// Creates a solver with the given weight-grid resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution == 0`.
+    pub fn with_resolution(resolution: usize) -> Self {
+        assert!(resolution > 0, "resolution must be positive");
+        DpSolver { resolution }
+    }
+
+    /// The configured grid resolution.
+    pub fn resolution(&self) -> usize {
+        self.resolution
+    }
+
+    /// Scales a weight onto the grid, rounding up (safe side).
+    ///
+    /// Weights that do not fit the capacity at all map to `resolution + 1`
+    /// (never selectable).
+    fn scale(&self, weight: f64, capacity: f64) -> usize {
+        if weight == 0.0 {
+            return 0;
+        }
+        if capacity == 0.0 || weight > capacity {
+            return self.resolution + 1;
+        }
+        let scaled = (weight / capacity * self.resolution as f64).ceil() as usize;
+        scaled.min(self.resolution + 1)
+    }
+}
+
+impl Default for DpSolver {
+    fn default() -> Self {
+        DpSolver {
+            resolution: Self::DEFAULT_RESOLUTION,
+        }
+    }
+}
+
+impl Solver for DpSolver {
+    fn solve(&self, instance: &MckpInstance) -> Result<Selection, SolveError> {
+        let res = self.resolution;
+        let capacity = instance.capacity();
+        let classes = instance.classes();
+
+        // Dominance-pruned item indices per class (exactness preserved).
+        let pruned: Vec<Vec<usize>> = classes.iter().map(|c| dominance_filter(c)).collect();
+
+        // dp[c] = max profit over processed classes with scaled weight <= c.
+        const NEG: f64 = f64::NEG_INFINITY;
+        let mut dp: Vec<f64> = vec![NEG; res + 1];
+        // choice[k][c] = index (into pruned[k]) of the item chosen at class
+        // k when the remaining budget is c; usize::MAX = unreachable.
+        let mut choice: Vec<Vec<u32>> = Vec::with_capacity(classes.len());
+
+        // First class: best item with scaled weight <= c (prefix max).
+        {
+            let mut ch = vec![u32::MAX; res + 1];
+            for (pi, &item_idx) in pruned[0].iter().enumerate() {
+                let item = classes[0][item_idx];
+                let sw = self.scale(item.weight, capacity);
+                if sw > res {
+                    continue;
+                }
+                if item.profit > dp[sw] {
+                    dp[sw] = item.profit;
+                    ch[sw] = pi as u32;
+                }
+            }
+            // Make dp monotone in c.
+            for c in 1..=res {
+                if dp[c - 1] > dp[c] {
+                    dp[c] = dp[c - 1];
+                    ch[c] = ch[c - 1];
+                }
+            }
+            choice.push(ch);
+        }
+
+        for (k, class) in classes.iter().enumerate().skip(1) {
+            let mut next = vec![NEG; res + 1];
+            let mut ch = vec![u32::MAX; res + 1];
+            for c in 0..=res {
+                for (pi, &item_idx) in pruned[k].iter().enumerate() {
+                    let item = class[item_idx];
+                    let sw = self.scale(item.weight, capacity);
+                    if sw > c {
+                        // pruned items are weight-sorted; the rest are heavier
+                        break;
+                    }
+                    let base = dp[c - sw];
+                    if base == NEG {
+                        continue;
+                    }
+                    let value = base + item.profit;
+                    if value > next[c] {
+                        next[c] = value;
+                        ch[c] = pi as u32;
+                    }
+                }
+            }
+            dp = next;
+            choice.push(ch);
+        }
+
+        if dp[res] == NEG {
+            return Err(SolveError::Infeasible);
+        }
+
+        // Reconstruct backwards from the full budget.
+        let mut budget = res;
+        let mut picks = vec![0usize; classes.len()];
+        for k in (0..classes.len()).rev() {
+            let pi = choice[k][budget];
+            debug_assert_ne!(pi, u32::MAX, "reconstruction hit unreachable cell");
+            let item_idx = pruned[k][pi as usize];
+            picks[k] = item_idx;
+            let sw = self.scale(classes[k][item_idx].weight, capacity);
+            budget -= sw;
+        }
+
+        let selection = Selection::new(picks);
+        debug_assert!(instance.is_feasible(&selection));
+        Ok(selection)
+    }
+
+    fn name(&self) -> &'static str {
+        "dp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Item;
+
+    fn solve(classes: Vec<Vec<Item>>, capacity: f64) -> Result<Selection, SolveError> {
+        let inst = MckpInstance::new(classes, capacity).unwrap();
+        DpSolver::default().solve(&inst)
+    }
+
+    #[test]
+    fn picks_obvious_optimum() {
+        let sel = solve(
+            vec![
+                vec![Item::new(0.2, 1.0), Item::new(0.6, 5.0)],
+                vec![Item::new(0.3, 2.0), Item::new(0.7, 4.0)],
+            ],
+            1.0,
+        )
+        .unwrap();
+        assert_eq!(sel.choices(), &[1, 0]);
+    }
+
+    #[test]
+    fn single_class_picks_best_fitting() {
+        let sel = solve(
+            vec![vec![
+                Item::new(0.2, 1.0),
+                Item::new(0.8, 9.0),
+                Item::new(1.5, 100.0), // does not fit
+            ]],
+            1.0,
+        )
+        .unwrap();
+        assert_eq!(sel.choices(), &[1]);
+    }
+
+    #[test]
+    fn infeasible_when_nothing_fits() {
+        let err = solve(vec![vec![Item::new(2.0, 1.0)]], 1.0).unwrap_err();
+        assert_eq!(err, SolveError::Infeasible);
+    }
+
+    #[test]
+    fn infeasible_when_combination_exceeds() {
+        let err = solve(
+            vec![vec![Item::new(0.7, 1.0)], vec![Item::new(0.7, 1.0)]],
+            1.0,
+        )
+        .unwrap_err();
+        assert_eq!(err, SolveError::Infeasible);
+    }
+
+    #[test]
+    fn zero_capacity_allows_zero_weight_items() {
+        let sel = solve(
+            vec![vec![Item::new(0.0, 3.0), Item::new(0.5, 9.0)]],
+            0.0,
+        )
+        .unwrap();
+        assert_eq!(sel.choices(), &[0]);
+    }
+
+    #[test]
+    fn zero_capacity_infeasible_with_positive_weights() {
+        let err = solve(vec![vec![Item::new(0.1, 1.0)]], 0.0).unwrap_err();
+        assert_eq!(err, SolveError::Infeasible);
+    }
+
+    #[test]
+    fn exact_fill_is_allowed() {
+        // Two items of exactly half the capacity each.
+        let sel = solve(
+            vec![
+                vec![Item::new(0.5, 5.0), Item::new(0.1, 1.0)],
+                vec![Item::new(0.5, 5.0), Item::new(0.1, 1.0)],
+            ],
+            1.0,
+        )
+        .unwrap();
+        assert_eq!(sel.choices(), &[0, 0]);
+    }
+
+    #[test]
+    fn respects_rounding_safety() {
+        // Weights just over a grid cell: rounded up, so DP may refuse a
+        // razor-thin fit, but must never return an infeasible selection.
+        let inst = MckpInstance::new(
+            vec![
+                vec![Item::new(0.33334, 1.0), Item::new(0.0, 0.0)],
+                vec![Item::new(0.33334, 1.0), Item::new(0.0, 0.0)],
+                vec![Item::new(0.33334, 1.0), Item::new(0.0, 0.0)],
+            ],
+            1.0,
+        )
+        .unwrap();
+        let sel = DpSolver::with_resolution(100).solve(&inst).unwrap();
+        assert!(inst.is_feasible(&sel));
+    }
+
+    #[test]
+    fn matches_brute_force_small() {
+        use crate::brute::BruteForceSolver;
+        let inst = MckpInstance::new(
+            vec![
+                vec![Item::new(0.11, 2.0), Item::new(0.42, 6.5), Item::new(0.65, 8.0)],
+                vec![Item::new(0.05, 1.0), Item::new(0.33, 5.0)],
+                vec![Item::new(0.2, 3.0), Item::new(0.25, 3.2), Item::new(0.5, 7.7)],
+            ],
+            1.0,
+        )
+        .unwrap();
+        let dp = DpSolver::default().solve(&inst).unwrap();
+        let bf = BruteForceSolver::default().solve(&inst).unwrap();
+        assert!(
+            (inst.selection_profit(&dp) - inst.selection_profit(&bf)).abs() < 1e-9,
+            "dp {} vs brute {}",
+            inst.selection_profit(&dp),
+            inst.selection_profit(&bf)
+        );
+    }
+
+    #[test]
+    fn name_and_resolution() {
+        let s = DpSolver::with_resolution(500);
+        assert_eq!(s.resolution(), 500);
+        assert_eq!(s.name(), "dp");
+        assert_eq!(DpSolver::default().resolution(), DpSolver::DEFAULT_RESOLUTION);
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution must be positive")]
+    fn zero_resolution_panics() {
+        DpSolver::with_resolution(0);
+    }
+}

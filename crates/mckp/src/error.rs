@@ -1,0 +1,45 @@
+//! MCKP solver errors.
+
+use std::fmt;
+
+/// Errors produced by MCKP construction and solving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// No selection fits within the capacity (even the minimum-weight one).
+    Infeasible,
+    /// The instance itself is malformed (empty class, negative weight, …).
+    BadInstance(String),
+    /// An instance is too large for the requested solver (e.g. brute force
+    /// on an instance with more than ~a million combinations).
+    TooLarge(String),
+}
+
+impl SolveError {
+    pub(crate) fn bad(msg: impl Into<String>) -> Self {
+        SolveError::BadInstance(msg.into())
+    }
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "no feasible selection within capacity"),
+            SolveError::BadInstance(msg) => write!(f, "malformed MCKP instance: {msg}"),
+            SolveError::TooLarge(msg) => write!(f, "instance too large for this solver: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SolveError::Infeasible.to_string().contains("no feasible"));
+        assert!(SolveError::bad("x").to_string().contains("malformed"));
+        assert!(SolveError::TooLarge("y".into()).to_string().contains("too large"));
+    }
+}

@@ -1,0 +1,266 @@
+//! A fully polynomial-time approximation scheme (FPTAS) for MCKP.
+//!
+//! The paper's exact DP is pseudo-polynomial in the *weight* grid; this
+//! solver is the classic complement — a DP over **scaled profits** with a
+//! provable guarantee: for any `ε ∈ (0, 1)`, the returned selection's
+//! profit is at least `(1 − ε)·OPT`, in time `O(n²·m/ε)` for `n` classes
+//! of `m` items.
+//!
+//! Scheme (Lawler-style profit scaling, adapted to multiple choice):
+//!
+//! 1. let `P` be the largest finite item profit and `K = ε·P/n`;
+//! 2. scale every profit to `p' = ⌊p/K⌋` (so `Σp'` ≤ `n·⌊P/K⌋ = n²/ε`);
+//! 3. DP over exact scaled profit: `dp[q]` = minimum weight of a
+//!    selection (one item per processed class) with `Σp' = q`;
+//! 4. answer: the largest `q` whose `dp[q]` fits the capacity; the lost
+//!    profit is at most `n·K = ε·P ≤ ε·OPT`.
+//!
+//! For the offloading instances of the paper the weight-grid DP is
+//! usually faster, but the FPTAS gives a *guarantee knob*: callers choose
+//! the accuracy/time trade-off explicitly, independent of how weights are
+//! distributed.
+
+use crate::error::SolveError;
+use crate::instance::MckpInstance;
+use crate::lp::dominance_filter;
+use crate::solution::Selection;
+use crate::Solver;
+
+/// The profit-scaling FPTAS solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FptasSolver {
+    epsilon: f64,
+}
+
+impl FptasSolver {
+    /// Creates a solver with approximation guarantee `(1 − epsilon)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < epsilon < 1`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "epsilon must be in (0, 1), got {epsilon}"
+        );
+        FptasSolver { epsilon }
+    }
+
+    /// The configured `ε`.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+impl Solver for FptasSolver {
+    fn solve(&self, instance: &MckpInstance) -> Result<Selection, SolveError> {
+        let classes = instance.classes();
+        let capacity = instance.capacity();
+        let n = classes.len();
+        let pruned: Vec<Vec<usize>> = classes.iter().map(|c| dominance_filter(c)).collect();
+
+        // Largest profit among items that could ever be selected.
+        let max_profit = classes
+            .iter()
+            .flat_map(|c| c.iter())
+            .filter(|item| item.weight <= capacity)
+            .map(|item| item.profit)
+            .fold(0.0f64, f64::max);
+        if max_profit <= 0.0 {
+            // All profits zero (or nothing fits): any feasible selection
+            // is optimal; delegate to the cheapest one.
+            let sel = instance.min_weight_selection();
+            return if instance.is_feasible(&sel) {
+                Ok(sel)
+            } else {
+                Err(SolveError::Infeasible)
+            };
+        }
+
+        let k = self.epsilon * max_profit / n as f64;
+        let scale = |p: f64| (p / k).floor() as usize;
+        // Only items that can fit contribute to the reachable profit
+        // range (an unfittable 10⁹-profit item must not blow up the
+        // table).
+        let q_max: usize = pruned
+            .iter()
+            .zip(classes)
+            .map(|(idxs, class)| {
+                idxs.iter()
+                    .filter(|&&i| class[i].weight <= capacity)
+                    .map(|&i| scale(class[i].profit))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .sum();
+
+        // dp[q] = min weight achieving exactly scaled profit q.
+        const INF: f64 = f64::INFINITY;
+        let mut dp: Vec<f64> = vec![INF; q_max + 1];
+        let mut choice: Vec<Vec<u32>> = Vec::with_capacity(n);
+        // First class.
+        {
+            let mut ch = vec![u32::MAX; q_max + 1];
+            for (pi, &item_idx) in pruned[0].iter().enumerate() {
+                let item = classes[0][item_idx];
+                if item.weight > capacity {
+                    continue;
+                }
+                let q = scale(item.profit);
+                if item.weight < dp[q] {
+                    dp[q] = item.weight;
+                    ch[q] = pi as u32;
+                }
+            }
+            choice.push(ch);
+        }
+        for (cls, class) in classes.iter().enumerate().skip(1) {
+            let mut next = vec![INF; q_max + 1];
+            let mut ch = vec![u32::MAX; q_max + 1];
+            for (pi, &item_idx) in pruned[cls].iter().enumerate() {
+                let item = class[item_idx];
+                if item.weight > capacity {
+                    continue;
+                }
+                let dq = scale(item.profit);
+                for q in 0..=q_max.saturating_sub(dq) {
+                    if dp[q] == INF {
+                        continue;
+                    }
+                    let w = dp[q] + item.weight;
+                    if w < next[q + dq] {
+                        next[q + dq] = w;
+                        ch[q + dq] = pi as u32;
+                    }
+                }
+            }
+            dp = next;
+            choice.push(ch);
+        }
+
+        // Best reachable scaled profit within capacity.
+        let best_q = (0..=q_max)
+            .rev()
+            .find(|&q| dp[q] <= capacity)
+            .ok_or(SolveError::Infeasible)?;
+
+        // Reconstruct backwards.
+        let mut q = best_q;
+        let mut picks = vec![0usize; n];
+        for cls in (0..n).rev() {
+            let pi = choice[cls][q];
+            debug_assert_ne!(pi, u32::MAX, "reconstruction hit unreachable cell");
+            let item_idx = pruned[cls][pi as usize];
+            picks[cls] = item_idx;
+            q -= scale(classes[cls][item_idx].profit);
+        }
+        let selection = Selection::new(picks);
+        debug_assert!(instance.is_feasible(&selection));
+        Ok(selection)
+    }
+
+    fn name(&self) -> &'static str {
+        "fptas"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForceSolver;
+    use crate::instance::Item;
+
+    fn inst(classes: Vec<Vec<Item>>, capacity: f64) -> MckpInstance {
+        MckpInstance::new(classes, capacity).unwrap()
+    }
+
+    #[test]
+    fn finds_obvious_optimum() {
+        let i = inst(
+            vec![
+                vec![Item::new(0.2, 1.0), Item::new(0.6, 5.0)],
+                vec![Item::new(0.3, 2.0), Item::new(0.7, 4.0)],
+            ],
+            1.0,
+        );
+        let sel = FptasSolver::new(0.05).solve(&i).unwrap();
+        assert!((i.selection_profit(&sel) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn guarantee_holds_vs_brute_force() {
+        // Random-ish hand instances: profit >= (1 - eps) OPT.
+        let instances = vec![
+            inst(
+                vec![
+                    vec![Item::new(0.11, 2.0), Item::new(0.42, 6.5), Item::new(0.65, 8.0)],
+                    vec![Item::new(0.05, 1.0), Item::new(0.33, 5.0)],
+                    vec![Item::new(0.2, 3.0), Item::new(0.25, 3.2), Item::new(0.5, 7.7)],
+                ],
+                1.0,
+            ),
+            inst(
+                vec![
+                    vec![Item::new(0.5, 5.0), Item::new(0.1, 1.0)],
+                    vec![Item::new(0.5, 5.0), Item::new(0.1, 1.0)],
+                ],
+                1.0,
+            ),
+        ];
+        for eps in [0.5, 0.2, 0.05] {
+            let solver = FptasSolver::new(eps);
+            for i in &instances {
+                let approx = i.selection_profit(&solver.solve(i).unwrap());
+                let opt = i.selection_profit(&BruteForceSolver::default().solve(i).unwrap());
+                assert!(
+                    approx >= (1.0 - eps) * opt - 1e-9,
+                    "eps={eps}: {approx} < (1-eps) * {opt}"
+                );
+                assert!(approx <= opt + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let i = inst(
+            vec![vec![Item::new(0.7, 1.0)], vec![Item::new(0.7, 1.0)]],
+            1.0,
+        );
+        assert_eq!(
+            FptasSolver::new(0.1).solve(&i).unwrap_err(),
+            SolveError::Infeasible
+        );
+    }
+
+    #[test]
+    fn zero_profit_instance() {
+        let i = inst(vec![vec![Item::new(0.5, 0.0), Item::new(0.2, 0.0)]], 1.0);
+        let sel = FptasSolver::new(0.1).solve(&i).unwrap();
+        assert!(i.is_feasible(&sel));
+    }
+
+    #[test]
+    fn oversized_items_ignored_in_scaling() {
+        // A huge-profit item that can never fit must not blow up K.
+        let i = inst(
+            vec![vec![Item::new(5.0, 1e9), Item::new(0.3, 2.0)]],
+            1.0,
+        );
+        let sel = FptasSolver::new(0.1).solve(&i).unwrap();
+        assert_eq!(sel.choices(), &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in (0, 1)")]
+    fn bad_epsilon_panics() {
+        FptasSolver::new(1.5);
+    }
+
+    #[test]
+    fn name_and_epsilon() {
+        let s = FptasSolver::new(0.25);
+        assert_eq!(s.epsilon(), 0.25);
+        assert_eq!(s.name(), "fptas");
+    }
+}

@@ -1,0 +1,266 @@
+//! MCKP instance model: items, classes, capacity, and validation.
+
+use crate::error::SolveError;
+use crate::solution::Selection;
+use serde::{Deserialize, Serialize};
+
+/// One choice inside a class: a `(weight, profit)` pair.
+///
+/// In the offloading reduction, the weight is the Theorem-3 density
+/// contribution (`C_i/T_i` for the local choice,
+/// `(C_{i,1}+C_{i,2})/(D_i − r_{i,j})` for each offloading level) and the
+/// profit is the benefit `G_i(r_{i,j})`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Item {
+    /// Capacity consumed when this item is chosen. Must be finite and
+    /// non-negative; items heavier than the capacity are legal but can
+    /// never be part of a feasible selection.
+    pub weight: f64,
+    /// Value gained when this item is chosen. Must be finite and
+    /// non-negative.
+    pub profit: f64,
+}
+
+impl Item {
+    /// Creates an item.
+    pub fn new(weight: f64, profit: f64) -> Self {
+        Item { weight, profit }
+    }
+}
+
+/// A validated MCKP instance: a list of classes (each a non-empty list of
+/// [`Item`]s) and a capacity; a solution picks exactly one item per class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MckpInstance {
+    classes: Vec<Vec<Item>>,
+    capacity: f64,
+}
+
+impl MckpInstance {
+    /// Creates and validates an instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::BadInstance`] when:
+    /// * there are no classes, or some class is empty;
+    /// * any weight/profit is negative, NaN or infinite;
+    /// * the capacity is negative or not finite.
+    pub fn new(classes: Vec<Vec<Item>>, capacity: f64) -> Result<Self, SolveError> {
+        if !capacity.is_finite() || capacity < 0.0 {
+            return Err(SolveError::bad(format!("capacity {capacity} invalid")));
+        }
+        if classes.is_empty() {
+            return Err(SolveError::bad("instance has no classes"));
+        }
+        for (i, class) in classes.iter().enumerate() {
+            if class.is_empty() {
+                return Err(SolveError::bad(format!("class {i} is empty")));
+            }
+            for (j, item) in class.iter().enumerate() {
+                if !item.weight.is_finite() || item.weight < 0.0 {
+                    return Err(SolveError::bad(format!(
+                        "class {i} item {j}: weight {} invalid",
+                        item.weight
+                    )));
+                }
+                if !item.profit.is_finite() || item.profit < 0.0 {
+                    return Err(SolveError::bad(format!(
+                        "class {i} item {j}: profit {} invalid",
+                        item.profit
+                    )));
+                }
+            }
+        }
+        Ok(MckpInstance { classes, capacity })
+    }
+
+    /// The classes of the instance.
+    pub fn classes(&self) -> &[Vec<Item>] {
+        &self.classes
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Total number of items across all classes.
+    pub fn num_items(&self) -> usize {
+        self.classes.iter().map(Vec::len).sum()
+    }
+
+    /// The knapsack capacity.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// The item chosen by `selection` in class `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the selection does not match the instance shape.
+    pub fn chosen(&self, selection: &Selection, class: usize) -> Item {
+        self.classes[class][selection.choice(class)]
+    }
+
+    /// Total weight of a selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the selection does not match the instance shape.
+    pub fn selection_weight(&self, selection: &Selection) -> f64 {
+        assert_eq!(
+            selection.len(),
+            self.classes.len(),
+            "selection shape mismatch"
+        );
+        selection
+            .choices()
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| self.classes[i][j].weight)
+            .sum()
+    }
+
+    /// Total profit of a selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the selection does not match the instance shape.
+    pub fn selection_profit(&self, selection: &Selection) -> f64 {
+        assert_eq!(
+            selection.len(),
+            self.classes.len(),
+            "selection shape mismatch"
+        );
+        selection
+            .choices()
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| self.classes[i][j].profit)
+            .sum()
+    }
+
+    /// Whether a selection fits within the capacity.
+    pub fn is_feasible(&self, selection: &Selection) -> bool {
+        selection.len() == self.classes.len()
+            && selection
+                .choices()
+                .iter()
+                .enumerate()
+                .all(|(i, &j)| j < self.classes[i].len())
+            && self.selection_weight(selection) <= self.capacity
+    }
+
+    /// The selection that takes the minimum-weight item in every class
+    /// (ties broken by higher profit). This is the cheapest possible
+    /// selection: the instance is feasible iff this selection is.
+    pub fn min_weight_selection(&self) -> Selection {
+        let choices = self
+            .classes
+            .iter()
+            .map(|class| {
+                class
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| {
+                        a.weight
+                            .partial_cmp(&b.weight)
+                            .expect("validated: no NaN")
+                            .then(b.profit.partial_cmp(&a.profit).expect("validated: no NaN"))
+                    })
+                    .map(|(j, _)| j)
+                    .expect("validated: class non-empty")
+            })
+            .collect();
+        Selection::new(choices)
+    }
+
+    /// Whether *any* feasible selection exists.
+    pub fn has_feasible_selection(&self) -> bool {
+        self.is_feasible(&self.min_weight_selection())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_class() -> MckpInstance {
+        MckpInstance::new(
+            vec![
+                vec![Item::new(0.2, 1.0), Item::new(0.6, 5.0)],
+                vec![Item::new(0.3, 2.0), Item::new(0.7, 4.0)],
+            ],
+            1.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(MckpInstance::new(vec![], 1.0).is_err());
+        assert!(MckpInstance::new(vec![vec![]], 1.0).is_err());
+        assert!(MckpInstance::new(vec![vec![Item::new(-0.1, 1.0)]], 1.0).is_err());
+        assert!(MckpInstance::new(vec![vec![Item::new(0.1, -1.0)]], 1.0).is_err());
+        assert!(MckpInstance::new(vec![vec![Item::new(f64::NAN, 1.0)]], 1.0).is_err());
+        assert!(MckpInstance::new(vec![vec![Item::new(0.1, 1.0)]], -1.0).is_err());
+        assert!(MckpInstance::new(vec![vec![Item::new(0.1, 1.0)]], f64::INFINITY).is_err());
+        assert!(MckpInstance::new(vec![vec![Item::new(0.1, 1.0)]], 0.0).is_ok());
+    }
+
+    #[test]
+    fn weight_profit_accounting() {
+        let inst = two_class();
+        let sel = Selection::new(vec![1, 0]);
+        assert!((inst.selection_weight(&sel) - 0.9).abs() < 1e-12);
+        assert!((inst.selection_profit(&sel) - 7.0).abs() < 1e-12);
+        assert!(inst.is_feasible(&sel));
+        let heavy = Selection::new(vec![1, 1]);
+        assert!(!inst.is_feasible(&heavy));
+    }
+
+    #[test]
+    fn min_weight_selection_prefers_light_then_profit() {
+        let inst = MckpInstance::new(
+            vec![vec![
+                Item::new(0.5, 1.0),
+                Item::new(0.2, 3.0),
+                Item::new(0.2, 7.0), // same weight, more profit -> preferred
+            ]],
+            1.0,
+        )
+        .unwrap();
+        let sel = inst.min_weight_selection();
+        assert_eq!(sel.choice(0), 2);
+    }
+
+    #[test]
+    fn feasibility_of_instance() {
+        let inst = MckpInstance::new(
+            vec![vec![Item::new(0.9, 1.0)], vec![Item::new(0.9, 1.0)]],
+            1.0,
+        )
+        .unwrap();
+        assert!(!inst.has_feasible_selection());
+        assert!(two_class().has_feasible_selection());
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let inst = two_class();
+        let wrong = Selection::new(vec![0]);
+        assert!(!inst.is_feasible(&wrong));
+        let out_of_range = Selection::new(vec![0, 5]);
+        assert!(!inst.is_feasible(&out_of_range));
+    }
+
+    #[test]
+    fn counts() {
+        let inst = two_class();
+        assert_eq!(inst.num_classes(), 2);
+        assert_eq!(inst.num_items(), 4);
+        assert_eq!(inst.capacity(), 1.0);
+        assert_eq!(inst.chosen(&Selection::new(vec![1, 0]), 0), Item::new(0.6, 5.0));
+    }
+}

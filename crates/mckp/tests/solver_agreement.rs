@@ -1,0 +1,147 @@
+//! Property tests: the four MCKP solvers agree where they must.
+//!
+//! * `brute`, `branch_bound` and (up to grid rounding) `dp` are exact and
+//!   must produce equal profits on random small instances.
+//! * `heu_oe` is heuristic: feasible and bounded by the exact optimum and
+//!   the LP upper bound.
+
+use proptest::prelude::*;
+use rto_mckp::lp::lp_relaxation;
+use rto_mckp::{
+    BranchBoundSolver, BruteForceSolver, DpSolver, FptasSolver, HeuOeSolver, Item, MckpInstance,
+    SolveError, Solver,
+};
+
+/// Strategy: a random instance with 1..=5 classes of 1..=5 items, weights
+/// in [0, 0.6], profits in [0, 10], capacity 1.
+fn small_instance() -> impl Strategy<Value = MckpInstance> {
+    prop::collection::vec(
+        prop::collection::vec((0.0f64..0.6, 0.0f64..10.0), 1..=5),
+        1..=5,
+    )
+    .prop_map(|raw| {
+        let classes = raw
+            .into_iter()
+            .map(|c| c.into_iter().map(|(w, p)| Item::new(w, p)).collect())
+            .collect();
+        MckpInstance::new(classes, 1.0).expect("generated instance is valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn exact_solvers_agree(inst in small_instance()) {
+        let brute = BruteForceSolver::default().solve(&inst);
+        let bb = BranchBoundSolver::new().solve(&inst);
+        match (brute, bb) {
+            (Ok(a), Ok(b)) => {
+                let pa = inst.selection_profit(&a);
+                let pb = inst.selection_profit(&b);
+                prop_assert!((pa - pb).abs() < 1e-9, "brute {pa} vs bb {pb}");
+                prop_assert!(inst.is_feasible(&a));
+                prop_assert!(inst.is_feasible(&b));
+            }
+            (Err(SolveError::Infeasible), Err(SolveError::Infeasible)) => {}
+            (x, y) => prop_assert!(false, "solver disagreement: {x:?} vs {y:?}"),
+        }
+    }
+
+    #[test]
+    fn dp_close_to_exact_and_feasible(inst in small_instance()) {
+        let dp = DpSolver::default().solve(&inst);
+        let brute = BruteForceSolver::default().solve(&inst);
+        match (dp, brute) {
+            (Ok(a), Ok(b)) => {
+                let pa = inst.selection_profit(&a);
+                let pb = inst.selection_profit(&b);
+                prop_assert!(inst.is_feasible(&a));
+                // The DP rounds weights up onto a 1e-4 grid; each class can
+                // lose at most one grid cell of capacity. With <=5 classes
+                // of profits <=10 the profit loss is tiny but not zero in
+                // razor-thin-fit cases.
+                prop_assert!(pa <= pb + 1e-9, "dp {pa} beat exact {pb}");
+                prop_assert!(pb - pa < 10.0 * 0.01 + 1e-9 || pa / pb > 0.95,
+                    "dp {pa} too far from exact {pb}");
+            }
+            (Err(SolveError::Infeasible), Err(SolveError::Infeasible)) => {}
+            // DP may declare a razor-thin instance infeasible due to
+            // round-up; accept only if the true fit is extremely tight.
+            (Err(SolveError::Infeasible), Ok(b)) => {
+                let w = inst.selection_weight(&inst.min_weight_selection());
+                prop_assert!(w > 1.0 - 0.01, "dp infeasible but min weight {w}");
+                let _ = b;
+            }
+            (x, y) => prop_assert!(false, "unexpected: {x:?} vs {y:?}"),
+        }
+    }
+
+    #[test]
+    fn heuristic_is_feasible_and_bounded(inst in small_instance()) {
+        match HeuOeSolver::new().solve(&inst) {
+            Ok(sel) => {
+                prop_assert!(inst.is_feasible(&sel));
+                let profit = inst.selection_profit(&sel);
+                let lp = lp_relaxation(&inst).expect("heuristic succeeded, LP must too");
+                prop_assert!(profit <= lp.upper_bound + 1e-9);
+                if let Ok(exact) = BruteForceSolver::default().solve(&inst) {
+                    prop_assert!(profit <= inst.selection_profit(&exact) + 1e-9);
+                }
+            }
+            Err(SolveError::Infeasible) => {
+                prop_assert!(!inst.has_feasible_selection());
+            }
+            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+        }
+    }
+
+    #[test]
+    fn greedy_never_beats_full_heu_oe(inst in small_instance()) {
+        let greedy = HeuOeSolver::without_exchange().solve(&inst);
+        let full = HeuOeSolver::new().solve(&inst);
+        if let (Ok(g), Ok(f)) = (greedy, full) {
+            prop_assert!(
+                inst.selection_profit(&f) >= inst.selection_profit(&g) - 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn fptas_guarantee_holds(inst in small_instance(), eps_pct in 5u32..50) {
+        let eps = eps_pct as f64 / 100.0;
+        let fptas = FptasSolver::new(eps);
+        match (fptas.solve(&inst), BruteForceSolver::default().solve(&inst)) {
+            (Ok(approx), Ok(exact)) => {
+                let pa = inst.selection_profit(&approx);
+                let pe = inst.selection_profit(&exact);
+                prop_assert!(inst.is_feasible(&approx));
+                prop_assert!(pa <= pe + 1e-9, "fptas {pa} beat exact {pe}");
+                prop_assert!(
+                    pa >= (1.0 - eps) * pe - 1e-9,
+                    "fptas {pa} below (1-{eps}) x {pe}"
+                );
+            }
+            (Err(SolveError::Infeasible), Err(SolveError::Infeasible)) => {}
+            (x, y) => prop_assert!(false, "disagreement: {x:?} vs {y:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasibility_is_consistent(inst in small_instance()) {
+        let feasible = inst.has_feasible_selection();
+        for solver in [
+            &BruteForceSolver::default() as &dyn Solver,
+            &BranchBoundSolver::new(),
+            &HeuOeSolver::new(),
+        ] {
+            match solver.solve(&inst) {
+                Ok(_) => prop_assert!(feasible, "{} solved infeasible instance", solver.name()),
+                Err(SolveError::Infeasible) => {
+                    prop_assert!(!feasible, "{} failed feasible instance", solver.name())
+                }
+                Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Error types for `rto-server`.
+
+use std::fmt;
+
+/// Errors raised while configuring the server substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerError {
+    what: String,
+}
+
+impl ServerError {
+    pub(crate) fn new(what: impl Into<String>) -> Self {
+        ServerError { what: what.into() }
+    }
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "server configuration error: {}", self.what)
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(ServerError::new("bad").to_string().contains("bad"));
+    }
+}

@@ -1,0 +1,260 @@
+//! A fleet of offload servers behind one dispatch point.
+//!
+//! Real deployments rarely have a single accelerator: a robot may reach
+//! several edge servers, a rack hosts many GPU nodes. [`ServerFleet`]
+//! implements [`OffloadServer`] over a set of member servers with a
+//! pluggable routing policy, so the rest of the stack (simulator, proxy,
+//! estimator) is oblivious to the fan-out:
+//!
+//! * [`Routing::RoundRobin`] — cycle through members;
+//! * [`Routing::ByTask`] — pin each task id to one member (deterministic
+//!   hashing), keeping per-task response statistics stationary;
+//! * [`Routing::FastestObserved`] — send to the member with the best
+//!   recent observed response time (explore-then-exploit with a fixed
+//!   exploration share).
+//!
+//! Routing is *client-side* and uses only information the client really
+//! has — observed responses — never the servers' internal state.
+
+use crate::gpu::{OffloadRequest, OffloadServer, SubmitOutcome};
+use rto_core::time::Instant;
+
+/// Client-side routing policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Routing {
+    /// Cycle through the members in order.
+    RoundRobin,
+    /// `member = task_id mod fleet size`: per-task pinning.
+    ByTask,
+    /// Prefer the member with the lowest exponentially-weighted observed
+    /// response time; every `explore_every`-th request probes a rotating
+    /// other member to keep estimates fresh.
+    FastestObserved {
+        /// Send every n-th request to a rotating non-best member (≥ 2).
+        explore_every: u64,
+    },
+}
+
+/// A fleet of servers behind one [`OffloadServer`] facade.
+pub struct ServerFleet {
+    members: Vec<Box<dyn OffloadServer>>,
+    routing: Routing,
+    next: usize,
+    submissions: u64,
+    /// EWMA of observed response time per member, in ms (`None` until the
+    /// first observation).
+    observed_ms: Vec<Option<f64>>,
+}
+
+impl std::fmt::Debug for ServerFleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerFleet")
+            .field("members", &self.members.len())
+            .field("routing", &self.routing)
+            .field("observed_ms", &self.observed_ms)
+            .finish_non_exhaustive()
+    }
+}
+
+/// EWMA smoothing factor for observed response times.
+const ALPHA: f64 = 0.3;
+
+impl ServerFleet {
+    /// Creates a fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty, or `FastestObserved.explore_every`
+    /// is below 2.
+    pub fn new(members: Vec<Box<dyn OffloadServer>>, routing: Routing) -> Self {
+        assert!(!members.is_empty(), "fleet needs at least one member");
+        if let Routing::FastestObserved { explore_every } = routing {
+            assert!(explore_every >= 2, "explore_every must be at least 2");
+        }
+        let n = members.len();
+        ServerFleet {
+            members,
+            routing,
+            next: 0,
+            submissions: 0,
+            observed_ms: vec![None; n],
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the fleet has no members (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The current response-time estimates per member (ms).
+    pub fn observed_ms(&self) -> &[Option<f64>] {
+        &self.observed_ms
+    }
+
+    fn pick(&mut self, request: &OffloadRequest) -> usize {
+        let n = self.members.len();
+        match self.routing {
+            Routing::RoundRobin => {
+                let m = self.next;
+                self.next = (self.next + 1) % n;
+                m
+            }
+            Routing::ByTask => request.task_id % n,
+            Routing::FastestObserved { explore_every } => {
+                let best = self
+                    .observed_ms
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, o)| o.map(|v| (i, v)))
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite EWMA"))
+                    .map(|(i, _)| i);
+                match best {
+                    // Exploration turn, or nothing observed yet: rotate.
+                    Some(best_idx)
+                        if !self.submissions.is_multiple_of(explore_every) || n == 1 =>
+                    {
+                        best_idx
+                    }
+                    _ => {
+                        let m = self.next;
+                        self.next = (self.next + 1) % n;
+                        m
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl OffloadServer for ServerFleet {
+    fn submit(&mut self, request: &OffloadRequest, now: Instant) -> SubmitOutcome {
+        let member = self.pick(request);
+        self.submissions += 1;
+        let outcome = self.members[member].submit(request, now);
+        if let SubmitOutcome::Response { arrives_at } = outcome {
+            let rt_ms = arrives_at.since(now).as_ms_f64();
+            self.observed_ms[member] = Some(match self.observed_ms[member] {
+                Some(prev) => prev + ALPHA * (rt_ms - prev),
+                None => rt_ms,
+            });
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::{BlackHoleServer, PerfectServer};
+    use rto_core::time::Duration;
+
+    fn fleet(routing: Routing) -> ServerFleet {
+        ServerFleet::new(
+            vec![
+                Box::new(PerfectServer {
+                    response_time: Duration::from_ms(10),
+                }),
+                Box::new(PerfectServer {
+                    response_time: Duration::from_ms(50),
+                }),
+            ],
+            routing,
+        )
+    }
+
+    fn response_ms(fleet: &mut ServerFleet, task: usize, k: u64) -> Option<f64> {
+        let now = Instant::from_ns(k * 1_000_000_000);
+        fleet
+            .submit(&OffloadRequest::new(task), now)
+            .arrival()
+            .map(|t| t.since(now).as_ms_f64())
+    }
+
+    #[test]
+    fn round_robin_alternates() {
+        let mut f = fleet(Routing::RoundRobin);
+        let a = response_ms(&mut f, 0, 0).unwrap();
+        let b = response_ms(&mut f, 0, 1).unwrap();
+        let c = response_ms(&mut f, 0, 2).unwrap();
+        assert_eq!(a, 10.0);
+        assert_eq!(b, 50.0);
+        assert_eq!(c, 10.0);
+    }
+
+    #[test]
+    fn by_task_pins_tasks() {
+        let mut f = fleet(Routing::ByTask);
+        for k in 0..6 {
+            assert_eq!(response_ms(&mut f, 0, k).unwrap(), 10.0);
+            assert_eq!(response_ms(&mut f, 1, k + 100).unwrap(), 50.0);
+            assert_eq!(response_ms(&mut f, 2, k + 200).unwrap(), 10.0);
+        }
+    }
+
+    #[test]
+    fn fastest_observed_converges_to_fast_member() {
+        let mut f = fleet(Routing::FastestObserved { explore_every: 5 });
+        let mut fast_hits = 0;
+        for k in 0..100 {
+            if response_ms(&mut f, 0, k).unwrap() == 10.0 {
+                fast_hits += 1;
+            }
+        }
+        // Everything except the exploration share should hit the fast
+        // member once both are observed.
+        assert!(fast_hits > 70, "only {fast_hits}/100 on the fast member");
+        let obs = f.observed_ms();
+        assert!(obs[0].unwrap() < obs[1].unwrap());
+    }
+
+    #[test]
+    fn lost_responses_do_not_poison_estimates() {
+        let mut f = ServerFleet::new(
+            vec![
+                Box::new(BlackHoleServer),
+                Box::new(PerfectServer {
+                    response_time: Duration::from_ms(5),
+                }),
+            ],
+            Routing::FastestObserved { explore_every: 3 },
+        );
+        let mut answered = 0;
+        for k in 0..60 {
+            if response_ms(&mut f, 0, k).is_some() {
+                answered += 1;
+            }
+        }
+        // The black hole yields no observations, so once the live member
+        // is known, only exploration turns are lost.
+        assert!(answered > 30, "only {answered}/60 answered");
+        assert!(f.observed_ms()[0].is_none());
+        assert!(f.observed_ms()[1].is_some());
+    }
+
+    #[test]
+    fn accessors() {
+        let f = fleet(Routing::RoundRobin);
+        assert_eq!(f.len(), 2);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_fleet_panics() {
+        ServerFleet::new(vec![], Routing::RoundRobin);
+    }
+
+    #[test]
+    #[should_panic(expected = "explore_every")]
+    fn bad_explore_panics() {
+        ServerFleet::new(
+            vec![Box::new(BlackHoleServer)],
+            Routing::FastestObserved { explore_every: 1 },
+        );
+    }
+}

@@ -1,0 +1,511 @@
+//! The GPU server: a discrete-event model of a multi-board accelerator
+//! shared with background load.
+//!
+//! Requests travel uplink through the [`crate::network::NetworkModel`],
+//! queue FIFO for the earliest-free GPU board, occupy it for a sampled
+//! service time, and travel back downlink. A Poisson **background load**
+//! competes for the same boards — this is the knob behind the case study's
+//! busy / not-busy / idle scenarios: background arrivals inflate the queue
+//! wait that offloaded requests experience, occasionally far beyond any
+//! estimated response time.
+//!
+//! The model is intentionally *work-conserving and causal*: background
+//! arrivals are generated lazily as simulated time advances, so a server
+//! instance can be driven by any client-side timeline (the `rto-sim`
+//! event loop, a measurement proxy, a bench).
+
+use crate::error::ServerError;
+use crate::network::NetworkModel;
+use rto_core::time::{Duration, Instant};
+use rto_stats::dist::{Distribution, DynDistribution, Exponential, LogNormal};
+use rto_stats::Rng;
+
+/// One offloaded computation as seen by the server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OffloadRequest {
+    /// Client-side task id (opaque to the server).
+    pub task_id: usize,
+    /// Uplink payload size in bytes (input data, e.g. the scaled image).
+    pub payload_bytes: u64,
+    /// Downlink payload size in bytes (results).
+    pub response_bytes: u64,
+    /// Relative computational cost: the sampled GPU service time is
+    /// multiplied by this factor (1.0 = the nominal kernel).
+    pub compute_scale: f64,
+}
+
+impl OffloadRequest {
+    /// Creates a nominal request (64 KiB up, 4 KiB down, scale 1).
+    pub fn new(task_id: usize) -> Self {
+        OffloadRequest {
+            task_id,
+            payload_bytes: 64 * 1024,
+            response_bytes: 4 * 1024,
+            compute_scale: 1.0,
+        }
+    }
+
+    /// Sets the uplink payload size.
+    pub fn with_payload_bytes(mut self, bytes: u64) -> Self {
+        self.payload_bytes = bytes;
+        self
+    }
+
+    /// Sets the downlink payload size.
+    pub fn with_response_bytes(mut self, bytes: u64) -> Self {
+        self.response_bytes = bytes;
+        self
+    }
+
+    /// Sets the compute-cost scale factor.
+    pub fn with_compute_scale(mut self, scale: f64) -> Self {
+        self.compute_scale = scale;
+        self
+    }
+}
+
+/// The result of submitting a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The response will arrive at the client at this instant.
+    Response {
+        /// Client-side arrival instant of the response.
+        arrives_at: Instant,
+    },
+    /// The request or response was lost in the network; the client will
+    /// never hear back.
+    Lost,
+}
+
+impl SubmitOutcome {
+    /// The response arrival instant, if any.
+    pub fn arrival(&self) -> Option<Instant> {
+        match self {
+            SubmitOutcome::Response { arrives_at } => Some(*arrives_at),
+            SubmitOutcome::Lost => None,
+        }
+    }
+}
+
+/// Anything that can serve offloaded requests.
+///
+/// The trait is object-safe so the simulator can swap server
+/// implementations (real model, perfect stub, black hole) at run time.
+pub trait OffloadServer {
+    /// Submits `request` at client-side instant `now`; returns when (if
+    /// ever) the response arrives back at the client.
+    fn submit(&mut self, request: &OffloadRequest, now: Instant) -> SubmitOutcome;
+}
+
+/// The full GPU-server model.
+#[derive(Debug)]
+pub struct GpuServer {
+    network: NetworkModel,
+    /// Busy-until instant per GPU board.
+    boards: Vec<Instant>,
+    service: DynDistribution,
+    background_rate_per_sec: f64,
+    background_service: DynDistribution,
+    next_background: Instant,
+    rng: Rng,
+}
+
+impl GpuServer {
+    /// Creates a server.
+    ///
+    /// * `num_boards` — number of GPU boards (the paper's server has 2);
+    /// * `service_mean_ms` / `service_cv` — lognormal GPU service time of
+    ///   an offloaded kernel at `compute_scale` 1;
+    /// * `background_rate_per_sec` — Poisson arrival rate of competing
+    ///   background jobs (0 = idle server);
+    /// * `background_service_mean_ms` — mean service time of background
+    ///   jobs (exponential);
+    /// * `network` — the client↔server network model;
+    /// * `seed` — RNG seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError`] on zero boards or non-positive service
+    /// parameters.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        num_boards: usize,
+        service_mean_ms: f64,
+        service_cv: f64,
+        background_rate_per_sec: f64,
+        background_service_mean_ms: f64,
+        network: NetworkModel,
+        seed: u64,
+    ) -> Result<Self, ServerError> {
+        if num_boards == 0 {
+            return Err(ServerError::new("server needs at least one GPU board"));
+        }
+        if background_rate_per_sec < 0.0 || !background_rate_per_sec.is_finite() {
+            return Err(ServerError::new(format!(
+                "background rate {background_rate_per_sec}/s must be non-negative"
+            )));
+        }
+        let service: DynDistribution = Box::new(
+            LogNormal::from_mean_cv(service_mean_ms, service_cv)
+                .map_err(|e| ServerError::new(e.to_string()))?,
+        );
+        let background_service: DynDistribution = if background_rate_per_sec > 0.0 {
+            Box::new(
+                Exponential::from_mean(background_service_mean_ms)
+                    .map_err(|e| ServerError::new(e.to_string()))?,
+            )
+        } else {
+            Box::new(Exponential::from_mean(1.0).expect("constant is valid"))
+        };
+        let mut rng = Rng::seed_from(seed);
+        let next_background = if background_rate_per_sec > 0.0 {
+            let gap_ms = Exponential::new(background_rate_per_sec / 1e3)
+                .expect("validated positive")
+                .sample(&mut rng);
+            Instant::ZERO + Duration::from_ms_f64(gap_ms).expect("positive")
+        } else {
+            Instant::MAX
+        };
+        Ok(GpuServer {
+            network,
+            boards: vec![Instant::ZERO; num_boards],
+            service,
+            background_rate_per_sec,
+            background_service,
+            next_background,
+            rng,
+        })
+    }
+
+    /// Builds the case-study server for a contention scenario, with the
+    /// default WLAN network. See [`crate::scenario::Scenario`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError`] if preset assembly fails (it cannot with
+    /// the shipped presets).
+    pub fn from_scenario(
+        scenario: crate::scenario::Scenario,
+        seed: u64,
+    ) -> Result<Self, ServerError> {
+        scenario.build_server(seed)
+    }
+
+    /// Advances the lazy background-arrival process to `now`, occupying
+    /// boards as jobs arrive.
+    fn generate_background(&mut self, now: Instant) {
+        while self.next_background <= now {
+            let t = self.next_background;
+            // Background job takes the earliest-free board.
+            let board = Self::earliest_board(&self.boards);
+            let start = self.boards[board].max(t);
+            let service_ms = self.background_service.sample(&mut self.rng);
+            self.boards[board] =
+                start + Duration::from_ms_f64(service_ms.max(0.0)).expect("non-negative");
+            // Next arrival.
+            let gap_ms = Exponential::new(self.background_rate_per_sec / 1e3)
+                .expect("rate positive while generating")
+                .sample(&mut self.rng);
+            self.next_background = t + Duration::from_ms_f64(gap_ms).expect("non-negative");
+        }
+    }
+
+    fn earliest_board(boards: &[Instant]) -> usize {
+        boards
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &busy)| busy)
+            .map(|(i, _)| i)
+            .expect("at least one board")
+    }
+
+    /// Current busy-until instants, for inspection in tests.
+    pub fn board_states(&self) -> &[Instant] {
+        &self.boards
+    }
+}
+
+impl OffloadServer for GpuServer {
+    fn submit(&mut self, request: &OffloadRequest, now: Instant) -> SubmitOutcome {
+        // Uplink.
+        let uplink = match self.network.sample_transfer(request.payload_bytes, &mut self.rng) {
+            Some(d) => d,
+            None => return SubmitOutcome::Lost,
+        };
+        let at_server = now + uplink;
+        if self.background_rate_per_sec > 0.0 {
+            self.generate_background(at_server);
+        }
+        // Dispatch to the earliest-free board.
+        let board = Self::earliest_board(&self.boards);
+        let start = self.boards[board].max(at_server);
+        let service_ms = self.service.sample(&mut self.rng) * request.compute_scale;
+        let done = start + Duration::from_ms_f64(service_ms.max(0.0)).expect("non-negative");
+        self.boards[board] = done;
+        // Downlink.
+        match self
+            .network
+            .sample_transfer(request.response_bytes, &mut self.rng)
+        {
+            Some(d) => SubmitOutcome::Response {
+                arrives_at: done + d,
+            },
+            None => SubmitOutcome::Lost,
+        }
+    }
+}
+
+/// A server that always answers after a fixed delay — the timing
+/// *reliable* baseline, for tests and ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PerfectServer {
+    /// The fixed round-trip response time.
+    pub response_time: Duration,
+}
+
+impl OffloadServer for PerfectServer {
+    fn submit(&mut self, _request: &OffloadRequest, now: Instant) -> SubmitOutcome {
+        SubmitOutcome::Response {
+            arrives_at: now + self.response_time,
+        }
+    }
+}
+
+/// A server that never answers — total outage, for failure-injection
+/// tests: the client must meet every deadline purely through
+/// compensation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlackHoleServer;
+
+impl OffloadServer for BlackHoleServer {
+    fn submit(&mut self, _request: &OffloadRequest, _now: Instant) -> SubmitOutcome {
+        SubmitOutcome::Lost
+    }
+}
+
+/// A reservation-backed server: wraps any server and **guarantees** a
+/// response within `bound` (late or lost inner responses are delivered at
+/// exactly the bound).
+///
+/// This models the resource-reservation approach of Toma & Chen (ECRTS
+/// 2013), which the paper contrasts with: when such a pessimistic
+/// worst-case response bound exists and the promised `R_i` is set at or
+/// beyond it, the completion phase only ever runs the post-processing
+/// `C_{i,3}` (see `rto_core::odm::OdmTask::with_server_bound`).
+#[derive(Debug)]
+pub struct BoundedServer<S> {
+    inner: S,
+    bound: Duration,
+}
+
+impl<S: OffloadServer> BoundedServer<S> {
+    /// Wraps `inner` with a hard response bound.
+    pub fn new(inner: S, bound: Duration) -> Self {
+        BoundedServer { inner, bound }
+    }
+
+    /// The guaranteed bound.
+    pub fn bound(&self) -> Duration {
+        self.bound
+    }
+}
+
+impl<S: OffloadServer> OffloadServer for BoundedServer<S> {
+    fn submit(&mut self, request: &OffloadRequest, now: Instant) -> SubmitOutcome {
+        let cap = now + self.bound;
+        match self.inner.submit(request, now) {
+            SubmitOutcome::Response { arrives_at } if arrives_at <= cap => {
+                SubmitOutcome::Response { arrives_at }
+            }
+            // Late or lost: the reservation delivers at the bound.
+            _ => SubmitOutcome::Response { arrives_at: cap },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idle_server(seed: u64) -> GpuServer {
+        GpuServer::new(2, 7.0, 0.2, 0.0, 0.0, NetworkModel::ideal(), seed).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(GpuServer::new(0, 7.0, 0.2, 0.0, 0.0, NetworkModel::ideal(), 1).is_err());
+        assert!(GpuServer::new(2, -1.0, 0.2, 0.0, 0.0, NetworkModel::ideal(), 1).is_err());
+        assert!(GpuServer::new(2, 7.0, 0.2, -1.0, 1.0, NetworkModel::ideal(), 1).is_err());
+    }
+
+    #[test]
+    fn idle_server_responds_near_service_time() {
+        let mut s = idle_server(7);
+        let req = OffloadRequest::new(0);
+        let mut total = 0.0;
+        let n = 200;
+        for k in 0..n {
+            let now = Instant::from_ns(k as u64 * 100_000_000); // 100ms apart
+            match s.submit(&req, now) {
+                SubmitOutcome::Response { arrives_at } => {
+                    total += arrives_at.since(now).as_ms_f64();
+                }
+                SubmitOutcome::Lost => panic!("ideal network cannot lose"),
+            }
+        }
+        let mean = total / n as f64;
+        assert!((mean - 7.0).abs() < 1.0, "mean response {mean} ms");
+    }
+
+    #[test]
+    fn responses_are_causal_and_deterministic() {
+        let req = OffloadRequest::new(0);
+        let mut a = idle_server(9);
+        let mut b = idle_server(9);
+        for k in 0..50 {
+            let now = Instant::from_ns(k * 10_000_000);
+            let ra = a.submit(&req, now);
+            let rb = b.submit(&req, now);
+            assert_eq!(ra, rb, "same seed must give same outcome");
+            if let Some(t) = ra.arrival() {
+                assert!(t > now, "response cannot precede submission");
+            }
+        }
+    }
+
+    #[test]
+    fn background_load_inflates_response_times() {
+        let req = OffloadRequest::new(0);
+        // Background: 300 jobs/s of mean 10 ms on 2 boards = heavily loaded.
+        let mut busy =
+            GpuServer::new(2, 7.0, 0.2, 300.0, 10.0, NetworkModel::ideal(), 11).unwrap();
+        let mut idle = idle_server(11);
+        let mut busy_total = 0.0;
+        let mut idle_total = 0.0;
+        let n = 100;
+        for k in 0..n {
+            let now = Instant::from_ns(k as u64 * 50_000_000);
+            busy_total += busy
+                .submit(&req, now)
+                .arrival()
+                .expect("ideal network")
+                .since(now)
+                .as_ms_f64();
+            idle_total += idle
+                .submit(&req, now)
+                .arrival()
+                .expect("ideal network")
+                .since(now)
+                .as_ms_f64();
+        }
+        assert!(
+            busy_total / n as f64 > 2.0 * idle_total / n as f64,
+            "busy {busy_total} vs idle {idle_total}"
+        );
+    }
+
+    #[test]
+    fn compute_scale_scales_service() {
+        let req_small = OffloadRequest::new(0).with_compute_scale(1.0);
+        let req_big = OffloadRequest::new(0).with_compute_scale(10.0);
+        let mut s1 = idle_server(13);
+        let mut s2 = idle_server(13);
+        let mut small = 0.0;
+        let mut big = 0.0;
+        for k in 0..100 {
+            let now = Instant::from_ns(k * 1_000_000_000);
+            small += s1.submit(&req_small, now).arrival().unwrap().since(now).as_ms_f64();
+            big += s2.submit(&req_big, now).arrival().unwrap().since(now).as_ms_f64();
+        }
+        assert!((big / small - 10.0).abs() < 0.5, "ratio {}", big / small);
+    }
+
+    #[test]
+    fn lossy_network_loses_requests() {
+        let net = NetworkModel::new(Duration::ZERO, 1e9, 0.0, 0.0, 0.5).unwrap();
+        let mut s = GpuServer::new(1, 1.0, 0.1, 0.0, 0.0, net, 17).unwrap();
+        let req = OffloadRequest::new(0);
+        let lost = (0..1000)
+            .filter(|&k| {
+                matches!(
+                    s.submit(&req, Instant::from_ns(k * 1_000_000)),
+                    SubmitOutcome::Lost
+                )
+            })
+            .count();
+        // Loss on uplink or downlink: P = 1 - 0.5*0.5 = 0.75.
+        assert!((lost as f64 / 1000.0 - 0.75).abs() < 0.06, "lost {lost}");
+    }
+
+    #[test]
+    fn boards_fill_in_parallel() {
+        let mut s = idle_server(19);
+        let req = OffloadRequest::new(0);
+        // Two immediate submissions occupy two different boards.
+        s.submit(&req, Instant::ZERO);
+        s.submit(&req, Instant::ZERO);
+        let states = s.board_states();
+        assert!(states.iter().all(|&b| b > Instant::ZERO));
+    }
+
+    #[test]
+    fn perfect_server_is_exact() {
+        let mut s = PerfectServer {
+            response_time: Duration::from_ms(5),
+        };
+        let out = s.submit(&OffloadRequest::new(0), Instant::from_ns(100));
+        assert_eq!(
+            out.arrival(),
+            Some(Instant::from_ns(100) + Duration::from_ms(5))
+        );
+    }
+
+    #[test]
+    fn black_hole_never_answers() {
+        let mut s = BlackHoleServer;
+        for k in 0..10 {
+            assert_eq!(
+                s.submit(&OffloadRequest::new(0), Instant::from_ns(k)),
+                SubmitOutcome::Lost
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_server_clamps_and_recovers() {
+        // Slow inner server: always 50 ms.
+        let inner = PerfectServer {
+            response_time: Duration::from_ms(50),
+        };
+        let mut s = BoundedServer::new(inner, Duration::from_ms(20));
+        assert_eq!(s.bound(), Duration::from_ms(20));
+        let out = s.submit(&OffloadRequest::new(0), Instant::from_ns(0));
+        assert_eq!(out.arrival(), Some(Instant::ZERO + Duration::from_ms(20)));
+        // Lost inner responses are also recovered at the bound.
+        let mut dead = BoundedServer::new(BlackHoleServer, Duration::from_ms(30));
+        let out = dead.submit(&OffloadRequest::new(0), Instant::from_ns(7));
+        assert_eq!(
+            out.arrival(),
+            Some(Instant::from_ns(7) + Duration::from_ms(30))
+        );
+        // Fast inner responses pass through untouched.
+        let fast = PerfectServer {
+            response_time: Duration::from_ms(5),
+        };
+        let mut s = BoundedServer::new(fast, Duration::from_ms(20));
+        let out = s.submit(&OffloadRequest::new(0), Instant::ZERO);
+        assert_eq!(out.arrival(), Some(Instant::ZERO + Duration::from_ms(5)));
+    }
+
+    #[test]
+    fn request_builder() {
+        let r = OffloadRequest::new(3)
+            .with_payload_bytes(100)
+            .with_response_bytes(10)
+            .with_compute_scale(2.5);
+        assert_eq!(r.task_id, 3);
+        assert_eq!(r.payload_bytes, 100);
+        assert_eq!(r.response_bytes, 10);
+        assert_eq!(r.compute_scale, 2.5);
+    }
+}

@@ -1,0 +1,66 @@
+//! # rto-server — the timing-unreliable component, simulated
+//!
+//! The paper's case study offloads image-processing kernels to a GPU
+//! server (two Tesla M2050 boards behind an rCUDA-style proxy) over a
+//! wireless LAN. Neither the server nor the network offers a usable
+//! worst-case bound — that is precisely why the compensation mechanism of
+//! `rto-core` exists. This crate provides a faithful *stochastic* stand-in
+//! for that infrastructure:
+//!
+//! * [`network`] — an uplink/downlink latency model: propagation floor +
+//!   size/bandwidth + lognormal jitter + loss (a lost message simply never
+//!   produces a response; the compensation timer covers it);
+//! * [`gpu`] — a discrete-event GPU server: `g` boards, FIFO dispatch to
+//!   the earliest-free board, Poisson background load competing for the
+//!   boards (the "server is busy processing other applications" of
+//!   §6.1.3);
+//! * [`scenario`] — the three contention presets of the case study
+//!   (busy / not busy / idle) plus fully custom configurations;
+//! * [`proxy`] — an rCUDA-like measurement proxy that collects
+//!   response-time samples for the Benefit & Response Time Estimator.
+//!
+//! Everything is deterministic given a seed. The server deliberately has
+//! **no** worst-case response-time knob: code under test must survive
+//! arbitrarily late (or lost) responses.
+//!
+//! # Example
+//!
+//! ```
+//! use rto_server::prelude::*;
+//! use rto_core::time::Instant;
+//!
+//! let mut server = GpuServer::from_scenario(Scenario::Idle, 42)?;
+//! let req = OffloadRequest::new(0).with_payload_bytes(60_000);
+//! match server.submit(&req, Instant::ZERO) {
+//!     SubmitOutcome::Response { arrives_at } => assert!(arrives_at > Instant::ZERO),
+//!     SubmitOutcome::Lost => {} // possible: the network is unreliable
+//! }
+//! # Ok::<(), rto_server::ServerError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod fleet;
+pub mod gpu;
+pub mod network;
+pub mod proxy;
+pub mod scenario;
+
+pub use error::ServerError;
+pub use fleet::{Routing, ServerFleet};
+pub use gpu::{GpuServer, OffloadRequest, OffloadServer, SubmitOutcome};
+pub use network::NetworkModel;
+pub use proxy::ServerProxy;
+pub use scenario::Scenario;
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::fleet::{Routing, ServerFleet};
+    pub use crate::gpu::{GpuServer, OffloadRequest, OffloadServer, SubmitOutcome};
+    pub use crate::network::NetworkModel;
+    pub use crate::proxy::ServerProxy;
+    pub use crate::scenario::Scenario;
+    pub use crate::ServerError;
+}

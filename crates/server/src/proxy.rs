@@ -1,0 +1,188 @@
+//! The rCUDA-like measurement proxy (paper §6.1.1–6.1.2).
+//!
+//! The paper's proxy application collects computations from the client and
+//! dispatches them to the GPUs; the client, in turn, measures response
+//! times through it to build `G_i(r)` "by using coarse-grained statistic
+//! estimation … under the considerations of the network transfer time,
+//! receiving time, processing time on the server host, and the response
+//! time on the GPU" (§6.1.2). [`ServerProxy`] reproduces that measurement
+//! campaign: it fires probe requests at a fixed cadence and reports the
+//! observed response-time distribution, *including* probes that never
+//! came back (lost messages), which cap the achievable success
+//! probability.
+
+use crate::gpu::{OffloadRequest, OffloadServer};
+use rto_core::estimator::ResponseTimeEstimator;
+use rto_core::time::{Duration, Instant};
+
+/// The outcome of a measurement campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasurementReport {
+    /// Response times of probes that completed.
+    pub samples: Vec<Duration>,
+    /// Number of probes that never produced a response.
+    pub lost: usize,
+}
+
+impl MeasurementReport {
+    /// Total number of probes fired.
+    pub fn total(&self) -> usize {
+        self.samples.len() + self.lost
+    }
+
+    /// The measured probability of receiving a result within `r`,
+    /// counting lost probes as never-arriving.
+    pub fn success_probability_within(&self, r: Duration) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        let ok = self.samples.iter().filter(|&&s| s <= r).count();
+        ok as f64 / self.total() as f64
+    }
+
+    /// Builds a [`ResponseTimeEstimator`] over the *completed* probes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`rto_core::CoreError::InvalidEstimate`] when no probe
+    /// completed.
+    pub fn to_estimator(&self) -> Result<ResponseTimeEstimator, rto_core::CoreError> {
+        ResponseTimeEstimator::from_samples(&self.samples)
+    }
+}
+
+/// A measurement proxy over any [`OffloadServer`].
+#[derive(Debug)]
+pub struct ServerProxy<S> {
+    server: S,
+}
+
+impl<S: OffloadServer> ServerProxy<S> {
+    /// Wraps a server.
+    pub fn new(server: S) -> Self {
+        ServerProxy { server }
+    }
+
+    /// Unwraps the server.
+    pub fn into_inner(self) -> S {
+        self.server
+    }
+
+    /// Access to the wrapped server (e.g. to keep using it after
+    /// measuring).
+    pub fn server_mut(&mut self) -> &mut S {
+        &mut self.server
+    }
+
+    /// Fires `count` probes shaped like `request`, starting at `start`
+    /// and spaced `spacing` apart, and reports the response-time
+    /// distribution.
+    ///
+    /// The cadence matters: probes spaced closer than the service time
+    /// measure self-induced queueing (as real measurement campaigns do).
+    pub fn measure(
+        &mut self,
+        request: &OffloadRequest,
+        count: usize,
+        start: Instant,
+        spacing: Duration,
+    ) -> MeasurementReport {
+        let mut samples = Vec::with_capacity(count);
+        let mut lost = 0usize;
+        for k in 0..count {
+            let now = start + spacing * k as u64;
+            match self.server.submit(request, now).arrival() {
+                Some(arrives_at) => samples.push(arrives_at.since(now)),
+                None => lost += 1,
+            }
+        }
+        MeasurementReport { samples, lost }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::{BlackHoleServer, PerfectServer};
+    use crate::network::NetworkModel;
+    use crate::GpuServer;
+
+    #[test]
+    fn measures_perfect_server_exactly() {
+        let mut proxy = ServerProxy::new(PerfectServer {
+            response_time: Duration::from_ms(5),
+        });
+        let report = proxy.measure(
+            &OffloadRequest::new(0),
+            10,
+            Instant::ZERO,
+            Duration::from_ms(100),
+        );
+        assert_eq!(report.total(), 10);
+        assert_eq!(report.lost, 0);
+        assert!(report.samples.iter().all(|&s| s == Duration::from_ms(5)));
+        assert_eq!(report.success_probability_within(Duration::from_ms(5)), 1.0);
+        assert_eq!(report.success_probability_within(Duration::from_ms(4)), 0.0);
+    }
+
+    #[test]
+    fn black_hole_yields_all_lost() {
+        let mut proxy = ServerProxy::new(BlackHoleServer);
+        let report = proxy.measure(
+            &OffloadRequest::new(0),
+            5,
+            Instant::ZERO,
+            Duration::from_ms(10),
+        );
+        assert_eq!(report.lost, 5);
+        assert_eq!(report.success_probability_within(Duration::from_secs(10)), 0.0);
+        assert!(report.to_estimator().is_err());
+    }
+
+    #[test]
+    fn estimator_round_trip() {
+        let server = GpuServer::new(2, 10.0, 0.3, 0.0, 0.0, NetworkModel::ideal(), 5).unwrap();
+        let mut proxy = ServerProxy::new(server);
+        let report = proxy.measure(
+            &OffloadRequest::new(0),
+            200,
+            Instant::ZERO,
+            Duration::from_ms(100),
+        );
+        assert_eq!(report.lost, 0);
+        let est = report.to_estimator().unwrap();
+        let median = est.quantile(0.5);
+        assert!(
+            median > Duration::from_ms(5) && median < Duration::from_ms(20),
+            "median {median}"
+        );
+    }
+
+    #[test]
+    fn lost_probes_cap_success_probability() {
+        let report = MeasurementReport {
+            samples: vec![Duration::from_ms(10); 6],
+            lost: 4,
+        };
+        assert_eq!(report.success_probability_within(Duration::from_secs(1)), 0.6);
+    }
+
+    #[test]
+    fn empty_report_probability_zero() {
+        let report = MeasurementReport {
+            samples: vec![],
+            lost: 0,
+        };
+        assert_eq!(report.success_probability_within(Duration::from_ms(1)), 0.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let mut proxy = ServerProxy::new(PerfectServer {
+            response_time: Duration::from_ms(1),
+        });
+        proxy.server_mut().response_time = Duration::from_ms(2);
+        let server = proxy.into_inner();
+        assert_eq!(server.response_time, Duration::from_ms(2));
+    }
+}

@@ -1,0 +1,161 @@
+//! The case-study contention scenarios (paper §6.1.3).
+//!
+//! The paper evaluates three server conditions:
+//!
+//! 1. **Busy** — "the GPU server in the network condition is busy to
+//!    process other applications. Only a small number of offloaded tasks
+//!    can get computation results."
+//! 2. **NotBusy** — "not busy, but it still processes some other
+//!    applications. A part of offloaded tasks can get computation results
+//!    successfully."
+//! 3. **Idle** — "the GPU server is idle and it only processes these
+//!    offloaded tasks. A large number of offloaded tasks can get
+//!    computation results."
+//!
+//! We realize them as background-load intensities on the
+//! [`crate::gpu::GpuServer`]: the *same* server and network, with Poisson
+//! background jobs competing for the two boards at utilizations of ≈ 0.95
+//! (busy), ≈ 0.68 (not busy) and 0 (idle).
+
+use crate::error::ServerError;
+use crate::gpu::GpuServer;
+use crate::network::NetworkModel;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A server contention scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scenario {
+    /// Heavily contended: most offloads miss their estimated response
+    /// time.
+    Busy,
+    /// Moderately contended: a fair share of offloads succeed.
+    NotBusy,
+    /// Uncontended: almost all offloads succeed.
+    Idle,
+}
+
+impl Scenario {
+    /// All three scenarios, in the paper's order.
+    pub const ALL: [Scenario; 3] = [Scenario::Busy, Scenario::NotBusy, Scenario::Idle];
+
+    /// Background Poisson arrival rate (jobs/second).
+    pub fn background_rate_per_sec(self) -> f64 {
+        match self {
+            Scenario::Busy => 42.0,
+            Scenario::NotBusy => 30.0,
+            Scenario::Idle => 0.0,
+        }
+    }
+
+    /// Mean background job service time (milliseconds, exponential).
+    pub fn background_service_mean_ms(self) -> f64 {
+        match self {
+            Scenario::Busy => 45.0,
+            Scenario::NotBusy => 45.0,
+            Scenario::Idle => 0.0,
+        }
+    }
+
+    /// The implied background utilization of the two-board server.
+    pub fn background_utilization(self) -> f64 {
+        self.background_rate_per_sec() * self.background_service_mean_ms() / 1e3
+            / Self::NUM_BOARDS as f64
+    }
+
+    /// Number of GPU boards (the paper's server has two Tesla M2050s).
+    pub const NUM_BOARDS: usize = 2;
+
+    /// Mean GPU service time of a nominal (`compute_scale` 1) offloaded
+    /// kernel, in milliseconds.
+    pub const SERVICE_MEAN_MS: f64 = 60.0;
+
+    /// Coefficient of variation of the GPU service time.
+    pub const SERVICE_CV: f64 = 0.35;
+
+    /// Builds the case-study server under this scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError`] if assembly fails (it cannot with these
+    /// presets).
+    pub fn build_server(self, seed: u64) -> Result<GpuServer, ServerError> {
+        GpuServer::new(
+            Self::NUM_BOARDS,
+            Self::SERVICE_MEAN_MS,
+            Self::SERVICE_CV,
+            self.background_rate_per_sec(),
+            self.background_service_mean_ms(),
+            NetworkModel::wlan(),
+            seed,
+        )
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Scenario::Busy => "busy",
+            Scenario::NotBusy => "not-busy",
+            Scenario::Idle => "idle",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::{OffloadRequest, OffloadServer};
+    use rto_core::time::{Duration, Instant};
+
+    /// Mean response time of 200 probe requests, 100 ms apart.
+    fn mean_response_ms(scenario: Scenario, seed: u64) -> f64 {
+        let mut server = scenario.build_server(seed).unwrap();
+        let req = OffloadRequest::new(0).with_payload_bytes(100_000);
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for k in 0..200u64 {
+            let now = Instant::ZERO + Duration::from_ms(100 * k);
+            if let Some(t) = server.submit(&req, now).arrival() {
+                total += t.since(now).as_ms_f64();
+                count += 1;
+            }
+        }
+        total / count as f64
+    }
+
+    #[test]
+    fn scenarios_are_ordered_by_contention() {
+        let busy = mean_response_ms(Scenario::Busy, 1);
+        let not_busy = mean_response_ms(Scenario::NotBusy, 1);
+        let idle = mean_response_ms(Scenario::Idle, 1);
+        assert!(
+            busy > not_busy && not_busy > idle,
+            "busy {busy:.1} > not-busy {not_busy:.1} > idle {idle:.1} violated"
+        );
+    }
+
+    #[test]
+    fn utilizations_match_narrative() {
+        assert!(Scenario::Busy.background_utilization() > 0.9);
+        let nb = Scenario::NotBusy.background_utilization();
+        assert!(nb > 0.5 && nb < 0.9, "not-busy utilization {nb}");
+        assert_eq!(Scenario::Idle.background_utilization(), 0.0);
+    }
+
+    #[test]
+    fn all_lists_three() {
+        assert_eq!(Scenario::ALL.len(), 3);
+        assert_eq!(Scenario::Busy.to_string(), "busy");
+        assert_eq!(Scenario::NotBusy.to_string(), "not-busy");
+        assert_eq!(Scenario::Idle.to_string(), "idle");
+    }
+
+    #[test]
+    fn idle_server_is_fast() {
+        let idle = mean_response_ms(Scenario::Idle, 3);
+        // Service mean 60 ms + WLAN latency: well under 200 ms on average.
+        assert!(idle < 200.0, "idle mean {idle} ms");
+    }
+}

@@ -1,0 +1,60 @@
+//! Error types for `rto-sim`.
+
+use std::fmt;
+
+/// Errors raised while configuring or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The simulation inputs are inconsistent (plan/task mismatch, zero
+    /// horizon, …).
+    BadConfig(String),
+    /// A core-layer error surfaced during simulation (invalid transition,
+    /// invalid split, …) — always indicates a bug in the runtime model.
+    Core(rto_core::CoreError),
+}
+
+impl SimError {
+    pub(crate) fn config(msg: impl Into<String>) -> Self {
+        SimError::BadConfig(msg.into())
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BadConfig(msg) => write!(f, "bad simulation config: {msg}"),
+            SimError::Core(e) => write!(f, "core error during simulation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rto_core::CoreError> for SimError {
+    fn from(e: rto_core::CoreError) -> Self {
+        SimError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = SimError::config("x");
+        assert!(e.to_string().contains("bad simulation config"));
+        assert!(e.source().is_none());
+        let c: SimError = rto_core::CoreError::InvalidTime("t".into()).into();
+        assert!(c.to_string().contains("core error"));
+        assert!(c.source().is_some());
+    }
+}

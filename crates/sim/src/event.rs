@@ -1,0 +1,132 @@
+//! The time-ordered event queue.
+//!
+//! Events at the same instant are processed in insertion order (a strictly
+//! increasing sequence number breaks ties), which makes every simulation
+//! fully deterministic.
+
+use rto_core::time::Instant;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+/// The kinds of events driving the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A task releases its next job.
+    Release {
+        /// Index into the simulation's task vector.
+        task_index: usize,
+    },
+    /// The server's response for a job arrives at the client.
+    ServerResponse {
+        /// The job the response belongs to.
+        job_id: usize,
+    },
+    /// A compensation timer fires.
+    CompensationTimer {
+        /// The job whose timer fires.
+        job_id: usize,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    at: Instant,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic min-heap of timed events.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Entry>>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` at `at`.
+    pub fn push(&mut self, at: Instant, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, event }));
+    }
+
+    /// The instant of the next event, if any.
+    pub fn peek_time(&self) -> Option<Instant> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Removes and returns the next `(instant, event)` pair.
+    pub fn pop(&mut self) -> Option<(Instant, Event)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ns: u64) -> Instant {
+        Instant::from_ns(ns)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(at(30), Event::Release { task_index: 3 });
+        q.push(at(10), Event::Release { task_index: 1 });
+        q.push(at(20), Event::Release { task_index: 2 });
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.as_ns()).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_broken_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(at(5), Event::Release { task_index: 0 });
+        q.push(at(5), Event::ServerResponse { job_id: 1 });
+        q.push(at(5), Event::CompensationTimer { job_id: 2 });
+        assert_eq!(q.pop().unwrap().1, Event::Release { task_index: 0 });
+        assert_eq!(q.pop().unwrap().1, Event::ServerResponse { job_id: 1 });
+        assert_eq!(q.pop().unwrap().1, Event::CompensationTimer { job_id: 2 });
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(at(7), Event::Release { task_index: 0 });
+        assert_eq!(q.peek_time(), Some(at(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

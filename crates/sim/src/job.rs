@@ -1,0 +1,171 @@
+//! Jobs, sub-jobs, and execution records.
+
+use rto_core::compensation::CompensationManager;
+use rto_core::task::TaskId;
+use rto_core::time::{Duration, Instant};
+use serde::{Deserialize, Serialize};
+
+/// What a sub-job is doing on the processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SubJobKind {
+    /// The entire job of a non-offloaded task (`C_i`).
+    LocalWhole,
+    /// The setup phase of an offloaded job (`C_{i,1}`).
+    Setup,
+    /// Post-processing after an in-time server response (`C_{i,3}`).
+    PostProcess,
+    /// Local compensation after a timer expiry (`C_{i,2}`).
+    Compensation,
+}
+
+/// A schedulable unit: one sub-job with an absolute deadline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubJob {
+    /// The job this sub-job belongs to.
+    pub job_id: usize,
+    /// The phase.
+    pub kind: SubJobKind,
+    /// Absolute EDF deadline.
+    pub abs_deadline: Instant,
+    /// Remaining execution demand.
+    pub remaining: Duration,
+    /// When this sub-job became ready.
+    pub released_at: Instant,
+}
+
+/// How a job ultimately finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Non-offloaded job, ran locally.
+    Local,
+    /// Offloaded; the server answered within `R_i`.
+    Remote,
+    /// Offloaded; the compensation path ran.
+    Compensated,
+}
+
+/// Full lifecycle record of one job (kept for metrics and audits).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Unique job id (release order).
+    pub job_id: usize,
+    /// The owning task.
+    pub task_id: TaskId,
+    /// Release instant.
+    pub released_at: Instant,
+    /// Absolute deadline (`release + D_i`).
+    pub abs_deadline: Instant,
+    /// Completion instant, if the job finished within the horizon.
+    pub completed_at: Option<Instant>,
+    /// The outcome, if finished.
+    pub outcome: Option<Outcome>,
+    /// The compensation state machine (offloaded jobs only).
+    pub compensation: Option<CompensationManager>,
+    /// When the setup sub-job finished (offloaded jobs only).
+    pub setup_finished_at: Option<Instant>,
+    /// When the server response arrived, if it ever did.
+    pub response_at: Option<Instant>,
+}
+
+impl JobRecord {
+    /// Whether the job missed its deadline, judged at `horizon`:
+    /// completed after the deadline, or unfinished with the deadline
+    /// inside the horizon.
+    pub fn missed_deadline(&self, horizon: Instant) -> bool {
+        match self.completed_at {
+            Some(done) => done > self.abs_deadline,
+            None => self.abs_deadline <= horizon,
+        }
+    }
+
+    /// The job's response time, if it completed.
+    pub fn response_time(&self) -> Option<Duration> {
+        self.completed_at.map(|done| done.since(self.released_at))
+    }
+}
+
+/// One contiguous stretch of processor time given to a sub-job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Segment start.
+    pub start: Instant,
+    /// Segment end (exclusive; `end > start`).
+    pub end: Instant,
+    /// The executing job.
+    pub job_id: usize,
+    /// The executing phase.
+    pub kind: SubJobKind,
+    /// The sub-job's absolute deadline (for EDF audits).
+    pub abs_deadline: Instant,
+}
+
+impl Segment {
+    /// The segment's length.
+    pub fn len(&self) -> Duration {
+        self.end.since(self.start)
+    }
+
+    /// Whether the segment is empty (never true for recorded segments).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> Instant {
+        Instant::from_ns(ms * 1_000_000)
+    }
+
+    #[test]
+    fn missed_deadline_logic() {
+        let mut r = JobRecord {
+            job_id: 0,
+            task_id: TaskId(0),
+            released_at: at(0),
+            abs_deadline: at(100),
+            completed_at: Some(at(90)),
+            outcome: Some(Outcome::Local),
+            compensation: None,
+            setup_finished_at: None,
+            response_at: None,
+        };
+        assert!(!r.missed_deadline(at(1000)));
+        r.completed_at = Some(at(101));
+        assert!(r.missed_deadline(at(1000)));
+        r.completed_at = None;
+        assert!(r.missed_deadline(at(1000))); // unfinished, deadline passed
+        assert!(!r.missed_deadline(at(50))); // censored: deadline beyond horizon
+    }
+
+    #[test]
+    fn response_time() {
+        let r = JobRecord {
+            job_id: 0,
+            task_id: TaskId(0),
+            released_at: at(10),
+            abs_deadline: at(100),
+            completed_at: Some(at(70)),
+            outcome: Some(Outcome::Remote),
+            compensation: None,
+            setup_finished_at: Some(at(20)),
+            response_at: Some(at(60)),
+        };
+        assert_eq!(r.response_time(), Some(Duration::from_ms(60)));
+    }
+
+    #[test]
+    fn segment_len() {
+        let s = Segment {
+            start: at(5),
+            end: at(9),
+            job_id: 1,
+            kind: SubJobKind::Setup,
+            abs_deadline: at(50),
+        };
+        assert_eq!(s.len(), Duration::from_ms(4));
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,341 @@
+//! ASCII rendering of execution traces — a Gantt chart in your terminal.
+//!
+//! One row per task, one column per time bucket. Cell glyphs:
+//!
+//! | glyph | meaning |
+//! |---|---|
+//! | `L` | local whole-job execution |
+//! | `S` | setup sub-job (offload preparation) |
+//! | `P` | post-processing (server answered in time) |
+//! | `C` | local compensation (timer fired) |
+//! | `·` | task idle (nothing of it on the processor) |
+//!
+//! When several phases of the same task fall into one bucket, the
+//! dominant one (most processor time) wins. A final `misses` column
+//! flags tasks with deadline misses.
+
+use crate::job::SubJobKind;
+use crate::metrics::SimReport;
+use rto_core::task::TaskId;
+use rto_core::time::Duration;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+fn glyph(kind: SubJobKind) -> char {
+    match kind {
+        SubJobKind::LocalWhole => 'L',
+        SubJobKind::Setup => 'S',
+        SubJobKind::PostProcess => 'P',
+        SubJobKind::Compensation => 'C',
+    }
+}
+
+/// Renders the report's trace as an ASCII Gantt chart of `width` columns.
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+pub fn render_gantt(report: &SimReport, width: usize) -> String {
+    assert!(width > 0, "gantt width must be positive");
+    let horizon_ns = report.horizon.as_ns().max(1);
+    let bucket_ns = horizon_ns.div_ceil(width as u64);
+
+    // job_id -> task_id.
+    let task_of: HashMap<usize, TaskId> =
+        report.jobs.iter().map(|j| (j.job_id, j.task_id)).collect();
+    let mut task_ids: Vec<TaskId> = report.per_task.iter().map(|t| t.task_id).collect();
+    task_ids.sort();
+
+    // Accumulate execution time per (task, bucket, kind).
+    let mut cells: HashMap<(TaskId, usize, SubJobKind), u64> = HashMap::new();
+    for seg in &report.trace {
+        let Some(&task) = task_of.get(&seg.job_id) else {
+            continue;
+        };
+        let mut cursor = seg.start.as_ns();
+        let end = seg.end.as_ns();
+        while cursor < end {
+            let bucket = (cursor / bucket_ns) as usize;
+            let bucket_end = ((bucket as u64 + 1) * bucket_ns).min(end);
+            *cells.entry((task, bucket.min(width - 1), seg.kind)).or_insert(0) +=
+                bucket_end - cursor;
+            cursor = bucket_end;
+        }
+    }
+
+    let mut out = String::new();
+    let label_width = 14usize;
+    // Time axis header.
+    let _ = writeln!(
+        out,
+        "{:>label_width$} 0{}{}",
+        "task",
+        " ".repeat(width.saturating_sub(2)),
+        format_args!("{}", Duration::from_ns(horizon_ns)),
+    );
+    for &task_id in &task_ids {
+        let stats = report.task(task_id).expect("listed task");
+        let mut row = String::with_capacity(width);
+        for bucket in 0..width {
+            let best = [
+                SubJobKind::LocalWhole,
+                SubJobKind::Setup,
+                SubJobKind::PostProcess,
+                SubJobKind::Compensation,
+            ]
+            .into_iter()
+            .filter_map(|k| cells.get(&(task_id, bucket, k)).map(|&ns| (ns, k)))
+            .max_by_key(|&(ns, _)| ns);
+            row.push(match best {
+                Some((_, kind)) => glyph(kind),
+                None => '·',
+            });
+        }
+        let miss_note = if stats.misses > 0 {
+            format!("  !! {} misses", stats.misses)
+        } else {
+            String::new()
+        };
+        let _ = writeln!(out, "{:>label_width$} {row}{miss_note}", task_id.to_string());
+    }
+    let _ = writeln!(
+        out,
+        "{:>label_width$} L=local S=setup P=post-process C=compensation ·=idle",
+        "legend"
+    );
+    out
+}
+
+fn fill(kind: SubJobKind) -> &'static str {
+    match kind {
+        SubJobKind::LocalWhole => "#4e79a7",
+        SubJobKind::Setup => "#f28e2b",
+        SubJobKind::PostProcess => "#59a14f",
+        SubJobKind::Compensation => "#e15759",
+    }
+}
+
+/// Renders the trace as a standalone SVG Gantt chart (`width_px` wide),
+/// one lane per task, deadline misses flagged in the lane label.
+///
+/// The output is self-contained XML — write it to a `.svg` file and open
+/// it in any browser.
+///
+/// # Panics
+///
+/// Panics if `width_px < 100`.
+pub fn render_svg(report: &SimReport, width_px: usize) -> String {
+    assert!(width_px >= 100, "svg width must be at least 100 px");
+    let horizon_ns = report.horizon.as_ns().max(1) as f64;
+    let mut task_ids: Vec<TaskId> = report.per_task.iter().map(|t| t.task_id).collect();
+    task_ids.sort();
+    let lane_height = 26usize;
+    let label_width = 110usize;
+    let chart_width = width_px - label_width;
+    let height = lane_height * task_ids.len() + 40;
+    let lane_of: HashMap<TaskId, usize> = task_ids
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| (t, i))
+        .collect();
+    let task_of: HashMap<usize, TaskId> =
+        report.jobs.iter().map(|j| (j.job_id, j.task_id)).collect();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width_px}" height="{height}" font-family="monospace" font-size="12">"#
+    );
+    // Lane labels and baselines.
+    for (i, &task_id) in task_ids.iter().enumerate() {
+        let y = 20 + i * lane_height;
+        let stats = report.task(task_id).expect("listed task");
+        let label = if stats.misses > 0 {
+            format!("{task_id} (!{})", stats.misses)
+        } else {
+            task_id.to_string()
+        };
+        let _ = writeln!(
+            out,
+            r##"<text x="4" y="{}">{}</text><line x1="{label_width}" y1="{}" x2="{width_px}" y2="{}" stroke="#ddd"/>"##,
+            y + lane_height / 2 + 4,
+            label,
+            y + lane_height,
+            y + lane_height
+        );
+    }
+    // Segments.
+    for seg in &report.trace {
+        let Some(&task) = task_of.get(&seg.job_id) else {
+            continue;
+        };
+        let lane = lane_of[&task];
+        let x0 = label_width as f64
+            + seg.start.as_ns() as f64 / horizon_ns * chart_width as f64;
+        let w = ((seg.end.as_ns() - seg.start.as_ns()) as f64 / horizon_ns
+            * chart_width as f64)
+            .max(0.5);
+        let y = 22 + lane * lane_height;
+        let _ = writeln!(
+            out,
+            r#"<rect x="{x0:.2}" y="{y}" width="{w:.2}" height="{}" fill="{}"><title>job {} {:?} {}..{}</title></rect>"#,
+            lane_height - 6,
+            fill(seg.kind),
+            seg.job_id,
+            seg.kind,
+            seg.start,
+            seg.end
+        );
+    }
+    // Legend.
+    let legend_y = 20 + task_ids.len() * lane_height + 12;
+    let _ = writeln!(
+        out,
+        r#"<text x="4" y="{legend_y}">local setup post-process compensation (hover segments for details)</text>"#
+    );
+    let _ = writeln!(out, "</svg>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobRecord, Outcome, Segment};
+    use crate::metrics::{SubJobLog, TaskStats};
+    use rto_core::time::Instant;
+
+    fn at(ms: u64) -> Instant {
+        Instant::from_ns(ms * 1_000_000)
+    }
+
+    fn tiny_report() -> SimReport {
+        let jobs = vec![JobRecord {
+            job_id: 0,
+            task_id: TaskId(0),
+            released_at: at(0),
+            abs_deadline: at(100),
+            completed_at: Some(at(30)),
+            outcome: Some(Outcome::Local),
+            compensation: None,
+            setup_finished_at: None,
+            response_at: None,
+        }];
+        let trace = vec![Segment {
+            start: at(0),
+            end: at(30),
+            job_id: 0,
+            kind: SubJobKind::LocalWhole,
+            abs_deadline: at(100),
+        }];
+        let stats = TaskStats {
+            task_id: TaskId(0),
+            released: 1,
+            accountable: 1,
+            completed: 1,
+            misses: 0,
+            local_jobs: 1,
+            remote_jobs: 0,
+            compensated_jobs: 0,
+            response_time: None,
+            realized_benefit: 1.0,
+            baseline_benefit: 1.0,
+        };
+        SimReport {
+            horizon: Duration::from_ms(100),
+            seed: 0,
+            per_task: vec![stats],
+            jobs,
+            trace,
+            subjobs: vec![SubJobLog {
+                job_id: 0,
+                kind: SubJobKind::LocalWhole,
+                released_at: at(0),
+                work: Duration::from_ms(30),
+                abs_deadline: at(100),
+                completed_at: Some(at(30)),
+            }],
+            busy_time: Duration::from_ms(30),
+            preemptions: 0,
+        }
+    }
+
+    #[test]
+    fn renders_execution_and_idle() {
+        let report = tiny_report();
+        let text = render_gantt(&report, 10);
+        // Row for τ0: 3 buckets of L (0-30ms of 100ms over 10 buckets),
+        // then idle.
+        let row = text.lines().nth(1).expect("task row");
+        assert!(row.contains("τ0"));
+        assert!(row.contains("LLL·······"), "row was: {row}");
+        assert!(text.contains("legend"));
+    }
+
+    #[test]
+    fn flags_misses() {
+        let mut report = tiny_report();
+        report.per_task[0].misses = 2;
+        let text = render_gantt(&report, 8);
+        assert!(text.contains("!! 2 misses"));
+    }
+
+    #[test]
+    fn dominant_phase_wins_bucket() {
+        let mut report = tiny_report();
+        // Add a 1 ms setup sliver into the first bucket next to 9 ms of
+        // local execution: L must win.
+        report.trace = vec![
+            Segment {
+                start: at(0),
+                end: at(1),
+                job_id: 0,
+                kind: SubJobKind::Setup,
+                abs_deadline: at(100),
+            },
+            Segment {
+                start: at(1),
+                end: at(10),
+                job_id: 0,
+                kind: SubJobKind::LocalWhole,
+                abs_deadline: at(100),
+            },
+        ];
+        let text = render_gantt(&report, 10);
+        let row = text.lines().nth(1).expect("task row");
+        assert!(row.contains(" L·········") || row.contains("L·········"), "row: {row}");
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        render_gantt(&tiny_report(), 0);
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_complete() {
+        let report = tiny_report();
+        let svg = render_svg(&report, 600);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One rect per trace segment, lane label present.
+        assert_eq!(svg.matches("<rect").count(), report.trace.len());
+        assert!(svg.contains("τ0"));
+        assert!(svg.contains(fill(SubJobKind::LocalWhole)));
+        // Tooltips carry job details.
+        assert!(svg.contains("<title>job 0 LocalWhole"));
+    }
+
+    #[test]
+    fn svg_flags_misses_in_label() {
+        let mut report = tiny_report();
+        report.per_task[0].misses = 3;
+        let svg = render_svg(&report, 600);
+        assert!(svg.contains("(!3)"), "{svg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 100")]
+    fn svg_too_narrow_panics() {
+        render_svg(&tiny_report(), 50);
+    }
+}

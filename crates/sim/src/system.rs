@@ -1,0 +1,993 @@
+//! The full-system simulation: EDF processor + offloading runtime +
+//! compensation timers + server.
+
+use crate::error::SimError;
+use crate::event::{Event, EventQueue};
+use crate::job::{JobRecord, Outcome, Segment, SubJobKind};
+use crate::metrics::{aggregate, SimReport, SubJobLog};
+use rto_core::compensation::{CompensationManager, ResultDisposition, TimerDisposition};
+use rto_core::odm::{Decision, OdmTask, OffloadingPlan};
+use rto_core::task::TaskId;
+use rto_core::time::{Duration, Instant};
+use rto_server::gpu::{BlackHoleServer, OffloadRequest, OffloadServer};
+use rto_stats::Rng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// How job releases recur.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReleasePolicy {
+    /// Strictly periodic releases (the critical-instant pattern).
+    Periodic,
+    /// Sporadic: period plus a uniform extra gap in `[0, max_extra]`.
+    SporadicJitter {
+        /// Maximum extra inter-arrival gap.
+        max_extra: Duration,
+    },
+}
+
+/// How actual execution times relate to WCETs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExecutionTimeModel {
+    /// Every execution takes exactly its WCET (worst case).
+    Wcet,
+    /// Uniformly distributed in `[min_fraction · WCET, WCET]`.
+    UniformFraction {
+        /// Lower bound as a fraction of the WCET (in `[0, 1]`).
+        min_fraction: f64,
+    },
+}
+
+impl ExecutionTimeModel {
+    fn sample(&self, wcet: Duration, rng: &mut Rng) -> Duration {
+        if wcet.is_zero() {
+            return Duration::ZERO;
+        }
+        match *self {
+            ExecutionTimeModel::Wcet => wcet,
+            ExecutionTimeModel::UniformFraction { min_fraction } => {
+                let f = rng.f64_range(min_fraction.clamp(0.0, 1.0), 1.0);
+                let d = wcet.scale_f64(f).expect("fraction in [0,1]");
+                d.max(Duration::from_ns(1))
+            }
+        }
+    }
+}
+
+/// Which absolute deadline the setup sub-job gets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeadlinePolicy {
+    /// The plan's split deadline `D_{i,1}` (the paper's algorithm).
+    #[default]
+    PlanSplit,
+    /// Naive EDF: both phases carry the original deadline `D_i` (the
+    /// baseline §5.1 argues performs poorly).
+    NaiveSameDeadline,
+}
+
+/// Which scheduling policy orders the ready queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerPolicy {
+    /// Preemptive EDF over sub-job absolute deadlines (the paper's
+    /// algorithm).
+    #[default]
+    Edf,
+    /// Preemptive deadline-monotonic fixed priorities: all sub-jobs of a
+    /// task share the priority implied by the task's relative deadline
+    /// (baseline; EDF is optimal on one processor, DM is not).
+    DeadlineMonotonic,
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Simulated time span.
+    pub horizon: Duration,
+    /// RNG seed (controls execution times and release jitter; the server
+    /// has its own seed).
+    pub seed: u64,
+    /// Release recurrence.
+    pub release: ReleasePolicy,
+    /// Actual-execution-time model.
+    pub exec_time: ExecutionTimeModel,
+    /// Setup-deadline assignment.
+    pub deadline_policy: DeadlinePolicy,
+    /// Ready-queue ordering policy.
+    pub scheduler: SchedulerPolicy,
+}
+
+impl SimConfig {
+    /// A default configuration: worst-case execution times, periodic
+    /// releases, plan-split deadlines.
+    pub fn new(horizon: Duration, seed: u64) -> Self {
+        SimConfig {
+            horizon,
+            seed,
+            release: ReleasePolicy::Periodic,
+            exec_time: ExecutionTimeModel::Wcet,
+            deadline_policy: DeadlinePolicy::PlanSplit,
+            scheduler: SchedulerPolicy::Edf,
+        }
+    }
+
+    /// Shorthand for an `n`-second horizon.
+    pub fn for_seconds(n: u64, seed: u64) -> Self {
+        SimConfig::new(Duration::from_secs(n), seed)
+    }
+
+    /// Sets the release policy.
+    pub fn with_release(mut self, release: ReleasePolicy) -> Self {
+        self.release = release;
+        self
+    }
+
+    /// Sets the execution-time model.
+    pub fn with_exec_time(mut self, exec_time: ExecutionTimeModel) -> Self {
+        self.exec_time = exec_time;
+        self
+    }
+
+    /// Sets the deadline policy.
+    pub fn with_deadline_policy(mut self, policy: DeadlinePolicy) -> Self {
+        self.deadline_policy = policy;
+        self
+    }
+
+    /// Sets the scheduler policy.
+    pub fn with_scheduler(mut self, scheduler: SchedulerPolicy) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+}
+
+/// Per-task resolved plan parameters.
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    Local,
+    Offload {
+        level: usize,
+        response_time: Duration,
+        setup_deadline: Duration,
+        setup_wcet: Duration,
+        /// What actually executes if the timer fires: the real per-level
+        /// compensation WCET (`C_{i,2}`), regardless of what the plan
+        /// budgeted — a plan that trusted a server bound and budgeted
+        /// only `C_{i,3}` pays the honest price if the bound is violated.
+        timeout_wcet: Duration,
+    },
+}
+
+/// Shapes the [`OffloadRequest`] sent for a task at a given level (e.g.
+/// image payload sizes per scaling level in the case study).
+pub type RequestShaper = Box<dyn Fn(&rto_core::task::Task, usize) -> OffloadRequest>;
+
+/// A configured simulation, ready to [`Simulation::run`].
+pub struct Simulation {
+    tasks: Vec<OdmTask>,
+    modes: Vec<Mode>,
+    benefits: Vec<(f64, f64)>, // per task: (weighted local value, weighted level value)
+    server: Box<dyn OffloadServer>,
+    shaper: Option<RequestShaper>,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("tasks", &self.tasks.len())
+            .field("modes", &self.modes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Simulation {
+    /// Binds tasks to a plan (the plan must cover exactly these tasks).
+    ///
+    /// The server defaults to a black hole (every offload lost — pure
+    /// compensation); install a real model with
+    /// [`Simulation::with_server`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadConfig`] when a task has no plan entry or
+    /// the task list is empty.
+    pub fn build(tasks: Vec<OdmTask>, plan: OffloadingPlan) -> Result<Self, SimError> {
+        if tasks.is_empty() {
+            return Err(SimError::config("no tasks"));
+        }
+        let mut modes = Vec::with_capacity(tasks.len());
+        let mut benefits = Vec::with_capacity(tasks.len());
+        for t in &tasks {
+            let entry = plan
+                .get(t.task().id())
+                .ok_or_else(|| SimError::config(format!("no plan entry for {}", t.task().id())))?;
+            let local_value = t.benefit().local_value() * t.weight();
+            match entry.decision {
+                Decision::Local => {
+                    modes.push(Mode::Local);
+                    benefits.push((local_value, 0.0));
+                }
+                Decision::Offload {
+                    level,
+                    response_time,
+                    setup_deadline,
+                    setup_wcet,
+                    ..
+                } => {
+                    if level >= t.benefit().num_levels() {
+                        return Err(SimError::config(format!(
+                            "plan level {level} out of range for {}",
+                            t.task().id()
+                        )));
+                    }
+                    // The timeout path always runs the real per-level
+                    // compensation code.
+                    let timeout_wcet = t.benefit().points()[level]
+                        .compensation_wcet
+                        .unwrap_or_else(|| t.task().compensation_wcet());
+                    modes.push(Mode::Offload {
+                        level,
+                        response_time,
+                        setup_deadline,
+                        setup_wcet,
+                        timeout_wcet,
+                    });
+                    let level_value = t.benefit().points()[level].value * t.weight();
+                    benefits.push((local_value, level_value));
+                }
+            }
+        }
+        Ok(Simulation {
+            tasks,
+            modes,
+            benefits,
+            server: Box::new(BlackHoleServer),
+            shaper: None,
+        })
+    }
+
+    /// Installs the offload server model.
+    pub fn with_server(mut self, server: Box<dyn OffloadServer>) -> Self {
+        self.server = server;
+        self
+    }
+
+    /// Installs a request shaper (payload sizes / compute scale per task
+    /// and level).
+    pub fn with_request_shaper(mut self, shaper: RequestShaper) -> Self {
+        self.shaper = Some(shaper);
+        self
+    }
+
+    /// Runs the simulation to the horizon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadConfig`] for a zero horizon; propagates
+    /// [`SimError::Core`] only on internal protocol bugs (never on
+    /// validated inputs).
+    pub fn run(self, config: SimConfig) -> Result<SimReport, SimError> {
+        if config.horizon.is_zero() {
+            return Err(SimError::config("zero horizon"));
+        }
+        let mut rng = Rng::seed_from(config.seed);
+        let exec_rng = rng.fork(1);
+        let release_rng = rng.fork(2);
+        let mut engine = Engine {
+            tasks: self.tasks,
+            modes: self.modes,
+            benefits: self.benefits,
+            server: self.server,
+            shaper: self.shaper,
+            config,
+            horizon: Instant::ZERO + config.horizon,
+            clock: Instant::ZERO,
+            events: EventQueue::new(),
+            ready: BinaryHeap::new(),
+            ready_seq: 0,
+            jobs: Vec::new(),
+            subjobs: Vec::new(),
+            subjob_index: HashMap::new(),
+            trace: Vec::new(),
+            busy: Duration::ZERO,
+            exec_rng,
+            release_rng,
+        };
+        engine.run()
+    }
+}
+
+/// Ready-queue entry ordered by (policy priority key, release sequence).
+///
+/// Under EDF the key is the sub-job's absolute deadline; under
+/// deadline-monotonic it is the owning task's relative deadline (a static
+/// priority). `deadline` is kept for tracing regardless of policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Ready {
+    priority_key: u64,
+    deadline: Instant,
+    seq: u64,
+    job_id: usize,
+    kind: SubJobKind,
+    remaining_ns: u64,
+}
+
+impl Ord for Ready {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority_key
+            .cmp(&other.priority_key)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for Ready {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The running simulation state.
+struct Engine {
+    tasks: Vec<OdmTask>,
+    modes: Vec<Mode>,
+    benefits: Vec<(f64, f64)>,
+    server: Box<dyn OffloadServer>,
+    shaper: Option<RequestShaper>,
+    config: SimConfig,
+    horizon: Instant,
+    clock: Instant,
+    events: EventQueue,
+    ready: BinaryHeap<Reverse<Ready>>,
+    ready_seq: u64,
+    jobs: Vec<JobRecord>,
+    subjobs: Vec<SubJobLog>,
+    subjob_index: HashMap<(usize, SubJobKind), usize>,
+    trace: Vec<Segment>,
+    busy: Duration,
+    exec_rng: Rng,
+    release_rng: Rng,
+}
+
+impl Engine {
+    fn run(&mut self) -> Result<SimReport, SimError> {
+        for i in 0..self.tasks.len() {
+            self.events.push(Instant::ZERO, Event::Release { task_index: i });
+        }
+        loop {
+            // Drain all events due at or before the clock.
+            while self.events.peek_time().is_some_and(|t| t <= self.clock) {
+                let (t, ev) = self.events.pop().expect("peeked");
+                self.handle_event(ev, t)?;
+            }
+            match self.ready.pop() {
+                Some(Reverse(mut entry)) => {
+                    let next_event = self.events.peek_time().unwrap_or(Instant::MAX);
+                    let completion = self.clock + Duration::from_ns(entry.remaining_ns);
+                    let run_until = completion.min(next_event).min(self.horizon);
+                    debug_assert!(run_until > self.clock, "zero-length scheduling step");
+                    let executed = run_until.since(self.clock);
+                    self.busy += executed;
+                    // Merge contiguous same-sub-job segments.
+                    match self.trace.last_mut() {
+                        Some(last)
+                            if last.end == self.clock
+                                && last.job_id == entry.job_id
+                                && last.kind == entry.kind =>
+                        {
+                            last.end = run_until;
+                        }
+                        _ => self.trace.push(Segment {
+                            start: self.clock,
+                            end: run_until,
+                            job_id: entry.job_id,
+                            kind: entry.kind,
+                            abs_deadline: entry.deadline,
+                        }),
+                    }
+                    entry.remaining_ns -= executed.as_ns();
+                    self.clock = run_until;
+                    if entry.remaining_ns == 0 {
+                        self.complete_subjob(entry.job_id, entry.kind, self.clock)?;
+                    } else {
+                        self.ready.push(Reverse(entry));
+                    }
+                    if self.clock >= self.horizon {
+                        break;
+                    }
+                }
+                None => match self.events.pop() {
+                    Some((t, ev)) if t < self.horizon => {
+                        self.clock = self.clock.max(t);
+                        self.handle_event(ev, t)?;
+                    }
+                    _ => break,
+                },
+            }
+        }
+        Ok(self.report())
+    }
+
+    fn handle_event(&mut self, ev: Event, t: Instant) -> Result<(), SimError> {
+        match ev {
+            Event::Release { task_index } => self.handle_release(task_index, t),
+            Event::ServerResponse { job_id } => self.handle_response(job_id, t),
+            Event::CompensationTimer { job_id } => self.handle_timer(job_id, t),
+        }
+    }
+
+    fn handle_release(&mut self, task_index: usize, t0: Instant) -> Result<(), SimError> {
+        let task = self.tasks[task_index].task();
+        let job_id = self.jobs.len();
+        let abs_deadline = t0 + task.deadline();
+        let mode = self.modes[task_index];
+        let (deadline_rel, period, local_wcet) = (task.deadline(), task.period(), task.local_wcet());
+        let compensation = match mode {
+            Mode::Offload { response_time, .. } => Some(CompensationManager::new(response_time)),
+            Mode::Local => None,
+        };
+        self.jobs.push(JobRecord {
+            job_id,
+            task_id: task.id(),
+            released_at: t0,
+            abs_deadline,
+            completed_at: None,
+            outcome: None,
+            compensation,
+            setup_finished_at: None,
+            response_at: None,
+        });
+        match mode {
+            Mode::Local => {
+                let work = self
+                    .config
+                    .exec_time
+                    .sample(local_wcet, &mut self.exec_rng)
+                    .max(Duration::from_ns(1));
+                self.release_subjob(job_id, SubJobKind::LocalWhole, work, abs_deadline, t0)?;
+            }
+            Mode::Offload {
+                setup_deadline,
+                setup_wcet,
+                ..
+            } => {
+                let d1 = match self.config.deadline_policy {
+                    DeadlinePolicy::PlanSplit => setup_deadline,
+                    DeadlinePolicy::NaiveSameDeadline => deadline_rel,
+                };
+                let work = self
+                    .config
+                    .exec_time
+                    .sample(setup_wcet, &mut self.exec_rng)
+                    .max(Duration::from_ns(1));
+                self.release_subjob(job_id, SubJobKind::Setup, work, t0 + d1, t0)?;
+            }
+        }
+        // Schedule the next release.
+        let gap = match self.config.release {
+            ReleasePolicy::Periodic => period,
+            ReleasePolicy::SporadicJitter { max_extra } => {
+                let extra = Duration::from_ns(if max_extra.is_zero() {
+                    0
+                } else {
+                    self.release_rng.u64_range(0, max_extra.as_ns())
+                });
+                period + extra
+            }
+        };
+        let next = t0 + gap;
+        if next < self.horizon {
+            self.events.push(next, Event::Release { task_index });
+        }
+        Ok(())
+    }
+
+    fn handle_response(&mut self, job_id: usize, t: Instant) -> Result<(), SimError> {
+        let (disposition, abs_deadline) = {
+            let job = &mut self.jobs[job_id];
+            if job.response_at.is_none() {
+                job.response_at = Some(t);
+            }
+            let mgr = job
+                .compensation
+                .as_mut()
+                .expect("response events only exist for offloaded jobs");
+            (mgr.result_arrived(t)?, job.abs_deadline)
+        };
+        if disposition == ResultDisposition::Accepted {
+            let task_index = self.task_index_of(job_id);
+            let c3 = self.tasks[task_index].task().postprocess_wcet();
+            let work = self.config.exec_time.sample(c3, &mut self.exec_rng);
+            self.release_subjob(job_id, SubJobKind::PostProcess, work, abs_deadline, t)?;
+        }
+        Ok(())
+    }
+
+    fn handle_timer(&mut self, job_id: usize, t: Instant) -> Result<(), SimError> {
+        let (disposition, abs_deadline) = {
+            let job = &mut self.jobs[job_id];
+            let mgr = job
+                .compensation
+                .as_mut()
+                .expect("timer events only exist for offloaded jobs");
+            (mgr.timer_fired(t)?, job.abs_deadline)
+        };
+        if disposition == TimerDisposition::StartedCompensation {
+            let task_index = self.task_index_of(job_id);
+            let c2 = match self.modes[task_index] {
+                Mode::Offload { timeout_wcet, .. } => timeout_wcet,
+                Mode::Local => unreachable!("local jobs have no timer"),
+            };
+            let work = self
+                .config
+                .exec_time
+                .sample(c2, &mut self.exec_rng)
+                .max(Duration::from_ns(1));
+            self.release_subjob(job_id, SubJobKind::Compensation, work, abs_deadline, t)?;
+        }
+        Ok(())
+    }
+
+    fn task_index_of(&self, job_id: usize) -> usize {
+        let task_id = self.jobs[job_id].task_id;
+        self.tasks
+            .iter()
+            .position(|x| x.task().id() == task_id)
+            .expect("job belongs to a known task")
+    }
+
+    /// Makes a sub-job ready; zero-work sub-jobs complete instantly.
+    fn release_subjob(
+        &mut self,
+        job_id: usize,
+        kind: SubJobKind,
+        work: Duration,
+        deadline: Instant,
+        now: Instant,
+    ) -> Result<(), SimError> {
+        self.subjob_index.insert((job_id, kind), self.subjobs.len());
+        self.subjobs.push(SubJobLog {
+            job_id,
+            kind,
+            released_at: now,
+            work,
+            abs_deadline: deadline,
+            completed_at: None,
+        });
+        if work.is_zero() {
+            self.complete_subjob(job_id, kind, now)
+        } else {
+            self.ready_seq += 1;
+            let priority_key = match self.config.scheduler {
+                SchedulerPolicy::Edf => deadline.as_ns(),
+                SchedulerPolicy::DeadlineMonotonic => {
+                    let task_index = self.task_index_of(job_id);
+                    self.tasks[task_index].task().deadline().as_ns()
+                }
+            };
+            self.ready.push(Reverse(Ready {
+                priority_key,
+                deadline,
+                seq: self.ready_seq,
+                job_id,
+                kind,
+                remaining_ns: work.as_ns(),
+            }));
+            Ok(())
+        }
+    }
+
+    /// Handles a sub-job finishing at `now`.
+    fn complete_subjob(
+        &mut self,
+        job_id: usize,
+        kind: SubJobKind,
+        now: Instant,
+    ) -> Result<(), SimError> {
+        if let Some(&idx) = self.subjob_index.get(&(job_id, kind)) {
+            self.subjobs[idx].completed_at = Some(now);
+        }
+        match kind {
+            SubJobKind::LocalWhole => {
+                let job = &mut self.jobs[job_id];
+                job.completed_at = Some(now);
+                job.outcome = Some(Outcome::Local);
+            }
+            SubJobKind::Setup => {
+                let timer_at = {
+                    let job = &mut self.jobs[job_id];
+                    job.setup_finished_at = Some(now);
+                    let mgr = job
+                        .compensation
+                        .as_mut()
+                        .expect("setup sub-jobs only exist for offloaded jobs");
+                    mgr.setup_finished(now)?
+                };
+                // Fire the offload request, then arm the timer. Enqueue
+                // order matters: a response arriving exactly at `R_i`
+                // must be processed before the timer (the manager accepts
+                // boundary results).
+                let task_index = self.task_index_of(job_id);
+                let level = match self.modes[task_index] {
+                    Mode::Offload { level, .. } => level,
+                    Mode::Local => unreachable!("setup sub-job on local task"),
+                };
+                let request = match &self.shaper {
+                    Some(shaper) => shaper(self.tasks[task_index].task(), level),
+                    None => OffloadRequest::new(self.jobs[job_id].task_id.0),
+                };
+                if let Some(arrives_at) = self.server.submit(&request, now).arrival() {
+                    self.events.push(arrives_at, Event::ServerResponse { job_id });
+                }
+                self.events.push(timer_at, Event::CompensationTimer { job_id });
+            }
+            SubJobKind::PostProcess | SubJobKind::Compensation => {
+                let job = &mut self.jobs[job_id];
+                let mgr = job
+                    .compensation
+                    .as_mut()
+                    .expect("completion sub-jobs only exist for offloaded jobs");
+                let outcome = mgr.completion_finished()?;
+                job.completed_at = Some(now);
+                job.outcome = Some(match outcome {
+                    rto_core::compensation::JobOutcome::Remote => Outcome::Remote,
+                    rto_core::compensation::JobOutcome::Compensated => Outcome::Compensated,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn report(&mut self) -> SimReport {
+        // Preemptions: every extra (merged) segment of a sub-job implies
+        // one earlier preemption.
+        let mut seg_counts: HashMap<(usize, SubJobKind), usize> = HashMap::new();
+        for seg in &self.trace {
+            *seg_counts.entry((seg.job_id, seg.kind)).or_insert(0) += 1;
+        }
+        let preemptions = seg_counts.values().map(|&c| c - 1).sum();
+
+        let task_ids: Vec<TaskId> = self.tasks.iter().map(|t| t.task().id()).collect();
+        let per_task = aggregate(&task_ids, &self.benefits, &self.jobs, self.horizon);
+        SimReport {
+            horizon: self.config.horizon,
+            seed: self.config.seed,
+            per_task,
+            jobs: std::mem::take(&mut self.jobs),
+            trace: std::mem::take(&mut self.trace),
+            subjobs: std::mem::take(&mut self.subjobs),
+            busy_time: self.busy,
+            preemptions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rto_core::benefit::BenefitFunction;
+    use rto_core::odm::OffloadingDecisionManager;
+    use rto_core::task::Task;
+    use rto_mckp::DpSolver;
+    use rto_server::gpu::PerfectServer;
+    use rto_server::Scenario;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_ms(v)
+    }
+
+    fn offloadable_task(id: usize, c: u64, c1: u64, c2: u64, t: u64) -> Task {
+        Task::builder(id, format!("t{id}"))
+            .local_wcet(ms(c))
+            .setup_wcet(ms(c1))
+            .compensation_wcet(ms(c2))
+            .period(ms(t))
+            .build()
+            .unwrap()
+    }
+
+    fn plan_for(tasks: Vec<OdmTask>) -> (Vec<OdmTask>, OffloadingPlan) {
+        let odm = OffloadingDecisionManager::new(tasks).unwrap();
+        let plan = odm.decide(&DpSolver::default()).unwrap();
+        (odm.tasks().to_vec(), plan)
+    }
+
+    #[test]
+    fn local_only_system_meets_deadlines() {
+        let t1 = offloadable_task(0, 30, 2, 30, 100);
+        let t2 = offloadable_task(1, 40, 2, 40, 100);
+        let g = BenefitFunction::from_ms_points(&[(0.0, 1.0)]).unwrap();
+        let (tasks, plan) = plan_for(vec![
+            OdmTask::new(t1, g.clone()),
+            OdmTask::new(t2, g),
+        ]);
+        let report = Simulation::build(tasks, plan)
+            .unwrap()
+            .run(SimConfig::for_seconds(2, 1))
+            .unwrap();
+        assert_eq!(report.total_deadline_misses(), 0);
+        // 20 jobs of each task accountable in 2 s.
+        assert_eq!(report.per_task[0].accountable, 20);
+        assert!(report.utilization() > 0.6 && report.utilization() <= 0.71);
+    }
+
+    #[test]
+    fn offloaded_with_perfect_server_all_remote() {
+        let t = offloadable_task(0, 50, 5, 50, 200);
+        let g = BenefitFunction::from_ms_points(&[(0.0, 1.0), (100.0, 9.0)]).unwrap();
+        let (tasks, plan) = plan_for(vec![OdmTask::new(t, g)]);
+        assert_eq!(plan.num_offloaded(), 1);
+        let report = Simulation::build(tasks, plan)
+            .unwrap()
+            .with_server(Box::new(PerfectServer {
+                response_time: ms(20),
+            }))
+            .run(SimConfig::for_seconds(2, 2))
+            .unwrap();
+        assert_eq!(report.total_deadline_misses(), 0);
+        assert_eq!(report.total_compensated(), 0);
+        assert_eq!(report.total_remote(), 10);
+        // Realized benefit: 10 jobs at value 9.
+        assert!((report.total_realized_benefit() - 90.0).abs() < 1e-9);
+        assert!((report.total_baseline_benefit() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn black_hole_server_all_compensated_no_misses() {
+        let t = offloadable_task(0, 50, 5, 50, 200);
+        let g = BenefitFunction::from_ms_points(&[(0.0, 1.0), (100.0, 9.0)]).unwrap();
+        let (tasks, plan) = plan_for(vec![OdmTask::new(t, g)]);
+        let report = Simulation::build(tasks, plan)
+            .unwrap()
+            .run(SimConfig::for_seconds(2, 3))
+            .unwrap();
+        // The whole point of the paper: server totally dead, zero misses.
+        assert_eq!(report.total_deadline_misses(), 0);
+        assert_eq!(report.total_remote(), 0);
+        assert_eq!(report.total_compensated(), 10);
+        assert!((report.total_realized_benefit() - 10.0).abs() < 1e-9);
+        assert!((report.normalized_benefit() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_server_triggers_compensation() {
+        let t = offloadable_task(0, 50, 5, 50, 200);
+        let g = BenefitFunction::from_ms_points(&[(0.0, 1.0), (100.0, 9.0)]).unwrap();
+        let (tasks, plan) = plan_for(vec![OdmTask::new(t, g)]);
+        let report = Simulation::build(tasks, plan)
+            .unwrap()
+            .with_server(Box::new(PerfectServer {
+                response_time: ms(150), // beyond R = 100
+            }))
+            .run(SimConfig::for_seconds(2, 4))
+            .unwrap();
+        assert_eq!(report.total_deadline_misses(), 0);
+        assert_eq!(report.total_remote(), 0);
+        assert_eq!(report.total_compensated(), 10);
+        // Late responses were recorded but dropped.
+        assert!(report.jobs.iter().all(|j| j.response_at.is_some()));
+    }
+
+    #[test]
+    fn response_exactly_at_timer_counts_remote() {
+        let t = offloadable_task(0, 50, 5, 50, 200);
+        let g = BenefitFunction::from_ms_points(&[(0.0, 1.0), (100.0, 9.0)]).unwrap();
+        let (tasks, plan) = plan_for(vec![OdmTask::new(t, g)]);
+        let report = Simulation::build(tasks, plan)
+            .unwrap()
+            .with_server(Box::new(PerfectServer {
+                response_time: ms(100), // exactly R
+            }))
+            .run(SimConfig::for_seconds(1, 5))
+            .unwrap();
+        // The response event (insertion order) precedes the timer at the
+        // same instant, and the manager accepts results at the boundary.
+        assert_eq!(report.total_remote(), 5);
+        assert_eq!(report.total_compensated(), 0);
+    }
+
+    #[test]
+    fn mixed_system_under_scenario_server() {
+        let t1 = offloadable_task(0, 60, 5, 60, 400);
+        let t2 = offloadable_task(1, 80, 5, 80, 400);
+        let g1 = BenefitFunction::from_ms_points(&[(0.0, 1.0), (150.0, 5.0)]).unwrap();
+        let g2 = BenefitFunction::from_ms_points(&[(0.0, 2.0), (200.0, 8.0)]).unwrap();
+        let (tasks, plan) = plan_for(vec![OdmTask::new(t1, g1), OdmTask::new(t2, g2)]);
+        let server = Scenario::Idle.build_server(99).unwrap();
+        let report = Simulation::build(tasks, plan)
+            .unwrap()
+            .with_server(Box::new(server))
+            .run(SimConfig::for_seconds(10, 6))
+            .unwrap();
+        assert_eq!(report.total_deadline_misses(), 0);
+        // Idle server: most offloads should come back in time.
+        let remote = report.total_remote();
+        let compensated = report.total_compensated();
+        assert!(
+            remote > compensated,
+            "idle server should mostly succeed: {remote} vs {compensated}"
+        );
+    }
+
+    #[test]
+    fn sporadic_jitter_reduces_job_count() {
+        let t = offloadable_task(0, 10, 2, 10, 100);
+        let g = BenefitFunction::from_ms_points(&[(0.0, 1.0)]).unwrap();
+        let (tasks, plan) = plan_for(vec![OdmTask::new(t, g)]);
+        let periodic = Simulation::build(tasks.clone(), plan.clone())
+            .unwrap()
+            .run(SimConfig::for_seconds(2, 7))
+            .unwrap();
+        let sporadic = Simulation::build(tasks, plan)
+            .unwrap()
+            .run(
+                SimConfig::for_seconds(2, 7).with_release(ReleasePolicy::SporadicJitter {
+                    max_extra: ms(50),
+                }),
+            )
+            .unwrap();
+        assert!(sporadic.per_task[0].released < periodic.per_task[0].released);
+        assert_eq!(sporadic.total_deadline_misses(), 0);
+    }
+
+    #[test]
+    fn uniform_fraction_exec_lowers_utilization() {
+        let t = offloadable_task(0, 50, 2, 50, 100);
+        let g = BenefitFunction::from_ms_points(&[(0.0, 1.0)]).unwrap();
+        let (tasks, plan) = plan_for(vec![OdmTask::new(t, g)]);
+        let wcet = Simulation::build(tasks.clone(), plan.clone())
+            .unwrap()
+            .run(SimConfig::for_seconds(2, 8))
+            .unwrap();
+        let relaxed = Simulation::build(tasks, plan)
+            .unwrap()
+            .run(SimConfig::for_seconds(2, 8).with_exec_time(
+                ExecutionTimeModel::UniformFraction { min_fraction: 0.2 },
+            ))
+            .unwrap();
+        assert!(relaxed.utilization() < wcet.utilization());
+        assert_eq!(relaxed.total_deadline_misses(), 0);
+    }
+
+    #[test]
+    fn naive_deadline_policy_misses_where_split_does_not() {
+        // One offloaded task next to a heavy local task. Under the paper's
+        // split, the setup sub-job's early deadline makes it run first, so
+        // the compensation timer fires early and the fallback fits. Under
+        // naive same-deadline EDF the setup procrastinates behind the
+        // local task, and the late compensation overruns the deadline.
+        let a = offloadable_task(0, 30, 10, 30, 100); // offloaded, R=20
+        let b = Task::builder(1, "local-heavy")
+            .local_wcet(ms(45))
+            .period(ms(90))
+            .build()
+            .unwrap();
+        let ga = BenefitFunction::from_ms_points(&[(0.0, 1.0), (20.0, 9.0)]).unwrap();
+        let gb = BenefitFunction::from_ms_points(&[(0.0, 1.0)]).unwrap();
+        let (tasks, plan) = plan_for(vec![OdmTask::new(a, ga), OdmTask::new(b, gb)]);
+        assert_eq!(plan.num_offloaded(), 1);
+        // Theorem-3 load: 40/80 + 45/90 = 1.0 — exactly feasible.
+        assert!((plan.total_density() - 1.0).abs() < 1e-9);
+        let split = Simulation::build(tasks.clone(), plan.clone())
+            .unwrap()
+            .run(SimConfig::for_seconds(2, 9))
+            .unwrap();
+        assert_eq!(split.total_deadline_misses(), 0);
+        let naive = Simulation::build(tasks, plan)
+            .unwrap()
+            .run(
+                SimConfig::for_seconds(2, 9)
+                    .with_deadline_policy(DeadlinePolicy::NaiveSameDeadline),
+            )
+            .unwrap();
+        // Black-hole server: every job needs compensation; naive deadlines
+        // leave too little room.
+        assert!(
+            naive.total_deadline_misses() > 0,
+            "naive EDF expected to miss"
+        );
+    }
+
+    #[test]
+    fn deadline_monotonic_misses_where_edf_does_not() {
+        // The classic non-DM-schedulable, EDF-schedulable pair at
+        // utilization 1.0: (C=25, T=D=50) and (C=40, T=D=80). Under DM the
+        // short-deadline task preempts at t=50 and the long one finishes
+        // at 90 > 80; EDF finishes it at 65.
+        let a = Task::builder(0, "short")
+            .local_wcet(ms(25))
+            .period(ms(50))
+            .build()
+            .unwrap();
+        let b = Task::builder(1, "long")
+            .local_wcet(ms(40))
+            .period(ms(80))
+            .build()
+            .unwrap();
+        let g = BenefitFunction::from_ms_points(&[(0.0, 1.0)]).unwrap();
+        let (tasks, plan) = plan_for(vec![OdmTask::new(a, g.clone()), OdmTask::new(b, g)]);
+        let edf = Simulation::build(tasks.clone(), plan.clone())
+            .unwrap()
+            .run(SimConfig::for_seconds(2, 12))
+            .unwrap();
+        assert_eq!(edf.total_deadline_misses(), 0, "EDF is optimal here");
+        let dm = Simulation::build(tasks, plan)
+            .unwrap()
+            .run(
+                SimConfig::for_seconds(2, 12)
+                    .with_scheduler(SchedulerPolicy::DeadlineMonotonic),
+            )
+            .unwrap();
+        assert!(dm.total_deadline_misses() > 0, "DM should miss at U = 1");
+        // The DM run is still a structurally valid trace.
+        assert!(crate::validate::audit_trace(&dm).is_empty());
+    }
+
+    #[test]
+    fn build_validation() {
+        let t = offloadable_task(0, 10, 2, 10, 100);
+        let g = BenefitFunction::from_ms_points(&[(0.0, 1.0)]).unwrap();
+        let (tasks, plan) = plan_for(vec![OdmTask::new(t, g.clone())]);
+        assert!(Simulation::build(vec![], plan.clone()).is_err());
+        // Plan missing a task.
+        let extra = OdmTask::new(offloadable_task(7, 10, 2, 10, 100), g);
+        let mut both = tasks;
+        both.push(extra);
+        assert!(Simulation::build(both, plan).is_err());
+    }
+
+    #[test]
+    fn zero_horizon_rejected() {
+        let t = offloadable_task(0, 10, 2, 10, 100);
+        let g = BenefitFunction::from_ms_points(&[(0.0, 1.0)]).unwrap();
+        let (tasks, plan) = plan_for(vec![OdmTask::new(t, g)]);
+        let sim = Simulation::build(tasks, plan).unwrap();
+        assert!(sim.run(SimConfig::new(Duration::ZERO, 0)).is_err());
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let t = offloadable_task(0, 40, 5, 40, 150);
+        let g = BenefitFunction::from_ms_points(&[(0.0, 1.0), (60.0, 5.0)]).unwrap();
+        let (tasks, plan) = plan_for(vec![OdmTask::new(t, g)]);
+        let run = |seed| {
+            Simulation::build(tasks.clone(), plan.clone())
+                .unwrap()
+                .with_server(Box::new(Scenario::NotBusy.build_server(seed).unwrap()))
+                .run(
+                    SimConfig::for_seconds(5, seed).with_exec_time(
+                        ExecutionTimeModel::UniformFraction { min_fraction: 0.5 },
+                    ),
+                )
+                .unwrap()
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.jobs.len(), b.jobs.len());
+        assert_eq!(a.total_realized_benefit(), b.total_realized_benefit());
+        let c = run(43);
+        assert_ne!(a.trace, c.trace);
+    }
+
+    #[test]
+    fn request_shaper_is_used() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let calls = Arc::new(AtomicUsize::new(0));
+        let calls2 = calls.clone();
+        let t = offloadable_task(0, 50, 5, 50, 200);
+        let g = BenefitFunction::from_ms_points(&[(0.0, 1.0), (100.0, 9.0)]).unwrap();
+        let (tasks, plan) = plan_for(vec![OdmTask::new(t, g)]);
+        let _ = Simulation::build(tasks, plan)
+            .unwrap()
+            .with_server(Box::new(PerfectServer {
+                response_time: ms(10),
+            }))
+            .with_request_shaper(Box::new(move |task, level| {
+                calls2.fetch_add(1, Ordering::Relaxed);
+                OffloadRequest::new(task.id().0).with_compute_scale(level as f64)
+            }))
+            .run(SimConfig::for_seconds(1, 10))
+            .unwrap();
+        assert_eq!(calls.load(Ordering::Relaxed), 5);
+    }
+}

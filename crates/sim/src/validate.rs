@@ -1,0 +1,326 @@
+//! Offline audits of a finished simulation.
+//!
+//! These are the simulator's own correctness oracles, used heavily by the
+//! integration tests:
+//!
+//! * [`audit_trace`] — structural sanity: segments ordered and
+//!   non-overlapping, executed time per sub-job matches its recorded
+//!   work, completions stamped at the final segment's end, and the
+//!   processor is **work-conserving** (never idle while a sub-job is
+//!   ready).
+//! * [`audit_edf`] — the scheduling policy itself: no segment executes a
+//!   sub-job while another *ready, unfinished* sub-job has a strictly
+//!   earlier absolute deadline.
+//!
+//! Both return the full list of violations (empty = clean) so tests can
+//! print every discrepancy at once.
+
+use crate::job::SubJobKind;
+use crate::metrics::{SimReport, SubJobLog};
+use rto_core::time::{Duration, Instant};
+use std::collections::HashMap;
+
+/// A structural audit of the execution trace.
+///
+/// Returns human-readable violation descriptions; empty means clean.
+pub fn audit_trace(report: &SimReport) -> Vec<String> {
+    let mut violations = Vec::new();
+    let horizon = Instant::ZERO + report.horizon;
+
+    // Segment ordering and bounds.
+    for (i, seg) in report.trace.iter().enumerate() {
+        if seg.end <= seg.start {
+            violations.push(format!("segment {i} empty or inverted: {seg:?}"));
+        }
+        if seg.end > horizon {
+            violations.push(format!("segment {i} past horizon: {seg:?}"));
+        }
+        if i > 0 && report.trace[i - 1].end > seg.start {
+            violations.push(format!(
+                "segments {} and {i} overlap: {:?} then {seg:?}",
+                i - 1,
+                report.trace[i - 1]
+            ));
+        }
+    }
+
+    // Per-sub-job executed time vs recorded work.
+    let mut executed: HashMap<(usize, SubJobKind), Duration> = HashMap::new();
+    let mut last_end: HashMap<(usize, SubJobKind), Instant> = HashMap::new();
+    for seg in &report.trace {
+        let key = (seg.job_id, seg.kind);
+        *executed.entry(key).or_insert(Duration::ZERO) += seg.len();
+        last_end.insert(key, seg.end);
+    }
+    for log in &report.subjobs {
+        let key = (log.job_id, log.kind);
+        let ran = executed.get(&key).copied().unwrap_or(Duration::ZERO);
+        match log.completed_at {
+            Some(done) => {
+                if ran != log.work {
+                    violations.push(format!(
+                        "sub-job {key:?} completed having executed {ran} of {} work",
+                        log.work
+                    ));
+                }
+                if !log.work.is_zero() && last_end.get(&key) != Some(&done) {
+                    violations.push(format!(
+                        "sub-job {key:?} completion {done} not at last segment end {:?}",
+                        last_end.get(&key)
+                    ));
+                }
+            }
+            None => {
+                if ran > log.work {
+                    violations.push(format!(
+                        "sub-job {key:?} over-executed: {ran} of {} work",
+                        log.work
+                    ));
+                }
+            }
+        }
+        for seg in report.trace.iter().filter(|s| (s.job_id, s.kind) == key) {
+            if seg.start < log.released_at {
+                violations.push(format!(
+                    "sub-job {key:?} ran at {} before release {}",
+                    seg.start, log.released_at
+                ));
+            }
+        }
+    }
+
+    // Work conservation: during any idle gap, no released sub-job may
+    // still have pending work.
+    let mut gaps: Vec<(Instant, Instant)> = Vec::new();
+    let mut cursor = Instant::ZERO;
+    for seg in &report.trace {
+        if seg.start > cursor {
+            gaps.push((cursor, seg.start));
+        }
+        cursor = cursor.max(seg.end);
+    }
+    if cursor < horizon {
+        gaps.push((cursor, horizon));
+    }
+    for &(gap_start, gap_end) in &gaps {
+        for log in &report.subjobs {
+            if log.work.is_zero() || log.released_at >= gap_end {
+                continue;
+            }
+            let finished_by_gap = log
+                .completed_at
+                .is_some_and(|done| done <= gap_start);
+            if log.released_at <= gap_start && !finished_by_gap {
+                // Pending work must be zero during the gap — but a sub-job
+                // released exactly at gap_start with pending work means
+                // the processor idled while work was ready.
+                let ran_before: Duration = report
+                    .trace
+                    .iter()
+                    .filter(|s| (s.job_id, s.kind) == (log.job_id, log.kind))
+                    .filter(|s| s.end <= gap_start)
+                    .map(|s| s.len())
+                    .sum();
+                if ran_before < log.work {
+                    violations.push(format!(
+                        "idle gap {gap_start}..{gap_end} while sub-job ({}, {:?}) had {} work left",
+                        log.job_id,
+                        log.kind,
+                        log.work - ran_before
+                    ));
+                }
+            }
+        }
+    }
+
+    violations
+}
+
+/// Audits the EDF property: for every segment, no other ready unfinished
+/// sub-job had a strictly earlier absolute deadline.
+///
+/// Returns violation descriptions; empty means the schedule is EDF.
+pub fn audit_edf(report: &SimReport) -> Vec<String> {
+    let mut violations = Vec::new();
+    // Precompute segments per sub-job for executed-before queries.
+    let mut segs: HashMap<(usize, SubJobKind), Vec<(Instant, Instant)>> = HashMap::new();
+    for seg in &report.trace {
+        segs.entry((seg.job_id, seg.kind))
+            .or_default()
+            .push((seg.start, seg.end));
+    }
+    let executed_before = |log: &SubJobLog, t: Instant| -> Duration {
+        segs.get(&(log.job_id, log.kind))
+            .map(|list| {
+                list.iter()
+                    .map(|&(s, e)| {
+                        if e <= t {
+                            e.since(s)
+                        } else if s < t {
+                            t.since(s)
+                        } else {
+                            Duration::ZERO
+                        }
+                    })
+                    .sum()
+            })
+            .unwrap_or(Duration::ZERO)
+    };
+    for seg in &report.trace {
+        for log in &report.subjobs {
+            if (log.job_id, log.kind) == (seg.job_id, seg.kind) {
+                continue;
+            }
+            if log.released_at > seg.start || log.abs_deadline >= seg.abs_deadline {
+                continue;
+            }
+            if executed_before(log, seg.start) < log.work {
+                violations.push(format!(
+                    "segment {:?} ran while ({}, {:?}, deadline {}) was ready with earlier deadline",
+                    seg, log.job_id, log.kind, log.abs_deadline
+                ));
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Segment;
+
+    fn at(ms: u64) -> Instant {
+        Instant::from_ns(ms * 1_000_000)
+    }
+
+    fn dur(ms: u64) -> Duration {
+        Duration::from_ms(ms)
+    }
+
+    fn log(job: usize, kind: SubJobKind, rel: u64, work: u64, dl: u64, done: Option<u64>) -> SubJobLog {
+        SubJobLog {
+            job_id: job,
+            kind,
+            released_at: at(rel),
+            work: dur(work),
+            abs_deadline: at(dl),
+            completed_at: done.map(at),
+        }
+    }
+
+    fn seg(job: usize, kind: SubJobKind, s: u64, e: u64, dl: u64) -> Segment {
+        Segment {
+            start: at(s),
+            end: at(e),
+            job_id: job,
+            kind,
+            abs_deadline: at(dl),
+        }
+    }
+
+    fn empty_report(horizon_ms: u64) -> SimReport {
+        SimReport {
+            horizon: dur(horizon_ms),
+            seed: 0,
+            per_task: vec![],
+            jobs: vec![],
+            trace: vec![],
+            subjobs: vec![],
+            busy_time: Duration::ZERO,
+            preemptions: 0,
+        }
+    }
+
+    #[test]
+    fn clean_single_job_passes() {
+        let mut r = empty_report(100);
+        r.trace = vec![seg(0, SubJobKind::LocalWhole, 0, 10, 50)];
+        r.subjobs = vec![log(0, SubJobKind::LocalWhole, 0, 10, 50, Some(10))];
+        assert!(audit_trace(&r).is_empty(), "{:?}", audit_trace(&r));
+        assert!(audit_edf(&r).is_empty());
+    }
+
+    #[test]
+    fn detects_overlap() {
+        let mut r = empty_report(100);
+        r.trace = vec![
+            seg(0, SubJobKind::LocalWhole, 0, 10, 50),
+            seg(1, SubJobKind::LocalWhole, 5, 15, 60),
+        ];
+        r.subjobs = vec![
+            log(0, SubJobKind::LocalWhole, 0, 10, 50, Some(10)),
+            log(1, SubJobKind::LocalWhole, 0, 10, 60, Some(15)),
+        ];
+        let v = audit_trace(&r);
+        assert!(v.iter().any(|m| m.contains("overlap")), "{v:?}");
+    }
+
+    #[test]
+    fn detects_work_mismatch() {
+        let mut r = empty_report(100);
+        r.trace = vec![seg(0, SubJobKind::LocalWhole, 0, 5, 50)];
+        r.subjobs = vec![log(0, SubJobKind::LocalWhole, 0, 10, 50, Some(5))];
+        let v = audit_trace(&r);
+        assert!(v.iter().any(|m| m.contains("executed")), "{v:?}");
+    }
+
+    #[test]
+    fn detects_idle_while_ready() {
+        let mut r = empty_report(100);
+        // Job released at 0, runs only from 20.
+        r.trace = vec![seg(0, SubJobKind::LocalWhole, 20, 30, 50)];
+        r.subjobs = vec![log(0, SubJobKind::LocalWhole, 0, 10, 50, Some(30))];
+        let v = audit_trace(&r);
+        assert!(v.iter().any(|m| m.contains("idle gap")), "{v:?}");
+    }
+
+    #[test]
+    fn detects_run_before_release() {
+        let mut r = empty_report(100);
+        r.trace = vec![seg(0, SubJobKind::LocalWhole, 0, 10, 50)];
+        r.subjobs = vec![log(0, SubJobKind::LocalWhole, 5, 10, 50, Some(10))];
+        let v = audit_trace(&r);
+        assert!(v.iter().any(|m| m.contains("before release")), "{v:?}");
+    }
+
+    #[test]
+    fn detects_edf_violation() {
+        let mut r = empty_report(100);
+        // Job 1 (deadline 90) runs while job 0 (deadline 50, ready, with
+        // work left) waits.
+        r.trace = vec![
+            seg(1, SubJobKind::LocalWhole, 0, 10, 90),
+            seg(0, SubJobKind::LocalWhole, 10, 20, 50),
+        ];
+        r.subjobs = vec![
+            log(0, SubJobKind::LocalWhole, 0, 10, 50, Some(20)),
+            log(1, SubJobKind::LocalWhole, 0, 10, 90, Some(10)),
+        ];
+        let v = audit_edf(&r);
+        assert!(!v.is_empty());
+        assert!(v[0].contains("earlier deadline"));
+    }
+
+    #[test]
+    fn edf_ok_when_earlier_deadline_not_yet_released() {
+        let mut r = empty_report(100);
+        r.trace = vec![
+            seg(1, SubJobKind::LocalWhole, 0, 10, 90),
+            seg(0, SubJobKind::LocalWhole, 10, 20, 50),
+        ];
+        r.subjobs = vec![
+            log(0, SubJobKind::LocalWhole, 10, 10, 50, Some(20)), // released at 10
+            log(1, SubJobKind::LocalWhole, 0, 10, 90, Some(10)),
+        ];
+        assert!(audit_edf(&r).is_empty());
+    }
+
+    #[test]
+    fn trailing_idle_with_no_work_is_fine() {
+        let mut r = empty_report(1000);
+        r.trace = vec![seg(0, SubJobKind::LocalWhole, 0, 10, 50)];
+        r.subjobs = vec![log(0, SubJobKind::LocalWhole, 0, 10, 50, Some(10))];
+        assert!(audit_trace(&r).is_empty());
+    }
+}

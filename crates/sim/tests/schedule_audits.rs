@@ -1,0 +1,165 @@
+//! End-to-end audits: every simulated schedule must be a valid,
+//! work-conserving EDF schedule, and Theorem-3-feasible plans must never
+//! miss deadlines regardless of server behaviour.
+
+use proptest::prelude::*;
+use rto_core::benefit::BenefitFunction;
+use rto_core::odm::{OdmTask, OffloadingDecisionManager};
+use rto_core::task::Task;
+use rto_core::time::Duration;
+use rto_mckp::DpSolver;
+use rto_server::gpu::{BlackHoleServer, OffloadServer, PerfectServer};
+use rto_server::Scenario;
+use rto_sim::prelude::*;
+
+fn ms(v: u64) -> Duration {
+    Duration::from_ms(v)
+}
+
+/// Builds a random offloadable system spec: up to 4 tasks, each with an
+/// optional offloading level.
+fn system_strategy() -> impl Strategy<Value = Vec<(u64, u64, u64, u64, u64)>> {
+    // (C, C1, C2, T, R) with C,C2 <= 20, T in [80, 200], C1 small.
+    prop::collection::vec(
+        (5u64..=20, 1u64..=5, 5u64..=20, 80u64..=200).prop_flat_map(|(c, c1, c2, t)| {
+            let max_r = t.saturating_sub(c1 + c2 + 1).max(1);
+            (Just(c), Just(c1), Just(c2), Just(t), 1u64..=max_r)
+        }),
+        1..=4,
+    )
+}
+
+fn build_system(
+    specs: &[(u64, u64, u64, u64, u64)],
+) -> Option<(Vec<OdmTask>, rto_core::odm::OffloadingPlan)> {
+    let mut tasks = Vec::new();
+    for (i, &(c, c1, c2, t, r)) in specs.iter().enumerate() {
+        let c = c.min(t);
+        let task = Task::builder(i, format!("t{i}"))
+            .local_wcet(ms(c))
+            .setup_wcet(ms(c1))
+            .compensation_wcet(ms(c2))
+            .period(ms(t))
+            .build()
+            .ok()?;
+        let g = BenefitFunction::from_ms_points(&[(0.0, 1.0), (r as f64, 5.0 + i as f64)]).ok()?;
+        tasks.push(OdmTask::new(task, g));
+    }
+    let odm = OffloadingDecisionManager::new(tasks).ok()?;
+    let plan = odm.decide(&DpSolver::default()).ok()?;
+    Some((odm.tasks().to_vec(), plan))
+}
+
+fn run_with_server(
+    tasks: Vec<OdmTask>,
+    plan: rto_core::odm::OffloadingPlan,
+    server: Box<dyn OffloadServer>,
+    seed: u64,
+) -> SimReport {
+    Simulation::build(tasks, plan)
+        .expect("plan covers tasks")
+        .with_server(server)
+        .run(SimConfig::for_seconds(3, seed))
+        .expect("valid config")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The paper's guarantee: if Theorem 3 accepts the plan, no deadline
+    /// is ever missed — even when the server never answers (black hole),
+    /// always answers instantly, or behaves stochastically.
+    #[test]
+    fn feasible_plans_never_miss(specs in system_strategy(), seed in 0u64..1000) {
+        if let Some((tasks, plan)) = build_system(&specs) {
+            prop_assert!(plan.total_density() <= 1.0 + 1e-9);
+            let servers: Vec<Box<dyn OffloadServer>> = vec![
+                Box::new(BlackHoleServer),
+                Box::new(PerfectServer { response_time: Duration::ZERO }),
+                Box::new(Scenario::Busy.build_server(seed).unwrap()),
+            ];
+            for server in servers {
+                let report = run_with_server(tasks.clone(), plan.clone(), server, seed);
+                prop_assert_eq!(
+                    report.total_deadline_misses(),
+                    0,
+                    "missed deadlines with plan density {}",
+                    plan.total_density()
+                );
+            }
+        }
+    }
+
+    /// Every produced schedule is structurally valid and EDF-ordered.
+    #[test]
+    fn schedules_are_valid_edf(specs in system_strategy(), seed in 0u64..1000) {
+        if let Some((tasks, plan)) = build_system(&specs) {
+            let server = Box::new(Scenario::NotBusy.build_server(seed).unwrap());
+            let report = Simulation::build(tasks, plan)
+                .expect("plan covers tasks")
+                .with_server(server)
+                .run(
+                    SimConfig::for_seconds(3, seed)
+                        .with_exec_time(ExecutionTimeModel::UniformFraction { min_fraction: 0.3 }),
+                )
+                .expect("valid config");
+            let trace_violations = audit_trace(&report);
+            prop_assert!(trace_violations.is_empty(), "{trace_violations:?}");
+            let edf_violations = audit_edf(&report);
+            prop_assert!(edf_violations.is_empty(), "{edf_violations:?}");
+        }
+    }
+
+    /// Conservation of jobs: released = judged + censored, outcomes
+    /// partition completions.
+    #[test]
+    fn job_accounting_consistent(specs in system_strategy(), seed in 0u64..1000) {
+        if let Some((tasks, plan)) = build_system(&specs) {
+            let server = Box::new(Scenario::Idle.build_server(seed).unwrap());
+            let report = run_with_server(tasks, plan, server, seed);
+            for stats in &report.per_task {
+                prop_assert!(stats.accountable <= stats.released);
+                prop_assert!(stats.completed <= stats.accountable);
+                prop_assert_eq!(
+                    stats.local_jobs + stats.remote_jobs + stats.compensated_jobs,
+                    stats.completed
+                );
+                prop_assert!(stats.misses <= stats.accountable);
+                prop_assert!(stats.realized_benefit >= 0.0);
+            }
+        }
+    }
+}
+
+/// Reports survive a JSON round trip untouched — the export format for
+/// external tooling.
+#[test]
+fn report_json_round_trip() {
+    let specs = [(12u64, 2u64, 12u64, 110u64, 35u64)];
+    let (tasks, plan) = build_system(&specs).expect("valid system");
+    let server = Box::new(Scenario::Idle.build_server(3).unwrap());
+    let report = run_with_server(tasks, plan, server, 3);
+    let mut buf = Vec::new();
+    report.write_json(&mut buf).expect("serializes");
+    let parsed: SimReport = serde_json::from_slice(&buf).expect("parses back");
+    assert_eq!(parsed, report);
+}
+
+/// Deterministic end-to-end regression: the exact same scenario always
+/// produces the same benefit and trace shape across releases.
+#[test]
+fn golden_scenario_regression() {
+    let specs = [(15u64, 3u64, 15u64, 120u64, 40u64), (10, 2, 10, 100, 30)];
+    let (tasks, plan) = build_system(&specs).expect("valid system");
+    let server = Box::new(Scenario::NotBusy.build_server(7).unwrap());
+    let report = run_with_server(tasks, plan, server, 7);
+    assert_eq!(report.total_deadline_misses(), 0);
+    assert!(audit_trace(&report).is_empty());
+    assert!(audit_edf(&report).is_empty());
+    // Re-run must match bit for bit.
+    let (tasks2, plan2) = build_system(&specs).expect("valid system");
+    let server2 = Box::new(Scenario::NotBusy.build_server(7).unwrap());
+    let report2 = run_with_server(tasks2, plan2, server2, 7);
+    assert_eq!(report.total_realized_benefit(), report2.total_realized_benefit());
+    assert_eq!(report.trace.len(), report2.trace.len());
+}

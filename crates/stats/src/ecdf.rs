@@ -1,0 +1,182 @@
+//! Empirical cumulative distribution functions.
+//!
+//! The paper's *Benefit and Response Time Estimator* (§3.2) builds the
+//! discretized benefit function `G_i(r)` "based on statistical analysis and
+//! measurement". An [`Ecdf`] over measured response-time samples is exactly
+//! that statistical object: `ecdf.eval(r)` is the estimated probability of
+//! receiving the result within `r`, and `ecdf.quantile(p)` is the smallest
+//! response time that achieves probability `p` — the natural grid on which
+//! to discretize `G_i`.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF built from a batch of samples.
+///
+/// # Example
+///
+/// ```
+/// use rto_stats::ecdf::Ecdf;
+/// let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(e.eval(0.5), 0.0);
+/// assert_eq!(e.eval(2.0), 0.5);
+/// assert_eq!(e.eval(10.0), 1.0);
+/// assert_eq!(e.quantile(0.5), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from samples (takes ownership and sorts).
+    ///
+    /// Returns `None` if `samples` is empty or contains NaN.
+    pub fn new(mut samples: Vec<f64>) -> Option<Self> {
+        if samples.is_empty() || samples.iter().any(|x| x.is_nan()) {
+            return None;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Some(Ecdf { sorted: samples })
+    }
+
+    /// Number of underlying samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the ECDF has no samples (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Evaluates `F(x) = P(X <= x)`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let count = self.sorted.partition_point(|&s| s <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The empirical `p`-quantile: the smallest sample `x` with
+    /// `F(x) >= p`. For `p <= 0` returns the minimum sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p > 1` or `p` is NaN.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(!p.is_nan() && p <= 1.0, "quantile level {p} invalid");
+        if p <= 0.0 {
+            return self.sorted[0];
+        }
+        let n = self.sorted.len();
+        let k = (p * n as f64).ceil() as usize;
+        self.sorted[k.clamp(1, n) - 1]
+    }
+
+    /// The sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// The minimum sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// The maximum sample.
+    pub fn max(&self) -> f64 {
+        self.sorted[self.sorted.len() - 1]
+    }
+
+    /// Returns `(x, F(x))` pairs at each distinct sample — the full step
+    /// function, useful for plotting or discretizing benefit functions.
+    pub fn steps(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        for (i, &x) in self.sorted.iter().enumerate() {
+            let f = (i + 1) as f64 / n;
+            match out.last_mut() {
+                Some(last) if last.0 == x => last.1 = f,
+                _ => out.push((x, f)),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ecdf(v: &[f64]) -> Ecdf {
+        Ecdf::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_and_nan() {
+        assert!(Ecdf::new(vec![]).is_none());
+        assert!(Ecdf::new(vec![1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn eval_step_values() {
+        let e = ecdf(&[3.0, 1.0, 2.0, 4.0]); // unsorted input ok
+        assert_eq!(e.eval(0.0), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn eval_with_ties() {
+        let e = ecdf(&[1.0, 1.0, 2.0, 2.0]);
+        assert_eq!(e.eval(1.0), 0.5);
+        assert_eq!(e.eval(1.5), 0.5);
+        assert_eq!(e.eval(2.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_inverts_eval() {
+        let e = ecdf(&[10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(e.quantile(0.2), 10.0);
+        assert_eq!(e.quantile(0.21), 20.0);
+        assert_eq!(e.quantile(1.0), 50.0);
+        assert_eq!(e.quantile(0.0), 10.0);
+        // Round trip: F(quantile(p)) >= p
+        for p in [0.1, 0.35, 0.6, 0.99] {
+            assert!(e.eval(e.quantile(p)) >= p);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn quantile_above_one_panics() {
+        ecdf(&[1.0]).quantile(1.1);
+    }
+
+    #[test]
+    fn steps_collapse_ties() {
+        let e = ecdf(&[1.0, 1.0, 2.0]);
+        assert_eq!(e.steps(), vec![(1.0, 2.0 / 3.0), (2.0, 1.0)]);
+    }
+
+    #[test]
+    fn min_max_len() {
+        let e = ecdf(&[5.0, -1.0, 3.0]);
+        assert_eq!(e.min(), -1.0);
+        assert_eq!(e.max(), 5.0);
+        assert_eq!(e.len(), 3);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn eval_is_monotone() {
+        let e = ecdf(&[0.3, 0.1, 0.9, 0.5, 0.5]);
+        let mut prev = -1.0;
+        for i in 0..100 {
+            let x = i as f64 / 100.0;
+            let f = e.eval(x);
+            assert!(f >= prev);
+            prev = f;
+        }
+    }
+}

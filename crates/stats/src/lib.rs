@@ -1,0 +1,50 @@
+//! Deterministic statistics substrate for the `rto` workspace.
+//!
+//! This crate provides everything the simulator, the server model, and the
+//! benefit estimator need from "statistics land" without pulling in heavier
+//! dependencies:
+//!
+//! * [`rng`] — a small, fully deterministic pseudo-random number generator
+//!   (SplitMix64-seeded xoshiro256**) that also implements
+//!   [`rand::RngCore`] for interoperability.
+//! * [`dist`] — probability distributions implemented from first principles
+//!   (normal, lognormal, exponential, gamma, Weibull, Pareto, …), all
+//!   sampled through a common [`dist::Distribution`] trait.
+//! * [`desc`] — descriptive statistics: online mean/variance (Welford),
+//!   quantiles, histograms and summaries.
+//! * [`ecdf`] — empirical cumulative distribution functions with forward
+//!   evaluation and quantile inversion; the Benefit & Response Time
+//!   Estimator of the paper is built on these.
+//!
+//! Everything in this crate is deterministic given a seed: the same seed
+//! always produces the same stream on every platform, which is what makes
+//! the experiment binaries in `rto-bench` bit-reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use rto_stats::rng::Rng;
+//! use rto_stats::dist::{Distribution, LogNormal};
+//! use rto_stats::desc::OnlineStats;
+//!
+//! let mut rng = Rng::seed_from(42);
+//! let latency = LogNormal::from_mean_cv(10.0, 0.3).unwrap();
+//! let mut acc = OnlineStats::new();
+//! for _ in 0..1000 {
+//!     acc.push(latency.sample(&mut rng));
+//! }
+//! assert!((acc.mean() - 10.0).abs() < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod desc;
+pub mod dist;
+pub mod ecdf;
+pub mod rng;
+
+pub use desc::{Histogram, OnlineStats, Summary};
+pub use dist::Distribution;
+pub use ecdf::Ecdf;
+pub use rng::Rng;

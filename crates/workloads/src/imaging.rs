@@ -1,0 +1,350 @@
+//! A small grayscale image library: synthetic scenes, bilinear scaling,
+//! MSE/PSNR.
+//!
+//! The case study trades image *scaling level* against schedulability:
+//! smaller images are cheaper to process locally and to transmit, but
+//! lose information. Quality is quantified as the PSNR between the
+//! original image and the down-scaled-then-up-scaled one — exactly the
+//! quantity Table 1 reports per level.
+
+use rto_stats::Rng;
+
+/// An 8-bit grayscale image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    pixels: Vec<u8>,
+}
+
+impl Image {
+    /// Creates a black image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        Image {
+            width,
+            height,
+            pixels: vec![0; width * height],
+        }
+    }
+
+    /// Creates an image from raw pixels (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels.len() != width * height` or a dimension is zero.
+    pub fn from_pixels(width: usize, height: usize, pixels: Vec<u8>) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        assert_eq!(pixels.len(), width * height, "pixel count mismatch");
+        Image {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Raw row-major pixels.
+    pub fn pixels(&self) -> &[u8] {
+        &self.pixels
+    }
+
+    /// The pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[y * self.width + x]
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: u8) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[y * self.width + x] = v;
+    }
+
+    /// Size in bytes when transmitted raw (the payload model for the
+    /// offload request).
+    pub fn payload_bytes(&self) -> u64 {
+        (self.width * self.height) as u64
+    }
+
+    /// Bilinearly resizes to `(new_width, new_height)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either target dimension is zero.
+    pub fn resize(&self, new_width: usize, new_height: usize) -> Image {
+        assert!(new_width > 0 && new_height > 0, "target dimensions must be positive");
+        let mut out = Image::new(new_width, new_height);
+        let sx = self.width as f64 / new_width as f64;
+        let sy = self.height as f64 / new_height as f64;
+        for y in 0..new_height {
+            for x in 0..new_width {
+                // Sample at the source-space center of the target pixel.
+                let fx = ((x as f64 + 0.5) * sx - 0.5).clamp(0.0, (self.width - 1) as f64);
+                let fy = ((y as f64 + 0.5) * sy - 0.5).clamp(0.0, (self.height - 1) as f64);
+                let x0 = fx.floor() as usize;
+                let y0 = fy.floor() as usize;
+                let x1 = (x0 + 1).min(self.width - 1);
+                let y1 = (y0 + 1).min(self.height - 1);
+                let dx = fx - x0 as f64;
+                let dy = fy - y0 as f64;
+                let top = self.get(x0, y0) as f64 * (1.0 - dx) + self.get(x1, y0) as f64 * dx;
+                let bottom = self.get(x0, y1) as f64 * (1.0 - dx) + self.get(x1, y1) as f64 * dx;
+                let v = top * (1.0 - dy) + bottom * dy;
+                out.set(x, y, v.round().clamp(0.0, 255.0) as u8);
+            }
+        }
+        out
+    }
+
+    /// Scales by a factor in `(0, 1]` and back up, returning the
+    /// quality-degraded image at the original size — the case study's
+    /// "scaling level" operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not in `(0, 1]`.
+    pub fn degrade(&self, factor: f64) -> Image {
+        assert!(factor > 0.0 && factor <= 1.0, "scale factor must be in (0, 1]");
+        let w = ((self.width as f64 * factor).round() as usize).max(1);
+        let h = ((self.height as f64 * factor).round() as usize).max(1);
+        if w == self.width && h == self.height {
+            return self.clone();
+        }
+        self.resize(w, h).resize(self.width, self.height)
+    }
+
+    /// Shifts the image content `dx` pixels to the right (used to
+    /// synthesize stereo pairs and motion frames); vacated pixels repeat
+    /// the edge column.
+    pub fn shift_right(&self, dx: usize) -> Image {
+        let mut out = Image::new(self.width, self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let src_x = x.saturating_sub(dx);
+                out.set(x, y, self.get(src_x, y));
+            }
+        }
+        out
+    }
+
+    /// Shifts the image content `dx` pixels to the left — what the right
+    /// camera of a stereo pair sees for objects at disparity `dx`;
+    /// vacated pixels repeat the edge column.
+    pub fn shift_left(&self, dx: usize) -> Image {
+        let mut out = Image::new(self.width, self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let src_x = (x + dx).min(self.width - 1);
+                out.set(x, y, self.get(src_x, y));
+            }
+        }
+        out
+    }
+}
+
+/// Mean squared error between two same-sized images.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn mse(a: &Image, b: &Image) -> f64 {
+    assert_eq!(
+        (a.width, a.height),
+        (b.width, b.height),
+        "MSE of differently-sized images"
+    );
+    let sum: f64 = a
+        .pixels
+        .iter()
+        .zip(&b.pixels)
+        .map(|(&p, &q)| {
+            let d = p as f64 - q as f64;
+            d * d
+        })
+        .sum();
+    sum / a.pixels.len() as f64
+}
+
+/// Peak signal-to-noise ratio between two same-sized 8-bit images, in dB.
+///
+/// Identical images yield the conventional cap of 99 dB — the same
+/// sentinel Table 1 prints for the lossless level.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn psnr(reference: &Image, candidate: &Image) -> f64 {
+    let e = mse(reference, candidate);
+    if e == 0.0 {
+        return 99.0;
+    }
+    let p = 10.0 * (255.0f64 * 255.0 / e).log10();
+    p.min(99.0)
+}
+
+/// Generates a synthetic textured scene: smooth gradient background,
+/// random bright elliptical blobs, and mild pixel noise. Deterministic
+/// given the RNG state.
+pub fn synthetic_scene(width: usize, height: usize, rng: &mut Rng) -> Image {
+    let mut img = Image::new(width, height);
+    // Gradient background.
+    for y in 0..height {
+        for x in 0..width {
+            let g = 40.0 + 80.0 * (x as f64 / width as f64) + 40.0 * (y as f64 / height as f64);
+            img.set(x, y, g as u8);
+        }
+    }
+    // Blobs: foreground structure that scaling degrades.
+    let blobs = 6 + rng.usize_below(6);
+    for _ in 0..blobs {
+        let cx = rng.usize_below(width) as f64;
+        let cy = rng.usize_below(height) as f64;
+        let rx = 4.0 + rng.f64() * (width as f64 / 8.0);
+        let ry = 4.0 + rng.f64() * (height as f64 / 8.0);
+        let brightness = 120.0 + rng.f64() * 135.0;
+        for y in 0..height {
+            for x in 0..width {
+                let nx = (x as f64 - cx) / rx;
+                let ny = (y as f64 - cy) / ry;
+                let d2 = nx * nx + ny * ny;
+                if d2 < 1.0 {
+                    let v = img.get(x, y) as f64;
+                    let blended = v + (brightness - v) * (1.0 - d2);
+                    img.set(x, y, blended.clamp(0.0, 255.0) as u8);
+                }
+            }
+        }
+    }
+    // Mild sensor noise.
+    for p in &mut img.pixels {
+        let noise = (rng.f64() - 0.5) * 12.0;
+        *p = (*p as f64 + noise).clamp(0.0, 255.0) as u8;
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scene(seed: u64) -> Image {
+        synthetic_scene(120, 90, &mut Rng::seed_from(seed))
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let mut img = Image::new(4, 3);
+        assert_eq!(img.width(), 4);
+        assert_eq!(img.height(), 3);
+        assert_eq!(img.payload_bytes(), 12);
+        img.set(2, 1, 200);
+        assert_eq!(img.get(2, 1), 200);
+        let raw = Image::from_pixels(2, 2, vec![1, 2, 3, 4]);
+        assert_eq!(raw.get(1, 1), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        Image::new(2, 2).get(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pixel count mismatch")]
+    fn from_pixels_validates() {
+        Image::from_pixels(2, 2, vec![0; 3]);
+    }
+
+    #[test]
+    fn resize_identity_roundtrip() {
+        let img = scene(1);
+        let same = img.resize(img.width(), img.height());
+        // Identity resize: bilinear at pixel centers reproduces pixels.
+        assert_eq!(img, same);
+    }
+
+    #[test]
+    fn degrade_full_factor_is_identity() {
+        let img = scene(2);
+        assert_eq!(img.degrade(1.0), img);
+    }
+
+    #[test]
+    fn psnr_monotone_in_scale_factor() {
+        // The crux of the case study: smaller scale ⇒ lower PSNR.
+        let img = scene(3);
+        let factors = [0.2, 0.4, 0.6, 0.8, 1.0];
+        let psnrs: Vec<f64> = factors
+            .iter()
+            .map(|&f| psnr(&img, &img.degrade(f)))
+            .collect();
+        for w in psnrs.windows(2) {
+            assert!(
+                w[0] < w[1] + 1e-9,
+                "PSNR not monotone: {psnrs:?} for {factors:?}"
+            );
+        }
+        assert_eq!(*psnrs.last().unwrap(), 99.0); // lossless sentinel
+        assert!(psnrs[0] > 10.0 && psnrs[0] < 45.0, "degraded PSNR {}", psnrs[0]);
+    }
+
+    #[test]
+    fn mse_zero_for_identical() {
+        let img = scene(4);
+        assert_eq!(mse(&img, &img), 0.0);
+        assert_eq!(psnr(&img, &img), 99.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "differently-sized")]
+    fn mse_size_mismatch_panics() {
+        mse(&Image::new(2, 2), &Image::new(3, 2));
+    }
+
+    #[test]
+    fn shift_right_moves_content() {
+        let mut img = Image::new(5, 1);
+        img.set(0, 0, 100);
+        let shifted = img.shift_right(2);
+        assert_eq!(shifted.get(2, 0), 100);
+        assert_eq!(shifted.get(0, 0), 100); // edge repeat
+        assert_eq!(shifted.get(4, 0), 0);
+    }
+
+    #[test]
+    fn scenes_are_deterministic_and_textured() {
+        let a = scene(7);
+        let b = scene(7);
+        assert_eq!(a, b);
+        let c = scene(8);
+        assert_ne!(a, c);
+        // Texture check: not flat.
+        let min = a.pixels().iter().min().unwrap();
+        let max = a.pixels().iter().max().unwrap();
+        assert!(max - min > 50, "scene too flat: {min}..{max}");
+    }
+}

@@ -1,0 +1,33 @@
+//! # rto-workloads — case-study and synthetic workloads
+//!
+//! Everything the paper evaluates on, rebuilt:
+//!
+//! * [`imaging`] — a small grayscale image library: synthetic scene
+//!   generation, bilinear scaling, MSE/PSNR. The case study's benefit
+//!   values are PSNR-vs-scaling-level curves; this module lets the repo
+//!   *re-derive* such curves from first principles instead of only
+//!   replaying Table 1.
+//! * [`vision`] — the four §6.1 kernels in miniature: stereo disparity
+//!   (block matching), Sobel edge detection, Harris-corner object
+//!   recognition proxy, and frame-difference motion detection.
+//! * [`case_study`] — the §6.1 system: the exact Table 1 dataset, the
+//!   four sporadic tasks (deadlines 1.8 s / 2 s), importance weights 1–4
+//!   and their 24 permutations, and ready-made [`rto_core::odm::OdmTask`]
+//!   bundles.
+//! * [`random`] — the §6.2 generator: 30 tasks with `C_{i,1}, C_i ~
+//!   U(0, 20] ms`, `C_{i,2} = C_i`, `D_i = T_i ~ U{600…700} ms`, and
+//!   probabilistic benefit functions with levels 10 %…100 % at increasing
+//!   response times in `[100, 200] ms`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod case_study;
+pub mod imaging;
+pub mod random;
+pub mod sift;
+pub mod vision;
+
+pub use case_study::{case_study_system, table1, weight_permutations};
+pub use imaging::Image;
+pub use random::{random_system, uunifast, RandomSystemParams};

@@ -1,0 +1,117 @@
+//! Adaptive operation: a fleet of servers, client-side routing, and a
+//! sliding-window estimator that re-plans when the world changes.
+//!
+//! The paper computes one offloading plan offline. Real components drift:
+//! servers load up, networks degrade. This example runs the loop a real
+//! deployment would:
+//!
+//! 1. probe the fleet, build a benefit function from the window;
+//! 2. plan, simulate a planning epoch;
+//! 3. feed the epoch's observed response times back into the window;
+//! 4. repeat — and watch the plan adapt when the fleet degrades.
+//!
+//! Run with `cargo run --example adaptive_fleet`.
+
+use rto::core::estimator::WindowedEstimator;
+use rto::core::odm::{OdmTask, OffloadingDecisionManager};
+use rto::core::prelude::*;
+use rto::mckp::DpSolver;
+use rto::server::gpu::{GpuServer, OffloadServer};
+use rto::server::network::NetworkModel;
+use rto::server::{Routing, ServerFleet};
+use rto::sim::prelude::*;
+
+fn build_fleet(epoch: usize, seed: u64) -> ServerFleet {
+    // Member 0 is fast; member 1 degrades sharply from epoch 2 on (its
+    // background load jumps), as if another tenant moved in.
+    let fast = GpuServer::new(2, 40.0, 0.3, 0.0, 0.0, NetworkModel::wlan(), seed).unwrap();
+    let other_load = if epoch >= 2 { 40.0 } else { 0.0 };
+    let degrading = GpuServer::new(
+        2,
+        40.0,
+        0.3,
+        other_load,
+        45.0,
+        NetworkModel::wlan(),
+        seed ^ 0xbeef,
+    )
+    .unwrap();
+    ServerFleet::new(
+        vec![Box::new(fast), Box::new(degrading)],
+        Routing::FastestObserved { explore_every: 4 },
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let task = Task::builder(0, "vision")
+        .local_wcet(Duration::from_ms(120))
+        .setup_wcet(Duration::from_ms(8))
+        .compensation_wcet(Duration::from_ms(120))
+        .period(Duration::from_ms(500))
+        .build()?;
+
+    let mut window = WindowedEstimator::new(64);
+    // Cold start: one probing epoch against the fresh fleet.
+    {
+        let mut fleet = build_fleet(0, 7);
+        for k in 0..32u64 {
+            let now = Instant::ZERO + Duration::from_ms(250 * k);
+            if let Some(t) = fleet
+                .submit(&rto::server::OffloadRequest::new(0), now)
+                .arrival()
+            {
+                window.push(t.since(now));
+            }
+        }
+    }
+
+    println!(
+        "{:>5} {:>10} {:>12} {:>9} {:>12} {:>8}",
+        "epoch", "est p75", "decision", "remote", "compensated", "quality"
+    );
+    for epoch in 0..4usize {
+        // Re-estimate from the window and re-plan.
+        let est = window.estimator()?;
+        // Local execution processes a shrunken frame: quality 0.25.
+        // Offloading at probability level p yields expected quality p.
+        let benefit = est.benefit_function(0.25, &[0.5, 0.75, 0.9])?;
+        let odm = OffloadingDecisionManager::new(vec![OdmTask::new(
+            task.clone(),
+            benefit.scale_values(8.0)?,
+        )])?;
+        let plan = odm.decide(&DpSolver::default())?;
+        let decision = if plan.num_offloaded() > 0 { "offload" } else { "local" };
+
+        // Run one 8 s epoch against the current fleet.
+        let fleet = build_fleet(epoch, 7 + epoch as u64);
+        let report = Simulation::build(odm.tasks().to_vec(), plan)?
+            .with_server(Box::new(fleet))
+            .run(SimConfig::for_seconds(8, 7 + epoch as u64))?;
+        assert_eq!(report.total_deadline_misses(), 0);
+
+        // Feed observations back (response arrivals relative to setup).
+        for job in &report.jobs {
+            if let (Some(sent), Some(got)) = (job.setup_finished_at, job.response_at) {
+                window.push(got.since(sent));
+            }
+        }
+
+        println!(
+            "{:>5} {:>8.1}ms {:>12} {:>9} {:>12} {:>8.2}",
+            epoch,
+            est.quantile(0.75).as_ms_f64(),
+            decision,
+            report.total_remote(),
+            report.total_compensated(),
+            report.normalized_benefit()
+        );
+    }
+    println!();
+    println!(
+        "Epochs 0-1 run against a healthy fleet; from epoch 2 one member\n\
+         degrades. The routing shields the client at first (it shifts to the\n\
+         fast member), the window absorbs the new reality, and every deadline\n\
+         held throughout — compensation covered the transitions."
+    );
+    Ok(())
+}

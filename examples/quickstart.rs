@@ -1,0 +1,57 @@
+//! Quickstart: one task, one decision, one simulation.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use rto::core::prelude::*;
+use rto::mckp::DpSolver;
+use rto::server::Scenario;
+use rto::sim::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the task: an object-recognition kernel that takes
+    //    278 ms locally. Offloading needs 5 ms of setup; if the server
+    //    misses the promised response time, the 278 ms local version runs
+    //    as compensation (the builder's default). Period = deadline = 1 s.
+    let task = Task::builder(0, "object-recognition")
+        .local_wcet(Duration::from_ms(278))
+        .setup_wcet(Duration::from_ms(5))
+        .period(Duration::from_secs(1))
+        .build()?;
+
+    // 2. Describe what offloading buys: quality 10 locally (small image),
+    //    40 if the server answers within 150 ms (full image).
+    let benefit = BenefitFunction::from_ms_points(&[(0.0, 10.0), (150.0, 40.0)])?;
+
+    // 3. Let the Offloading Decision Manager choose, maximizing benefit
+    //    subject to the Theorem-3 schedulability test.
+    let odm = OffloadingDecisionManager::new(vec![OdmTask::new(task, benefit)])?;
+    let plan = odm.decide(&DpSolver::default())?;
+    println!("Plan (density {:.3}, planned benefit {:.1}):", plan.total_density(), plan.total_benefit());
+    for d in plan.decisions() {
+        println!("  {:?}", d.decision);
+    }
+
+    // 4. Simulate 10 s against a *busy*, timing-unreliable GPU server.
+    let server = Scenario::Busy.build_server(42)?;
+    let report = Simulation::build(odm.tasks().to_vec(), plan)?
+        .with_server(Box::new(server))
+        .run(SimConfig::for_seconds(10, 42))?;
+
+    // 5. The guarantee: zero deadline misses, no matter what the server
+    //    did — late results were replaced by the local compensation.
+    println!(
+        "Simulated 10 s: {} jobs, {} in-time server results, {} compensations, {} misses",
+        report.jobs.len(),
+        report.total_remote(),
+        report.total_compensated(),
+        report.total_deadline_misses()
+    );
+    println!(
+        "Realized benefit {:.1} vs all-local baseline {:.1} ({:.2}x)",
+        report.total_realized_benefit(),
+        report.total_baseline_benefit(),
+        report.normalized_benefit()
+    );
+    assert_eq!(report.total_deadline_misses(), 0);
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Schedulability explorer: how the promised response time `R` trades
+//! against feasibility.
+//!
+//! For one offloaded task next to a local workload, sweeps `R` and prints
+//! the Theorem-3 density, the naive suspension-oblivious load, and the
+//! exact processor-demand verdict — showing (a) why larger promises cost
+//! schedulability and (b) how much the paper's test gains over the naive
+//! analysis.
+//!
+//! Run with `cargo run --example schedulability_explorer`.
+
+use rto::core::analysis::{
+    density_test, processor_demand_test, suspension_oblivious_test, OffloadedTask,
+};
+use rto::core::deadline::SplitPolicy;
+use rto::core::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Background local workload: 40% utilization.
+    let local = Task::builder(0, "control-loop")
+        .local_wcet(Duration::from_ms(20))
+        .period(Duration::from_ms(50))
+        .build()?;
+    // The offloading candidate: 60 ms setup+compensation, deadline 200 ms.
+    let candidate = Task::builder(1, "vision")
+        .local_wcet(Duration::from_ms(55))
+        .setup_wcet(Duration::from_ms(5))
+        .compensation_wcet(Duration::from_ms(55))
+        .period(Duration::from_ms(200))
+        .build()?;
+
+    println!(
+        "{:>6}  {:>10}  {:>10}  {:>10}  {:>7}",
+        "R(ms)", "thm3-load", "naive-load", "exact-peak", "verdict"
+    );
+    for r_ms in (0..=140).step_by(10) {
+        let r = Duration::from_ms(r_ms);
+        let entry = OffloadedTask::new(&candidate, r);
+        let thm3 = density_test([&local], [entry])?;
+        let naive = suspension_oblivious_test([&local], [entry])?;
+        let exact = processor_demand_test(
+            [&local],
+            [entry],
+            SplitPolicy::Proportional,
+            Duration::from_secs(2),
+        )?;
+        let verdict = match (thm3.schedulable, exact.schedulable) {
+            (true, _) => "thm3 ok",
+            (false, true) => "exact ok",
+            (false, false) => "reject",
+        };
+        println!(
+            "{:>6}  {:>10.3}  {:>10.3}  {:>10.3}  {:>7}",
+            r_ms, thm3.load, naive.load, exact.peak_demand_ratio, verdict
+        );
+    }
+    println!();
+    println!(
+        "Reading the table: the Theorem-3 load grows with R (the slack D - R\n\
+         shrinks), the naive analysis inflates R into execution demand and\n\
+         rejects much earlier, and the exact test shows how much margin the\n\
+         closed-form tests leave on the table."
+    );
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Visualize a schedule: ASCII Gantt charts of the case study under an
+//! idle and a busy server, side by side with per-task outcomes.
+//!
+//! Run with `cargo run --example trace_view`.
+
+use rto::core::odm::OffloadingDecisionManager;
+use rto::mckp::DpSolver;
+use rto::server::Scenario;
+use rto::sim::prelude::*;
+use rto::sim::render::{render_gantt, render_svg};
+use rto::workloads::case_study::{case_study_system, shape_request};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let odm = OffloadingDecisionManager::new(case_study_system([1.0, 2.0, 3.0, 4.0]))?;
+    let plan = odm.decide(&DpSolver::default())?;
+
+    for scenario in [Scenario::Idle, Scenario::Busy] {
+        let report = Simulation::build(odm.tasks().to_vec(), plan.clone())?
+            .with_server(Box::new(scenario.build_server(5)?))
+            .with_request_shaper(Box::new(shape_request))
+            .run(SimConfig::for_seconds(6, 5))?;
+        println!("=== scenario: {scenario} ===");
+        println!("{}", render_gantt(&report, 100));
+        println!(
+            "remote {}, compensated {}, misses {}, utilization {:.2}",
+            report.total_remote(),
+            report.total_compensated(),
+            report.total_deadline_misses(),
+            report.utilization()
+        );
+        println!();
+    }
+    // Also emit a browsable SVG of the busy-server run.
+    let report = Simulation::build(odm.tasks().to_vec(), plan)?
+        .with_server(Box::new(Scenario::Busy.build_server(5)?))
+        .with_request_shaper(Box::new(shape_request))
+        .run(SimConfig::for_seconds(6, 5))?;
+    let svg_path = std::env::temp_dir().join("rto_trace.svg");
+    std::fs::write(&svg_path, render_svg(&report, 1200))?;
+    println!("SVG version written to {}", svg_path.display());
+    println!();
+    println!(
+        "Reading the charts: under the idle server the offloaded tasks show\n\
+         short S slivers followed by P (the GPU answered); under the busy\n\
+         server the same slots turn into long C stretches — the compensation\n\
+         carrying the deadline guarantee."
+    );
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! # rto — hard real-time computation offloading onto timing-unreliable components
+//!
+//! A complete Rust implementation of *"Computation Offloading by Using
+//! Timing Unreliable Components in Real-Time Systems"* (Liu, Chen, Toma,
+//! Kuo, Deng — DAC 2014): schedule hard real-time tasks on an embedded
+//! processor while opportunistically offloading work to components (GPUs,
+//! COTS accelerators, networked servers) that offer **no worst-case
+//! timing guarantee**, protecting every deadline with local
+//! compensations.
+//!
+//! This crate is a facade: it re-exports the workspace's crates under one
+//! roof. See each for the details:
+//!
+//! * [`core`] ([`rto_core`]) — task model, benefit functions, EDF sub-job
+//!   deadline splitting, Theorem-1/2/3 schedulability analysis, the
+//!   Offloading Decision Manager, the compensation state machine, and the
+//!   response-time estimator.
+//! * [`mckp`] ([`rto_mckp`]) — multiple-choice knapsack solvers: exact
+//!   pseudo-polynomial DP, HEU-OE heuristic, branch-and-bound, LP
+//!   relaxation.
+//! * [`stats`] ([`rto_stats`]) — deterministic RNG, distributions, ECDFs.
+//! * [`server`] ([`rto_server`]) — the timing-unreliable GPU server +
+//!   network substrate with the paper's busy / not-busy / idle scenarios.
+//! * [`sim`] ([`rto_sim`]) — discrete-event EDF simulator with
+//!   compensation timers and schedule audits.
+//! * [`workloads`] ([`rto_workloads`]) — the robot-vision case study
+//!   (Table 1), imaging/vision kernels, and the §6.2 random generator.
+//!
+//! ## End-to-end example
+//!
+//! ```
+//! use rto::core::prelude::*;
+//! use rto::sim::prelude::*;
+//! use rto::server::Scenario;
+//!
+//! // A vision task: 278 ms locally, or 5 ms setup + compensation when
+//! // offloaded; period 1 s. Offloading within 150 ms quadruples quality.
+//! let task = Task::builder(0, "recognition")
+//!     .local_wcet(Duration::from_ms(278))
+//!     .setup_wcet(Duration::from_ms(5))
+//!     .period(Duration::from_secs(1))
+//!     .build()?;
+//! let benefit = BenefitFunction::from_ms_points(&[(0.0, 10.0), (150.0, 40.0)])?;
+//!
+//! // Decide (exact DP) and simulate 5 s against a busy GPU server.
+//! let odm = OffloadingDecisionManager::new(vec![OdmTask::new(task, benefit)])?;
+//! let plan = odm.decide(&rto::mckp::DpSolver::default())?;
+//! let report = Simulation::build(odm.tasks().to_vec(), plan)?
+//!     .with_server(Box::new(Scenario::Busy.build_server(1)?))
+//!     .run(SimConfig::for_seconds(5, 1))?;
+//!
+//! // The guarantee: deadlines hold no matter what the server did.
+//! assert_eq!(report.total_deadline_misses(), 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rto_core as core;
+pub use rto_mckp as mckp;
+pub use rto_server as server;
+pub use rto_sim as sim;
+pub use rto_stats as stats;
+pub use rto_workloads as workloads;
