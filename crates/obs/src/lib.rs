@@ -1,0 +1,5 @@
+//! `rto-obs` — structured tracing + metrics for the rto stack.
+//!
+//! Placeholder; populated by the observability build-out.
+
+#![forbid(unsafe_code)]

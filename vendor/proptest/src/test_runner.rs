@@ -1,0 +1,160 @@
+//! Deterministic case runner: configuration, RNG, and failure type.
+
+use std::fmt;
+
+/// Per-test configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Assertion failure — aborts the whole property.
+    Fail(String),
+    /// Case rejected (e.g. precondition unmet) — skipped, not fatal.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "case rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Derives a stable 64-bit seed from the test name and case index
+/// (FNV-1a over the name, mixed with the case number).
+#[must_use]
+pub fn derive_seed(name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Deterministic generator: xoshiro256** seeded via splitmix64.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Expands `seed` into the full generator state with splitmix64.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64 random bits (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`; `bound == 0` means the full
+    /// 64-bit range. Modulo bias is negligible for test generation.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        let raw = self.next_u64();
+        if bound == 0 {
+            raw
+        } else {
+            raw % bound
+        }
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_stable() {
+        assert_eq!(derive_seed("foo", 3), derive_seed("foo", 3));
+        assert_ne!(derive_seed("foo", 3), derive_seed("foo", 4));
+        assert_ne!(derive_seed("foo", 3), derive_seed("bar", 3));
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::from_seed(42);
+        let mut b = TestRng::from_seed(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..1000 {
+            assert!(rng.below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut rng = TestRng::from_seed(9);
+        for _ in 0..1000 {
+            let f = rng.unit_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Offline shim for the tiny subset of the `rand` crate this workspace
+//! uses: the [`RngCore`] trait and its [`Error`] type.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors API-compatible stand-ins for its few external
+//! dependencies (see `vendor/README.md`). `rto-stats` implements its own
+//! deterministic xoshiro256** generator and only needs `rand` for the
+//! interoperability trait.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Error type reported by [`RngCore::try_fill_bytes`].
+///
+/// Mirrors `rand::Error` closely enough for this workspace: an opaque,
+/// boxed message.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error from any message.
+    pub fn new<E: fmt::Display>(err: E) -> Self {
+        Error {
+            msg: err.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator, as in `rand_core`.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+
+    /// Fills `dest` with random bytes, reporting failure as an error.
+    ///
+    /// # Errors
+    ///
+    /// Infallible for all in-tree implementations; the `Result` exists
+    /// for API compatibility with `rand_core`.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 += 1;
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u64() as u8;
+            }
+        }
+    }
+
+    #[test]
+    fn default_try_fill_delegates() {
+        let mut c = Counter(0);
+        let mut buf = [0u8; 3];
+        c.try_fill_bytes(&mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3]);
+    }
+
+    #[test]
+    fn error_displays() {
+        let e = Error::new("boom");
+        assert!(e.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,549 @@
+//! Offline API-compatible shim for the subset of `serde` this workspace
+//! uses.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors stand-ins for its few external dependencies (see
+//! `vendor/README.md`). This crate replaces `serde`'s data model with a
+//! small self-describing [`Value`] tree: `Serialize` renders a type into
+//! a `Value`, `Deserialize` rebuilds the type from one, and the vendored
+//! `serde_json` shim converts between `Value` and JSON text.
+//!
+//! Semantics intentionally mirror real serde where the workspace relies
+//! on them:
+//! - unknown fields are ignored during deserialization,
+//! - a missing field deserializes from `Value::Null` (so `Option<T>`
+//!   fields default to `None`),
+//! - `#[serde(default)]`, `#[serde(default = "path")]`,
+//!   `#[serde(rename_all = "kebab-case")]`, and `#[serde(untagged)]` are
+//!   honoured by the vendored derive,
+//! - enums use external tagging (`"Variant"` or `{"Variant": ...}`).
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing data model: the meeting point between `Serialize`,
+/// `Deserialize`, and the `serde_json` shim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Non-negative integers parse to `U64`.
+    U64(u64),
+    /// Negative integers parse to `I64`.
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered map, preserving struct field declaration order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A short human-readable name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Error produced when a [`Value`] does not match the shape a
+/// `Deserialize` impl expects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// Standard "expected X, found Y" constructor.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        DeError::new(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can render itself into the [`Value`] data model.
+pub trait Serialize {
+    fn serialize_value(&self) -> Value;
+}
+
+/// A type that can rebuild itself from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when `v` does not match the expected shape.
+    fn deserialize_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                let n: u64 = match v {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    Value::F64(f) if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 => {
+                        *f as u64
+                    }
+                    other => return Err(DeError::expected("unsigned integer", other)),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::new(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 {
+                    Value::U64(n as u64)
+                } else {
+                    Value::I64(n)
+                }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                let n: i64 = match v {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| DeError::new(format!("integer {n} out of range for i64")))?,
+                    Value::F64(f)
+                        if f.fract() == 0.0
+                            && *f >= i64::MIN as f64
+                            && *f <= i64::MAX as f64 =>
+                    {
+                        *f as i64
+                    }
+                    other => return Err(DeError::expected("integer", other)),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::new(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::F64(f) => Ok(*f),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            other => Err(DeError::expected("float", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        f64::deserialize_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => {
+                let mut chars = s.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(DeError::new("expected single-character string")),
+                }
+            }
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compound impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(t) => t.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        self.as_slice().serialize_value()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::deserialize_value(v)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::new(format!("expected array of {N} elements, found {len}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        T::deserialize_value(v).map(Box::new)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_value(&self) -> Value {
+        Value::Array(vec![self.0.serialize_value(), self.1.serialize_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) if items.len() == 2 => Ok((
+                A::deserialize_value(&items[0])?,
+                B::deserialize_value(&items[1])?,
+            )),
+            other => Err(DeError::expected("2-element array", other)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize_value(v)?)))
+                .collect(),
+            other => Err(DeError::expected("object", other)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Support machinery used by the vendored derive macro
+// ---------------------------------------------------------------------------
+
+/// Internal helpers referenced by code generated in `serde_derive`.
+///
+/// Not part of the public API contract; only the derive output uses it.
+pub mod __private {
+    use super::{DeError, Deserialize, Value};
+
+    /// Fetches a struct field, treating an absent key as `Value::Null`
+    /// so that `Option<T>` fields come back as `None` — the same
+    /// behaviour real serde implements via `missing_field`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the field's own deserialization error, annotated with
+    /// the field name.
+    pub fn field<T: Deserialize>(obj: &Value, name: &str) -> Result<T, DeError> {
+        let v = obj.get(name).unwrap_or(&Value::Null);
+        T::deserialize_value(v).map_err(|e| DeError::new(format!("field `{name}`: {e}")))
+    }
+
+    /// Fetches a struct field with `#[serde(default)]` semantics: absent
+    /// *or* failing keys fall back only when absent; present-but-invalid
+    /// values still error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the field's own deserialization error when the key is
+    /// present but malformed.
+    pub fn field_or_else<T: Deserialize>(
+        obj: &Value,
+        name: &str,
+        default: impl FnOnce() -> T,
+    ) -> Result<T, DeError> {
+        match obj.get(name) {
+            None | Some(Value::Null) => Ok(default()),
+            Some(v) => {
+                T::deserialize_value(v).map_err(|e| DeError::new(format!("field `{name}`: {e}")))
+            }
+        }
+    }
+
+    /// Requires `v` to be an object, for struct deserialization.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `DeError` naming `ty` when `v` is not an object.
+    pub fn expect_object<'v>(v: &'v Value, ty: &str) -> Result<&'v Value, DeError> {
+        match v {
+            Value::Object(_) => Ok(v),
+            other => Err(DeError::new(format!(
+                "expected object for `{ty}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Requires `v` to be an array of exactly `n` elements, for tuple
+    /// struct / tuple variant deserialization.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `DeError` naming `ty` on shape mismatch.
+    pub fn expect_tuple<'v>(v: &'v Value, n: usize, ty: &str) -> Result<&'v [Value], DeError> {
+        match v {
+            Value::Array(items) if items.len() == n => Ok(items),
+            Value::Array(items) => Err(DeError::new(format!(
+                "expected {n}-element array for `{ty}`, found {} elements",
+                items.len()
+            ))),
+            other => Err(DeError::new(format!(
+                "expected array for `{ty}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Decodes the externally-tagged representation of an enum: either a
+    /// bare string (unit variant) or a single-key object
+    /// `{"Variant": payload}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `DeError` naming `ty` when `v` is neither form.
+    pub fn variant_of<'v>(v: &'v Value, ty: &str) -> Result<(&'v str, &'v Value), DeError> {
+        match v {
+            Value::Str(s) => Ok((s.as_str(), &Value::Null)),
+            Value::Object(fields) if fields.len() == 1 => {
+                Ok((fields[0].0.as_str(), &fields[0].1))
+            }
+            other => Err(DeError::new(format!(
+                "expected variant of `{ty}` (string or single-key object), found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_round_trip() {
+        let some: Option<u32> = Some(7);
+        let none: Option<u32> = None;
+        assert_eq!(some.serialize_value(), Value::U64(7));
+        assert_eq!(none.serialize_value(), Value::Null);
+        assert_eq!(Option::<u32>::deserialize_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::deserialize_value(&Value::U64(7)).unwrap(),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn signed_crosses_unsigned() {
+        assert_eq!(i64::deserialize_value(&Value::U64(5)).unwrap(), 5);
+        assert_eq!(u64::deserialize_value(&Value::I64(5)).unwrap(), 5);
+        assert!(u64::deserialize_value(&Value::I64(-5)).is_err());
+    }
+
+    #[test]
+    fn float_accepts_integers() {
+        assert_eq!(f64::deserialize_value(&Value::U64(3)).unwrap(), 3.0);
+        assert_eq!(f64::deserialize_value(&Value::I64(-3)).unwrap(), -3.0);
+    }
+
+    #[test]
+    fn missing_field_is_null() {
+        let obj = Value::Object(vec![("a".into(), Value::U64(1))]);
+        let missing: Option<u32> = __private::field(&obj, "b").unwrap();
+        assert_eq!(missing, None);
+        let present: u32 = __private::field(&obj, "a").unwrap();
+        assert_eq!(present, 1);
+    }
+
+    #[test]
+    fn default_field_semantics() {
+        let obj = Value::Object(vec![("a".into(), Value::Str("x".into()))]);
+        let v: u32 = __private::field_or_else(&obj, "b", || 9).unwrap();
+        assert_eq!(v, 9);
+        // Present-but-wrong-type still errors.
+        assert!(__private::field_or_else::<u32>(&obj, "a", || 9).is_err());
+    }
+
+    #[test]
+    fn variant_forms() {
+        let unit = Value::Str("Local".into());
+        let (name, payload) = __private::variant_of(&unit, "Decision").unwrap();
+        assert_eq!(name, "Local");
+        assert_eq!(payload, &Value::Null);
+
+        let tagged = Value::Object(vec![("Offload".into(), Value::U64(2))]);
+        let (name, payload) = __private::variant_of(&tagged, "Decision").unwrap();
+        assert_eq!(name, "Offload");
+        assert_eq!(payload, &Value::U64(2));
+    }
+}

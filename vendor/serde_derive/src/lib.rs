@@ -1,0 +1,641 @@
+//! Offline shim for `serde_derive`: hand-rolled `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` proc macros targeting the vendored `serde`
+//! crate's `Value` data model.
+//!
+//! The build environment has no network access, so this macro is written
+//! against `proc_macro` alone — no `syn`, no `quote`. It parses the item
+//! declaration with a small token walker and emits the impl as source
+//! text, which is parsed back into a `TokenStream`.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! - structs with named fields, tuple/newtype structs, unit structs
+//! - enums with unit, tuple/newtype, and struct variants
+//!   (externally tagged, as in real serde)
+//! - `#[serde(default)]` and `#[serde(default = "path")]` on fields
+//! - `#[serde(rename = "...")]` on fields and variants
+//! - `#[serde(rename_all = "kebab-case")]` on containers
+//! - `#[serde(untagged)]` on enums (variants tried in declaration order)
+//!
+//! Generics and lifetimes are intentionally unsupported and panic with a
+//! clear message — the workspace has no such derived types, and a loud
+//! failure beats silently wrong codegen.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    let src = item.impl_serialize();
+    src.parse()
+        .expect("serde_derive shim: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    let src = item.impl_deserialize();
+    src.parse()
+        .expect("serde_derive shim: generated Deserialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsed item model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    rename_all_kebab: bool,
+    untagged: bool,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    /// Field count; 1 is a transparent newtype as in real serde.
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    rename: Option<String>,
+    /// `None` = required, `Some(None)` = `#[serde(default)]`,
+    /// `Some(Some(path))` = `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
+}
+
+impl Field {
+    fn ser_name(&self, kebab: bool) -> String {
+        match &self.rename {
+            Some(r) => r.clone(),
+            None if kebab => kebab_case(&self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+struct Variant {
+    name: String,
+    rename: Option<String>,
+    shape: VariantShape,
+}
+
+impl Variant {
+    fn tag(&self, kebab: bool) -> String {
+        match &self.rename {
+            Some(r) => r.clone(),
+            None if kebab => kebab_case(&self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+/// `PascalCase` / `camelCase` / `snake_case` → `kebab-case`.
+fn kebab_case(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, c) in name.chars().enumerate() {
+        if c == '_' {
+            out.push('-');
+        } else if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('-');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Token-walker parsing
+// ---------------------------------------------------------------------------
+
+/// A `#[serde(...)]` meta item.
+enum Meta {
+    Word(String),
+    NameValue(String, String),
+}
+
+/// Extracts serde metas from one attribute's bracket group, or an empty
+/// vec for non-serde attributes (`#[doc = ...]`, `#[derive(...)]`,
+/// `#[default]`, ...).
+fn serde_metas(bracket: TokenStream) -> Vec<Meta> {
+    let tokens: Vec<TokenTree> = bracket.into_iter().collect();
+    let inner = match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            g.stream()
+        }
+        _ => return Vec::new(),
+    };
+    let tokens: Vec<TokenTree> = inner.into_iter().collect();
+    let mut metas = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let key = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: unexpected token in #[serde(...)]: {other}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                i += 1;
+                let lit = match tokens.get(i) {
+                    Some(TokenTree::Literal(l)) => l.to_string(),
+                    other => panic!(
+                        "serde_derive shim: expected string literal after `{key} =`, got {other:?}"
+                    ),
+                };
+                i += 1;
+                let val = lit.trim_matches('"').to_string();
+                metas.push(Meta::NameValue(key, val));
+            }
+            _ => metas.push(Meta::Word(key)),
+        }
+        // Skip separating comma, if any.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    metas
+}
+
+/// Consumes leading `#[...]` attributes starting at `*i`, returning the
+/// serde metas found (non-serde attrs are skipped).
+fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> Vec<Meta> {
+    let mut metas = Vec::new();
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        match tokens.get(*i + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                metas.extend(serde_metas(g.stream()));
+                *i += 2;
+            }
+            other => panic!("serde_derive shim: malformed attribute, expected [...]: {other:?}"),
+        }
+    }
+    metas
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(super)`, ... starting at `*i`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            tokens.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+/// Advances `*i` past a type, stopping after the top-level `,` (or at end
+/// of tokens). Tracks `<`/`>` puncts so commas inside generic arguments
+/// (e.g. `BTreeMap<String, u64>`) are not treated as separators.
+/// Function-pointer types (`fn() -> T`) would confuse the `>` tracking,
+/// but no serialized type in this workspace uses them.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth: i64 = 0;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_fields(metas: Vec<Meta>) -> (Option<String>, Option<Option<String>>) {
+    let mut rename = None;
+    let mut default = None;
+    for m in metas {
+        match m {
+            Meta::Word(w) if w == "default" => default = Some(None),
+            Meta::NameValue(k, v) if k == "default" => default = Some(Some(v)),
+            Meta::NameValue(k, v) if k == "rename" => rename = Some(v),
+            Meta::Word(w) => panic!("serde_derive shim: unsupported field attr #[serde({w})]"),
+            Meta::NameValue(k, _) => {
+                panic!("serde_derive shim: unsupported field attr #[serde({k} = ...)]")
+            }
+        }
+    }
+    (rename, default)
+}
+
+/// Parses `{ field: Type, ... }` contents into fields.
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = ts.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (rename, default) = parse_fields(take_attrs(&tokens, &mut i));
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive shim: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive shim: expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(Field {
+            name,
+            rename,
+            default,
+        });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant `( Type, ... )`.
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut n = 0;
+    while i < tokens.len() {
+        let metas = take_attrs(&tokens, &mut i);
+        assert!(
+            metas.is_empty(),
+            "serde_derive shim: serde attrs on tuple fields are unsupported"
+        );
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = ts.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (rename, default) = parse_fields(take_attrs(&tokens, &mut i));
+        assert!(
+            default.is_none(),
+            "serde_derive shim: #[serde(default)] on enum variants is unsupported"
+        );
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive shim: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant {
+            name,
+            rename,
+            shape,
+        });
+    }
+    variants
+}
+
+impl Item {
+    fn parse(input: TokenStream) -> Item {
+        let tokens: Vec<TokenTree> = input.into_iter().collect();
+        let mut i = 0;
+        let mut rename_all_kebab = false;
+        let mut untagged = false;
+        for m in take_attrs(&tokens, &mut i) {
+            match m {
+                Meta::Word(w) if w == "untagged" => untagged = true,
+                Meta::NameValue(k, v) if k == "rename_all" => {
+                    assert!(
+                        v == "kebab-case",
+                        "serde_derive shim: only rename_all = \"kebab-case\" is supported, \
+                         got \"{v}\""
+                    );
+                    rename_all_kebab = true;
+                }
+                Meta::Word(w) => {
+                    panic!("serde_derive shim: unsupported container attr #[serde({w})]")
+                }
+                Meta::NameValue(k, _) => {
+                    panic!("serde_derive shim: unsupported container attr #[serde({k} = ...)]")
+                }
+            }
+        }
+        skip_visibility(&tokens, &mut i);
+        let kw = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive shim: expected `struct` or `enum`, got {other:?}"),
+        };
+        i += 1;
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive shim: expected type name, got {other:?}"),
+        };
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+            panic!(
+                "serde_derive shim: generic type `{name}` is unsupported; \
+                 derive Serialize/Deserialize manually"
+            );
+        }
+        let kind = match kw.as_str() {
+            "struct" => match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Kind::NamedStruct(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Kind::TupleStruct(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+                other => panic!("serde_derive shim: malformed struct `{name}`: {other:?}"),
+            },
+            "enum" => match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Kind::Enum(parse_variants(g.stream()))
+                }
+                other => panic!("serde_derive shim: malformed enum `{name}`: {other:?}"),
+            },
+            other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+        };
+        Item {
+            name,
+            rename_all_kebab,
+            untagged,
+            kind,
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Codegen (source text, parsed back to tokens by the caller)
+    // -----------------------------------------------------------------
+
+    fn impl_serialize(&self) -> String {
+        let name = &self.name;
+        let body = match &self.kind {
+            Kind::NamedStruct(fields) => {
+                let entries: String = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "({:?}.to_string(), ::serde::Serialize::serialize_value(&self.{})),",
+                            f.ser_name(self.rename_all_kebab),
+                            f.name
+                        )
+                    })
+                    .collect();
+                format!("::serde::Value::Object(vec![{entries}])")
+            }
+            Kind::TupleStruct(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+            Kind::TupleStruct(n) => {
+                let items: String = (0..*n)
+                    .map(|k| format!("::serde::Serialize::serialize_value(&self.{k}),"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{items}])")
+            }
+            Kind::UnitStruct => "::serde::Value::Null".to_string(),
+            Kind::Enum(variants) => {
+                let arms: String = variants
+                    .iter()
+                    .map(|v| self.serialize_arm(v))
+                    .collect();
+                format!("match self {{ {arms} }}")
+            }
+        };
+        format!(
+            "#[automatically_derived]\n\
+             #[allow(clippy::all, clippy::pedantic)]\n\
+             impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_value(&self) -> ::serde::Value {{ {body} }}\n\
+             }}"
+        )
+    }
+
+    fn serialize_arm(&self, v: &Variant) -> String {
+        let name = &self.name;
+        let vname = &v.name;
+        let tag = v.tag(self.rename_all_kebab);
+        match &v.shape {
+            VariantShape::Unit => {
+                let payload = if self.untagged {
+                    "::serde::Value::Null".to_string()
+                } else {
+                    format!("::serde::Value::Str({tag:?}.to_string())")
+                };
+                format!("{name}::{vname} => {payload},")
+            }
+            VariantShape::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                let pattern = binds.join(", ");
+                let inner = if *n == 1 {
+                    "::serde::Serialize::serialize_value(f0)".to_string()
+                } else {
+                    let items: String = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::serialize_value({b}),"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{items}])")
+                };
+                let payload = self.tag_payload(&tag, &inner);
+                format!("{name}::{vname}({pattern}) => {payload},")
+            }
+            VariantShape::Struct(fields) => {
+                let pattern: String = fields
+                    .iter()
+                    .map(|f| format!("{}, ", f.name))
+                    .collect();
+                let entries: String = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "({:?}.to_string(), ::serde::Serialize::serialize_value({})),",
+                            f.ser_name(self.rename_all_kebab),
+                            f.name
+                        )
+                    })
+                    .collect();
+                let inner = format!("::serde::Value::Object(vec![{entries}])");
+                let payload = self.tag_payload(&tag, &inner);
+                format!("{name}::{vname} {{ {pattern} }} => {payload},")
+            }
+        }
+    }
+
+    /// Wraps a variant payload in the external tag, unless untagged.
+    fn tag_payload(&self, tag: &str, inner: &str) -> String {
+        if self.untagged {
+            inner.to_string()
+        } else {
+            format!("::serde::Value::Object(vec![({tag:?}.to_string(), {inner})])")
+        }
+    }
+
+    fn impl_deserialize(&self) -> String {
+        let name = &self.name;
+        let body = match &self.kind {
+            Kind::NamedStruct(fields) => {
+                let inits = Self::named_field_inits(name, fields, self.rename_all_kebab);
+                format!(
+                    "let obj = ::serde::__private::expect_object(v, {name:?})?;\n\
+                     Ok({name} {{ {inits} }})"
+                )
+            }
+            Kind::TupleStruct(1) => {
+                format!("Ok({name}(::serde::Deserialize::deserialize_value(v)?))")
+            }
+            Kind::TupleStruct(n) => {
+                let items: String = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::deserialize_value(&items[{k}])?,"))
+                    .collect();
+                format!(
+                    "let items = ::serde::__private::expect_tuple(v, {n}, {name:?})?;\n\
+                     Ok({name}({items}))"
+                )
+            }
+            Kind::UnitStruct => format!("let _ = v; Ok({name})"),
+            Kind::Enum(variants) if self.untagged => {
+                let attempts: String = variants
+                    .iter()
+                    .map(|var| {
+                        let body = self.deserialize_variant_body(var, "v");
+                        format!(
+                            "{{ let attempt = (|| -> Result<{name}, ::serde::DeError> \
+                             {{ {body} }})();\n\
+                             if let Ok(x) = attempt {{ return Ok(x); }} }}\n"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{attempts}\
+                     Err(::serde::DeError::new(format!(\
+                         \"no variant of `{name}` matched a {{}} value\", v.kind())))"
+                )
+            }
+            Kind::Enum(variants) => {
+                let arms: String = variants
+                    .iter()
+                    .map(|var| {
+                        let tag = var.tag(self.rename_all_kebab);
+                        let body = self.deserialize_variant_body(var, "payload");
+                        format!("{tag:?} => {{ {body} }}\n")
+                    })
+                    .collect();
+                format!(
+                    "let (tag, payload) = ::serde::__private::variant_of(v, {name:?})?;\n\
+                     match tag {{\n\
+                         {arms}\
+                         other => Err(::serde::DeError::new(format!(\
+                             \"unknown variant `{{other}}` of `{name}`\"))),\n\
+                     }}"
+                )
+            }
+        };
+        format!(
+            "#[automatically_derived]\n\
+             #[allow(clippy::all, clippy::pedantic)]\n\
+             impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize_value(v: &::serde::Value) -> \
+                     Result<Self, ::serde::DeError> {{ {body} }}\n\
+             }}"
+        )
+    }
+
+    /// `field: helper(obj, "field")?,` initializers for a named-field
+    /// struct or struct variant.
+    fn named_field_inits(scope: &str, fields: &[Field], kebab: bool) -> String {
+        let _ = scope;
+        fields
+            .iter()
+            .map(|f| {
+                let key = f.ser_name(kebab);
+                match &f.default {
+                    None => format!(
+                        "{}: ::serde::__private::field(obj, {key:?})?,",
+                        f.name
+                    ),
+                    Some(None) => format!(
+                        "{}: ::serde::__private::field_or_else(obj, {key:?}, \
+                         ::core::default::Default::default)?,",
+                        f.name
+                    ),
+                    Some(Some(path)) => format!(
+                        "{}: ::serde::__private::field_or_else(obj, {key:?}, {path})?,",
+                        f.name
+                    ),
+                }
+            })
+            .collect()
+    }
+
+    /// The body deserializing one enum variant from `payload_expr`.
+    fn deserialize_variant_body(&self, var: &Variant, payload: &str) -> String {
+        let name = &self.name;
+        let vname = &var.name;
+        match &var.shape {
+            VariantShape::Unit => {
+                if self.untagged {
+                    format!(
+                        "match {payload} {{\n\
+                             ::serde::Value::Null => Ok({name}::{vname}),\n\
+                             other => Err(::serde::DeError::expected(\"null\", other)),\n\
+                         }}"
+                    )
+                } else {
+                    format!("let _ = {payload}; Ok({name}::{vname})")
+                }
+            }
+            VariantShape::Tuple(1) => format!(
+                "Ok({name}::{vname}(::serde::Deserialize::deserialize_value({payload})?))"
+            ),
+            VariantShape::Tuple(n) => {
+                let items: String = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::deserialize_value(&items[{k}])?,"))
+                    .collect();
+                format!(
+                    "let items = ::serde::__private::expect_tuple(\
+                         {payload}, {n}, \"{name}::{vname}\")?;\n\
+                     Ok({name}::{vname}({items}))"
+                )
+            }
+            VariantShape::Struct(fields) => {
+                let inits = Self::named_field_inits(name, fields, self.rename_all_kebab);
+                format!(
+                    "let obj = ::serde::__private::expect_object(\
+                         {payload}, \"{name}::{vname}\")?;\n\
+                     Ok({name}::{vname} {{ {inits} }})"
+                )
+            }
+        }
+    }
+}
