@@ -28,7 +28,10 @@ fn instance(classes: usize, items: usize, seed: u64) -> MckpInstance {
         })
         .collect();
     let inst = MckpInstance::new(raw, 1.0).expect("generated instance is valid");
-    assert!(inst.has_feasible_selection(), "bench instance must be feasible");
+    assert!(
+        inst.has_feasible_selection(),
+        "bench instance must be feasible"
+    );
     inst
 }
 

@@ -197,7 +197,9 @@ pub fn solver_gaps(seed: u64, instances: usize) -> SolverGapRow {
             })
             .collect();
         let inst = MckpInstance::new(classes, 1.0).expect("valid");
-        let Ok(best) = fine.solve(&inst) else { continue };
+        let Ok(best) = fine.solve(&inst) else {
+            continue;
+        };
         let best_profit = inst.selection_profit(&best);
         if best_profit <= 0.0 {
             continue;
@@ -239,20 +241,24 @@ mod tests {
         assert!(rows[0].theorem3 > 0.95);
         assert!(rows.last().unwrap().theorem3 < 0.2);
         // The sweep must show a real gap somewhere.
-        assert!(rows.iter().any(|r| r.theorem3 > r.suspension_oblivious + 0.2));
+        assert!(rows
+            .iter()
+            .any(|r| r.theorem3 > r.suspension_oblivious + 0.2));
     }
 
     #[test]
     fn proportional_split_dominates() {
         let rows = split_policy_sweep(6, 30);
-        let mean = |f: fn(&SplitPolicyRow) -> f64| {
-            rows.iter().map(f).sum::<f64>() / rows.len() as f64
-        };
+        let mean =
+            |f: fn(&SplitPolicyRow) -> f64| rows.iter().map(f).sum::<f64>() / rows.len() as f64;
         let prop = mean(|r| r.proportional);
         let eq = mean(|r| r.equal_slack);
         let setup = mean(|r| r.setup_all);
         assert!(prop >= eq - 1e-9, "proportional {prop} < equal-slack {eq}");
-        assert!(prop >= setup - 1e-9, "proportional {prop} < setup-all {setup}");
+        assert!(
+            prop >= setup - 1e-9,
+            "proportional {prop} < setup-all {setup}"
+        );
     }
 
     #[test]

@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  (our own SIFT-lite on 300x200: {:.1} ms wall clock on this machine)",
         report.measured_sift_ms
     );
-    println!("  GPU mean service:        {:.0} ms (timing unreliable)", params.gpu_mean_ms);
+    println!(
+        "  GPU mean service:        {:.0} ms (timing unreliable)",
+        params.gpu_mean_ms
+    );
     println!(
         "  offload, R = {:.0} ms:      success probability {:.3}",
         params.response_budget_ms, report.offload_success_probability

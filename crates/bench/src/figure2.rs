@@ -14,8 +14,8 @@
 
 use rto_core::odm::OffloadingDecisionManager;
 use rto_mckp::DpSolver;
-use rto_sim::{SimConfig, Simulation};
 use rto_server::Scenario;
+use rto_sim::{SimConfig, Simulation};
 use rto_workloads::case_study::{case_study_system, shape_request, weight_permutations};
 use serde::{Deserialize, Serialize};
 

@@ -108,8 +108,7 @@ fn decide_and_value(
     let distorted: Vec<OdmTask> = true_tasks
         .iter()
         .map(|t| {
-            Ok(OdmTask::new(t.task().clone(), t.benefit().distort(ratio)?)
-                .with_weight(t.weight()))
+            Ok(OdmTask::new(t.task().clone(), t.benefit().distort(ratio)?).with_weight(t.weight()))
         })
         .collect::<Result<_, rto_core::CoreError>>()?;
     let odm = OffloadingDecisionManager::new(distorted)?;

@@ -96,11 +96,8 @@ pub fn run(
     let est = report.to_estimator()?;
 
     // Run our own SIFT-style detector on a 300×200 frame and time it.
-    let frame = rto_workloads::imaging::synthetic_scene(
-        300,
-        200,
-        &mut rto_stats::Rng::seed_from(seed),
-    );
+    let frame =
+        rto_workloads::imaging::synthetic_scene(300, 200, &mut rto_stats::Rng::seed_from(seed));
     let started = std::time::Instant::now();
     let keypoints =
         rto_workloads::sift::detect_keypoints(&frame, &rto_workloads::sift::SiftParams::default());

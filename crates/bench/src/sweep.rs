@@ -108,8 +108,10 @@ mod tests {
         // Deadline misses never occur, at any load.
         assert!(rows.iter().all(|r| r.deadline_misses == 0));
         // Benefit and remote rate decrease with load.
-        assert!(rows[0].normalized_benefit > rows[3].normalized_benefit + 0.2,
-            "no contrast across the sweep: {rows:?}");
+        assert!(
+            rows[0].normalized_benefit > rows[3].normalized_benefit + 0.2,
+            "no contrast across the sweep: {rows:?}"
+        );
         assert!(rows[0].remote_rate > rows[3].remote_rate);
         // Idle end matches the Figure 2 idle regime; saturated end decays
         // toward the compensation floor of 1.0.

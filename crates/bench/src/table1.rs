@@ -18,11 +18,11 @@
 
 use rto_core::time::{Duration, Instant};
 use rto_server::{Scenario, ServerProxy};
+use rto_stats::Rng;
 use rto_workloads::case_study::{
-    case_study_tasks, shape_request, SCALE_FACTORS, FRAME_HEIGHT, FRAME_WIDTH, TASK_NAMES,
+    case_study_tasks, shape_request, FRAME_HEIGHT, FRAME_WIDTH, SCALE_FACTORS, TASK_NAMES,
 };
 use rto_workloads::imaging::{psnr, synthetic_scene};
-use rto_stats::Rng;
 use serde::{Deserialize, Serialize};
 
 /// One regenerated benefit point.
@@ -49,7 +49,11 @@ pub struct Table1Row {
 ///
 /// Propagates server-construction errors (none occur with the shipped
 /// scenario presets).
-pub fn run(seed: u64, frames: usize, probes: usize) -> Result<Vec<Table1Row>, Box<dyn std::error::Error>> {
+pub fn run(
+    seed: u64,
+    frames: usize,
+    probes: usize,
+) -> Result<Vec<Table1Row>, Box<dyn std::error::Error>> {
     let mut rng = Rng::seed_from(seed);
     let tasks = case_study_tasks();
     let mut rows = Vec::new();
@@ -126,8 +130,7 @@ pub fn to_benefit_functions(
     (0..NUM_TASKS)
         .map(|task_idx| {
             let name = TASK_NAMES[task_idx];
-            let task_rows: Vec<&Table1Row> =
-                rows.iter().filter(|r| r.task == name).collect();
+            let task_rows: Vec<&Table1Row> = rows.iter().filter(|r| r.task == name).collect();
             let mut points = Vec::with_capacity(task_rows.len());
             for row in task_rows {
                 match row.response_p90_ms {
@@ -185,8 +188,7 @@ mod tests {
         let rows = run(11, 3, 40).expect("experiment runs");
         assert_eq!(rows.len(), 4 * 5);
         for task in TASK_NAMES {
-            let task_rows: Vec<&Table1Row> =
-                rows.iter().filter(|r| r.task == task).collect();
+            let task_rows: Vec<&Table1Row> = rows.iter().filter(|r| r.task == task).collect();
             assert_eq!(task_rows.len(), 5);
             // PSNR strictly increases with level and caps at 99.
             for w in task_rows.windows(2) {

@@ -1,4 +1,4 @@
-//! The CLI commands: `plan`, `analyze`, `simulate`, `demo`.
+//! The CLI commands: `plan`, `analyze`, `simulate`, `trace`, `demo`.
 //!
 //! Each command is a pure function from a parsed [`SystemConfig`] to a
 //! report string, so the whole CLI is unit-testable without spawning the
@@ -203,11 +203,16 @@ pub fn cmd_simulate(
 ) -> Result<String, String> {
     let (odm, plan) = decide(config)?;
     let scenario: Scenario = config.scenario.into();
-    let server = scenario.build_server(config.seed).map_err(|e| e.to_string())?;
+    let server = scenario
+        .build_server(config.seed)
+        .map_err(|e| e.to_string())?;
     let report = Simulation::build(odm.tasks().to_vec(), plan.clone())
         .map_err(|e| e.to_string())?
         .with_server(Box::new(server))
-        .run(SimConfig::for_seconds(config.horizon_secs.max(1), config.seed))
+        .run(SimConfig::for_seconds(
+            config.horizon_secs.max(1),
+            config.seed,
+        ))
         .map_err(|e| e.to_string())?;
 
     let mut out = plan_table(&odm, &plan);
@@ -249,14 +254,140 @@ pub fn cmd_simulate(
         let _ = writeln!(out, "\n{}", render_gantt(&report, 100));
     }
     if let Some(path) = trace_json {
-        let file = std::fs::File::create(path)
-            .map_err(|e| format!("cannot create {path}: {e}"))?;
+        let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
         report
             .write_json(std::io::BufWriter::new(file))
             .map_err(|e| format!("cannot write trace: {e}"))?;
         let _ = writeln!(out, "full trace written to {path}");
     }
     Ok(out)
+}
+
+/// Output format of the `trace` subcommand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Chrome-trace JSON (`chrome://tracing`, Perfetto).
+    Chrome,
+    /// One structured JSON event per line.
+    Jsonl,
+}
+
+impl std::str::FromStr for TraceFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "chrome" => Ok(TraceFormat::Chrome),
+            "jsonl" => Ok(TraceFormat::Jsonl),
+            other => Err(format!("unknown trace format '{other}' (chrome|jsonl)")),
+        }
+    }
+}
+
+/// `trace`: decide (with the ODM instrumented), simulate with a trace
+/// sink attached, and write the structured event trace to `out`.
+///
+/// With `--format chrome` the output loads directly in Perfetto /
+/// `chrome://tracing`; with `--format jsonl` it is one JSON object per
+/// line, ready for `jq`. The textual report additionally includes the
+/// metrics registry rendered in Prometheus text format.
+///
+/// # Errors
+///
+/// Returns a human-readable message on config, feasibility, simulation,
+/// or I/O errors.
+pub fn cmd_trace(
+    config: &SystemConfig,
+    format: TraceFormat,
+    out: &std::path::Path,
+) -> Result<String, String> {
+    use rto_obs::{ChromeTraceSink, JsonlSink, Obs, TraceSink};
+    use std::sync::Arc;
+
+    enum SinkKind {
+        Chrome(Arc<ChromeTraceSink>),
+        Jsonl(Arc<JsonlSink<std::io::BufWriter<std::fs::File>>>),
+    }
+
+    let kind = match format {
+        TraceFormat::Chrome => SinkKind::Chrome(Arc::new(ChromeTraceSink::new())),
+        TraceFormat::Jsonl => SinkKind::Jsonl(Arc::new(
+            JsonlSink::create(out).map_err(|e| format!("cannot create {}: {e}", out.display()))?,
+        )),
+    };
+    let sink: Arc<dyn TraceSink> = match &kind {
+        SinkKind::Chrome(s) => s.clone(),
+        SinkKind::Jsonl(s) => s.clone(),
+    };
+    let obs = Obs::with_sink(sink);
+
+    // Decide with the ODM instrumented so the decision event (solver,
+    // capacity, latency) lands in the same trace as the simulation.
+    let tasks = config.build_tasks()?;
+    let odm = OffloadingDecisionManager::new(tasks).map_err(|e| e.to_string())?;
+    let plan = odm
+        .decide_observed(config.solver.build().as_ref(), &obs)
+        .map_err(|e| e.to_string())?;
+
+    let scenario: Scenario = config.scenario.into();
+    let server = scenario
+        .build_server(config.seed)
+        .map_err(|e| e.to_string())?;
+    let report = Simulation::build(odm.tasks().to_vec(), plan.clone())
+        .map_err(|e| e.to_string())?
+        .with_server(Box::new(server))
+        .with_obs(obs.clone())
+        .run(SimConfig::for_seconds(
+            config.horizon_secs.max(1),
+            config.seed,
+        ))
+        .map_err(|e| e.to_string())?;
+
+    // Release our own handle on the sink: after `run` the simulation's
+    // `Obs` clone is gone, so only `kind` keeps the sink alive.
+    let metrics = obs.metrics().clone();
+    drop(obs);
+
+    let mut out_text = String::new();
+    match kind {
+        SinkKind::Chrome(s) => {
+            s.write_to(out)
+                .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+            let _ = writeln!(
+                out_text,
+                "chrome trace with {} entries written to {} (open in Perfetto or chrome://tracing)",
+                s.len(),
+                out.display()
+            );
+        }
+        SinkKind::Jsonl(s) => {
+            if s.had_io_error() {
+                return Err(format!("I/O error while streaming to {}", out.display()));
+            }
+            // The simulation has finished and dropped its `Obs` clone, so
+            // this Arc is unique again; unwrap to flush the writer.
+            let sink = Arc::try_unwrap(s).map_err(|_| "trace sink still shared".to_string())?;
+            sink.into_inner()
+                .and_then(|mut w| std::io::Write::flush(&mut w))
+                .map_err(|e| format!("cannot flush {}: {e}", out.display()))?;
+            let _ = writeln!(out_text, "jsonl trace written to {}", out.display());
+        }
+    }
+
+    let _ = writeln!(
+        out_text,
+        "simulated {}s against the {} server (seed {}): jobs {}, remote {}, compensated {}, misses {}",
+        config.horizon_secs,
+        scenario,
+        config.seed,
+        report.jobs.len(),
+        report.total_remote(),
+        report.total_compensated(),
+        report.total_deadline_misses()
+    );
+    let _ = writeln!(out_text, "\nmetrics:");
+    out_text.push_str(&metrics.render_prometheus());
+    Ok(out_text)
 }
 
 /// `demo`: print the sample config.
@@ -312,6 +443,46 @@ mod tests {
         let text = std::fs::read_to_string(path).unwrap();
         assert!(text.contains("per_task"));
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn trace_command_writes_chrome_trace() {
+        let path = std::env::temp_dir().join("rto-cli-test-trace-chrome.json");
+        let out = cmd_trace(&SystemConfig::sample(), TraceFormat::Chrome, &path).unwrap();
+        assert!(out.contains("chrome trace"), "{out}");
+        assert!(out.contains("odm_decisions_total"), "{out}");
+        assert!(out.contains("sim_jobs_released_total"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+        drop(parsed);
+        assert!(text.contains("\"traceEvents\""));
+        assert!(text.contains("\"ph\""));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_command_writes_jsonl() {
+        let path = std::env::temp_dir().join("rto-cli-test-trace.jsonl");
+        let out = cmd_trace(&SystemConfig::sample(), TraceFormat::Jsonl, &path).unwrap();
+        assert!(out.contains("jsonl trace"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines = 0;
+        for line in text.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            drop(v);
+            lines += 1;
+        }
+        assert!(lines > 10, "only {lines} events traced");
+        assert!(text.contains("\"event\":\"odm_decision_chosen\""));
+        assert!(text.contains("\"event\":\"job_released\""));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_format_parses() {
+        assert_eq!("chrome".parse::<TraceFormat>(), Ok(TraceFormat::Chrome));
+        assert_eq!("jsonl".parse::<TraceFormat>(), Ok(TraceFormat::Jsonl));
+        assert!("svg".parse::<TraceFormat>().is_err());
     }
 
     #[test]

@@ -160,8 +160,7 @@ impl SystemConfig {
         if self.tasks.is_empty() {
             return Err("config has no tasks".into());
         }
-        let ms =
-            |v: f64| Duration::from_ms_f64(v).map_err(|e| format!("invalid time {v} ms: {e}"));
+        let ms = |v: f64| Duration::from_ms_f64(v).map_err(|e| format!("invalid time {v} ms: {e}"));
         self.tasks
             .iter()
             .enumerate()
@@ -312,7 +311,10 @@ mod tests {
                 ]
             }]
         }"#;
-        let tasks = SystemConfig::from_json(json).unwrap().build_tasks().unwrap();
+        let tasks = SystemConfig::from_json(json)
+            .unwrap()
+            .build_tasks()
+            .unwrap();
         let p = tasks[0].benefit().offload_points()[0];
         assert_eq!(p.setup_wcet, Some(Duration::from_ms(3)));
         assert_eq!(p.compensation_wcet, Some(Duration::from_ms(12)));
@@ -328,7 +330,10 @@ mod tests {
                 "benefit": [[0, 1.0]]
             }]
         }"#;
-        let err = SystemConfig::from_json(json).unwrap().build_tasks().unwrap_err();
+        let err = SystemConfig::from_json(json)
+            .unwrap()
+            .build_tasks()
+            .unwrap_err();
         assert!(err.contains("broken"), "{err}");
     }
 
@@ -354,7 +359,10 @@ mod tests {
                 "server_bound_ms": 40
             }]
         }"#;
-        let tasks = SystemConfig::from_json(json).unwrap().build_tasks().unwrap();
+        let tasks = SystemConfig::from_json(json)
+            .unwrap()
+            .build_tasks()
+            .unwrap();
         assert_eq!(tasks[0].server_bound(), Some(Duration::from_ms(40)));
     }
 

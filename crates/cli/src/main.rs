@@ -8,21 +8,21 @@
 //! rto-cli simulate <config.json>     plan + simulation report
 //! rto-cli simulate <config.json> --gantt             … plus an ASCII Gantt chart
 //! rto-cli simulate <config.json> --trace-json <out>  … plus a full JSON trace
+//! rto-cli trace <config.json> --format chrome --out trace.json
+//!                                    structured event trace (chrome|jsonl) + metrics
 //! ```
 
 mod commands;
 mod config;
 
-use commands::{cmd_analyze, cmd_demo, cmd_plan, cmd_simulate};
+use commands::{cmd_analyze, cmd_demo, cmd_plan, cmd_simulate, cmd_trace, TraceFormat};
 use config::SystemConfig;
 use std::process::ExitCode;
 
-const USAGE: &str =
-    "usage: rto-cli <demo | plan <file> | analyze <file> | simulate <file> [--gantt] [--trace-json <out>]>";
+const USAGE: &str = "usage: rto-cli <demo | plan <file> | analyze <file> | simulate <file> [--gantt] [--trace-json <out>] | trace <file> [--format chrome|jsonl] --out <path>>";
 
 fn load(path: &str) -> Result<SystemConfig, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     SystemConfig::from_json(&text)
 }
 
@@ -47,6 +47,20 @@ fn run() -> Result<String, String> {
                 .and_then(|i| args.get(i + 1))
                 .map(String::as_str);
             cmd_simulate(&load(path)?, gantt, trace_json)
+        }
+        Some("trace") => {
+            let path = args.get(1).ok_or(USAGE)?;
+            let format: TraceFormat = args
+                .iter()
+                .position(|a| a == "--format")
+                .and_then(|i| args.get(i + 1))
+                .map_or(Ok(TraceFormat::Chrome), |s| s.parse())?;
+            let out = args
+                .iter()
+                .position(|a| a == "--out")
+                .and_then(|i| args.get(i + 1))
+                .ok_or(USAGE)?;
+            cmd_trace(&load(path)?, format, std::path::Path::new(out))
         }
         _ => Err(USAGE.to_string()),
     }

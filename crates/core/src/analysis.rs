@@ -12,7 +12,9 @@
 //!   `(C_{i,1}+R_i+C_{i,2})/D_i`. Grossly pessimistic.
 //! * [`local_only_test`] — EDF utilization test with every task local.
 
-use crate::dbf::{dbf_local, dbf_offloaded, deadline_points, offloaded_deadline_points, OffloadedDemand};
+use crate::dbf::{
+    dbf_local, dbf_offloaded, deadline_points, offloaded_deadline_points, OffloadedDemand,
+};
 use crate::deadline::{offloaded_density, setup_deadline_with_costs, SplitPolicy};
 use crate::error::CoreError;
 use crate::task::Task;
@@ -379,7 +381,10 @@ mod tests {
         let b = task(1, 50, 2, 50, 100);
         let r = density_test([&a, &b], []).unwrap();
         assert!((r.load - 1.0).abs() < 1e-12);
-        assert!(r.schedulable, "exact density 1 must pass (Theorem 3 uses <=)");
+        assert!(
+            r.schedulable,
+            "exact density 1 must pass (Theorem 3 uses <=)"
+        );
     }
 
     #[test]
@@ -405,8 +410,8 @@ mod tests {
         let off = OffloadedTask::new(&b, ms(36));
         let density = density_test([&a], [off]).unwrap();
         assert!(density.schedulable);
-        let exact = processor_demand_test([&a], [off], SplitPolicy::Proportional, ms(1000))
-            .unwrap();
+        let exact =
+            processor_demand_test([&a], [off], SplitPolicy::Proportional, ms(1000)).unwrap();
         assert!(exact.schedulable);
         assert!(exact.peak_demand_ratio <= density.load + 1e-9);
         assert!(exact.points_checked > 0);

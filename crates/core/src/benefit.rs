@@ -195,9 +195,7 @@ impl BenefitFunction {
     /// Evaluates the step function at `r`: the value of the largest point
     /// with `response_time ≤ r`.
     pub fn eval(&self, r: Duration) -> f64 {
-        let idx = self
-            .points
-            .partition_point(|p| p.response_time <= r);
+        let idx = self.points.partition_point(|p| p.response_time <= r);
         self.points[idx - 1].value // idx >= 1 because points[0] is at 0
     }
 
@@ -294,7 +292,12 @@ mod tests {
     fn zero_setup_override_rejected() {
         let points = vec![
             BenefitPoint::new(Duration::ZERO, 1.0),
-            BenefitPoint::with_costs(Duration::from_ms(10), 2.0, Duration::ZERO, Duration::from_ms(1)),
+            BenefitPoint::with_costs(
+                Duration::from_ms(10),
+                2.0,
+                Duration::ZERO,
+                Duration::from_ms(1),
+            ),
         ];
         assert!(BenefitFunction::new(points).is_err());
     }
@@ -321,14 +324,19 @@ mod tests {
 
     #[test]
     fn from_success_probabilities() {
-        let times: Vec<Duration> = [100u64, 150, 200].iter().map(|&m| Duration::from_ms(m)).collect();
+        let times: Vec<Duration> = [100u64, 150, 200]
+            .iter()
+            .map(|&m| Duration::from_ms(m))
+            .collect();
         let g = BenefitFunction::from_success_probabilities(0.0, &times, &[0.3, 0.6, 1.0]).unwrap();
         assert_eq!(g.local_value(), 0.0);
         assert_eq!(g.eval(Duration::from_ms(150)), 0.6);
         // mismatched lengths
         assert!(BenefitFunction::from_success_probabilities(0.0, &times, &[0.5]).is_err());
         // decreasing probabilities rejected
-        assert!(BenefitFunction::from_success_probabilities(0.0, &times, &[0.9, 0.5, 1.0]).is_err());
+        assert!(
+            BenefitFunction::from_success_probabilities(0.0, &times, &[0.9, 0.5, 1.0]).is_err()
+        );
     }
 
     #[test]

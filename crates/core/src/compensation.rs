@@ -239,7 +239,10 @@ mod tests {
         assert_eq!(m.response_budget(), ms(100));
         let timer = m.setup_finished(at(5)).unwrap();
         assert_eq!(timer, at(105));
-        assert_eq!(m.result_arrived(at(60)).unwrap(), ResultDisposition::Accepted);
+        assert_eq!(
+            m.result_arrived(at(60)).unwrap(),
+            ResultDisposition::Accepted
+        );
         assert_eq!(m.phase(), JobPhase::PostProcessing);
         assert_eq!(m.completion_finished().unwrap(), JobOutcome::Remote);
         assert_eq!(m.outcome(), Some(JobOutcome::Remote));
@@ -267,7 +270,10 @@ mod tests {
     fn result_exactly_at_timer_accepted() {
         let mut m = CompensationManager::new(ms(100));
         m.setup_finished(at(0)).unwrap();
-        assert_eq!(m.result_arrived(at(100)).unwrap(), ResultDisposition::Accepted);
+        assert_eq!(
+            m.result_arrived(at(100)).unwrap(),
+            ResultDisposition::Accepted
+        );
     }
 
     #[test]
@@ -313,7 +319,10 @@ mod tests {
         m.setup_finished(at(0)).unwrap();
         m.result_arrived(at(5)).unwrap();
         m.completion_finished().unwrap();
-        assert_eq!(m.result_arrived(at(20)).unwrap(), ResultDisposition::DroppedLate);
+        assert_eq!(
+            m.result_arrived(at(20)).unwrap(),
+            ResultDisposition::DroppedLate
+        );
         assert_eq!(m.timer_fired(at(20)).unwrap(), TimerDisposition::Stale);
         assert!(m.completion_finished().is_err());
     }

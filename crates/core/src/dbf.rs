@@ -147,8 +147,7 @@ pub fn deadline_points(
 /// Check points for an offloaded task: the step points of both window
 /// alignments of [`dbf_offloaded`].
 pub fn offloaded_deadline_points(d: &OffloadedDemand, horizon: Duration) -> Vec<Duration> {
-    let mut points: Vec<Duration> =
-        deadline_points(d.setup_deadline, d.period, horizon).collect();
+    let mut points: Vec<Duration> = deadline_points(d.setup_deadline, d.period, horizon).collect();
     points.extend(deadline_points(d.deadline, d.period, horizon));
     points.extend(deadline_points(d.completion_window(), d.period, horizon));
     points.extend(deadline_points(
@@ -220,7 +219,10 @@ mod tests {
             let exact = dbf_offloaded(&d, t).as_ns() as f64;
             let bound = dbf_offloaded_bound_ns(&d, t);
             // Allow a 1-ns-scale tolerance from the floor-rounded D1.
-            assert!(exact <= bound * (1.0 + 1e-9) + 2.0, "t={t}: {exact} > {bound}");
+            assert!(
+                exact <= bound * (1.0 + 1e-9) + 2.0,
+                "t={t}: {exact} > {bound}"
+            );
         }
     }
 
@@ -244,7 +246,7 @@ mod tests {
         assert_eq!(dbf_offloaded(&d, ms(100)), ms(40)); // A catches up
         assert_eq!(dbf_offloaded(&d, ms(120)), ms(50)); // A: 2 setups + 1 completion
         assert_eq!(dbf_offloaded(&d, ms(160)), ms(70)); // B: 2 completions + 1 setup
-        // Every value stays within Theorem 1's bound 0.5 t.
+                                                        // Every value stays within Theorem 1's bound 0.5 t.
         for t in [20u64, 60, 80, 100, 120, 160] {
             assert!(dbf_offloaded(&d, ms(t)).as_ms_f64() <= 0.5 * t as f64 + 1e-9);
         }

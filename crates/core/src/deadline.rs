@@ -247,14 +247,9 @@ mod tests {
 
     #[test]
     fn per_level_costs_variant() {
-        let d1 = setup_deadline_with_costs(
-            ms(100),
-            ms(20),
-            ms(20),
-            ms(20),
-            SplitPolicy::Proportional,
-        )
-        .unwrap();
+        let d1 =
+            setup_deadline_with_costs(ms(100), ms(20), ms(20), ms(20), SplitPolicy::Proportional)
+                .unwrap();
         assert_eq!(d1, ms(40));
     }
 

@@ -62,12 +62,24 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(CoreError::InvalidTime("x".into()).to_string().contains("time"));
-        assert!(CoreError::InvalidTask("x".into()).to_string().contains("task"));
-        assert!(CoreError::InvalidBenefit("x".into()).to_string().contains("benefit"));
-        assert!(CoreError::InvalidSplit("x".into()).to_string().contains("split"));
-        assert!(CoreError::Unschedulable("x".into()).to_string().contains("unschedulable"));
-        assert!(CoreError::InvalidEstimate("x".into()).to_string().contains("estimate"));
+        assert!(CoreError::InvalidTime("x".into())
+            .to_string()
+            .contains("time"));
+        assert!(CoreError::InvalidTask("x".into())
+            .to_string()
+            .contains("task"));
+        assert!(CoreError::InvalidBenefit("x".into())
+            .to_string()
+            .contains("benefit"));
+        assert!(CoreError::InvalidSplit("x".into())
+            .to_string()
+            .contains("split"));
+        assert!(CoreError::Unschedulable("x".into())
+            .to_string()
+            .contains("unschedulable"));
+        assert!(CoreError::InvalidEstimate("x".into())
+            .to_string()
+            .contains("estimate"));
     }
 
     #[test]

@@ -45,9 +45,8 @@ impl ResponseTimeEstimator {
                 "negative or NaN response-time sample".into(),
             ));
         }
-        let ecdf = Ecdf::new(samples.to_vec()).ok_or_else(|| {
-            CoreError::InvalidEstimate("no response-time samples".into())
-        })?;
+        let ecdf = Ecdf::new(samples.to_vec())
+            .ok_or_else(|| CoreError::InvalidEstimate("no response-time samples".into()))?;
         Ok(ResponseTimeEstimator { ecdf })
     }
 
@@ -290,7 +289,9 @@ mod tests {
 
     #[test]
     fn benefit_function_from_grid() {
-        let e = est(&[100.0, 110.0, 120.0, 130.0, 140.0, 150.0, 160.0, 170.0, 180.0, 190.0]);
+        let e = est(&[
+            100.0, 110.0, 120.0, 130.0, 140.0, 150.0, 160.0, 170.0, 180.0, 190.0,
+        ]);
         let grid: Vec<f64> = (1..=10).map(|k| k as f64 / 10.0).collect();
         let g = e.benefit_function(0.0, &grid).unwrap();
         assert_eq!(g.local_value(), 0.0);

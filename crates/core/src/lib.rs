@@ -74,8 +74,8 @@
 pub mod analysis;
 pub mod benefit;
 pub mod compensation;
-pub mod deadline;
 pub mod dbf;
+pub mod deadline;
 pub mod error;
 pub mod estimator;
 pub mod odm;

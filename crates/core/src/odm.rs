@@ -436,6 +436,52 @@ impl OffloadingDecisionManager {
             total_benefit,
         })
     }
+
+    /// Like [`OffloadingDecisionManager::decide`], but records the
+    /// decision into an observability context: an
+    /// [`rto_obs::TraceEvent::OdmDecisionChosen`] trace event carrying
+    /// the solver name and the capacity the plan uses (Theorem-3
+    /// density, in parts per million of the unit budget), plus an
+    /// `odm_decide_ns` latency histogram and an `odm_decisions_total`
+    /// counter in the metrics registry.
+    ///
+    /// The trace event is stamped at `ts_ns = 0`: planning happens
+    /// before simulated time starts.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`OffloadingDecisionManager::decide`] (failed
+    /// decisions increment `odm_decide_errors_total` instead of
+    /// emitting an event).
+    pub fn decide_observed(
+        &self,
+        solver: &dyn Solver,
+        obs: &rto_obs::Obs,
+    ) -> Result<OffloadingPlan, CoreError> {
+        let t0 = std::time::Instant::now();
+        let result = self.decide(solver);
+        let latency_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let metrics = obs.metrics();
+        metrics.histogram("odm_decide_ns").record(latency_ns);
+        match &result {
+            Ok(plan) => {
+                metrics.counter("odm_decisions_total").inc();
+                obs.emit(
+                    0,
+                    rto_obs::TraceEvent::OdmDecisionChosen {
+                        solver: solver.name(),
+                        offloaded: plan.num_offloaded(),
+                        total_tasks: plan.decisions().len(),
+                        capacity_used_ppm: (plan.total_density().clamp(0.0, 1.0) * 1e6).round()
+                            as u64,
+                        latency_ns,
+                    },
+                );
+            }
+            Err(_) => metrics.counter("odm_decide_errors_total").inc(),
+        }
+        result
+    }
 }
 
 #[cfg(test)]
@@ -502,11 +548,8 @@ mod tests {
         let t2 = task(2, 80, 30, 80, 200); // local 0.4; offload R=50: 110/150 = 0.733
         let g1 = benefit(&[(0.0, 1.0), (50.0, 50.0)]);
         let g2 = benefit(&[(0.0, 1.0), (50.0, 10.0)]);
-        let odm = OffloadingDecisionManager::new(vec![
-            OdmTask::new(t1, g1),
-            OdmTask::new(t2, g2),
-        ])
-        .unwrap();
+        let odm = OffloadingDecisionManager::new(vec![OdmTask::new(t1, g1), OdmTask::new(t2, g2)])
+            .unwrap();
         let plan = odm.decide(&DpSolver::default()).unwrap();
         // Offload task 1 (benefit 50), keep task 2 local: 0.867+0.4 > 1?
         // 1.267 > 1 -> infeasible. Local t1 + offload t2: 0.5+0.733=1.233 no.
@@ -551,11 +594,9 @@ mod tests {
         let t2 = task(2, 80, 5, 80, 100);
         // No offload points: all-local utilization 1.6 -> infeasible.
         let g = benefit(&[(0.0, 1.0)]);
-        let odm = OffloadingDecisionManager::new(vec![
-            OdmTask::new(t1, g.clone()),
-            OdmTask::new(t2, g),
-        ])
-        .unwrap();
+        let odm =
+            OffloadingDecisionManager::new(vec![OdmTask::new(t1, g.clone()), OdmTask::new(t2, g)])
+                .unwrap();
         match odm.decide(&DpSolver::default()) {
             Err(CoreError::Unschedulable(_)) => {}
             other => panic!("expected Unschedulable, got {other:?}"),
@@ -590,11 +631,8 @@ mod tests {
         let t2 = task(2, 60, 5, 60, 500);
         let g1 = benefit(&[(0.0, 2.0), (100.0, 6.0), (200.0, 9.0)]);
         let g2 = benefit(&[(0.0, 1.0), (150.0, 7.0)]);
-        let odm = OffloadingDecisionManager::new(vec![
-            OdmTask::new(t1, g1),
-            OdmTask::new(t2, g2),
-        ])
-        .unwrap();
+        let odm = OffloadingDecisionManager::new(vec![OdmTask::new(t1, g1), OdmTask::new(t2, g2)])
+            .unwrap();
         let dp = odm.decide(&DpSolver::default()).unwrap();
         let heu = odm.decide(&HeuOeSolver::new()).unwrap();
         assert!(heu.total_benefit() <= dp.total_benefit() + 1e-9);
@@ -693,10 +731,9 @@ mod tests {
             .build()
             .unwrap();
         let g = benefit(&[(0.0, 1.0), (50.0, 5.0), (120.0, 6.0)]);
-        let odm = OffloadingDecisionManager::new(vec![
-            OdmTask::new(t, g).with_server_bound(ms(100)),
-        ])
-        .unwrap();
+        let odm =
+            OffloadingDecisionManager::new(vec![OdmTask::new(t, g).with_server_bound(ms(100))])
+                .unwrap();
         let inst = odm.build_instance().unwrap();
         // Level 1 (r=50 < bound): (10+40)/350.
         assert!((inst.classes()[0][1].weight - 50.0 / 350.0).abs() < 1e-9);
@@ -715,10 +752,9 @@ mod tests {
             .build()
             .unwrap();
         let g = benefit(&[(0.0, 1.0), (50.0, 10.0)]);
-        let odm = OffloadingDecisionManager::new(vec![
-            OdmTask::new(t, g).with_server_bound(ms(50)),
-        ])
-        .unwrap();
+        let odm =
+            OffloadingDecisionManager::new(vec![OdmTask::new(t, g).with_server_bound(ms(50))])
+                .unwrap();
         let plan = odm.decide(&DpSolver::default()).unwrap();
         match plan.decisions()[0].decision {
             Decision::Offload {

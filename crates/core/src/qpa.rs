@@ -156,7 +156,10 @@ pub fn qpa_test<'a>(
                 .map(|d| (d.setup_wcet + d.compensation_wcet, d.period)),
         )
         .collect();
-    let mut w: Duration = works.iter().map(|&(c, _)| c).fold(Duration::ZERO, |a, b| a + b);
+    let mut w: Duration = works
+        .iter()
+        .map(|&(c, _)| c)
+        .fold(Duration::ZERO, |a, b| a + b);
     let mut l_b = None;
     for _ in 0..MAX_BUSY_ITERATIONS {
         let next: Duration = works
@@ -234,9 +237,8 @@ pub fn qpa_test<'a>(
     };
 
     // The QPA backward scan.
-    let last_step_before = |t: Duration| -> Option<Duration> {
-        seqs.iter().filter_map(|s| s.last_before(t)).max()
-    };
+    let last_step_before =
+        |t: Duration| -> Option<Duration> { seqs.iter().filter_map(|s| s.last_before(t)).max() };
     let mut evaluations = 0usize;
     let mut t = match last_step_before(bound + Duration::from_ns(1)) {
         Some(t) => t,
@@ -385,7 +387,10 @@ mod tests {
         // would see demand 14 ms at t = 13.85 ms and wrongly reject.
         let a = task(0, 8, 1, 8, 50);
         let b = task(1, 9, 4, 9, 200);
-        let offs = [OffloadedTask::new(&a, ms(21)), OffloadedTask::new(&b, ms(180))];
+        let offs = [
+            OffloadedTask::new(&a, ms(21)),
+            OffloadedTask::new(&b, ms(180)),
+        ];
         let t3 = density_test([], offs).unwrap();
         assert!(t3.schedulable, "precondition: load {}", t3.load);
         let qpa = qpa_test([], offs, SplitPolicy::Proportional).unwrap();
@@ -404,7 +409,10 @@ mod tests {
             let t3 = density_test([], offs).unwrap();
             if t3.schedulable {
                 let qpa = qpa_test([], offs, SplitPolicy::Proportional).unwrap();
-                assert!(qpa.schedulable, "QPA rejected a Theorem-3 system at R={r_ms}");
+                assert!(
+                    qpa.schedulable,
+                    "QPA rejected a Theorem-3 system at R={r_ms}"
+                );
             }
         }
     }

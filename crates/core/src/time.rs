@@ -168,7 +168,9 @@ impl Duration {
         }
         let ns = self.0 as f64 * factor;
         if ns > u64::MAX as f64 {
-            return Err(crate::CoreError::InvalidTime("scaled duration overflows".into()));
+            return Err(crate::CoreError::InvalidTime(
+                "scaled duration overflows".into(),
+            ));
         }
         Ok(Duration(ns.round() as u64))
     }
@@ -368,10 +370,8 @@ mod tests {
         let t = Duration::from_ms(40);
         assert!((c.ratio(t) - 0.25).abs() < 1e-15);
         // D1 = C1 * (D - R) / (C1 + C2): 10ms * 30ms / 40ms = 7.5ms
-        let split = Duration::from_ms(30).mul_div_floor(
-            Duration::from_ms(10).as_ns(),
-            Duration::from_ms(40).as_ns(),
-        );
+        let split = Duration::from_ms(30)
+            .mul_div_floor(Duration::from_ms(10).as_ns(), Duration::from_ms(40).as_ns());
         assert_eq!(split, Duration::from_ms_f64(7.5).unwrap());
     }
 

@@ -153,9 +153,17 @@ mod tests {
     fn matches_brute_force() {
         let i = inst(
             vec![
-                vec![Item::new(0.11, 2.0), Item::new(0.42, 6.5), Item::new(0.65, 8.0)],
+                vec![
+                    Item::new(0.11, 2.0),
+                    Item::new(0.42, 6.5),
+                    Item::new(0.65, 8.0),
+                ],
                 vec![Item::new(0.05, 1.0), Item::new(0.33, 5.0)],
-                vec![Item::new(0.2, 3.0), Item::new(0.25, 3.2), Item::new(0.5, 7.7)],
+                vec![
+                    Item::new(0.2, 3.0),
+                    Item::new(0.25, 3.2),
+                    Item::new(0.5, 7.7),
+                ],
                 vec![Item::new(0.01, 0.2), Item::new(0.3, 4.0)],
             ],
             1.0,
@@ -208,7 +216,11 @@ mod tests {
     fn never_worse_than_heuristic() {
         let i = inst(
             vec![
-                vec![Item::new(0.0, 0.0), Item::new(0.35, 4.9), Item::new(0.5, 7.0)],
+                vec![
+                    Item::new(0.0, 0.0),
+                    Item::new(0.35, 4.9),
+                    Item::new(0.5, 7.0),
+                ],
                 vec![Item::new(0.6, 10.0)],
             ],
             1.0,

@@ -35,11 +35,7 @@ impl Default for BruteForceSolver {
 
 impl Solver for BruteForceSolver {
     fn solve(&self, instance: &MckpInstance) -> Result<Selection, SolveError> {
-        let combos: u128 = instance
-            .classes()
-            .iter()
-            .map(|c| c.len() as u128)
-            .product();
+        let combos: u128 = instance.classes().iter().map(|c| c.len() as u128).product();
         if combos > self.max_combinations {
             return Err(SolveError::TooLarge(format!(
                 "{combos} combinations exceed cap {}",
@@ -121,7 +117,11 @@ mod tests {
     #[test]
     fn too_large_guard() {
         let classes: Vec<Vec<Item>> = (0..8)
-            .map(|_| (0..10).map(|j| Item::new(0.01 * j as f64, j as f64)).collect())
+            .map(|_| {
+                (0..10)
+                    .map(|j| Item::new(0.01 * j as f64, j as f64))
+                    .collect()
+            })
             .collect();
         let inst = MckpInstance::new(classes, 1.0).unwrap();
         match BruteForceSolver::with_max_combinations(1000).solve(&inst) {
@@ -133,7 +133,11 @@ mod tests {
     #[test]
     fn single_class() {
         let inst = MckpInstance::new(
-            vec![vec![Item::new(0.5, 1.0), Item::new(0.4, 2.0), Item::new(0.9, 3.0)]],
+            vec![vec![
+                Item::new(0.5, 1.0),
+                Item::new(0.4, 2.0),
+                Item::new(0.9, 3.0),
+            ]],
             0.6,
         )
         .unwrap();

@@ -218,11 +218,7 @@ mod tests {
 
     #[test]
     fn zero_capacity_allows_zero_weight_items() {
-        let sel = solve(
-            vec![vec![Item::new(0.0, 3.0), Item::new(0.5, 9.0)]],
-            0.0,
-        )
-        .unwrap();
+        let sel = solve(vec![vec![Item::new(0.0, 3.0), Item::new(0.5, 9.0)]], 0.0).unwrap();
         assert_eq!(sel.choices(), &[0]);
     }
 
@@ -268,9 +264,17 @@ mod tests {
         use crate::brute::BruteForceSolver;
         let inst = MckpInstance::new(
             vec![
-                vec![Item::new(0.11, 2.0), Item::new(0.42, 6.5), Item::new(0.65, 8.0)],
+                vec![
+                    Item::new(0.11, 2.0),
+                    Item::new(0.42, 6.5),
+                    Item::new(0.65, 8.0),
+                ],
                 vec![Item::new(0.05, 1.0), Item::new(0.33, 5.0)],
-                vec![Item::new(0.2, 3.0), Item::new(0.25, 3.2), Item::new(0.5, 7.7)],
+                vec![
+                    Item::new(0.2, 3.0),
+                    Item::new(0.25, 3.2),
+                    Item::new(0.5, 7.7),
+                ],
             ],
             1.0,
         )
@@ -290,7 +294,10 @@ mod tests {
         let s = DpSolver::with_resolution(500);
         assert_eq!(s.resolution(), 500);
         assert_eq!(s.name(), "dp");
-        assert_eq!(DpSolver::default().resolution(), DpSolver::DEFAULT_RESOLUTION);
+        assert_eq!(
+            DpSolver::default().resolution(),
+            DpSolver::DEFAULT_RESOLUTION
+        );
     }
 
     #[test]

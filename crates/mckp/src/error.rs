@@ -40,6 +40,8 @@ mod tests {
     fn display_messages() {
         assert!(SolveError::Infeasible.to_string().contains("no feasible"));
         assert!(SolveError::bad("x").to_string().contains("malformed"));
-        assert!(SolveError::TooLarge("y".into()).to_string().contains("too large"));
+        assert!(SolveError::TooLarge("y".into())
+            .to_string()
+            .contains("too large"));
     }
 }

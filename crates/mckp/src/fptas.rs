@@ -193,9 +193,17 @@ mod tests {
         let instances = vec![
             inst(
                 vec![
-                    vec![Item::new(0.11, 2.0), Item::new(0.42, 6.5), Item::new(0.65, 8.0)],
+                    vec![
+                        Item::new(0.11, 2.0),
+                        Item::new(0.42, 6.5),
+                        Item::new(0.65, 8.0),
+                    ],
                     vec![Item::new(0.05, 1.0), Item::new(0.33, 5.0)],
-                    vec![Item::new(0.2, 3.0), Item::new(0.25, 3.2), Item::new(0.5, 7.7)],
+                    vec![
+                        Item::new(0.2, 3.0),
+                        Item::new(0.25, 3.2),
+                        Item::new(0.5, 7.7),
+                    ],
                 ],
                 1.0,
             ),
@@ -243,10 +251,7 @@ mod tests {
     #[test]
     fn oversized_items_ignored_in_scaling() {
         // A huge-profit item that can never fit must not blow up K.
-        let i = inst(
-            vec![vec![Item::new(5.0, 1e9), Item::new(0.3, 2.0)]],
-            1.0,
-        );
+        let i = inst(vec![vec![Item::new(5.0, 1e9), Item::new(0.3, 2.0)]], 1.0);
         let sel = FptasSolver::new(0.1).solve(&i).unwrap();
         assert_eq!(sel.choices(), &[1]);
     }

@@ -174,9 +174,7 @@ impl Solver for HeuOeSolver {
                         if d_p > 1e-15 && weight + d_w <= capacity {
                             let better = match best {
                                 None => true,
-                                Some((_, _, bp, bw)) => {
-                                    d_p > bp || (d_p == bp && d_w < bw)
-                                }
+                                Some((_, _, bp, bw)) => d_p > bp || (d_p == bp && d_w < bw),
                             };
                             if better {
                                 best = Some((c, j, d_p, d_w));
@@ -239,7 +237,10 @@ mod tests {
             vec![vec![Item::new(0.7, 1.0)], vec![Item::new(0.7, 1.0)]],
             1.0,
         );
-        assert_eq!(HeuOeSolver::new().solve(&i).unwrap_err(), SolveError::Infeasible);
+        assert_eq!(
+            HeuOeSolver::new().solve(&i).unwrap_err(),
+            SolveError::Infeasible
+        );
     }
 
     #[test]
@@ -285,7 +286,11 @@ mod tests {
     fn result_bounded_by_lp_relaxation() {
         let i = inst(
             vec![
-                vec![Item::new(0.1, 1.0), Item::new(0.4, 3.5), Item::new(0.8, 5.0)],
+                vec![
+                    Item::new(0.1, 1.0),
+                    Item::new(0.4, 3.5),
+                    Item::new(0.8, 5.0),
+                ],
                 vec![Item::new(0.2, 2.0), Item::new(0.5, 4.0)],
                 vec![Item::new(0.05, 0.5), Item::new(0.3, 2.8)],
             ],

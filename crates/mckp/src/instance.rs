@@ -261,6 +261,9 @@ mod tests {
         assert_eq!(inst.num_classes(), 2);
         assert_eq!(inst.num_items(), 4);
         assert_eq!(inst.capacity(), 1.0);
-        assert_eq!(inst.chosen(&Selection::new(vec![1, 0]), 0), Item::new(0.6, 5.0));
+        assert_eq!(
+            inst.chosen(&Selection::new(vec![1, 0]), 0),
+            Item::new(0.6, 5.0)
+        );
     }
 }

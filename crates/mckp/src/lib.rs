@@ -61,6 +61,7 @@ pub mod fptas;
 pub mod heu;
 pub mod instance;
 pub mod lp;
+pub mod observe;
 pub mod solution;
 
 pub use branch_bound::BranchBoundSolver;
@@ -70,6 +71,7 @@ pub use error::SolveError;
 pub use fptas::FptasSolver;
 pub use heu::HeuOeSolver;
 pub use instance::{Item, MckpInstance};
+pub use observe::ObservedSolver;
 pub use solution::Selection;
 
 /// A solver for [`MckpInstance`]s.
@@ -90,4 +92,24 @@ pub trait Solver {
 
     /// A short human-readable solver name for reports.
     fn name(&self) -> &'static str;
+}
+
+impl<S: Solver + ?Sized> Solver for &S {
+    fn solve(&self, instance: &MckpInstance) -> Result<Selection, SolveError> {
+        (**self).solve(instance)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl<S: Solver + ?Sized> Solver for Box<S> {
+    fn solve(&self, instance: &MckpInstance) -> Result<Selection, SolveError> {
+        (**self).solve(instance)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
 }

@@ -224,7 +224,11 @@ mod tests {
 
     #[test]
     fn dominance_keeps_best_among_equal_weights() {
-        let class = vec![Item::new(0.5, 1.0), Item::new(0.5, 9.0), Item::new(0.5, 5.0)];
+        let class = vec![
+            Item::new(0.5, 1.0),
+            Item::new(0.5, 9.0),
+            Item::new(0.5, 5.0),
+        ];
         assert_eq!(dominance_filter(&class), vec![1]);
     }
 
@@ -236,20 +240,32 @@ mod tests {
     #[test]
     fn hull_drops_concave_point() {
         // (0,0), (1,1), (2,4): middle point is below the chord (0,0)-(2,4).
-        let class = vec![Item::new(0.0, 0.0), Item::new(1.0, 1.0), Item::new(2.0, 4.0)];
+        let class = vec![
+            Item::new(0.0, 0.0),
+            Item::new(1.0, 1.0),
+            Item::new(2.0, 4.0),
+        ];
         assert_eq!(convex_hull_indices(&class), vec![0, 2]);
     }
 
     #[test]
     fn hull_keeps_concave_down_points() {
         // Efficiencies decreasing: all on hull.
-        let class = vec![Item::new(0.0, 0.0), Item::new(1.0, 3.0), Item::new(2.0, 4.0)];
+        let class = vec![
+            Item::new(0.0, 0.0),
+            Item::new(1.0, 3.0),
+            Item::new(2.0, 4.0),
+        ];
         assert_eq!(convex_hull_indices(&class), vec![0, 1, 2]);
     }
 
     #[test]
     fn hull_collinear_points_collapse() {
-        let class = vec![Item::new(0.0, 0.0), Item::new(1.0, 2.0), Item::new(2.0, 4.0)];
+        let class = vec![
+            Item::new(0.0, 0.0),
+            Item::new(1.0, 2.0),
+            Item::new(2.0, 4.0),
+        ];
         // Middle collinear point removed (slope equality pops it).
         assert_eq!(convex_hull_indices(&class), vec![0, 2]);
     }
@@ -311,7 +327,11 @@ mod tests {
     fn integer_prefix_is_feasible() {
         let inst = MckpInstance::new(
             vec![
-                vec![Item::new(0.1, 0.0), Item::new(0.5, 5.0), Item::new(0.9, 6.0)],
+                vec![
+                    Item::new(0.1, 0.0),
+                    Item::new(0.5, 5.0),
+                    Item::new(0.9, 6.0),
+                ],
                 vec![Item::new(0.1, 0.0), Item::new(0.4, 4.0)],
             ],
             1.0,

@@ -1,0 +1,119 @@
+//! Solver instrumentation: latency histograms per solver.
+//!
+//! [`ObservedSolver`] wraps any [`Solver`] and records every `solve`
+//! call's wall-clock latency into a per-solver log-linear histogram
+//! (`mckp_solve_ns_<name>`) plus a call counter
+//! (`mckp_solves_total_<name>`) in an [`rto_obs::MetricsRegistry`].
+//! The wrapper is transparent: results, errors, and [`Solver::name`]
+//! pass straight through, so it can be dropped in anywhere a solver is
+//! expected — including inside the offloading decision manager.
+
+use crate::{MckpInstance, Selection, SolveError, Solver};
+use rto_obs::{Counter, Histogram, MetricsRegistry};
+
+/// A [`Solver`] decorator that meters decision latency.
+#[derive(Debug, Clone)]
+pub struct ObservedSolver<S> {
+    inner: S,
+    latency_ns: Histogram,
+    solves: Counter,
+    errors: Counter,
+}
+
+impl<S: Solver> ObservedSolver<S> {
+    /// Wraps `inner`, registering its metrics in `metrics` under names
+    /// derived from [`Solver::name`].
+    pub fn new(inner: S, metrics: &MetricsRegistry) -> Self {
+        let name = inner.name();
+        ObservedSolver {
+            latency_ns: metrics.histogram(&format!("mckp_solve_ns_{name}")),
+            solves: metrics.counter(&format!("mckp_solves_total_{name}")),
+            errors: metrics.counter(&format!("mckp_solve_errors_total_{name}")),
+            inner,
+        }
+    }
+
+    /// Unwraps the inner solver.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// The inner solver.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: Solver> Solver for ObservedSolver<S> {
+    fn solve(&self, instance: &MckpInstance) -> Result<Selection, SolveError> {
+        let t0 = std::time::Instant::now();
+        let result = self.inner.solve(instance);
+        let elapsed = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.latency_ns.record(elapsed);
+        self.solves.inc();
+        if result.is_err() {
+            self.errors.inc();
+        }
+        result
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::DpSolver;
+    use crate::instance::Item;
+
+    fn tiny() -> MckpInstance {
+        MckpInstance::new(
+            vec![
+                vec![Item::new(0.2, 1.0), Item::new(0.6, 5.0)],
+                vec![Item::new(0.3, 2.0), Item::new(0.7, 4.0)],
+            ],
+            1.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn observed_solver_is_transparent_and_meters() {
+        let metrics = MetricsRegistry::new();
+        let solver = ObservedSolver::new(DpSolver::default(), &metrics);
+        assert_eq!(solver.name(), DpSolver::default().name());
+        let inst = tiny();
+        let sel = solver.solve(&inst).unwrap();
+        let direct = DpSolver::default().solve(&inst).unwrap();
+        assert_eq!(
+            inst.selection_profit(&sel),
+            inst.selection_profit(&direct),
+            "wrapper must not change the answer"
+        );
+        let snap = metrics.snapshot();
+        let name = solver.name();
+        assert_eq!(snap.counter(&format!("mckp_solves_total_{name}")), Some(1));
+        assert_eq!(
+            snap.counter(&format!("mckp_solve_errors_total_{name}")),
+            Some(0)
+        );
+        let h = snap.histogram(&format!("mckp_solve_ns_{name}")).unwrap();
+        assert_eq!(h.count, 1);
+    }
+
+    #[test]
+    fn infeasible_counts_as_error() {
+        let metrics = MetricsRegistry::new();
+        let solver = ObservedSolver::new(DpSolver::default(), &metrics);
+        let inst = MckpInstance::new(vec![vec![Item::new(2.0, 1.0)]], 1.0).unwrap();
+        assert!(solver.solve(&inst).is_err());
+        let name = solver.name();
+        let snap = metrics.snapshot();
+        assert_eq!(
+            snap.counter(&format!("mckp_solve_errors_total_{name}")),
+            Some(1)
+        );
+    }
+}

@@ -1,0 +1,495 @@
+//! The structured trace-event taxonomy.
+//!
+//! Every observable state transition in the offloading runtime maps to
+//! one [`TraceEvent`] variant. Events are plain-old-data: every field is
+//! `Copy`, so constructing and recording an event never touches the
+//! heap — the [`NullSink`](crate::sink::NullSink) fast path is
+//! allocation-free by construction (and verified by a counting-allocator
+//! test).
+//!
+//! Events serialize to JSON *manually* (no serde derive) so the JSONL
+//! golden files stay byte-stable across refactors: field order is fixed
+//! here, not by struct declaration order.
+
+use std::fmt::Write as _;
+
+/// The execution phase a sub-job belongs to.
+///
+/// Mirrors the simulator's sub-job kinds without depending on `rto-sim`
+/// (the dependency points the other way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// A non-offloaded job executing entirely locally.
+    LocalWhole,
+    /// The setup part `C_{i,1}` of an offloaded job.
+    Setup,
+    /// Post-processing `C_{i,3}` after an in-time server result.
+    PostProcess,
+    /// The local compensation `C_{i,2}` after a timeout.
+    Compensation,
+}
+
+impl Phase {
+    /// Stable lowercase identifier used in JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::LocalWhole => "local",
+            Phase::Setup => "setup",
+            Phase::PostProcess => "post_process",
+            Phase::Compensation => "compensation",
+        }
+    }
+}
+
+/// One structured trace event, stamped by the emitter with a monotonic
+/// simulation timestamp (nanoseconds).
+///
+/// All variants are `Copy`; none own heap data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// A job of `task_id` was released with the given absolute deadline.
+    JobReleased {
+        /// Simulator-wide job index.
+        job_id: usize,
+        /// Owning task.
+        task_id: usize,
+        /// Absolute deadline, ns since simulation start.
+        deadline_ns: u64,
+    },
+    /// A sub-job became ready and entered the run queue.
+    SubJobDispatched {
+        /// Owning job.
+        job_id: usize,
+        /// Owning task.
+        task_id: usize,
+        /// Which phase of the job this sub-job is.
+        phase: Phase,
+    },
+    /// A sub-job started (or resumed) executing on the processor.
+    SubJobStarted {
+        /// Owning job.
+        job_id: usize,
+        /// Owning task.
+        task_id: usize,
+        /// Which phase of the job this sub-job is.
+        phase: Phase,
+    },
+    /// A running sub-job lost the processor to a higher-priority one.
+    SubJobPreempted {
+        /// Owning job.
+        job_id: usize,
+        /// Owning task.
+        task_id: usize,
+        /// Which phase of the job this sub-job is.
+        phase: Phase,
+    },
+    /// A sub-job finished its work.
+    SubJobCompleted {
+        /// Owning job.
+        job_id: usize,
+        /// Owning task.
+        task_id: usize,
+        /// Which phase of the job this sub-job is.
+        phase: Phase,
+    },
+    /// An offload request left the device for the server.
+    OffloadRequestSent {
+        /// Owning job.
+        job_id: usize,
+        /// Owning task.
+        task_id: usize,
+        /// Request payload size in bytes.
+        payload_bytes: u64,
+    },
+    /// The network or server dropped the request; no response will come.
+    OffloadRequestLost {
+        /// Owning job.
+        job_id: usize,
+        /// Owning task.
+        task_id: usize,
+    },
+    /// The server's response arrived back at the device.
+    ServerResponseArrived {
+        /// Owning job.
+        job_id: usize,
+        /// Owning task.
+        task_id: usize,
+        /// `true` when the compensation timer had already fired, so the
+        /// result was discarded.
+        late: bool,
+    },
+    /// A compensation timer was armed for an in-flight offload.
+    CompensationTimerArmed {
+        /// Owning job.
+        job_id: usize,
+        /// Owning task.
+        task_id: usize,
+        /// Absolute fire time, ns since simulation start.
+        fires_at_ns: u64,
+    },
+    /// The compensation timer fired.
+    CompensationTimerFired {
+        /// Owning job.
+        job_id: usize,
+        /// Owning task.
+        task_id: usize,
+        /// `true` when the result had already arrived, so the timer was
+        /// a no-op.
+        stale: bool,
+    },
+    /// An accountable job met its deadline.
+    DeadlineMet {
+        /// Owning job.
+        job_id: usize,
+        /// Owning task.
+        task_id: usize,
+    },
+    /// An accountable job missed its deadline.
+    DeadlineMissed {
+        /// Owning job.
+        job_id: usize,
+        /// Owning task.
+        task_id: usize,
+    },
+    /// A server fleet routed a request to one of its members.
+    FleetRouted {
+        /// The requesting task.
+        task_id: usize,
+        /// The chosen fleet member index.
+        member: usize,
+    },
+    /// The offloading decision manager chose a plan.
+    OdmDecisionChosen {
+        /// Name of the MCKP solver that produced the plan.
+        solver: &'static str,
+        /// How many tasks the plan offloads.
+        offloaded: usize,
+        /// Total tasks considered.
+        total_tasks: usize,
+        /// Theorem-3 density of the plan, in millionths (the knapsack
+        /// capacity used, of a budget of 1 000 000).
+        capacity_used_ppm: u64,
+        /// Wall-clock solver latency in nanoseconds.
+        latency_ns: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable snake_case event-kind tag used in JSON output.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::JobReleased { .. } => "job_released",
+            TraceEvent::SubJobDispatched { .. } => "subjob_dispatched",
+            TraceEvent::SubJobStarted { .. } => "subjob_started",
+            TraceEvent::SubJobPreempted { .. } => "subjob_preempted",
+            TraceEvent::SubJobCompleted { .. } => "subjob_completed",
+            TraceEvent::OffloadRequestSent { .. } => "offload_request_sent",
+            TraceEvent::OffloadRequestLost { .. } => "offload_request_lost",
+            TraceEvent::ServerResponseArrived { .. } => "server_response_arrived",
+            TraceEvent::CompensationTimerArmed { .. } => "compensation_timer_armed",
+            TraceEvent::CompensationTimerFired { .. } => "compensation_timer_fired",
+            TraceEvent::DeadlineMet { .. } => "deadline_met",
+            TraceEvent::DeadlineMissed { .. } => "deadline_missed",
+            TraceEvent::FleetRouted { .. } => "fleet_routed",
+            TraceEvent::OdmDecisionChosen { .. } => "odm_decision_chosen",
+        }
+    }
+
+    /// The owning job, for events that have one.
+    pub fn job_id(&self) -> Option<usize> {
+        match *self {
+            TraceEvent::JobReleased { job_id, .. }
+            | TraceEvent::SubJobDispatched { job_id, .. }
+            | TraceEvent::SubJobStarted { job_id, .. }
+            | TraceEvent::SubJobPreempted { job_id, .. }
+            | TraceEvent::SubJobCompleted { job_id, .. }
+            | TraceEvent::OffloadRequestSent { job_id, .. }
+            | TraceEvent::OffloadRequestLost { job_id, .. }
+            | TraceEvent::ServerResponseArrived { job_id, .. }
+            | TraceEvent::CompensationTimerArmed { job_id, .. }
+            | TraceEvent::CompensationTimerFired { job_id, .. }
+            | TraceEvent::DeadlineMet { job_id, .. }
+            | TraceEvent::DeadlineMissed { job_id, .. } => Some(job_id),
+            TraceEvent::FleetRouted { .. } | TraceEvent::OdmDecisionChosen { .. } => None,
+        }
+    }
+
+    /// The owning task, for events that have one.
+    pub fn task_id(&self) -> Option<usize> {
+        match *self {
+            TraceEvent::JobReleased { task_id, .. }
+            | TraceEvent::SubJobDispatched { task_id, .. }
+            | TraceEvent::SubJobStarted { task_id, .. }
+            | TraceEvent::SubJobPreempted { task_id, .. }
+            | TraceEvent::SubJobCompleted { task_id, .. }
+            | TraceEvent::OffloadRequestSent { task_id, .. }
+            | TraceEvent::OffloadRequestLost { task_id, .. }
+            | TraceEvent::ServerResponseArrived { task_id, .. }
+            | TraceEvent::CompensationTimerArmed { task_id, .. }
+            | TraceEvent::CompensationTimerFired { task_id, .. }
+            | TraceEvent::DeadlineMet { task_id, .. }
+            | TraceEvent::DeadlineMissed { task_id, .. }
+            | TraceEvent::FleetRouted { task_id, .. } => Some(task_id),
+            TraceEvent::OdmDecisionChosen { .. } => None,
+        }
+    }
+
+    /// Appends this event as one JSON object (no trailing newline) with
+    /// a fixed, documented field order:
+    /// `ts_ns`, `event`, then variant fields in declaration order.
+    pub fn write_json(&self, ts_ns: u64, out: &mut String) {
+        let _ = write!(out, "{{\"ts_ns\":{ts_ns},\"event\":\"{}\"", self.kind());
+        match *self {
+            TraceEvent::JobReleased {
+                job_id,
+                task_id,
+                deadline_ns,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"job_id\":{job_id},\"task_id\":{task_id},\"deadline_ns\":{deadline_ns}"
+                );
+            }
+            TraceEvent::SubJobDispatched {
+                job_id,
+                task_id,
+                phase,
+            }
+            | TraceEvent::SubJobStarted {
+                job_id,
+                task_id,
+                phase,
+            }
+            | TraceEvent::SubJobPreempted {
+                job_id,
+                task_id,
+                phase,
+            }
+            | TraceEvent::SubJobCompleted {
+                job_id,
+                task_id,
+                phase,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"job_id\":{job_id},\"task_id\":{task_id},\"phase\":\"{}\"",
+                    phase.as_str()
+                );
+            }
+            TraceEvent::OffloadRequestSent {
+                job_id,
+                task_id,
+                payload_bytes,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"job_id\":{job_id},\"task_id\":{task_id},\"payload_bytes\":{payload_bytes}"
+                );
+            }
+            TraceEvent::OffloadRequestLost { job_id, task_id }
+            | TraceEvent::DeadlineMet { job_id, task_id }
+            | TraceEvent::DeadlineMissed { job_id, task_id } => {
+                let _ = write!(out, ",\"job_id\":{job_id},\"task_id\":{task_id}");
+            }
+            TraceEvent::ServerResponseArrived {
+                job_id,
+                task_id,
+                late,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"job_id\":{job_id},\"task_id\":{task_id},\"late\":{late}"
+                );
+            }
+            TraceEvent::CompensationTimerArmed {
+                job_id,
+                task_id,
+                fires_at_ns,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"job_id\":{job_id},\"task_id\":{task_id},\"fires_at_ns\":{fires_at_ns}"
+                );
+            }
+            TraceEvent::CompensationTimerFired {
+                job_id,
+                task_id,
+                stale,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"job_id\":{job_id},\"task_id\":{task_id},\"stale\":{stale}"
+                );
+            }
+            TraceEvent::FleetRouted { task_id, member } => {
+                let _ = write!(out, ",\"task_id\":{task_id},\"member\":{member}");
+            }
+            TraceEvent::OdmDecisionChosen {
+                solver,
+                offloaded,
+                total_tasks,
+                capacity_used_ppm,
+                latency_ns,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"solver\":\"{solver}\",\"offloaded\":{offloaded},\"total_tasks\":{total_tasks},\"capacity_used_ppm\":{capacity_used_ppm},\"latency_ns\":{latency_ns}"
+                );
+            }
+        }
+        out.push('}');
+    }
+
+    /// Renders this event as one JSON line (convenience wrapper around
+    /// [`TraceEvent::write_json`]).
+    pub fn to_json(&self, ts_ns: u64) -> String {
+        let mut s = String::with_capacity(96);
+        self.write_json(ts_ns, &mut s);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_field_order_is_stable() {
+        let e = TraceEvent::JobReleased {
+            job_id: 3,
+            task_id: 1,
+            deadline_ns: 50_000_000,
+        };
+        assert_eq!(
+            e.to_json(12),
+            "{\"ts_ns\":12,\"event\":\"job_released\",\"job_id\":3,\"task_id\":1,\"deadline_ns\":50000000}"
+        );
+    }
+
+    #[test]
+    fn phases_render_lowercase() {
+        let e = TraceEvent::SubJobDispatched {
+            job_id: 0,
+            task_id: 0,
+            phase: Phase::PostProcess,
+        };
+        assert!(e.to_json(0).contains("\"phase\":\"post_process\""));
+    }
+
+    #[test]
+    fn booleans_render_bare() {
+        let e = TraceEvent::ServerResponseArrived {
+            job_id: 1,
+            task_id: 2,
+            late: true,
+        };
+        assert!(e.to_json(7).ends_with("\"late\":true}"));
+    }
+
+    #[test]
+    fn ids_are_extractable() {
+        let e = TraceEvent::DeadlineMissed {
+            job_id: 9,
+            task_id: 4,
+        };
+        assert_eq!(e.job_id(), Some(9));
+        assert_eq!(e.task_id(), Some(4));
+        let odm = TraceEvent::OdmDecisionChosen {
+            solver: "dp",
+            offloaded: 1,
+            total_tasks: 2,
+            capacity_used_ppm: 500_000,
+            latency_ns: 10,
+        };
+        assert_eq!(odm.job_id(), None);
+        assert_eq!(odm.task_id(), None);
+    }
+
+    #[test]
+    fn every_kind_parses_as_json() {
+        let all = [
+            TraceEvent::JobReleased {
+                job_id: 0,
+                task_id: 0,
+                deadline_ns: 1,
+            },
+            TraceEvent::SubJobDispatched {
+                job_id: 0,
+                task_id: 0,
+                phase: Phase::Setup,
+            },
+            TraceEvent::SubJobStarted {
+                job_id: 0,
+                task_id: 0,
+                phase: Phase::Setup,
+            },
+            TraceEvent::SubJobPreempted {
+                job_id: 0,
+                task_id: 0,
+                phase: Phase::LocalWhole,
+            },
+            TraceEvent::SubJobCompleted {
+                job_id: 0,
+                task_id: 0,
+                phase: Phase::Compensation,
+            },
+            TraceEvent::OffloadRequestSent {
+                job_id: 0,
+                task_id: 0,
+                payload_bytes: 64,
+            },
+            TraceEvent::OffloadRequestLost {
+                job_id: 0,
+                task_id: 0,
+            },
+            TraceEvent::ServerResponseArrived {
+                job_id: 0,
+                task_id: 0,
+                late: false,
+            },
+            TraceEvent::CompensationTimerArmed {
+                job_id: 0,
+                task_id: 0,
+                fires_at_ns: 5,
+            },
+            TraceEvent::CompensationTimerFired {
+                job_id: 0,
+                task_id: 0,
+                stale: true,
+            },
+            TraceEvent::DeadlineMet {
+                job_id: 0,
+                task_id: 0,
+            },
+            TraceEvent::DeadlineMissed {
+                job_id: 0,
+                task_id: 0,
+            },
+            TraceEvent::FleetRouted {
+                task_id: 0,
+                member: 2,
+            },
+            TraceEvent::OdmDecisionChosen {
+                solver: "heu-oe",
+                offloaded: 2,
+                total_tasks: 4,
+                capacity_used_ppm: 900_000,
+                latency_ns: 123,
+            },
+        ];
+        for e in all {
+            let line = e.to_json(42);
+            let v: serde_json::Value = serde_json::from_str(&line).expect("valid JSON");
+            let obj = match v {
+                serde_json::Value::Object(o) => o,
+                other => panic!("not an object: {other:?}"),
+            };
+            assert_eq!(
+                obj.iter()
+                    .find(|(k, _)| k == "event")
+                    .map(|(_, v)| v.clone()),
+                Some(serde_json::Value::Str(e.kind().to_string()))
+            );
+        }
+    }
+}

@@ -1,5 +1,168 @@
-//! `rto-obs` — structured tracing + metrics for the rto stack.
+//! # rto-obs — structured tracing + metrics for the rto stack
 //!
-//! Placeholder; populated by the observability build-out.
+//! Zero-dependency (std + the workspace's serde/serde_json) observability
+//! substrate shared by the simulator, the server models, and the
+//! offloading decision manager:
+//!
+//! * **Trace layer** — a [`TraceEvent`] taxonomy covering every
+//!   observable runtime transition (releases, dispatches, preemptions,
+//!   offload round-trips, compensation timers, deadline outcomes, ODM
+//!   decisions), recorded through a [`TraceSink`]. Ships four sinks:
+//!   [`NullSink`] (default, allocation-free), [`MemorySink`] (tests),
+//!   [`JsonlSink`] (one JSON object per line), and [`ChromeTraceSink`]
+//!   (Chrome/Perfetto trace-event JSON).
+//! * **Metrics layer** — hand-rolled [`Counter`], [`Gauge`], and
+//!   log-linear [`Histogram`] handles in a [`MetricsRegistry`], exported
+//!   as a serializable [`MetricsSnapshot`], Prometheus text, or JSON.
+//! * **[`Obs`]** — the bundle the instrumented crates actually thread
+//!   around: one shared sink plus one shared registry.
+//!
+//! ## Design notes
+//!
+//! * Events are plain `Copy` data and serialize through hand-written
+//!   JSON, so the disabled path ([`NullSink`]) performs no heap
+//!   allocation per event — a counting-allocator test enforces this.
+//! * Timestamps are plain `u64` nanoseconds. The simulator stamps
+//!   simulated time; offline emitters (the ODM) stamp zero.
+//! * `rto-obs` sits at the bottom of the crate graph (no rto
+//!   dependencies), so every other crate can depend on it without
+//!   cycles.
+//!
+//! ## Example
+//!
+//! ```
+//! use rto_obs::{MemorySink, Obs, TraceEvent};
+//! use std::sync::Arc;
+//!
+//! let sink = Arc::new(MemorySink::new());
+//! let obs = Obs::with_sink(sink.clone());
+//! obs.emit(5, TraceEvent::DeadlineMet { job_id: 0, task_id: 3 });
+//! obs.metrics().counter("deadlines_met").inc();
+//!
+//! assert_eq!(sink.len(), 1);
+//! assert_eq!(obs.metrics().snapshot().counter("deadlines_met"), Some(1));
+//! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod metrics;
+pub mod sink;
+
+pub use event::{Phase, TraceEvent};
+pub use metrics::{
+    Counter, CounterSample, Gauge, GaugeSample, Histogram, HistogramSample, MetricsRegistry,
+    MetricsSnapshot,
+};
+pub use sink::{ChromeTraceSink, JsonlSink, MemorySink, NullSink, TraceSink};
+
+use std::sync::Arc;
+
+/// The observability context instrumented code threads around: one
+/// shared trace sink plus one shared metrics registry.
+///
+/// Cloning shares both. The default context is *disabled*: a
+/// [`NullSink`] plus a fresh registry, costing nothing per event.
+#[derive(Clone)]
+pub struct Obs {
+    sink: Arc<dyn TraceSink>,
+    metrics: MetricsRegistry,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.sink.enabled())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::disabled()
+    }
+}
+
+impl Obs {
+    /// A context that records nothing (the default).
+    pub fn disabled() -> Self {
+        Obs {
+            sink: Arc::new(NullSink),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// A context tracing into `sink` with a fresh registry.
+    pub fn with_sink(sink: Arc<dyn TraceSink>) -> Self {
+        Obs {
+            sink,
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// A context with both parts supplied.
+    pub fn new(sink: Arc<dyn TraceSink>, metrics: MetricsRegistry) -> Self {
+        Obs { sink, metrics }
+    }
+
+    /// The trace sink.
+    pub fn sink(&self) -> &Arc<dyn TraceSink> {
+        &self.sink
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Whether the sink wants events.
+    #[inline]
+    pub fn tracing_enabled(&self) -> bool {
+        self.sink.enabled()
+    }
+
+    /// Records `event` at `ts_ns` if tracing is enabled.
+    #[inline]
+    pub fn emit(&self, ts_ns: u64, event: TraceEvent) {
+        if self.sink.enabled() {
+            self.sink.record(ts_ns, &event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_context_is_disabled() {
+        let obs = Obs::default();
+        assert!(!obs.tracing_enabled());
+        obs.emit(
+            0,
+            TraceEvent::DeadlineMet {
+                job_id: 0,
+                task_id: 0,
+            },
+        );
+        assert!(obs.metrics().snapshot().is_empty());
+    }
+
+    #[test]
+    fn clones_share_sink_and_registry() {
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::with_sink(sink.clone());
+        let obs2 = obs.clone();
+        obs2.emit(
+            1,
+            TraceEvent::DeadlineMissed {
+                job_id: 1,
+                task_id: 2,
+            },
+        );
+        obs.metrics().counter("x").inc();
+        assert_eq!(sink.len(), 1);
+        assert_eq!(obs2.metrics().snapshot().counter("x"), Some(1));
+    }
+}

@@ -1,0 +1,547 @@
+//! Hand-rolled metrics: counters, gauges, log-linear histograms, and a
+//! registry with Prometheus-text and JSON exporters.
+//!
+//! Everything is lock-free on the hot path: handles are `Arc`-shared
+//! atomics, so instrumented code clones a handle once and then records
+//! with plain atomic ops. The registry itself (name → handle) takes a
+//! mutex only on registration and snapshot.
+//!
+//! The histogram uses the classic log-linear bucket layout (as in HDR
+//! histograms): values below 2^[`SUB_BITS`] get exact unit buckets;
+//! every higher power-of-two range is split into 2^[`SUB_BITS`] linear
+//! sub-buckets, bounding relative quantile error at
+//! 2^-[`SUB_BITS`] ≈ 3.1%.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a free-standing `f64` that can go up and down.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Linear sub-bucket resolution: 2^5 = 32 sub-buckets per power of two.
+const SUB_BITS: u32 = 5;
+const SUB: u64 = 1 << SUB_BITS;
+/// Bucket count: 2^SUB_BITS unit buckets + one block of 2^SUB_BITS per
+/// exponent SUB_BITS..=63.
+const BUCKETS: usize = (SUB as usize) * (64 - SUB_BITS as usize + 1);
+
+#[derive(Debug)]
+struct HistCore {
+    counts: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A lock-free log-linear histogram over non-negative integer values
+/// (typically nanoseconds or queue depths).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    core: Arc<HistCore>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for `v` (log-linear layout).
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros(); // >= SUB_BITS
+    let block = (exp - SUB_BITS) as usize;
+    let sub = ((v >> (exp - SUB_BITS)) - SUB) as usize;
+    SUB as usize + block * SUB as usize + sub
+}
+
+/// Lower bound of bucket `i` (inverse of [`bucket_index`]).
+fn bucket_lower(i: usize) -> u64 {
+    if i < SUB as usize {
+        return i as u64;
+    }
+    let block = (i - SUB as usize) / SUB as usize;
+    let sub = ((i - SUB as usize) % SUB as usize) as u64;
+    let exp = block as u32 + SUB_BITS;
+    (1u64 << exp) + (sub << (exp - SUB_BITS))
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        let counts: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            core: Arc::new(HistCore {
+                counts: counts.into_boxed_slice(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let c = &self.core;
+        c.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(v, Ordering::Relaxed);
+        c.min.fetch_min(v, Ordering::Relaxed);
+        c.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.core.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count() > 0).then(|| self.core.min.load(Ordering::Relaxed))
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count() > 0).then(|| self.core.max.load(Ordering::Relaxed))
+    }
+
+    /// Mean of observations (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count() > 0).then(|| self.sum() as f64 / self.count() as f64)
+    }
+
+    /// Approximate `q`-quantile (0 ≤ q ≤ 1): the lower bound of the
+    /// bucket containing the rank, clamped to the observed min/max.
+    /// Relative error ≤ 2^-5 ≈ 3.1%. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, slot) in self.core.counts.iter().enumerate() {
+            seen += slot.load(Ordering::Relaxed);
+            if seen >= rank {
+                let lo = bucket_lower(i).max(self.min().unwrap_or(0));
+                return Some(lo.min(self.max().unwrap_or(u64::MAX)));
+            }
+        }
+        self.max()
+    }
+}
+
+/// One exported counter value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSample {
+    /// Metric name.
+    pub name: String,
+    /// Counter value.
+    pub value: u64,
+}
+
+/// One exported gauge value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSample {
+    /// Metric name.
+    pub name: String,
+    /// Gauge value.
+    pub value: f64,
+}
+
+/// One exported histogram, reduced to summary statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSample {
+    /// Metric name.
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Approximate median.
+    pub p50: u64,
+    /// Approximate 90th percentile.
+    pub p90: u64,
+    /// Approximate 99th percentile.
+    pub p99: u64,
+}
+
+/// A point-in-time export of a whole registry, ordered by metric name.
+///
+/// Serializable, comparable, and embeddable in reports (the simulator
+/// carries one inside `SimReport`).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// All counters, by name.
+    pub counters: Vec<CounterSample>,
+    /// All gauges, by name.
+    pub gauges: Vec<GaugeSample>,
+    /// All histograms, by name.
+    pub histograms: Vec<HistogramSample>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Looks up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Looks up a histogram sample by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSample> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Whether nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A named collection of metrics.
+///
+/// Cloning is cheap and shares the underlying metrics, so the same
+/// registry can be handed to the simulator, the server models, and the
+/// decision manager, then exported once at the end.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (registering on first use) the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns (registering on first use) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns (registering on first use) the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Exports every metric's current value.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(name, c)| CounterSample {
+                    name: name.clone(),
+                    value: c.get(),
+                })
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(name, g)| GaugeSample {
+                    name: name.clone(),
+                    value: g.get(),
+                })
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(name, h)| HistogramSample {
+                    name: name.clone(),
+                    count: h.count(),
+                    sum: h.sum(),
+                    min: h.min().unwrap_or(0),
+                    max: h.max().unwrap_or(0),
+                    p50: h.quantile(0.50).unwrap_or(0),
+                    p90: h.quantile(0.90).unwrap_or(0),
+                    p99: h.quantile(0.99).unwrap_or(0),
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders the registry in the Prometheus text exposition format
+    /// (histograms export as summaries with `quantile` labels).
+    pub fn render_prometheus(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::new();
+        for c in &snap.counters {
+            let name = sanitize(&c.name);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", c.value);
+        }
+        for g in &snap.gauges {
+            let name = sanitize(&g.name);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {:?}", g.value);
+        }
+        for h in &snap.histograms {
+            let name = sanitize(&h.name);
+            let _ = writeln!(out, "# TYPE {name} summary");
+            for (q, v) in [(0.5, h.p50), (0.9, h.p90), (0.99, h.p99)] {
+                let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {v}");
+            }
+            let _ = writeln!(out, "{name}_sum {}", h.sum);
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        }
+        out
+    }
+
+    /// Renders the snapshot as a JSON document.
+    pub fn render_json(&self) -> String {
+        serde_json::to_string_pretty(&self.snapshot()).expect("snapshot serializes")
+    }
+}
+
+/// Maps a metric name onto the Prometheus charset `[a-zA-Z0-9_:]`.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("rto.offloads");
+        c.inc();
+        c.add(4);
+        // Second handle shares state.
+        assert_eq!(reg.counter("rto.offloads").get(), 5);
+        let g = reg.gauge("queue_depth");
+        g.set(3.0);
+        g.add(-1.5);
+        assert!((reg.gauge("queue_depth").get() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_invertible() {
+        let mut prev = None;
+        for v in [0u64, 1, 31, 32, 33, 63, 64, 100, 1 << 20, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(i < BUCKETS, "index {i} out of range for {v}");
+            let lo = bucket_lower(i);
+            assert!(lo <= v, "lower bound {lo} above value {v}");
+            if let Some((pv, pi)) = prev {
+                assert!(i >= pi, "index not monotone: {pv}->{pi}, {v}->{i}");
+            }
+            prev = Some((v, i));
+        }
+        // Unit buckets are exact below 32.
+        for v in 0..32u64 {
+            assert_eq!(bucket_lower(bucket_index(v)), v);
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_are_close() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(1000));
+        let p50 = h.quantile(0.5).unwrap() as f64;
+        let p99 = h.quantile(0.99).unwrap() as f64;
+        assert!((p50 - 500.0).abs() / 500.0 < 0.05, "p50 {p50}");
+        assert!((p99 - 990.0).abs() / 990.0 < 0.05, "p99 {p99}");
+        assert!((h.mean().unwrap() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_behaved() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn snapshot_is_ordered_and_queryable() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b").inc();
+        reg.counter("a").add(2);
+        reg.histogram("lat").record(10);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters[0].name, "a");
+        assert_eq!(snap.counters[1].name, "b");
+        assert_eq!(snap.counter("a"), Some(2));
+        assert_eq!(snap.counter("missing"), None);
+        let lat = snap.histogram("lat").unwrap();
+        assert_eq!(lat.count, 1);
+        assert_eq!(lat.min, 10);
+        assert!(!snap.is_empty());
+        assert!(MetricsSnapshot::default().is_empty());
+    }
+
+    #[test]
+    fn snapshot_serde_roundtrip() {
+        let reg = MetricsRegistry::new();
+        reg.counter("offloads").add(7);
+        reg.gauge("util").set(0.25);
+        reg.histogram("ns").record(1234);
+        let snap = reg.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn prometheus_rendering_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter("rto.misses").inc();
+        reg.gauge("rto.util").set(0.5);
+        reg.histogram("rto.response-ns").record(100);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE rto_misses counter"));
+        assert!(text.contains("rto_misses 1"));
+        assert!(text.contains("# TYPE rto_util gauge"));
+        assert!(text.contains("rto_util 0.5"));
+        assert!(text.contains("# TYPE rto_response_ns summary"));
+        assert!(text.contains("rto_response_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("rto_response_ns_count 1"));
+    }
+
+    #[test]
+    fn gauge_add_is_atomic_under_contention() {
+        let g = Gauge::new();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let g = g.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        g.add(1.0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!((g.get() - 4000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,623 @@
+//! Trace sinks: where [`TraceEvent`]s go.
+//!
+//! A [`TraceSink`] receives timestamped events from the instrumented
+//! runtime. Four implementations cover the common cases:
+//!
+//! * [`NullSink`] — the default; discards everything with near-zero
+//!   overhead (no locks, no allocation, `enabled()` is `false` so
+//!   emitters can skip event construction entirely).
+//! * [`MemorySink`] — buffers events in memory, for tests and analysis.
+//! * [`JsonlSink`] — one JSON object per line, append-only, suitable
+//!   for `jq`/pandas pipelines and golden-file testing.
+//! * [`ChromeTraceSink`] — Chrome/Perfetto trace-event JSON with
+//!   `B`/`E` duration spans on a CPU lane and per-request server lanes,
+//!   plus `i` instants for point events. Load the output at
+//!   `chrome://tracing` or <https://ui.perfetto.dev>.
+
+use crate::event::TraceEvent;
+use std::fmt::Write as _;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// A destination for trace events.
+///
+/// Implementations must be thread-safe: the registry hands out
+/// `Arc<dyn TraceSink>` and sub-systems may record concurrently.
+pub trait TraceSink: Send + Sync {
+    /// Whether this sink wants events at all. Emitters may (but need
+    /// not) skip event construction when this returns `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one event stamped at `ts_ns` (monotonic simulation time).
+    fn record(&self, ts_ns: u64, event: &TraceEvent);
+}
+
+/// The default sink: discards every event.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn record(&self, _ts_ns: u64, _event: &TraceEvent) {}
+}
+
+/// An in-memory sink for tests and post-hoc analysis.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<(u64, TraceEvent)>>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clones out everything recorded so far, in record order.
+    pub fn snapshot(&self) -> Vec<(u64, TraceEvent)> {
+        self.events.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// Drains and returns everything recorded so far.
+    pub fn take(&self) -> Vec<(u64, TraceEvent)> {
+        std::mem::take(&mut *self.events.lock().expect("memory sink poisoned"))
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("memory sink poisoned").len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&self, ts_ns: u64, event: &TraceEvent) {
+        self.events
+            .lock()
+            .expect("memory sink poisoned")
+            .push((ts_ns, *event));
+    }
+}
+
+/// Writes one JSON object per line to any [`Write`] target.
+///
+/// I/O errors cannot propagate through [`TraceSink::record`]; the sink
+/// records the first failure and reports it via
+/// [`JsonlSink::had_io_error`] and on [`JsonlSink::into_inner`].
+#[derive(Debug)]
+pub struct JsonlSink<W: Write + Send> {
+    writer: Mutex<W>,
+    errored: AtomicBool,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps `writer`.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer: Mutex::new(writer),
+            errored: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether any write so far failed.
+    pub fn had_io_error(&self) -> bool {
+        self.errored.load(Ordering::Relaxed)
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Reports a previously swallowed write error or a flush failure.
+    pub fn into_inner(self) -> std::io::Result<W> {
+        let mut w = self.writer.into_inner().expect("jsonl sink poisoned");
+        w.flush()?;
+        if self.errored.load(Ordering::Relaxed) {
+            return Err(std::io::Error::other("a trace write failed earlier"));
+        }
+        Ok(w)
+    }
+}
+
+impl JsonlSink<std::io::BufWriter<std::fs::File>> {
+    /// Creates (truncating) `path` and streams JSONL into it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        Ok(JsonlSink::new(std::io::BufWriter::new(
+            std::fs::File::create(path)?,
+        )))
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
+    fn record(&self, ts_ns: u64, event: &TraceEvent) {
+        let mut line = String::with_capacity(112);
+        event.write_json(ts_ns, &mut line);
+        line.push('\n');
+        let mut w = self.writer.lock().expect("jsonl sink poisoned");
+        if w.write_all(line.as_bytes()).is_err() {
+            self.errored.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The CPU lane's Chrome thread id.
+const CPU_TID: u64 = 0;
+/// First server lane; each concurrently in-flight request gets its own.
+const SERVER_TID_BASE: u64 = 100;
+
+#[derive(Debug, Default)]
+struct ChromeState {
+    /// Rendered trace-event JSON objects, in record order.
+    events: Vec<String>,
+    /// `Some(job_id)` per occupied server lane.
+    server_lanes: Vec<Option<usize>>,
+    /// High-water mark of server lanes ever used (for metadata).
+    lanes_used: usize,
+    /// Whether a CPU span is currently open (for balance at render).
+    cpu_open: Option<(usize, usize)>,
+    /// Largest timestamp seen.
+    last_ts_ns: u64,
+}
+
+/// Collects events into Chrome/Perfetto trace-event JSON.
+///
+/// * Sub-job execution renders as `B`/`E` spans on the CPU lane
+///   (`tid 0`): `SubJobDispatched` opens, `SubJobPreempted` /
+///   `SubJobCompleted` close. On a uniprocessor the spans nest
+///   trivially.
+/// * Each in-flight offload renders as a `B`/`E` span on its own server
+///   lane (`tid 100+`), opened by `OffloadRequestSent` and closed by
+///   `ServerResponseArrived` or `OffloadRequestLost`.
+/// * Everything else renders as an `i` instant.
+///
+/// Call [`ChromeTraceSink::render`] at the end to get the complete JSON
+/// document (open spans are closed at the last seen timestamp).
+#[derive(Debug, Default)]
+pub struct ChromeTraceSink {
+    state: Mutex<ChromeState>,
+}
+
+fn chrome_ts(ts_ns: u64) -> f64 {
+    ts_ns as f64 / 1000.0 // Chrome wants microseconds.
+}
+
+fn push_span(events: &mut Vec<String>, ph: char, name: &str, ts_ns: u64, tid: u64) {
+    let mut s = String::with_capacity(96);
+    let _ = write!(
+        s,
+        "{{\"name\":\"{name}\",\"ph\":\"{ph}\",\"ts\":{:?},\"pid\":1,\"tid\":{tid}}}",
+        chrome_ts(ts_ns)
+    );
+    events.push(s);
+}
+
+fn push_instant(events: &mut Vec<String>, name: &str, ts_ns: u64, tid: u64, detail: &str) {
+    let mut s = String::with_capacity(128);
+    let _ = write!(
+        s,
+        "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{:?},\"pid\":1,\"tid\":{tid},\"args\":{{{detail}}}}}",
+        chrome_ts(ts_ns)
+    );
+    events.push(s);
+}
+
+impl ChromeTraceSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Renders the complete Chrome trace-event JSON document.
+    ///
+    /// Open spans (e.g. a response that never arrived) are closed at the
+    /// last recorded timestamp so the file always loads cleanly.
+    pub fn render(&self) -> String {
+        let state = self.state.lock().expect("chrome sink poisoned");
+        let mut out = String::with_capacity(64 + state.events.len() * 100);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        let mut emit = |s: &str, out: &mut String| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(s);
+        };
+        // Lane names first, so viewers label the rows.
+        let mut meta = String::new();
+        let _ = write!(
+            meta,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{CPU_TID},\"args\":{{\"name\":\"cpu\"}}}}"
+        );
+        emit(&meta, &mut out);
+        for lane in 0..state.lanes_used {
+            let mut meta = String::new();
+            let _ = write!(
+                meta,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"server slot {lane}\"}}}}",
+                SERVER_TID_BASE + lane as u64
+            );
+            emit(&meta, &mut out);
+        }
+        for e in &state.events {
+            emit(e, &mut out);
+        }
+        // Balance any open spans at the final timestamp.
+        let mut closers: Vec<String> = Vec::new();
+        if let Some((job, task)) = state.cpu_open {
+            push_span(
+                &mut closers,
+                'E',
+                &format!("T{task}/J{job}"),
+                state.last_ts_ns,
+                CPU_TID,
+            );
+        }
+        for (lane, slot) in state.server_lanes.iter().enumerate() {
+            if let Some(job) = slot {
+                push_span(
+                    &mut closers,
+                    'E',
+                    &format!("J{job} offload"),
+                    state.last_ts_ns,
+                    SERVER_TID_BASE + lane as u64,
+                );
+            }
+        }
+        for c in &closers {
+            emit(c, &mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Renders and writes the document to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+
+    /// Number of trace-event records collected so far.
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .expect("chrome sink poisoned")
+            .events
+            .len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for ChromeTraceSink {
+    fn record(&self, ts_ns: u64, event: &TraceEvent) {
+        let mut state = self.state.lock().expect("chrome sink poisoned");
+        state.last_ts_ns = state.last_ts_ns.max(ts_ns);
+        match *event {
+            TraceEvent::SubJobDispatched { .. } => {
+                // Dispatch is readiness, not execution; instant only.
+                let detail = format!("\"job\":{}", event.job_id().unwrap_or(0));
+                push_instant(&mut state.events, event.kind(), ts_ns, CPU_TID, &detail);
+            }
+            TraceEvent::SubJobStarted {
+                job_id, task_id, ..
+            } => {
+                // Close a dangling span first (defensive; should not happen).
+                if let Some((j, t)) = state.cpu_open.take() {
+                    push_span(
+                        &mut state.events,
+                        'E',
+                        &format!("T{t}/J{j}"),
+                        ts_ns,
+                        CPU_TID,
+                    );
+                }
+                state.cpu_open = Some((job_id, task_id));
+                push_span(
+                    &mut state.events,
+                    'B',
+                    &format!("T{task_id}/J{job_id}"),
+                    ts_ns,
+                    CPU_TID,
+                );
+            }
+            TraceEvent::SubJobPreempted {
+                job_id, task_id, ..
+            }
+            | TraceEvent::SubJobCompleted {
+                job_id, task_id, ..
+            } => {
+                // Close only the matching span: zero-work sub-jobs can
+                // complete while another sub-job holds the processor.
+                if state.cpu_open == Some((job_id, task_id)) {
+                    state.cpu_open = None;
+                    push_span(
+                        &mut state.events,
+                        'E',
+                        &format!("T{task_id}/J{job_id}"),
+                        ts_ns,
+                        CPU_TID,
+                    );
+                }
+            }
+            TraceEvent::OffloadRequestSent { job_id, .. } => {
+                let lane = state
+                    .server_lanes
+                    .iter()
+                    .position(Option::is_none)
+                    .unwrap_or_else(|| {
+                        state.server_lanes.push(None);
+                        state.server_lanes.len() - 1
+                    });
+                state.server_lanes[lane] = Some(job_id);
+                state.lanes_used = state.lanes_used.max(lane + 1);
+                push_span(
+                    &mut state.events,
+                    'B',
+                    &format!("J{job_id} offload"),
+                    ts_ns,
+                    SERVER_TID_BASE + lane as u64,
+                );
+            }
+            TraceEvent::OffloadRequestLost { job_id, .. }
+            | TraceEvent::ServerResponseArrived { job_id, .. } => {
+                if let Some(lane) = state
+                    .server_lanes
+                    .iter()
+                    .position(|slot| *slot == Some(job_id))
+                {
+                    state.server_lanes[lane] = None;
+                    push_span(
+                        &mut state.events,
+                        'E',
+                        &format!("J{job_id} offload"),
+                        ts_ns,
+                        SERVER_TID_BASE + lane as u64,
+                    );
+                } else {
+                    push_instant(
+                        &mut state.events,
+                        event.kind(),
+                        ts_ns,
+                        CPU_TID,
+                        &format!("\"job\":{job_id}"),
+                    );
+                }
+            }
+            _ => {
+                let mut detail = String::new();
+                if let Some(j) = event.job_id() {
+                    let _ = write!(detail, "\"job\":{j}");
+                }
+                if let Some(t) = event.task_id() {
+                    if !detail.is_empty() {
+                        detail.push(',');
+                    }
+                    let _ = write!(detail, "\"task\":{t}");
+                }
+                push_instant(&mut state.events, event.kind(), ts_ns, CPU_TID, &detail);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Phase;
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let sink = NullSink;
+        assert!(!sink.enabled());
+        sink.record(
+            0,
+            &TraceEvent::DeadlineMet {
+                job_id: 0,
+                task_id: 0,
+            },
+        );
+    }
+
+    #[test]
+    fn memory_sink_buffers_in_order() {
+        let sink = MemorySink::new();
+        sink.record(
+            1,
+            &TraceEvent::DeadlineMet {
+                job_id: 0,
+                task_id: 0,
+            },
+        );
+        sink.record(
+            2,
+            &TraceEvent::DeadlineMissed {
+                job_id: 1,
+                task_id: 0,
+            },
+        );
+        let events = sink.take();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].0, 1);
+        assert!(matches!(
+            events[1].1,
+            TraceEvent::DeadlineMissed { job_id: 1, .. }
+        ));
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let sink = JsonlSink::new(Vec::<u8>::new());
+        sink.record(
+            5,
+            &TraceEvent::JobReleased {
+                job_id: 0,
+                task_id: 1,
+                deadline_ns: 9,
+            },
+        );
+        sink.record(
+            6,
+            &TraceEvent::DeadlineMet {
+                job_id: 0,
+                task_id: 1,
+            },
+        );
+        assert!(!sink.had_io_error());
+        let bytes = sink.into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"ts_ns\":5,\"event\":\"job_released\""));
+        assert!(lines[1].contains("deadline_met"));
+    }
+
+    #[test]
+    fn chrome_sink_produces_balanced_spans() {
+        let sink = ChromeTraceSink::new();
+        sink.record(
+            0,
+            &TraceEvent::SubJobStarted {
+                job_id: 0,
+                task_id: 0,
+                phase: Phase::Setup,
+            },
+        );
+        sink.record(
+            10,
+            &TraceEvent::SubJobCompleted {
+                job_id: 0,
+                task_id: 0,
+                phase: Phase::Setup,
+            },
+        );
+        sink.record(
+            10,
+            &TraceEvent::OffloadRequestSent {
+                job_id: 0,
+                task_id: 0,
+                payload_bytes: 64,
+            },
+        );
+        sink.record(
+            30,
+            &TraceEvent::ServerResponseArrived {
+                job_id: 0,
+                task_id: 0,
+                late: false,
+            },
+        );
+        let doc = sink.render();
+        assert_eq!(doc.matches("\"ph\":\"B\"").count(), 2);
+        assert_eq!(doc.matches("\"ph\":\"E\"").count(), 2);
+        assert!(doc.contains("\"traceEvents\""));
+        // Valid JSON end to end.
+        let _: serde_json::Value = serde_json::from_str(&doc).expect("chrome doc parses");
+    }
+
+    #[test]
+    fn chrome_sink_closes_dangling_spans_on_render() {
+        let sink = ChromeTraceSink::new();
+        sink.record(
+            0,
+            &TraceEvent::OffloadRequestSent {
+                job_id: 7,
+                task_id: 1,
+                payload_bytes: 1,
+            },
+        );
+        sink.record(
+            50,
+            &TraceEvent::DeadlineMissed {
+                job_id: 7,
+                task_id: 1,
+            },
+        );
+        let doc = sink.render();
+        // The never-answered request still gets an E at the last ts.
+        assert_eq!(doc.matches("\"ph\":\"B\"").count(), 1);
+        assert_eq!(doc.matches("\"ph\":\"E\"").count(), 1);
+        assert!(doc.contains("\"ph\":\"i\""));
+    }
+
+    #[test]
+    fn chrome_lanes_are_reused_and_named() {
+        let sink = ChromeTraceSink::new();
+        // Two overlapping requests -> two lanes; a third after one frees
+        // reuses lane 0.
+        sink.record(
+            0,
+            &TraceEvent::OffloadRequestSent {
+                job_id: 0,
+                task_id: 0,
+                payload_bytes: 1,
+            },
+        );
+        sink.record(
+            1,
+            &TraceEvent::OffloadRequestSent {
+                job_id: 1,
+                task_id: 1,
+                payload_bytes: 1,
+            },
+        );
+        sink.record(
+            2,
+            &TraceEvent::ServerResponseArrived {
+                job_id: 0,
+                task_id: 0,
+                late: false,
+            },
+        );
+        sink.record(
+            3,
+            &TraceEvent::OffloadRequestSent {
+                job_id: 2,
+                task_id: 0,
+                payload_bytes: 1,
+            },
+        );
+        sink.record(
+            4,
+            &TraceEvent::ServerResponseArrived {
+                job_id: 1,
+                task_id: 1,
+                late: false,
+            },
+        );
+        sink.record(
+            5,
+            &TraceEvent::ServerResponseArrived {
+                job_id: 2,
+                task_id: 0,
+                late: false,
+            },
+        );
+        let doc = sink.render();
+        assert!(doc.contains("server slot 0"));
+        assert!(doc.contains("server slot 1"));
+        assert!(!doc.contains("server slot 2"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Verifies the acceptance criterion that the disabled-tracing path adds
+//! **no heap allocation per event**: emitting through a [`NullSink`]
+//! (and bumping counters / recording histogram samples) must not call
+//! the allocator at all.
+//!
+//! The check uses a counting `#[global_allocator]`, so this file must be
+//! the *only* test in its integration-test binary — Rust integration
+//! tests each compile to their own crate, which is also why the
+//! `forbid(unsafe_code)` in the library does not apply here (the
+//! `GlobalAlloc` impl needs `unsafe`).
+
+use rto_obs::{Counter, Histogram, NullSink, Obs, TraceEvent};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+// SAFETY: delegates every operation to `System`; only adds bookkeeping.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn null_sink_hot_path_does_not_allocate() {
+    // Set everything up *before* counting: the Obs bundle, the metric
+    // handles, and the events themselves (all-Copy, stack-only).
+    let obs = Obs::with_sink(Arc::new(NullSink));
+    let counter: Counter = obs.metrics().counter("offloads_total");
+    let histogram: Histogram = obs.metrics().histogram("response_ns");
+    let events = [
+        TraceEvent::JobReleased {
+            job_id: 1,
+            task_id: 0,
+            deadline_ns: 1_000_000,
+        },
+        TraceEvent::OffloadRequestSent {
+            job_id: 1,
+            task_id: 0,
+            payload_bytes: 65_536,
+        },
+        TraceEvent::ServerResponseArrived {
+            job_id: 1,
+            task_id: 0,
+            late: false,
+        },
+        TraceEvent::DeadlineMet {
+            job_id: 1,
+            task_id: 0,
+        },
+    ];
+
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    for round in 0..10_000u64 {
+        for event in events {
+            obs.emit(round, event);
+        }
+        counter.inc();
+        histogram.record(round * 1_000);
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+
+    assert_eq!(
+        ALLOCATIONS.load(Ordering::SeqCst),
+        0,
+        "disabled tracing / metric recording must be allocation-free"
+    );
+    // The work still happened.
+    assert_eq!(counter.get(), 10_000);
+    let snap = obs.metrics().snapshot();
+    assert_eq!(snap.histogram("response_ns").unwrap().count, 10_000);
+}

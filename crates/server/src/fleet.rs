@@ -18,6 +18,7 @@
 
 use crate::gpu::{OffloadRequest, OffloadServer, SubmitOutcome};
 use rto_core::time::Instant;
+use rto_obs::{Counter, Obs, TraceEvent};
 
 /// Client-side routing policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +45,9 @@ pub struct ServerFleet {
     /// EWMA of observed response time per member, in ms (`None` until the
     /// first observation).
     observed_ms: Vec<Option<f64>>,
+    obs: Obs,
+    /// `fleet_routed_total_<member>` counters, one per member.
+    routed: Vec<Counter>,
 }
 
 impl std::fmt::Debug for ServerFleet {
@@ -78,7 +82,22 @@ impl ServerFleet {
             next: 0,
             submissions: 0,
             observed_ms: vec![None; n],
+            obs: Obs::disabled(),
+            routed: Vec::new(),
         }
+    }
+
+    /// Attaches an observability bundle: every submission emits a
+    /// [`TraceEvent::FleetRouted`] event and bumps a per-member
+    /// `fleet_routed_total_<member>` counter. Routing decisions are
+    /// unaffected.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.routed = (0..self.members.len())
+            .map(|m| obs.metrics().counter(&format!("fleet_routed_total_{m}")))
+            .collect();
+        self.obs = obs;
+        self
     }
 
     /// Number of members.
@@ -115,9 +134,7 @@ impl ServerFleet {
                     .map(|(i, _)| i);
                 match best {
                     // Exploration turn, or nothing observed yet: rotate.
-                    Some(best_idx)
-                        if !self.submissions.is_multiple_of(explore_every) || n == 1 =>
-                    {
+                    Some(best_idx) if !self.submissions.is_multiple_of(explore_every) || n == 1 => {
                         best_idx
                     }
                     _ => {
@@ -135,6 +152,16 @@ impl OffloadServer for ServerFleet {
     fn submit(&mut self, request: &OffloadRequest, now: Instant) -> SubmitOutcome {
         let member = self.pick(request);
         self.submissions += 1;
+        self.obs.emit(
+            now.as_ns(),
+            TraceEvent::FleetRouted {
+                task_id: request.task_id,
+                member,
+            },
+        );
+        if let Some(counter) = self.routed.get(member) {
+            counter.inc();
+        }
         let outcome = self.members[member].submit(request, now);
         if let SubmitOutcome::Response { arrives_at } = outcome {
             let rt_ms = arrives_at.since(now).as_ms_f64();
@@ -241,6 +268,31 @@ mod tests {
         let f = fleet(Routing::RoundRobin);
         assert_eq!(f.len(), 2);
         assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn observed_fleet_traces_routing() {
+        use rto_obs::MemorySink;
+        use std::sync::Arc;
+
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::with_sink(sink.clone());
+        let mut f = fleet(Routing::RoundRobin).with_obs(obs.clone());
+        for k in 0..4 {
+            response_ms(&mut f, 7, k);
+        }
+        let events = sink.snapshot();
+        let members: Vec<usize> = events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                TraceEvent::FleetRouted { task_id: 7, member } => Some(*member),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(members, vec![0, 1, 0, 1]);
+        let snap = obs.metrics().snapshot();
+        assert_eq!(snap.counter("fleet_routed_total_0"), Some(2));
+        assert_eq!(snap.counter("fleet_routed_total_1"), Some(2));
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use crate::error::ServerError;
 use crate::network::NetworkModel;
 use rto_core::time::{Duration, Instant};
+use rto_obs::{Counter, Histogram, Obs, TraceEvent};
 use rto_stats::dist::{Distribution, DynDistribution, Exponential, LogNormal};
 use rto_stats::Rng;
 
@@ -228,7 +229,10 @@ impl GpuServer {
 impl OffloadServer for GpuServer {
     fn submit(&mut self, request: &OffloadRequest, now: Instant) -> SubmitOutcome {
         // Uplink.
-        let uplink = match self.network.sample_transfer(request.payload_bytes, &mut self.rng) {
+        let uplink = match self
+            .network
+            .sample_transfer(request.payload_bytes, &mut self.rng)
+        {
             Some(d) => d,
             None => return SubmitOutcome::Lost,
         };
@@ -323,6 +327,113 @@ impl<S: OffloadServer> OffloadServer for BoundedServer<S> {
     }
 }
 
+/// An [`OffloadServer`] decorator that traces and meters every
+/// submission.
+///
+/// The wrapper is transparent for outcomes: it delegates to the inner
+/// server and passes the [`SubmitOutcome`] straight through. On the way
+/// it emits [`TraceEvent::OffloadRequestSent`] /
+/// [`TraceEvent::OffloadRequestLost`] / [`TraceEvent::ServerResponseArrived`]
+/// (timestamped with the client-side `now` / arrival instants) and
+/// records three metrics in the [`Obs`] registry:
+///
+/// * `server_submits_total` — submissions seen,
+/// * `server_lost_total` — submissions that will never answer,
+/// * `server_response_ns` — round-trip histogram of answered requests.
+///
+/// The server layer does not know simulator job ids, so the wrapper
+/// stamps events with its own monotonically increasing submission
+/// counter as `job_id`. When the *simulator* is also instrumented (via
+/// `Simulation::with_obs`), prefer instrumenting only one of the two
+/// layers, or the send/lost events will appear twice with different
+/// ids.
+pub struct ObservedServer<S> {
+    inner: S,
+    obs: Obs,
+    seq: usize,
+    submits: Counter,
+    lost: Counter,
+    response_ns: Histogram,
+}
+
+impl<S> std::fmt::Debug for ObservedServer<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObservedServer")
+            .field("seq", &self.seq)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: OffloadServer> ObservedServer<S> {
+    /// Wraps `inner`, registering its metrics in `obs`.
+    pub fn new(inner: S, obs: Obs) -> Self {
+        ObservedServer {
+            inner,
+            seq: 0,
+            submits: obs.metrics().counter("server_submits_total"),
+            lost: obs.metrics().counter("server_lost_total"),
+            response_ns: obs.metrics().histogram("server_response_ns"),
+            obs,
+        }
+    }
+
+    /// Unwraps the inner server.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// The inner server.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Mutable access to the inner server.
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+}
+
+impl<S: OffloadServer> OffloadServer for ObservedServer<S> {
+    fn submit(&mut self, request: &OffloadRequest, now: Instant) -> SubmitOutcome {
+        let job_id = self.seq;
+        self.seq += 1;
+        self.submits.inc();
+        self.obs.emit(
+            now.as_ns(),
+            TraceEvent::OffloadRequestSent {
+                job_id,
+                task_id: request.task_id,
+                payload_bytes: request.payload_bytes,
+            },
+        );
+        let outcome = self.inner.submit(request, now);
+        match outcome {
+            SubmitOutcome::Response { arrives_at } => {
+                self.response_ns.record(arrives_at.since(now).as_ns());
+                self.obs.emit(
+                    arrives_at.as_ns(),
+                    TraceEvent::ServerResponseArrived {
+                        job_id,
+                        task_id: request.task_id,
+                        late: false,
+                    },
+                );
+            }
+            SubmitOutcome::Lost => {
+                self.lost.inc();
+                self.obs.emit(
+                    now.as_ns(),
+                    TraceEvent::OffloadRequestLost {
+                        job_id,
+                        task_id: request.task_id,
+                    },
+                );
+            }
+        }
+        outcome
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -377,8 +488,7 @@ mod tests {
     fn background_load_inflates_response_times() {
         let req = OffloadRequest::new(0);
         // Background: 300 jobs/s of mean 10 ms on 2 boards = heavily loaded.
-        let mut busy =
-            GpuServer::new(2, 7.0, 0.2, 300.0, 10.0, NetworkModel::ideal(), 11).unwrap();
+        let mut busy = GpuServer::new(2, 7.0, 0.2, 300.0, 10.0, NetworkModel::ideal(), 11).unwrap();
         let mut idle = idle_server(11);
         let mut busy_total = 0.0;
         let mut idle_total = 0.0;
@@ -414,8 +524,18 @@ mod tests {
         let mut big = 0.0;
         for k in 0..100 {
             let now = Instant::from_ns(k * 1_000_000_000);
-            small += s1.submit(&req_small, now).arrival().unwrap().since(now).as_ms_f64();
-            big += s2.submit(&req_big, now).arrival().unwrap().since(now).as_ms_f64();
+            small += s1
+                .submit(&req_small, now)
+                .arrival()
+                .unwrap()
+                .since(now)
+                .as_ms_f64();
+            big += s2
+                .submit(&req_big, now)
+                .arrival()
+                .unwrap()
+                .since(now)
+                .as_ms_f64();
         }
         assert!((big / small - 10.0).abs() < 0.5, "ratio {}", big / small);
     }
@@ -495,6 +615,57 @@ mod tests {
         let mut s = BoundedServer::new(fast, Duration::from_ms(20));
         let out = s.submit(&OffloadRequest::new(0), Instant::ZERO);
         assert_eq!(out.arrival(), Some(Instant::ZERO + Duration::from_ms(5)));
+    }
+
+    #[test]
+    fn observed_server_is_transparent_and_meters() {
+        use rto_obs::MemorySink;
+        use std::sync::Arc;
+
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::with_sink(sink.clone());
+        let mut plain = idle_server(23);
+        let mut observed = ObservedServer::new(idle_server(23), obs.clone());
+        for k in 0..10u64 {
+            let now = Instant::from_ns(k * 100_000_000);
+            let req = OffloadRequest::new(0);
+            assert_eq!(
+                observed.submit(&req, now),
+                plain.submit(&req, now),
+                "wrapper must not change outcomes"
+            );
+        }
+        let snap = obs.metrics().snapshot();
+        assert_eq!(snap.counter("server_submits_total"), Some(10));
+        assert_eq!(snap.counter("server_lost_total"), Some(0));
+        assert_eq!(snap.histogram("server_response_ns").unwrap().count, 10);
+        // One sent + one arrived event per submission.
+        assert_eq!(sink.len(), 20);
+
+        // Lost submissions are counted and traced.
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::with_sink(sink.clone());
+        let mut dead = ObservedServer::new(BlackHoleServer, obs.clone());
+        assert_eq!(
+            dead.submit(&OffloadRequest::new(1), Instant::ZERO),
+            SubmitOutcome::Lost
+        );
+        assert_eq!(
+            obs.metrics().snapshot().counter("server_lost_total"),
+            Some(1)
+        );
+        let events = sink.snapshot();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            events[1].1,
+            TraceEvent::OffloadRequestLost {
+                job_id: 0,
+                task_id: 1
+            }
+        ));
+        assert_eq!(dead.inner(), &BlackHoleServer);
+        dead.inner_mut();
+        let _ = dead.into_inner();
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod scenario;
 
 pub use error::ServerError;
 pub use fleet::{Routing, ServerFleet};
-pub use gpu::{GpuServer, OffloadRequest, OffloadServer, SubmitOutcome};
+pub use gpu::{GpuServer, ObservedServer, OffloadRequest, OffloadServer, SubmitOutcome};
 pub use network::NetworkModel;
 pub use proxy::ServerProxy;
 pub use scenario::Scenario;
@@ -58,7 +58,7 @@ pub use scenario::Scenario;
 /// Convenient re-exports.
 pub mod prelude {
     pub use crate::fleet::{Routing, ServerFleet};
-    pub use crate::gpu::{GpuServer, OffloadRequest, OffloadServer, SubmitOutcome};
+    pub use crate::gpu::{GpuServer, ObservedServer, OffloadRequest, OffloadServer, SubmitOutcome};
     pub use crate::network::NetworkModel;
     pub use crate::proxy::ServerProxy;
     pub use crate::scenario::Scenario;

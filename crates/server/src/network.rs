@@ -88,8 +88,7 @@ impl NetworkModel {
     /// A plausible 802.11n-class WLAN: 1 ms floor, ~20 MB/s, 30 % CV
     /// jitter of mean 2 ms, 0.5 % loss.
     pub fn wlan() -> Self {
-        NetworkModel::new(Duration::from_ms(1), 20e6, 2.0, 0.3, 0.005)
-            .expect("constants are valid")
+        NetworkModel::new(Duration::from_ms(1), 20e6, 2.0, 0.3, 0.005).expect("constants are valid")
     }
 
     /// Samples the one-way latency for a message of `payload_bytes`, or
@@ -110,6 +109,31 @@ impl NetworkModel {
         let extra = Duration::from_ms_f64(serialization_ms + jitter_ms)
             .expect("latency components are non-negative and finite");
         Some(self.base + extra)
+    }
+
+    /// Like [`NetworkModel::sample_transfer`], but additionally records
+    /// the outcome into `obs`'s metric registry:
+    ///
+    /// * `net_messages_total` — messages attempted,
+    /// * `net_messages_lost_total` — messages dropped by the loss model,
+    /// * `net_transfer_ns` — one-way latency histogram of delivered
+    ///   messages.
+    ///
+    /// Draws exactly the same RNG stream as the unobserved variant, so
+    /// swapping one for the other never perturbs a seeded simulation.
+    pub fn sample_transfer_observed(
+        &self,
+        payload_bytes: u64,
+        rng: &mut Rng,
+        obs: &rto_obs::Obs,
+    ) -> Option<Duration> {
+        let sampled = self.sample_transfer(payload_bytes, rng);
+        obs.metrics().counter("net_messages_total").inc();
+        match sampled {
+            Some(d) => obs.metrics().histogram("net_transfer_ns").record(d.as_ns()),
+            None => obs.metrics().counter("net_messages_lost_total").inc(),
+        }
+        sampled
     }
 
     /// The deterministic part of the latency (floor + serialization) for
@@ -186,12 +210,37 @@ mod tests {
         let jitter_samples: Vec<f64> = (0..100)
             .map(|_| jittery.sample_transfer(10, &mut rng).unwrap().as_ms_f64())
             .collect();
-        assert!(flat_samples.iter().all(|&x| (x - flat_samples[0]).abs() < 1e-9));
+        assert!(flat_samples
+            .iter()
+            .all(|&x| (x - flat_samples[0]).abs() < 1e-9));
         let min = jitter_samples.iter().cloned().fold(f64::MAX, f64::min);
         let max = jitter_samples.iter().cloned().fold(0.0, f64::max);
         assert!(max - min > 1.0, "jitter range too small: {min}..{max}");
         // Jitter is additive: never below the floor.
         assert!(min >= 1.0);
+    }
+
+    #[test]
+    fn observed_transfer_matches_unobserved_stream() {
+        let obs = rto_obs::Obs::default();
+        let net = NetworkModel::new(Duration::ZERO, 1e6, 1.0, 0.3, 0.2).unwrap();
+        let mut a = Rng::seed_from(8);
+        let mut b = Rng::seed_from(8);
+        let mut delivered = 0u64;
+        let mut lost = 0u64;
+        for _ in 0..500 {
+            let plain = net.sample_transfer(100, &mut a);
+            let observed = net.sample_transfer_observed(100, &mut b, &obs);
+            assert_eq!(plain, observed, "observation must not perturb the stream");
+            match observed {
+                Some(_) => delivered += 1,
+                None => lost += 1,
+            }
+        }
+        let snap = obs.metrics().snapshot();
+        assert_eq!(snap.counter("net_messages_total"), Some(500));
+        assert_eq!(snap.counter("net_messages_lost_total"), Some(lost));
+        assert_eq!(snap.histogram("net_transfer_ns").unwrap().count, delivered);
     }
 
     #[test]

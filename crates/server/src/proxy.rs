@@ -14,6 +14,7 @@
 use crate::gpu::{OffloadRequest, OffloadServer};
 use rto_core::estimator::ResponseTimeEstimator;
 use rto_core::time::{Duration, Instant};
+use rto_obs::Obs;
 
 /// The outcome of a measurement campaign.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,12 +56,26 @@ impl MeasurementReport {
 #[derive(Debug)]
 pub struct ServerProxy<S> {
     server: S,
+    obs: Obs,
 }
 
 impl<S: OffloadServer> ServerProxy<S> {
     /// Wraps a server.
     pub fn new(server: S) -> Self {
-        ServerProxy { server }
+        ServerProxy {
+            server,
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Attaches an observability bundle. Every measurement campaign then
+    /// records its probes into the registry: `proxy_probes_total`,
+    /// `proxy_probes_lost_total`, and a `proxy_probe_response_ns`
+    /// histogram of completed probes.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Unwraps the server.
@@ -89,11 +104,22 @@ impl<S: OffloadServer> ServerProxy<S> {
     ) -> MeasurementReport {
         let mut samples = Vec::with_capacity(count);
         let mut lost = 0usize;
+        let probes = self.obs.metrics().counter("proxy_probes_total");
+        let losses = self.obs.metrics().counter("proxy_probes_lost_total");
+        let response_ns = self.obs.metrics().histogram("proxy_probe_response_ns");
         for k in 0..count {
             let now = start + spacing * k as u64;
+            probes.inc();
             match self.server.submit(request, now).arrival() {
-                Some(arrives_at) => samples.push(arrives_at.since(now)),
-                None => lost += 1,
+                Some(arrives_at) => {
+                    let rt = arrives_at.since(now);
+                    response_ns.record(rt.as_ns());
+                    samples.push(rt);
+                }
+                None => {
+                    losses.inc();
+                    lost += 1;
+                }
             }
         }
         MeasurementReport { samples, lost }
@@ -135,7 +161,10 @@ mod tests {
             Duration::from_ms(10),
         );
         assert_eq!(report.lost, 5);
-        assert_eq!(report.success_probability_within(Duration::from_secs(10)), 0.0);
+        assert_eq!(
+            report.success_probability_within(Duration::from_secs(10)),
+            0.0
+        );
         assert!(report.to_estimator().is_err());
     }
 
@@ -164,7 +193,10 @@ mod tests {
             samples: vec![Duration::from_ms(10); 6],
             lost: 4,
         };
-        assert_eq!(report.success_probability_within(Duration::from_secs(1)), 0.6);
+        assert_eq!(
+            report.success_probability_within(Duration::from_secs(1)),
+            0.6
+        );
     }
 
     #[test]
@@ -174,6 +206,35 @@ mod tests {
             lost: 0,
         };
         assert_eq!(report.success_probability_within(Duration::from_ms(1)), 0.0);
+    }
+
+    #[test]
+    fn observed_proxy_records_probe_metrics() {
+        let obs = Obs::default();
+        let mut proxy = ServerProxy::new(PerfectServer {
+            response_time: Duration::from_ms(5),
+        })
+        .with_obs(obs.clone());
+        proxy.measure(
+            &OffloadRequest::new(0),
+            8,
+            Instant::ZERO,
+            Duration::from_ms(100),
+        );
+        let mut dead = ServerProxy::new(BlackHoleServer).with_obs(obs.clone());
+        dead.measure(
+            &OffloadRequest::new(0),
+            3,
+            Instant::ZERO,
+            Duration::from_ms(100),
+        );
+        let snap = obs.metrics().snapshot();
+        assert_eq!(snap.counter("proxy_probes_total"), Some(11));
+        assert_eq!(snap.counter("proxy_probes_lost_total"), Some(3));
+        let h = snap.histogram("proxy_probe_response_ns").unwrap();
+        assert_eq!(h.count, 8);
+        assert_eq!(h.min, 5_000_000);
+        assert_eq!(h.max, 5_000_000);
     }
 
     #[test]

@@ -59,7 +59,8 @@ impl Scenario {
 
     /// The implied background utilization of the two-board server.
     pub fn background_utilization(self) -> f64 {
-        self.background_rate_per_sec() * self.background_service_mean_ms() / 1e3
+        self.background_rate_per_sec() * self.background_service_mean_ms()
+            / 1e3
             / Self::NUM_BOARDS as f64
     }
 

@@ -102,7 +102,9 @@ mod tests {
         q.push(at(30), Event::Release { task_index: 3 });
         q.push(at(10), Event::Release { task_index: 1 });
         q.push(at(20), Event::Release { task_index: 2 });
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.as_ns()).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(t, _)| t.as_ns())
+            .collect();
         assert_eq!(order, vec![10, 20, 30]);
     }
 
@@ -115,6 +117,63 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, Event::Release { task_index: 0 });
         assert_eq!(q.pop().unwrap().1, Event::ServerResponse { job_id: 1 });
         assert_eq!(q.pop().unwrap().1, Event::CompensationTimer { job_id: 2 });
+    }
+
+    /// Regression test for the FIFO tie-break at scale: `BinaryHeap` is
+    /// not stable on its own, so a large batch of same-instant events
+    /// interleaved with other instants must still pop in exact insertion
+    /// order — even when pops and pushes alternate mid-stream. A broken
+    /// `seq` tie-break makes simulations seed-dependent in ways that are
+    /// very hard to debug, hence the dedicated test.
+    #[test]
+    fn fifo_tie_break_survives_interleaved_push_pop() {
+        let mut q = EventQueue::new();
+        // Phase 1: 50 ties at t=100 tagged by insertion index, with
+        // earlier- and later-time noise pushed in between.
+        for i in 0..50 {
+            q.push(at(100), Event::ServerResponse { job_id: i });
+            q.push(at(1 + i as u64), Event::Release { task_index: i });
+            q.push(at(1000 + i as u64), Event::CompensationTimer { job_id: i });
+        }
+        // Drain the early noise.
+        for _ in 0..50 {
+            let (t, e) = q.pop().unwrap();
+            assert!(t < at(100));
+            assert!(matches!(e, Event::Release { .. }));
+        }
+        // Phase 2: pop half the ties, pushing *new* ties at the same
+        // instant while popping — new arrivals must queue behind all
+        // existing ones.
+        for expect in 0..25 {
+            let (t, e) = q.pop().unwrap();
+            assert_eq!(t, at(100));
+            assert_eq!(e, Event::ServerResponse { job_id: expect });
+            q.push(
+                at(100),
+                Event::ServerResponse {
+                    job_id: 50 + expect,
+                },
+            );
+        }
+        // Phase 3: the remaining original ties, then the ones added while
+        // draining, all in FIFO order.
+        for expect in 25..75 {
+            let (t, e) = q.pop().unwrap();
+            assert_eq!(t, at(100));
+            assert_eq!(
+                e,
+                Event::ServerResponse { job_id: expect },
+                "tie order broken"
+            );
+        }
+        // Finally the late noise, in time order.
+        let mut last = at(100);
+        while let Some((t, e)) = q.pop() {
+            assert!(t >= last);
+            assert!(matches!(e, Event::CompensationTimer { .. }));
+            last = t;
+        }
+        assert!(q.is_empty());
     }
 
     #[test]

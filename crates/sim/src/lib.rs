@@ -68,16 +68,17 @@ pub mod validate;
 
 pub use error::SimError;
 pub use metrics::{EnergyModel, EnergyReport, SimReport};
-pub use system::{DeadlinePolicy, ExecutionTimeModel, ReleasePolicy, SchedulerPolicy, SimConfig, Simulation};
+pub use system::{
+    DeadlinePolicy, ExecutionTimeModel, ReleasePolicy, SchedulerPolicy, SimConfig, Simulation,
+};
 
 /// Convenient re-exports.
 pub mod prelude {
     pub use crate::error::SimError;
     pub use crate::metrics::{EnergyModel, EnergyReport, SimReport};
-    pub use crate::system::{
-        DeadlinePolicy, ExecutionTimeModel, ReleasePolicy, SchedulerPolicy, SimConfig,
-        Simulation,
-    };
     pub use crate::render::render_gantt;
+    pub use crate::system::{
+        DeadlinePolicy, ExecutionTimeModel, ReleasePolicy, SchedulerPolicy, SimConfig, Simulation,
+    };
     pub use crate::validate::{audit_edf, audit_trace};
 }

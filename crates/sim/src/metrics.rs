@@ -3,6 +3,7 @@
 use crate::job::{JobRecord, Outcome, Segment, SubJobKind};
 use rto_core::task::TaskId;
 use rto_core::time::{Duration, Instant};
+use rto_obs::MetricsSnapshot;
 use rto_stats::Summary;
 use serde::{Deserialize, Serialize};
 
@@ -80,6 +81,11 @@ pub struct SimReport {
     /// Number of preemptions (segment boundaries where an unfinished
     /// sub-job lost the processor).
     pub preemptions: usize,
+    /// Snapshot of the run's metrics registry (counters, gauges,
+    /// histograms). Empty when the run was not observed; reports
+    /// serialized before this field existed deserialize to empty.
+    #[serde(default)]
+    pub metrics: MetricsSnapshot,
 }
 
 impl SimReport {
@@ -103,7 +109,11 @@ impl SimReport {
     pub fn normalized_benefit(&self) -> f64 {
         let base = self.total_baseline_benefit();
         if base == 0.0 {
-            return if self.total_realized_benefit() == 0.0 { 1.0 } else { f64::INFINITY };
+            return if self.total_realized_benefit() == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            };
         }
         self.total_realized_benefit() / base
     }
@@ -365,6 +375,7 @@ mod tests {
             subjobs: vec![],
             busy_time: Duration::from_ms(250),
             preemptions: 3,
+            metrics: Default::default(),
         };
         assert_eq!(report.total_deadline_misses(), 0);
         assert!((report.total_realized_benefit() - 7.0).abs() < 1e-12);
@@ -388,6 +399,7 @@ mod tests {
             subjobs: vec![],
             busy_time: Duration::from_secs(4),
             preemptions: 0,
+            metrics: Default::default(),
         };
         let model = EnergyModel {
             active_mw: 1000.0,
@@ -420,6 +432,7 @@ mod tests {
             subjobs: vec![],
             busy_time: Duration::from_secs(busy_s),
             preemptions: 0,
+            metrics: Default::default(),
         };
         let model = EnergyModel::default();
         let local = mk(8).energy(&model, 0);
@@ -443,6 +456,7 @@ mod tests {
             subjobs: vec![],
             busy_time: Duration::ZERO,
             preemptions: 0,
+            metrics: Default::default(),
         };
         assert_eq!(report.normalized_benefit(), 1.0);
     }
@@ -452,5 +466,121 @@ mod tests {
         let jobs = vec![job(0, 0, 0, 100, Some(50), Some(Outcome::Local))];
         let stats = aggregate(&[TaskId(0)], &[(1.0, 0.0)], &jobs, at(1000));
         assert_eq!(stats[0].remote_success_rate(), None);
+    }
+
+    #[test]
+    fn remote_success_rate_extremes() {
+        // All offloaded jobs answered in time: rate 1.
+        let all_remote = vec![
+            job(0, 0, 0, 100, Some(50), Some(Outcome::Remote)),
+            job(1, 0, 100, 200, Some(150), Some(Outcome::Remote)),
+        ];
+        let stats = aggregate(&[TaskId(0)], &[(1.0, 4.0)], &all_remote, at(1000));
+        assert_eq!(stats[0].remote_success_rate(), Some(1.0));
+        // Every offload fell back to compensation: rate 0.
+        let all_comp = vec![
+            job(0, 0, 0, 100, Some(90), Some(Outcome::Compensated)),
+            job(1, 0, 100, 200, Some(190), Some(Outcome::Compensated)),
+        ];
+        let stats = aggregate(&[TaskId(0)], &[(1.0, 4.0)], &all_comp, at(1000));
+        assert_eq!(stats[0].remote_success_rate(), Some(0.0));
+        // Mixed local + remote: locals do not dilute the rate.
+        let mixed = vec![
+            job(0, 0, 0, 100, Some(50), Some(Outcome::Local)),
+            job(1, 0, 100, 200, Some(150), Some(Outcome::Remote)),
+        ];
+        let stats = aggregate(&[TaskId(0)], &[(1.0, 4.0)], &mixed, at(1000));
+        assert_eq!(stats[0].remote_success_rate(), Some(1.0));
+    }
+
+    #[test]
+    fn normalized_benefit_tracks_remote_fraction() {
+        // A censored-only task contributes nothing to either side.
+        let jobs = vec![
+            job(0, 0, 0, 100, Some(50), Some(Outcome::Remote)), // level value
+            job(1, 0, 100, 200, Some(190), Some(Outcome::Compensated)), // local value
+            job(2, 0, 900, 1100, None, None),                   // censored
+        ];
+        let per_task = aggregate(&[TaskId(0)], &[(2.0, 8.0)], &jobs, at(1000));
+        // baseline = 2 accountable × 2.0; realized = 8 + 2.
+        assert!((per_task[0].baseline_benefit - 4.0).abs() < 1e-12);
+        assert!((per_task[0].realized_benefit - 10.0).abs() < 1e-12);
+        let report = SimReport {
+            horizon: Duration::from_ms(1000),
+            seed: 0,
+            per_task,
+            jobs,
+            trace: vec![],
+            subjobs: vec![],
+            busy_time: Duration::ZERO,
+            preemptions: 0,
+            metrics: Default::default(),
+        };
+        assert!((report.normalized_benefit() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_benefit_infinite_on_zero_baseline_with_gain() {
+        // Zero-valued local quality but realized remote benefit: the
+        // ratio degenerates to +inf rather than panicking or NaN.
+        let jobs = vec![job(0, 0, 0, 100, Some(50), Some(Outcome::Remote))];
+        let per_task = aggregate(&[TaskId(0)], &[(0.0, 5.0)], &jobs, at(1000));
+        let report = SimReport {
+            horizon: Duration::from_ms(1000),
+            seed: 0,
+            per_task,
+            jobs,
+            trace: vec![],
+            subjobs: vec![],
+            busy_time: Duration::ZERO,
+            preemptions: 0,
+            metrics: Default::default(),
+        };
+        assert_eq!(report.normalized_benefit(), f64::INFINITY);
+    }
+
+    #[test]
+    fn sim_report_serde_round_trip() {
+        // A fully populated report — including a non-empty metrics
+        // snapshot — must survive JSON serialization bit-for-bit.
+        let registry = rto_obs::MetricsRegistry::new();
+        registry.counter("sim_offloads_total").add(7);
+        registry.gauge("load").set(0.75);
+        registry.histogram("sim_server_response_ns").record(12_345);
+        let jobs = vec![
+            job(0, 0, 0, 100, Some(80), Some(Outcome::Remote)),
+            job(1, 0, 100, 200, None, None),
+        ];
+        let per_task = aggregate(&[TaskId(0)], &[(2.0, 10.0)], &jobs, at(1000));
+        let report = SimReport {
+            horizon: Duration::from_ms(1000),
+            seed: 42,
+            per_task,
+            jobs,
+            trace: vec![],
+            subjobs: vec![SubJobLog {
+                job_id: 0,
+                kind: SubJobKind::Setup,
+                released_at: at(0),
+                work: Duration::from_ms(5),
+                abs_deadline: at(100),
+                completed_at: Some(at(5)),
+            }],
+            busy_time: Duration::from_ms(85),
+            preemptions: 1,
+            metrics: registry.snapshot(),
+        };
+        let mut buf = Vec::new();
+        report.write_json(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let back: SimReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.metrics.counter("sim_offloads_total"), Some(7));
+        // Reports written before the metrics field existed still load.
+        let legacy = text.replace(",\"metrics\":", ",\"ignored\":");
+        let from_legacy: Result<SimReport, _> = serde_json::from_str(&legacy);
+        if let Ok(r) = from_legacy {
+            assert!(r.metrics.is_empty());
+        }
     }
 }

@@ -57,8 +57,9 @@ pub fn render_gantt(report: &SimReport, width: usize) -> String {
         while cursor < end {
             let bucket = (cursor / bucket_ns) as usize;
             let bucket_end = ((bucket as u64 + 1) * bucket_ns).min(end);
-            *cells.entry((task, bucket.min(width - 1), seg.kind)).or_insert(0) +=
-                bucket_end - cursor;
+            *cells
+                .entry((task, bucket.min(width - 1), seg.kind))
+                .or_insert(0) += bucket_end - cursor;
             cursor = bucket_end;
         }
     }
@@ -96,7 +97,11 @@ pub fn render_gantt(report: &SimReport, width: usize) -> String {
         } else {
             String::new()
         };
-        let _ = writeln!(out, "{:>label_width$} {row}{miss_note}", task_id.to_string());
+        let _ = writeln!(
+            out,
+            "{:>label_width$} {row}{miss_note}",
+            task_id.to_string()
+        );
     }
     let _ = writeln!(
         out,
@@ -133,11 +138,8 @@ pub fn render_svg(report: &SimReport, width_px: usize) -> String {
     let label_width = 110usize;
     let chart_width = width_px - label_width;
     let height = lane_height * task_ids.len() + 40;
-    let lane_of: HashMap<TaskId, usize> = task_ids
-        .iter()
-        .enumerate()
-        .map(|(i, &t)| (t, i))
-        .collect();
+    let lane_of: HashMap<TaskId, usize> =
+        task_ids.iter().enumerate().map(|(i, &t)| (t, i)).collect();
     let task_of: HashMap<usize, TaskId> =
         report.jobs.iter().map(|j| (j.job_id, j.task_id)).collect();
 
@@ -170,10 +172,8 @@ pub fn render_svg(report: &SimReport, width_px: usize) -> String {
             continue;
         };
         let lane = lane_of[&task];
-        let x0 = label_width as f64
-            + seg.start.as_ns() as f64 / horizon_ns * chart_width as f64;
-        let w = ((seg.end.as_ns() - seg.start.as_ns()) as f64 / horizon_ns
-            * chart_width as f64)
+        let x0 = label_width as f64 + seg.start.as_ns() as f64 / horizon_ns * chart_width as f64;
+        let w = ((seg.end.as_ns() - seg.start.as_ns()) as f64 / horizon_ns * chart_width as f64)
             .max(0.5);
         let y = 22 + lane * lane_height;
         let _ = writeln!(
@@ -256,6 +256,7 @@ mod tests {
             }],
             busy_time: Duration::from_ms(30),
             preemptions: 0,
+            metrics: Default::default(),
         }
     }
 
@@ -302,7 +303,10 @@ mod tests {
         ];
         let text = render_gantt(&report, 10);
         let row = text.lines().nth(1).expect("task row");
-        assert!(row.contains(" L·········") || row.contains("L·········"), "row: {row}");
+        assert!(
+            row.contains(" L·········") || row.contains("L·········"),
+            "row: {row}"
+        );
     }
 
     #[test]

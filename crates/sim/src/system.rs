@@ -9,10 +9,53 @@ use rto_core::compensation::{CompensationManager, ResultDisposition, TimerDispos
 use rto_core::odm::{Decision, OdmTask, OffloadingPlan};
 use rto_core::task::TaskId;
 use rto_core::time::{Duration, Instant};
+use rto_obs::{Counter, Histogram, Obs, Phase, TraceEvent};
 use rto_server::gpu::{BlackHoleServer, OffloadRequest, OffloadServer};
 use rto_stats::Rng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+
+/// Maps the simulator's sub-job kind onto the observability phase tag.
+fn phase_of(kind: SubJobKind) -> Phase {
+    match kind {
+        SubJobKind::LocalWhole => Phase::LocalWhole,
+        SubJobKind::Setup => Phase::Setup,
+        SubJobKind::PostProcess => Phase::PostProcess,
+        SubJobKind::Compensation => Phase::Compensation,
+    }
+}
+
+/// Pre-resolved metric handles so the hot path never locks the registry.
+struct SimMetrics {
+    jobs_released: Counter,
+    offloads: Counter,
+    requests_lost: Counter,
+    responses: Counter,
+    responses_late: Counter,
+    compensations: Counter,
+    misses: Counter,
+    preemptions: Counter,
+    server_response_ns: Histogram,
+    ready_queue_depth: Histogram,
+}
+
+impl SimMetrics {
+    fn new(obs: &Obs) -> Self {
+        let m = obs.metrics();
+        SimMetrics {
+            jobs_released: m.counter("sim_jobs_released_total"),
+            offloads: m.counter("sim_offloads_total"),
+            requests_lost: m.counter("sim_requests_lost_total"),
+            responses: m.counter("sim_server_responses_total"),
+            responses_late: m.counter("sim_server_responses_late_total"),
+            compensations: m.counter("sim_compensations_total"),
+            misses: m.counter("sim_deadline_misses_total"),
+            preemptions: m.counter("sim_preemptions_total"),
+            server_response_ns: m.histogram("sim_server_response_ns"),
+            ready_queue_depth: m.histogram("sim_ready_queue_depth"),
+        }
+    }
+}
 
 /// How job releases recur.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -168,6 +211,7 @@ pub struct Simulation {
     benefits: Vec<(f64, f64)>, // per task: (weighted local value, weighted level value)
     server: Box<dyn OffloadServer>,
     shaper: Option<RequestShaper>,
+    obs: Obs,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -242,6 +286,7 @@ impl Simulation {
             benefits,
             server: Box::new(BlackHoleServer),
             shaper: None,
+            obs: Obs::disabled(),
         })
     }
 
@@ -255,6 +300,19 @@ impl Simulation {
     /// and level).
     pub fn with_request_shaper(mut self, shaper: RequestShaper) -> Self {
         self.shaper = Some(shaper);
+        self
+    }
+
+    /// Installs an observability context: every runtime transition is
+    /// recorded into its trace sink, and the run's metrics land in its
+    /// registry (snapshotted into [`SimReport::metrics`]).
+    ///
+    /// The default context is disabled and costs nothing per event.
+    /// Observability never influences scheduling or the RNG streams:
+    /// instrumented and uninstrumented runs with the same seed produce
+    /// identical traces.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -272,6 +330,7 @@ impl Simulation {
         let mut rng = Rng::seed_from(config.seed);
         let exec_rng = rng.fork(1);
         let release_rng = rng.fork(2);
+        let m = SimMetrics::new(&self.obs);
         let mut engine = Engine {
             tasks: self.tasks,
             modes: self.modes,
@@ -291,6 +350,10 @@ impl Simulation {
             busy: Duration::ZERO,
             exec_rng,
             release_rng,
+            obs: self.obs,
+            m,
+            running: None,
+            running_end: Instant::ZERO,
         };
         engine.run()
     }
@@ -345,12 +408,19 @@ struct Engine {
     busy: Duration,
     exec_rng: Rng,
     release_rng: Rng,
+    obs: Obs,
+    m: SimMetrics,
+    /// The sub-job currently holding the processor span (for
+    /// start/preempt trace events), and when its last slice ended.
+    running: Option<(usize, SubJobKind)>,
+    running_end: Instant,
 }
 
 impl Engine {
     fn run(&mut self) -> Result<SimReport, SimError> {
         for i in 0..self.tasks.len() {
-            self.events.push(Instant::ZERO, Event::Release { task_index: i });
+            self.events
+                .push(Instant::ZERO, Event::Release { task_index: i });
         }
         loop {
             // Drain all events due at or before the clock.
@@ -366,6 +436,33 @@ impl Engine {
                     debug_assert!(run_until > self.clock, "zero-length scheduling step");
                     let executed = run_until.since(self.clock);
                     self.busy += executed;
+                    // Trace the processor hand-off: close the previous
+                    // span (a preemption, since it did not complete) and
+                    // open one for this sub-job.
+                    let cur = (entry.job_id, entry.kind);
+                    if self.running != Some(cur) {
+                        if let Some((pj, pk)) = self.running.take() {
+                            self.obs.emit(
+                                self.running_end.as_ns(),
+                                TraceEvent::SubJobPreempted {
+                                    job_id: pj,
+                                    task_id: self.jobs[pj].task_id.0,
+                                    phase: phase_of(pk),
+                                },
+                            );
+                            self.m.preemptions.inc();
+                        }
+                        self.obs.emit(
+                            self.clock.as_ns(),
+                            TraceEvent::SubJobStarted {
+                                job_id: entry.job_id,
+                                task_id: self.jobs[entry.job_id].task_id.0,
+                                phase: phase_of(entry.kind),
+                            },
+                        );
+                        self.running = Some(cur);
+                    }
+                    self.running_end = run_until;
                     // Merge contiguous same-sub-job segments.
                     match self.trace.last_mut() {
                         Some(last)
@@ -386,6 +483,7 @@ impl Engine {
                     entry.remaining_ns -= executed.as_ns();
                     self.clock = run_until;
                     if entry.remaining_ns == 0 {
+                        self.running = None;
                         self.complete_subjob(entry.job_id, entry.kind, self.clock)?;
                     } else {
                         self.ready.push(Reverse(entry));
@@ -419,7 +517,8 @@ impl Engine {
         let job_id = self.jobs.len();
         let abs_deadline = t0 + task.deadline();
         let mode = self.modes[task_index];
-        let (deadline_rel, period, local_wcet) = (task.deadline(), task.period(), task.local_wcet());
+        let (deadline_rel, period, local_wcet) =
+            (task.deadline(), task.period(), task.local_wcet());
         let compensation = match mode {
             Mode::Offload { response_time, .. } => Some(CompensationManager::new(response_time)),
             Mode::Local => None,
@@ -435,6 +534,15 @@ impl Engine {
             setup_finished_at: None,
             response_at: None,
         });
+        self.obs.emit(
+            t0.as_ns(),
+            TraceEvent::JobReleased {
+                job_id,
+                task_id: task.id().0,
+                deadline_ns: abs_deadline.as_ns(),
+            },
+        );
+        self.m.jobs_released.inc();
         match mode {
             Mode::Local => {
                 let work = self
@@ -481,7 +589,7 @@ impl Engine {
     }
 
     fn handle_response(&mut self, job_id: usize, t: Instant) -> Result<(), SimError> {
-        let (disposition, abs_deadline) = {
+        let (disposition, abs_deadline, sent_at) = {
             let job = &mut self.jobs[job_id];
             if job.response_at.is_none() {
                 job.response_at = Some(t);
@@ -490,8 +598,28 @@ impl Engine {
                 .compensation
                 .as_mut()
                 .expect("response events only exist for offloaded jobs");
-            (mgr.result_arrived(t)?, job.abs_deadline)
+            (
+                mgr.result_arrived(t)?,
+                job.abs_deadline,
+                job.setup_finished_at,
+            )
         };
+        let late = disposition != ResultDisposition::Accepted;
+        self.obs.emit(
+            t.as_ns(),
+            TraceEvent::ServerResponseArrived {
+                job_id,
+                task_id: self.jobs[job_id].task_id.0,
+                late,
+            },
+        );
+        self.m.responses.inc();
+        if late {
+            self.m.responses_late.inc();
+        }
+        if let Some(sent) = sent_at {
+            self.m.server_response_ns.record(t.since(sent).as_ns());
+        }
         if disposition == ResultDisposition::Accepted {
             let task_index = self.task_index_of(job_id);
             let c3 = self.tasks[task_index].task().postprocess_wcet();
@@ -510,7 +638,16 @@ impl Engine {
                 .expect("timer events only exist for offloaded jobs");
             (mgr.timer_fired(t)?, job.abs_deadline)
         };
+        self.obs.emit(
+            t.as_ns(),
+            TraceEvent::CompensationTimerFired {
+                job_id,
+                task_id: self.jobs[job_id].task_id.0,
+                stale: disposition == TimerDisposition::Stale,
+            },
+        );
         if disposition == TimerDisposition::StartedCompensation {
+            self.m.compensations.inc();
             let task_index = self.task_index_of(job_id);
             let c2 = match self.modes[task_index] {
                 Mode::Offload { timeout_wcet, .. } => timeout_wcet,
@@ -552,6 +689,14 @@ impl Engine {
             abs_deadline: deadline,
             completed_at: None,
         });
+        self.obs.emit(
+            now.as_ns(),
+            TraceEvent::SubJobDispatched {
+                job_id,
+                task_id: self.jobs[job_id].task_id.0,
+                phase: phase_of(kind),
+            },
+        );
         if work.is_zero() {
             self.complete_subjob(job_id, kind, now)
         } else {
@@ -571,6 +716,7 @@ impl Engine {
                 kind,
                 remaining_ns: work.as_ns(),
             }));
+            self.m.ready_queue_depth.record(self.ready.len() as u64);
             Ok(())
         }
     }
@@ -585,6 +731,14 @@ impl Engine {
         if let Some(&idx) = self.subjob_index.get(&(job_id, kind)) {
             self.subjobs[idx].completed_at = Some(now);
         }
+        self.obs.emit(
+            now.as_ns(),
+            TraceEvent::SubJobCompleted {
+                job_id,
+                task_id: self.jobs[job_id].task_id.0,
+                phase: phase_of(kind),
+            },
+        );
         match kind {
             SubJobKind::LocalWhole => {
                 let job = &mut self.jobs[job_id];
@@ -614,10 +768,39 @@ impl Engine {
                     Some(shaper) => shaper(self.tasks[task_index].task(), level),
                     None => OffloadRequest::new(self.jobs[job_id].task_id.0),
                 };
-                if let Some(arrives_at) = self.server.submit(&request, now).arrival() {
-                    self.events.push(arrives_at, Event::ServerResponse { job_id });
+                let task_id = self.jobs[job_id].task_id.0;
+                self.obs.emit(
+                    now.as_ns(),
+                    TraceEvent::OffloadRequestSent {
+                        job_id,
+                        task_id,
+                        payload_bytes: request.payload_bytes,
+                    },
+                );
+                self.m.offloads.inc();
+                match self.server.submit(&request, now).arrival() {
+                    Some(arrives_at) => {
+                        self.events
+                            .push(arrives_at, Event::ServerResponse { job_id });
+                    }
+                    None => {
+                        self.obs.emit(
+                            now.as_ns(),
+                            TraceEvent::OffloadRequestLost { job_id, task_id },
+                        );
+                        self.m.requests_lost.inc();
+                    }
                 }
-                self.events.push(timer_at, Event::CompensationTimer { job_id });
+                self.obs.emit(
+                    now.as_ns(),
+                    TraceEvent::CompensationTimerArmed {
+                        job_id,
+                        task_id,
+                        fires_at_ns: timer_at.as_ns(),
+                    },
+                );
+                self.events
+                    .push(timer_at, Event::CompensationTimer { job_id });
             }
             SubJobKind::PostProcess | SubJobKind::Compensation => {
                 let job = &mut self.jobs[job_id];
@@ -645,6 +828,44 @@ impl Engine {
         }
         let preemptions = seg_counts.values().map(|&c| c - 1).sum();
 
+        // Deadline verdicts for accountable jobs, in deadline order so
+        // the trace stays monotonic. A verdict is final at the deadline
+        // for completed jobs and at the horizon for unfinished ones.
+        let mut verdicts: Vec<(u64, usize)> = self
+            .jobs
+            .iter()
+            .filter(|j| j.abs_deadline <= self.horizon)
+            .map(|j| {
+                let ts = match j.completed_at {
+                    Some(done) => done.max(j.abs_deadline).min(self.horizon),
+                    None => self.horizon,
+                };
+                (ts.as_ns(), j.job_id)
+            })
+            .collect();
+        verdicts.sort_unstable();
+        for (ts_ns, job_id) in verdicts {
+            let job = &self.jobs[job_id];
+            if job.missed_deadline(self.horizon) {
+                self.obs.emit(
+                    ts_ns,
+                    TraceEvent::DeadlineMissed {
+                        job_id,
+                        task_id: job.task_id.0,
+                    },
+                );
+                self.m.misses.inc();
+            } else {
+                self.obs.emit(
+                    ts_ns,
+                    TraceEvent::DeadlineMet {
+                        job_id,
+                        task_id: job.task_id.0,
+                    },
+                );
+            }
+        }
+
         let task_ids: Vec<TaskId> = self.tasks.iter().map(|t| t.task().id()).collect();
         let per_task = aggregate(&task_ids, &self.benefits, &self.jobs, self.horizon);
         SimReport {
@@ -656,6 +877,7 @@ impl Engine {
             subjobs: std::mem::take(&mut self.subjobs),
             busy_time: self.busy,
             preemptions,
+            metrics: self.obs.metrics().snapshot(),
         }
     }
 }
@@ -695,10 +917,7 @@ mod tests {
         let t1 = offloadable_task(0, 30, 2, 30, 100);
         let t2 = offloadable_task(1, 40, 2, 40, 100);
         let g = BenefitFunction::from_ms_points(&[(0.0, 1.0)]).unwrap();
-        let (tasks, plan) = plan_for(vec![
-            OdmTask::new(t1, g.clone()),
-            OdmTask::new(t2, g),
-        ]);
+        let (tasks, plan) = plan_for(vec![OdmTask::new(t1, g.clone()), OdmTask::new(t2, g)]);
         let report = Simulation::build(tasks, plan)
             .unwrap()
             .run(SimConfig::for_seconds(2, 1))
@@ -819,9 +1038,8 @@ mod tests {
         let sporadic = Simulation::build(tasks, plan)
             .unwrap()
             .run(
-                SimConfig::for_seconds(2, 7).with_release(ReleasePolicy::SporadicJitter {
-                    max_extra: ms(50),
-                }),
+                SimConfig::for_seconds(2, 7)
+                    .with_release(ReleasePolicy::SporadicJitter { max_extra: ms(50) }),
             )
             .unwrap();
         assert!(sporadic.per_task[0].released < periodic.per_task[0].released);
@@ -839,9 +1057,10 @@ mod tests {
             .unwrap();
         let relaxed = Simulation::build(tasks, plan)
             .unwrap()
-            .run(SimConfig::for_seconds(2, 8).with_exec_time(
-                ExecutionTimeModel::UniformFraction { min_fraction: 0.2 },
-            ))
+            .run(
+                SimConfig::for_seconds(2, 8)
+                    .with_exec_time(ExecutionTimeModel::UniformFraction { min_fraction: 0.2 }),
+            )
             .unwrap();
         assert!(relaxed.utilization() < wcet.utilization());
         assert_eq!(relaxed.total_deadline_misses(), 0);
@@ -911,10 +1130,7 @@ mod tests {
         assert_eq!(edf.total_deadline_misses(), 0, "EDF is optimal here");
         let dm = Simulation::build(tasks, plan)
             .unwrap()
-            .run(
-                SimConfig::for_seconds(2, 12)
-                    .with_scheduler(SchedulerPolicy::DeadlineMonotonic),
-            )
+            .run(SimConfig::for_seconds(2, 12).with_scheduler(SchedulerPolicy::DeadlineMonotonic))
             .unwrap();
         assert!(dm.total_deadline_misses() > 0, "DM should miss at U = 1");
         // The DM run is still a structurally valid trace.
@@ -953,9 +1169,8 @@ mod tests {
                 .unwrap()
                 .with_server(Box::new(Scenario::NotBusy.build_server(seed).unwrap()))
                 .run(
-                    SimConfig::for_seconds(5, seed).with_exec_time(
-                        ExecutionTimeModel::UniformFraction { min_fraction: 0.5 },
-                    ),
+                    SimConfig::for_seconds(5, seed)
+                        .with_exec_time(ExecutionTimeModel::UniformFraction { min_fraction: 0.5 }),
                 )
                 .unwrap()
         };

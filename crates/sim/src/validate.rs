@@ -107,9 +107,7 @@ pub fn audit_trace(report: &SimReport) -> Vec<String> {
             if log.work.is_zero() || log.released_at >= gap_end {
                 continue;
             }
-            let finished_by_gap = log
-                .completed_at
-                .is_some_and(|done| done <= gap_start);
+            let finished_by_gap = log.completed_at.is_some_and(|done| done <= gap_start);
             if log.released_at <= gap_start && !finished_by_gap {
                 // Pending work must be zero during the gap — but a sub-job
                 // released exactly at gap_start with pending work means
@@ -198,7 +196,14 @@ mod tests {
         Duration::from_ms(ms)
     }
 
-    fn log(job: usize, kind: SubJobKind, rel: u64, work: u64, dl: u64, done: Option<u64>) -> SubJobLog {
+    fn log(
+        job: usize,
+        kind: SubJobKind,
+        rel: u64,
+        work: u64,
+        dl: u64,
+        done: Option<u64>,
+    ) -> SubJobLog {
         SubJobLog {
             job_id: job,
             kind,
@@ -229,6 +234,7 @@ mod tests {
             subjobs: vec![],
             busy_time: Duration::ZERO,
             preemptions: 0,
+            metrics: Default::default(),
         }
     }
 

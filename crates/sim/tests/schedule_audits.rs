@@ -160,6 +160,9 @@ fn golden_scenario_regression() {
     let (tasks2, plan2) = build_system(&specs).expect("valid system");
     let server2 = Box::new(Scenario::NotBusy.build_server(7).unwrap());
     let report2 = run_with_server(tasks2, plan2, server2, 7);
-    assert_eq!(report.total_realized_benefit(), report2.total_realized_benefit());
+    assert_eq!(
+        report.total_realized_benefit(),
+        report2.total_realized_benefit()
+    );
     assert_eq!(report.trace.len(), report2.trace.len());
 }

@@ -1,0 +1,186 @@
+//! Trace-event integration tests.
+//!
+//! * A **golden-file** test: a fixed two-task system against a perfect
+//!   server must emit exactly the checked-in JSONL event sequence —
+//!   byte-for-byte. This pins both the event *semantics* (what fires
+//!   when) and the JSON *encoding* (field order, names). Regenerate the
+//!   golden file after an intentional change with
+//!   `UPDATE_GOLDEN=1 cargo test -p rto-sim --test trace_events`.
+//! * A **property** test: for random systems and policies, the
+//!   `deadline_missed` / `deadline_met` events in the trace must agree
+//!   exactly with the per-task aggregates in [`SimReport`] and with each
+//!   job's own record.
+
+use proptest::prelude::*;
+use rto_core::benefit::BenefitFunction;
+use rto_core::odm::{OdmTask, OffloadingDecisionManager, OffloadingPlan};
+use rto_core::task::{Task, TaskId};
+use rto_core::time::{Duration, Instant};
+use rto_mckp::DpSolver;
+use rto_obs::{MemorySink, Obs, TraceEvent};
+use rto_server::gpu::PerfectServer;
+use rto_sim::prelude::*;
+use std::sync::Arc;
+
+fn ms(v: u64) -> Duration {
+    Duration::from_ms(v)
+}
+
+/// The fixed two-task fixture: one offloadable vision-style task, one
+/// purely local control-style task.
+fn two_task_system() -> (Vec<OdmTask>, OffloadingPlan) {
+    let vision = Task::builder(0, "vision")
+        .local_wcet(ms(60))
+        .setup_wcet(ms(5))
+        .compensation_wcet(ms(60))
+        .period(ms(250))
+        .build()
+        .unwrap();
+    let control = Task::builder(1, "control")
+        .local_wcet(ms(20))
+        .period(ms(100))
+        .build()
+        .unwrap();
+    let gv = BenefitFunction::from_ms_points(&[(0.0, 1.0), (80.0, 9.0)]).unwrap();
+    let gc = BenefitFunction::from_ms_points(&[(0.0, 1.0)]).unwrap();
+    let odm =
+        OffloadingDecisionManager::new(vec![OdmTask::new(vision, gv), OdmTask::new(control, gc)])
+            .unwrap();
+    let plan = odm.decide(&DpSolver::default()).unwrap();
+    (odm.tasks().to_vec(), plan)
+}
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden_two_task_trace.jsonl"
+);
+
+#[test]
+fn golden_two_task_fixed_seed_trace() {
+    let (tasks, plan) = two_task_system();
+    assert_eq!(plan.num_offloaded(), 1, "fixture expects vision offloaded");
+    let sink = Arc::new(MemorySink::new());
+    let report = Simulation::build(tasks, plan)
+        .unwrap()
+        .with_server(Box::new(PerfectServer {
+            response_time: ms(30),
+        }))
+        .with_obs(Obs::with_sink(sink.clone()))
+        .run(SimConfig::for_seconds(1, 7))
+        .unwrap();
+    assert_eq!(report.total_deadline_misses(), 0);
+
+    let mut got = String::new();
+    for (ts, event) in sink.snapshot() {
+        event.write_json(ts, &mut got);
+        got.push('\n');
+    }
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &got).expect("write golden");
+        return;
+    }
+    let want = include_str!("golden_two_task_trace.jsonl");
+    assert!(
+        got == want,
+        "trace diverged from golden file (first differing line: {:?})",
+        got.lines()
+            .zip(want.lines())
+            .enumerate()
+            .find(|(_, (g, w))| g != w)
+            .map(|(i, pair)| (i, pair.0.to_string(), pair.1.to_string()))
+    );
+}
+
+/// Strategy: up to 3 tasks, each (C, C1, C2, T, R).
+fn system_strategy() -> impl Strategy<Value = Vec<(u64, u64, u64, u64, u64)>> {
+    prop::collection::vec(
+        (5u64..=25, 1u64..=5, 5u64..=25, 70u64..=200).prop_flat_map(|(c, c1, c2, t)| {
+            let max_r = t.saturating_sub(c1 + c2 + 1).max(1);
+            (Just(c), Just(c1), Just(c2), Just(t), 1u64..=max_r)
+        }),
+        1..=3,
+    )
+}
+
+fn build_system(specs: &[(u64, u64, u64, u64, u64)]) -> Option<(Vec<OdmTask>, OffloadingPlan)> {
+    let mut tasks = Vec::new();
+    for (i, &(c, c1, c2, t, r)) in specs.iter().enumerate() {
+        let c = c.min(t);
+        let task = Task::builder(i, format!("t{i}"))
+            .local_wcet(ms(c))
+            .setup_wcet(ms(c1))
+            .compensation_wcet(ms(c2))
+            .period(ms(t))
+            .build()
+            .ok()?;
+        let g = BenefitFunction::from_ms_points(&[(0.0, 1.0), (r as f64, 4.0 + i as f64)]).ok()?;
+        tasks.push(OdmTask::new(task, g));
+    }
+    let odm = OffloadingDecisionManager::new(tasks).ok()?;
+    let plan = odm.decide(&DpSolver::default()).ok()?;
+    Some((odm.tasks().to_vec(), plan))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every `deadline_missed` trace event corresponds to a miss in
+    /// `TaskStats` — and vice versa: the counts agree per task, the
+    /// `deadline_met` events account for the rest of the accountable
+    /// jobs, and each event's `job_id` points at a job record with the
+    /// matching verdict. The naive deadline policy is included because
+    /// it actually produces misses.
+    #[test]
+    fn deadline_events_match_task_stats(
+        specs in system_strategy(),
+        seed in 0u64..500,
+        naive_flag in 0u64..2,
+    ) {
+        let naive = naive_flag == 1;
+        let Some((tasks, plan)) = build_system(&specs) else { return Ok(()) };
+        let sink = Arc::new(MemorySink::new());
+        let mut config = SimConfig::for_seconds(2, seed);
+        if naive {
+            // Same-deadline EDF against the default black-hole server:
+            // compensations run late, so some runs genuinely miss.
+            config = config.with_deadline_policy(DeadlinePolicy::NaiveSameDeadline);
+        }
+        let report = Simulation::build(tasks, plan)
+            .expect("plan covers tasks")
+            .with_obs(Obs::with_sink(sink.clone()))
+            .run(config)
+            .expect("valid config");
+
+        let horizon = Instant::ZERO + report.horizon;
+        let events = sink.snapshot();
+        for stats in &report.per_task {
+            let missed = events.iter().filter(|(_, e)| matches!(
+                e, TraceEvent::DeadlineMissed { task_id, .. } if TaskId(*task_id) == stats.task_id
+            )).count();
+            let met = events.iter().filter(|(_, e)| matches!(
+                e, TraceEvent::DeadlineMet { task_id, .. } if TaskId(*task_id) == stats.task_id
+            )).count();
+            prop_assert_eq!(missed, stats.misses, "missed events vs stats");
+            prop_assert_eq!(met + missed, stats.accountable, "verdicts cover accountable jobs");
+        }
+        // Event-level cross-check against the job records.
+        for (_, event) in &events {
+            match *event {
+                TraceEvent::DeadlineMissed { job_id, .. } => {
+                    let job = report.jobs.iter().find(|j| j.job_id == job_id).expect("job exists");
+                    prop_assert!(job.missed_deadline(horizon));
+                }
+                TraceEvent::DeadlineMet { job_id, .. } => {
+                    let job = report.jobs.iter().find(|j| j.job_id == job_id).expect("job exists");
+                    prop_assert!(!job.missed_deadline(horizon));
+                }
+                _ => {}
+            }
+        }
+        // The sim's own miss counter agrees with the aggregate too.
+        prop_assert_eq!(
+            report.metrics.counter("sim_deadline_misses_total"),
+            Some(report.total_deadline_misses() as u64)
+        );
+    }
+}

@@ -182,7 +182,14 @@ impl fmt::Display for Summary {
         write!(
             f,
             "n={} mean={:.4} std={:.4} min={:.4} p50={:.4} p95={:.4} p99={:.4} max={:.4}",
-            self.count, self.mean, self.std_dev, self.min, self.median, self.p95, self.p99, self.max
+            self.count,
+            self.mean,
+            self.std_dev,
+            self.min,
+            self.median,
+            self.p95,
+            self.p99,
+            self.max
         )
     }
 }
@@ -236,7 +243,10 @@ impl Histogram {
     /// Panics if `bins == 0`, `lo >= hi`, or bounds are not finite.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad histogram range");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "bad histogram range"
+        );
         Histogram {
             lo,
             hi,
@@ -287,7 +297,10 @@ impl Histogram {
     pub fn bin_bounds(&self, idx: usize) -> (f64, f64) {
         assert!(idx < self.bins.len(), "bin index out of range");
         let width = (self.hi - self.lo) / self.bins.len() as f64;
-        (self.lo + width * idx as f64, self.lo + width * (idx + 1) as f64)
+        (
+            self.lo + width * idx as f64,
+            self.lo + width * (idx + 1) as f64,
+        )
     }
 }
 

@@ -214,7 +214,9 @@ impl LogNormal {
             return Err(ParamError::new("lognormal fit needs at least two samples"));
         }
         if samples.iter().any(|&x| x <= 0.0 || !x.is_finite()) {
-            return Err(ParamError::new("lognormal fit needs positive finite samples"));
+            return Err(ParamError::new(
+                "lognormal fit needs positive finite samples",
+            ));
         }
         let mut acc = crate::desc::OnlineStats::new();
         for &x in samples {
@@ -251,7 +253,9 @@ impl Exponential {
     /// Returns [`ParamError`] if `lambda <= 0`.
     pub fn new(lambda: f64) -> Result<Self, ParamError> {
         if lambda <= 0.0 || !lambda.is_finite() {
-            return Err(ParamError::new(format!("exponential: lambda {lambda} <= 0")));
+            return Err(ParamError::new(format!(
+                "exponential: lambda {lambda} <= 0"
+            )));
         }
         Ok(Exponential { lambda })
     }
@@ -463,9 +467,7 @@ impl Discrete {
         let mut total = 0.0;
         for &(v, w) in pairs {
             if !v.is_finite() || !w.is_finite() || w < 0.0 {
-                return Err(ParamError::new(format!(
-                    "discrete: bad pair ({v}, {w})"
-                )));
+                return Err(ParamError::new(format!("discrete: bad pair ({v}, {w})")));
             }
             total += w;
         }

@@ -202,7 +202,10 @@ mod tests {
             Duration::from_ms_f64(195.2814).unwrap()
         );
         assert_eq!(t[0].points()[1].value, 30.5918);
-        assert_eq!(t[3].points()[4].response_time, Duration::from_ms_f64(891.36).unwrap());
+        assert_eq!(
+            t[3].points()[4].response_time,
+            Duration::from_ms_f64(891.36).unwrap()
+        );
         assert_eq!(t[3].points()[4].value, 99.0);
         assert_eq!(t[2].points()[2].value, 31.9884);
         for g in &t {
@@ -223,7 +226,11 @@ mod tests {
         let tasks = case_study_tasks();
         let result = local_only_test(tasks.iter());
         assert!(result.schedulable, "local utilization {}", result.load);
-        assert!(result.load > 0.7, "should be a loaded system: {}", result.load);
+        assert!(
+            result.load > 0.7,
+            "should be a loaded system: {}",
+            result.load
+        );
         assert_eq!(tasks[0].deadline(), Duration::from_ms(1800));
         assert_eq!(tasks[2].deadline(), Duration::from_ms(2000));
     }
@@ -232,10 +239,7 @@ mod tests {
     fn weight_permutations_are_all_24() {
         let perms = weight_permutations();
         assert_eq!(perms.len(), 24);
-        let mut unique: Vec<_> = perms
-            .iter()
-            .map(|p| p.map(|v| v as u64))
-            .collect();
+        let mut unique: Vec<_> = perms.iter().map(|p| p.map(|v| v as u64)).collect();
         unique.sort();
         unique.dedup();
         assert_eq!(unique.len(), 24);

@@ -96,7 +96,10 @@ impl Image {
     ///
     /// Panics if either target dimension is zero.
     pub fn resize(&self, new_width: usize, new_height: usize) -> Image {
-        assert!(new_width > 0 && new_height > 0, "target dimensions must be positive");
+        assert!(
+            new_width > 0 && new_height > 0,
+            "target dimensions must be positive"
+        );
         let mut out = Image::new(new_width, new_height);
         let sx = self.width as f64 / new_width as f64;
         let sy = self.height as f64 / new_height as f64;
@@ -128,7 +131,10 @@ impl Image {
     ///
     /// Panics if `factor` is not in `(0, 1]`.
     pub fn degrade(&self, factor: f64) -> Image {
-        assert!(factor > 0.0 && factor <= 1.0, "scale factor must be in (0, 1]");
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "scale factor must be in (0, 1]"
+        );
         let w = ((self.width as f64 * factor).round() as usize).max(1);
         let h = ((self.height as f64 * factor).round() as usize).max(1);
         if w == self.width && h == self.height {
@@ -309,7 +315,11 @@ mod tests {
             );
         }
         assert_eq!(*psnrs.last().unwrap(), 99.0); // lossless sentinel
-        assert!(psnrs[0] > 10.0 && psnrs[0] < 45.0, "degraded PSNR {}", psnrs[0]);
+        assert!(
+            psnrs[0] > 10.0 && psnrs[0] < 45.0,
+            "degraded PSNR {}",
+            psnrs[0]
+        );
     }
 
     #[test]

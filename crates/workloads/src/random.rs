@@ -64,8 +64,7 @@ pub fn random_system(params: &RandomSystemParams, rng: &mut Rng) -> Vec<OdmTask>
     );
     assert!(params.probability_levels > 0, "need at least one level");
     assert!(
-        params.response_range_ms.0 > 0.0
-            && params.response_range_ms.0 < params.response_range_ms.1,
+        params.response_range_ms.0 > 0.0 && params.response_range_ms.0 < params.response_range_ms.1,
         "invalid response range"
     );
     (0..params.num_tasks)

@@ -176,10 +176,7 @@ pub fn detect_keypoints(img: &Image, params: &SiftParams) -> Vec<Keypoint> {
             gaussians.push(base.blur(sigma));
         }
         // DoG stack.
-        let dogs: Vec<Layer> = gaussians
-            .windows(2)
-            .map(|w| w[1].diff(&w[0]))
-            .collect();
+        let dogs: Vec<Layer> = gaussians.windows(2).map(|w| w[1].diff(&w[0])).collect();
         // Spatial extrema in every DoG layer.
         let zoom = (1 << octave) as f64;
         for (s, cur) in dogs.iter().enumerate() {
@@ -201,10 +198,7 @@ pub fn detect_keypoints(img: &Image, params: &SiftParams) -> Vec<Keypoint> {
                             if dx == 0 && dy == 0 {
                                 continue;
                             }
-                            let n = cur.get(
-                                (x as isize + dx) as usize,
-                                (y as isize + dy) as usize,
-                            );
+                            let n = cur.get((x as isize + dx) as usize, (y as isize + dy) as usize);
                             if n > v {
                                 is_max = false;
                             }
@@ -264,7 +258,11 @@ mod tests {
         let mut img = Image::new(width, height);
         for y in 0..height {
             for x in 0..width {
-                let v = if (x / tile + y / tile).is_multiple_of(2) { 40 } else { 200 };
+                let v = if (x / tile + y / tile).is_multiple_of(2) {
+                    40
+                } else {
+                    200
+                };
                 img.set(x, y, v);
             }
         }

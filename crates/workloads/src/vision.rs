@@ -48,7 +48,10 @@ pub fn stereo_disparity(
         (right.width(), right.height()),
         "stereo pair size mismatch"
     );
-    assert!(block > 0 && max_disparity > 0, "parameters must be positive");
+    assert!(
+        block > 0 && max_disparity > 0,
+        "parameters must be positive"
+    );
     let bw = left.width() / block;
     let bh = left.height() / block;
     let mut disparities = Vec::with_capacity(bw * bh);
@@ -138,8 +141,8 @@ pub fn harris_corners(img: &Image, threshold: f64) -> Vec<Corner> {
             let is_max = (-1isize..=1).all(|dy| {
                 (-1isize..=1).all(|dx| {
                     (dx == 0 && dy == 0)
-                        || r >= response[(y as isize + dy) as usize * w
-                            + (x as isize + dx) as usize]
+                        || r >= response
+                            [(y as isize + dy) as usize * w + (x as isize + dx) as usize]
                 })
             });
             if is_max {
@@ -147,7 +150,11 @@ pub fn harris_corners(img: &Image, threshold: f64) -> Vec<Corner> {
             }
         }
     }
-    corners.sort_by(|a, b| b.response.partial_cmp(&a.response).expect("finite responses"));
+    corners.sort_by(|a, b| {
+        b.response
+            .partial_cmp(&a.response)
+            .expect("finite responses")
+    });
     corners
 }
 
@@ -175,10 +182,7 @@ pub fn motion_detect(prev: &Image, cur: &Image, threshold: u8) -> (f64, Image) {
             }
         }
     }
-    (
-        moving as f64 / (prev.width() * prev.height()) as f64,
-        mask,
-    )
+    (moving as f64 / (prev.width() * prev.height()) as f64, mask)
 }
 
 #[cfg(test)]

@@ -80,7 +80,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             benefit.scale_values(8.0)?,
         )])?;
         let plan = odm.decide(&DpSolver::default())?;
-        let decision = if plan.num_offloaded() > 0 { "offload" } else { "local" };
+        let decision = if plan.num_offloaded() > 0 {
+            "offload"
+        } else {
+            "local"
+        };
 
         // Run one 8 s epoch against the current fleet.
         let fleet = build_fleet(epoch, 7 + epoch as u64);

@@ -24,16 +24,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .sum::<f64>()
     );
     println!();
-    println!("{:>8}  {:>8}  {:>10}  {:>10}  {:>9}", "ratio", "solver", "believed", "realized", "offloaded");
+    println!(
+        "{:>8}  {:>8}  {:>10}  {:>10}  {:>9}",
+        "ratio", "solver", "believed", "realized", "offloaded"
+    );
 
     for &ratio in &[-0.4, -0.2, 0.0, 0.2, 0.4] {
         for solver in [&DpSolver::default() as &dyn Solver, &HeuOeSolver::new()] {
             // The estimator's distorted view of the world.
             let distorted: Vec<OdmTask> = true_tasks
                 .iter()
-                .map(|t| {
-                    Ok(OdmTask::new(t.task().clone(), t.benefit().distort(ratio)?))
-                })
+                .map(|t| Ok(OdmTask::new(t.task().clone(), t.benefit().distort(ratio)?)))
                 .collect::<Result<_, rto::core::CoreError>>()?;
             let odm = OffloadingDecisionManager::new(distorted)?;
             let plan = odm.decide(solver)?;

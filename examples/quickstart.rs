@@ -26,7 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    subject to the Theorem-3 schedulability test.
     let odm = OffloadingDecisionManager::new(vec![OdmTask::new(task, benefit)])?;
     let plan = odm.decide(&DpSolver::default())?;
-    println!("Plan (density {:.3}, planned benefit {:.1}):", plan.total_density(), plan.total_benefit());
+    println!(
+        "Plan (density {:.3}, planned benefit {:.1}):",
+        plan.total_density(),
+        plan.total_benefit()
+    );
     for d in plan.decisions() {
         println!("  {:?}", d.decision);
     }

@@ -19,11 +19,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let odm = OffloadingDecisionManager::new(tasks)?;
     let plan = odm.decide(&DpSolver::default())?;
 
-    println!("Offloading plan (Theorem-3 density {:.3}):", plan.total_density());
+    println!(
+        "Offloading plan (Theorem-3 density {:.3}):",
+        plan.total_density()
+    );
     for (t, d) in odm.tasks().iter().zip(plan.decisions()) {
         match d.decision {
             Decision::Local => {
-                println!("  {:<20} local (quality {:.1})", t.task().name(), t.benefit().local_value());
+                println!(
+                    "  {:<20} local (quality {:.1})",
+                    t.task().name(),
+                    t.benefit().local_value()
+                );
             }
             Decision::Offload {
                 level,
@@ -65,7 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .unwrap_or_default();
             println!(
                 "    {:<20} jobs {:>2}  remote {:>2}  compensated {:>2}  benefit {:>8.1}",
-                name, stats.accountable, stats.remote_jobs, stats.compensated_jobs,
+                name,
+                stats.accountable,
+                stats.remote_jobs,
+                stats.compensated_jobs,
                 stats.realized_benefit
             );
         }

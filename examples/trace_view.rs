@@ -1,14 +1,17 @@
 //! Visualize a schedule: ASCII Gantt charts of the case study under an
-//! idle and a busy server, side by side with per-task outcomes.
+//! idle and a busy server, side by side with per-task outcomes — plus a
+//! Chrome-trace export of the busy run for Perfetto / `chrome://tracing`.
 //!
 //! Run with `cargo run --example trace_view`.
 
 use rto::core::odm::OffloadingDecisionManager;
 use rto::mckp::DpSolver;
+use rto::obs::{ChromeTraceSink, Obs};
 use rto::server::Scenario;
 use rto::sim::prelude::*;
 use rto::sim::render::{render_gantt, render_svg};
 use rto::workloads::case_study::{case_study_system, shape_request};
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let odm = OffloadingDecisionManager::new(case_study_system([1.0, 2.0, 3.0, 4.0]))?;
@@ -30,14 +33,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         println!();
     }
-    // Also emit a browsable SVG of the busy-server run.
+    // Also emit a browsable SVG and a Chrome trace of the busy-server run.
+    // The ChromeTraceSink lays the schedule out as one CPU lane plus one
+    // lane per in-flight server request; load the file in Perfetto or
+    // chrome://tracing to scrub through it.
+    let chrome = Arc::new(ChromeTraceSink::new());
     let report = Simulation::build(odm.tasks().to_vec(), plan)?
         .with_server(Box::new(Scenario::Busy.build_server(5)?))
         .with_request_shaper(Box::new(shape_request))
+        .with_obs(Obs::with_sink(chrome.clone()))
         .run(SimConfig::for_seconds(6, 5))?;
     let svg_path = std::env::temp_dir().join("rto_trace.svg");
     std::fs::write(&svg_path, render_svg(&report, 1200))?;
     println!("SVG version written to {}", svg_path.display());
+    let chrome_path = std::env::temp_dir().join("rto_trace.chrome.json");
+    chrome.write_to(&chrome_path)?;
+    println!(
+        "Chrome trace ({} entries) written to {} — open in Perfetto",
+        chrome.len(),
+        chrome_path.display()
+    );
     println!();
     println!(
         "Reading the charts: under the idle server the offloaded tasks show\n\

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The full local gate: formatting, lints, and the complete test suite.
+#
+# Mirrors .github/workflows/ci.yml so a green run here means a green CI.
+# Note the `--workspace` flags: a bare `cargo test` from the repo root
+# only tests the facade package, not the crates.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo test --workspace"
+cargo test --workspace --offline -q
+
+echo "==> all checks passed"

@@ -18,6 +18,9 @@
 //! * [`mckp`] ([`rto_mckp`]) — multiple-choice knapsack solvers: exact
 //!   pseudo-polynomial DP, HEU-OE heuristic, branch-and-bound, LP
 //!   relaxation.
+//! * [`obs`] ([`rto_obs`]) — structured trace events, pluggable sinks
+//!   (JSONL, Chrome-trace), and a hand-rolled metrics registry with
+//!   Prometheus/JSON exporters.
 //! * [`stats`] ([`rto_stats`]) — deterministic RNG, distributions, ECDFs.
 //! * [`server`] ([`rto_server`]) — the timing-unreliable GPU server +
 //!   network substrate with the paper's busy / not-busy / idle scenarios.
@@ -59,6 +62,7 @@
 
 pub use rto_core as core;
 pub use rto_mckp as mckp;
+pub use rto_obs as obs;
 pub use rto_server as server;
 pub use rto_sim as sim;
 pub use rto_stats as stats;

@@ -45,10 +45,13 @@ fn estimator_to_simulation_pipeline() {
         .period(ms(400))
         .build()
         .expect("valid task");
-    let odm = OffloadingDecisionManager::new(vec![OdmTask::new(task, benefit)])
-        .expect("one task");
+    let odm = OffloadingDecisionManager::new(vec![OdmTask::new(task, benefit)]).expect("one task");
     let plan = odm.decide(&DpSolver::default()).expect("feasible");
-    assert_eq!(plan.num_offloaded(), 1, "an idle server should attract offloading");
+    assert_eq!(
+        plan.num_offloaded(),
+        1,
+        "an idle server should attract offloading"
+    );
 
     // 4. Simulate against the same scenario and verify the realized
     //    success rate roughly matches the promised probability level.
@@ -66,7 +69,9 @@ fn estimator_to_simulation_pipeline() {
         .run(SimConfig::for_seconds(60, 23))
         .expect("valid config");
     assert_eq!(sim.total_deadline_misses(), 0);
-    let success = sim.per_task[0].remote_success_rate().expect("offloaded jobs exist");
+    let success = sim.per_task[0]
+        .remote_success_rate()
+        .expect("offloaded jobs exist");
     assert!(
         (success - level_prob).abs() < 0.25,
         "promised {level_prob:.2} vs realized {success:.2}"
@@ -108,8 +113,8 @@ fn plan_is_consistent_with_analysis() {
         })
         .collect();
 
-    let density = density_test(locals.iter().copied(), offloaded.iter().copied())
-        .expect("valid entries");
+    let density =
+        density_test(locals.iter().copied(), offloaded.iter().copied()).expect("valid entries");
     assert!((density.load - plan.total_density()).abs() < 1e-9);
     assert!(density.schedulable);
 
@@ -240,7 +245,11 @@ fn server_bound_extension_end_to_end() {
     ])
     .expect("valid tasks");
     let plan = odm.decide(&DpSolver::default()).expect("feasible");
-    assert_eq!(plan.num_offloaded(), 1, "the bound should make offloading affordable");
+    assert_eq!(
+        plan.num_offloaded(),
+        1,
+        "the bound should make offloading affordable"
+    );
 
     // Honest server: inner model clamped to the promised 40 ms bound.
     let inner = Scenario::Busy.build_server(51).expect("preset");
@@ -250,7 +259,11 @@ fn server_bound_extension_end_to_end() {
         .run(SimConfig::for_seconds(10, 51))
         .expect("valid config");
     assert_eq!(report.total_deadline_misses(), 0);
-    assert_eq!(report.total_compensated(), 0, "bounded server never times out");
+    assert_eq!(
+        report.total_compensated(),
+        0,
+        "bounded server never times out"
+    );
     assert!(report.total_remote() > 0);
 
     // Dishonest bound: the server vanishes; the timer fires and the REAL

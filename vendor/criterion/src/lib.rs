@@ -205,7 +205,11 @@ fn run_one<F: FnMut(&mut Bencher)>(id: &str, f: &mut F) {
     };
     f(&mut b);
     let mean = b.elapsed.as_secs_f64() / iters as f64;
-    println!("bench {id:<48} {:>12} iters  mean {}", iters, fmt_time(mean));
+    println!(
+        "bench {id:<48} {:>12} iters  mean {}",
+        iters,
+        fmt_time(mean)
+    );
 }
 
 fn fmt_time(secs: f64) -> String {

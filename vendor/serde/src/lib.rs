@@ -475,9 +475,7 @@ pub mod __private {
     pub fn variant_of<'v>(v: &'v Value, ty: &str) -> Result<(&'v str, &'v Value), DeError> {
         match v {
             Value::Str(s) => Ok((s.as_str(), &Value::Null)),
-            Value::Object(fields) if fields.len() == 1 => {
-                Ok((fields[0].0.as_str(), &fields[0].1))
-            }
+            Value::Object(fields) if fields.len() == 1 => Ok((fields[0].0.as_str(), &fields[0].1)),
             other => Err(DeError::new(format!(
                 "expected variant of `{ty}` (string or single-key object), found {}",
                 other.kind()
@@ -496,7 +494,10 @@ mod tests {
         let none: Option<u32> = None;
         assert_eq!(some.serialize_value(), Value::U64(7));
         assert_eq!(none.serialize_value(), Value::Null);
-        assert_eq!(Option::<u32>::deserialize_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::deserialize_value(&Value::Null).unwrap(),
+            None
+        );
         assert_eq!(
             Option::<u32>::deserialize_value(&Value::U64(7)).unwrap(),
             Some(7)

@@ -426,10 +426,7 @@ impl Item {
             }
             Kind::UnitStruct => "::serde::Value::Null".to_string(),
             Kind::Enum(variants) => {
-                let arms: String = variants
-                    .iter()
-                    .map(|v| self.serialize_arm(v))
-                    .collect();
+                let arms: String = variants.iter().map(|v| self.serialize_arm(v)).collect();
                 format!("match self {{ {arms} }}")
             }
         };
@@ -471,10 +468,7 @@ impl Item {
                 format!("{name}::{vname}({pattern}) => {payload},")
             }
             VariantShape::Struct(fields) => {
-                let pattern: String = fields
-                    .iter()
-                    .map(|f| format!("{}, ", f.name))
-                    .collect();
+                let pattern: String = fields.iter().map(|f| format!("{}, ", f.name)).collect();
                 let entries: String = fields
                     .iter()
                     .map(|f| {
@@ -580,10 +574,7 @@ impl Item {
             .map(|f| {
                 let key = f.ser_name(kebab);
                 match &f.default {
-                    None => format!(
-                        "{}: ::serde::__private::field(obj, {key:?})?,",
-                        f.name
-                    ),
+                    None => format!("{}: ::serde::__private::field(obj, {key:?})?,", f.name),
                     Some(None) => format!(
                         "{}: ::serde::__private::field_or_else(obj, {key:?}, \
                          ::core::default::Default::default)?,",
@@ -615,9 +606,9 @@ impl Item {
                     format!("let _ = {payload}; Ok({name}::{vname})")
                 }
             }
-            VariantShape::Tuple(1) => format!(
-                "Ok({name}::{vname}(::serde::Deserialize::deserialize_value({payload})?))"
-            ),
+            VariantShape::Tuple(1) => {
+                format!("Ok({name}::{vname}(::serde::Deserialize::deserialize_value({payload})?))")
+            }
             VariantShape::Tuple(n) => {
                 let items: String = (0..*n)
                     .map(|k| format!("::serde::Deserialize::deserialize_value(&items[{k}])?,"))

@@ -16,7 +16,12 @@
 use std::fmt;
 use std::io;
 
-use serde::{DeError, Deserialize, Serialize, Value};
+use serde::{DeError, Deserialize, Serialize};
+
+// Real `serde_json` defines its own `Value`; the shim shares the data
+// model with the vendored `serde` and re-exports it under the familiar
+// path.
+pub use serde::Value;
 
 /// Serialization / deserialization error.
 #[derive(Debug)]
@@ -77,7 +82,10 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
 /// # Errors
 ///
 /// Returns I/O errors from `writer`.
-pub fn to_writer<W: io::Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<(), Error> {
+pub fn to_writer<W: io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
     let text = to_string(value)?;
     writer.write_all(text.as_bytes())?;
     Ok(())
@@ -227,10 +235,7 @@ fn parse(text: &str) -> Result<Value, Error> {
     let v = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(Error::new(format!(
-            "trailing characters at byte {}",
-            p.pos
-        )));
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
     }
     Ok(v)
 }
@@ -283,10 +288,7 @@ impl<'a> Parser<'a> {
             self.pos += word.len();
             Ok(v)
         } else {
-            Err(Error::new(format!(
-                "invalid keyword at byte {}",
-                self.pos
-            )))
+            Err(Error::new(format!("invalid keyword at byte {}", self.pos)))
         }
     }
 
