@@ -12,6 +12,8 @@
 //!                                    structured event trace (chrome|jsonl) + metrics
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod commands;
 mod config;
 

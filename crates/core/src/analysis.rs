@@ -181,7 +181,7 @@ pub fn processor_demand_test<'a>(
         for d in &demands {
             demand += dbf_offloaded(d, t);
         }
-        let ratio = demand.as_ns() as f64 / t.as_ns() as f64;
+        let ratio = demand.ratio(t);
         if ratio > peak {
             peak = ratio;
         }
@@ -295,7 +295,7 @@ pub fn dm_response_time_analysis<'a>(
         for _ in 0..1000 {
             let interference: Duration = entries[..i]
                 .iter()
-                .map(|hp| hp.inflated * r.as_ns().div_ceil(hp.period.as_ns()).max(1))
+                .map(|hp| hp.inflated.saturating_mul(r.div_ceil(hp.period).max(1)))
                 .sum();
             let next = entry.inflated + interference;
             if next == r {

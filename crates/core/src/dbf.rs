@@ -37,8 +37,11 @@ pub fn dbf_sporadic(wcet: Duration, deadline: Duration, period: Duration, t: Dur
     match t.checked_sub(deadline) {
         None => Duration::ZERO,
         Some(rem) => {
-            let jobs = rem.as_ns() / period.as_ns() + 1;
-            wcet * jobs
+            let jobs = rem.div_floor(period).saturating_add(1);
+            // Saturating by policy: a clamped demand over-approximates,
+            // so schedulability tests fail in the safe direction
+            // (DESIGN.md §8 overflow policy).
+            wcet.saturating_mul(jobs)
         }
     }
 }
@@ -50,7 +53,7 @@ pub fn dbf_local(task: &Task, t: Duration) -> Duration {
 
 /// Theorem 2's linear bound `(C_i/T_i)·t`, in nanoseconds.
 pub fn dbf_local_bound_ns(task: &Task, t: Duration) -> f64 {
-    task.local_wcet().ratio(task.period()) * t.as_ns() as f64
+    task.local_wcet().ratio(task.period()) * t.as_ns_f64()
 }
 
 /// The parameters of an offloaded task needed for demand analysis; costs
@@ -103,13 +106,18 @@ impl OffloadedDemand {
 /// tests verify it never exceeds Theorem 1's linear bound.
 pub fn dbf_offloaded(d: &OffloadedDemand, t: Duration) -> Duration {
     // Alignment A: anchored at an arrival.
-    let a = dbf_sporadic(d.setup_wcet, d.setup_deadline, d.period, t)
-        + dbf_sporadic(d.compensation_wcet, d.deadline, d.period, t);
+    let a = dbf_sporadic(d.setup_wcet, d.setup_deadline, d.period, t).saturating_add(dbf_sporadic(
+        d.compensation_wcet,
+        d.deadline,
+        d.period,
+        t,
+    ));
     // Alignment B: anchored at a latest completion release. The follow-up
     // setup deadline lands at T − R (≥ D1 since D1 + R ≤ D ≤ T).
     let follow_up_setup_deadline = d.period - d.response_time;
-    let b = dbf_sporadic(d.compensation_wcet, d.completion_window(), d.period, t)
-        + dbf_sporadic(d.setup_wcet, follow_up_setup_deadline, d.period, t);
+    let b = dbf_sporadic(d.compensation_wcet, d.completion_window(), d.period, t).saturating_add(
+        dbf_sporadic(d.setup_wcet, follow_up_setup_deadline, d.period, t),
+    );
     a.max(b)
 }
 
@@ -121,7 +129,10 @@ pub fn dbf_offloaded(d: &OffloadedDemand, t: Duration) -> Duration {
 /// Panics if `R_i ≥ D_i`.
 pub fn dbf_offloaded_bound_ns(d: &OffloadedDemand, t: Duration) -> f64 {
     let slack = d.deadline - d.response_time;
-    (d.setup_wcet + d.compensation_wcet).ratio(slack) * t.as_ns() as f64
+    d.setup_wcet
+        .saturating_add(d.compensation_wcet)
+        .ratio(slack)
+        * t.as_ns_f64()
 }
 
 /// The absolute-deadline check points of a sporadic task within

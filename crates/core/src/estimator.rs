@@ -78,7 +78,9 @@ impl ResponseTimeEstimator {
     /// Panics if `p` is NaN or greater than 1.
     pub fn quantile(&self, p: f64) -> Duration {
         let ms = self.ecdf.quantile(p);
-        Duration::from_ms_f64(ms).expect("samples validated non-negative")
+        // Samples are validated non-negative and finite on ingestion, so
+        // the clamp never engages; it exists to keep this path total.
+        Duration::from_ms_f64_clamped(ms)
     }
 
     /// A pessimistic worst-case estimate: the `percentile`-quantile (e.g.

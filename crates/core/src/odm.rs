@@ -458,9 +458,11 @@ impl OffloadingDecisionManager {
         solver: &dyn Solver,
         obs: &rto_obs::Obs,
     ) -> Result<OffloadingPlan, CoreError> {
-        let t0 = std::time::Instant::now();
+        // Wall-clock reads live in rto-obs (lint L5): the latency below
+        // is observational only and never influences the plan.
+        let sw = rto_obs::Stopwatch::start();
         let result = self.decide(solver);
-        let latency_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let latency_ns = sw.elapsed_ns();
         let metrics = obs.metrics();
         metrics.histogram("odm_decide_ns").record(latency_ns);
         match &result {

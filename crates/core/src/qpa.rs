@@ -50,7 +50,10 @@ impl StepSeq {
         if self.first >= t {
             return None;
         }
-        let k = (t.as_ns() - 1 - self.first.as_ns()) / self.period.as_ns();
+        // first < t here, so (t − 1ns) − first cannot underflow.
+        let k = (t - Duration::from_ns(1))
+            .saturating_sub(self.first)
+            .div_floor(self.period);
         Some(self.first + self.period * k)
     }
 }
@@ -164,7 +167,7 @@ pub fn qpa_test<'a>(
     for _ in 0..MAX_BUSY_ITERATIONS {
         let next: Duration = works
             .iter()
-            .map(|&(c, t)| c * w.as_ns().div_ceil(t.as_ns()).max(1))
+            .map(|&(c, t)| c.saturating_mul(w.div_ceil(t).max(1)))
             .fold(Duration::ZERO, |a, b| a + b);
         if next == w {
             l_b = Some(w);
@@ -199,8 +202,15 @@ pub fn qpa_test<'a>(
             period: d.period,
         });
     }
-    let d_max = seqs.iter().map(|s| s.first).max().expect("non-empty");
-    let d_min = seqs.iter().map(|s| s.first).min().expect("non-empty");
+    // Fold instead of max()/min().expect(): `seqs` is non-empty here
+    // (the empty task set returned early above), but the fold keeps the
+    // hot path panic-free by construction (lint L3).
+    let (d_min, d_max) = seqs
+        .iter()
+        .map(|s| s.first)
+        .fold((Duration::MAX, Duration::ZERO), |(lo, hi), f| {
+            (lo.min(f), hi.max(f))
+        });
 
     // L_a: from h(t) <= Σ_local U_i(t − D_i + T_i) + Σ_off ρ_i·t
     // (Theorem 1's linear bound), h(t) > t requires
@@ -210,7 +220,7 @@ pub fn qpa_test<'a>(
     for l in &locals {
         let u = l.wcet.ratio(l.period);
         mix += u;
-        slack_mass += u * l.period.saturating_sub(l.deadline).as_ns() as f64;
+        slack_mass += u * l.period.saturating_sub(l.deadline).as_ns_f64();
     }
     for d in &demands {
         mix += (d.setup_wcet + d.compensation_wcet).ratio(d.deadline - d.response_time);

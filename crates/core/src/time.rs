@@ -84,9 +84,41 @@ impl Duration {
         Duration::from_ms_f64(secs * 1e3)
     }
 
+    /// Creates a duration from fractional milliseconds, clamping instead
+    /// of failing: NaN and negative values clamp to [`Duration::ZERO`],
+    /// overflow clamps to [`Duration::MAX`].
+    ///
+    /// Intended for already-sanitized sampled quantities (service times,
+    /// latencies drawn from distributions) where a conversion failure is
+    /// impossible by construction and a `Result` would force an
+    /// unreachable error path; prefer [`Duration::from_ms_f64`] whenever
+    /// the input comes from configuration or user data.
+    pub fn from_ms_f64_clamped(ms: f64) -> Self {
+        if ms.is_nan() || ms <= 0.0 {
+            // NaN, negative, and -0.0 all land here.
+            return Duration::ZERO;
+        }
+        let ns = ms * 1e6;
+        if ns >= u64::MAX as f64 {
+            return Duration::MAX;
+        }
+        Duration(ns.round() as u64)
+    }
+
     /// The raw nanosecond count.
     pub const fn as_ns(self) -> u64 {
         self.0
+    }
+
+    /// The nanosecond count as `f64`.
+    ///
+    /// This is the **one sanctioned lossy widening** of a duration for
+    /// floating-point demand/density math (Theorems 1–3 bounds): exact up
+    /// to 2^53 ns (≈ 104 days), above which the nearest representable
+    /// `f64` is returned. Call sites outside `core/src/time.rs` must use
+    /// this instead of `as_ns() as f64` (lint rule L4).
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64
     }
 
     /// This duration in fractional milliseconds.
@@ -128,6 +160,47 @@ impl Duration {
     /// Saturating addition.
     pub const fn saturating_add(self, rhs: Duration) -> Duration {
         Duration(self.0.saturating_add(rhs.0))
+    }
+
+    /// Checked multiplication by a scalar; `None` on overflow.
+    pub const fn checked_mul(self, rhs: u64) -> Option<Duration> {
+        match self.0.checked_mul(rhs) {
+            Some(ns) => Some(Duration(ns)),
+            None => None,
+        }
+    }
+
+    /// Saturating multiplication by a scalar (clamps at
+    /// [`Duration::MAX`]).
+    ///
+    /// Demand-bound summation uses this deliberately: a saturated demand
+    /// is an *over*-approximation, so a schedulability test that sees
+    /// `Duration::MAX` rejects the task set — the safe direction (see
+    /// DESIGN.md §8, overflow policy).
+    pub const fn saturating_mul(self, rhs: u64) -> Duration {
+        Duration(self.0.saturating_mul(rhs))
+    }
+
+    /// `⌊self / rhs⌋` as a scalar count — how many whole `rhs` intervals
+    /// fit in `self`. This is the typed form of the job-count divisions
+    /// in demand-bound staircases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    pub const fn div_floor(self, rhs: Duration) -> u64 {
+        assert!(rhs.0 != 0, "div_floor: zero divisor duration");
+        self.0 / rhs.0
+    }
+
+    /// `⌈self / rhs⌉` as a scalar count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    pub const fn div_ceil(self, rhs: Duration) -> u64 {
+        assert!(rhs.0 != 0, "div_ceil: zero divisor duration");
+        self.0.div_ceil(rhs.0)
     }
 
     /// The ratio `self / other` as `f64`.
@@ -176,9 +249,19 @@ impl Duration {
     }
 }
 
+// Overflow policy (DESIGN.md §8): the `Add`/`Sub`/`Mul` operator impls
+// on `Duration`/`Instant` *panic* on overflow rather than wrapping or
+// saturating silently. Wrapped time arithmetic would corrupt
+// demand-bound math invisibly; a panic is the loud failure mode for a
+// genuine logic error. Code paths where overflow is reachable from
+// input data must use the `checked_*`/`saturating_*` forms instead
+// (demand-bound summation in `dbf.rs` uses the saturating forms, which
+// over-approximate demand — the safe direction for schedulability).
+
 impl Add for Duration {
     type Output = Duration;
     fn add(self, rhs: Duration) -> Duration {
+        // lint: allow(L3): documented overflow policy — loud failure on logic error
         Duration(self.0.checked_add(rhs.0).expect("duration overflow"))
     }
 }
@@ -192,6 +275,7 @@ impl AddAssign for Duration {
 impl Sub for Duration {
     type Output = Duration;
     fn sub(self, rhs: Duration) -> Duration {
+        // lint: allow(L3): documented overflow policy — loud failure on logic error
         Duration(self.0.checked_sub(rhs.0).expect("duration underflow"))
     }
 }
@@ -205,6 +289,7 @@ impl SubAssign for Duration {
 impl Mul<u64> for Duration {
     type Output = Duration;
     fn mul(self, rhs: u64) -> Duration {
+        // lint: allow(L3): documented overflow policy — loud failure on logic error
         Duration(self.0.checked_mul(rhs).expect("duration overflow"))
     }
 }
@@ -259,6 +344,12 @@ impl Instant {
         self.0
     }
 
+    /// Nanoseconds since time zero as `f64` (exact up to 2^53 ns; the
+    /// sanctioned lossy widening for reporting/plotting math — lint L4).
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64
+    }
+
     /// This instant in fractional milliseconds since time zero.
     pub fn as_ms_f64(self) -> f64 {
         self.0 as f64 / 1e6
@@ -278,6 +369,7 @@ impl Instant {
         Duration(
             self.0
                 .checked_sub(earlier.0)
+                // lint: allow(L3): documented precondition — `# Panics` contract
                 .expect("`earlier` is after `self`"),
         )
     }
@@ -294,6 +386,7 @@ impl Instant {
 impl Add<Duration> for Instant {
     type Output = Instant;
     fn add(self, rhs: Duration) -> Instant {
+        // lint: allow(L3): documented overflow policy — loud failure on logic error
         Instant(self.0.checked_add(rhs.as_ns()).expect("instant overflow"))
     }
 }
@@ -307,6 +400,7 @@ impl AddAssign<Duration> for Instant {
 impl Sub<Duration> for Instant {
     type Output = Instant;
     fn sub(self, rhs: Duration) -> Instant {
+        // lint: allow(L3): documented overflow policy — loud failure on logic error
         Instant(self.0.checked_sub(rhs.as_ns()).expect("instant underflow"))
     }
 }

@@ -1,0 +1,157 @@
+//! Property tests for the arithmetic laws of `rto_core::time`.
+//!
+//! The whole analysis layer (DBF summation, QPA, density) leans on
+//! `Duration`/`Instant` behaving like honest integer-nanosecond
+//! arithmetic, with the overflow policy documented in
+//! `core/src/time.rs` and DESIGN.md §8:
+//!
+//! * plain operators panic on overflow (loud logic-error failure);
+//! * `checked_*` mirror the underlying `u64` checked ops exactly;
+//! * `saturating_*` clamp to `Duration::MAX`, which over-approximates
+//!   demand — the safe direction for schedulability.
+
+use proptest::prelude::*;
+use rto_core::time::{Duration, Instant};
+
+/// ns values small enough that any three of them sum without overflow.
+fn small_ns() -> impl Strategy<Value = u64> {
+    0u64..=(u64::MAX / 4)
+}
+
+proptest! {
+    // --- group laws on the non-overflowing range -------------------
+
+    #[test]
+    fn add_commutes(a in small_ns(), b in small_ns()) {
+        let (a, b) = (Duration::from_ns(a), Duration::from_ns(b));
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn add_associates(a in 0u64..=(u64::MAX / 4), b in 0u64..=(u64::MAX / 4), c in 0u64..=(u64::MAX / 4)) {
+        let (a, b, c) = (Duration::from_ns(a), Duration::from_ns(b), Duration::from_ns(c));
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn zero_is_identity(a in 0u64..=u64::MAX) {
+        let a = Duration::from_ns(a);
+        prop_assert_eq!(a + Duration::ZERO, a);
+        prop_assert_eq!(a.saturating_sub(Duration::ZERO), a);
+    }
+
+    #[test]
+    fn add_then_sub_round_trips(a in small_ns(), b in small_ns()) {
+        let (a, b) = (Duration::from_ns(a), Duration::from_ns(b));
+        prop_assert_eq!((a + b) - b, a);
+    }
+
+    // --- overflow behavior -----------------------------------------
+
+    #[test]
+    fn checked_add_mirrors_u64(a in 0u64..=u64::MAX, b in 0u64..=u64::MAX) {
+        let expected = a.checked_add(b).map(Duration::from_ns);
+        prop_assert_eq!(Duration::from_ns(a).checked_add(Duration::from_ns(b)), expected);
+    }
+
+    #[test]
+    fn checked_mul_mirrors_u64(a in 0u64..=u64::MAX, k in 0u64..=u64::MAX) {
+        let expected = a.checked_mul(k).map(Duration::from_ns);
+        prop_assert_eq!(Duration::from_ns(a).checked_mul(k), expected);
+    }
+
+    #[test]
+    fn saturating_ops_agree_with_checked(a in 0u64..=u64::MAX, b in 0u64..=u64::MAX) {
+        let (da, db) = (Duration::from_ns(a), Duration::from_ns(b));
+        prop_assert_eq!(da.saturating_add(db), da.checked_add(db).unwrap_or(Duration::MAX));
+        prop_assert_eq!(da.saturating_mul(b), da.checked_mul(b).unwrap_or(Duration::MAX));
+        prop_assert_eq!(da.saturating_sub(db), da.checked_sub(db).unwrap_or(Duration::ZERO));
+    }
+
+    #[test]
+    fn saturation_never_underestimates(a in 0u64..=u64::MAX, b in 0u64..=u64::MAX) {
+        // The documented policy: saturated demand over-approximates, so
+        // a schedulability test can only fail in the safe direction.
+        let (da, db) = (Duration::from_ns(a), Duration::from_ns(b));
+        prop_assert!(da.saturating_add(db) >= da.max(db));
+    }
+
+    // --- multiplication / division ---------------------------------
+
+    #[test]
+    fn mul_is_repeated_add(a in 0u64..=1_000_000_000, k in 0u64..=64) {
+        let d = Duration::from_ns(a);
+        let mut acc = Duration::ZERO;
+        for _ in 0..k {
+            acc += d;
+        }
+        prop_assert_eq!(d * k, acc);
+    }
+
+    #[test]
+    fn div_floor_ceil_laws(a in 0u64..=u64::MAX, p in 1u64..=u64::MAX) {
+        let (d, period) = (Duration::from_ns(a), Duration::from_ns(p));
+        let floor = d.div_floor(period);
+        let ceil = d.div_ceil(period);
+        // floor * p <= a < (floor + 1) * p, as u128 to dodge overflow.
+        prop_assert!(u128::from(floor) * u128::from(p) <= u128::from(a));
+        prop_assert!(u128::from(a) < (u128::from(floor) + 1) * u128::from(p));
+        // ceil is floor rounded up exactly when p does not divide a.
+        let divides = a % p == 0;
+        prop_assert_eq!(ceil, if divides { floor } else { floor + 1 });
+    }
+
+    // --- unit conversions ------------------------------------------
+
+    #[test]
+    fn ms_to_ns_round_trip(ms in 0u64..=(u64::MAX / 1_000_000)) {
+        let d = Duration::from_ms(ms);
+        prop_assert_eq!(d.as_ns(), ms * 1_000_000);
+        prop_assert_eq!(Duration::from_ns(d.as_ns()), d);
+    }
+
+    #[test]
+    fn ms_f64_round_trip_is_exact_on_integer_ms(ms in 0u64..=(1u64 << 33)) {
+        // Exact as long as the ns count (ms · 10^6) stays below 2^53,
+        // the f64 integer-precision limit: 2^33 ms ≈ 8.6 · 10^15 ns.
+        let d = Duration::from_ms(ms);
+        let back = Duration::from_ms_f64_clamped(d.as_ms_f64());
+        prop_assert_eq!(back, d);
+    }
+
+    #[test]
+    fn from_ms_f64_clamped_is_total(
+        ms in prop_oneof![
+            Just(f64::NAN),
+            Just(f64::INFINITY),
+            Just(f64::NEG_INFINITY),
+            Just(-0.0),
+            -1e300f64..1e300f64,
+        ]
+    ) {
+        // Never panics; NaN/negative clamp to zero, huge clamps to MAX.
+        let d = Duration::from_ms_f64_clamped(ms);
+        if ms.is_nan() || ms <= 0.0 {
+            prop_assert_eq!(d, Duration::ZERO);
+        }
+    }
+
+    // --- Instant laws ----------------------------------------------
+
+    #[test]
+    fn instant_add_then_since_round_trips(i in 0u64..=(u64::MAX / 2), d in 0u64..=(u64::MAX / 2)) {
+        let (i, d) = (Instant::from_ns(i), Duration::from_ns(d));
+        prop_assert_eq!((i + d).since(i), d);
+        prop_assert_eq!((i + d) - d, i);
+    }
+
+    #[test]
+    fn checked_since_is_antisymmetric(a in 0u64..=u64::MAX, b in 0u64..=u64::MAX) {
+        let (ia, ib) = (Instant::from_ns(a), Instant::from_ns(b));
+        if a >= b {
+            prop_assert_eq!(ia.checked_since(ib), Some(Duration::from_ns(a - b)));
+        } else {
+            prop_assert_eq!(ia.checked_since(ib), None);
+        }
+    }
+}

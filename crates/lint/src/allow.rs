@@ -1,0 +1,173 @@
+//! Parser for the committed allowlist file (`lint.allow.toml`).
+//!
+//! The allowlist is the *reviewed* escape hatch: findings that are
+//! understood, justified, and accepted live here, with a mandatory
+//! human-readable reason. The file is a strict subset of TOML —
+//! `[[allow]]` array-of-tables with `key = "string"` pairs — parsed by
+//! hand so the linter stays dependency-free:
+//!
+//! ```toml
+//! # lint.allow.toml
+//! [[allow]]
+//! path = "crates/obs/src/metrics.rs"
+//! rule = "L1"
+//! reason = "histogram bucket math on already-recorded ns samples"
+//! ```
+//!
+//! Parse errors (unknown keys, missing `path`/`rule`, an empty
+//! `reason`) fail the whole lint run: a malformed allowlist must never
+//! silently allow everything.
+
+use crate::rules::Finding;
+
+/// One reviewed suppression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Workspace-relative path suffix the entry applies to.
+    pub path: String,
+    /// Rule id (`"L1"` … `"L6"`).
+    pub rule: String,
+    /// Mandatory justification.
+    pub reason: String,
+    /// Line in `lint.allow.toml` where the entry starts (for errors).
+    pub defined_at: u32,
+}
+
+impl AllowEntry {
+    /// Does this entry suppress `f`?
+    #[must_use]
+    pub fn matches(&self, f: &Finding) -> bool {
+        self.rule == f.rule && (f.path == self.path || f.path.ends_with(&self.path))
+    }
+}
+
+/// Parse the allowlist. Returns entries or a human-readable error.
+///
+/// # Errors
+///
+/// On any line that is not a comment, blank, `[[allow]]` header, or
+/// `key = "value"` pair; on unknown keys; and on entries missing
+/// `path`, `rule`, or a non-empty `reason`.
+pub fn parse(src: &str) -> Result<Vec<AllowEntry>, String> {
+    /// Partially parsed entry: start line plus optional path/rule/reason.
+    type OpenEntry = (u32, Option<String>, Option<String>, Option<String>);
+
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut open: Option<OpenEntry> = None;
+
+    let finish =
+        |open: &mut Option<OpenEntry>, entries: &mut Vec<AllowEntry>| -> Result<(), String> {
+            if let Some((at, path, rule, reason)) = open.take() {
+                let path = path.ok_or(format!("allowlist entry at line {at}: missing `path`"))?;
+                let rule = rule.ok_or(format!("allowlist entry at line {at}: missing `rule`"))?;
+                let reason = reason.filter(|r| !r.trim().is_empty()).ok_or(format!(
+                    "allowlist entry at line {at}: missing or empty `reason`"
+                ))?;
+                entries.push(AllowEntry {
+                    path,
+                    rule,
+                    reason,
+                    defined_at: at,
+                });
+            }
+            Ok(())
+        };
+
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = u32::try_from(idx).unwrap_or(u32::MAX).saturating_add(1);
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            finish(&mut open, &mut entries)?;
+            open = Some((lineno, None, None, None));
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "allowlist line {lineno}: expected `key = \"value\"`, got `{line}`"
+            ));
+        };
+        let Some((_, p, r, s)) = open.as_mut() else {
+            return Err(format!(
+                "allowlist line {lineno}: `{}` outside an [[allow]] entry",
+                key.trim()
+            ));
+        };
+        let value = value.trim();
+        let unquoted = value
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or(format!(
+                "allowlist line {lineno}: value must be a double-quoted string"
+            ))?;
+        match key.trim() {
+            "path" => *p = Some(unquoted.to_string()),
+            "rule" => *r = Some(unquoted.to_string()),
+            "reason" => *s = Some(unquoted.to_string()),
+            other => {
+                return Err(format!("allowlist line {lineno}: unknown key `{other}`"));
+            }
+        }
+    }
+    finish(&mut open, &mut entries)?;
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Finding, Severity};
+
+    fn finding(path: &str, rule: &'static str) -> Finding {
+        Finding {
+            path: path.to_string(),
+            line: 1,
+            rule,
+            severity: Severity::Deny,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn parses_entries_and_matches() {
+        let src = r#"
+# comment
+[[allow]]
+path = "crates/obs/src/metrics.rs"
+rule = "L1"
+reason = "bucket math on recorded samples"
+
+[[allow]]
+path = "crates/sim/src/render.rs"
+rule = "L3"
+reason = "ASCII rendering indices are clamped"
+"#;
+        let entries = parse(src).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert!(entries[0].matches(&finding("crates/obs/src/metrics.rs", "L1")));
+        assert!(!entries[0].matches(&finding("crates/obs/src/metrics.rs", "L2")));
+        assert!(!entries[0].matches(&finding("crates/obs/src/sink.rs", "L1")));
+        assert_eq!(entries[1].defined_at, 8);
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let src = "[[allow]]\npath = \"a.rs\"\nrule = \"L1\"\n";
+        assert!(parse(src).unwrap_err().contains("reason"));
+        let src = "[[allow]]\npath = \"a.rs\"\nrule = \"L1\"\nreason = \"  \"\n";
+        assert!(parse(src).unwrap_err().contains("reason"));
+    }
+
+    #[test]
+    fn unknown_key_and_stray_pair_are_errors() {
+        assert!(parse("[[allow]]\nfoo = \"x\"\n")
+            .unwrap_err()
+            .contains("unknown key"));
+        assert!(parse("path = \"x\"\n").unwrap_err().contains("outside"));
+        assert!(parse("[[allow]]\npath = x\n")
+            .unwrap_err()
+            .contains("double-quoted"));
+    }
+}

@@ -1,0 +1,270 @@
+//! `rto-lint` — domain-invariant static analysis for the rto workspace.
+//!
+//! The paper's guarantees are arithmetic: integer-nanosecond
+//! demand-bound math (Theorems 1–3), densities computed from
+//! non-negative slack, deterministic EDF tie-breaking. This crate
+//! enforces the coding rules that keep those invariants true under
+//! refactoring, *mechanically*, at CI time:
+//!
+//! | rule | scope | what it denies |
+//! |------|-------|----------------|
+//! | L1 | workspace (except `core/src/time.rs`) | raw `+ - * / %` on `*_ns` values / `as_ns()` results |
+//! | L2 | workspace | `==` / `!=` against float literals |
+//! | L3 | library crates | `unwrap` / `expect` / `panic!` family (deny); bare indexing (warn) |
+//! | L4 | workspace (except `core/src/time.rs`) | lossy `as` casts on nanosecond values |
+//! | L5 | `core`, `sim` | wall clock (`std::time`, `SystemTime`) |
+//! | L6 | `obs` | `Ordering::Relaxed` without a `relaxed-ok` justification |
+//!
+//! Escape hatches, in order of preference:
+//!
+//! 1. **Fix the code.** Almost always possible; see the sweeps in the
+//!    crates themselves.
+//! 2. **Inline waiver** — `// lint: allow(Lx): <reason>` on the same
+//!    line or the line above. For reviewed local exceptions where the
+//!    code is right and the rule is conservative.
+//! 3. **Allowlist** — a `[[allow]]` entry in `lint.allow.toml` with a
+//!    mandatory reason, for whole-file/rule suppressions (kept ≤ 10 by
+//!    policy; see `DESIGN.md` §8).
+//!
+//! The binary (`cargo run -p rto-lint -- --workspace`) exits non-zero
+//! iff any *deny* finding survives waivers and the allowlist.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allow;
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use allow::AllowEntry;
+pub use rules::{FileCtx, Finding, RuleId, Severity};
+
+/// Directories whose `.rs` files are exempt from linting (test code,
+/// fixtures, vendored shims, build output).
+const SKIP_DIRS: &[&str] = &[
+    "tests", "benches", "examples", "fixtures", "target", "vendor", ".git",
+];
+
+/// Lint one source string as if it lived at `rel_path`.
+///
+/// Runs the rules on the test-stripped token stream, then applies
+/// inline waivers (`// lint: allow(Lx): reason` on the finding's line
+/// or the line above).
+#[must_use]
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    let ctx = FileCtx::from_rel_path(rel_path);
+    let lexed = lexer::lex(src);
+    let tokens = rules::strip_test_regions(&lexed.tokens);
+    let findings = rules::check(&ctx, &lexed, &tokens);
+    findings
+        .into_iter()
+        .filter(|f| {
+            let marker_owned = format!("lint: allow({}):", f.rule);
+            let waived = [f.line, f.line.saturating_sub(1)]
+                .iter()
+                .any(|l| rules::has_reason(lexed.comment_on(*l), &marker_owned));
+            !waived
+        })
+        .collect()
+}
+
+/// Lint one file on disk. `root` is the workspace root used to compute
+/// the workspace-relative path.
+///
+/// # Errors
+///
+/// If the file cannot be read.
+pub fn lint_file(root: &Path, file: &Path) -> Result<Vec<Finding>, String> {
+    let src =
+        fs::read_to_string(file).map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+    let rel = file
+        .strip_prefix(root)
+        .unwrap_or(file)
+        .to_string_lossy()
+        .replace('\\', "/");
+    Ok(lint_source(&rel, &src))
+}
+
+/// Collect every lintable `.rs` file under `root`: the facade package's
+/// `src/` plus each `crates/*/src` tree, skipping [`SKIP_DIRS`].
+///
+/// # Errors
+///
+/// If a directory cannot be read.
+pub fn collect_workspace_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        walk(&root_src, &mut files)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        walk(&crates, &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| format!("cannot read dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir error under {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Outcome of a full lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings that survived waivers and the allowlist.
+    pub findings: Vec<Finding>,
+    /// Number of findings suppressed by `lint.allow.toml`.
+    pub allowlisted: usize,
+    /// Number of files linted.
+    pub files: usize,
+}
+
+impl Report {
+    /// True if any surviving finding is deny-severity.
+    #[must_use]
+    pub fn has_deny(&self) -> bool {
+        self.findings.iter().any(|f| f.severity == Severity::Deny)
+    }
+}
+
+/// Lint a set of files against an allowlist.
+///
+/// # Errors
+///
+/// If any file cannot be read.
+pub fn run(root: &Path, files: &[PathBuf], allowlist: &[AllowEntry]) -> Result<Report, String> {
+    let mut report = Report {
+        files: files.len(),
+        ..Report::default()
+    };
+    for file in files {
+        for f in lint_file(root, file)? {
+            if allowlist.iter().any(|a| a.matches(&f)) {
+                report.allowlisted += 1;
+            } else {
+                report.findings.push(f);
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Render findings as a JSON array (stable field order, hand-escaped).
+#[must_use]
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"path\":{},\"line\":{},\"rule\":{},\"severity\":{},\"message\":{}}}",
+            json_str(&f.path),
+            f.line,
+            json_str(f.rule),
+            json_str(f.severity.as_str()),
+            json_str(&f.message),
+        ));
+    }
+    out.push(']');
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_waiver_suppresses_matching_rule_only() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // lint: allow(L3): demo reason\n";
+        assert!(lint_source("crates/core/src/a.rs", src).is_empty());
+        // Wrong rule id in the waiver: finding survives.
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // lint: allow(L1): demo reason\n";
+        assert_eq!(lint_source("crates/core/src/a.rs", src).len(), 1);
+        // Waiver with no reason: finding survives.
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // lint: allow(L3):\n";
+        assert_eq!(lint_source("crates/core/src/a.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn waiver_on_line_above() {
+        let src = "// lint: allow(L3): demo reason\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert!(lint_source("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn json_escaping() {
+        let f = vec![Finding {
+            path: "a\"b".into(),
+            line: 3,
+            rule: "L2",
+            severity: Severity::Warn,
+            message: "line1\nline2".into(),
+        }];
+        let j = to_json(&f);
+        assert!(j.contains("\"a\\\"b\""));
+        assert!(j.contains("\\n"));
+        assert!(j.contains("\"severity\":\"warn\""));
+        assert_eq!(to_json(&[]), "[]");
+    }
+
+    #[test]
+    fn report_deny_detection() {
+        let mut r = Report::default();
+        assert!(!r.has_deny());
+        r.findings.push(Finding {
+            path: "x".into(),
+            line: 1,
+            rule: "L3",
+            severity: Severity::Warn,
+            message: String::new(),
+        });
+        assert!(!r.has_deny());
+        r.findings.push(Finding {
+            path: "x".into(),
+            line: 1,
+            rule: "L3",
+            severity: Severity::Deny,
+            message: String::new(),
+        });
+        assert!(r.has_deny());
+    }
+}

@@ -1,0 +1,141 @@
+//! CLI for `rto-lint`.
+//!
+//! ```text
+//! cargo run -p rto-lint -- --workspace             lint every workspace crate
+//! cargo run -p rto-lint -- crates/core/src/dbf.rs  lint specific files
+//! cargo run -p rto-lint -- --workspace --json      machine-readable output
+//! cargo run -p rto-lint -- --workspace --allow other.toml
+//! ```
+//!
+//! Exit codes: `0` clean (warnings allowed), `1` at least one deny
+//! finding, `2` usage / IO / allowlist error.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use rto_lint::{allow, collect_workspace_files, run, to_json, Severity};
+
+const USAGE: &str = "usage: rto-lint [--workspace] [--json] [--allow <file>] [paths...]";
+
+struct Args {
+    workspace: bool,
+    json: bool,
+    allow_path: Option<PathBuf>,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        json: false,
+        allow_path: None,
+        paths: Vec::new(),
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => args.workspace = true,
+            "--json" => args.json = true,
+            "--allow" => {
+                let p = it.next().ok_or("--allow requires a file argument")?;
+                args.allow_path = Some(PathBuf::from(p));
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`\n{USAGE}"));
+            }
+            path => args.paths.push(PathBuf::from(path)),
+        }
+    }
+    if !args.workspace && args.paths.is_empty() {
+        return Err(format!("nothing to lint\n{USAGE}"));
+    }
+    Ok(args)
+}
+
+/// Walk up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn real_main() -> Result<bool, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv)?;
+
+    let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    let root = find_workspace_root(&cwd).unwrap_or_else(|| cwd.clone());
+
+    let files = if args.workspace {
+        let mut files = collect_workspace_files(&root)?;
+        for p in &args.paths {
+            files.push(p.clone());
+        }
+        files
+    } else {
+        args.paths.clone()
+    };
+
+    let allow_file = args
+        .allow_path
+        .unwrap_or_else(|| root.join("lint.allow.toml"));
+    let allowlist = if allow_file.is_file() {
+        let text = std::fs::read_to_string(&allow_file)
+            .map_err(|e| format!("cannot read {}: {e}", allow_file.display()))?;
+        allow::parse(&text)?
+    } else {
+        Vec::new()
+    };
+
+    let report = run(&root, &files, &allowlist)?;
+
+    if args.json {
+        println!("{}", to_json(&report.findings));
+    } else {
+        for f in &report.findings {
+            println!(
+                "{}:{}: {} [{}] {}",
+                f.path,
+                f.line,
+                f.rule,
+                f.severity.as_str(),
+                f.message
+            );
+        }
+        let denies = report
+            .findings
+            .iter()
+            .filter(|f| f.severity == Severity::Deny)
+            .count();
+        let warns = report.findings.len() - denies;
+        eprintln!(
+            "rto-lint: {} file(s), {} deny, {} warn, {} allowlisted",
+            report.files, denies, warns, report.allowlisted
+        );
+    }
+    Ok(report.has_deny())
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("rto-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

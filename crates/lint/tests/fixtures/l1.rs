@@ -1,0 +1,5 @@
+//! Fixture: violates exactly one rule — L1 (raw nanosecond arithmetic).
+
+pub fn total(budget_ns: u64, extra: u64) -> u64 {
+    budget_ns + extra // VIOLATION
+}

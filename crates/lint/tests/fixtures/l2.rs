@@ -1,0 +1,5 @@
+//! Fixture: violates exactly one rule — L2 (exact float comparison).
+
+pub fn is_idle(density: f64) -> bool {
+    density == 0.0 // VIOLATION
+}

@@ -1,0 +1,5 @@
+//! Fixture: violates exactly one rule — L3 (panic in library code).
+
+pub fn first(xs: Option<u32>) -> u32 {
+    xs.unwrap() // VIOLATION
+}

@@ -1,0 +1,5 @@
+//! Fixture: violates exactly one rule — L4 (lossy cast on a time value).
+
+pub fn widen(d: rto_core::time::Duration) -> f64 {
+    d.as_ns() as f64 // VIOLATION
+}

@@ -1,0 +1,7 @@
+//! Fixture: violates exactly one rule — L5 (wall clock in a deterministic crate).
+
+use std::time::Instant; // VIOLATION
+
+pub fn tick() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,214 @@
+//! Fixture-based self-tests for `rto-lint`.
+//!
+//! Each file in `tests/fixtures/` violates **exactly one** rule at the
+//! line marked `// VIOLATION`. The library-level tests assert the rule
+//! id and span; the binary-level tests stage the fixtures into a
+//! throwaway workspace and assert the CLI's exit codes and output.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+use rto_lint::{lint_source, Severity};
+
+fn fixture(name: &str) -> String {
+    let p = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {p}: {e}"))
+}
+
+/// 1-based line of the `// VIOLATION` marker.
+fn violation_line(src: &str) -> u32 {
+    let idx = src
+        .lines()
+        .position(|l| l.contains("// VIOLATION"))
+        .expect("fixture has a VIOLATION marker");
+    u32::try_from(idx).expect("fixture fits in u32") + 1
+}
+
+/// Assert the fixture yields exactly one finding: `rule`, deny, at the
+/// marked line.
+fn assert_single(name: &str, rel: &str, rule: &str) {
+    let src = fixture(name);
+    let findings = lint_source(rel, &src);
+    assert_eq!(
+        findings.len(),
+        1,
+        "{name}: expected exactly one finding, got {findings:?}"
+    );
+    assert_eq!(findings[0].rule, rule, "{name}: wrong rule");
+    assert_eq!(
+        findings[0].severity,
+        Severity::Deny,
+        "{name}: wrong severity"
+    );
+    assert_eq!(findings[0].line, violation_line(&src), "{name}: wrong span");
+    assert_eq!(findings[0].path, rel, "{name}: wrong path");
+}
+
+#[test]
+fn l1_fixture_raw_ns_arithmetic() {
+    assert_single("l1.rs", "crates/sim/src/l1.rs", "L1");
+}
+
+#[test]
+fn l2_fixture_float_equality() {
+    assert_single("l2.rs", "crates/core/src/l2.rs", "L2");
+}
+
+#[test]
+fn l3_fixture_unwrap_in_lib() {
+    assert_single("l3.rs", "crates/core/src/l3.rs", "L3");
+}
+
+#[test]
+fn l4_fixture_lossy_time_cast() {
+    assert_single("l4.rs", "crates/sim/src/l4.rs", "L4");
+}
+
+#[test]
+fn l5_fixture_wall_clock() {
+    assert_single("l5.rs", "crates/core/src/l5.rs", "L5");
+}
+
+#[test]
+fn l6_fixture_unjustified_relaxed() {
+    assert_single("l6.rs", "crates/obs/src/l6.rs", "L6");
+}
+
+#[test]
+fn inline_waiver_clears_each_fixture() {
+    for (name, rel, rule) in [
+        ("l1.rs", "crates/sim/src/l1.rs", "L1"),
+        ("l2.rs", "crates/core/src/l2.rs", "L2"),
+        ("l3.rs", "crates/core/src/l3.rs", "L3"),
+        ("l4.rs", "crates/sim/src/l4.rs", "L4"),
+        ("l5.rs", "crates/core/src/l5.rs", "L5"),
+    ] {
+        let src = fixture(name).replace(
+            "// VIOLATION",
+            &format!("// lint: allow({rule}): fixture waiver test"),
+        );
+        assert!(
+            lint_source(rel, &src).is_empty(),
+            "{name}: waiver should clear the finding"
+        );
+    }
+    // L6 has its own justification marker.
+    let src = fixture("l6.rs").replace("// VIOLATION", "// lint: relaxed-ok: fixture test");
+    assert!(lint_source("crates/obs/src/l6.rs", &src).is_empty());
+}
+
+/// Stage fixtures into a throwaway workspace so the binary derives the
+/// intended crate scoping from real paths.
+struct TempWs {
+    root: PathBuf,
+}
+
+impl TempWs {
+    fn new(tag: &str) -> TempWs {
+        let root =
+            std::env::temp_dir().join(format!("rto-lint-selftest-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).expect("create temp workspace");
+        fs::write(root.join("Cargo.toml"), "[workspace]\nmembers = []\n").expect("write manifest");
+        TempWs { root }
+    }
+
+    fn put(&self, rel: &str, content: &str) {
+        let p = self.root.join(rel);
+        if let Some(dir) = p.parent() {
+            fs::create_dir_all(dir).expect("mkdir");
+        }
+        fs::write(p, content).expect("write file");
+    }
+
+    fn run(&self, args: &[&str]) -> std::process::Output {
+        Command::new(env!("CARGO_BIN_EXE_rto-lint"))
+            .current_dir(&self.root)
+            .args(args)
+            .output()
+            .expect("spawn rto-lint")
+    }
+}
+
+impl Drop for TempWs {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn cli_exits_nonzero_with_correct_rule_per_fixture() {
+    let ws = TempWs::new("rules");
+    for (name, rel, rule) in [
+        ("l1.rs", "crates/sim/src/l1.rs", "L1"),
+        ("l2.rs", "crates/core/src/l2.rs", "L2"),
+        ("l3.rs", "crates/core/src/l3.rs", "L3"),
+        ("l4.rs", "crates/sim/src/l4.rs", "L4"),
+        ("l5.rs", "crates/core/src/l5.rs", "L5"),
+        ("l6.rs", "crates/obs/src/l6.rs", "L6"),
+    ] {
+        ws.put(rel, &fixture(name));
+        let out = ws.run(&[rel]);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{name}: expected exit 1, stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains(&format!(" {rule} [deny] ")),
+            "{name}: stdout should name {rule}: {stdout}"
+        );
+    }
+}
+
+#[test]
+fn cli_workspace_mode_and_json() {
+    let ws = TempWs::new("ws");
+    ws.put(
+        "crates/core/src/clean.rs",
+        "pub fn ok(x: u64) -> u64 { x }\n",
+    );
+    ws.put("crates/core/src/bad.rs", &fixture("l3.rs"));
+    // Test directories are exempt even in workspace mode.
+    ws.put("crates/core/tests/itest.rs", &fixture("l3.rs"));
+
+    let out = ws.run(&["--workspace", "--json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"rule\":\"L3\""), "json: {json}");
+    assert!(json.contains("crates/core/src/bad.rs"));
+    assert!(!json.contains("itest.rs"), "tests/ must be exempt: {json}");
+
+    // An allowlist entry with a reason clears the run.
+    ws.put(
+        "lint.allow.toml",
+        "[[allow]]\npath = \"crates/core/src/bad.rs\"\nrule = \"L3\"\nreason = \"fixture\"\n",
+    );
+    let out = ws.run(&["--workspace"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "allowlisted run should pass: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn cli_rejects_malformed_allowlist() {
+    let ws = TempWs::new("allow");
+    ws.put(
+        "crates/core/src/clean.rs",
+        "pub fn ok(x: u64) -> u64 { x }\n",
+    );
+    // Missing reason: hard error, exit 2.
+    ws.put(
+        "lint.allow.toml",
+        "[[allow]]\npath = \"x.rs\"\nrule = \"L1\"\n",
+    );
+    let out = ws.run(&["--workspace"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("reason"));
+}

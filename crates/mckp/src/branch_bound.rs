@@ -84,10 +84,11 @@ impl Search<'_> {
         // Try items in profit-descending order for early good incumbents.
         let mut order = self.pruned[k].clone();
         order.sort_by(|&a, &b| {
+            // total_cmp: instances are validated NaN-free, and a total
+            // order keeps this panic-free by construction (lint L3).
             self.classes[k][b]
                 .profit
-                .partial_cmp(&self.classes[k][a].profit)
-                .expect("validated: no NaN")
+                .total_cmp(&self.classes[k][a].profit)
         });
         for item_idx in order {
             let item = self.classes[k][item_idx];

@@ -52,10 +52,13 @@ impl DpSolver {
     /// Weights that do not fit the capacity at all map to `resolution + 1`
     /// (never selectable).
     fn scale(&self, weight: f64, capacity: f64) -> usize {
-        if weight == 0.0 {
+        // Ordered comparisons, not `==`: weights/capacities are
+        // validated non-negative, and lint L2 bans f64 equality in
+        // density math.
+        if weight <= 0.0 {
             return 0;
         }
-        if capacity == 0.0 || weight > capacity {
+        if capacity <= 0.0 || weight > capacity {
             return self.resolution + 1;
         }
         let scaled = (weight / capacity * self.resolution as f64).ceil() as usize;

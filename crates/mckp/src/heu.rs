@@ -83,8 +83,7 @@ impl Ord for Upgrade {
     fn cmp(&self, other: &Self) -> Ordering {
         // Max-heap by efficiency; deterministic tie-break by class/pos.
         self.efficiency
-            .partial_cmp(&other.efficiency)
-            .expect("efficiencies are finite")
+            .total_cmp(&other.efficiency)
             .then(other.class.cmp(&self.class))
             .then(other.pos.cmp(&self.pos))
     }

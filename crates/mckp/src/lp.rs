@@ -30,14 +30,8 @@ pub fn dominance_filter(class: &[Item]) -> Vec<usize> {
     order.sort_by(|&a, &b| {
         class[a]
             .weight
-            .partial_cmp(&class[b].weight)
-            .expect("validated: no NaN")
-            .then(
-                class[b]
-                    .profit
-                    .partial_cmp(&class[a].profit)
-                    .expect("validated: no NaN"),
-            )
+            .total_cmp(&class[b].weight)
+            .then(class[b].profit.total_cmp(&class[a].profit))
             .then(a.cmp(&b))
     });
     let mut kept: Vec<usize> = Vec::new();
@@ -164,8 +158,7 @@ pub fn lp_relaxation_suffix(
     }
     increments.sort_by(|a, b| {
         b.efficiency()
-            .partial_cmp(&a.efficiency())
-            .expect("validated: no NaN")
+            .total_cmp(&a.efficiency())
             .then(a.class.cmp(&b.class))
             .then(a.hull_pos.cmp(&b.hull_pos))
     });

@@ -1,0 +1,56 @@
+//! Wall-clock stopwatch for *observational* latency metrics.
+//!
+//! `rto-obs` is the only rto crate allowed to read the host wall clock:
+//! lint rule L5 bans `std::time` from `rto-core` and `rto-sim` so that
+//! everything affecting simulated behaviour stays a pure function of
+//! the seed. Code in those crates that wants to report how long a
+//! *host-side* computation took (e.g. ODM planning latency) borrows a
+//! [`Stopwatch`] from here; the reading feeds histograms only and never
+//! flows back into scheduling decisions.
+
+use std::time::Instant;
+
+/// A started wall-clock stopwatch.
+///
+/// # Example
+///
+/// ```
+/// let sw = rto_obs::Stopwatch::start();
+/// let ns = sw.elapsed_ns();
+/// // `ns` is suitable for `Histogram::record`.
+/// let _ = ns;
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts a stopwatch now.
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Whole nanoseconds elapsed since [`Stopwatch::start`], saturating
+    /// at `u64::MAX` (≈ 584 years).
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_ns();
+        let b = sw.elapsed_ns();
+        assert!(b >= a);
+    }
+}

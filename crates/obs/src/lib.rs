@@ -46,10 +46,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod event;
 pub mod metrics;
 pub mod sink;
 
+pub use clock::Stopwatch;
 pub use event::{Phase, TraceEvent};
 pub use metrics::{
     Counter, CounterSample, Gauge, GaugeSample, Histogram, HistogramSample, MetricsRegistry,

@@ -15,7 +15,16 @@
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+// Under `--cfg loom` the concurrency primitives come from the loom
+// model checker so the Counter/Gauge/Histogram hot paths can be
+// model-tested (see `tests/loom_metrics.rs` and DESIGN.md §8).
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicU64, Ordering};
+#[cfg(loom)]
+use loom::sync::{Arc, Mutex};
+#[cfg(not(loom))]
 use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(loom))]
 use std::sync::{Arc, Mutex};
 
 /// A monotonically increasing counter.
@@ -39,11 +48,13 @@ impl Counter {
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
+        // lint: relaxed-ok: independent monotonic tally; no ordering with other memory
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // lint: relaxed-ok: snapshot read of an independent counter; staleness is acceptable
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -63,16 +74,19 @@ impl Gauge {
     /// Sets the value.
     #[inline]
     pub fn set(&self, v: f64) {
+        // lint: relaxed-ok: last-writer-wins gauge; no cross-variable ordering needed
         self.bits.store(v.to_bits(), Ordering::Relaxed);
     }
 
     /// Adds `delta` (may be negative).
     pub fn add(&self, delta: f64) {
+        // lint: relaxed-ok: CAS loop re-reads on failure; the single cell is the only shared state
         let mut cur = self.bits.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(cur) + delta).to_bits();
             match self
                 .bits
+                // lint: relaxed-ok: success/failure both re-validate the same cell; no other memory is published
                 .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
             {
                 Ok(_) => return,
@@ -83,6 +97,7 @@ impl Gauge {
 
     /// Current value.
     pub fn get(&self) -> f64 {
+        // lint: relaxed-ok: snapshot read; staleness is acceptable for a gauge
         f64::from_bits(self.bits.load(Ordering::Relaxed))
     }
 }
@@ -157,30 +172,39 @@ impl Histogram {
     #[inline]
     pub fn record(&self, v: u64) {
         let c = &self.core;
+        // lint: relaxed-ok: per-field tallies; snapshot() tolerates torn cross-field views (count/sum/min/max may momentarily disagree)
         c.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        // lint: relaxed-ok: see above — aggregate consistency is not promised mid-flight
         c.count.fetch_add(1, Ordering::Relaxed);
+        // lint: relaxed-ok: see above
         c.sum.fetch_add(v, Ordering::Relaxed);
+        // lint: relaxed-ok: fetch_min is idempotent and order-free
         c.min.fetch_min(v, Ordering::Relaxed);
+        // lint: relaxed-ok: fetch_max is idempotent and order-free
         c.max.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Number of observations.
     pub fn count(&self) -> u64 {
+        // lint: relaxed-ok: snapshot read
         self.core.count.load(Ordering::Relaxed)
     }
 
     /// Sum of observations.
     pub fn sum(&self) -> u64 {
+        // lint: relaxed-ok: snapshot read
         self.core.sum.load(Ordering::Relaxed)
     }
 
     /// Smallest observation (`None` when empty).
     pub fn min(&self) -> Option<u64> {
+        // lint: relaxed-ok: snapshot read; emptiness re-checked via count
         (self.count() > 0).then(|| self.core.min.load(Ordering::Relaxed))
     }
 
     /// Largest observation (`None` when empty).
     pub fn max(&self) -> Option<u64> {
+        // lint: relaxed-ok: snapshot read; emptiness re-checked via count
         (self.count() > 0).then(|| self.core.max.load(Ordering::Relaxed))
     }
 
@@ -200,6 +224,7 @@ impl Histogram {
         let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
         let mut seen = 0u64;
         for (i, slot) in self.core.counts.iter().enumerate() {
+            // lint: relaxed-ok: quantiles are approximate by design (±3.1%); racing records only shift the estimate
             seen += slot.load(Ordering::Relaxed);
             if seen >= rank {
                 let lo = bucket_lower(i).max(self.min().unwrap_or(0));
@@ -237,16 +262,23 @@ pub struct HistogramSample {
     pub count: u64,
     /// Sum of observations.
     pub sum: u64,
-    /// Smallest observation (0 when empty).
-    pub min: u64,
-    /// Largest observation (0 when empty).
-    pub max: u64,
-    /// Approximate median.
-    pub p50: u64,
-    /// Approximate 90th percentile.
-    pub p90: u64,
-    /// Approximate 99th percentile.
-    pub p99: u64,
+    /// Smallest observation; `None` when the histogram is empty, so a
+    /// histogram that *observed* zeros is distinguishable from one that
+    /// observed nothing.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub min: Option<u64>,
+    /// Largest observation (`None` when empty).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub max: Option<u64>,
+    /// Approximate median (`None` when empty).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub p50: Option<u64>,
+    /// Approximate 90th percentile (`None` when empty).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub p90: Option<u64>,
+    /// Approximate 99th percentile (`None` when empty).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub p99: Option<u64>,
 }
 
 /// A point-in-time export of a whole registry, ordered by metric name.
@@ -311,21 +343,32 @@ impl MetricsRegistry {
         Self::default()
     }
 
+    /// Locks the name→handle map, recovering from poisoning: the
+    /// guarded state is structurally simple (map inserts and reads), so
+    /// a panic elsewhere while holding the lock cannot leave it
+    /// inconsistent, and metrics must never take the process down
+    /// (lint L3).
+    fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Returns (registering on first use) the counter `name`.
     pub fn counter(&self, name: &str) -> Counter {
-        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut inner = self.lock();
         inner.counters.entry(name.to_string()).or_default().clone()
     }
 
     /// Returns (registering on first use) the gauge `name`.
     pub fn gauge(&self, name: &str) -> Gauge {
-        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut inner = self.lock();
         inner.gauges.entry(name.to_string()).or_default().clone()
     }
 
     /// Returns (registering on first use) the histogram `name`.
     pub fn histogram(&self, name: &str) -> Histogram {
-        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut inner = self.lock();
         inner
             .histograms
             .entry(name.to_string())
@@ -335,7 +378,7 @@ impl MetricsRegistry {
 
     /// Exports every metric's current value.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let inner = self.lock();
         MetricsSnapshot {
             counters: inner
                 .counters
@@ -360,11 +403,11 @@ impl MetricsRegistry {
                     name: name.clone(),
                     count: h.count(),
                     sum: h.sum(),
-                    min: h.min().unwrap_or(0),
-                    max: h.max().unwrap_or(0),
-                    p50: h.quantile(0.50).unwrap_or(0),
-                    p90: h.quantile(0.90).unwrap_or(0),
-                    p99: h.quantile(0.99).unwrap_or(0),
+                    min: h.min(),
+                    max: h.max(),
+                    p50: h.quantile(0.50),
+                    p90: h.quantile(0.90),
+                    p99: h.quantile(0.99),
                 })
                 .collect(),
         }
@@ -388,8 +431,13 @@ impl MetricsRegistry {
         for h in &snap.histograms {
             let name = sanitize(&h.name);
             let _ = writeln!(out, "# TYPE {name} summary");
+            // Empty histograms export only _sum/_count: a `quantile`
+            // sample of 0 would be indistinguishable from observed
+            // zeros.
             for (q, v) in [(0.5, h.p50), (0.9, h.p90), (0.99, h.p99)] {
-                let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {v}");
+                if let Some(v) = v {
+                    let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {v}");
+                }
             }
             let _ = writeln!(out, "{name}_sum {}", h.sum);
             let _ = writeln!(out, "{name}_count {}", h.count);
@@ -399,7 +447,9 @@ impl MetricsRegistry {
 
     /// Renders the snapshot as a JSON document.
     pub fn render_json(&self) -> String {
-        serde_json::to_string_pretty(&self.snapshot()).expect("snapshot serializes")
+        // Snapshots are plain data with an infallible Serialize impl;
+        // fall back to an empty object rather than panic (lint L3).
+        serde_json::to_string_pretty(&self.snapshot()).unwrap_or_else(|_| "{}".to_string())
     }
 }
 
@@ -493,9 +543,46 @@ mod tests {
         assert_eq!(snap.counter("missing"), None);
         let lat = snap.histogram("lat").unwrap();
         assert_eq!(lat.count, 1);
-        assert_eq!(lat.min, 10);
+        assert_eq!(lat.min, Some(10));
         assert!(!snap.is_empty());
         assert!(MetricsSnapshot::default().is_empty());
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_distinguishable_from_zeros() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.histogram("empty");
+        reg.histogram("zeros").record(0);
+        let snap = reg.snapshot();
+
+        let empty = snap.histogram("empty").unwrap();
+        assert_eq!(empty.count, 0);
+        assert_eq!((empty.min, empty.max), (None, None));
+        assert_eq!((empty.p50, empty.p90, empty.p99), (None, None, None));
+
+        let zeros = snap.histogram("zeros").unwrap();
+        assert_eq!(zeros.count, 1);
+        assert_eq!((zeros.min, zeros.max), (Some(0), Some(0)));
+        assert_eq!(zeros.p50, Some(0));
+
+        // JSON omits the keys entirely for the empty histogram…
+        let json = serde_json::to_string(empty).unwrap();
+        assert!(!json.contains("\"min\""), "empty: {json}");
+        // …but spells out observed zeros.
+        let json = serde_json::to_string(zeros).unwrap();
+        assert!(json.contains("\"min\":0"), "zeros: {json}");
+
+        // And both round-trip.
+        let back: MetricsSnapshot =
+            serde_json::from_str(&serde_json::to_string(&snap).unwrap()).unwrap();
+        assert_eq!(snap, back);
+
+        // Prometheus text: no quantile samples for the empty histogram,
+        // but _count/_sum still present.
+        let text = reg.render_prometheus();
+        assert!(text.contains("empty_count 0"));
+        assert!(!text.contains("empty{quantile"));
+        assert!(text.contains("zeros{quantile=\"0.5\"} 0"));
     }
 
     #[test]

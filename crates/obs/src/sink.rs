@@ -60,19 +60,28 @@ impl MemorySink {
         Self::default()
     }
 
+    /// Locks the event buffer, recovering from poisoning: appends to a
+    /// `Vec` cannot leave it inconsistent, and observability must never
+    /// take the process down (lint L3).
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<(u64, TraceEvent)>> {
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Clones out everything recorded so far, in record order.
     pub fn snapshot(&self) -> Vec<(u64, TraceEvent)> {
-        self.events.lock().expect("memory sink poisoned").clone()
+        self.lock().clone()
     }
 
     /// Drains and returns everything recorded so far.
     pub fn take(&self) -> Vec<(u64, TraceEvent)> {
-        std::mem::take(&mut *self.events.lock().expect("memory sink poisoned"))
+        std::mem::take(&mut *self.lock())
     }
 
     /// Number of events recorded so far.
     pub fn len(&self) -> usize {
-        self.events.lock().expect("memory sink poisoned").len()
+        self.lock().len()
     }
 
     /// Whether nothing has been recorded.
@@ -83,10 +92,7 @@ impl MemorySink {
 
 impl TraceSink for MemorySink {
     fn record(&self, ts_ns: u64, event: &TraceEvent) {
-        self.events
-            .lock()
-            .expect("memory sink poisoned")
-            .push((ts_ns, *event));
+        self.lock().push((ts_ns, *event));
     }
 }
 
@@ -112,6 +118,7 @@ impl<W: Write + Send> JsonlSink<W> {
 
     /// Whether any write so far failed.
     pub fn had_io_error(&self) -> bool {
+        // lint: relaxed-ok: sticky error flag; readers only need eventual visibility
         self.errored.load(Ordering::Relaxed)
     }
 
@@ -121,8 +128,15 @@ impl<W: Write + Send> JsonlSink<W> {
     ///
     /// Reports a previously swallowed write error or a flush failure.
     pub fn into_inner(self) -> std::io::Result<W> {
-        let mut w = self.writer.into_inner().expect("jsonl sink poisoned");
+        let mut w = self
+            .writer
+            .into_inner()
+            // Poison recovery: the writer state survives a panic intact
+            // enough to flush; a swallowed panic must not cascade
+            // (lint L3).
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         w.flush()?;
+        // lint: relaxed-ok: sticky error flag read after the writer mutex synchronized
         if self.errored.load(Ordering::Relaxed) {
             return Err(std::io::Error::other("a trace write failed earlier"));
         }
@@ -148,8 +162,12 @@ impl<W: Write + Send> TraceSink for JsonlSink<W> {
         let mut line = String::with_capacity(112);
         event.write_json(ts_ns, &mut line);
         line.push('\n');
-        let mut w = self.writer.lock().expect("jsonl sink poisoned");
+        let mut w = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if w.write_all(line.as_bytes()).is_err() {
+            // lint: relaxed-ok: sticky one-way flag; ordering with the write itself is irrelevant
             self.errored.store(true, Ordering::Relaxed);
         }
     }
@@ -193,7 +211,8 @@ pub struct ChromeTraceSink {
 }
 
 fn chrome_ts(ts_ns: u64) -> f64 {
-    ts_ns as f64 / 1000.0 // Chrome wants microseconds.
+    // lint: allow(L4): already-recorded observational ns sample; Chrome's trace format wants f64 microseconds
+    ts_ns as f64 / 1000.0
 }
 
 fn push_span(events: &mut Vec<String>, ph: char, name: &str, ts_ns: u64, tid: u64) {
@@ -222,12 +241,20 @@ impl ChromeTraceSink {
         Self::default()
     }
 
+    /// Locks the accumulated Chrome state, recovering from poisoning
+    /// (appends only — a panic cannot corrupt it; lint L3).
+    fn lock(&self) -> std::sync::MutexGuard<'_, ChromeState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Renders the complete Chrome trace-event JSON document.
     ///
     /// Open spans (e.g. a response that never arrived) are closed at the
     /// last recorded timestamp so the file always loads cleanly.
     pub fn render(&self) -> String {
-        let state = self.state.lock().expect("chrome sink poisoned");
+        let state = self.lock();
         let mut out = String::with_capacity(64 + state.events.len() * 100);
         out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
         let mut first = true;
@@ -297,11 +324,7 @@ impl ChromeTraceSink {
 
     /// Number of trace-event records collected so far.
     pub fn len(&self) -> usize {
-        self.state
-            .lock()
-            .expect("chrome sink poisoned")
-            .events
-            .len()
+        self.lock().events.len()
     }
 
     /// Whether nothing has been recorded.
@@ -312,7 +335,7 @@ impl ChromeTraceSink {
 
 impl TraceSink for ChromeTraceSink {
     fn record(&self, ts_ns: u64, event: &TraceEvent) {
-        let mut state = self.state.lock().expect("chrome sink poisoned");
+        let mut state = self.lock();
         state.last_ts_ns = state.last_ts_ns.max(ts_ns);
         match *event {
             TraceEvent::SubJobDispatched { .. } => {

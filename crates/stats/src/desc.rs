@@ -105,7 +105,7 @@ impl OnlineStats {
     /// Coefficient of variation (`std/mean`), or `None` when the mean is
     /// zero or the accumulator is empty.
     pub fn cv(&self) -> Option<f64> {
-        (self.count > 0 && self.mean != 0.0).then(|| self.std_dev() / self.mean.abs())
+        (self.count > 0 && self.mean.abs() > 0.0).then(|| self.std_dev() / self.mean.abs())
     }
 }
 
@@ -157,7 +157,7 @@ impl Summary {
             return None;
         }
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        sorted.sort_by(f64::total_cmp); // NaN excluded above
         let mut acc = OnlineStats::new();
         for &x in samples {
             acc.push(x);
@@ -220,7 +220,7 @@ pub fn quantile_sorted(data: &[f64], q: f64) -> f64 {
 /// Panics if `data` is empty, contains NaN, or `q` is outside `[0, 1]`.
 pub fn quantile(data: &[f64], q: f64) -> f64 {
     let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantile: NaN in data"));
+    sorted.sort_by(f64::total_cmp); // total order; NaN sorts last and is rejected below
     quantile_sorted(&sorted, q)
 }
 

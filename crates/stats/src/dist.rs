@@ -481,7 +481,9 @@ impl Discrete {
             cumulative.push(acc);
         }
         // Force the last entry to exactly 1 to make inversion total.
-        *cumulative.last_mut().expect("non-empty") = 1.0;
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
         Ok(Discrete {
             values: pairs.iter().map(|&(v, _)| v).collect(),
             cumulative,

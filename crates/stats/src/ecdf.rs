@@ -35,7 +35,7 @@ impl Ecdf {
         if samples.is_empty() || samples.iter().any(|x| x.is_nan()) {
             return None;
         }
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        samples.sort_by(f64::total_cmp); // NaN excluded above
         Some(Ecdf { sorted: samples })
     }
 

@@ -109,12 +109,13 @@ pub fn table1() -> Vec<BenefitFunction> {
             let mut points = vec![BenefitPoint::new(Duration::ZERO, local)];
             for (j, &(r_ms, value)) in levels.iter().enumerate() {
                 points.push(BenefitPoint::with_costs(
-                    Duration::from_ms_f64(r_ms).expect("Table 1 times are valid"),
+                    Duration::from_ms_f64_clamped(r_ms),
                     value,
                     Duration::from_ms(SETUP_WCET_MS[i][j]),
                     Duration::from_ms(LOCAL_WCET_MS[i]),
                 ));
             }
+            // lint: allow(L3): Table 1 constants are compile-time data validated by unit tests
             BenefitFunction::new(points).expect("Table 1 data satisfies the invariants")
         })
         .collect()
@@ -130,6 +131,7 @@ pub fn case_study_tasks() -> Vec<Task> {
                 .compensation_wcet(Duration::from_ms(LOCAL_WCET_MS[i]))
                 .period(Duration::from_ms(DEADLINE_MS[i]))
                 .build()
+                // lint: allow(L3): case-study constants are compile-time data validated by unit tests
                 .expect("case-study constants are valid")
         })
         .collect()

@@ -205,7 +205,8 @@ pub fn mse(a: &Image, b: &Image) -> f64 {
 /// Panics on dimension mismatch.
 pub fn psnr(reference: &Image, candidate: &Image) -> f64 {
     let e = mse(reference, candidate);
-    if e == 0.0 {
+    // MSE is non-negative; ordered comparison avoids f64 equality.
+    if e <= 0.0 {
         return 99.0;
     }
     let p = 10.0 * (255.0f64 * 255.0 / e).log10();

@@ -73,14 +73,15 @@ pub fn random_system(params: &RandomSystemParams, rng: &mut Rng) -> Vec<OdmTask>
             let c_ms = rng.f64_range(wlo, whi);
             let c1_ms = rng.f64_range(wlo, whi);
             let t_ms = rng.u64_range(params.period_range_ms.0, params.period_range_ms.1);
-            let c = Duration::from_ms_f64(c_ms).expect("range validated");
-            let c1 = Duration::from_ms_f64(c1_ms).expect("range validated");
+            let c = Duration::from_ms_f64_clamped(c_ms);
+            let c1 = Duration::from_ms_f64_clamped(c1_ms);
             let task = Task::builder(i, format!("sim-task-{i}"))
                 .local_wcet(c)
                 .setup_wcet(c1)
                 .compensation_wcet(c) // C_{i,2} = C_i
                 .period(Duration::from_ms(t_ms))
                 .build()
+                // lint: allow(L3): generator invariants (positive WCETs < period) hold by construction
                 .expect("generated parameters satisfy the model");
 
             // Increasing response times in [lo, hi).
@@ -88,11 +89,11 @@ pub fn random_system(params: &RandomSystemParams, rng: &mut Rng) -> Vec<OdmTask>
             let mut times: Vec<f64> = (0..params.probability_levels)
                 .map(|_| rng.f64_range(rlo, rhi))
                 .collect();
-            times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            times.sort_by(f64::total_cmp); // rng yields finite values
             let mut durations = Vec::with_capacity(times.len());
             let mut prev = Duration::ZERO;
             for t in times {
-                let mut d = Duration::from_ms_f64(t).expect("range validated");
+                let mut d = Duration::from_ms_f64_clamped(t);
                 if d <= prev {
                     d = prev + Duration::from_ns(1); // enforce strict increase
                 }
@@ -104,6 +105,7 @@ pub fn random_system(params: &RandomSystemParams, rng: &mut Rng) -> Vec<OdmTask>
                 .collect();
             let benefit =
                 BenefitFunction::from_success_probabilities(0.0, &durations, &probabilities)
+                    // lint: allow(L3): durations strictly increase and probabilities are monotone by construction
                     .expect("constructed monotone");
             OdmTask::new(task, benefit)
         })
@@ -170,6 +172,7 @@ pub fn uunifast_offloaded_system(
                 .compensation_wcet(Duration::from_ms(c2))
                 .period(Duration::from_ms(period))
                 .build()
+                // lint: allow(L3): parameters are backed out from a feasible utilization point
                 .expect("backed-out parameters are valid");
             (task, Duration::from_ms(r))
         })

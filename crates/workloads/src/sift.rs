@@ -232,11 +232,7 @@ pub fn detect_keypoints(img: &Image, params: &SiftParams) -> Vec<Keypoint> {
     }
     // Scale selection by dedup: keep the strongest response per 4×4
     // original-image bucket.
-    keypoints.sort_by(|a, b| {
-        b.response
-            .partial_cmp(&a.response)
-            .expect("responses are finite")
-    });
+    keypoints.sort_by(|a, b| b.response.total_cmp(&a.response));
     let mut seen = std::collections::HashSet::new();
     keypoints.retain(|kp| seen.insert((kp.x as i64 / 4, kp.y as i64 / 4)));
     keypoints

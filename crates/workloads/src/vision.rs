@@ -150,11 +150,7 @@ pub fn harris_corners(img: &Image, threshold: f64) -> Vec<Corner> {
             }
         }
     }
-    corners.sort_by(|a, b| {
-        b.response
-            .partial_cmp(&a.response)
-            .expect("finite responses")
-    });
+    corners.sort_by(|a, b| b.response.total_cmp(&a.response));
     corners
 }
 

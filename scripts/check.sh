@@ -16,4 +16,20 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo test --workspace"
 cargo test --workspace --offline -q
 
+echo "==> rto-lint --workspace (domain invariants L1-L6, deny on findings)"
+cargo run -p rto-lint --offline -q -- --workspace
+
+echo "==> loom model tests (obs metrics, RUSTFLAGS=--cfg loom)"
+RUSTFLAGS="--cfg loom" cargo test -p rto-obs --offline -q --test loom_metrics
+
+# Miri needs the nightly component; skip locally when unavailable (the
+# CI `miri` job always runs it).
+if rustup component list --toolchain nightly 2>/dev/null | grep -q "^miri.*(installed)"; then
+  echo "==> cargo +nightly miri test (core + mckp)"
+  cargo +nightly miri test -p rto-core --lib
+  cargo +nightly miri test -p rto-mckp --lib
+else
+  echo "==> skipping miri (nightly miri component not installed; CI runs it)"
+fi
+
 echo "==> all checks passed"

@@ -1,0 +1,86 @@
+//! Offline API-compatible shim for the [loom] concurrency model
+//! checker.
+//!
+//! The real `loom` exhaustively (or boundedly, with preemption limits)
+//! explores thread interleavings of a test body under the C11 memory
+//! model. This container has no network access and no registry cache
+//! for loom, so — as with every crate under `vendor/` — we ship a shim
+//! with the same *surface*:
+//!
+//! * [`model`] runs the closure [`ITERATIONS`] times on **real OS
+//!   threads** (the closure spawns them via [`thread::spawn`], which is
+//!   `std`'s), injecting scheduling noise via [`thread::yield_now`]
+//!   hints left in place by the test author. This degrades exhaustive
+//!   model checking to randomized stress testing — far weaker, but it
+//!   still executes the genuinely concurrent paths, and it keeps the
+//!   test source byte-for-byte compatible with real loom.
+//! * `loom::sync` / `loom::sync::atomic` / `loom::thread` re-export the
+//!   `std` equivalents.
+//!
+//! Swap this path dependency for the real `loom = "0.7"` in a networked
+//! environment and the obs model tests upgrade to true model checking
+//! with no source changes (`RUSTFLAGS="--cfg loom"` either way).
+//!
+//! [loom]: https://docs.rs/loom
+
+/// How many times [`model`] re-runs the body to vary OS scheduling.
+///
+/// Override with the `LOOM_SHIM_ITERATIONS` environment variable.
+pub const ITERATIONS: usize = 64;
+
+/// Run `f` repeatedly, approximating loom's interleaving exploration
+/// with scheduling variance across real-thread runs.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let iters = std::env::var("LOOM_SHIM_ITERATIONS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(ITERATIONS)
+        .max(1);
+    for _ in 0..iters {
+        f();
+    }
+}
+
+/// Re-exports of `std::thread` under loom's module layout.
+pub mod thread {
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+/// Re-exports of `std::sync` under loom's module layout.
+pub mod sync {
+    pub use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+
+    /// Re-exports of `std::sync::atomic` under loom's module layout.
+    pub mod atomic {
+        pub use std::sync::atomic::{
+            fence, AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::sync::Arc;
+
+    #[test]
+    fn model_runs_body_and_threads_join() {
+        let total = Arc::new(AtomicU64::new(0));
+        let t2 = Arc::clone(&total);
+        super::model(move || {
+            let c = Arc::new(AtomicU64::new(0));
+            let c2 = Arc::clone(&c);
+            let h = super::thread::spawn(move || {
+                c2.fetch_add(1, Ordering::SeqCst);
+            });
+            c.fetch_add(1, Ordering::SeqCst);
+            h.join().expect("join");
+            assert_eq!(c.load(Ordering::SeqCst), 2);
+            t2.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(total.load(Ordering::SeqCst) >= 1);
+    }
+}

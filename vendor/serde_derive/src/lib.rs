@@ -12,6 +12,9 @@
 //! - enums with unit, tuple/newtype, and struct variants
 //!   (externally tagged, as in real serde)
 //! - `#[serde(default)]` and `#[serde(default = "path")]` on fields
+//! - `#[serde(skip_serializing_if = "path")]` on named fields (the
+//!   matching deserialization side treats absent keys as `Value::Null`,
+//!   so `Option` fields round-trip without an explicit `default`)
 //! - `#[serde(rename = "...")]` on fields and variants
 //! - `#[serde(rename_all = "kebab-case")]` on containers
 //! - `#[serde(untagged)]` on enums (variants tried in declaration order)
@@ -63,6 +66,8 @@ struct Field {
     /// `None` = required, `Some(None)` = `#[serde(default)]`,
     /// `Some(Some(path))` = `#[serde(default = "path")]`.
     default: Option<Option<String>>,
+    /// `#[serde(skip_serializing_if = "path")]`.
+    skip_serializing_if: Option<String>,
 }
 
 impl Field {
@@ -220,21 +225,23 @@ fn skip_type(tokens: &[TokenTree], i: &mut usize) {
     }
 }
 
-fn parse_fields(metas: Vec<Meta>) -> (Option<String>, Option<Option<String>>) {
+fn parse_fields(metas: Vec<Meta>) -> (Option<String>, Option<Option<String>>, Option<String>) {
     let mut rename = None;
     let mut default = None;
+    let mut skip_serializing_if = None;
     for m in metas {
         match m {
             Meta::Word(w) if w == "default" => default = Some(None),
             Meta::NameValue(k, v) if k == "default" => default = Some(Some(v)),
             Meta::NameValue(k, v) if k == "rename" => rename = Some(v),
+            Meta::NameValue(k, v) if k == "skip_serializing_if" => skip_serializing_if = Some(v),
             Meta::Word(w) => panic!("serde_derive shim: unsupported field attr #[serde({w})]"),
             Meta::NameValue(k, _) => {
                 panic!("serde_derive shim: unsupported field attr #[serde({k} = ...)]")
             }
         }
     }
-    (rename, default)
+    (rename, default, skip_serializing_if)
 }
 
 /// Parses `{ field: Type, ... }` contents into fields.
@@ -243,7 +250,7 @@ fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        let (rename, default) = parse_fields(take_attrs(&tokens, &mut i));
+        let (rename, default, skip_serializing_if) = parse_fields(take_attrs(&tokens, &mut i));
         skip_visibility(&tokens, &mut i);
         let name = match tokens.get(i) {
             Some(TokenTree::Ident(id)) => id.to_string(),
@@ -259,6 +266,7 @@ fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
             name,
             rename,
             default,
+            skip_serializing_if,
         });
     }
     fields
@@ -290,10 +298,14 @@ fn parse_variants(ts: TokenStream) -> Vec<Variant> {
     let mut variants = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        let (rename, default) = parse_fields(take_attrs(&tokens, &mut i));
+        let (rename, default, skip) = parse_fields(take_attrs(&tokens, &mut i));
         assert!(
             default.is_none(),
             "serde_derive shim: #[serde(default)] on enum variants is unsupported"
+        );
+        assert!(
+            skip.is_none(),
+            "serde_derive shim: #[serde(skip_serializing_if)] on enum variants is unsupported"
         );
         let name = match tokens.get(i) {
             Some(TokenTree::Ident(id)) => id.to_string(),
@@ -326,6 +338,48 @@ fn parse_variants(ts: TokenStream) -> Vec<Variant> {
         });
     }
     variants
+}
+
+/// Emits the `Value::Object` expression serializing named fields,
+/// honouring `skip_serializing_if`. `access` renders the expression for
+/// a field (e.g. `&self.x` for structs, the bound name for variants).
+fn named_struct_object(fields: &[Field], kebab: bool, access: impl Fn(&Field) -> String) -> String {
+    let needs_builder = fields.iter().any(|f| f.skip_serializing_if.is_some());
+    if !needs_builder {
+        let entries: String = fields
+            .iter()
+            .map(|f| {
+                format!(
+                    "({:?}.to_string(), ::serde::Serialize::serialize_value({})),",
+                    f.ser_name(kebab),
+                    access(f)
+                )
+            })
+            .collect();
+        return format!("::serde::Value::Object(vec![{entries}])");
+    }
+    let pushes: String = fields
+        .iter()
+        .map(|f| {
+            let key = f.ser_name(kebab);
+            let expr = access(f);
+            match &f.skip_serializing_if {
+                Some(pred) => format!(
+                    "if !{pred}({expr}) {{ __entries.push(({key:?}.to_string(), \
+                     ::serde::Serialize::serialize_value({expr}))); }}\n"
+                ),
+                None => format!(
+                    "__entries.push(({key:?}.to_string(), \
+                     ::serde::Serialize::serialize_value({expr})));\n"
+                ),
+            }
+        })
+        .collect();
+    format!(
+        "{{ let mut __entries: Vec<(String, ::serde::Value)> = Vec::new();\n\
+         {pushes}\
+         ::serde::Value::Object(__entries) }}"
+    )
 }
 
 impl Item {
@@ -404,19 +458,9 @@ impl Item {
     fn impl_serialize(&self) -> String {
         let name = &self.name;
         let body = match &self.kind {
-            Kind::NamedStruct(fields) => {
-                let entries: String = fields
-                    .iter()
-                    .map(|f| {
-                        format!(
-                            "({:?}.to_string(), ::serde::Serialize::serialize_value(&self.{})),",
-                            f.ser_name(self.rename_all_kebab),
-                            f.name
-                        )
-                    })
-                    .collect();
-                format!("::serde::Value::Object(vec![{entries}])")
-            }
+            Kind::NamedStruct(fields) => named_struct_object(fields, self.rename_all_kebab, |f| {
+                format!("&self.{}", f.name)
+            }),
             Kind::TupleStruct(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
             Kind::TupleStruct(n) => {
                 let items: String = (0..*n)
@@ -469,17 +513,7 @@ impl Item {
             }
             VariantShape::Struct(fields) => {
                 let pattern: String = fields.iter().map(|f| format!("{}, ", f.name)).collect();
-                let entries: String = fields
-                    .iter()
-                    .map(|f| {
-                        format!(
-                            "({:?}.to_string(), ::serde::Serialize::serialize_value({})),",
-                            f.ser_name(self.rename_all_kebab),
-                            f.name
-                        )
-                    })
-                    .collect();
-                let inner = format!("::serde::Value::Object(vec![{entries}])");
+                let inner = named_struct_object(fields, self.rename_all_kebab, |f| f.name.clone());
                 let payload = self.tag_payload(&tag, &inner);
                 format!("{name}::{vname} {{ {pattern} }} => {payload},")
             }
