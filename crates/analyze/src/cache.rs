@@ -1,0 +1,363 @@
+//! Incremental per-file facts cache under `target/rto-analyze/`.
+//!
+//! One cache file per source file, named `<fnv64(rel_path)>.facts`,
+//! holding a version-tagged, line-oriented serialization of
+//! [`FileFacts`] plus the FNV-1a hash of the source content it was
+//! computed from. A warm run re-parses exactly the files whose content
+//! hash changed; everything global (call graph, A1/A2/A3) is
+//! recomputed every run, so cached and uncached runs produce
+//! byte-identical diagnostics.
+//!
+//! The format is deliberately dumb: tab-separated records, one per
+//! line, with `\t`/`\n`/`\\` escaped in free-text fields. Any parse
+//! hiccup (truncation, version bump, hand-editing) is treated as a
+//! cache miss, never an error.
+
+use crate::facts::{
+    CallFact, FileFacts, FnFact, RawFinding, SeedFact, SeedKind, Unit, WaiverComment, WaiverKind,
+};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Bump when the serialization or the fact model changes.
+const CACHE_VERSION: u32 = 1;
+
+/// 64-bit FNV-1a hash (the cache key for both file names and content).
+#[must_use]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Cache file path for a workspace-relative source path.
+fn entry_path(dir: &Path, rel_path: &str) -> PathBuf {
+    dir.join(format!("{:016x}.facts", fnv64(rel_path.as_bytes())))
+}
+
+/// Load cached facts for `rel_path` if present and still valid for
+/// content hash `hash`; any mismatch or decode failure is a miss.
+#[must_use]
+pub fn load(dir: &Path, rel_path: &str, hash: u64) -> Option<FileFacts> {
+    let text = fs::read_to_string(entry_path(dir, rel_path)).ok()?;
+    let facts = decode(&text, hash)?;
+    // Hash collisions across *names* map two sources to one cache
+    // file; the embedded path disambiguates.
+    (facts.rel_path == rel_path).then_some(facts)
+}
+
+/// Write facts for a file with content hash `hash`.
+///
+/// # Errors
+///
+/// When the cache directory or file cannot be written.
+pub fn store(dir: &Path, facts: &FileFacts, hash: u64) -> Result<(), String> {
+    fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let path = entry_path(dir, &facts.rel_path);
+    fs::write(&path, encode(facts, hash))
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+/// `None` ↔ `"-"` for optional name fields (idents can never be `-`).
+fn opt(s: Option<&str>) -> &str {
+    s.unwrap_or("-")
+}
+
+fn opt_back(s: &str) -> Option<String> {
+    (s != "-").then(|| s.to_string())
+}
+
+/// Serialize facts to the line-oriented cache text.
+#[must_use]
+pub fn encode(facts: &FileFacts, hash: u64) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "rto-analyze-cache\t{CACHE_VERSION}\t{hash:016x}");
+    let _ = writeln!(
+        out,
+        "P\t{}\t{}",
+        esc(&facts.rel_path),
+        opt(facts.crate_dir.as_deref())
+    );
+    for f in &facts.fns {
+        let _ = writeln!(
+            out,
+            "F\t{}\t{}\t{}\t{}\t{}\t{}",
+            esc(&f.name),
+            opt(f.qual.as_deref()),
+            opt(f.trait_name.as_deref()),
+            u8::from(f.is_pub),
+            f.line,
+            f.ret_unit.as_str()
+        );
+        for (name, unit) in &f.params {
+            let _ = writeln!(out, "A\t{}\t{}", esc(name), unit.as_str());
+        }
+        for c in &f.calls {
+            let units: Vec<&str> = c.arg_units.iter().map(|u| u.as_str()).collect();
+            let _ = writeln!(
+                out,
+                "C\t{}\t{}\t{}\t{}",
+                esc(&c.callee),
+                opt(c.qual.as_deref()),
+                c.line,
+                if units.is_empty() {
+                    "-".to_string()
+                } else {
+                    units.join(",")
+                }
+            );
+        }
+        for s in &f.seeds {
+            let _ = writeln!(
+                out,
+                "S\t{}\t{}\t{}",
+                s.kind.as_str(),
+                s.line,
+                u8::from(s.waived)
+            );
+        }
+    }
+    for (tag, list) in [
+        ("L", &facts.lint_prod),
+        ("M", &facts.lint_all),
+        ("X", &facts.a2_local),
+    ] {
+        for f in list {
+            let _ = writeln!(
+                out,
+                "{tag}\t{}\t{}\t{}\t{}",
+                esc(&f.rule),
+                f.line,
+                esc(&f.severity),
+                esc(&f.message)
+            );
+        }
+    }
+    for w in &facts.waivers {
+        match &w.kind {
+            WaiverKind::Allow(rule) => {
+                let _ = writeln!(out, "W\tallow\t{}\t{}", esc(rule), w.line);
+            }
+            WaiverKind::RelaxedOk => {
+                let _ = writeln!(out, "W\trelaxed\t-\t{}", w.line);
+            }
+        }
+    }
+    if !facts.relaxed_lines.is_empty() {
+        let lines: Vec<String> = facts
+            .relaxed_lines
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let _ = writeln!(out, "R\t{}", lines.join(","));
+    }
+    out
+}
+
+/// Decode cache text; `None` on version/hash mismatch or malformed
+/// records (treated as a miss by the caller).
+#[must_use]
+pub fn decode(text: &str, want_hash: u64) -> Option<FileFacts> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    let mut h = header.split('\t');
+    if h.next()? != "rto-analyze-cache" {
+        return None;
+    }
+    if h.next()?.parse::<u32>().ok()? != CACHE_VERSION {
+        return None;
+    }
+    if u64::from_str_radix(h.next()?, 16).ok()? != want_hash {
+        return None;
+    }
+
+    let mut facts = FileFacts::default();
+    let mut cur_fn: Option<FnFact> = None;
+    for line in lines {
+        let mut parts = line.split('\t');
+        let tag = parts.next()?;
+        match tag {
+            "P" => {
+                facts.rel_path = unesc(parts.next()?);
+                facts.crate_dir = opt_back(parts.next()?);
+            }
+            "F" => {
+                if let Some(f) = cur_fn.take() {
+                    facts.fns.push(f);
+                }
+                cur_fn = Some(FnFact {
+                    name: unesc(parts.next()?),
+                    qual: opt_back(parts.next()?),
+                    trait_name: opt_back(parts.next()?),
+                    is_pub: parts.next()? == "1",
+                    line: parts.next()?.parse().ok()?,
+                    ret_unit: Unit::from_str_lossy(parts.next()?),
+                    ..FnFact::default()
+                });
+            }
+            "A" => {
+                let name = unesc(parts.next()?);
+                let unit = Unit::from_str_lossy(parts.next()?);
+                cur_fn.as_mut()?.params.push((name, unit));
+            }
+            "C" => {
+                let callee = unesc(parts.next()?);
+                let qual = opt_back(parts.next()?);
+                let line_no = parts.next()?.parse().ok()?;
+                let units_field = parts.next()?;
+                let arg_units = if units_field == "-" {
+                    Vec::new()
+                } else {
+                    units_field.split(',').map(Unit::from_str_lossy).collect()
+                };
+                cur_fn.as_mut()?.calls.push(CallFact {
+                    callee,
+                    qual,
+                    line: line_no,
+                    arg_units,
+                });
+            }
+            "S" => {
+                let kind = SeedKind::from_str_lossy(parts.next()?);
+                let line_no = parts.next()?.parse().ok()?;
+                let waived = parts.next()? == "1";
+                cur_fn.as_mut()?.seeds.push(SeedFact {
+                    kind,
+                    line: line_no,
+                    waived,
+                });
+            }
+            "L" | "M" | "X" => {
+                let f = RawFinding {
+                    rule: unesc(parts.next()?),
+                    line: parts.next()?.parse().ok()?,
+                    severity: unesc(parts.next()?),
+                    message: unesc(parts.next()?),
+                };
+                match tag {
+                    "L" => facts.lint_prod.push(f),
+                    "M" => facts.lint_all.push(f),
+                    _ => facts.a2_local.push(f),
+                }
+            }
+            "W" => {
+                let kind = match parts.next()? {
+                    "allow" => WaiverKind::Allow(unesc(parts.next()?)),
+                    _ => {
+                        parts.next()?;
+                        WaiverKind::RelaxedOk
+                    }
+                };
+                let line_no = parts.next()?.parse().ok()?;
+                facts.waivers.push(WaiverComment {
+                    kind,
+                    line: line_no,
+                });
+            }
+            "R" => {
+                facts.relaxed_lines = parts
+                    .next()?
+                    .split(',')
+                    .map(str::parse)
+                    .collect::<Result<_, _>>()
+                    .ok()?;
+            }
+            _ => return None,
+        }
+    }
+    if let Some(f) = cur_fn.take() {
+        facts.fns.push(f);
+    }
+    Some(facts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+
+    #[test]
+    fn fnv64_known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let src = "pub fn api_ns(d_ns: u64, w_ms: f64) -> u64 {\n\
+                   // lint: allow(A1): reviewed\n    let x = d_ns;\n    helper(x);\n\
+                   Duration::from_ns(d_ns);\n    v.unwrap();\n    x\n}\n\
+                   // lint: relaxed-ok: tally\n\
+                   fn g(c: &AtomicU64) { c.load(Ordering::Relaxed); }\n";
+        let facts = parse_file("crates/core/src/x.rs", src);
+        let hash = fnv64(src.as_bytes());
+        let decoded = decode(&encode(&facts, hash), hash).expect("roundtrip");
+        assert_eq!(format!("{facts:?}"), format!("{decoded:?}"));
+    }
+
+    #[test]
+    fn wrong_hash_or_version_misses() {
+        let facts = parse_file("crates/core/src/x.rs", "fn f() {}\n");
+        let text = encode(&facts, 42);
+        assert!(decode(&text, 43).is_none());
+        let bumped = text.replace("rto-analyze-cache\t1\t", "rto-analyze-cache\t999\t");
+        assert!(decode(&bumped, 42).is_none());
+    }
+
+    #[test]
+    fn escaping_survives_tabs_and_newlines() {
+        assert_eq!(unesc(&esc("a\tb\nc\\d\re")), "a\tb\nc\\d\re");
+    }
+
+    #[test]
+    fn store_load_cycle() {
+        let dir = std::env::temp_dir().join(format!("rto-analyze-test-{}", std::process::id()));
+        let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let facts = parse_file("crates/core/src/y.rs", src);
+        let hash = fnv64(src.as_bytes());
+        store(&dir, &facts, hash).expect("store");
+        let loaded = load(&dir, "crates/core/src/y.rs", hash).expect("load hit");
+        assert_eq!(format!("{facts:?}"), format!("{loaded:?}"));
+        assert!(load(&dir, "crates/core/src/y.rs", hash ^ 1).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,234 @@
+//! Per-file analysis facts: the unit of caching and of the parse phase.
+//!
+//! `rto-analyze` is a two-phase analyzer. Phase 1 (parallel-friendly,
+//! cacheable) turns each source file into a [`FileFacts`] value: the
+//! functions it defines, the calls they make, the panic-family seeds
+//! they contain, declared/inferred units of measure, raw lint findings,
+//! and waiver comments. Phase 2 (cheap, global) resolves symbols,
+//! builds the interprocedural call graph, and runs the A1/A2/A3
+//! analyses over the facts of every file. Only phase 1 is cached, so a
+//! warm run re-parses exactly the files whose content hash changed
+//! while the global phase always sees the whole workspace.
+
+use std::fmt;
+
+/// A unit-of-measure tag for the A2 dataflow (paper quantities are
+/// nanosecond counts, millisecond floats, and dimensionless densities).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Unit {
+    /// Integer (or float) nanosecond count.
+    Ns,
+    /// Millisecond value (usually an `f64`).
+    Ms,
+    /// A density / utilization ratio (`(C1+C2)/(D−R)` and friends).
+    Ratio,
+    /// Known to carry no physical unit (bare literals, counters).
+    Dimensionless,
+    /// Nothing is known.
+    #[default]
+    Unknown,
+}
+
+impl Unit {
+    /// Stable single-token spelling used by the cache serialization.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Unit::Ns => "ns",
+            Unit::Ms => "ms",
+            Unit::Ratio => "ratio",
+            Unit::Dimensionless => "dimensionless",
+            Unit::Unknown => "unknown",
+        }
+    }
+
+    /// Inverse of [`Unit::as_str`]; unknown spellings decode to
+    /// [`Unit::Unknown`].
+    #[must_use]
+    pub fn from_str_lossy(s: &str) -> Self {
+        match s {
+            "ns" => Unit::Ns,
+            "ms" => Unit::Ms,
+            "ratio" => Unit::Ratio,
+            "dimensionless" => Unit::Dimensionless,
+            _ => Unit::Unknown,
+        }
+    }
+
+    /// True for units that participate in cross-unit conflict checks.
+    #[must_use]
+    pub fn is_concrete(self) -> bool {
+        matches!(self, Unit::Ns | Unit::Ms | Unit::Ratio)
+    }
+}
+
+impl fmt::Display for Unit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How a panic can be triggered at a seed site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedKind {
+    /// `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+    PanicMacro,
+    /// `.unwrap()`.
+    Unwrap,
+    /// `.expect(..)`.
+    Expect,
+    /// Bare slice/array indexing.
+    Index,
+}
+
+impl SeedKind {
+    /// Stable spelling for cache + messages.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SeedKind::PanicMacro => "panic-macro",
+            SeedKind::Unwrap => "unwrap",
+            SeedKind::Expect => "expect",
+            SeedKind::Index => "index",
+        }
+    }
+
+    /// Inverse of [`SeedKind::as_str`].
+    #[must_use]
+    pub fn from_str_lossy(s: &str) -> Self {
+        match s {
+            "unwrap" => SeedKind::Unwrap,
+            "expect" => SeedKind::Expect,
+            "index" => SeedKind::Index,
+            _ => SeedKind::PanicMacro,
+        }
+    }
+}
+
+/// One potential panic site inside a function body.
+#[derive(Debug, Clone)]
+pub struct SeedFact {
+    /// What kind of site this is.
+    pub kind: SeedKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// True when a reviewed waiver covers this site (inline
+    /// `// lint: allow(L3|A1): reason` or an `lint.allow.toml` entry):
+    /// waived sites are treated as documented non-panicking contracts
+    /// and do not seed A1 reachability.
+    pub waived: bool,
+}
+
+/// One syntactic call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallFact {
+    /// Callee name (method or function identifier).
+    pub callee: String,
+    /// `Type::` qualifier for path calls (`Duration::from_ns`), if any.
+    pub qual: Option<String>,
+    /// 1-based source line.
+    pub line: u32,
+    /// Inferred unit of each top-level argument.
+    pub arg_units: Vec<Unit>,
+}
+
+/// Facts about one function (or method) definition.
+#[derive(Debug, Clone, Default)]
+pub struct FnFact {
+    /// Function name.
+    pub name: String,
+    /// Surrounding `impl`/`trait` type name, if any.
+    pub qual: Option<String>,
+    /// Trait being implemented (`impl Trait for Type`), if any.
+    pub trait_name: Option<String>,
+    /// Whether this is (conservatively) part of the crate's public API:
+    /// `pub fn`, or any fn in a trait / trait impl.
+    pub is_pub: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Parameter names with their inferred units (`self` excluded).
+    pub params: Vec<(String, Unit)>,
+    /// Unit implied by the function's name (`..._ns`, `ratio`, …).
+    pub ret_unit: Unit,
+    /// Call sites in the body.
+    pub calls: Vec<CallFact>,
+    /// Panic-family seeds in the body.
+    pub seeds: Vec<SeedFact>,
+}
+
+impl FnFact {
+    /// `Type::name` or plain `name`.
+    #[must_use]
+    pub fn qualified(&self) -> String {
+        match &self.qual {
+            Some(q) => format!("{q}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// A rule finding re-recorded as plain data (path is implied by the
+/// owning [`FileFacts`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawFinding {
+    /// Rule id (`"L1"`…`"L6"`, `"A1"`…`"A3"`).
+    pub rule: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// `"deny"` or `"warn"`.
+    pub severity: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// The kind of a reviewed waiver comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaiverKind {
+    /// `// lint: allow(Lx|Ax): reason`, with the rule id.
+    Allow(String),
+    /// `// lint: relaxed-ok: reason` (L6 justification).
+    RelaxedOk,
+}
+
+/// One inline waiver comment.
+#[derive(Debug, Clone)]
+pub struct WaiverComment {
+    /// What the comment waives.
+    pub kind: WaiverKind,
+    /// 1-based line the comment starts on (it covers findings on this
+    /// line and the next).
+    pub line: u32,
+}
+
+/// Everything the global phase needs to know about one source file.
+#[derive(Debug, Clone, Default)]
+pub struct FileFacts {
+    /// Workspace-relative path, forward slashes.
+    pub rel_path: String,
+    /// Crate directory under `crates/` (`core`, `mckp`, …); `None` for
+    /// the facade package's `src/`.
+    pub crate_dir: Option<String>,
+    /// Function definitions (test regions stripped).
+    pub fns: Vec<FnFact>,
+    /// Raw lint findings on production (test-stripped) tokens, with no
+    /// waivers applied.
+    pub lint_prod: Vec<RawFinding>,
+    /// Raw lint findings on the full token stream (tests included);
+    /// used only to justify inline waivers that live in test code.
+    pub lint_all: Vec<RawFinding>,
+    /// Intra-function A2 findings.
+    pub a2_local: Vec<RawFinding>,
+    /// Inline waiver comments found anywhere in the file.
+    pub waivers: Vec<WaiverComment>,
+    /// Lines containing an `Ordering::Relaxed` token (full stream).
+    pub relaxed_lines: Vec<u32>,
+}
+
+impl FileFacts {
+    /// The crate name used for call-graph scoping: the crate dir, or
+    /// `"rto"` for the facade package at the workspace root.
+    #[must_use]
+    pub fn crate_key(&self) -> &str {
+        self.crate_dir.as_deref().unwrap_or("rto")
+    }
+}

@@ -1,0 +1,292 @@
+//! `rto-analyze`: semantic static analysis for the rto workspace.
+//!
+//! Three analyses run on top of `rto-lint`'s lexer:
+//!
+//! * **A1 — panic reachability.** An interprocedural call graph over
+//!   every workspace crate; any public function of `core`/`mckp`
+//!   (deny) or `sim`/`obs` (warn) from which a panic-family seed
+//!   (`panic!`, `.unwrap()`, `.expect(…)`, bare indexing) is
+//!   transitively reachable is reported with a witness call chain.
+//! * **A2 — units of measure.** Nanosecond / millisecond / ratio tags
+//!   inferred from naming conventions flow through let-bindings,
+//!   returns, and call arguments; cross-unit arithmetic and unguarded
+//!   `D − R` divisions are denied.
+//! * **A3 — stale waivers.** Every `lint.allow.toml` entry and every
+//!   inline `// lint: allow(..)` / `// lint: relaxed-ok` comment must
+//!   still justify at least one finding; dead waivers are denied so
+//!   suppressions cannot outlive the code they excused.
+//!
+//! The pipeline is two-phase: phase 1 ([`parse::parse_file`]) is
+//! per-file, pure, and cached under `target/rto-analyze/` keyed by
+//! content hash ([`cache`]); phase 2 ([`graph`], [`stale`]) is global
+//! and recomputed every run. Output formats: human, JSON, and SARIF
+//! 2.1.0 ([`sarif`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod facts;
+pub mod graph;
+pub mod parse;
+pub mod sarif;
+pub mod stale;
+
+use facts::{FileFacts, WaiverKind};
+use rto_lint::allow::{self, AllowEntry};
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// One diagnostic produced by the global phase, ready for rendering.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Rule id: `"A1"`, `"A2"`, or `"A3"`.
+    pub rule: String,
+    /// `"deny"` or `"warn"`.
+    pub severity: String,
+    /// Human-readable explanation (includes the witness chain for A1).
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// True when this diagnostic should fail the build.
+    #[must_use]
+    pub fn is_deny(&self) -> bool {
+        self.severity == "deny"
+    }
+}
+
+/// Outcome of [`analyze_workspace`].
+#[derive(Debug)]
+pub struct Analysis {
+    /// All diagnostics, sorted by `(path, line, rule, message)`.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files considered.
+    pub files_total: usize,
+    /// Files actually re-parsed this run (cache misses).
+    pub files_reparsed: usize,
+    /// Microseconds spent in phase 1 (hash + cache probe + parse).
+    pub parse_us: u128,
+}
+
+/// Walk upward from the current directory to the workspace root
+/// (the first ancestor whose `Cargo.toml` declares `[workspace]`).
+///
+/// # Errors
+///
+/// When no ancestor contains a workspace manifest.
+pub fn find_workspace_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no ancestor directory contains a [workspace] Cargo.toml".into());
+        }
+    }
+}
+
+/// Run the full analysis over the workspace at `root`.
+///
+/// With `use_cache`, phase-1 facts are read from / written to
+/// `target/rto-analyze/`; the global phase always runs fresh, so the
+/// diagnostics of a warm run are byte-identical to a cold run.
+///
+/// # Errors
+///
+/// On unreadable files/directories or a malformed `lint.allow.toml`.
+pub fn analyze_workspace(root: &Path, use_cache: bool) -> Result<Analysis, String> {
+    let files = rto_lint::collect_workspace_files(root)?;
+    let allowlist = read_allowlist(root)?;
+    let cache_dir = root.join("target").join("rto-analyze");
+
+    let parse_start = Instant::now();
+    let mut all_facts: Vec<FileFacts> = Vec::with_capacity(files.len());
+    let mut reparsed = 0usize;
+    for file in &files {
+        let src =
+            fs::read_to_string(file).map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let hash = cache::fnv64(src.as_bytes());
+        let cached = if use_cache {
+            cache::load(&cache_dir, &rel, hash)
+        } else {
+            None
+        };
+        let facts = match cached {
+            Some(f) => f,
+            None => {
+                reparsed += 1;
+                let f = parse::parse_file(&rel, &src);
+                if use_cache {
+                    cache::store(&cache_dir, &f, hash)?;
+                }
+                f
+            }
+        };
+        all_facts.push(facts);
+    }
+    let parse_us = parse_start.elapsed().as_micros();
+
+    let deps = crate_deps(root)?;
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+
+    // Intra-function A2 findings, minus inline `allow(A2)` waivers
+    // (waivers are applied here, not at parse time, to keep the cache
+    // pure in the file content).
+    for ff in &all_facts {
+        for d in &ff.a2_local {
+            if !inline_waived(ff, &d.rule, d.line) && !allowlist_waived(&allowlist, ff, &d.rule) {
+                diagnostics.push(Diagnostic {
+                    path: ff.rel_path.clone(),
+                    line: d.line,
+                    rule: d.rule.clone(),
+                    severity: d.severity.clone(),
+                    message: d.message.clone(),
+                });
+            }
+        }
+    }
+
+    diagnostics.extend(graph::check(&all_facts, &allowlist, &deps));
+    diagnostics.extend(stale::check(&all_facts, &allowlist));
+
+    diagnostics.sort();
+    diagnostics.dedup();
+
+    Ok(Analysis {
+        diagnostics,
+        files_total: files.len(),
+        files_reparsed: reparsed,
+        parse_us,
+    })
+}
+
+/// Does an inline `// lint: allow(rule): reason` waiver cover `line`?
+/// (A waiver on line *w* covers findings on *w* and *w + 1*.)
+#[must_use]
+pub fn inline_waived(ff: &FileFacts, rule: &str, line: u32) -> bool {
+    ff.waivers.iter().any(|w| {
+        matches!(&w.kind, WaiverKind::Allow(r) if r == rule)
+            && (w.line == line || w.line.saturating_add(1) == line)
+    })
+}
+
+/// Does a whole-file `lint.allow.toml` entry cover `(file, rule)`?
+#[must_use]
+pub fn allowlist_waived(allowlist: &[AllowEntry], ff: &FileFacts, rule: &str) -> bool {
+    allowlist
+        .iter()
+        .any(|e| e.rule == rule && (ff.rel_path == e.path || ff.rel_path.ends_with(&e.path)))
+}
+
+/// Parse `lint.allow.toml` at the workspace root (absent file = empty).
+fn read_allowlist(root: &Path) -> Result<Vec<AllowEntry>, String> {
+    let path = root.join("lint.allow.toml");
+    if !path.is_file() {
+        return Ok(Vec::new());
+    }
+    let src =
+        fs::read_to_string(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    allow::parse(&src)
+}
+
+/// Direct `rto-*` dependencies of each crate, from `crates/*/Cargo.toml`
+/// (call resolution never crosses a missing dependency edge). The
+/// facade package at the root gets the key `"rto"`.
+///
+/// # Errors
+///
+/// When the `crates/` directory cannot be listed.
+pub fn crate_deps(root: &Path) -> Result<HashMap<String, Vec<String>>, String> {
+    let mut deps: HashMap<String, Vec<String>> = HashMap::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let entries = fs::read_dir(&crates_dir)
+            .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("read_dir error: {e}"))?;
+            if !entry.path().is_dir() {
+                continue;
+            }
+            let name = entry.file_name().to_string_lossy().to_string();
+            let manifest = entry.path().join("Cargo.toml");
+            let text = fs::read_to_string(&manifest).unwrap_or_default();
+            deps.insert(name, manifest_rto_deps(&text));
+        }
+    }
+    // The facade package depends on the whole workspace.
+    let root_manifest = fs::read_to_string(root.join("Cargo.toml")).unwrap_or_default();
+    deps.insert("rto".into(), manifest_rto_deps(&root_manifest));
+    Ok(deps)
+}
+
+/// Crate directory names referenced by `path = ".../<dir>"` dependency
+/// entries on `rto-*` lines of a manifest.
+fn manifest_rto_deps(manifest: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for line in manifest.lines() {
+        let line = line.trim();
+        if !line.starts_with("rto-") {
+            continue;
+        }
+        let Some(idx) = line.find("path") else {
+            continue;
+        };
+        let rest = &line[idx..];
+        let Some(open) = rest.find('"') else { continue };
+        let Some(close) = rest[open + 1..].find('"') else {
+            continue;
+        };
+        let path = &rest[open + 1..open + 1 + close];
+        if let Some(dir) = path.rsplit('/').next() {
+            if !dir.is_empty() {
+                out.push(dir.to_string());
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_dep_extraction() {
+        let m = "[dependencies]\nrto-core = { path = \"../core\" }\n\
+                 rto-obs = { path = \"../obs\" }\nserde = { path = \"../../vendor/serde\" }\n";
+        assert_eq!(manifest_rto_deps(m), vec!["core".to_string(), "obs".into()]);
+        let facade = "rto-mckp = { path = \"crates/mckp\" }\n";
+        assert_eq!(manifest_rto_deps(facade), vec!["mckp".to_string()]);
+    }
+
+    #[test]
+    fn inline_waiver_coverage() {
+        let mut ff = FileFacts::default();
+        ff.waivers.push(facts::WaiverComment {
+            kind: WaiverKind::Allow("A2".into()),
+            line: 10,
+        });
+        assert!(inline_waived(&ff, "A2", 10));
+        assert!(inline_waived(&ff, "A2", 11));
+        assert!(!inline_waived(&ff, "A2", 12));
+        assert!(!inline_waived(&ff, "A1", 10));
+    }
+}

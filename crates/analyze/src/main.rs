@@ -1,0 +1,148 @@
+//! `rto-analyze` CLI.
+//!
+//! ```text
+//! rto-analyze [--root DIR] [--format human|json|sarif] [--out FILE]
+//!             [--bench-out FILE] [--no-cache]
+//! ```
+//!
+//! Exit codes: `0` clean (warnings allowed), `1` at least one deny
+//! diagnostic, `2` internal error (I/O, malformed allowlist, bad
+//! usage).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    std::process::exit(run());
+}
+
+/// Parsed command line.
+struct Opts {
+    root: Option<PathBuf>,
+    format: String,
+    out: Option<PathBuf>,
+    bench_out: Option<PathBuf>,
+    use_cache: bool,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: None,
+        format: "human".into(),
+        out: None,
+        bench_out: None,
+        use_cache: true,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root = Some(PathBuf::from(
+                    args.next().ok_or("--root needs a directory")?,
+                ));
+            }
+            "--format" => {
+                let f = args.next().ok_or("--format needs a value")?;
+                if !matches!(f.as_str(), "human" | "json" | "sarif") {
+                    return Err(format!("unknown format `{f}` (human|json|sarif)"));
+                }
+                opts.format = f;
+            }
+            "--out" => {
+                opts.out = Some(PathBuf::from(args.next().ok_or("--out needs a path")?));
+            }
+            "--bench-out" => {
+                opts.bench_out = Some(PathBuf::from(
+                    args.next().ok_or("--bench-out needs a path")?,
+                ));
+            }
+            "--no-cache" => opts.use_cache = false,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: rto-analyze [--root DIR] [--format human|json|sarif] \
+                     [--out FILE] [--bench-out FILE] [--no-cache]"
+                        .into(),
+                );
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run() -> i32 {
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("rto-analyze: {e}");
+            return 2;
+        }
+    };
+    let root = match opts.root {
+        Some(r) => r,
+        None => match rto_analyze::find_workspace_root() {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("rto-analyze: {e}");
+                return 2;
+            }
+        },
+    };
+
+    let start = Instant::now();
+    let analysis = match rto_analyze::analyze_workspace(&root, opts.use_cache) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("rto-analyze: {e}");
+            return 2;
+        }
+    };
+    let elapsed_us = start.elapsed().as_micros();
+
+    let rendered = match opts.format.as_str() {
+        "json" => rto_analyze::sarif::json(&analysis.diagnostics),
+        "sarif" => rto_analyze::sarif::sarif(&analysis.diagnostics),
+        _ => rto_analyze::sarif::human(&analysis.diagnostics),
+    };
+    if let Some(path) = &opts.out {
+        if let Err(e) = std::fs::write(path, &rendered) {
+            eprintln!("rto-analyze: cannot write {}: {e}", path.display());
+            return 2;
+        }
+    } else {
+        print!("{rendered}");
+    }
+
+    if let Some(path) = &opts.bench_out {
+        let bench = format!(
+            "{{\n  \"elapsed_us\": {elapsed_us},\n  \"parse_us\": {},\n  \
+             \"files_total\": {},\n  \"files_reparsed\": {},\n  \"diagnostics\": {}\n}}\n",
+            analysis.parse_us,
+            analysis.files_total,
+            analysis.files_reparsed,
+            analysis.diagnostics.len()
+        );
+        if let Err(e) = std::fs::write(path, bench) {
+            eprintln!("rto-analyze: cannot write {}: {e}", path.display());
+            return 2;
+        }
+    }
+
+    eprintln!(
+        "rto-analyze: {} files ({} reparsed), {} diagnostics, {:.1} ms",
+        analysis.files_total,
+        analysis.files_reparsed,
+        analysis.diagnostics.len(),
+        elapsed_us as f64 / 1000.0
+    );
+
+    if analysis
+        .diagnostics
+        .iter()
+        .any(rto_analyze::Diagnostic::is_deny)
+    {
+        1
+    } else {
+        0
+    }
+}

@@ -1,0 +1,1128 @@
+//! Phase 1: token-stream parsing of one file into [`FileFacts`].
+//!
+//! Reuses `rto-lint`'s lexer (strings opaque, maximal-munch
+//! punctuation, comments preserved by line) and test-region stripper,
+//! then walks the token stream with a small recursive item scanner:
+//!
+//! ```text
+//! items := (attr* vis? (impl | trait | mod | fn | other-item))*
+//! ```
+//!
+//! The scanner is deliberately heuristic — it runs on code the compiler
+//! already accepted, so it never errors; unrecognized constructs are
+//! skipped token-by-token. Everything downstream (call graph, A1/A2)
+//! over-approximates, so a missed construct can only lose precision,
+//! never soundness of the "no finding" direction for seeds it did see.
+
+use crate::facts::{
+    CallFact, FileFacts, FnFact, RawFinding, SeedFact, SeedKind, Unit, WaiverComment, WaiverKind,
+};
+use rto_lint::lexer::{lex, Lexed, TokKind, Token};
+use rto_lint::rules::{self, FileCtx, Finding};
+use std::collections::HashMap;
+
+/// Crates whose bare indexing counts as an A1 seed (mirrors lint L3's
+/// library-crate scope).
+const INDEX_SEED_CRATES: &[&str] = &["core", "mckp", "sim", "server", "obs", "stats", "workloads"];
+
+/// Keywords that can be followed by `(` without being a call, or
+/// precede `[` without being an index expression.
+const EXPR_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "in", "move",
+    "ref", "mut", "as", "box", "yield", "let", "fn", "impl", "where", "unsafe", "async", "await",
+    "dyn",
+];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Parse one source file into facts. Pure in `(rel_path, src)` — the
+/// allowlist is *not* consulted here so cached facts stay valid when
+/// `lint.allow.toml` changes; whole-file waivers are applied in the
+/// global phase.
+#[must_use]
+pub fn parse_file(rel_path: &str, src: &str) -> FileFacts {
+    let ctx = FileCtx::from_rel_path(rel_path);
+    let lexed = lex(src);
+    let stripped = rules::strip_test_regions(&lexed.tokens);
+
+    let mut facts = FileFacts {
+        rel_path: ctx.rel_path.clone(),
+        crate_dir: ctx.crate_dir.clone(),
+        lint_prod: findings_to_raw(&rules::check(&ctx, &lexed, &stripped)),
+        lint_all: findings_to_raw(&rules::check(&ctx, &lexed, &lexed.tokens)),
+        ..FileFacts::default()
+    };
+    facts.waivers = collect_waivers(&lexed);
+    facts.relaxed_lines = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.is_ident("Relaxed"))
+        .map(|t| t.line)
+        .collect();
+    facts.relaxed_lines.sort_unstable();
+    facts.relaxed_lines.dedup();
+
+    let index_seeds = ctx
+        .crate_dir
+        .as_deref()
+        .is_some_and(|c| INDEX_SEED_CRATES.contains(&c));
+    let mut scanner = Scanner {
+        toks: &stripped,
+        lexed: &lexed,
+        index_seeds,
+        fns: Vec::new(),
+        a2: Vec::new(),
+    };
+    scanner.scan_items(0, stripped.len(), &ItemCtx::default());
+    facts.fns = scanner.fns;
+    facts.a2_local = scanner.a2;
+    facts
+        .a2_local
+        .sort_by(|a, b| (a.line, &a.message).cmp(&(b.line, &b.message)));
+    facts.a2_local.dedup();
+    facts
+}
+
+fn findings_to_raw(findings: &[Finding]) -> Vec<RawFinding> {
+    findings
+        .iter()
+        .map(|f| RawFinding {
+            rule: f.rule.to_string(),
+            line: f.line,
+            severity: f.severity.as_str().to_string(),
+            message: f.message.clone(),
+        })
+        .collect()
+}
+
+/// Pull `// lint: allow(Rx): reason` and `// lint: relaxed-ok: reason`
+/// comments out of the comment map.
+///
+/// Doc comments (`///`, `//!`) are skipped: they routinely *describe*
+/// the waiver syntax (this very workspace documents it) without waiving
+/// anything. A rule id must look like a real id (`L3`, `A1`, …) and a
+/// non-empty reason must follow, mirroring `rules::has_reason`.
+fn collect_waivers(lexed: &Lexed) -> Vec<WaiverComment> {
+    let mut out = Vec::new();
+    for (&line, text) in &lexed.comments {
+        if text.starts_with("///") || text.starts_with("//!") {
+            continue;
+        }
+        if let Some(idx) = text.find("lint: allow(") {
+            let rest = &text[idx + "lint: allow(".len()..];
+            if let Some(close) = rest.find(')') {
+                let rule = rest[..close].trim().to_string();
+                let reason = rest[close + 1..].trim_start_matches(':').trim();
+                if is_rule_id(&rule) && !reason.is_empty() {
+                    out.push(WaiverComment {
+                        kind: WaiverKind::Allow(rule),
+                        line,
+                    });
+                }
+            }
+        }
+        if let Some(idx) = text.find("lint: relaxed-ok") {
+            let reason = text[idx + "lint: relaxed-ok".len()..]
+                .trim_start_matches(':')
+                .trim();
+            if !reason.is_empty() {
+                out.push(WaiverComment {
+                    kind: WaiverKind::RelaxedOk,
+                    line,
+                });
+            }
+        }
+    }
+    out.sort_by_key(|w| w.line);
+    out
+}
+
+/// `L3`, `A1`, … — one letter, then only digits.
+fn is_rule_id(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some('L' | 'A')) && {
+        let rest = chars.as_str();
+        !rest.is_empty() && rest.chars().all(|c| c.is_ascii_digit())
+    }
+}
+
+/// Unit implied by a variable/parameter name.
+fn unit_of_name(name: &str) -> Unit {
+    let base = name
+        .strip_suffix("_f64")
+        .or_else(|| name.strip_suffix("_f32"))
+        .unwrap_or(name);
+    if base == "ns" || base.ends_with("_ns") {
+        Unit::Ns
+    } else if base == "ms" || base.ends_with("_ms") {
+        Unit::Ms
+    } else if base == "ratio" || base.ends_with("_ratio") || base.contains("density") {
+        Unit::Ratio
+    } else {
+        Unit::Unknown
+    }
+}
+
+/// Unit implied by a function/method *name* for its return value.
+/// Constructors (`from_*`) return wrapped types, not raw quantities.
+fn unit_of_fn_name(name: &str) -> Unit {
+    if name.starts_with("from_") {
+        return Unit::Unknown;
+    }
+    unit_of_name(name)
+}
+
+fn is_expr_keyword(name: &str) -> bool {
+    EXPR_KEYWORDS.contains(&name)
+}
+
+/// Surrounding item context while scanning.
+#[derive(Default, Clone)]
+struct ItemCtx {
+    qual: Option<String>,
+    trait_name: Option<String>,
+    /// Inside a `trait` or `impl Trait for` block: methods are part of
+    /// the public API surface regardless of a `pub` keyword.
+    members_pub: bool,
+}
+
+struct Scanner<'a> {
+    toks: &'a [Token],
+    lexed: &'a Lexed,
+    index_seeds: bool,
+    fns: Vec<FnFact>,
+    a2: Vec<RawFinding>,
+}
+
+impl Scanner<'_> {
+    fn tok(&self, i: usize) -> Option<&Token> {
+        self.toks.get(i)
+    }
+
+    fn is_punct(&self, i: usize, s: &str) -> bool {
+        self.tok(i).is_some_and(|t| t.is_punct(s))
+    }
+
+    fn is_ident(&self, i: usize, s: &str) -> bool {
+        self.tok(i).is_some_and(|t| t.is_ident(s))
+    }
+
+    /// Skip an attribute starting at `#` (or `#!`); returns the index
+    /// one past the closing `]`.
+    fn skip_attr(&self, mut i: usize) -> usize {
+        i += 1; // '#'
+        if self.is_punct(i, "!") {
+            i += 1;
+        }
+        if !self.is_punct(i, "[") {
+            return i;
+        }
+        let mut depth = 0usize;
+        while let Some(t) = self.tok(i) {
+            if t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct("]") {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        i
+    }
+
+    /// Index one past the brace/bracket/paren group opening at `open`.
+    fn skip_group(&self, open: usize) -> usize {
+        let (inc, dec) = match self.tok(open).map(|t| t.text.as_str()) {
+            Some("(") => ("(", ")"),
+            Some("[") => ("[", "]"),
+            _ => ("{", "}"),
+        };
+        let mut depth = 0usize;
+        let mut i = open;
+        while let Some(t) = self.tok(i) {
+            if t.is_punct(inc) {
+                depth += 1;
+            } else if t.is_punct(dec) {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        i
+    }
+
+    /// Skip a generics list starting at `<`; returns index past `>`.
+    /// `<<`/`>>` count twice (the lexer munches them as one token).
+    fn skip_generics(&self, mut i: usize) -> usize {
+        let mut depth = 0i32;
+        while let Some(t) = self.tok(i) {
+            match t.text.as_str() {
+                "<" if t.kind == TokKind::Punct => depth += 1,
+                "<<" if t.kind == TokKind::Punct => depth += 2,
+                ">" if t.kind == TokKind::Punct => depth -= 1,
+                ">>" if t.kind == TokKind::Punct => depth -= 2,
+                _ => {}
+            }
+            i += 1;
+            if depth <= 0 {
+                break;
+            }
+        }
+        i
+    }
+
+    /// Skip one non-fn item body: to a top-level `;`, or through the
+    /// first top-level brace group.
+    fn skip_item_rest(&self, mut i: usize) -> usize {
+        let mut depth = 0usize;
+        while let Some(t) = self.tok(i) {
+            match t.text.as_str() {
+                "(" | "[" if t.kind == TokKind::Punct => depth += 1,
+                ")" | "]" if t.kind == TokKind::Punct => depth = depth.saturating_sub(1),
+                "{" if t.kind == TokKind::Punct && depth == 0 => return self.skip_group(i),
+                ";" if t.kind == TokKind::Punct && depth == 0 => return i + 1,
+                _ => {}
+            }
+            i += 1;
+        }
+        i
+    }
+
+    fn scan_items(&mut self, mut i: usize, end: usize, ctx: &ItemCtx) {
+        let mut pending_pub = false;
+        while i < end {
+            let Some(t) = self.tok(i) else { break };
+            if t.is_punct("#") {
+                i = self.skip_attr(i);
+                continue;
+            }
+            if t.is_ident("pub") {
+                pending_pub = true;
+                i += 1;
+                if self.is_punct(i, "(") {
+                    // `pub(crate)` / `pub(super)`: not part of the
+                    // external API surface.
+                    pending_pub = false;
+                    i = self.skip_group(i);
+                }
+                continue;
+            }
+            if t.is_ident("impl") {
+                i = self.scan_impl(i, end);
+                pending_pub = false;
+                continue;
+            }
+            if t.is_ident("trait") {
+                i = self.scan_trait(i, end, pending_pub);
+                pending_pub = false;
+                continue;
+            }
+            if t.is_ident("mod") {
+                // `mod name { … }` is transparent; `mod name;` is skipped.
+                let mut j = i + 1;
+                while self
+                    .tok(j)
+                    .is_some_and(|t| t.kind == TokKind::Ident && !t.is_ident("mod"))
+                {
+                    j += 1;
+                }
+                if self.is_punct(j, "{") {
+                    let body_end = self.skip_group(j);
+                    self.scan_items(j + 1, body_end.saturating_sub(1), ctx);
+                    i = body_end;
+                } else {
+                    i = j + 1;
+                }
+                pending_pub = false;
+                continue;
+            }
+            if t.is_ident("fn") {
+                let is_pub = pending_pub || ctx.members_pub;
+                i = self.parse_fn(i, ctx, is_pub);
+                pending_pub = false;
+                continue;
+            }
+            if t.kind == TokKind::Ident
+                && matches!(
+                    t.text.as_str(),
+                    "struct"
+                        | "enum"
+                        | "union"
+                        | "type"
+                        | "const"
+                        | "static"
+                        | "use"
+                        | "extern"
+                        | "macro_rules"
+                )
+            {
+                i = self.skip_item_rest(i + 1);
+                pending_pub = false;
+                continue;
+            }
+            if t.is_punct("{") {
+                i = self.skip_group(i);
+                pending_pub = false;
+                continue;
+            }
+            i += 1;
+            if t.kind != TokKind::Ident
+                || !matches!(t.text.as_str(), "unsafe" | "async" | "default")
+            {
+                pending_pub = false;
+            }
+        }
+    }
+
+    /// `impl … { … }`: extract the implemented type (and trait, for
+    /// `impl Trait for Type`), then scan the body as items.
+    fn scan_impl(&mut self, mut i: usize, end: usize) -> usize {
+        i += 1; // 'impl'
+        if self.is_punct(i, "<") {
+            i = self.skip_generics(i);
+        }
+        // Collect `::`-separated path segments until `for`, `where`,
+        // or the opening brace.
+        let mut paths: Vec<Vec<String>> = vec![Vec::new()];
+        let mut for_at: Option<usize> = None;
+        while i < end {
+            let Some(t) = self.tok(i) else { break };
+            if t.is_punct("{") {
+                break;
+            }
+            if t.is_ident("where") {
+                // Skip the where clause up to the brace.
+                while i < end && !self.is_punct(i, "{") {
+                    i += 1;
+                }
+                break;
+            }
+            if t.is_ident("for") {
+                for_at = Some(paths.len());
+                paths.push(Vec::new());
+                i += 1;
+                continue;
+            }
+            if t.is_punct("<") {
+                i = self.skip_generics(i);
+                continue;
+            }
+            if t.kind == TokKind::Ident && !t.is_ident("dyn") {
+                if let Some(last) = paths.last_mut() {
+                    last.push(t.text.clone());
+                }
+            }
+            i += 1;
+        }
+        let (trait_name, type_path) = match for_at {
+            Some(idx) => (
+                paths.first().and_then(|p| p.last()).cloned(),
+                paths.get(idx).cloned().unwrap_or_default(),
+            ),
+            None => (None, paths.first().cloned().unwrap_or_default()),
+        };
+        let qual = type_path.last().cloned();
+        if self.is_punct(i, "{") {
+            let body_end = self.skip_group(i);
+            let ctx = ItemCtx {
+                qual,
+                members_pub: trait_name.is_some(),
+                trait_name,
+            };
+            self.scan_items(i + 1, body_end.saturating_sub(1), &ctx);
+            return body_end;
+        }
+        i
+    }
+
+    /// `trait Name { … }`: default method bodies can carry seeds too.
+    fn scan_trait(&mut self, mut i: usize, end: usize, is_pub: bool) -> usize {
+        i += 1; // 'trait'
+        let name = self
+            .tok(i)
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone());
+        while i < end && !self.is_punct(i, "{") && !self.is_punct(i, ";") {
+            i += 1;
+        }
+        if self.is_punct(i, "{") {
+            let body_end = self.skip_group(i);
+            let ctx = ItemCtx {
+                qual: name.clone(),
+                trait_name: name,
+                members_pub: is_pub,
+            };
+            self.scan_items(i + 1, body_end.saturating_sub(1), &ctx);
+            return body_end;
+        }
+        i + 1
+    }
+
+    /// Parse `fn name(params) -> Ret { body }` starting at the `fn`
+    /// keyword; returns the index one past the item.
+    fn parse_fn(&mut self, at: usize, ctx: &ItemCtx, is_pub: bool) -> usize {
+        let mut i = at + 1;
+        let Some(name_tok) = self.tok(i).filter(|t| t.kind == TokKind::Ident) else {
+            return at + 1;
+        };
+        let name = name_tok.text.clone();
+        let line = name_tok.line;
+        i += 1;
+        if self.is_punct(i, "<") {
+            i = self.skip_generics(i);
+        }
+        if !self.is_punct(i, "(") {
+            return i;
+        }
+        let params_end = self.skip_group(i);
+        let params = self.parse_params(i + 1, params_end.saturating_sub(1));
+        i = params_end;
+        // Return type / where clause: scan to body or `;`.
+        let mut depth = 0i32;
+        while let Some(t) = self.tok(i) {
+            match t.text.as_str() {
+                "(" | "[" if t.kind == TokKind::Punct => depth += 1,
+                ")" | "]" if t.kind == TokKind::Punct => depth -= 1,
+                "<" if t.kind == TokKind::Punct => depth += 1,
+                "<<" if t.kind == TokKind::Punct => depth += 2,
+                ">" if t.kind == TokKind::Punct => depth -= 1,
+                ">>" if t.kind == TokKind::Punct => depth -= 2,
+                "{" if t.kind == TokKind::Punct && depth <= 0 => break,
+                ";" if t.kind == TokKind::Punct && depth <= 0 => {
+                    // Trait method declaration without a body.
+                    self.fns.push(FnFact {
+                        name,
+                        qual: ctx.qual.clone(),
+                        trait_name: ctx.trait_name.clone(),
+                        is_pub,
+                        line,
+                        params,
+                        ret_unit: unit_of_fn_name(self.tok(at + 1).map_or("", |t| t.text.as_str())),
+                        calls: Vec::new(),
+                        seeds: Vec::new(),
+                    });
+                    return i + 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        if !self.is_punct(i, "{") {
+            return i;
+        }
+        let body_end = self.skip_group(i);
+        let mut fact = FnFact {
+            ret_unit: unit_of_fn_name(&name),
+            name,
+            qual: ctx.qual.clone(),
+            trait_name: ctx.trait_name.clone(),
+            is_pub,
+            line,
+            params,
+            calls: Vec::new(),
+            seeds: Vec::new(),
+        };
+        self.scan_body(i + 1, body_end.saturating_sub(1), &mut fact);
+        self.fns.push(fact);
+        body_end
+    }
+
+    /// Split a parameter list into `(name, unit)` pairs; `self`
+    /// receivers are dropped.
+    fn parse_params(&self, start: usize, end: usize) -> Vec<(String, Unit)> {
+        let mut out = Vec::new();
+        let mut chunk_start = start;
+        let mut depth = 0i32;
+        let mut i = start;
+        let flush = |s: usize, e: usize, out: &mut Vec<(String, Unit)>| {
+            let mut name = None;
+            for j in s..e {
+                let Some(t) = self.tok(j) else { break };
+                if t.is_punct(":") {
+                    break;
+                }
+                if t.kind == TokKind::Ident && !matches!(t.text.as_str(), "mut" | "ref") {
+                    name = Some(t.text.clone());
+                    break;
+                }
+            }
+            if let Some(n) = name {
+                if n != "self" {
+                    let unit = unit_of_name(&n);
+                    out.push((n, unit));
+                }
+            }
+        };
+        while i < end {
+            let Some(t) = self.tok(i) else { break };
+            match t.text.as_str() {
+                "(" | "[" | "{" if t.kind == TokKind::Punct => depth += 1,
+                ")" | "]" | "}" if t.kind == TokKind::Punct => depth -= 1,
+                "<" if t.kind == TokKind::Punct => depth += 1,
+                "<<" if t.kind == TokKind::Punct => depth += 2,
+                ">" if t.kind == TokKind::Punct => depth -= 1,
+                ">>" if t.kind == TokKind::Punct => depth -= 2,
+                "," if t.kind == TokKind::Punct && depth == 0 => {
+                    flush(chunk_start, i, &mut out);
+                    chunk_start = i + 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        if chunk_start < end {
+            flush(chunk_start, end, &mut out);
+        }
+        out
+    }
+
+    /// Walk a function body: record calls, seeds, let-bound units, and
+    /// intra-function A2 findings.
+    fn scan_body(&mut self, start: usize, end: usize, fact: &mut FnFact) {
+        let mut env: HashMap<String, Unit> = fact
+            .params
+            .iter()
+            .filter(|(_, u)| u.is_concrete())
+            .map(|(n, u)| (n.clone(), *u))
+            .collect();
+        let mut i = start;
+        while i < end {
+            let Some(t) = self.tok(i) else { break };
+            if t.is_punct("#") {
+                i = self.skip_attr(i);
+                continue;
+            }
+            // Nested function definitions become their own facts.
+            if t.is_ident("fn") {
+                i = self.parse_fn(
+                    i,
+                    &ItemCtx {
+                        qual: fact.qual.clone(),
+                        trait_name: None,
+                        members_pub: false,
+                    },
+                    false,
+                );
+                continue;
+            }
+            // `let [mut] name (: ty)? = expr;` — bind the inferred unit.
+            if t.is_ident("let") {
+                if let Some((name, eq_at)) = self.let_binding(i + 1, end) {
+                    let expr_end = self.stmt_end(eq_at + 1, end);
+                    let unit = self.expr_unit(eq_at + 1, expr_end, &env);
+                    if unit.is_concrete() {
+                        env.insert(name, unit);
+                    } else {
+                        env.remove(&name);
+                    }
+                    i = eq_at + 1; // main loop still scans the expr
+                    continue;
+                }
+                i += 1;
+                continue;
+            }
+            // `return expr;` — declared vs actual return unit.
+            if t.is_ident("return") && fact.ret_unit.is_concrete() {
+                let expr_end = self.stmt_end(i + 1, end);
+                let unit = self.expr_unit(i + 1, expr_end, &env);
+                if unit.is_concrete() && unit != fact.ret_unit {
+                    self.a2.push(RawFinding {
+                        rule: "A2".into(),
+                        line: t.line,
+                        severity: "deny".into(),
+                        message: format!(
+                            "function `{}` is named as returning {} but this `return` \
+                             expression carries {}",
+                            fact.name, fact.ret_unit, unit
+                        ),
+                    });
+                }
+                i += 1;
+                continue;
+            }
+            // Panic macros: `name!(…)`.
+            if t.kind == TokKind::Ident
+                && PANIC_MACROS.contains(&t.text.as_str())
+                && self.is_punct(i + 1, "!")
+            {
+                fact.seeds.push(self.seed(SeedKind::PanicMacro, t.line));
+                i += 2;
+                continue;
+            }
+            // Method calls and `.unwrap()` / `.expect(…)` seeds.
+            if t.is_punct(".")
+                && self.tok(i + 1).is_some_and(|n| n.kind == TokKind::Ident)
+                && self.is_punct(i + 2, "(")
+            {
+                let callee = self.toks[i + 1].text.clone();
+                let line = self.toks[i + 1].line;
+                match callee.as_str() {
+                    "unwrap" => fact.seeds.push(self.seed(SeedKind::Unwrap, line)),
+                    "expect" => fact.seeds.push(self.seed(SeedKind::Expect, line)),
+                    _ => {}
+                }
+                let args_end = self.skip_group(i + 2);
+                fact.calls.push(CallFact {
+                    callee,
+                    qual: None,
+                    line,
+                    arg_units: self.arg_units(i + 3, args_end.saturating_sub(1), &env),
+                });
+                self.denominator_check(i + 1, i + 3, args_end.saturating_sub(1), &env);
+                i += 3; // keep scanning inside the args
+                continue;
+            }
+            // Plain / path calls: `name(…)`, `Type::name(…)`.
+            if t.kind == TokKind::Ident
+                && !is_expr_keyword(&t.text)
+                && self.is_punct(i + 1, "(")
+                && !self.is_punct(i.wrapping_sub(1), ".")
+                && !self
+                    .tok(i.wrapping_sub(1))
+                    .is_some_and(|p| p.is_ident("fn"))
+            {
+                let qual = if self.is_punct(i.wrapping_sub(1), "::") {
+                    self.tok(i.wrapping_sub(2))
+                        .filter(|q| q.kind == TokKind::Ident)
+                        .map(|q| q.text.clone())
+                } else {
+                    None
+                };
+                let args_end = self.skip_group(i + 1);
+                fact.calls.push(CallFact {
+                    callee: t.text.clone(),
+                    qual,
+                    line: t.line,
+                    arg_units: self.arg_units(i + 2, args_end.saturating_sub(1), &env),
+                });
+                i += 2;
+                continue;
+            }
+            // Indexing seeds (same heuristic as lint L3).
+            if self.index_seeds && t.is_punct("[") && self.ends_operand(i.wrapping_sub(1)) {
+                fact.seeds.push(self.seed(SeedKind::Index, t.line));
+                i += 1;
+                continue;
+            }
+            // Division by an unguarded parenthesized difference.
+            if t.is_punct("/") && self.ends_operand(i.wrapping_sub(1)) && self.is_punct(i + 1, "(")
+            {
+                let den_end = self.skip_group(i + 1);
+                self.denominator_check(i, i + 2, den_end.saturating_sub(1), &env);
+                i += 1;
+                continue;
+            }
+            // Cross-unit binary arithmetic / comparison.
+            if t.kind == TokKind::Punct
+                && matches!(
+                    t.text.as_str(),
+                    "+" | "-" | "<" | ">" | "<=" | ">=" | "==" | "!=" | "+=" | "-="
+                )
+                && !self.is_punct(i.wrapping_sub(1), "::")
+            {
+                let lhs = self.atom_unit_before(i, &env);
+                let rhs = self.atom_unit_after(i + 1, &env);
+                if lhs.is_concrete() && rhs.is_concrete() && lhs != rhs {
+                    self.a2.push(RawFinding {
+                        rule: "A2".into(),
+                        line: t.line,
+                        severity: "deny".into(),
+                        message: format!(
+                            "cross-unit `{}`: left operand is {lhs}, right operand is {rhs}",
+                            t.text
+                        ),
+                    });
+                }
+                i += 1;
+                continue;
+            }
+            i += 1;
+        }
+    }
+
+    /// Mirrors the lint L3 operand heuristic.
+    fn ends_operand(&self, i: usize) -> bool {
+        self.tok(i).is_some_and(|t| {
+            (t.kind == TokKind::Ident && !is_expr_keyword(&t.text))
+                || matches!(t.kind, TokKind::Int | TokKind::Float)
+                || t.is_punct(")")
+                || t.is_punct("]")
+        })
+    }
+
+    fn seed(&self, kind: SeedKind, line: u32) -> SeedFact {
+        let waived = ["L3", "A1"].iter().any(|r| {
+            let marker = format!("lint: allow({r}):");
+            [line, line.saturating_sub(1)]
+                .iter()
+                .any(|l| rules::has_reason(self.lexed.comment_on(*l), &marker))
+        });
+        SeedFact { kind, line, waived }
+    }
+
+    /// `let [mut] name … =`: returns the bound name and the index of
+    /// the `=` when the pattern is a simple identifier.
+    fn let_binding(&self, mut i: usize, end: usize) -> Option<(String, usize)> {
+        if self.is_ident(i, "mut") {
+            i += 1;
+        }
+        let name = self
+            .tok(i)
+            .filter(|t| t.kind == TokKind::Ident && !is_expr_keyword(&t.text))?
+            .text
+            .clone();
+        i += 1;
+        // Optional `: Type` annotation.
+        if self.is_punct(i, ":") {
+            let mut depth = 0i32;
+            i += 1;
+            while i < end {
+                let t = self.tok(i)?;
+                match t.text.as_str() {
+                    "(" | "[" if t.kind == TokKind::Punct => depth += 1,
+                    ")" | "]" if t.kind == TokKind::Punct => depth -= 1,
+                    "<" if t.kind == TokKind::Punct => depth += 1,
+                    "<<" if t.kind == TokKind::Punct => depth += 2,
+                    ">" if t.kind == TokKind::Punct => depth -= 1,
+                    ">>" if t.kind == TokKind::Punct => depth -= 2,
+                    "=" if t.kind == TokKind::Punct && depth <= 0 => break,
+                    ";" if t.kind == TokKind::Punct && depth <= 0 => return None,
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+        if self.is_punct(i, "=") {
+            Some((name, i))
+        } else {
+            None
+        }
+    }
+
+    /// Index of the `;` terminating the statement starting at `i`
+    /// (exclusive end of the expression).
+    fn stmt_end(&self, mut i: usize, end: usize) -> usize {
+        let mut depth = 0usize;
+        while i < end {
+            let Some(t) = self.tok(i) else { break };
+            match t.text.as_str() {
+                "(" | "[" | "{" if t.kind == TokKind::Punct => depth += 1,
+                ")" | "]" | "}" if t.kind == TokKind::Punct => {
+                    if depth == 0 {
+                        return i;
+                    }
+                    depth -= 1;
+                }
+                ";" if t.kind == TokKind::Punct && depth == 0 => return i,
+                _ => {}
+            }
+            i += 1;
+        }
+        i
+    }
+
+    /// Infer the unit of an expression region: the first unit-bearing
+    /// atom wins (identifier naming convention, `.as_ns()`-style
+    /// accessor, or `.ratio(…)`); a single bare literal is
+    /// dimensionless.
+    fn expr_unit(&self, start: usize, end: usize, env: &HashMap<String, Unit>) -> Unit {
+        if end == start + 1 {
+            if let Some(t) = self.tok(start) {
+                if matches!(t.kind, TokKind::Int | TokKind::Float) {
+                    return Unit::Dimensionless;
+                }
+            }
+        }
+        let mut i = start;
+        while i < end {
+            let Some(t) = self.tok(i) else { break };
+            if t.kind == TokKind::Ident && !is_expr_keyword(&t.text) {
+                // Method/accessor atom: `.name(` — unit of the accessor.
+                if self.is_punct(i.wrapping_sub(1), ".") && self.is_punct(i + 1, "(") {
+                    let u = unit_of_fn_name(&t.text);
+                    if u.is_concrete() {
+                        return u;
+                    }
+                } else if !self.is_punct(i + 1, "(") && !self.is_punct(i + 1, "!") {
+                    let u = env
+                        .get(&t.text)
+                        .copied()
+                        .unwrap_or_else(|| unit_of_name(&t.text));
+                    if u.is_concrete() {
+                        return u;
+                    }
+                } else if self.is_punct(i + 1, "(") {
+                    // Free-function atom: `duration_ns(…)`.
+                    let u = unit_of_fn_name(&t.text);
+                    if u.is_concrete() {
+                        return u;
+                    }
+                }
+            }
+            i += 1;
+        }
+        Unit::Unknown
+    }
+
+    /// Units of each top-level comma-separated argument.
+    fn arg_units(&self, start: usize, end: usize, env: &HashMap<String, Unit>) -> Vec<Unit> {
+        let mut out = Vec::new();
+        if start >= end {
+            return out;
+        }
+        let mut depth = 0i32;
+        let mut chunk = start;
+        let mut i = start;
+        while i < end {
+            let Some(t) = self.tok(i) else { break };
+            match t.text.as_str() {
+                "(" | "[" | "{" if t.kind == TokKind::Punct => depth += 1,
+                ")" | "]" | "}" if t.kind == TokKind::Punct => depth -= 1,
+                "," if t.kind == TokKind::Punct && depth == 0 => {
+                    out.push(self.expr_unit(chunk, i, env));
+                    chunk = i + 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        if chunk < end {
+            out.push(self.expr_unit(chunk, end, env));
+        }
+        out
+    }
+
+    /// A2 denominator rule: a division-like operation whose operand
+    /// region contains a bare binary `-` with no `checked_sub` /
+    /// `saturating_sub` / explicit guard is an unguarded `D − R`
+    /// division hazard.
+    fn denominator_check(
+        &mut self,
+        op_at: usize,
+        start: usize,
+        end: usize,
+        _env: &HashMap<String, Unit>,
+    ) {
+        let Some(op) = self.tok(op_at) else { return };
+        let is_div_method = op.kind == TokKind::Ident
+            && matches!(
+                op.text.as_str(),
+                "ratio" | "div_floor" | "div_ceil" | "checked_div" | "mul_div_floor"
+            );
+        let is_div_op = op.is_punct("/");
+        if !is_div_method && !is_div_op {
+            return;
+        }
+        let mut has_bare_sub = false;
+        let mut guarded = false;
+        let mut sub_line = op.line;
+        for i in start..end {
+            let Some(t) = self.tok(i) else { break };
+            if t.is_punct("-") && self.ends_operand(i.wrapping_sub(1)) {
+                has_bare_sub = true;
+                sub_line = t.line;
+            }
+            if t.kind == TokKind::Ident
+                && matches!(
+                    t.text.as_str(),
+                    "checked_sub" | "saturating_sub" | "max" | "is_zero" | "abs"
+                )
+            {
+                guarded = true;
+            }
+        }
+        if has_bare_sub && !guarded {
+            self.a2.push(RawFinding {
+                rule: "A2".into(),
+                line: sub_line,
+                severity: "deny".into(),
+                message: "unguarded difference used as a divisor: a `D − R`-style \
+                          denominator must use `checked_sub`/`saturating_sub` (or an \
+                          explicit guard) so the division cannot hit zero or wrap"
+                    .into(),
+            });
+        }
+    }
+
+    /// Unit of the atom ending just before token `i` (for binary-op
+    /// conflict checks).
+    fn atom_unit_before(&self, i: usize, env: &HashMap<String, Unit>) -> Unit {
+        let prev = i.wrapping_sub(1);
+        let Some(t) = self.tok(prev) else {
+            return Unit::Unknown;
+        };
+        if t.is_punct(")") {
+            // `(…)` or `recv.method(…)`: find the open paren, then the
+            // method name before it.
+            let mut depth = 0usize;
+            let mut j = prev;
+            loop {
+                let Some(p) = self.tok(j) else {
+                    return Unit::Unknown;
+                };
+                if p.is_punct(")") {
+                    depth += 1;
+                } else if p.is_punct("(") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if j == 0 {
+                    return Unit::Unknown;
+                }
+                j -= 1;
+            }
+            let name_at = j.wrapping_sub(1);
+            if self.tok(name_at).is_some_and(|n| n.kind == TokKind::Ident)
+                && self.is_punct(name_at.wrapping_sub(1), ".")
+            {
+                return unit_of_fn_name(&self.toks[name_at].text);
+            }
+            return Unit::Unknown;
+        }
+        if t.kind == TokKind::Ident && !is_expr_keyword(&t.text) {
+            return env
+                .get(&t.text)
+                .copied()
+                .unwrap_or_else(|| unit_of_name(&t.text));
+        }
+        Unit::Unknown
+    }
+
+    /// Unit of the atom starting at token `i`.
+    fn atom_unit_after(&self, i: usize, env: &HashMap<String, Unit>) -> Unit {
+        let Some(t) = self.tok(i) else {
+            return Unit::Unknown;
+        };
+        if t.kind != TokKind::Ident || is_expr_keyword(&t.text) {
+            return Unit::Unknown;
+        }
+        // `x.as_ns_f64()` after the operator: accessor unit wins.
+        if self.is_punct(i + 1, ".")
+            && self.tok(i + 2).is_some_and(|m| m.kind == TokKind::Ident)
+            && self.is_punct(i + 3, "(")
+        {
+            let u = unit_of_fn_name(&self.toks[i + 2].text);
+            if u.is_concrete() {
+                return u;
+            }
+        }
+        if self.is_punct(i + 1, "(") {
+            return unit_of_fn_name(&t.text);
+        }
+        env.get(&t.text)
+            .copied()
+            .unwrap_or_else(|| unit_of_name(&t.text))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> FileFacts {
+        parse_file("crates/core/src/x.rs", src)
+    }
+
+    #[test]
+    fn finds_fns_and_publicity() {
+        let f = parse(
+            "pub fn a() {}\nfn b() {}\npub(crate) fn c() {}\n\
+             impl Foo { pub fn m(&self) {} fn p(&self) {} }\n\
+             impl Bar for Foo { fn t(&self) {} }\n",
+        );
+        let by_name: HashMap<_, _> = f.fns.iter().map(|x| (x.name.as_str(), x)).collect();
+        assert!(by_name["a"].is_pub);
+        assert!(!by_name["b"].is_pub);
+        assert!(!by_name["c"].is_pub, "pub(crate) is not public API");
+        assert!(by_name["m"].is_pub);
+        assert!(!by_name["p"].is_pub);
+        assert!(by_name["t"].is_pub, "trait impl methods are API surface");
+        assert_eq!(by_name["t"].qual.as_deref(), Some("Foo"));
+        assert_eq!(by_name["t"].trait_name.as_deref(), Some("Bar"));
+    }
+
+    #[test]
+    fn records_calls_and_seeds() {
+        let f = parse(
+            "fn f(x: Option<u8>) -> u8 {\n    helper();\n    Duration::from_ns(3);\n    \
+             x.unwrap()\n}\n",
+        );
+        let fun = &f.fns[0];
+        let callees: Vec<_> = fun.calls.iter().map(|c| c.callee.as_str()).collect();
+        assert!(callees.contains(&"helper"));
+        assert!(callees.contains(&"from_ns"));
+        let q = fun
+            .calls
+            .iter()
+            .find(|c| c.callee == "from_ns")
+            .and_then(|c| c.qual.clone());
+        assert_eq!(q.as_deref(), Some("Duration"));
+        assert_eq!(fun.seeds.len(), 1);
+        assert_eq!(fun.seeds[0].kind, SeedKind::Unwrap);
+        assert!(!fun.seeds[0].waived);
+    }
+
+    #[test]
+    fn waived_seed_is_marked() {
+        let f = parse(
+            "fn f(x: Option<u8>) -> u8 {\n    // lint: allow(L3): reviewed contract\n    \
+             x.unwrap()\n}\n",
+        );
+        assert!(f.fns[0].seeds[0].waived);
+    }
+
+    #[test]
+    fn test_regions_are_ignored() {
+        let f = parse(
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { \
+             None::<u8>.unwrap(); }\n}\n",
+        );
+        assert_eq!(f.fns.len(), 1);
+        assert_eq!(f.fns[0].name, "prod");
+    }
+
+    #[test]
+    fn unit_inference_let_and_conflict() {
+        let f = parse(
+            "fn f(d_ns: u64, w_ms: f64) {\n    let x = d_ns;\n    let y = w_ms;\n    \
+             let _z = x < y;\n}\n",
+        );
+        assert_eq!(f.a2_local.len(), 1, "{:?}", f.a2_local);
+        assert!(f.a2_local[0].message.contains("cross-unit"));
+    }
+
+    #[test]
+    fn unguarded_difference_denominator() {
+        let f = parse("fn f(c: u64, d_ns: u64, r_ns: u64) -> u64 { c / (d_ns - r_ns) }\n");
+        assert_eq!(f.a2_local.len(), 1, "{:?}", f.a2_local);
+        assert!(f.a2_local[0].message.contains("unguarded difference"));
+        // Guarded form is clean.
+        let g = parse(
+            "fn f(c: u64, d_ns: u64, r_ns: u64) -> u64 {\n    \
+             let s = d_ns.checked_sub(r_ns).unwrap_or(1);\n    c / s\n}\n",
+        );
+        assert!(g.a2_local.is_empty(), "{:?}", g.a2_local);
+    }
+
+    #[test]
+    fn ratio_arg_with_bare_sub_flagged() {
+        let f = parse("fn f(a: Duration, d: Duration, r: Duration) -> f64 { a.ratio(d - r) }\n");
+        assert_eq!(f.a2_local.len(), 1, "{:?}", f.a2_local);
+    }
+
+    #[test]
+    fn waiver_comments_collected() {
+        let f = parse(
+            "// lint: allow(L1): reason here\nfn f() {}\n// lint: relaxed-ok: tally\nfn g() {}\n",
+        );
+        assert_eq!(f.waivers.len(), 2);
+        assert_eq!(f.waivers[0].kind, WaiverKind::Allow("L1".into()));
+        assert_eq!(f.waivers[1].kind, WaiverKind::RelaxedOk);
+    }
+}

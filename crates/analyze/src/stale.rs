@@ -1,0 +1,173 @@
+//! A3: stale-waiver detection.
+//!
+//! A suppression that no longer suppresses anything is a lie in the
+//! review record, so every escape hatch must still point at a live
+//! finding:
+//!
+//! * A `lint.allow.toml` entry is stale when **no** file matching its
+//!   `path` has a production (test-stripped) finding of its rule.
+//! * An inline `// lint: allow(Lx): reason` comment is stale when no
+//!   full-stream finding of rule `Lx` sits on its line or the next
+//!   (full stream, because waivers legitimately live in test code).
+//! * `// lint: allow(A1|A2)` must cover a panic seed / local A2
+//!   finding on its line or the next.
+//! * `// lint: relaxed-ok: reason` must sit on or directly above a
+//!   line containing an `Ordering::Relaxed` token.
+
+use crate::facts::{FileFacts, WaiverKind};
+use crate::Diagnostic;
+use rto_lint::allow::AllowEntry;
+
+/// Detect stale allowlist entries and stale inline waivers.
+#[must_use]
+pub fn check(files: &[FileFacts], allowlist: &[AllowEntry]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    for entry in allowlist {
+        let justified = files.iter().any(|ff| {
+            (ff.rel_path == entry.path || ff.rel_path.ends_with(&entry.path))
+                && ff.lint_prod.iter().any(|f| f.rule == entry.rule)
+        });
+        if !justified {
+            out.push(Diagnostic {
+                path: "lint.allow.toml".into(),
+                line: entry.defined_at,
+                rule: "A3".into(),
+                severity: "deny".into(),
+                message: format!(
+                    "stale allowlist entry: no {} finding remains under `{}` \u{2014} \
+                     delete the entry",
+                    entry.rule, entry.path
+                ),
+            });
+        }
+    }
+
+    for ff in files {
+        for w in &ff.waivers {
+            let lines = [w.line, w.line.saturating_add(1)];
+            let (live, what) = match &w.kind {
+                WaiverKind::Allow(rule) if rule == "A1" => (
+                    ff.fns
+                        .iter()
+                        .flat_map(|f| &f.seeds)
+                        .any(|s| lines.contains(&s.line)),
+                    "a panic-family seed".to_string(),
+                ),
+                WaiverKind::Allow(rule) if rule == "A2" => (
+                    ff.a2_local.iter().any(|f| lines.contains(&f.line)),
+                    "an A2 unit finding".to_string(),
+                ),
+                WaiverKind::Allow(rule) => (
+                    ff.lint_all
+                        .iter()
+                        .any(|f| &f.rule == rule && lines.contains(&f.line)),
+                    format!("an {rule} finding"),
+                ),
+                WaiverKind::RelaxedOk => (
+                    ff.relaxed_lines.iter().any(|l| lines.contains(l)),
+                    "an `Ordering::Relaxed` use".to_string(),
+                ),
+            };
+            if !live {
+                let label = match &w.kind {
+                    WaiverKind::Allow(rule) => format!("lint: allow({rule})"),
+                    WaiverKind::RelaxedOk => "lint: relaxed-ok".to_string(),
+                };
+                out.push(Diagnostic {
+                    path: ff.rel_path.clone(),
+                    line: w.line,
+                    rule: "A3".into(),
+                    severity: "deny".into(),
+                    message: format!(
+                        "stale inline waiver `{label}`: {what} no longer exists on this \
+                         line or the next \u{2014} remove the comment"
+                    ),
+                });
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+
+    fn entry(path: &str, rule: &str) -> AllowEntry {
+        AllowEntry {
+            path: path.into(),
+            rule: rule.into(),
+            reason: "test".into(),
+            defined_at: 3,
+        }
+    }
+
+    #[test]
+    fn live_allowlist_entry_is_quiet() {
+        // Bare indexing in a lib crate produces an L3 warning.
+        let ff = parse_file(
+            "crates/mckp/src/dp.rs",
+            "fn f(v: &[u8], i: usize) -> u8 { v[i] }\n",
+        );
+        let diags = check(&[ff], &[entry("crates/mckp/src/dp.rs", "L3")]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn dead_allowlist_entry_is_denied() {
+        let ff = parse_file("crates/mckp/src/dp.rs", "fn f() {}\n");
+        let diags = check(&[ff], &[entry("crates/mckp/src/dp.rs", "L3")]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "A3");
+        assert_eq!(diags[0].path, "lint.allow.toml");
+        assert_eq!(diags[0].line, 3);
+    }
+
+    #[test]
+    fn entry_for_missing_file_is_denied() {
+        let ff = parse_file("crates/mckp/src/dp.rs", "fn f() {}\n");
+        let diags = check(&[ff], &[entry("crates/mckp/src/gone.rs", "L3")]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+    }
+
+    #[test]
+    fn stale_inline_waiver_is_denied() {
+        let ff = parse_file(
+            "crates/core/src/x.rs",
+            "fn f() {\n    // lint: allow(L3): nothing here anymore\n    let _x = 1;\n}\n",
+        );
+        let diags = check(&[ff], &[]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("stale inline waiver"));
+    }
+
+    #[test]
+    fn live_inline_waiver_is_quiet() {
+        let ff = parse_file(
+            "crates/core/src/x.rs",
+            "fn f(v: &[u8], i: usize) -> u8 {\n    \
+             // lint: allow(L3): structurally in bounds\n    v[i]\n}\n",
+        );
+        let diags = check(&[ff], &[]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn relaxed_ok_requires_relaxed_token() {
+        let live = parse_file(
+            "crates/obs/src/x.rs",
+            "fn f(c: &std::sync::atomic::AtomicU64) {\n    \
+             // lint: relaxed-ok: independent counter\n    \
+             c.fetch_add(1, std::sync::atomic::Ordering::Relaxed);\n}\n",
+        );
+        assert!(check(&[live], &[]).is_empty());
+        let dead = parse_file(
+            "crates/obs/src/x.rs",
+            "fn f() {\n    // lint: relaxed-ok: nothing\n    let _x = 1;\n}\n",
+        );
+        assert_eq!(check(&[dead], &[]).len(), 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! End-to-end analysis of the fixture workspace under
+//! `tests/fixtures/ws`: trait dispatch, closures, cross-module and
+//! cross-crate calls, inline + allowlist waivers, and a golden SARIF
+//! snapshot.
+//!
+//! Regenerate the snapshot after an intentional behavior change with:
+//!
+//! ```text
+//! BLESS=1 cargo test -p rto-analyze --test fixture_ws
+//! ```
+
+use rto_analyze::{analyze_workspace, sarif, Analysis};
+use std::path::{Path, PathBuf};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
+}
+
+fn analyze() -> Analysis {
+    analyze_workspace(&fixture_root(), false).expect("fixture analysis")
+}
+
+/// All diagnostics whose rule is `rule`, as `path:line message`.
+fn of_rule(a: &Analysis, rule: &str) -> Vec<String> {
+    a.diagnostics
+        .iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| format!("{}:{} {}", d.path, d.line, d.message))
+        .collect()
+}
+
+#[test]
+fn a1_reachability_set_is_exact() {
+    let a = analyze();
+    let a1 = of_rule(&a, "A1");
+    // Tainted: cross-module closure chain, trait dispatch (caller and
+    // the panicking impl), and direct indexing in the warn crate.
+    assert!(
+        a1.iter()
+            .any(|m| m.contains("`schedule`") && m.contains("pick")),
+        "{a1:?}"
+    );
+    assert!(
+        a1.iter()
+            .any(|m| m.contains("`run_any`") && m.contains("solve")),
+        "{a1:?}"
+    );
+    assert!(a1.iter().any(|m| m.contains("`Reckless::solve`")), "{a1:?}");
+    assert!(a1.iter().any(|m| m.contains("`render`")), "{a1:?}");
+    // Clean, waived, or allowlisted surfaces stay silent.
+    for quiet in [
+        "`settle_ns`",
+        "`contract`",
+        "`lookup`",
+        "`Careful::solve`",
+        "`deadline_check`",
+    ] {
+        assert!(
+            !a1.iter().any(|m| m.contains(quiet)),
+            "{quiet} must not be A1-tainted: {a1:?}"
+        );
+    }
+    assert_eq!(a1.len(), 4, "{a1:?}");
+    // Severity mapping: deny in core, warn in sim.
+    for d in a.diagnostics.iter().filter(|d| d.rule == "A1") {
+        let expect = if d.path.starts_with("crates/core/") {
+            "deny"
+        } else {
+            "warn"
+        };
+        assert_eq!(d.severity, expect, "{d:?}");
+    }
+}
+
+#[test]
+fn a2_findings_cover_local_and_interprocedural() {
+    let a = analyze();
+    let a2 = of_rule(&a, "A2");
+    assert!(
+        a2.iter()
+            .any(|m| m.contains("within_ns") && m.contains("expects ns")),
+        "interprocedural arg/param mismatch: {a2:?}"
+    );
+    assert!(
+        a2.iter().any(|m| m.contains("unguarded difference")),
+        "{a2:?}"
+    );
+    assert!(a2.iter().any(|m| m.contains("cross-unit `+`")), "{a2:?}");
+    assert_eq!(a2.len(), 3, "{a2:?}");
+}
+
+#[test]
+fn a3_reports_stale_waivers_only() {
+    let a = analyze();
+    let a3 = of_rule(&a, "A3");
+    assert!(
+        a3.iter()
+            .any(|m| m.starts_with("lint.allow.toml") && m.contains("gone.rs")),
+        "{a3:?}"
+    );
+    assert!(
+        a3.iter()
+            .any(|m| m.contains("crates/sim/src/lib.rs") && m.contains("allow(L1)")),
+        "{a3:?}"
+    );
+    assert_eq!(a3.len(), 2, "live waivers must stay quiet: {a3:?}");
+}
+
+#[test]
+fn golden_sarif_snapshot() {
+    let a = analyze();
+    let rendered = sarif::sarif(&a.diagnostics);
+    let golden = fixture_root().join("../expected.sarif");
+    if std::env::var("BLESS").is_ok() {
+        std::fs::write(&golden, &rendered).expect("bless golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&golden).expect("read expected.sarif");
+    assert_eq!(
+        rendered, expected,
+        "SARIF drifted from tests/fixtures/expected.sarif; re-bless with BLESS=1 if intended"
+    );
+}
+
+#[test]
+fn repeat_runs_are_deterministic() {
+    let first = sarif::sarif(&analyze().diagnostics);
+    let second = sarif::sarif(&analyze().diagnostics);
+    assert_eq!(first, second);
+}
+
+#[test]
+fn parser_sees_through_lexical_traps() {
+    // Seeds hidden inside raw strings, byte strings, and nested block
+    // comments must not count; the real one after them must.
+    let src = r####"
+pub fn f(x: Option<u8>) -> u8 {
+    let _doc = r#"call .unwrap() like this"#;
+    /* .unwrap() in a comment /* nested */ */
+    let _s = b"panic!(no)";
+    x.unwrap()
+}
+"####;
+    let facts = rto_analyze::parse::parse_file("crates/core/src/t.rs", src);
+    let seeds = &facts.fns[0].seeds;
+    assert_eq!(seeds.len(), 1, "{seeds:?}");
+    assert_eq!(seeds[0].line, 6);
+}

@@ -1,0 +1,12 @@
+//! Fixture private helpers reached from the public surface.
+
+pub(crate) fn halve(v_ns: u64) -> u64 {
+    v_ns / 2
+}
+
+pub(crate) fn pick(slots: Option<u32>) -> u32 {
+    // The seed hides inside a closure body; the scanner attributes it
+    // to the enclosing function.
+    let f = || slots.unwrap();
+    f()
+}

@@ -1,0 +1,31 @@
+//! Fixture trait dispatch: one impl panics, so any dynamic `.solve()`
+//! call site over-approximates to both impls and is tainted.
+
+/// The dispatch trait.
+pub trait Solve {
+    /// Produce a solution.
+    fn solve(&self) -> u32;
+}
+
+/// Panic-free impl.
+pub struct Careful;
+
+impl Solve for Careful {
+    fn solve(&self) -> u32 {
+        0
+    }
+}
+
+/// Unfinished impl with a panic-family seed.
+pub struct Reckless;
+
+impl Solve for Reckless {
+    fn solve(&self) -> u32 {
+        todo!("fixture unfinished branch")
+    }
+}
+
+/// Tainted: `.solve()` may dispatch to `Reckless::solve`.
+pub fn run_any(s: &Reckless) -> u32 {
+    s.solve()
+}

@@ -1,0 +1,8 @@
+//! Fixture: indexing covered by a live whole-file allowlist entry
+//! (`lint.allow.toml`, rule L3), so A1 does not seed here even though
+//! the L3 lint warning itself still exists.
+
+/// Indexed lookup whose bounds are maintained by construction.
+pub fn lookup(cells: &[u8], row: usize, stride: usize, col: usize) -> u8 {
+    cells[row * stride + col]
+}

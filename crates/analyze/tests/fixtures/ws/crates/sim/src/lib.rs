@@ -1,0 +1,16 @@
+//! Fixture sim crate: warn-severity surface.
+
+pub mod grid;
+
+/// Warn: bare indexing directly in a public function.
+pub fn render(frame: &[u8], cursor: usize) -> u8 {
+    frame[cursor]
+}
+
+/// Cross-unit arithmetic inside one expression.
+pub fn drift(delta_ns: u64, jitter_ms: f64) -> f64 {
+    jitter_ms + delta_ns as f64
+}
+
+// lint: allow(L1): fixture stale waiver, nothing to waive here
+pub fn quiet() {}

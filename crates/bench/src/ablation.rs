@@ -200,11 +200,12 @@ pub fn solver_gaps(seed: u64, instances: usize) -> SolverGapRow {
         let Ok(best) = fine.solve(&inst) else {
             continue;
         };
-        let best_profit = inst.selection_profit(&best);
+        let best_profit = inst.selection_profit(&best).unwrap_or(0.0);
         if best_profit <= 0.0 {
             continue;
         }
-        let ratio = |sel: &rto_mckp::Selection| inst.selection_profit(sel) / best_profit;
+        let ratio =
+            |sel: &rto_mckp::Selection| inst.selection_profit(sel).unwrap_or(0.0) / best_profit;
         heu_sum += ratio(&heu.solve(&inst).expect("feasible"));
         greedy_sum += ratio(&greedy.solve(&inst).expect("feasible"));
         coarse_sum += ratio(&coarse.solve(&inst).expect("feasible"));

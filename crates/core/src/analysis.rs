@@ -293,8 +293,9 @@ pub fn dm_response_time_analysis<'a>(
         // The fixpoint is bounded by the deadline: exceeding it already
         // decides this task.
         for _ in 0..1000 {
-            let interference: Duration = entries[..i]
+            let interference: Duration = entries
                 .iter()
+                .take(i)
                 .map(|hp| hp.inflated.saturating_mul(r.div_ceil(hp.period).max(1)))
                 .sum();
             let next = entry.inflated + interference;

@@ -98,13 +98,13 @@ impl BenefitFunction {
     ///   density reduction).
     pub fn new(points: Vec<BenefitPoint>) -> Result<Self, CoreError> {
         let bad = |msg: String| Err(CoreError::InvalidBenefit(msg));
-        if points.is_empty() {
+        let Some(first) = points.first() else {
             return bad("benefit function needs at least the local point".into());
-        }
-        if !points[0].response_time.is_zero() {
+        };
+        if !first.response_time.is_zero() {
             return bad(format!(
                 "first point must be at response time 0, got {}",
-                points[0].response_time
+                first.response_time
             ));
         }
         for (j, p) in points.iter().enumerate() {
@@ -116,15 +116,16 @@ impl BenefitFunction {
                     return bad(format!("point {j}: zero setup override"));
                 }
             }
-            if j > 0 {
-                if p.response_time <= points[j - 1].response_time {
-                    return bad(format!(
-                        "response times not strictly increasing at point {j}"
-                    ));
-                }
-                if p.value < points[j - 1].value {
-                    return bad(format!("benefit decreases at point {j}"));
-                }
+        }
+        for (j, (prev, p)) in points.iter().zip(points.iter().skip(1)).enumerate() {
+            if p.response_time <= prev.response_time {
+                return bad(format!(
+                    "response times not strictly increasing at point {}",
+                    j + 1
+                ));
+            }
+            if p.value < prev.value {
+                return bad(format!("benefit decreases at point {}", j + 1));
             }
         }
         Ok(BenefitFunction { points })
@@ -189,19 +190,22 @@ impl BenefitFunction {
 
     /// `G_i(0)`: the benefit of local execution.
     pub fn local_value(&self) -> f64 {
-        self.points[0].value
+        self.points.first().map_or(0.0, |p| p.value)
     }
 
     /// Evaluates the step function at `r`: the value of the largest point
     /// with `response_time ≤ r`.
     pub fn eval(&self, r: Duration) -> f64 {
+        // `idx >= 1` because `points[0]` is at 0, but stay total anyway.
         let idx = self.points.partition_point(|p| p.response_time <= r);
-        self.points[idx - 1].value // idx >= 1 because points[0] is at 0
+        idx.checked_sub(1)
+            .and_then(|i| self.points.get(i))
+            .map_or(0.0, |p| p.value)
     }
 
     /// The offloading points (everything except the local point).
     pub fn offload_points(&self) -> &[BenefitPoint] {
-        &self.points[1..]
+        self.points.get(1..).unwrap_or(&[])
     }
 
     /// Applies the Figure-3 estimation-error model: every offloading
@@ -225,8 +229,11 @@ impl BenefitFunction {
         }
         let factor = 1.0 + ratio;
         let mut points = Vec::with_capacity(self.points.len());
-        points.push(self.points[0]);
-        for p in &self.points[1..] {
+        for (j, p) in self.points.iter().enumerate() {
+            if j == 0 {
+                points.push(*p); // the local point is never distorted
+                continue;
+            }
             let mut q = *p;
             q.response_time = p
                 .response_time

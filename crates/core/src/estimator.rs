@@ -136,7 +136,7 @@ impl ResponseTimeEstimator {
         }
         // The grid's probabilities may undercut the local value; benefit
         // functions must be non-decreasing, so lift any such point.
-        let mut running = points[0].value;
+        let mut running = points.first().map_or(local_value, |p| p.value);
         for p in points.iter_mut().skip(1) {
             if p.value < running {
                 p.value = running;

@@ -17,7 +17,7 @@
 //! exact DP and the HEU-OE heuristic.
 
 use crate::analysis::{density_test, OffloadedTask};
-use crate::benefit::BenefitFunction;
+use crate::benefit::{BenefitFunction, BenefitPoint};
 use crate::deadline::{setup_deadline_with_costs, SplitPolicy};
 use crate::error::CoreError;
 use crate::task::{Task, TaskId};
@@ -259,30 +259,30 @@ impl OffloadingDecisionManager {
     }
 
     /// Effective per-level costs for task `t` at benefit point `point`.
-    fn level_costs(t: &OdmTask, level: usize) -> (Duration, Duration) {
-        let p = &t.benefit.points()[level];
+    fn level_costs(t: &OdmTask, point: &BenefitPoint) -> (Duration, Duration) {
         (
-            p.setup_wcet.unwrap_or_else(|| t.task.setup_wcet()),
-            p.compensation_wcet
+            point.setup_wcet.unwrap_or_else(|| t.task.setup_wcet()),
+            point
+                .compensation_wcet
                 .unwrap_or_else(|| t.task.compensation_wcet()),
         )
     }
 
-    /// Whether level `level` of task `t` is covered by a declared server
-    /// response bound (§3 extension).
-    fn is_guaranteed(t: &OdmTask, level: usize) -> bool {
+    /// Whether benefit point `point` of task `t` is covered by a declared
+    /// server response bound (§3 extension).
+    fn is_guaranteed(t: &OdmTask, point: &BenefitPoint) -> bool {
         match t.server_bound {
-            Some(bound) => t.benefit.points()[level].response_time >= bound,
+            Some(bound) => point.response_time >= bound,
             None => false,
         }
     }
 
-    /// The `(setup, completion-budget)` pair actually charged for level
-    /// `level`: `(C1, C2)` normally, `(C1, C3)` when the level is
+    /// The `(setup, completion-budget)` pair actually charged for benefit
+    /// point `point`: `(C1, C2)` normally, `(C1, C3)` when the level is
     /// guaranteed by a server bound.
-    fn effective_costs(t: &OdmTask, level: usize) -> (Duration, Duration) {
-        let (c1, c2) = Self::level_costs(t, level);
-        if Self::is_guaranteed(t, level) {
+    fn effective_costs(t: &OdmTask, point: &BenefitPoint) -> (Duration, Duration) {
+        let (c1, c2) = Self::level_costs(t, point);
+        if Self::is_guaranteed(t, point) {
             (c1, t.task.postprocess_wcet())
         } else {
             (c1, c2)
@@ -310,9 +310,8 @@ impl OffloadingDecisionManager {
                 t.task.local_density(),
                 t.benefit.local_value() * t.weight,
             ));
-            for (offset, point) in t.benefit.offload_points().iter().enumerate() {
-                let level = offset + 1;
-                let (c1, completion) = Self::effective_costs(t, level);
+            for point in t.benefit.offload_points() {
+                let (c1, completion) = Self::effective_costs(t, point);
                 let weight = match t.task.deadline().checked_sub(point.response_time) {
                     Some(slack)
                         if !slack.is_zero() && !c1.is_zero() && c1 + completion <= slack =>
@@ -354,14 +353,24 @@ impl OffloadingDecisionManager {
         let mut decisions = Vec::with_capacity(self.tasks.len());
         let mut total_benefit = 0.0;
         for (i, t) in self.tasks.iter().enumerate() {
-            let level = selection.choice(i);
-            let item = instance.chosen(&selection, i);
+            let level = selection.choices().get(i).copied().ok_or_else(|| {
+                CoreError::Solver(rto_mckp::SolveError::BadInstance(format!(
+                    "solver selection covers no class {i}"
+                )))
+            })?;
+            let item = instance.chosen(&selection, i)?;
             let decision = if level == 0 {
                 Decision::Local
             } else {
-                let point = &t.benefit.points()[level];
-                let guaranteed = Self::is_guaranteed(t, level);
-                let (c1, completion) = Self::effective_costs(t, level);
+                let point = t.benefit.points().get(level).ok_or_else(|| {
+                    CoreError::Solver(rto_mckp::SolveError::BadInstance(format!(
+                        "task {}: solver chose level {level} beyond {} benefit points",
+                        t.task.id(),
+                        t.benefit.num_levels()
+                    )))
+                })?;
+                let guaranteed = Self::is_guaranteed(t, point);
+                let (c1, completion) = Self::effective_costs(t, point);
                 let d1 = if completion.is_zero() {
                     // Guaranteed level with zero post-processing: the
                     // completion sub-job is instantaneous, so the setup

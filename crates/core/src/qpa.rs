@@ -223,10 +223,19 @@ pub fn qpa_test<'a>(
         slack_mass += u * l.period.saturating_sub(l.deadline).as_ns_f64();
     }
     for d in &demands {
-        mix += (d.setup_wcet + d.compensation_wcet).ratio(d.deadline - d.response_time);
+        // ρ_i = (C1+C2)/(D−R): guard the width so an R ≥ D entry can
+        // never feed a zero (or wrapped) divisor — such a task is
+        // unschedulable anyway, which `mix = ∞` encodes faithfully.
+        let width = d.deadline.saturating_sub(d.response_time);
+        if width.is_zero() {
+            mix = f64::INFINITY;
+        } else {
+            mix += (d.setup_wcet + d.compensation_wcet).ratio(width);
+        }
     }
-    let l_a = if mix < 1.0 - 1e-12 {
-        let la = slack_mass / (1.0 - mix);
+    let headroom = 1.0 - mix;
+    let l_a = if headroom > 1e-12 {
+        let la = slack_mass / headroom;
         Some(Duration::from_ns(la.ceil() as u64).max(d_max))
     } else {
         None

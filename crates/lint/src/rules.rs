@@ -259,6 +259,27 @@ fn starts_ns_valued(tokens: &[Token], i: usize) -> bool {
 
 /// Could the token at `i` end an operand (making a following `*`/`-`
 /// binary rather than unary)?
+/// Keywords that may directly precede an array-literal `[` without the
+/// bracket being an index expression.
+fn is_expr_keyword(text: &str) -> bool {
+    matches!(
+        text,
+        "in" | "return"
+            | "if"
+            | "else"
+            | "match"
+            | "break"
+            | "while"
+            | "loop"
+            | "move"
+            | "ref"
+            | "mut"
+            | "as"
+            | "box"
+            | "yield"
+    )
+}
+
 fn ends_operand(tokens: &[Token], i: usize) -> bool {
     tokens.get(i).is_some_and(|t| {
         matches!(t.kind, TokKind::Ident | TokKind::Int | TokKind::Float)
@@ -372,13 +393,14 @@ fn rule_l3_no_panics(ctx: &FileCtx, tokens: &[Token], out: &mut Vec<Finding>) {
             });
             continue;
         }
-        // Indexing heuristic: `ident[` / `)[` / `][` — but not `#[attr]`
-        // and not `&[T]` slice types.
+        // Indexing heuristic: `ident[` / `)[` / `][` — but not `#[attr]`,
+        // not `&[T]` slice types, and not keyword-adjacent array literals
+        // (`for x in [..]`, `return [..]`, `match x { _ => [..] }`).
         if t.is_punct("[")
             && ends_operand(tokens, i.wrapping_sub(1))
             && !tokens
                 .get(i.wrapping_sub(1))
-                .is_some_and(|p| p.is_punct("#"))
+                .is_some_and(|p| p.is_punct("#") || is_expr_keyword(&p.text))
         {
             out.push(Finding {
                 path: ctx.rel_path.clone(),

@@ -65,15 +65,17 @@ impl Search<'_> {
                 return;
             }
         }
-        if k == self.classes.len() {
+        let classes = self.classes;
+        let Some(class) = classes.get(k) else {
+            // Leaf: every class has a committed choice.
             if profit > self.best_profit {
                 self.best_profit = profit;
                 self.best = self.current.clone();
             }
             return;
-        }
+        };
         // Bound the completion of this node.
-        match lp_relaxation_suffix(self.classes, k, self.capacity - weight) {
+        match lp_relaxation_suffix(classes, k, self.capacity - weight) {
             None => return, // cannot even fit minimum-weight items
             Some(lp) => {
                 if profit + lp.upper_bound <= self.best_profit + 1e-12 {
@@ -82,20 +84,23 @@ impl Search<'_> {
             }
         }
         // Try items in profit-descending order for early good incumbents.
-        let mut order = self.pruned[k].clone();
+        let mut order = self.pruned.get(k).cloned().unwrap_or_default();
         order.sort_by(|&a, &b| {
             // total_cmp: instances are validated NaN-free, and a total
             // order keeps this panic-free by construction (lint L3).
-            self.classes[k][b]
-                .profit
-                .total_cmp(&self.classes[k][a].profit)
+            let profit_of = |j: usize| class.get(j).map_or(f64::NEG_INFINITY, |it| it.profit);
+            profit_of(b).total_cmp(&profit_of(a))
         });
         for item_idx in order {
-            let item = self.classes[k][item_idx];
+            let Some(item) = class.get(item_idx).copied() else {
+                continue; // dominance indices always index `class`
+            };
             if weight + item.weight > self.capacity {
                 continue;
             }
-            self.current[k] = item_idx;
+            if let Some(slot) = self.current.get_mut(k) {
+                *slot = item_idx;
+            }
             self.dfs(k + 1, weight + item.weight, profit + item.profit);
         }
     }
@@ -116,7 +121,7 @@ impl Solver for BranchBoundSolver {
                 .map(|c| dominance_filter(c))
                 .collect(),
             capacity: instance.capacity(),
-            best_profit: instance.selection_profit(&seed),
+            best_profit: instance.selection_profit(&seed)?,
             best: seed.choices().to_vec(),
             current: vec![0; instance.num_classes()],
             nodes: 0,
@@ -171,7 +176,7 @@ mod tests {
         );
         let bb = BranchBoundSolver::new().solve(&i).unwrap();
         let bf = BruteForceSolver::default().solve(&i).unwrap();
-        assert!((i.selection_profit(&bb) - i.selection_profit(&bf)).abs() < 1e-9);
+        assert!((i.selection_profit(&bb).unwrap() - i.selection_profit(&bf).unwrap()).abs() < 1e-9);
     }
 
     #[test]
@@ -210,7 +215,7 @@ mod tests {
             1.0,
         );
         let sel = BranchBoundSolver::new().solve(&i).unwrap();
-        assert!((i.selection_profit(&sel) - 10.0).abs() < 1e-12);
+        assert!((i.selection_profit(&sel).unwrap() - 10.0).abs() < 1e-12);
     }
 
     #[test]
@@ -228,7 +233,7 @@ mod tests {
         );
         let heu = HeuOeSolver::new().solve(&i).unwrap();
         let bb = BranchBoundSolver::new().solve(&i).unwrap();
-        assert!(i.selection_profit(&bb) >= i.selection_profit(&heu) - 1e-12);
+        assert!(i.selection_profit(&bb).unwrap() >= i.selection_profit(&heu).unwrap() - 1e-12);
     }
 
     #[test]

@@ -47,35 +47,34 @@ impl Solver for BruteForceSolver {
         let mut indices = vec![0usize; classes.len()];
         let mut best: Option<(f64, Vec<usize>)> = None;
         loop {
-            let weight: f64 = indices
+            // `indices[c]` is kept `< classes[c].len()` by the odometer;
+            // the zip + flatten lookup stays total regardless.
+            let (weight, profit) = indices
                 .iter()
-                .enumerate()
-                .map(|(c, &j)| classes[c][j].weight)
-                .sum();
-            if weight <= instance.capacity() {
-                let profit: f64 = indices
-                    .iter()
-                    .enumerate()
-                    .map(|(c, &j)| classes[c][j].profit)
-                    .sum();
-                if best.as_ref().is_none_or(|(bp, _)| profit > *bp) {
-                    best = Some((profit, indices.clone()));
-                }
+                .zip(classes)
+                .filter_map(|(&j, class)| class.get(j))
+                .fold((0.0f64, 0.0f64), |(w, p), item| {
+                    (w + item.weight, p + item.profit)
+                });
+            if weight <= instance.capacity() && best.as_ref().is_none_or(|(bp, _)| profit > *bp) {
+                best = Some((profit, indices.clone()));
             }
             // Odometer increment.
             let mut k = 0;
             loop {
-                if k == classes.len() {
+                let Some((digit, class)) = indices.get_mut(k).zip(classes.get(k)) else {
+                    // Wrapped past the most significant digit: enumeration
+                    // is complete.
                     return match best {
                         Some((_, choices)) => Ok(Selection::new(choices)),
                         None => Err(SolveError::Infeasible),
                     };
-                }
-                indices[k] += 1;
-                if indices[k] < classes[k].len() {
+                };
+                *digit += 1;
+                if *digit < class.len() {
                     break;
                 }
-                indices[k] = 0;
+                *digit = 0;
                 k += 1;
             }
         }
@@ -102,7 +101,7 @@ mod tests {
         )
         .unwrap();
         let sel = BruteForceSolver::default().solve(&inst).unwrap();
-        assert_eq!(inst.selection_profit(&sel), 7.0);
+        assert_eq!(inst.selection_profit(&sel).unwrap(), 7.0);
     }
 
     #[test]

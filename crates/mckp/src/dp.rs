@@ -285,10 +285,11 @@ mod tests {
         let dp = DpSolver::default().solve(&inst).unwrap();
         let bf = BruteForceSolver::default().solve(&inst).unwrap();
         assert!(
-            (inst.selection_profit(&dp) - inst.selection_profit(&bf)).abs() < 1e-9,
+            (inst.selection_profit(&dp).unwrap() - inst.selection_profit(&bf).unwrap()).abs()
+                < 1e-9,
             "dp {} vs brute {}",
-            inst.selection_profit(&dp),
-            inst.selection_profit(&bf)
+            inst.selection_profit(&dp).unwrap(),
+            inst.selection_profit(&bf).unwrap()
         );
     }
 

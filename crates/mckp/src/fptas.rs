@@ -184,7 +184,7 @@ mod tests {
             1.0,
         );
         let sel = FptasSolver::new(0.05).solve(&i).unwrap();
-        assert!((i.selection_profit(&sel) - 7.0).abs() < 1e-9);
+        assert!((i.selection_profit(&sel).unwrap() - 7.0).abs() < 1e-9);
     }
 
     #[test]
@@ -218,8 +218,10 @@ mod tests {
         for eps in [0.5, 0.2, 0.05] {
             let solver = FptasSolver::new(eps);
             for i in &instances {
-                let approx = i.selection_profit(&solver.solve(i).unwrap());
-                let opt = i.selection_profit(&BruteForceSolver::default().solve(i).unwrap());
+                let approx = i.selection_profit(&solver.solve(i).unwrap()).unwrap();
+                let opt = i
+                    .selection_profit(&BruteForceSolver::default().solve(i).unwrap())
+                    .unwrap();
                 assert!(
                     approx >= (1.0 - eps) * opt - 1e-9,
                     "eps={eps}: {approx} < (1-eps) * {opt}"

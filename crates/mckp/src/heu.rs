@@ -278,7 +278,7 @@ mod tests {
         assert_eq!(greedy.choices()[0], 0);
         let full = HeuOeSolver::new().solve(&i).unwrap();
         assert_eq!(full.choices()[0], 1);
-        assert!(i.selection_profit(&full) > i.selection_profit(&greedy));
+        assert!(i.selection_profit(&full).unwrap() > i.selection_profit(&greedy).unwrap());
     }
 
     #[test]
@@ -297,7 +297,7 @@ mod tests {
         );
         let sel = HeuOeSolver::new().solve(&i).unwrap();
         let lp = lp_relaxation(&i).unwrap();
-        assert!(i.selection_profit(&sel) <= lp.upper_bound + 1e-9);
+        assert!(i.selection_profit(&sel).unwrap() <= lp.upper_bound + 1e-9);
         assert!(i.is_feasible(&sel));
     }
 

@@ -94,62 +94,77 @@ impl MckpInstance {
         self.capacity
     }
 
-    /// The item chosen by `selection` in class `class`.
+    /// Looks up the item chosen by `selection` in class `class`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the selection does not match the instance shape.
-    pub fn chosen(&self, selection: &Selection, class: usize) -> Item {
-        self.classes[class][selection.choice(class)]
+    /// Returns [`SolveError::BadInstance`] if the selection does not
+    /// match the instance shape.
+    pub fn chosen(&self, selection: &Selection, class: usize) -> Result<Item, SolveError> {
+        let items = self
+            .classes
+            .get(class)
+            .ok_or_else(|| SolveError::bad(format!("class {class} out of range")))?;
+        let j = selection
+            .choices()
+            .get(class)
+            .copied()
+            .ok_or_else(|| SolveError::bad(format!("selection covers no class {class}")))?;
+        items
+            .get(j)
+            .copied()
+            .ok_or_else(|| SolveError::bad(format!("class {class}: item {j} out of range")))
+    }
+
+    /// Folds a selection through `field` (weight or profit), validating
+    /// the shape as it goes.
+    fn selection_sum(
+        &self,
+        selection: &Selection,
+        field: fn(&Item) -> f64,
+    ) -> Result<f64, SolveError> {
+        if selection.len() != self.classes.len() {
+            return Err(SolveError::bad(format!(
+                "selection shape mismatch: {} choices vs {} classes",
+                selection.len(),
+                self.classes.len()
+            )));
+        }
+        let mut total = 0.0;
+        for (i, (&j, class)) in selection.choices().iter().zip(&self.classes).enumerate() {
+            let item = class
+                .get(j)
+                .ok_or_else(|| SolveError::bad(format!("class {i}: item {j} out of range")))?;
+            total += field(item);
+        }
+        Ok(total)
     }
 
     /// Total weight of a selection.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the selection does not match the instance shape.
-    pub fn selection_weight(&self, selection: &Selection) -> f64 {
-        assert_eq!(
-            selection.len(),
-            self.classes.len(),
-            "selection shape mismatch"
-        );
-        selection
-            .choices()
-            .iter()
-            .enumerate()
-            .map(|(i, &j)| self.classes[i][j].weight)
-            .sum()
+    /// Returns [`SolveError::BadInstance`] if the selection does not
+    /// match the instance shape.
+    pub fn selection_weight(&self, selection: &Selection) -> Result<f64, SolveError> {
+        self.selection_sum(selection, |it| it.weight)
     }
 
     /// Total profit of a selection.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the selection does not match the instance shape.
-    pub fn selection_profit(&self, selection: &Selection) -> f64 {
-        assert_eq!(
-            selection.len(),
-            self.classes.len(),
-            "selection shape mismatch"
-        );
-        selection
-            .choices()
-            .iter()
-            .enumerate()
-            .map(|(i, &j)| self.classes[i][j].profit)
-            .sum()
+    /// Returns [`SolveError::BadInstance`] if the selection does not
+    /// match the instance shape.
+    pub fn selection_profit(&self, selection: &Selection) -> Result<f64, SolveError> {
+        self.selection_sum(selection, |it| it.profit)
     }
 
-    /// Whether a selection fits within the capacity.
+    /// Whether a selection fits within the capacity. Shape mismatches are
+    /// simply infeasible.
     pub fn is_feasible(&self, selection: &Selection) -> bool {
-        selection.len() == self.classes.len()
-            && selection
-                .choices()
-                .iter()
-                .enumerate()
-                .all(|(i, &j)| j < self.classes[i].len())
-            && self.selection_weight(selection) <= self.capacity
+        self.selection_weight(selection)
+            .is_ok_and(|w| w <= self.capacity)
     }
 
     /// The selection that takes the minimum-weight item in every class
@@ -214,8 +229,8 @@ mod tests {
     fn weight_profit_accounting() {
         let inst = two_class();
         let sel = Selection::new(vec![1, 0]);
-        assert!((inst.selection_weight(&sel) - 0.9).abs() < 1e-12);
-        assert!((inst.selection_profit(&sel) - 7.0).abs() < 1e-12);
+        assert!((inst.selection_weight(&sel).unwrap() - 0.9).abs() < 1e-12);
+        assert!((inst.selection_profit(&sel).unwrap() - 7.0).abs() < 1e-12);
         assert!(inst.is_feasible(&sel));
         let heavy = Selection::new(vec![1, 1]);
         assert!(!inst.is_feasible(&heavy));
@@ -252,8 +267,12 @@ mod tests {
         let inst = two_class();
         let wrong = Selection::new(vec![0]);
         assert!(!inst.is_feasible(&wrong));
+        assert!(inst.selection_weight(&wrong).is_err());
         let out_of_range = Selection::new(vec![0, 5]);
         assert!(!inst.is_feasible(&out_of_range));
+        assert!(inst.selection_profit(&out_of_range).is_err());
+        assert!(inst.chosen(&out_of_range, 1).is_err());
+        assert!(inst.chosen(&out_of_range, 7).is_err());
     }
 
     #[test]
@@ -263,7 +282,7 @@ mod tests {
         assert_eq!(inst.num_items(), 4);
         assert_eq!(inst.capacity(), 1.0);
         assert_eq!(
-            inst.chosen(&Selection::new(vec![1, 0]), 0),
+            inst.chosen(&Selection::new(vec![1, 0]), 0).unwrap(),
             Item::new(0.6, 5.0)
         );
     }

@@ -45,8 +45,8 @@
 //!     1.0,
 //! )?;
 //! let sel = DpSolver::default().solve(&inst)?;
-//! assert!(inst.selection_weight(&sel) <= 1.0);
-//! assert_eq!(inst.selection_profit(&sel), 7.0); // items (0.6,5) + (0.3,2)
+//! assert!(inst.selection_weight(&sel)? <= 1.0);
+//! assert_eq!(inst.selection_profit(&sel)?, 7.0); // items (0.6,5) + (0.3,2)
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 

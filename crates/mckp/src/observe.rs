@@ -88,8 +88,8 @@ mod tests {
         let sel = solver.solve(&inst).unwrap();
         let direct = DpSolver::default().solve(&inst).unwrap();
         assert_eq!(
-            inst.selection_profit(&sel),
-            inst.selection_profit(&direct),
+            inst.selection_profit(&sel).unwrap(),
+            inst.selection_profit(&direct).unwrap(),
             "wrapper must not change the answer"
         );
         let snap = metrics.snapshot();

@@ -37,8 +37,8 @@ proptest! {
         let bb = BranchBoundSolver::new().solve(&inst);
         match (brute, bb) {
             (Ok(a), Ok(b)) => {
-                let pa = inst.selection_profit(&a);
-                let pb = inst.selection_profit(&b);
+                let pa = inst.selection_profit(&a).unwrap();
+                let pb = inst.selection_profit(&b).unwrap();
                 prop_assert!((pa - pb).abs() < 1e-9, "brute {pa} vs bb {pb}");
                 prop_assert!(inst.is_feasible(&a));
                 prop_assert!(inst.is_feasible(&b));
@@ -54,8 +54,8 @@ proptest! {
         let brute = BruteForceSolver::default().solve(&inst);
         match (dp, brute) {
             (Ok(a), Ok(b)) => {
-                let pa = inst.selection_profit(&a);
-                let pb = inst.selection_profit(&b);
+                let pa = inst.selection_profit(&a).unwrap();
+                let pb = inst.selection_profit(&b).unwrap();
                 prop_assert!(inst.is_feasible(&a));
                 prop_assert!(pa <= pb + 1e-9, "dp {pa} beat exact {pb}");
                 // The DP rounds weights up onto a grid of
@@ -63,7 +63,7 @@ proptest! {
                 // most one cell per class. Two sound bounds follow:
                 let cell = inst.capacity() / DpSolver::DEFAULT_RESOLUTION as f64;
                 let slack_cap = inst.capacity() - inst.num_classes() as f64 * cell;
-                if inst.selection_weight(&b) <= slack_cap {
+                if inst.selection_weight(&b).unwrap() <= slack_cap {
                     // The true optimum survives round-up, so the DP must
                     // find it (it is exact on the rounded instance).
                     prop_assert!(pa >= pb - 1e-9, "dp {pa} lost reachable optimum {pb}");
@@ -73,7 +73,7 @@ proptest! {
                     // Razor-thin fit: the optimum may be rounded away, but
                     // every selection fitting with full rounding slack is
                     // still representable, so the DP must beat the best one.
-                    let floor = inst.selection_profit(&safe);
+                    let floor = inst.selection_profit(&safe).unwrap();
                     prop_assert!(pa >= floor - 1e-9, "dp {pa} below sound floor {floor}");
                 }
             }
@@ -81,7 +81,7 @@ proptest! {
             // DP may declare a razor-thin instance infeasible due to
             // round-up; accept only if the true fit is extremely tight.
             (Err(SolveError::Infeasible), Ok(b)) => {
-                let w = inst.selection_weight(&inst.min_weight_selection());
+                let w = inst.selection_weight(&inst.min_weight_selection()).unwrap();
                 prop_assert!(w > 1.0 - 0.01, "dp infeasible but min weight {w}");
                 let _ = b;
             }
@@ -94,11 +94,11 @@ proptest! {
         match HeuOeSolver::new().solve(&inst) {
             Ok(sel) => {
                 prop_assert!(inst.is_feasible(&sel));
-                let profit = inst.selection_profit(&sel);
+                let profit = inst.selection_profit(&sel).unwrap();
                 let lp = lp_relaxation(&inst).expect("heuristic succeeded, LP must too");
                 prop_assert!(profit <= lp.upper_bound + 1e-9);
                 if let Ok(exact) = BruteForceSolver::default().solve(&inst) {
-                    prop_assert!(profit <= inst.selection_profit(&exact) + 1e-9);
+                    prop_assert!(profit <= inst.selection_profit(&exact).unwrap() + 1e-9);
                 }
             }
             Err(SolveError::Infeasible) => {
@@ -114,7 +114,7 @@ proptest! {
         let full = HeuOeSolver::new().solve(&inst);
         if let (Ok(g), Ok(f)) = (greedy, full) {
             prop_assert!(
-                inst.selection_profit(&f) >= inst.selection_profit(&g) - 1e-12
+                inst.selection_profit(&f).unwrap() >= inst.selection_profit(&g).unwrap() - 1e-12
             );
         }
     }
@@ -125,8 +125,8 @@ proptest! {
         let fptas = FptasSolver::new(eps);
         match (fptas.solve(&inst), BruteForceSolver::default().solve(&inst)) {
             (Ok(approx), Ok(exact)) => {
-                let pa = inst.selection_profit(&approx);
-                let pe = inst.selection_profit(&exact);
+                let pa = inst.selection_profit(&approx).unwrap();
+                let pe = inst.selection_profit(&exact).unwrap();
                 prop_assert!(inst.is_feasible(&approx));
                 prop_assert!(pa <= pe + 1e-9, "fptas {pa} beat exact {pe}");
                 prop_assert!(

@@ -172,8 +172,10 @@ impl Histogram {
     #[inline]
     pub fn record(&self, v: u64) {
         let c = &self.core;
-        // lint: relaxed-ok: per-field tallies; snapshot() tolerates torn cross-field views (count/sum/min/max may momentarily disagree)
-        c.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        if let Some(slot) = c.counts.get(bucket_index(v)) {
+            // lint: relaxed-ok: per-field tallies; snapshot() tolerates torn cross-field views (count/sum/min/max may momentarily disagree)
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
         // lint: relaxed-ok: see above — aggregate consistency is not promised mid-flight
         c.count.fetch_add(1, Ordering::Relaxed);
         // lint: relaxed-ok: see above

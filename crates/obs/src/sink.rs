@@ -393,7 +393,9 @@ impl TraceSink for ChromeTraceSink {
                         state.server_lanes.push(None);
                         state.server_lanes.len() - 1
                     });
-                state.server_lanes[lane] = Some(job_id);
+                if let Some(slot) = state.server_lanes.get_mut(lane) {
+                    *slot = Some(job_id);
+                }
                 state.lanes_used = state.lanes_used.max(lane + 1);
                 push_span(
                     &mut state.events,
@@ -410,7 +412,9 @@ impl TraceSink for ChromeTraceSink {
                     .iter()
                     .position(|slot| *slot == Some(job_id))
                 {
-                    state.server_lanes[lane] = None;
+                    if let Some(slot) = state.server_lanes.get_mut(lane) {
+                        *slot = None;
+                    }
                     push_span(
                         &mut state.events,
                         'E',

@@ -11,18 +11,32 @@
 
 use rto_obs::{Counter, Histogram, NullSink, Obs, TraceEvent};
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
-static COUNTING: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    /// Count only allocations made by the *test thread*: the libtest
+    /// harness thread may allocate concurrently (progress output, timers)
+    /// and must not flake the assertion. `const` init keeps the TLS
+    /// access itself allocation-free.
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn counting_here() -> bool {
+    // `try_with`: TLS may already be destroyed when late allocations
+    // happen during thread teardown.
+    COUNTING.try_with(Cell::get).unwrap_or(false)
+}
 
 // SAFETY: delegates every operation to `System`; only adds bookkeeping.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
+        if counting_here() {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         }
         unsafe { System.alloc(layout) }
@@ -33,7 +47,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
+        if counting_here() {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         }
         unsafe { System.realloc(ptr, layout, new_size) }
@@ -73,7 +87,7 @@ fn null_sink_hot_path_does_not_allocate() {
     ];
 
     ALLOCATIONS.store(0, Ordering::SeqCst);
-    COUNTING.store(true, Ordering::SeqCst);
+    COUNTING.with(|c| c.set(true));
     for round in 0..10_000u64 {
         for event in events {
             obs.emit(round, event);
@@ -81,7 +95,7 @@ fn null_sink_hot_path_does_not_allocate() {
         counter.inc();
         histogram.record(round * 1_000);
     }
-    COUNTING.store(false, Ordering::SeqCst);
+    COUNTING.with(|c| c.set(false));
 
     assert_eq!(
         ALLOCATIONS.load(Ordering::SeqCst),

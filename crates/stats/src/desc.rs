@@ -83,7 +83,7 @@ impl OnlineStats {
         if self.count < 2 {
             0.0
         } else {
-            self.m2 / (self.count - 1) as f64
+            self.m2 / self.count.saturating_sub(1) as f64
         }
     }
 

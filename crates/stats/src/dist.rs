@@ -412,7 +412,10 @@ impl Distribution for Pareto {
     }
 
     fn mean(&self) -> Option<f64> {
-        (self.alpha > 1.0).then(|| self.alpha * self.xm / (self.alpha - 1.0))
+        (self.alpha > 1.0).then(|| {
+            let tail_excess = self.alpha - 1.0; // > 0 by the guard
+            self.alpha * self.xm / tail_excess
+        })
     }
 }
 

@@ -130,7 +130,8 @@ pub fn uunifast(n: usize, total: f64, rng: &mut Rng) -> Vec<f64> {
     let mut utils = Vec::with_capacity(n);
     let mut remaining = total;
     for i in 1..n {
-        let next = remaining * rng.f64().powf(1.0 / (n - i) as f64);
+        let remaining_tasks = (n - i) as f64; // ≥ 1: `i` ranges over 1..n
+        let next = remaining * rng.f64().powf(1.0 / remaining_tasks);
         utils.push(remaining - next);
         remaining = next;
     }

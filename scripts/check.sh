@@ -19,6 +19,27 @@ cargo test --workspace --offline -q
 echo "==> rto-lint --workspace (domain invariants L1-L6, deny on findings)"
 cargo run -p rto-lint --offline -q -- --workspace
 
+echo "==> rto-analyze (A1 panic-reachability, A2 units, A3 stale waivers)"
+rm -rf target/rto-analyze
+cargo run -p rto-analyze --offline -q -- --format sarif \
+  --out target/rto-analyze-cold.sarif --bench-out target/rto-analyze-cold.json
+cargo run -p rto-analyze --offline -q -- --format sarif \
+  --out target/rto-analyze-warm.sarif --bench-out BENCH_analyze.json
+
+echo "==> rto-analyze warm cache: identical diagnostics + >=5x speedup"
+cmp target/rto-analyze-cold.sarif target/rto-analyze-warm.sarif
+python3 - <<'EOF'
+import json
+cold = json.load(open("target/rto-analyze-cold.json"))
+warm = json.load(open("BENCH_analyze.json"))
+assert warm["files_reparsed"] == 0, f"warm run reparsed {warm['files_reparsed']} files"
+speedup = cold["elapsed_us"] / max(warm["elapsed_us"], 1)
+print(f"    cache speedup: {speedup:.1f}x "
+      f"(cold {cold['elapsed_us']} us -> warm {warm['elapsed_us']} us, "
+      f"{cold['files_total']} files)")
+assert speedup >= 5.0, f"warm-cache speedup {speedup:.1f}x < 5x"
+EOF
+
 echo "==> loom model tests (obs metrics, RUSTFLAGS=--cfg loom)"
 RUSTFLAGS="--cfg loom" cargo test -p rto-obs --offline -q --test loom_metrics
 
