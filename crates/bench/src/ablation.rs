@@ -17,10 +17,43 @@ use rto_core::analysis::{
 use rto_core::deadline::SplitPolicy;
 use rto_core::task::Task;
 use rto_core::time::Duration;
+use rto_exp::{f64_from_hex, f64_hex, run_matrix, ExpOptions, MatrixSpec, TrialData};
 use rto_mckp::{DpSolver, HeuOeSolver, Item, MckpInstance, Solver};
 use rto_stats::Rng;
 use rto_workloads::random::uunifast_offloaded_system;
 use serde::{Deserialize, Serialize};
+
+/// One random system judged by three accept/reject verdicts — the trial
+/// payload shared by the acceptance and split-policy sweeps (the three
+/// bits mean different tests per sweep).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct VerdictTrial {
+    a: bool,
+    b: bool,
+    c: bool,
+}
+
+impl TrialData for VerdictTrial {
+    fn encode(&self) -> String {
+        format!(
+            "{}{}{}",
+            u8::from(self.a),
+            u8::from(self.b),
+            u8::from(self.c)
+        )
+    }
+    fn decode(s: &str) -> Option<Self> {
+        let bytes = s.as_bytes();
+        if bytes.len() != 3 || !bytes.iter().all(|b| matches!(b, b'0' | b'1')) {
+            return None;
+        }
+        Some(VerdictTrial {
+            a: bytes[0] == b'1',
+            b: bytes[1] == b'1',
+            c: bytes[2] == b'1',
+        })
+    }
+}
 
 /// A random offloaded system with UUniFast-distributed densities summing
 /// to the target Theorem-3 load.
@@ -50,51 +83,64 @@ pub struct AcceptanceRow {
 
 /// Sweeps the acceptance ratio of the three schedulability tests.
 pub fn acceptance_sweep(seed: u64, systems_per_point: usize) -> Vec<AcceptanceRow> {
-    let mut rng = Rng::seed_from(seed);
+    acceptance_sweep_with(seed, systems_per_point, &ExpOptions::default())
+}
+
+/// [`acceptance_sweep`] on the experiment engine: each `(load, system)`
+/// cell draws its own seed stream, so the rows are independent of
+/// `opts.jobs` (the serial version threaded one `Rng` through every
+/// system in sequence, which no parallel schedule could reproduce).
+pub fn acceptance_sweep_with(
+    seed: u64,
+    systems_per_point: usize,
+    opts: &ExpOptions,
+) -> Vec<AcceptanceRow> {
     let loads: Vec<f64> = (2..=13).map(|k| k as f64 / 10.0).collect();
+    let spec = MatrixSpec {
+        name: "ablation-acceptance".into(),
+        fingerprint: "acceptance-v1\u{1f}n=8".into(),
+        base_seed: seed,
+        point_keys: loads
+            .iter()
+            .map(|&l| format!("load={}", f64_hex(l)))
+            .collect(),
+        trials_per_point: systems_per_point,
+    };
+    let matrix = run_matrix(&spec, opts, |ctx| {
+        let mut rng = Rng::seed_from(ctx.seed);
+        let (tasks, responses) = random_offloaded_system(8, loads[ctx.point], &mut rng);
+        let entries: Vec<OffloadedTask<'_>> = tasks
+            .iter()
+            .zip(&responses)
+            .map(|(t, &r)| OffloadedTask::new(t, r))
+            .collect();
+        VerdictTrial {
+            a: density_test([], entries.iter().copied())
+                .map(|r| r.schedulable)
+                .unwrap_or(false),
+            b: suspension_oblivious_test([], entries.iter().copied())
+                .map(|r| r.schedulable)
+                .unwrap_or(false),
+            c: processor_demand_test(
+                [],
+                entries.iter().copied(),
+                SplitPolicy::Proportional,
+                Duration::from_secs(3),
+            )
+            .map(|r| r.schedulable)
+            .unwrap_or(false),
+        }
+    });
     loads
         .iter()
-        .map(|&target| {
-            let mut t3 = 0usize;
-            let mut naive = 0usize;
-            let mut exact = 0usize;
-            for _ in 0..systems_per_point {
-                let (tasks, responses) = random_offloaded_system(8, target, &mut rng);
-                let entries: Vec<OffloadedTask<'_>> = tasks
-                    .iter()
-                    .zip(&responses)
-                    .map(|(t, &r)| OffloadedTask::new(t, r))
-                    .collect();
-                if density_test([], entries.iter().copied())
-                    .map(|r| r.schedulable)
-                    .unwrap_or(false)
-                {
-                    t3 += 1;
-                }
-                if suspension_oblivious_test([], entries.iter().copied())
-                    .map(|r| r.schedulable)
-                    .unwrap_or(false)
-                {
-                    naive += 1;
-                }
-                if processor_demand_test(
-                    [],
-                    entries.iter().copied(),
-                    SplitPolicy::Proportional,
-                    Duration::from_secs(3),
-                )
-                .map(|r| r.schedulable)
-                .unwrap_or(false)
-                {
-                    exact += 1;
-                }
-            }
+        .zip(&matrix.points)
+        .map(|(&target, trials)| {
             let f = |x: usize| x as f64 / systems_per_point as f64;
             AcceptanceRow {
                 target_load: target,
-                theorem3: f(t3),
-                suspension_oblivious: f(naive),
-                exact: f(exact),
+                theorem3: f(trials.iter().filter(|t| t.a).count()),
+                suspension_oblivious: f(trials.iter().filter(|t| t.b).count()),
+                exact: f(trials.iter().filter(|t| t.c).count()),
             }
         })
         .collect()
@@ -115,46 +161,56 @@ pub struct SplitPolicyRow {
 
 /// Sweeps exact-test acceptance per deadline-split policy.
 pub fn split_policy_sweep(seed: u64, systems_per_point: usize) -> Vec<SplitPolicyRow> {
-    let mut rng = Rng::seed_from(seed);
+    split_policy_sweep_with(seed, systems_per_point, &ExpOptions::default())
+}
+
+/// [`split_policy_sweep`] on the experiment engine (same per-cell seed
+/// streams as [`acceptance_sweep_with`]).
+pub fn split_policy_sweep_with(
+    seed: u64,
+    systems_per_point: usize,
+    opts: &ExpOptions,
+) -> Vec<SplitPolicyRow> {
     let loads: Vec<f64> = (6..=14).map(|k| k as f64 / 10.0).collect();
+    let spec = MatrixSpec {
+        name: "ablation-split".into(),
+        fingerprint: "split-v1\u{1f}n=8".into(),
+        base_seed: seed,
+        point_keys: loads
+            .iter()
+            .map(|&l| format!("load={}", f64_hex(l)))
+            .collect(),
+        trials_per_point: systems_per_point,
+    };
+    let matrix = run_matrix(&spec, opts, |ctx| {
+        let mut rng = Rng::seed_from(ctx.seed);
+        let (tasks, responses) = random_offloaded_system(8, loads[ctx.point], &mut rng);
+        let entries: Vec<OffloadedTask<'_>> = tasks
+            .iter()
+            .zip(&responses)
+            .map(|(t, &r)| OffloadedTask::new(t, r))
+            .collect();
+        let accepted = |policy: SplitPolicy| {
+            processor_demand_test([], entries.iter().copied(), policy, Duration::from_secs(3))
+                .map(|r| r.schedulable)
+                .unwrap_or(false)
+        };
+        VerdictTrial {
+            a: accepted(SplitPolicy::Proportional),
+            b: accepted(SplitPolicy::EqualSlack),
+            c: accepted(SplitPolicy::SetupAll),
+        }
+    });
     loads
         .iter()
-        .map(|&target| {
-            let mut counts = [0usize; 3];
-            for _ in 0..systems_per_point {
-                let (tasks, responses) = random_offloaded_system(8, target, &mut rng);
-                let entries: Vec<OffloadedTask<'_>> = tasks
-                    .iter()
-                    .zip(&responses)
-                    .map(|(t, &r)| OffloadedTask::new(t, r))
-                    .collect();
-                for (k, policy) in [
-                    SplitPolicy::Proportional,
-                    SplitPolicy::EqualSlack,
-                    SplitPolicy::SetupAll,
-                ]
-                .into_iter()
-                .enumerate()
-                {
-                    let ok = processor_demand_test(
-                        [],
-                        entries.iter().copied(),
-                        policy,
-                        Duration::from_secs(3),
-                    )
-                    .map(|r| r.schedulable)
-                    .unwrap_or(false);
-                    if ok {
-                        counts[k] += 1;
-                    }
-                }
-            }
+        .zip(&matrix.points)
+        .map(|(&target, trials)| {
             let f = |x: usize| x as f64 / systems_per_point as f64;
             SplitPolicyRow {
                 target_load: target,
-                proportional: f(counts[0]),
-                equal_slack: f(counts[1]),
-                setup_all: f(counts[2]),
+                proportional: f(trials.iter().filter(|t| t.a).count()),
+                equal_slack: f(trials.iter().filter(|t| t.b).count()),
+                setup_all: f(trials.iter().filter(|t| t.c).count()),
             }
         })
         .collect()
@@ -173,48 +229,107 @@ pub struct SolverGapRow {
     pub instances: usize,
 }
 
+/// One solver-gap trial: the three optimality ratios of one instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct GapTrial {
+    heu: f64,
+    greedy: f64,
+    coarse: f64,
+}
+
+impl TrialData for GapTrial {
+    fn encode(&self) -> String {
+        format!(
+            "{} {} {}",
+            f64_hex(self.heu),
+            f64_hex(self.greedy),
+            f64_hex(self.coarse)
+        )
+    }
+    fn decode(s: &str) -> Option<Self> {
+        let mut parts = s.split(' ');
+        let heu = f64_from_hex(parts.next()?)?;
+        let greedy = f64_from_hex(parts.next()?)?;
+        let coarse = f64_from_hex(parts.next()?)?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(GapTrial {
+            heu,
+            greedy,
+            coarse,
+        })
+    }
+}
+
 /// Measures mean optimality ratios over `instances` random instances.
 pub fn solver_gaps(seed: u64, instances: usize) -> SolverGapRow {
-    let mut rng = Rng::seed_from(seed);
-    let fine = DpSolver::with_resolution(100_000);
-    let coarse = DpSolver::with_resolution(1_000);
-    let heu = HeuOeSolver::new();
-    let greedy = HeuOeSolver::without_exchange();
-    let (mut heu_sum, mut greedy_sum, mut coarse_sum) = (0.0f64, 0.0f64, 0.0f64);
-    let mut counted = 0usize;
-    while counted < instances {
-        let classes: Vec<Vec<Item>> = (0..20)
-            .map(|_| {
-                let mut w = rng.f64() * 0.02;
-                let mut p = rng.f64();
-                (0..8)
-                    .map(|_| {
-                        w += rng.f64() * 0.02;
-                        p += rng.f64();
-                        Item::new(w, p)
-                    })
-                    .collect()
-            })
-            .collect();
-        let inst = MckpInstance::new(classes, 1.0).expect("valid");
-        let Ok(best) = fine.solve(&inst) else {
-            continue;
-        };
-        let best_profit = inst.selection_profit(&best).unwrap_or(0.0);
-        if best_profit <= 0.0 {
-            continue;
+    solver_gaps_with(seed, instances, &ExpOptions::default())
+}
+
+/// [`solver_gaps`] on the experiment engine: one trial per instance,
+/// each drawing from its own seed stream. A degenerate draw (DP error
+/// or zero optimum) redraws *within its own stream* until it finds a
+/// usable instance, so trials stay independent of each other and of the
+/// job count.
+pub fn solver_gaps_with(seed: u64, instances: usize, opts: &ExpOptions) -> SolverGapRow {
+    let spec = MatrixSpec {
+        name: "ablation-solver-gaps".into(),
+        fingerprint: "solver-gaps-v1\u{1f}classes=20x8".into(),
+        base_seed: seed,
+        point_keys: vec!["gaps".into()],
+        trials_per_point: instances,
+    };
+    let matrix = run_matrix(&spec, opts, |ctx| {
+        let fine = DpSolver::with_resolution(100_000);
+        let coarse = DpSolver::with_resolution(1_000);
+        let heu = HeuOeSolver::new();
+        let greedy = HeuOeSolver::without_exchange();
+        let mut rng = Rng::seed_from(ctx.seed);
+        loop {
+            let classes: Vec<Vec<Item>> = (0..20)
+                .map(|_| {
+                    let mut w = rng.f64() * 0.02;
+                    let mut p = rng.f64();
+                    (0..8)
+                        .map(|_| {
+                            w += rng.f64() * 0.02;
+                            p += rng.f64();
+                            Item::new(w, p)
+                        })
+                        .collect()
+                })
+                .collect();
+            let inst = MckpInstance::new(classes, 1.0).expect("valid");
+            let Ok(best) = fine.solve(&inst) else {
+                continue;
+            };
+            let best_profit = inst.selection_profit(&best).unwrap_or(0.0);
+            if best_profit <= 0.0 {
+                continue;
+            }
+            let ratio =
+                |sel: &rto_mckp::Selection| inst.selection_profit(sel).unwrap_or(0.0) / best_profit;
+            return GapTrial {
+                heu: ratio(&heu.solve(&inst).expect("feasible")),
+                greedy: ratio(&greedy.solve(&inst).expect("feasible")),
+                coarse: ratio(&coarse.solve(&inst).expect("feasible")),
+            };
         }
-        let ratio =
-            |sel: &rto_mckp::Selection| inst.selection_profit(sel).unwrap_or(0.0) / best_profit;
-        heu_sum += ratio(&heu.solve(&inst).expect("feasible"));
-        greedy_sum += ratio(&greedy.solve(&inst).expect("feasible"));
-        coarse_sum += ratio(&coarse.solve(&inst).expect("feasible"));
-        counted += 1;
-    }
+    });
+    let trials: Vec<&GapTrial> = matrix.points.iter().flatten().collect();
+    let counted = trials.len();
+    let mean = |f: fn(&GapTrial) -> f64| {
+        if counted == 0 {
+            0.0
+        } else {
+            trials.iter().map(|t| f(t)).sum::<f64>() / counted as f64
+        }
+    };
     SolverGapRow {
-        heu_oe: heu_sum / counted as f64,
-        greedy_only: greedy_sum / counted as f64,
-        dp_coarse: coarse_sum / counted as f64,
+        heu_oe: mean(|t| t.heu),
+        greedy_only: mean(|t| t.greedy),
+        dp_coarse: mean(|t| t.coarse),
         instances: counted,
     }
 }

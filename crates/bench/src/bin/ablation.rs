@@ -1,22 +1,25 @@
 //! Quality ablations: schedulability-test acceptance ratios, deadline
 //! split policies, and MCKP solver optimality gaps.
 //!
-//! Usage: `cargo run --release -p rto-bench --bin ablation [seed]`
+//! Usage: `cargo run --release -p rto-bench --bin ablation [seed] [--jobs N]
+//! [--cache]`
 
-use rto_bench::ablation::{acceptance_sweep, solver_gaps, split_policy_sweep};
+use rto_bench::ablation::{acceptance_sweep_with, solver_gaps_with, split_policy_sweep_with};
+use rto_bench::opts::{exp_options_from_args, first_positional};
 use rto_bench::report::text_table;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .map(|a| a.parse())
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed: u64 = first_positional(&args)
+        .map(str::parse)
         .transpose()?
         .unwrap_or(2014);
+    let opts = exp_options_from_args(&args)?;
 
     eprintln!("ablation: acceptance sweeps (200 systems/point) + solver gaps, seed {seed}");
 
     println!("Schedulability-test acceptance ratio vs target load:");
-    let rows = acceptance_sweep(seed, 200);
+    let rows = acceptance_sweep_with(seed, 200, &opts);
     let t1: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -34,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("Deadline-split policy acceptance (exact test) vs target load:");
-    let rows = split_policy_sweep(seed, 200);
+    let rows = split_policy_sweep_with(seed, 200, &opts);
     let t2: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -52,7 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("MCKP solver mean optimality ratio (vs fine-grid DP):");
-    let gaps = solver_gaps(seed, 100);
+    let gaps = solver_gaps_with(seed, 100, &opts);
     println!("  HEU-OE:        {:.4}", gaps.heu_oe);
     println!("  greedy only:   {:.4}", gaps.greedy_only);
     println!("  DP @ 1k cells: {:.4}", gaps.dp_coarse);

@@ -1,23 +1,24 @@
 //! Regenerates Figure 2: normalized total weighted benefit of the 24
 //! work sets under the busy / not-busy / idle server scenarios.
 //!
-//! Usage: `cargo run --release -p rto-bench --bin figure2 [seed] [--json]`
+//! Usage: `cargo run --release -p rto-bench --bin figure2 [seed] [--json]
+//! [--jobs N] [--cache]`
 
-use rto_bench::figure2::{run, scenario_means};
+use rto_bench::figure2::{run_with, scenario_means};
+use rto_bench::opts::{exp_options_from_args, first_positional};
 use rto_bench::report::{text_table, write_json_lines};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
-    let seed: u64 = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(|a| a.parse())
+    let seed: u64 = first_positional(&args)
+        .map(str::parse)
         .transpose()?
         .unwrap_or(2014);
 
+    let opts = exp_options_from_args(&args)?;
     eprintln!("figure2: case study, 24 work sets x 3 scenarios, 10 s horizon, seed {seed}");
-    let rows = run(seed)?;
+    let rows = run_with(seed, 10, &opts)?;
 
     if json {
         write_json_lines(&rows, std::io::stdout().lock())?;

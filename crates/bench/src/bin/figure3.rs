@@ -1,18 +1,19 @@
 //! Regenerates Figure 3: normalized total benefit versus estimation
 //! accuracy ratio, DP versus HEU-OE.
 //!
-//! Usage: `cargo run --release -p rto-bench --bin figure3 [seed] [--seeds N] [--json]`
+//! Usage: `cargo run --release -p rto-bench --bin figure3 [seed] [--seeds N]
+//! [--json] [--jobs N] [--cache]`
 
-use rto_bench::figure3::{paper_ratios, run};
+use rto_bench::figure3::{paper_ratios, run_with_opts};
+use rto_bench::opts::{exp_options_from_args, first_positional};
 use rto_bench::report::{text_table, write_json_lines};
+use rto_workloads::random::RandomSystemParams;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
-    let seed: u64 = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(|a| a.parse())
+    let seed: u64 = first_positional(&args)
+        .map(str::parse)
         .transpose()?
         .unwrap_or(2014);
     let num_seeds: usize = args
@@ -27,7 +28,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "figure3: 30-task random systems, {num_seeds} seeds from {seed}, \
          ratios -40%..+40%"
     );
-    let rows = run(seed, num_seeds, &paper_ratios())?;
+    let opts = exp_options_from_args(&args)?;
+    let rows = run_with_opts(
+        seed,
+        num_seeds,
+        &paper_ratios(),
+        &RandomSystemParams::default(),
+        &opts,
+    )?;
 
     if json {
         write_json_lines(&rows, std::io::stdout().lock())?;

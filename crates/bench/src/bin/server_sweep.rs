@@ -3,23 +3,33 @@
 //! from the idle regime to the compensation floor — the curve on which
 //! Figure 2's three scenarios are points.
 //!
-//! Usage: `cargo run --release -p rto-bench --bin server_sweep [seed] [--json]`
+//! Usage: `cargo run --release -p rto-bench --bin server_sweep [seed]
+//! [--json] [--jobs N] [--cache]`
 
+use rto_bench::opts::{exp_options_from_args, first_positional};
 use rto_bench::report::{text_table, write_json_lines};
-use rto_bench::sweep::{default_grid, run};
+use rto_bench::sweep::{default_grid, run_with};
+use rto_core::time::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
-    let seed: u64 = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(|a| a.parse())
+    let seed: u64 = first_positional(&args)
+        .map(str::parse)
         .transpose()?
         .unwrap_or(2014);
 
+    let opts = exp_options_from_args(&args)?;
     eprintln!("server_sweep: background utilization 0.0..1.2, 5 seeds x 10 s per point");
-    let rows = run(&default_grid(), 5, 10, seed)?;
+    let sweep = run_with(&default_grid(), 5, 10, seed, &opts)?;
+    eprintln!(
+        "server_sweep: {} trials ({} simulated, {} cached) in {:.1} ms",
+        sweep.stats.trials_total,
+        sweep.stats.trials_simulated,
+        sweep.stats.trials_cached,
+        Duration::from_ns(sweep.stats.wall_ns).as_ms_f64()
+    );
+    let rows = sweep.rows;
 
     if json {
         write_json_lines(&rows, std::io::stdout().lock())?;

@@ -1,0 +1,109 @@
+//! Serial-vs-parallel wall-clock benchmark of the case-study sweep on
+//! the `rto-exp` engine, plus the determinism cross-check CI gates on:
+//! the parallel rows must serialize **byte-identically** to the serial
+//! rows, and (on real multi-core hardware) the parallel run must be
+//! at least ~2× faster with 4 workers.
+//!
+//! Writes a `BENCH_sweep.json` summary; the CI job asserts the gate
+//! from that artifact so the numbers stay inspectable.
+//!
+//! Usage: `cargo run --release -p rto-bench --bin sweep_bench [seed]
+//! [--jobs N] [--seeds K] [--horizon H] [--out PATH]`
+
+use rto_bench::opts::first_positional;
+use rto_bench::report::write_json_lines;
+use rto_bench::sweep::{default_grid, run_with, SweepRow};
+use rto_core::time::Duration;
+use rto_exp::ExpOptions;
+use rto_obs::Stopwatch;
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn serialized(rows: &[SweepRow]) -> Result<Vec<u8>, Box<dyn std::error::Error>> {
+    let mut buf = Vec::new();
+    write_json_lines(rows, &mut buf)?;
+    Ok(buf)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed: u64 = first_positional(&args)
+        .map(str::parse)
+        .transpose()?
+        .unwrap_or(2014);
+    let jobs: usize = flag_value(&args, "--jobs")
+        .map(str::parse)
+        .transpose()?
+        .unwrap_or(4);
+    let seeds: u64 = flag_value(&args, "--seeds")
+        .map(str::parse)
+        .transpose()?
+        .unwrap_or(20);
+    let horizon: u64 = flag_value(&args, "--horizon")
+        .map(str::parse)
+        .transpose()?
+        .unwrap_or(300);
+    let out = flag_value(&args, "--out").unwrap_or("BENCH_sweep.json");
+
+    let grid = default_grid();
+    eprintln!(
+        "sweep_bench: {} points x {seeds} seeds x {horizon} s, serial then --jobs {jobs}",
+        grid.len()
+    );
+
+    // Timing runs never touch the cache: both runs must pay the full
+    // simulation cost for the ratio to mean anything.
+    let serial_opts = ExpOptions {
+        jobs: 1,
+        ..ExpOptions::default()
+    };
+    let sw = Stopwatch::start();
+    let serial = run_with(&grid, seeds, horizon, seed, &serial_opts)?;
+    let serial_ms = Duration::from_ns(sw.elapsed_ns()).as_ms_f64();
+
+    let parallel_opts = ExpOptions {
+        jobs,
+        ..ExpOptions::default()
+    };
+    let sw = Stopwatch::start();
+    let parallel = run_with(&grid, seeds, horizon, seed, &parallel_opts)?;
+    let parallel_ms = Duration::from_ns(sw.elapsed_ns()).as_ms_f64();
+
+    let identical = serialized(&serial.rows)? == serialized(&parallel.rows)?;
+    let speedup = if parallel_ms > 0.0 {
+        serial_ms / parallel_ms
+    } else {
+        0.0
+    };
+
+    let summary = format!(
+        concat!(
+            "{{\"name\":\"sweep\",\"points\":{},\"trials_per_point\":{},",
+            "\"horizon_secs\":{},\"base_seed\":{},\"jobs\":{},",
+            "\"serial_ms\":{:.3},\"parallel_ms\":{:.3},\"speedup\":{:.3},",
+            "\"identical\":{}}}"
+        ),
+        grid.len(),
+        seeds,
+        horizon,
+        seed,
+        jobs,
+        serial_ms,
+        parallel_ms,
+        speedup,
+        identical
+    );
+    std::fs::write(out, format!("{summary}\n"))?;
+    println!("{summary}");
+    eprintln!("sweep_bench: speedup {speedup:.2}x, identical={identical}, wrote {out}");
+
+    if !identical {
+        return Err("parallel rows diverged from serial rows".into());
+    }
+    Ok(())
+}

@@ -13,6 +13,7 @@
 //!    quality).
 
 use rto_core::odm::OffloadingDecisionManager;
+use rto_exp::{f64_from_hex, f64_hex, run_matrix, ExpOptions, MatrixSpec, TrialData};
 use rto_mckp::DpSolver;
 use rto_server::Scenario;
 use rto_sim::{SimConfig, Simulation};
@@ -40,6 +41,45 @@ pub struct Figure2Row {
     pub tasks_offloaded: usize,
 }
 
+/// One trial's raw simulator measurements, as stored in the trial
+/// cache (everything else in a [`Figure2Row`] is reconstructed from
+/// the point metadata and the precomputed plan).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Fig2Trial {
+    benefit: f64,
+    misses: u64,
+    remote: u64,
+    compensated: u64,
+}
+
+impl TrialData for Fig2Trial {
+    fn encode(&self) -> String {
+        format!(
+            "{} {} {} {}",
+            f64_hex(self.benefit),
+            self.misses,
+            self.remote,
+            self.compensated
+        )
+    }
+    fn decode(s: &str) -> Option<Self> {
+        let mut parts = s.split(' ');
+        let benefit = f64_from_hex(parts.next()?)?;
+        let misses = parts.next()?.parse().ok()?;
+        let remote = parts.next()?.parse().ok()?;
+        let compensated = parts.next()?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(Fig2Trial {
+            benefit,
+            misses,
+            remote,
+            compensated,
+        })
+    }
+}
+
 /// Runs the full Figure 2 experiment.
 ///
 /// # Errors
@@ -59,25 +99,81 @@ pub fn run_with_horizon_secs(
     seed: u64,
     horizon_secs: u64,
 ) -> Result<Vec<Figure2Row>, Box<dyn std::error::Error>> {
-    let mut rows = Vec::new();
-    for (work_set, weights) in weight_permutations().into_iter().enumerate() {
-        let tasks = case_study_system(weights);
-        let odm = OffloadingDecisionManager::new(tasks)?;
+    run_with(seed, horizon_secs, &ExpOptions::default())
+}
+
+/// [`run`] on the experiment engine: the 24 work sets × 3 scenarios
+/// matrix fans out per `opts.jobs` (plans are still decided serially —
+/// the DP is cheap and deciding once per work set keeps it out of every
+/// trial). The rows are a pure function of `(seed, horizon_secs)`, not
+/// of `opts`.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_with(
+    seed: u64,
+    horizon_secs: u64,
+    opts: &ExpOptions,
+) -> Result<Vec<Figure2Row>, Box<dyn std::error::Error>> {
+    // Decide all 24 plans up front, serially: the trial matrix then
+    // only simulates.
+    let mut planned = Vec::new();
+    for weights in weight_permutations() {
+        let odm = OffloadingDecisionManager::new(case_study_system(weights))?;
         let plan = odm.decide(&DpSolver::default())?;
-        for scenario in Scenario::ALL {
-            let server = scenario.build_server(seed ^ (work_set as u64) << 8)?;
-            let report = Simulation::build(odm.tasks().to_vec(), plan.clone())?
-                .with_server(Box::new(server))
-                .with_request_shaper(Box::new(shape_request))
-                .run(SimConfig::for_seconds(horizon_secs, seed))?;
+        planned.push((weights, odm, plan));
+    }
+
+    let spec = MatrixSpec {
+        name: "figure2".into(),
+        fingerprint: format!("figure2-v1\u{1f}horizon={horizon_secs}"),
+        base_seed: seed,
+        point_keys: planned
+            .iter()
+            .enumerate()
+            .flat_map(|(work_set, _)| {
+                Scenario::ALL
+                    .iter()
+                    .map(move |sc| format!("ws={work_set}\u{1e}scenario={sc:?}"))
+            })
+            .collect(),
+        trials_per_point: 1,
+    };
+
+    let matrix = run_matrix(&spec, opts, |ctx| -> Result<Fig2Trial, String> {
+        let (_, odm, plan) = &planned[ctx.point / Scenario::ALL.len()];
+        let scenario = Scenario::ALL[ctx.point % Scenario::ALL.len()];
+        let server = scenario.build_server(ctx.seed).map_err(|e| e.to_string())?;
+        let report = Simulation::build(odm.tasks().to_vec(), plan.clone())
+            .map_err(|e| e.to_string())?
+            .with_server(Box::new(server))
+            .with_request_shaper(Box::new(shape_request))
+            .run(SimConfig::for_seconds(horizon_secs, ctx.seed))
+            .map_err(|e| e.to_string())?;
+        Ok(Fig2Trial {
+            benefit: report.normalized_benefit(),
+            misses: report.total_deadline_misses() as u64,
+            remote: report.total_remote() as u64,
+            compensated: report.total_compensated() as u64,
+        })
+    });
+
+    let mut rows = Vec::with_capacity(spec.point_keys.len());
+    for (point, trials) in matrix.points.iter().enumerate() {
+        let work_set = point / Scenario::ALL.len();
+        let scenario = Scenario::ALL[point % Scenario::ALL.len()];
+        let (weights, _, plan) = &planned[work_set];
+        for trial in trials {
+            let t = trial.as_ref().map_err(Clone::clone)?;
             rows.push(Figure2Row {
                 work_set,
-                weights,
+                weights: *weights,
                 scenario,
-                normalized_benefit: report.normalized_benefit(),
-                deadline_misses: report.total_deadline_misses(),
-                remote_jobs: report.total_remote(),
-                compensated_jobs: report.total_compensated(),
+                normalized_benefit: t.benefit,
+                deadline_misses: t.misses as usize,
+                remote_jobs: t.remote as usize,
+                compensated_jobs: t.compensated as usize,
                 tasks_offloaded: plan.num_offloaded(),
             });
         }

@@ -20,6 +20,7 @@
 //! estimator quality.
 
 use rto_core::odm::{OdmTask, OffloadingDecisionManager};
+use rto_exp::{f64_from_hex, f64_hex, run_matrix, ExpOptions, MatrixSpec, TrialData};
 use rto_mckp::{DpSolver, HeuOeSolver, Solver};
 use rto_stats::Rng;
 use rto_workloads::random::{random_system, RandomSystemParams};
@@ -66,24 +67,106 @@ pub fn run_with_params(
     ratios: &[f64],
     params: &RandomSystemParams,
 ) -> Result<Vec<Figure3Row>, Box<dyn std::error::Error>> {
-    let dp = DpSolver::default();
-    let heu = HeuOeSolver::new();
-    let mut dp_sums = vec![0.0f64; ratios.len()];
-    let mut heu_sums = vec![0.0f64; ratios.len()];
+    run_with_opts(base_seed, num_seeds, ratios, params, &ExpOptions::default())
+}
 
-    for s in 0..num_seeds {
-        let mut rng = Rng::seed_from(base_seed.wrapping_add(s as u64));
+/// One trial: a whole random system evaluated at every ratio, or
+/// `None` for a degenerate draw (no beneficial offloads at all). The
+/// seed's ratios stay in one trial because they share the per-seed
+/// `x = 0` DP normalizer.
+#[derive(Debug, Clone, PartialEq)]
+struct Fig3Trial {
+    /// `(dp_normalized, heu_normalized)` per ratio, in ratio order.
+    pairs: Option<Vec<(f64, f64)>>,
+}
+
+impl TrialData for Fig3Trial {
+    fn encode(&self) -> String {
+        match &self.pairs {
+            None => "N".to_owned(),
+            Some(pairs) => {
+                let body: Vec<String> = pairs
+                    .iter()
+                    .map(|&(d, h)| format!("{},{}", f64_hex(d), f64_hex(h)))
+                    .collect();
+                format!("O{}", body.join(" "))
+            }
+        }
+    }
+    fn decode(s: &str) -> Option<Self> {
+        if s == "N" {
+            return Some(Fig3Trial { pairs: None });
+        }
+        let body = s.strip_prefix('O')?;
+        let mut pairs = Vec::new();
+        if !body.is_empty() {
+            for chunk in body.split(' ') {
+                let (d, h) = chunk.split_once(',')?;
+                pairs.push((f64_from_hex(d)?, f64_from_hex(h)?));
+            }
+        }
+        Some(Fig3Trial { pairs: Some(pairs) })
+    }
+}
+
+/// [`run_with_params`] on the experiment engine: one matrix point per
+/// seed, fanned out per `opts.jobs`. The rows are a pure function of
+/// the other arguments — not of `opts`.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_with_opts(
+    base_seed: u64,
+    num_seeds: usize,
+    ratios: &[f64],
+    params: &RandomSystemParams,
+    opts: &ExpOptions,
+) -> Result<Vec<Figure3Row>, Box<dyn std::error::Error>> {
+    let ratio_key: Vec<String> = ratios.iter().map(|&r| f64_hex(r)).collect();
+    let spec = MatrixSpec {
+        name: "figure3".into(),
+        fingerprint: format!(
+            "figure3-v1\u{1f}ratios={}\u{1f}params={params:?}",
+            ratio_key.join(",")
+        ),
+        base_seed,
+        point_keys: (0..num_seeds).map(|s| format!("system={s}")).collect(),
+        trials_per_point: 1,
+    };
+
+    let matrix = run_matrix(&spec, opts, |ctx| -> Result<Fig3Trial, String> {
+        let dp = DpSolver::default();
+        let heu = HeuOeSolver::new();
+        let mut rng = Rng::seed_from(ctx.seed);
         let true_tasks = random_system(params, &mut rng);
 
         // The per-seed normalizer: perfect estimation with DP.
-        let perfect = decide_and_value(&true_tasks, 0.0, &dp)?;
+        let perfect = decide_and_value(&true_tasks, 0.0, &dp).map_err(|e| e.to_string())?;
         if perfect <= 0.0 {
             // Degenerate draw (no beneficial offloads at all): skip.
-            continue;
+            return Ok(Fig3Trial { pairs: None });
         }
-        for (i, &ratio) in ratios.iter().enumerate() {
-            dp_sums[i] += decide_and_value(&true_tasks, ratio, &dp)? / perfect;
-            heu_sums[i] += decide_and_value(&true_tasks, ratio, &heu)? / perfect;
+        let mut pairs = Vec::with_capacity(ratios.len());
+        for &ratio in ratios {
+            let d = decide_and_value(&true_tasks, ratio, &dp).map_err(|e| e.to_string())?;
+            let h = decide_and_value(&true_tasks, ratio, &heu).map_err(|e| e.to_string())?;
+            pairs.push((d / perfect, h / perfect));
+        }
+        Ok(Fig3Trial { pairs: Some(pairs) })
+    });
+
+    let mut dp_sums = vec![0.0f64; ratios.len()];
+    let mut heu_sums = vec![0.0f64; ratios.len()];
+    for trials in &matrix.points {
+        for trial in trials {
+            let t = trial.as_ref().map_err(Clone::clone)?;
+            if let Some(pairs) = &t.pairs {
+                for (i, &(d, h)) in pairs.iter().enumerate() {
+                    dp_sums[i] += d;
+                    heu_sums[i] += h;
+                }
+            }
         }
     }
 

@@ -23,6 +23,7 @@ pub mod ablation;
 pub mod figure2;
 pub mod figure3;
 pub mod motivation;
+pub mod opts;
 pub mod report;
 pub mod sweep;
 pub mod table1;

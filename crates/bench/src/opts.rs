@@ -1,0 +1,98 @@
+//! Shared flag parsing for the experiment binaries: every binary that
+//! runs on the `rto-exp` engine understands
+//!
+//! * `--jobs N` — worker threads (`0` = one per core, the default; the
+//!   results never depend on this, only the wall clock does), and
+//! * `--cache` — reuse cached trial results under `target/rto-exp/`
+//!   (off by default so plain runs measure real simulation time).
+
+use rto_exp::{default_cache_root, ExpOptions};
+
+/// Builds [`ExpOptions`] from the binary's raw argument list.
+///
+/// # Errors
+///
+/// Returns a message when `--jobs` is present without a parsable
+/// number.
+pub fn exp_options_from_args(args: &[String]) -> Result<ExpOptions, String> {
+    let jobs = match args.iter().position(|a| a == "--jobs") {
+        None => 0,
+        Some(i) => args
+            .get(i + 1)
+            .ok_or("--jobs needs a number")?
+            .parse::<usize>()
+            .map_err(|e| format!("--jobs: {e}"))?,
+    };
+    let cache_root = if args.iter().any(|a| a == "--cache") {
+        Some(default_cache_root())
+    } else {
+        None
+    };
+    Ok(ExpOptions {
+        jobs,
+        cache_root,
+        obs: rto_obs::Obs::disabled(),
+    })
+}
+
+/// Flags (across all experiment binaries) that consume the following
+/// argument as their value — needed to tell a flag value apart from a
+/// positional argument.
+const VALUED_FLAGS: &[&str] = &["--jobs", "--seeds", "--out"];
+
+/// The first *positional* argument: skips flags and the values of
+/// value-taking flags, so `--jobs 4 2014` and `2014 --jobs 4` both
+/// yield `2014`.
+#[must_use]
+pub fn first_positional(args: &[String]) -> Option<&str> {
+    let mut skip_value = false;
+    for a in args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip_value = VALUED_FLAGS.contains(&a.as_str());
+            continue;
+        }
+        return Some(a);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn positional_skips_flag_values() {
+        assert_eq!(first_positional(&v(&["--jobs", "4", "2014"])), Some("2014"));
+        assert_eq!(first_positional(&v(&["2014", "--jobs", "4"])), Some("2014"));
+        assert_eq!(first_positional(&v(&["--json", "7"])), Some("7"));
+        assert_eq!(first_positional(&v(&["--jobs", "4", "--cache"])), None);
+    }
+
+    #[test]
+    fn defaults_are_all_cores_no_cache() {
+        let o = exp_options_from_args(&v(&["2014", "--json"])).expect("parses");
+        assert_eq!(o.jobs, 0);
+        assert!(o.cache_root.is_none());
+    }
+
+    #[test]
+    fn jobs_and_cache_parse() {
+        let o = exp_options_from_args(&v(&["--jobs", "4", "--cache"])).expect("parses");
+        assert_eq!(o.jobs, 4);
+        assert_eq!(o.cache_root, Some(default_cache_root()));
+    }
+
+    #[test]
+    fn bad_jobs_is_an_error() {
+        assert!(exp_options_from_args(&v(&["--jobs"])).is_err());
+        assert!(exp_options_from_args(&v(&["--jobs", "many"])).is_err());
+    }
+}

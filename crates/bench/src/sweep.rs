@@ -9,8 +9,19 @@
 //! queueing is light, a knee as waits approach the promised response
 //! times, and an asymptote at 1.0 (pure compensation) once the server
 //! saturates — deadline misses remaining zero throughout.
+//!
+//! The trial matrix (utilization points × seeds) runs on the `rto-exp`
+//! engine: trials fan out over a worker pool, each drawing its RNG
+//! stream from `derive_seed(base_seed, point, trial)` — a pure function
+//! of the matrix coordinates — so the rows are **bit-identical for any
+//! `--jobs` count**, and an optional trial cache makes warm re-runs
+//! skip every unchanged point. (The serial version derived seeds as
+//! `base ^ (s << 32) ^ ((util * 1000.0) as u64)`, which truncates the
+//! utilization to integer millis and handed identical seeds to nearby
+//! points — see `rto_exp::legacy_xor_seed` for the regression tests.)
 
 use rto_core::odm::OffloadingDecisionManager;
+use rto_exp::{f64_from_hex, f64_hex, run_matrix, ExpOptions, MatrixSpec, RunStats, TrialData};
 use rto_mckp::DpSolver;
 use rto_server::gpu::GpuServer;
 use rto_server::network::NetworkModel;
@@ -32,8 +43,52 @@ pub struct SweepRow {
     pub deadline_misses: usize,
 }
 
-/// Runs the sweep: `utilizations` background-load points, `seeds` runs
-/// per point, `horizon_secs` each.
+/// A finished sweep: the rows plus the engine's run tallies (how many
+/// trials simulated vs. served from cache, wall clock).
+#[derive(Debug, Clone)]
+pub struct SweepRun {
+    /// One row per utilization point, in input order.
+    pub rows: Vec<SweepRow>,
+    /// Engine tallies for the run.
+    pub stats: RunStats,
+}
+
+/// One trial's raw measurements, as stored in the trial cache. Floats
+/// are cached as IEEE-754 bit patterns so warm runs stay bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SweepTrial {
+    benefit: f64,
+    remote_rate: f64,
+    misses: u64,
+}
+
+impl TrialData for SweepTrial {
+    fn encode(&self) -> String {
+        format!(
+            "{} {} {}",
+            f64_hex(self.benefit),
+            f64_hex(self.remote_rate),
+            self.misses
+        )
+    }
+    fn decode(s: &str) -> Option<Self> {
+        let mut parts = s.split(' ');
+        let benefit = f64_from_hex(parts.next()?)?;
+        let remote_rate = f64_from_hex(parts.next()?)?;
+        let misses = parts.next()?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(SweepTrial {
+            benefit,
+            remote_rate,
+            misses,
+        })
+    }
+}
+
+/// Runs the sweep serially with no cache — see [`run_with`] for the
+/// parallel/cached variant the binaries use.
 ///
 /// # Errors
 ///
@@ -45,42 +100,96 @@ pub fn run(
     horizon_secs: u64,
     base_seed: u64,
 ) -> Result<Vec<SweepRow>, Box<dyn std::error::Error>> {
+    Ok(run_with(
+        utilizations,
+        seeds,
+        horizon_secs,
+        base_seed,
+        &ExpOptions::default(),
+    )?
+    .rows)
+}
+
+/// Runs the sweep on the experiment engine: `utilizations`
+/// background-load points × `seeds` trials per point, `horizon_secs`
+/// each, fanned out per `opts.jobs` and cached under `opts.cache_root`.
+///
+/// The output is a pure function of the arguments — not of `opts`.
+///
+/// # Errors
+///
+/// Propagates ODM/simulation configuration errors; none occur with the
+/// shipped case study.
+pub fn run_with(
+    utilizations: &[f64],
+    seeds: u64,
+    horizon_secs: u64,
+    base_seed: u64,
+    opts: &ExpOptions,
+) -> Result<SweepRun, Box<dyn std::error::Error>> {
     // The plan does not depend on the server: decide once.
     let odm = OffloadingDecisionManager::new(case_study_system([1.0, 2.0, 3.0, 4.0]))?;
     let plan = odm.decide(&DpSolver::default())?;
 
-    let mut rows = Vec::with_capacity(utilizations.len());
-    for &util in utilizations {
-        let mut benefit_sum = 0.0;
-        let mut remote_sum = 0.0;
-        let mut misses = 0usize;
-        for s in 0..seeds {
-            let seed = base_seed ^ (s << 32) ^ ((util * 1000.0) as u64);
-            // Background jobs keep the presets' 45 ms mean service time;
-            // arrival rate backs out of the target utilization:
-            // rate = util × boards / 0.045 s.
-            let background_rate = util * Scenario::NUM_BOARDS as f64 / 0.045;
-            let server = GpuServer::new(
-                Scenario::NUM_BOARDS,
-                Scenario::SERVICE_MEAN_MS,
-                Scenario::SERVICE_CV,
-                background_rate,
-                45.0,
-                NetworkModel::wlan(),
-                seed,
-            )?;
-            let report = Simulation::build(odm.tasks().to_vec(), plan.clone())?
-                .with_server(Box::new(server))
-                .with_request_shaper(Box::new(shape_request))
-                .run(SimConfig::for_seconds(horizon_secs, seed))?;
-            benefit_sum += report.normalized_benefit();
-            let offloaded = report.total_remote() + report.total_compensated();
-            remote_sum += if offloaded > 0 {
+    let spec = MatrixSpec {
+        name: "sweep".into(),
+        // Everything that shapes a trial besides the per-point key and
+        // the seed indices; `sweep-v1` is the trial-logic revision.
+        fingerprint: format!("sweep-v1\u{1f}horizon={horizon_secs}"),
+        base_seed,
+        // Content keys carry the utilization *bits*, so editing one
+        // point invalidates exactly that point's cache entries.
+        point_keys: utilizations
+            .iter()
+            .map(|&u| format!("util={}", f64_hex(u)))
+            .collect(),
+        trials_per_point: seeds as usize,
+    };
+
+    let matrix = run_matrix(&spec, opts, |ctx| -> Result<SweepTrial, String> {
+        let util = utilizations[ctx.point];
+        // Background jobs keep the presets' 45 ms mean service time;
+        // arrival rate backs out of the target utilization:
+        // rate = util × boards / 0.045 s.
+        let background_rate = util * Scenario::NUM_BOARDS as f64 / 0.045;
+        let server = GpuServer::new(
+            Scenario::NUM_BOARDS,
+            Scenario::SERVICE_MEAN_MS,
+            Scenario::SERVICE_CV,
+            background_rate,
+            45.0,
+            NetworkModel::wlan(),
+            ctx.seed,
+        )
+        .map_err(|e| e.to_string())?;
+        let report = Simulation::build(odm.tasks().to_vec(), plan.clone())
+            .map_err(|e| e.to_string())?
+            .with_server(Box::new(server))
+            .with_request_shaper(Box::new(shape_request))
+            .run(SimConfig::for_seconds(horizon_secs, ctx.seed))
+            .map_err(|e| e.to_string())?;
+        let offloaded = report.total_remote() + report.total_compensated();
+        Ok(SweepTrial {
+            benefit: report.normalized_benefit(),
+            remote_rate: if offloaded > 0 {
                 report.total_remote() as f64 / offloaded as f64
             } else {
                 0.0
-            };
-            misses += report.total_deadline_misses();
+            },
+            misses: report.total_deadline_misses() as u64,
+        })
+    });
+
+    let mut rows = Vec::with_capacity(utilizations.len());
+    for (&util, trials) in utilizations.iter().zip(&matrix.points) {
+        let mut benefit_sum = 0.0;
+        let mut remote_sum = 0.0;
+        let mut misses = 0usize;
+        for trial in trials {
+            let t = trial.as_ref().map_err(Clone::clone)?;
+            benefit_sum += t.benefit;
+            remote_sum += t.remote_rate;
+            misses += t.misses as usize;
         }
         rows.push(SweepRow {
             background_utilization: util,
@@ -89,7 +198,10 @@ pub fn run(
             deadline_misses: misses,
         });
     }
-    Ok(rows)
+    Ok(SweepRun {
+        rows,
+        stats: matrix.stats,
+    })
 }
 
 /// The default utilization grid: 0.0 to 1.2 in 0.1 steps.
@@ -118,5 +230,19 @@ mod tests {
         assert!(rows[0].normalized_benefit > 2.0);
         assert!(rows[3].normalized_benefit < 2.5);
         assert!(rows[3].normalized_benefit >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn trial_payload_round_trips_bit_exactly() {
+        let t = SweepTrial {
+            benefit: 0.1 + 0.2,
+            remote_rate: 2.0 / 3.0,
+            misses: 7,
+        };
+        let back = SweepTrial::decode(&t.encode()).expect("decodes");
+        assert_eq!(back.benefit.to_bits(), t.benefit.to_bits());
+        assert_eq!(back.remote_rate.to_bits(), t.remote_rate.to_bits());
+        assert_eq!(back.misses, 7);
+        assert_eq!(SweepTrial::decode("junk"), None);
     }
 }

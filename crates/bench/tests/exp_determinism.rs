@@ -1,0 +1,103 @@
+//! The engine's determinism contract, end to end on the case-study
+//! sweep: byte-identical serialized rows for any `--jobs` count, and a
+//! warm cache that simulates nothing while reproducing the cold output
+//! exactly.
+
+use rto_bench::report::write_json_lines;
+use rto_bench::sweep::{run_with, SweepRow};
+use rto_exp::ExpOptions;
+use std::path::PathBuf;
+
+const UTILS: [f64; 4] = [0.0, 0.5, 0.95, 1.2];
+const SEEDS: u64 = 2;
+const HORIZON: u64 = 2;
+const BASE_SEED: u64 = 2014;
+
+fn serialized(rows: &[SweepRow]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_json_lines(rows, &mut buf).expect("rows serialize");
+    buf
+}
+
+fn temp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rto-exp-golden-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn sweep_rows_are_byte_identical_across_job_counts() {
+    let mut golden: Option<Vec<u8>> = None;
+    for jobs in [1, 2, 8] {
+        let opts = ExpOptions {
+            jobs,
+            ..ExpOptions::default()
+        };
+        let run = run_with(&UTILS, SEEDS, HORIZON, BASE_SEED, &opts).expect("sweep runs");
+        let bytes = serialized(&run.rows);
+        match &golden {
+            None => golden = Some(bytes),
+            Some(expected) => {
+                assert_eq!(
+                    &bytes, expected,
+                    "jobs={jobs} produced different serialized rows"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn warm_cache_simulates_zero_trials_and_reproduces_the_rows() {
+    let root = temp_root("sweep-cache");
+    let opts = ExpOptions {
+        jobs: 2,
+        cache_root: Some(root.clone()),
+        ..ExpOptions::default()
+    };
+    let total = UTILS.len() * SEEDS as usize;
+
+    let cold = run_with(&UTILS, SEEDS, HORIZON, BASE_SEED, &opts).expect("cold run");
+    assert_eq!(cold.stats.trials_total, total);
+    assert_eq!(cold.stats.trials_simulated, total);
+    assert_eq!(cold.stats.trials_cached, 0);
+
+    let warm = run_with(&UTILS, SEEDS, HORIZON, BASE_SEED, &opts).expect("warm run");
+    assert_eq!(warm.stats.trials_simulated, 0, "warm run re-simulated");
+    assert_eq!(warm.stats.trials_cached, total);
+    assert_eq!(
+        serialized(&warm.rows),
+        serialized(&cold.rows),
+        "warm rows diverged from cold rows"
+    );
+
+    // Editing one point leaves the other points' entries valid: only
+    // the new point's trials simulate.
+    let mut edited = UTILS;
+    edited[1] = 0.6;
+    let delta = run_with(&edited, SEEDS, HORIZON, BASE_SEED, &opts).expect("delta run");
+    assert_eq!(
+        delta.stats.trials_simulated, SEEDS as usize,
+        "only the edited point should re-simulate"
+    );
+    assert_eq!(delta.stats.trials_cached, total - SEEDS as usize);
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn cache_and_no_cache_agree() {
+    let root = temp_root("sweep-agree");
+    let cached_opts = ExpOptions {
+        jobs: 4,
+        cache_root: Some(root.clone()),
+        ..ExpOptions::default()
+    };
+    let plain =
+        run_with(&UTILS, SEEDS, HORIZON, BASE_SEED, &ExpOptions::default()).expect("plain run");
+    // Populate, then read back through the cache.
+    let _ = run_with(&UTILS, SEEDS, HORIZON, BASE_SEED, &cached_opts).expect("cold run");
+    let warm = run_with(&UTILS, SEEDS, HORIZON, BASE_SEED, &cached_opts).expect("warm run");
+    assert_eq!(serialized(&plain.rows), serialized(&warm.rows));
+    let _ = std::fs::remove_dir_all(&root);
+}

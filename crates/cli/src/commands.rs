@@ -395,6 +395,95 @@ pub fn cmd_demo() -> String {
     serde_json::to_string_pretty(&SystemConfig::sample()).expect("sample serializes")
 }
 
+/// Parsed arguments for [`cmd_sweep`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepArgs {
+    /// Worker threads (`0` = one per core). The rows never depend on
+    /// this — only the wall clock does.
+    pub jobs: usize,
+    /// Trials (seeds) per utilization point.
+    pub seeds: u64,
+    /// Simulated horizon per trial, seconds.
+    pub horizon_secs: u64,
+    /// Base seed of the per-trial streams.
+    pub seed: u64,
+    /// Reuse cached trial results under `target/rto-exp/`.
+    pub cache: bool,
+    /// Emit JSON lines instead of the text table.
+    pub json: bool,
+}
+
+impl Default for SweepArgs {
+    fn default() -> Self {
+        SweepArgs {
+            jobs: 0,
+            seeds: 5,
+            horizon_secs: 10,
+            seed: 2014,
+            cache: false,
+            json: false,
+        }
+    }
+}
+
+/// `sweep`: the case-study background-utilization sweep on the
+/// `rto-exp` engine (13 points × `seeds` trials). Deterministic: the
+/// rows are a pure function of `(seeds, horizon_secs, seed)`, whatever
+/// `jobs` is.
+///
+/// # Errors
+///
+/// Returns a human-readable message on experiment errors; none occur
+/// with the shipped case study.
+pub fn cmd_sweep(args: &SweepArgs) -> Result<String, String> {
+    let opts = rto_exp::ExpOptions {
+        jobs: args.jobs,
+        cache_root: args.cache.then(rto_exp::default_cache_root),
+        obs: rto_obs::Obs::disabled(),
+    };
+    let sweep = rto_bench::sweep::run_with(
+        &rto_bench::sweep::default_grid(),
+        args.seeds,
+        args.horizon_secs,
+        args.seed,
+        &opts,
+    )
+    .map_err(|e| e.to_string())?;
+
+    let mut out = String::new();
+    if args.json {
+        let mut buf = Vec::new();
+        rto_bench::report::write_json_lines(&sweep.rows, &mut buf).map_err(|e| e.to_string())?;
+        out.push_str(&String::from_utf8_lossy(&buf));
+    } else {
+        let table: Vec<Vec<String>> = sweep
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{:.1}", r.background_utilization),
+                    format!("{:.3}", r.normalized_benefit),
+                    format!("{:.3}", r.remote_rate),
+                    r.deadline_misses.to_string(),
+                ]
+            })
+            .collect();
+        out.push_str(&rto_bench::report::text_table(
+            &["bg_util", "norm_benefit", "remote_rate", "misses"],
+            &table,
+        ));
+        let _ = writeln!(
+            out,
+            "\n{} trials ({} simulated, {} cached) in {:.1} ms",
+            sweep.stats.trials_total,
+            sweep.stats.trials_simulated,
+            sweep.stats.trials_cached,
+            rto_core::time::Duration::from_ns(sweep.stats.wall_ns).as_ms_f64()
+        );
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

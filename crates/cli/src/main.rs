@@ -10,6 +10,9 @@
 //! rto-cli simulate <config.json> --trace-json <out>  … plus a full JSON trace
 //! rto-cli trace <config.json> --format chrome --out trace.json
 //!                                    structured event trace (chrome|jsonl) + metrics
+//! rto-cli sweep [--jobs N] [--seeds K] [--horizon S] [--seed B] [--cache] [--json]
+//!                                    case-study utilization sweep on the parallel
+//!                                    deterministic experiment engine
 //! ```
 
 #![forbid(unsafe_code)]
@@ -17,11 +20,38 @@
 mod commands;
 mod config;
 
-use commands::{cmd_analyze, cmd_demo, cmd_plan, cmd_simulate, cmd_trace, TraceFormat};
+use commands::{
+    cmd_analyze, cmd_demo, cmd_plan, cmd_simulate, cmd_sweep, cmd_trace, SweepArgs, TraceFormat,
+};
 use config::SystemConfig;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: rto-cli <demo | plan <file> | analyze <file> | simulate <file> [--gantt] [--trace-json <out>] | trace <file> [--format chrome|jsonl] --out <path>>";
+const USAGE: &str = "usage: rto-cli <demo | plan <file> | analyze <file> | simulate <file> [--gantt] [--trace-json <out>] | trace <file> [--format chrome|jsonl] --out <path> | sweep [--jobs N] [--seeds K] [--horizon S] [--seed B] [--cache] [--json]>";
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_sweep_args(args: &[String]) -> Result<SweepArgs, String> {
+    let defaults = SweepArgs::default();
+    let parse = |flag: &str, default_u64: u64| -> Result<u64, String> {
+        flag_value(args, flag).map_or(Ok(default_u64), |v| {
+            v.parse().map_err(|e| format!("{flag}: {e}"))
+        })
+    };
+    Ok(SweepArgs {
+        jobs: usize::try_from(parse("--jobs", defaults.jobs as u64)?)
+            .map_err(|e| format!("--jobs: {e}"))?,
+        seeds: parse("--seeds", defaults.seeds)?,
+        horizon_secs: parse("--horizon", defaults.horizon_secs)?,
+        seed: parse("--seed", defaults.seed)?,
+        cache: args.iter().any(|a| a == "--cache"),
+        json: args.iter().any(|a| a == "--json"),
+    })
+}
 
 fn load(path: &str) -> Result<SystemConfig, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -64,6 +94,7 @@ fn run() -> Result<String, String> {
                 .ok_or(USAGE)?;
             cmd_trace(&load(path)?, format, std::path::Path::new(out))
         }
+        Some("sweep") => cmd_sweep(&parse_sweep_args(&args)?),
         _ => Err(USAGE.to_string()),
     }
 }

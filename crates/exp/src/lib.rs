@@ -1,0 +1,65 @@
+//! # rto-exp — parallel, deterministic experiment engine
+//!
+//! The paper's evaluation is a trial matrix: utilization points ×
+//! seeds × horizons, thousands of independent simulations. This crate
+//! runs such matrices in parallel on plain `std::thread` (the
+//! workspace is offline — no rayon) while keeping the one property a
+//! reproduction cannot negotiate away:
+//!
+//! > **Determinism contract.** For a pure trial function, the output
+//! > of [`run_matrix`] is bit-identical for every `--jobs N`
+//! > (including `N = 1`), for any completion order, and for warm vs.
+//! > cold cache.
+//!
+//! Three mechanisms add up to that guarantee:
+//!
+//! * [`pool`] — a fixed-size worker pool that distributes trial
+//!   *indices* through an atomic cursor and collects results into
+//!   index-keyed slots, so output order never depends on scheduling;
+//! * [`seed`] — counter-based SplitMix64 stream derivation making each
+//!   trial's seed a pure, collision-free function of
+//!   `(base_seed, point, trial)` — no shared RNG state to race on;
+//! * [`cache`] — a content-hashed per-trial result cache (FNV-1a keyed,
+//!   embedded-key verified, bit-exact float codec) under
+//!   `target/rto-exp/`, so a re-run after editing one point simulates
+//!   only the delta.
+//!
+//! Progress and cost are observable through `rto-obs`: the
+//! `exp_trials_completed_total` / `exp_trials_cached_total` counters,
+//! the `exp_trial_duration_ns` histogram, and one
+//! `TraceEvent::TrialDone` per finished trial.
+//!
+//! ## Example
+//!
+//! ```
+//! use rto_exp::{run_matrix, ExpOptions, MatrixSpec};
+//!
+//! let spec = MatrixSpec {
+//!     name: "demo".into(),
+//!     fingerprint: "v1".into(),
+//!     base_seed: 42,
+//!     point_keys: vec!["util=0.3".into(), "util=0.5".into()],
+//!     trials_per_point: 4,
+//! };
+//! // Trial results implement `TrialData`; `String` does out of the box.
+//! let run = run_matrix(&spec, &ExpOptions::default(), |ctx| {
+//!     format!("seed={:016x}", ctx.seed)
+//! });
+//! assert_eq!(run.points.len(), 2);
+//! assert_eq!(run.stats.trials_total, 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod pool;
+pub mod seed;
+
+pub use cache::{f64_from_hex, f64_hex, fnv64, TrialCache, TrialData};
+pub use engine::{
+    default_cache_root, run_matrix, ExpOptions, MatrixRun, MatrixSpec, RunStats, TrialCtx,
+};
+pub use pool::{effective_jobs, run_indexed};
+pub use seed::{derive_seed, legacy_xor_seed};

@@ -158,6 +158,23 @@ pub enum TraceEvent {
         /// The chosen fleet member index.
         member: usize,
     },
+    /// The experiment engine finished one trial of a trial matrix.
+    ///
+    /// Emitted by `rto-exp` once per `(point, trial)` cell, whether the
+    /// result was freshly simulated or served from the trial cache.
+    /// Timestamps are host-side nanoseconds since the matrix run
+    /// started (the engine is not simulated time).
+    TrialDone {
+        /// Matrix point (grid row) index.
+        point: usize,
+        /// Trial index within the point.
+        trial: usize,
+        /// `true` when the result came from the trial cache.
+        cached: bool,
+        /// Host wall-clock duration of this trial in nanoseconds
+        /// (0 for cache hits).
+        elapsed_ns: u64,
+    },
     /// The offloading decision manager chose a plan.
     OdmDecisionChosen {
         /// Name of the MCKP solver that produced the plan.
@@ -191,6 +208,7 @@ impl TraceEvent {
             TraceEvent::DeadlineMet { .. } => "deadline_met",
             TraceEvent::DeadlineMissed { .. } => "deadline_missed",
             TraceEvent::FleetRouted { .. } => "fleet_routed",
+            TraceEvent::TrialDone { .. } => "trial_done",
             TraceEvent::OdmDecisionChosen { .. } => "odm_decision_chosen",
         }
     }
@@ -210,7 +228,9 @@ impl TraceEvent {
             | TraceEvent::CompensationTimerFired { job_id, .. }
             | TraceEvent::DeadlineMet { job_id, .. }
             | TraceEvent::DeadlineMissed { job_id, .. } => Some(job_id),
-            TraceEvent::FleetRouted { .. } | TraceEvent::OdmDecisionChosen { .. } => None,
+            TraceEvent::FleetRouted { .. }
+            | TraceEvent::TrialDone { .. }
+            | TraceEvent::OdmDecisionChosen { .. } => None,
         }
     }
 
@@ -230,7 +250,7 @@ impl TraceEvent {
             | TraceEvent::DeadlineMet { task_id, .. }
             | TraceEvent::DeadlineMissed { task_id, .. }
             | TraceEvent::FleetRouted { task_id, .. } => Some(task_id),
-            TraceEvent::OdmDecisionChosen { .. } => None,
+            TraceEvent::TrialDone { .. } | TraceEvent::OdmDecisionChosen { .. } => None,
         }
     }
 
@@ -323,6 +343,17 @@ impl TraceEvent {
             }
             TraceEvent::FleetRouted { task_id, member } => {
                 let _ = write!(out, ",\"task_id\":{task_id},\"member\":{member}");
+            }
+            TraceEvent::TrialDone {
+                point,
+                trial,
+                cached,
+                elapsed_ns,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"point\":{point},\"trial\":{trial},\"cached\":{cached},\"elapsed_ns\":{elapsed_ns}"
+                );
             }
             TraceEvent::OdmDecisionChosen {
                 solver,
@@ -468,6 +499,12 @@ mod tests {
             TraceEvent::FleetRouted {
                 task_id: 0,
                 member: 2,
+            },
+            TraceEvent::TrialDone {
+                point: 3,
+                trial: 1,
+                cached: true,
+                elapsed_ns: 99,
             },
             TraceEvent::OdmDecisionChosen {
                 solver: "heu-oe",

@@ -7,11 +7,15 @@
 //! estimator) is oblivious to the fan-out:
 //!
 //! * [`Routing::RoundRobin`] — cycle through members;
-//! * [`Routing::ByTask`] — pin each task id to one member (deterministic
-//!   hashing), keeping per-task response statistics stationary;
+//! * [`Routing::ByTask`] — pin each task id to one member by plain
+//!   `task_id % n` modular pinning (no hashing involved), keeping
+//!   per-task response statistics stationary;
 //! * [`Routing::FastestObserved`] — send to the member with the best
 //!   recent observed response time (explore-then-exploit with a fixed
-//!   exploration share).
+//!   exploration share; exploration turns rotate over the *non-best*
+//!   members, and lost responses fold a configurable penalty into the
+//!   member's estimate so fast-but-lossy members do not look best
+//!   forever).
 //!
 //! Routing is *client-side* and uses only information the client really
 //! has — observed responses — never the servers' internal state.
@@ -45,6 +49,9 @@ pub struct ServerFleet {
     /// EWMA of observed response time per member, in ms (`None` until the
     /// first observation).
     observed_ms: Vec<Option<f64>>,
+    /// Response-time equivalent charged into a member's EWMA when a
+    /// submission to it is lost (ms).
+    lost_penalty_ms: f64,
     obs: Obs,
     /// `fleet_routed_total_<member>` counters, one per member.
     routed: Vec<Counter>,
@@ -62,6 +69,13 @@ impl std::fmt::Debug for ServerFleet {
 
 /// EWMA smoothing factor for observed response times.
 const ALPHA: f64 = 0.3;
+
+/// Default lost-response penalty (ms): far above any realistic
+/// response time in this stack (service means are tens of ms, promised
+/// response bounds are hundreds), so a member that keeps losing
+/// submissions ranks last no matter how fast its successful answers
+/// are.
+const DEFAULT_LOST_PENALTY_MS: f64 = 1_000.0;
 
 impl ServerFleet {
     /// Creates a fleet.
@@ -82,9 +96,23 @@ impl ServerFleet {
             next: 0,
             submissions: 0,
             observed_ms: vec![None; n],
+            lost_penalty_ms: DEFAULT_LOST_PENALTY_MS,
             obs: Obs::disabled(),
             routed: Vec::new(),
         }
+    }
+
+    /// Overrides the response-time equivalent (ms) folded into a
+    /// member's EWMA when a submission to it is **lost**. Without this
+    /// charge a fast-but-lossy member would keep the estimate of its
+    /// rare successes and look best forever; with it, losses drag the
+    /// estimate toward `penalty_ms` and [`Routing::FastestObserved`]
+    /// routes away. Choose a value above the worst acceptable response
+    /// time; defaults to 1000 ms.
+    #[must_use]
+    pub fn with_lost_penalty_ms(mut self, penalty_ms: f64) -> Self {
+        self.lost_penalty_ms = penalty_ms;
+        self
     }
 
     /// Attaches an observability bundle: every submission emits a
@@ -133,13 +161,20 @@ impl ServerFleet {
                     .min_by(|a, b| a.1.total_cmp(&b.1))
                     .map(|(i, _)| i);
                 match best {
-                    // Exploration turn, or nothing observed yet: rotate.
                     Some(best_idx) if !self.submissions.is_multiple_of(explore_every) || n == 1 => {
                         best_idx
                     }
-                    _ => {
-                        let m = self.next;
-                        self.next = (self.next + 1) % n;
+                    // Exploration turn, or nothing observed yet: rotate.
+                    // Skip the current best — we would pick it anyway on
+                    // an exploitation turn, so probing it would waste
+                    // the entire exploration budget promised to the
+                    // *other* members.
+                    best => {
+                        let mut m = self.next % n;
+                        if best == Some(m) && n > 1 {
+                            m = (m + 1) % n;
+                        }
+                        self.next = (m + 1) % n;
                         m
                     }
                 }
@@ -163,13 +198,18 @@ impl OffloadServer for ServerFleet {
             counter.inc();
         }
         let outcome = self.members[member].submit(request, now);
-        if let SubmitOutcome::Response { arrives_at } = outcome {
-            let rt_ms = arrives_at.since(now).as_ms_f64();
-            self.observed_ms[member] = Some(match self.observed_ms[member] {
-                Some(prev) => prev + ALPHA * (rt_ms - prev),
-                None => rt_ms,
-            });
-        }
+        // Every outcome updates the estimate: a response feeds its
+        // round-trip time, a loss feeds the (large) lost penalty —
+        // otherwise a fast-but-lossy member would keep the EWMA of its
+        // rare successes and look best forever.
+        let rt_ms = match outcome {
+            SubmitOutcome::Response { arrives_at } => arrives_at.since(now).as_ms_f64(),
+            SubmitOutcome::Lost => self.lost_penalty_ms,
+        };
+        self.observed_ms[member] = Some(match self.observed_ms[member] {
+            Some(prev) => prev + ALPHA * (rt_ms - prev),
+            None => rt_ms,
+        });
         outcome
     }
 }
@@ -240,7 +280,7 @@ mod tests {
     }
 
     #[test]
-    fn lost_responses_do_not_poison_estimates() {
+    fn lost_responses_penalize_the_member() {
         let mut f = ServerFleet::new(
             vec![
                 Box::new(BlackHoleServer),
@@ -256,11 +296,125 @@ mod tests {
                 answered += 1;
             }
         }
-        // The black hole yields no observations, so once the live member
-        // is known, only exploration turns are lost.
+        // Losses charge the penalty into the black hole's estimate, so
+        // once the live member answers it is strictly better and only
+        // exploration turns are lost.
         assert!(answered > 30, "only {answered}/60 answered");
-        assert!(f.observed_ms()[0].is_none());
-        assert!(f.observed_ms()[1].is_some());
+        let dead = f.observed_ms()[0].expect("losses must leave an estimate");
+        let live = f.observed_ms()[1].expect("responses leave an estimate");
+        assert!(
+            dead > live,
+            "lossy member ({dead} ms) must rank behind the live one ({live} ms)"
+        );
+        assert!(dead > 500.0, "penalty not reflected: {dead} ms");
+    }
+
+    /// A server that answers fast but loses every other submission —
+    /// the member that used to fool `FastestObserved` forever when
+    /// losses were ignored.
+    struct FlakyServer {
+        response_time: Duration,
+        submissions: u64,
+    }
+
+    impl OffloadServer for FlakyServer {
+        fn submit(&mut self, _request: &OffloadRequest, now: Instant) -> SubmitOutcome {
+            self.submissions += 1;
+            if self.submissions.is_multiple_of(2) {
+                SubmitOutcome::Lost
+            } else {
+                SubmitOutcome::Response {
+                    arrives_at: now + self.response_time,
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_but_lossy_member_is_routed_away_from() {
+        // Member 0: 2 ms when it answers, but 50 % loss. Member 1:
+        // honest 20 ms. Ignoring losses, member 0's EWMA would sit at
+        // 2 ms and capture all exploitation traffic forever.
+        let mut f = ServerFleet::new(
+            vec![
+                Box::new(FlakyServer {
+                    response_time: Duration::from_ms(2),
+                    submissions: 0,
+                }),
+                Box::new(PerfectServer {
+                    response_time: Duration::from_ms(20),
+                }),
+            ],
+            Routing::FastestObserved { explore_every: 5 },
+        );
+        let mut reliable_hits = 0;
+        for k in 0..100 {
+            if response_ms(&mut f, 0, k) == Some(20.0) {
+                reliable_hits += 1;
+            }
+        }
+        // The loss penalty drags the flaky member's estimate far above
+        // the reliable member's, so exploitation converges there.
+        assert!(
+            reliable_hits > 60,
+            "only {reliable_hits}/100 reached the reliable member"
+        );
+        let flaky = f.observed_ms()[0].expect("flaky member was observed");
+        let reliable = f.observed_ms()[1].expect("reliable member was observed");
+        assert!(
+            flaky > reliable,
+            "flaky member ({flaky} ms) still looks better than reliable ({reliable} ms)"
+        );
+    }
+
+    #[test]
+    fn exploration_turns_never_probe_the_best_member() {
+        use rto_obs::MemorySink;
+        use std::sync::Arc;
+
+        let sink = Arc::new(MemorySink::new());
+        let explore_every = 2;
+        let mut f = ServerFleet::new(
+            vec![
+                Box::new(PerfectServer {
+                    response_time: Duration::from_ms(10),
+                }),
+                Box::new(PerfectServer {
+                    response_time: Duration::from_ms(50),
+                }),
+                Box::new(PerfectServer {
+                    response_time: Duration::from_ms(90),
+                }),
+            ],
+            Routing::FastestObserved { explore_every },
+        )
+        .with_obs(Obs::with_sink(sink.clone()));
+        for k in 0..40 {
+            response_ms(&mut f, 0, k);
+        }
+        let members: Vec<usize> = sink
+            .snapshot()
+            .iter()
+            .filter_map(|(_, e)| match e {
+                TraceEvent::FleetRouted { member, .. } => Some(*member),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(members.len(), 40);
+        // Submission 0 observes member 0 (10 ms), which stays best for
+        // the whole run. Every later exploration turn must probe one of
+        // the *other* members; exploitation turns must hit the best.
+        let mut probed = std::collections::HashSet::new();
+        for (k, &m) in members.iter().enumerate().skip(1) {
+            if k % explore_every as usize == 0 {
+                assert_ne!(m, 0, "exploration turn {k} wasted on the best member");
+                probed.insert(m);
+            } else {
+                assert_eq!(m, 0, "exploitation turn {k} missed the best member");
+            }
+        }
+        // The rotation reaches every non-best member, not just one.
+        assert_eq!(probed.len(), 2, "rotation must cover all non-best members");
     }
 
     #[test]

@@ -40,6 +40,27 @@ print(f"    cache speedup: {speedup:.1f}x "
 assert speedup >= 5.0, f"warm-cache speedup {speedup:.1f}x < 5x"
 EOF
 
+echo "==> rto-exp determinism: byte-identical rows for jobs 1/2/8 + warm cache"
+cargo test -p rto-bench --offline -q --release --test exp_determinism
+
+echo "==> sweep_bench: serial vs --jobs 4, identical-rows cross-check"
+cargo run --release -p rto-bench --offline -q --bin sweep_bench -- --jobs 4 --out BENCH_sweep.json
+# The >=2x speedup gate only means something with real cores under it;
+# single-core machines still get the identical-rows check above (the
+# CI `exp` job always asserts the gate on its 4-core runners).
+if [ "$(nproc 2>/dev/null || echo 1)" -ge 4 ]; then
+  python3 - <<'EOF'
+import json
+b = json.load(open("BENCH_sweep.json"))
+assert b["identical"] is True, b
+print(f"    parallel speedup: {b['speedup']:.2f}x "
+      f"({b['serial_ms']:.0f} ms -> {b['parallel_ms']:.0f} ms)")
+assert b["speedup"] >= 2.0, f"parallel speedup {b['speedup']:.2f}x < 2x with 4 workers"
+EOF
+else
+  echo "==> skipping speedup gate (<4 cores; CI asserts it)"
+fi
+
 echo "==> loom model tests (obs metrics, RUSTFLAGS=--cfg loom)"
 RUSTFLAGS="--cfg loom" cargo test -p rto-obs --offline -q --test loom_metrics
 
