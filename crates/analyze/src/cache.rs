@@ -14,13 +14,16 @@
 //! cache miss, never an error.
 
 use crate::facts::{
-    CallFact, FileFacts, FnFact, RawFinding, SeedFact, SeedKind, Unit, WaiverComment, WaiverKind,
+    A4Kind, A4Site, AtomicFact, BlockFact, CallFact, FileFacts, FnFact, RawFinding, SeedFact,
+    SeedKind, Unit, WaiverComment, WaiverKind,
 };
 use std::fs;
 use std::path::{Path, PathBuf};
 
 /// Bump when the serialization or the fact model changes.
-const CACHE_VERSION: u32 = 1;
+/// v2: A4 interval sites + summaries (`I`, `ret_abs`/`ret_ty` on `F`,
+/// type on `A`, `in_spawn` on `C`) and A5 facts (`K`/`B`/`T`).
+const CACHE_VERSION: u32 = 2;
 
 /// 64-bit FNV-1a hash (the cache key for both file names and content).
 #[must_use]
@@ -118,22 +121,35 @@ pub fn encode(facts: &FileFacts, hash: u64) -> String {
     for f in &facts.fns {
         let _ = writeln!(
             out,
-            "F\t{}\t{}\t{}\t{}\t{}\t{}",
+            "F\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             esc(&f.name),
             opt(f.qual.as_deref()),
             opt(f.trait_name.as_deref()),
             u8::from(f.is_pub),
             f.line,
-            f.ret_unit.as_str()
+            f.ret_unit.as_str(),
+            if f.ret_ty.is_empty() { "-" } else { &f.ret_ty },
+            if f.ret_abs.is_empty() {
+                "-"
+            } else {
+                &f.ret_abs
+            }
         );
-        for (name, unit) in &f.params {
-            let _ = writeln!(out, "A\t{}\t{}", esc(name), unit.as_str());
+        for (idx, (name, unit)) in f.params.iter().enumerate() {
+            let ty = f.param_tys.get(idx).map_or("", String::as_str);
+            let _ = writeln!(
+                out,
+                "A\t{}\t{}\t{}",
+                esc(name),
+                unit.as_str(),
+                if ty.is_empty() { "-" } else { ty }
+            );
         }
         for c in &f.calls {
             let units: Vec<&str> = c.arg_units.iter().map(|u| u.as_str()).collect();
             let _ = writeln!(
                 out,
-                "C\t{}\t{}\t{}\t{}",
+                "C\t{}\t{}\t{}\t{}\t{}",
                 esc(&c.callee),
                 opt(c.qual.as_deref()),
                 c.line,
@@ -141,7 +157,8 @@ pub fn encode(facts: &FileFacts, hash: u64) -> String {
                     "-".to_string()
                 } else {
                     units.join(",")
-                }
+                },
+                u8::from(c.in_spawn)
             );
         }
         for s in &f.seeds {
@@ -153,6 +170,35 @@ pub fn encode(facts: &FileFacts, hash: u64) -> String {
                 u8::from(s.waived)
             );
         }
+        for (name, line) in &f.lock_acqs {
+            let _ = writeln!(out, "K\t{}\t{}", esc(name), line);
+        }
+        for b in &f.blocking {
+            let _ = writeln!(
+                out,
+                "B\t{}\t{}\t{}",
+                esc(&b.desc),
+                b.line,
+                u8::from(b.in_spawn)
+            );
+        }
+    }
+    for a in &facts.atomics {
+        let _ = writeln!(out, "T\t{}\t{}\t{}", esc(&a.op), esc(&a.ordering), a.line);
+    }
+    for s in &facts.a4 {
+        let _ = writeln!(
+            out,
+            "I\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            s.kind.as_str(),
+            s.line,
+            esc(&s.expr),
+            esc(&s.target),
+            esc(&s.witness),
+            u8::from(s.definite),
+            opt(s.dep.as_ref().and_then(|d| d.0.as_deref())),
+            opt(s.dep.as_ref().map(|d| d.1.as_str()))
+        );
     }
     for (tag, list) in [
         ("L", &facts.lint_prod),
@@ -229,13 +275,18 @@ pub fn decode(text: &str, want_hash: u64) -> Option<FileFacts> {
                     is_pub: parts.next()? == "1",
                     line: parts.next()?.parse().ok()?,
                     ret_unit: Unit::from_str_lossy(parts.next()?),
+                    ret_ty: opt_back(parts.next()?).unwrap_or_default(),
+                    ret_abs: opt_back(parts.next()?).unwrap_or_default(),
                     ..FnFact::default()
                 });
             }
             "A" => {
                 let name = unesc(parts.next()?);
                 let unit = Unit::from_str_lossy(parts.next()?);
-                cur_fn.as_mut()?.params.push((name, unit));
+                let ty = opt_back(parts.next()?).unwrap_or_default();
+                let f = cur_fn.as_mut()?;
+                f.params.push((name, unit));
+                f.param_tys.push(ty);
             }
             "C" => {
                 let callee = unesc(parts.next()?);
@@ -247,11 +298,57 @@ pub fn decode(text: &str, want_hash: u64) -> Option<FileFacts> {
                 } else {
                     units_field.split(',').map(Unit::from_str_lossy).collect()
                 };
+                let in_spawn = parts.next()? == "1";
                 cur_fn.as_mut()?.calls.push(CallFact {
                     callee,
                     qual,
                     line: line_no,
                     arg_units,
+                    in_spawn,
+                });
+            }
+            "K" => {
+                let name = unesc(parts.next()?);
+                let line_no = parts.next()?.parse().ok()?;
+                cur_fn.as_mut()?.lock_acqs.push((name, line_no));
+            }
+            "B" => {
+                let desc = unesc(parts.next()?);
+                let line_no = parts.next()?.parse().ok()?;
+                let in_spawn = parts.next()? == "1";
+                cur_fn.as_mut()?.blocking.push(BlockFact {
+                    desc,
+                    line: line_no,
+                    in_spawn,
+                });
+            }
+            "T" => {
+                let op = unesc(parts.next()?);
+                let ordering = unesc(parts.next()?);
+                let line_no = parts.next()?.parse().ok()?;
+                facts.atomics.push(AtomicFact {
+                    op,
+                    ordering,
+                    line: line_no,
+                });
+            }
+            "I" => {
+                let kind = A4Kind::from_str_lossy(parts.next()?);
+                let line_no = parts.next()?.parse().ok()?;
+                let expr = unesc(parts.next()?);
+                let target = unesc(parts.next()?);
+                let witness = unesc(parts.next()?);
+                let definite = parts.next()? == "1";
+                let dep_qual = opt_back(parts.next()?);
+                let dep_name = opt_back(parts.next()?);
+                facts.a4.push(A4Site {
+                    kind,
+                    line: line_no,
+                    expr,
+                    target,
+                    witness,
+                    definite,
+                    dep: dep_name.map(|n| (dep_qual, n)),
                 });
             }
             "S" => {
@@ -339,7 +436,7 @@ mod tests {
         let facts = parse_file("crates/core/src/x.rs", "fn f() {}\n");
         let text = encode(&facts, 42);
         assert!(decode(&text, 43).is_none());
-        let bumped = text.replace("rto-analyze-cache\t1\t", "rto-analyze-cache\t999\t");
+        let bumped = text.replace("rto-analyze-cache\t2\t", "rto-analyze-cache\t999\t");
         assert!(decode(&bumped, 42).is_none());
     }
 

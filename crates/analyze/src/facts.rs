@@ -130,6 +130,97 @@ pub struct CallFact {
     pub line: u32,
     /// Inferred unit of each top-level argument.
     pub arg_units: Vec<Unit>,
+    /// The call site is lexically inside the argument group of a
+    /// `spawn(..)` call (i.e. inside a worker closure) — A5 uses this
+    /// to seed the blocking-reachability check.
+    pub in_spawn: bool,
+}
+
+/// The hazard class of one A4 interval finding site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum A4Kind {
+    /// `expr as u32/usize/…` where the value interval does not provably
+    /// fit the target type (float→int truncation included).
+    LossyCast,
+    /// Integer `/` or `%` whose divisor interval is not provably
+    /// nonzero.
+    DivZero,
+    /// Unsigned `a - b` where `a >= b` is not provable.
+    SubUnderflow,
+    /// `+`/`*` on *derived* intervals whose result exceeds the operand
+    /// type range.
+    Overflow,
+}
+
+impl A4Kind {
+    /// Stable spelling for cache + messages.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            A4Kind::LossyCast => "lossy-cast",
+            A4Kind::DivZero => "div-zero",
+            A4Kind::SubUnderflow => "sub-underflow",
+            A4Kind::Overflow => "overflow",
+        }
+    }
+
+    /// Inverse of [`A4Kind::as_str`].
+    #[must_use]
+    pub fn from_str_lossy(s: &str) -> Self {
+        match s {
+            "div-zero" => A4Kind::DivZero,
+            "sub-underflow" => A4Kind::SubUnderflow,
+            "overflow" => A4Kind::Overflow,
+            _ => A4Kind::LossyCast,
+        }
+    }
+}
+
+/// One unproven (or definitely violated) value-range site recorded by
+/// the phase-1 interval walk. Phase 2 may discharge it through an
+/// interprocedural return-interval summary ([`A4Site::dep`]), or turn
+/// it into a diagnostic.
+#[derive(Debug, Clone)]
+pub struct A4Site {
+    /// Hazard class.
+    pub kind: A4Kind,
+    /// 1-based source line.
+    pub line: u32,
+    /// Short source snippet of the offending expression.
+    pub expr: String,
+    /// Cast target type name (`u32`), or the operator (`/`, `-`, `+`).
+    pub target: String,
+    /// Rendered witness interval at the site (`[0, 2^53]`, `⊤`).
+    pub witness: String,
+    /// `true`: the derived interval *proves* the violation; `false`:
+    /// merely not provably safe.
+    pub definite: bool,
+    /// When the value is exactly one call's result, the `(qual, name)`
+    /// summary key phase 2 resolves against the symbol table.
+    pub dep: Option<(Option<String>, String)>,
+}
+
+/// One atomic operation with an explicit memory ordering (A5).
+#[derive(Debug, Clone)]
+pub struct AtomicFact {
+    /// Method name (`fetch_add`, `load`, `compare_exchange`, …).
+    pub op: String,
+    /// Ordering variant name (`Relaxed`, `SeqCst`, …). One fact per
+    /// `Ordering::X` token in the call's arguments.
+    pub ordering: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// One potentially blocking call site (A5).
+#[derive(Debug, Clone)]
+pub struct BlockFact {
+    /// Human label (``"`Mutex::lock`"``, ``"file I/O (`fs::write`)"``).
+    pub desc: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Lexically inside a `spawn(..)` argument group.
+    pub in_spawn: bool,
 }
 
 /// Facts about one function (or method) definition.
@@ -148,12 +239,25 @@ pub struct FnFact {
     pub line: u32,
     /// Parameter names with their inferred units (`self` excluded).
     pub params: Vec<(String, Unit)>,
+    /// Primitive type annotation of each parameter, aligned with
+    /// `params` (`""` when the type is not a bare primitive).
+    pub param_tys: Vec<String>,
     /// Unit implied by the function's name (`..._ns`, `ratio`, …).
     pub ret_unit: Unit,
+    /// Primitive return type (`"u64"`, `"f64"`, `""` otherwise).
+    pub ret_ty: String,
+    /// Encoded abstract return interval ([`crate::domains::Abs`]
+    /// encoding) — the interprocedural A4 summary for this function.
+    pub ret_abs: String,
     /// Call sites in the body.
     pub calls: Vec<CallFact>,
     /// Panic-family seeds in the body.
     pub seeds: Vec<SeedFact>,
+    /// Lock acquisitions (`recv.lock()` and RwLock read/write), as
+    /// `(receiver name, line)` in source order — A5's lock-order input.
+    pub lock_acqs: Vec<(String, u32)>,
+    /// Potentially blocking call sites in the body.
+    pub blocking: Vec<BlockFact>,
 }
 
 impl FnFact {
@@ -222,6 +326,10 @@ pub struct FileFacts {
     pub waivers: Vec<WaiverComment>,
     /// Lines containing an `Ordering::Relaxed` token (full stream).
     pub relaxed_lines: Vec<u32>,
+    /// A4 interval sites recorded by the phase-1 walk (pre-waiver).
+    pub a4: Vec<A4Site>,
+    /// Atomic operations with explicit orderings (test-stripped).
+    pub atomics: Vec<AtomicFact>,
 }
 
 impl FileFacts {

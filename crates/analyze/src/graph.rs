@@ -23,7 +23,7 @@ const DENY_CRATES: &[&str] = &["core", "mckp"];
 const WARN_CRATES: &[&str] = &["sim", "obs"];
 
 /// Global function id: `(file index, fn index within the file)`.
-type Gid = (usize, usize);
+pub(crate) type Gid = (usize, usize);
 
 /// Run the call-graph analyses over every file's facts.
 #[must_use]
@@ -38,12 +38,12 @@ pub fn check(
     out
 }
 
-/// The resolved call graph.
-struct Graph {
+/// The resolved call graph (shared with the A5 concurrency audit).
+pub(crate) struct Graph {
     /// All functions, in deterministic `(file, fn)` order.
-    fns: Vec<Gid>,
+    pub(crate) fns: Vec<Gid>,
     /// Forward call edges, each target list sorted + deduped.
-    edges: HashMap<Gid, Vec<Gid>>,
+    pub(crate) edges: HashMap<Gid, Vec<Gid>>,
     /// Functions owning at least one *effective* (unwaived) seed.
     seeded: HashSet<Gid>,
     /// Transitive closure: functions from which a seed is reachable.
@@ -51,7 +51,7 @@ struct Graph {
 }
 
 impl Graph {
-    fn build(
+    pub(crate) fn build(
         files: &[FileFacts],
         allowlist: &[AllowEntry],
         deps: &HashMap<String, Vec<String>>,

@@ -26,8 +26,11 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod concurrency;
+pub mod domains;
 pub mod facts;
 pub mod graph;
+pub mod interval;
 pub mod parse;
 pub mod sarif;
 pub mod stale;
@@ -163,6 +166,8 @@ pub fn analyze_workspace(root: &Path, use_cache: bool) -> Result<Analysis, Strin
     }
 
     diagnostics.extend(graph::check(&all_facts, &allowlist, &deps));
+    diagnostics.extend(interval::check(&all_facts, &allowlist, &deps));
+    diagnostics.extend(concurrency::check(&all_facts, &allowlist, &deps));
     diagnostics.extend(stale::check(&all_facts, &allowlist));
 
     diagnostics.sort();
@@ -191,7 +196,7 @@ pub fn inline_waived(ff: &FileFacts, rule: &str, line: u32) -> bool {
 pub fn allowlist_waived(allowlist: &[AllowEntry], ff: &FileFacts, rule: &str) -> bool {
     allowlist
         .iter()
-        .any(|e| e.rule == rule && (ff.rel_path == e.path || ff.rel_path.ends_with(&e.path)))
+        .any(|e| e.rule == rule && e.covers(&ff.rel_path))
 }
 
 /// Parse `lint.allow.toml` at the workspace root (absent file = empty).

@@ -15,8 +15,10 @@
 //! never soundness of the "no finding" direction for seeds it did see.
 
 use crate::facts::{
-    CallFact, FileFacts, FnFact, RawFinding, SeedFact, SeedKind, Unit, WaiverComment, WaiverKind,
+    A4Site, AtomicFact, BlockFact, CallFact, FileFacts, FnFact, RawFinding, SeedFact, SeedKind,
+    Unit, WaiverComment, WaiverKind,
 };
+use crate::interval;
 use rto_lint::lexer::{lex, Lexed, TokKind, Token};
 use rto_lint::rules::{self, FileCtx, Finding};
 use std::collections::HashMap;
@@ -34,6 +36,67 @@ const EXPR_KEYWORDS: &[&str] = &[
 ];
 
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// True for macro names in the panic family (shared with the A4
+/// walker's divergence check).
+pub(crate) fn is_panic_macro(name: &str) -> bool {
+    PANIC_MACROS.contains(&name)
+}
+
+/// Atomic operations whose `Ordering::X` arguments A5 audits. A fact
+/// is only recorded when an `Ordering::` token actually appears in the
+/// argument list, so unrelated methods that happen to share a name
+/// (`cache.store(key, value)`) never produce atomic facts.
+const ATOMIC_OPS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// Method names that (potentially) block the calling thread — A5's
+/// seed set for the worker-closure blocking check.
+const BLOCKING_METHODS: &[(&str, &str)] = &[
+    ("lock", "`Mutex::lock`"),
+    ("recv", "channel `recv`"),
+    ("recv_timeout", "channel `recv_timeout`"),
+    ("wait", "condvar `wait`"),
+    ("wait_timeout", "condvar `wait_timeout`"),
+    ("write_all", "file I/O (`write_all`)"),
+    ("flush", "file I/O (`flush`)"),
+    ("read_to_string", "file I/O (`read_to_string`)"),
+    ("read_line", "file I/O (`read_line`)"),
+    ("sync_all", "file I/O (`sync_all`)"),
+];
+
+/// Primitive numeric type names tracked by the A4 interval pass.
+pub(crate) fn is_primitive_ty(name: &str) -> bool {
+    matches!(
+        name,
+        "u8" | "u16"
+            | "u32"
+            | "u64"
+            | "u128"
+            | "usize"
+            | "i8"
+            | "i16"
+            | "i32"
+            | "i64"
+            | "i128"
+            | "isize"
+            | "f32"
+            | "f64"
+    )
+}
 
 /// Parse one source file into facts. Pure in `(rel_path, src)` — the
 /// allowlist is *not* consulted here so cached facts stay valid when
@@ -72,10 +135,23 @@ pub fn parse_file(rel_path: &str, src: &str) -> FileFacts {
         index_seeds,
         fns: Vec::new(),
         a2: Vec::new(),
+        a4: Vec::new(),
+        atomics: Vec::new(),
     };
     scanner.scan_items(0, stripped.len(), &ItemCtx::default());
     facts.fns = scanner.fns;
     facts.a2_local = scanner.a2;
+    facts.a4 = scanner.a4;
+    facts.a4.sort_by(|a, b| {
+        (a.line, a.kind.as_str(), &a.expr).cmp(&(b.line, b.kind.as_str(), &b.expr))
+    });
+    facts
+        .a4
+        .dedup_by(|a, b| a.line == b.line && a.kind == b.kind && a.expr == b.expr);
+    facts.atomics = scanner.atomics;
+    facts
+        .atomics
+        .sort_by(|a, b| (a.line, &a.op, &a.ordering).cmp(&(b.line, &b.op, &b.ordering)));
     facts
         .a2_local
         .sort_by(|a, b| (a.line, &a.message).cmp(&(b.line, &b.message)));
@@ -192,6 +268,8 @@ struct Scanner<'a> {
     index_seeds: bool,
     fns: Vec<FnFact>,
     a2: Vec<RawFinding>,
+    a4: Vec<A4Site>,
+    atomics: Vec<AtomicFact>,
 }
 
 impl Scanner<'_> {
@@ -479,9 +557,11 @@ impl Scanner<'_> {
             return i;
         }
         let params_end = self.skip_group(i);
-        let params = self.parse_params(i + 1, params_end.saturating_sub(1));
+        let (params, param_tys) = self.parse_params(i + 1, params_end.saturating_sub(1));
         i = params_end;
-        // Return type / where clause: scan to body or `;`.
+        // Return type / where clause: scan to body or `;`, capturing a
+        // bare-primitive return annotation (`-> u64`) on the way.
+        let mut ret_ty = String::new();
         let mut depth = 0i32;
         while let Some(t) = self.tok(i) {
             match t.text.as_str() {
@@ -491,6 +571,16 @@ impl Scanner<'_> {
                 "<<" if t.kind == TokKind::Punct => depth += 2,
                 ">" if t.kind == TokKind::Punct => depth -= 1,
                 ">>" if t.kind == TokKind::Punct => depth -= 2,
+                "->" if t.kind == TokKind::Punct && depth <= 0 => {
+                    if let Some(n) = self.tok(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                        let bare = self.tok(i + 2).is_none_or(|f| {
+                            f.is_punct("{") || f.is_punct(";") || f.is_ident("where")
+                        });
+                        if is_primitive_ty(&n.text) && bare {
+                            ret_ty = n.text.clone();
+                        }
+                    }
+                }
                 "{" if t.kind == TokKind::Punct && depth <= 0 => break,
                 ";" if t.kind == TokKind::Punct && depth <= 0 => {
                     // Trait method declaration without a body.
@@ -501,9 +591,10 @@ impl Scanner<'_> {
                         is_pub,
                         line,
                         params,
+                        param_tys,
                         ret_unit: unit_of_fn_name(self.tok(at + 1).map_or("", |t| t.text.as_str())),
-                        calls: Vec::new(),
-                        seeds: Vec::new(),
+                        ret_ty,
+                        ..FnFact::default()
                     });
                     return i + 1;
                 }
@@ -523,37 +614,60 @@ impl Scanner<'_> {
             is_pub,
             line,
             params,
-            calls: Vec::new(),
-            seeds: Vec::new(),
+            param_tys,
+            ret_ty,
+            ..FnFact::default()
         };
         self.scan_body(i + 1, body_end.saturating_sub(1), &mut fact);
+        let (ret_abs, mut sites) =
+            interval::analyze_fn(self.toks, i + 1, body_end.saturating_sub(1), &fact);
+        fact.ret_abs = ret_abs;
+        self.a4.append(&mut sites);
         self.fns.push(fact);
         body_end
     }
 
-    /// Split a parameter list into `(name, unit)` pairs; `self`
-    /// receivers are dropped.
-    fn parse_params(&self, start: usize, end: usize) -> Vec<(String, Unit)> {
+    /// Split a parameter list into `(name, unit)` pairs plus, aligned,
+    /// the bare-primitive type annotation of each parameter (`""` when
+    /// the type is not a bare primitive); `self` receivers are dropped.
+    fn parse_params(&self, start: usize, end: usize) -> (Vec<(String, Unit)>, Vec<String>) {
         let mut out = Vec::new();
+        let mut tys = Vec::new();
         let mut chunk_start = start;
         let mut depth = 0i32;
         let mut i = start;
-        let flush = |s: usize, e: usize, out: &mut Vec<(String, Unit)>| {
+        let flush = |s: usize, e: usize, out: &mut Vec<(String, Unit)>, tys: &mut Vec<String>| {
             let mut name = None;
+            let mut colon_at = None;
             for j in s..e {
                 let Some(t) = self.tok(j) else { break };
                 if t.is_punct(":") {
+                    colon_at = Some(j);
                     break;
                 }
                 if t.kind == TokKind::Ident && !matches!(t.text.as_str(), "mut" | "ref") {
-                    name = Some(t.text.clone());
+                    name = Some((t.text.clone(), j));
                     break;
                 }
             }
-            if let Some(n) = name {
+            if let Some((n, at)) = name {
                 if n != "self" {
+                    // Type: a single primitive token directly after the
+                    // `:` and nothing else before the chunk end.
+                    let mut ty = String::new();
+                    if colon_at.is_none() && self.is_punct(at + 1, ":") {
+                        colon_at = Some(at + 1);
+                    }
+                    if let Some(c) = colon_at {
+                        if let Some(t) = self.tok(c + 1).filter(|t| t.kind == TokKind::Ident) {
+                            if is_primitive_ty(&t.text) && c + 2 >= e {
+                                ty = t.text.clone();
+                            }
+                        }
+                    }
                     let unit = unit_of_name(&n);
                     out.push((n, unit));
+                    tys.push(ty);
                 }
             }
         };
@@ -567,7 +681,7 @@ impl Scanner<'_> {
                 ">" if t.kind == TokKind::Punct => depth -= 1,
                 ">>" if t.kind == TokKind::Punct => depth -= 2,
                 "," if t.kind == TokKind::Punct && depth == 0 => {
-                    flush(chunk_start, i, &mut out);
+                    flush(chunk_start, i, &mut out, &mut tys);
                     chunk_start = i + 1;
                 }
                 _ => {}
@@ -575,7 +689,25 @@ impl Scanner<'_> {
             i += 1;
         }
         if chunk_start < end {
-            flush(chunk_start, end, &mut out);
+            flush(chunk_start, end, &mut out, &mut tys);
+        }
+        (out, tys)
+    }
+
+    /// Token-index ranges lexically inside the argument group of a
+    /// `spawn(..)` call within `[start, end)` — the worker-closure
+    /// regions A5's blocking check seeds from.
+    fn spawn_ranges(&self, start: usize, end: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut i = start;
+        while i < end {
+            if self.is_ident(i, "spawn") && self.is_punct(i + 1, "(") {
+                let close = self.skip_group(i + 1);
+                out.push((i + 2, close.saturating_sub(1)));
+                i += 2;
+                continue;
+            }
+            i += 1;
         }
         out
     }
@@ -583,6 +715,8 @@ impl Scanner<'_> {
     /// Walk a function body: record calls, seeds, let-bound units, and
     /// intra-function A2 findings.
     fn scan_body(&mut self, start: usize, end: usize, fact: &mut FnFact) {
+        let spawn_ranges = self.spawn_ranges(start, end);
+        let in_spawn_at = |i: usize| spawn_ranges.iter().any(|&(s, e)| s <= i && i < e);
         let mut env: HashMap<String, Unit> = fact
             .params
             .iter()
@@ -666,11 +800,56 @@ impl Scanner<'_> {
                     _ => {}
                 }
                 let args_end = self.skip_group(i + 2);
+                let in_spawn = in_spawn_at(i + 1);
+                // A5 fact extraction: lock acquisitions, potentially
+                // blocking calls, and explicitly ordered atomic ops.
+                let recv = self
+                    .tok(i.wrapping_sub(1))
+                    .filter(|r| r.kind == TokKind::Ident)
+                    .map_or_else(|| "<expr>".to_string(), |r| r.text.clone());
+                let recv_lockish = {
+                    let lower = recv.to_ascii_lowercase();
+                    lower.contains("lock") || lower.contains("mutex") || lower.contains("rw")
+                };
+                match callee.as_str() {
+                    "lock" => fact.lock_acqs.push((recv.clone(), line)),
+                    "read" | "write" if recv_lockish => {
+                        fact.lock_acqs.push((recv.clone(), line));
+                        fact.blocking.push(BlockFact {
+                            desc: format!("`RwLock::{callee}`"),
+                            line,
+                            in_spawn,
+                        });
+                    }
+                    _ => {}
+                }
+                if let Some((_, desc)) = BLOCKING_METHODS.iter().find(|(m, _)| *m == callee) {
+                    fact.blocking.push(BlockFact {
+                        desc: (*desc).to_string(),
+                        line,
+                        in_spawn,
+                    });
+                }
+                if ATOMIC_OPS.contains(&callee.as_str()) {
+                    for j in i + 3..args_end.saturating_sub(1) {
+                        if self.is_ident(j, "Ordering") && self.is_punct(j + 1, "::") {
+                            if let Some(ord) = self.tok(j + 2).filter(|o| o.kind == TokKind::Ident)
+                            {
+                                self.atomics.push(AtomicFact {
+                                    op: callee.clone(),
+                                    ordering: ord.text.clone(),
+                                    line,
+                                });
+                            }
+                        }
+                    }
+                }
                 fact.calls.push(CallFact {
                     callee,
                     qual: None,
                     line,
                     arg_units: self.arg_units(i + 3, args_end.saturating_sub(1), &env),
+                    in_spawn,
                 });
                 self.denominator_check(i + 1, i + 3, args_end.saturating_sub(1), &env);
                 i += 3; // keep scanning inside the args
@@ -693,11 +872,30 @@ impl Scanner<'_> {
                     None
                 };
                 let args_end = self.skip_group(i + 1);
+                let in_spawn = in_spawn_at(i);
+                // Path-qualified blocking calls: `thread::sleep`,
+                // `fs::write`, `File::open`, … (A5 seeds).
+                let blocking_desc = match (qual.as_deref(), t.text.as_str()) {
+                    (Some("thread"), "sleep") => Some("`thread::sleep`".to_string()),
+                    (Some("fs"), name) => Some(format!("file I/O (`fs::{name}`)")),
+                    (Some("File"), "open" | "create" | "options") => {
+                        Some(format!("file I/O (`File::{}`)", t.text))
+                    }
+                    _ => None,
+                };
+                if let Some(desc) = blocking_desc {
+                    fact.blocking.push(BlockFact {
+                        desc,
+                        line: t.line,
+                        in_spawn,
+                    });
+                }
                 fact.calls.push(CallFact {
                     callee: t.text.clone(),
                     qual,
                     line: t.line,
                     arg_units: self.arg_units(i + 2, args_end.saturating_sub(1), &env),
+                    in_spawn,
                 });
                 i += 2;
                 continue;

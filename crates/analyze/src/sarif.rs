@@ -27,6 +27,16 @@ const RULES: &[(&str, &str)] = &[
         "Stale waiver: an allowlist entry or inline lint waiver no longer matches any \
          finding.",
     ),
+    (
+        "A4",
+        "Value-range hazard: interval analysis could not prove a cast lossless, a divisor \
+         nonzero, a difference non-negative, or a sum/product in range.",
+    ),
+    (
+        "A5",
+        "Concurrency hazard: unjustified non-Relaxed atomic ordering, a lock-order cycle, \
+         or a blocking call reachable from a spawned worker closure.",
+    ),
 ];
 
 /// Render diagnostics for terminals: `path:line: [rule/severity] msg`.
@@ -171,7 +181,7 @@ mod tests {
         let s = sarif(&d);
         assert!(s.contains("\"version\": \"2.1.0\""));
         assert!(s.contains("sarif-schema-2.1.0.json"));
-        for id in ["A1", "A2", "A3"] {
+        for id in ["A1", "A2", "A3", "A4", "A5"] {
             assert!(s.contains(&format!("\"id\": \"{id}\"")), "{s}");
         }
         assert!(s.contains("\"level\": \"error\""));

@@ -25,8 +25,20 @@ pub fn check(files: &[FileFacts], allowlist: &[AllowEntry]) -> Vec<Diagnostic> {
 
     for entry in allowlist {
         let justified = files.iter().any(|ff| {
-            (ff.rel_path == entry.path || ff.rel_path.ends_with(&entry.path))
-                && ff.lint_prod.iter().any(|f| f.rule == entry.rule)
+            if !entry.covers(&ff.rel_path) {
+                return false;
+            }
+            match entry.rule.as_str() {
+                "A4" => !ff.a4.is_empty(),
+                "A5" => {
+                    ff.atomics.iter().any(|a| a.ordering != "Relaxed")
+                        || ff
+                            .fns
+                            .iter()
+                            .any(|f| !f.blocking.is_empty() || !f.lock_acqs.is_empty())
+                }
+                _ => ff.lint_prod.iter().any(|f| f.rule == entry.rule),
+            }
         });
         if !justified {
             out.push(Diagnostic {
@@ -57,6 +69,23 @@ pub fn check(files: &[FileFacts], allowlist: &[AllowEntry]) -> Vec<Diagnostic> {
                 WaiverKind::Allow(rule) if rule == "A2" => (
                     ff.a2_local.iter().any(|f| lines.contains(&f.line)),
                     "an A2 unit finding".to_string(),
+                ),
+                WaiverKind::Allow(rule) if rule == "A4" => (
+                    ff.a4.iter().any(|s| lines.contains(&s.line)),
+                    "an A4 interval site".to_string(),
+                ),
+                WaiverKind::Allow(rule) if rule == "A5" => (
+                    ff.atomics
+                        .iter()
+                        .any(|a| a.ordering != "Relaxed" && lines.contains(&a.line))
+                        || ff.fns.iter().any(|f| {
+                            f.blocking.iter().any(|b| lines.contains(&b.line))
+                                || f.lock_acqs.iter().any(|(_, l)| lines.contains(l))
+                                || f.calls
+                                    .iter()
+                                    .any(|c| c.in_spawn && lines.contains(&c.line))
+                        }),
+                    "an A5 concurrency site".to_string(),
                 ),
                 WaiverKind::Allow(rule) => (
                     ff.lint_all
@@ -124,6 +153,24 @@ mod tests {
         assert_eq!(diags[0].rule, "A3");
         assert_eq!(diags[0].path, "lint.allow.toml");
         assert_eq!(diags[0].line, 3);
+    }
+
+    #[test]
+    fn directory_entry_is_justified_by_any_file_below_it() {
+        let live = parse_file(
+            "crates/mckp/src/dp.rs",
+            "fn f(v: &[u8], i: usize) -> u8 { v[i] }\n",
+        );
+        let diags = check(&[live], &[entry("crates/mckp/src/", "L3")]);
+        assert!(diags.is_empty(), "{diags:?}");
+        // A sibling crate's finding does not justify the entry.
+        let stray = parse_file(
+            "crates/sim/src/system.rs",
+            "fn f(v: &[u8], i: usize) -> u8 { v[i] }\n",
+        );
+        let diags = check(&[stray], &[entry("crates/mckp/src/", "L3")]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "A3");
     }
 
     #[test]

@@ -107,6 +107,97 @@ fn a3_reports_stale_waivers_only() {
 }
 
 #[test]
+fn a4_interval_findings_carry_witness_intervals() {
+    let a = analyze();
+    let a4 = of_rule(&a, "A4");
+    // Float truncation with an unbounded witness.
+    assert!(
+        a4.iter()
+            .any(|m| m.contains("(p / k).floor()") && m.contains("as u32")),
+        "{a4:?}"
+    );
+    // Widened loop accumulator reports the settled type-range witness.
+    assert!(
+        a4.iter()
+            .any(|m| m.contains("`acc` ∈ [0, 2^64-1]") && m.contains("as u32")),
+        "{a4:?}"
+    );
+    // Exact-operand overflow is definite ("exceeds", not "not provably").
+    assert!(
+        a4.iter()
+            .any(|m| m.contains("[6000000000, 6000000000]") && m.contains("exceeds")),
+        "{a4:?}"
+    );
+    // Unguarded divisors, local (fixture mckp) and in fixture core.
+    assert!(
+        a4.iter()
+            .any(|m| m.contains("total / k") && m.contains("contains zero")),
+        "{a4:?}"
+    );
+    assert!(
+        a4.iter()
+            .any(|m| m.starts_with("crates/core/src/lib.rs:36") && m.contains("contains zero")),
+        "{a4:?}"
+    );
+    assert_eq!(a4.len(), 5, "{a4:?}");
+    // Clean or waived counterparts stay quiet.
+    for line in [13, 14, 38, 42, 49] {
+        assert!(
+            !a4.iter()
+                .any(|m| m.starts_with(&format!("crates/mckp/src/fptas.rs:{line} "))),
+            "line {line} must be quiet: {a4:?}"
+        );
+    }
+    // Severity: deny on the mckp deny path, warn elsewhere.
+    for d in a.diagnostics.iter().filter(|d| d.rule == "A4") {
+        let expect = if d.path.starts_with("crates/mckp/") {
+            "deny"
+        } else {
+            "warn"
+        };
+        assert_eq!(d.severity, expect, "{d:?}");
+    }
+}
+
+#[test]
+fn a5_detects_cycle_ordering_and_blocking_in_workers() {
+    let a = analyze();
+    let a5 = of_rule(&a, "A5");
+    // Direct blocking site inside the spawned closure.
+    assert!(
+        a5.iter()
+            .any(|m| m.contains("fs::read") && m.contains("inside a spawned worker")),
+        "{a5:?}"
+    );
+    // Interprocedural: the closure only calls a helper that blocks.
+    assert!(
+        a5.iter()
+            .any(|m| m.contains("`load_trials`") && m.contains("reaches file I/O")),
+        "{a5:?}"
+    );
+    // Unjustified non-Relaxed ordering outside obs.
+    assert!(a5.iter().any(|m| m.contains("Ordering::AcqRel")), "{a5:?}");
+    // Seeded lock-order cycle, reported once per unordered pair.
+    assert!(
+        a5.iter()
+            .any(|m| m.contains("lock-order cycle: `a` and `b`")),
+        "{a5:?}"
+    );
+    assert_eq!(a5.len(), 4, "{a5:?}");
+    // Quiet: justified Release store, Relaxed ops, and the `a` → `c`
+    // pair that keeps a consistent order.
+    assert!(
+        !a5.iter().any(|m| m.contains("Ordering::Release")),
+        "{a5:?}"
+    );
+    assert!(!a5.iter().any(|m| m.contains("`c`")), "{a5:?}");
+    // All fixture A5 findings land in the deny crate.
+    for d in a.diagnostics.iter().filter(|d| d.rule == "A5") {
+        assert_eq!(d.severity, "deny", "{d:?}");
+    }
+}
+
+#[test]
 fn golden_sarif_snapshot() {
     let a = analyze();
     let rendered = sarif::sarif(&a.diagnostics);

@@ -1,0 +1,5 @@
+//! Fixture exp crate: A5 concurrency seeds — blocking calls inside
+//! spawned workers, unjustified orderings, and a lock-order cycle.
+
+pub mod pool;
+pub mod state;

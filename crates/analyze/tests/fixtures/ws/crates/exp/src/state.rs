@@ -1,0 +1,36 @@
+//! Fixture shared state: a seeded lock-order cycle (`a`/`b` taken in
+//! both orders) next to a pair that keeps a consistent global order.
+
+use std::sync::Mutex;
+
+/// Two guarded cells.
+pub struct Shared {
+    /// First lock in the sanctioned order.
+    pub a: Mutex<u32>,
+    /// Second lock in the sanctioned order.
+    pub b: Mutex<u32>,
+    /// Third lock, only ever taken after `a`.
+    pub c: Mutex<u32>,
+}
+
+/// Takes `a` then `b`.
+pub fn transfer_ab(s: &Shared) -> u32 {
+    let x = *s.a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let y = *s.b.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    x + y
+}
+
+/// Takes `b` then `a` — together with `transfer_ab` this is a
+/// deadlock-capable cycle.
+pub fn transfer_ba(s: &Shared) -> u32 {
+    let y = *s.b.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let x = *s.a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    y.wrapping_sub(x)
+}
+
+/// Consistent order `a` then `c`: no cycle, stays quiet.
+pub fn audit_ac(s: &Shared) -> u32 {
+    let x = *s.a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let z = *s.c.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    x ^ z
+}

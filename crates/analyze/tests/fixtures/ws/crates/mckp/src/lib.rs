@@ -1,0 +1,3 @@
+//! Fixture mckp crate: A4 interval-analysis seeds at deny severity.
+
+pub mod fptas;

@@ -1,0 +1,140 @@
+//! Property tests for the A4 abstract domains: interval arithmetic is
+//! cross-checked against concrete evaluation on random inputs, and the
+//! site-emission logic is cross-checked against concrete hazards on
+//! random literal expressions.
+//!
+//! The soundness contract under test: whenever the analyzer stays
+//! quiet, the concrete execution is safe; whenever a *definite* site
+//! fires on exact operands, the concrete hazard really occurs.
+
+use proptest::prelude::*;
+use rto_analyze::domains::{FltItv, IntItv, IntTy};
+use rto_analyze::facts::A4Kind;
+use rto_analyze::parse::parse_file;
+
+/// Sorted pair → a well-formed interval plus a member drawn from it.
+fn itv_with_member(lo: i64, hi: i64, pick: u64) -> (IntItv, i128) {
+    let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+    let span = (hi as i128 - lo as i128) as u128 + 1;
+    let member = lo as i128 + (u128::from(pick) % span) as i128;
+    (IntItv::new(lo as i128, hi as i128), member)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `x ∈ A, y ∈ B ⇒ x∘y ∈ A∘B` for every integer operator.
+    #[test]
+    fn int_arithmetic_contains_every_concrete_result(
+        a_lo in -1_000_000i64..1_000_000,
+        a_hi in -1_000_000i64..1_000_000,
+        b_lo in -1_000_000i64..1_000_000,
+        b_hi in -1_000_000i64..1_000_000,
+        px in 0u64..=u64::MAX,
+        py in 0u64..=u64::MAX,
+    ) {
+        let (a, x) = itv_with_member(a_lo, a_hi, px);
+        let (b, y) = itv_with_member(b_lo, b_hi, py);
+        let sum = a.add(b);
+        prop_assert!(sum.lo <= x + y && x + y <= sum.hi, "add: {x}+{y} ∉ {sum}");
+        let dif = a.sub(b);
+        prop_assert!(dif.lo <= x - y && x - y <= dif.hi, "sub: {x}-{y} ∉ {dif}");
+        let prd = a.mul(b);
+        prop_assert!(prd.lo <= x * y && x * y <= prd.hi, "mul: {x}*{y} ∉ {prd}");
+        if !b.contains(0) {
+            let quo = a.div(b).expect("nonzero divisor interval divides");
+            prop_assert!(
+                quo.lo <= x / y && x / y <= quo.hi,
+                "div: {x}/{y} ∉ {quo}"
+            );
+        }
+        let j = a.join(b);
+        prop_assert!(j.lo <= x && x <= j.hi && j.lo <= y && y <= j.hi, "join misses a member");
+    }
+
+    /// Same containment for float arithmetic (finite inputs).
+    #[test]
+    fn float_arithmetic_contains_every_concrete_result(
+        a_lo in -1e9f64..1e9,
+        a_hi in -1e9f64..1e9,
+        b_lo in 0.5f64..1e9,
+        b_hi in 0.5f64..1e9,
+        ta in 0.0f64..1.0,
+        tb in 0.0f64..1.0,
+    ) {
+        let (a_lo, a_hi) = if a_lo <= a_hi { (a_lo, a_hi) } else { (a_hi, a_lo) };
+        let (b_lo, b_hi) = if b_lo <= b_hi { (b_lo, b_hi) } else { (b_hi, b_lo) };
+        let a = FltItv::new(a_lo, a_hi);
+        let b = FltItv::new(b_lo, b_hi);
+        let x = a_lo + ta * (a_hi - a_lo);
+        let y = b_lo + tb * (b_hi - b_lo);
+        for (name, itv, conc) in [
+            ("add", a.add(b), x + y),
+            ("sub", a.sub(b), x - y),
+            ("mul", a.mul(b), x * y),
+            ("div", a.div(b), x / y),
+        ] {
+            prop_assert!(
+                itv.lo <= conc && conc <= itv.hi,
+                "{name}: {conc} ∉ [{}, {}]",
+                itv.lo,
+                itv.hi
+            );
+        }
+    }
+
+    /// Widening is an upper bound of both arguments.
+    #[test]
+    fn widening_covers_both_operands(
+        a_lo in -1_000i64..1_000,
+        a_hi in -1_000i64..1_000,
+        b_lo in -1_000i64..1_000,
+        b_hi in -1_000i64..1_000,
+        px in 0u64..=u64::MAX,
+        py in 0u64..=u64::MAX,
+    ) {
+        let (new, x) = itv_with_member(a_lo, a_hi, px);
+        let (old, y) = itv_with_member(b_lo, b_hi, py);
+        let w = new.widen(old);
+        prop_assert!(w.lo <= x && x <= w.hi, "widen lost a member of `new`");
+        prop_assert!(w.lo <= y && y <= w.hi, "widen lost a member of `old`");
+    }
+
+    /// For narrow types the float-fit rule is exact: a point interval
+    /// fits iff the truncating cast is lossless.
+    #[test]
+    fn point_float_fit_agrees_with_a_concrete_cast(v in -5e9f64..5e9) {
+        let u32t = IntTy::parse("u32").expect("u32 parses");
+        let fits = FltItv::new(v, v).fits_int(u32t);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let casted = v as u32;
+        let lossless = (f64::from(casted) - v.trunc()).abs() < f64::EPSILON;
+        prop_assert_eq!(fits, lossless, "v = {}", v);
+    }
+
+    /// Exact-literal expressions: the analyzer's site emission matches
+    /// the concrete hazard exactly (both directions).
+    #[test]
+    fn literal_expression_sites_match_concrete_hazards(
+        a in 0u64..=u64::MAX,
+        b in 0u64..=u64::MAX,
+        c in 0u64..4,
+        v in 0u64..=u64::MAX,
+    ) {
+        // `(a + b) / c`: overflow iff the mathematical sum exceeds u64,
+        // div-zero iff c == 0.
+        let src = format!("pub fn f() -> u64 {{ ({a}u64 + {b}u64) / {c}u64 }}\n");
+        let ff = parse_file("crates/x/src/lib.rs", &src);
+        let overflowed = u128::from(a) + u128::from(b) > u128::from(u64::MAX);
+        let has_overflow = ff.a4.iter().any(|s| matches!(s.kind, A4Kind::Overflow));
+        prop_assert_eq!(has_overflow, overflowed, "src: {}", src.trim());
+        let has_div = ff.a4.iter().any(|s| matches!(s.kind, A4Kind::DivZero));
+        prop_assert_eq!(has_div, c == 0, "src: {}", src.trim());
+
+        // `v as u32`: lossy iff v exceeds u32.
+        let src = format!("pub fn g() -> u32 {{ {v}u64 as u32 }}\n");
+        let ff = parse_file("crates/x/src/lib.rs", &src);
+        let has_cast = ff.a4.iter().any(|s| matches!(s.kind, A4Kind::LossyCast));
+        prop_assert_eq!(has_cast, v > u64::from(u32::MAX), "src: {}", src.trim());
+    }
+}

@@ -235,8 +235,11 @@ pub fn qpa_test<'a>(
     }
     let headroom = 1.0 - mix;
     let l_a = if headroom > 1e-12 {
-        let la = slack_mass / headroom;
-        Some(Duration::from_ns(la.ceil() as u64).max(d_max))
+        // Saturate rather than wrap: a sliver of headroom can push L_a
+        // past u64 range, and ~584 years of nanoseconds is as good as
+        // unbounded here (the cast is then provably lossless — A4).
+        let la = (slack_mass / headroom).ceil().clamp(0.0, u64::MAX as f64);
+        Some(Duration::from_ns(la as u64).max(d_max))
     } else {
         None
     };

@@ -59,10 +59,15 @@ where
             let cursor = &cursor;
             let f = &f;
             scope.spawn(move || loop {
-                // The cursor is the single work-distribution point;
-                // SeqCst keeps reasoning trivial and the cost is one
-                // RMW per trial, far below a trial's own cost.
-                let i = cursor.fetch_add(1, Ordering::SeqCst);
+                // The cursor is the single work-distribution point.
+                // Relaxed suffices: uniqueness of the handed-out index
+                // comes from `fetch_add`'s read-modify-write atomicity,
+                // not from ordering — no other memory is published
+                // through the cursor (results travel over the channel,
+                // which brings its own happens-before). Pinned by the
+                // loom model in `tests/loom_pool.rs`.
+                // lint: relaxed-ok: pure index distribution; RMW atomicity alone guarantees uniqueness
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= count {
                     break;
                 }

@@ -23,7 +23,8 @@ use crate::rules::Finding;
 /// One reviewed suppression.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AllowEntry {
-    /// Workspace-relative path suffix the entry applies to.
+    /// Workspace-relative path suffix the entry applies to, or a
+    /// directory prefix when it ends with `/` (see [`Self::covers`]).
     pub path: String,
     /// Rule id (`"L1"` … `"L6"`).
     pub rule: String,
@@ -37,7 +38,23 @@ impl AllowEntry {
     /// Does this entry suppress `f`?
     #[must_use]
     pub fn matches(&self, f: &Finding) -> bool {
-        self.rule == f.rule && (f.path == self.path || f.path.ends_with(&self.path))
+        self.rule == f.rule && self.covers(&f.path)
+    }
+
+    /// Does this entry's `path` cover the workspace-relative `path`?
+    ///
+    /// Two forms are accepted: a file pattern matches exactly or as a
+    /// path suffix (`src/dp.rs`), and a pattern ending in `/` is a
+    /// directory prefix covering every file under it
+    /// (`crates/mckp/src/`). Directory entries keep the allowlist
+    /// small when one justification holds for a whole kernel family.
+    #[must_use]
+    pub fn covers(&self, path: &str) -> bool {
+        if self.path.ends_with('/') {
+            path.starts_with(&self.path)
+        } else {
+            path == self.path || path.ends_with(&self.path)
+        }
     }
 }
 
@@ -150,6 +167,23 @@ reason = "ASCII rendering indices are clamped"
         assert!(!entries[0].matches(&finding("crates/obs/src/metrics.rs", "L2")));
         assert!(!entries[0].matches(&finding("crates/obs/src/sink.rs", "L1")));
         assert_eq!(entries[1].defined_at, 8);
+    }
+
+    #[test]
+    fn directory_entries_cover_files_below_them_only() {
+        let src = r#"
+[[allow]]
+path = "crates/mckp/src/"
+rule = "L3"
+reason = "kernel family indexes tables allocated in the same scope"
+"#;
+        let entries = parse(src).unwrap();
+        assert!(entries[0].matches(&finding("crates/mckp/src/dp.rs", "L3")));
+        assert!(entries[0].matches(&finding("crates/mckp/src/lp.rs", "L3")));
+        // Wrong rule, sibling crate, and a non-prefix mention all miss.
+        assert!(!entries[0].matches(&finding("crates/mckp/src/dp.rs", "L1")));
+        assert!(!entries[0].matches(&finding("crates/sim/src/system.rs", "L3")));
+        assert!(!entries[0].matches(&finding("crates/mckp/srcs/dp.rs", "L3")));
     }
 
     #[test]

@@ -61,7 +61,12 @@ impl DpSolver {
         if capacity <= 0.0 || weight > capacity {
             return self.resolution + 1;
         }
-        let scaled = (weight / capacity * self.resolution as f64).ceil() as usize;
+        // Clamp before the cast: the guards above pin the ratio into
+        // (0, 1], but the interval checker (A4) reasons per-variable, and
+        // a grid beyond u32::MAX cells could never be allocated anyway.
+        let scaled = (weight / capacity * self.resolution as f64)
+            .ceil()
+            .clamp(0.0, u32::MAX as f64) as usize;
         scaled.min(self.resolution + 1)
     }
 }
@@ -88,11 +93,11 @@ impl Solver for DpSolver {
         let mut dp: Vec<f64> = vec![NEG; res + 1];
         // choice[k][c] = index (into pruned[k]) of the item chosen at class
         // k when the remaining budget is c; usize::MAX = unreachable.
-        let mut choice: Vec<Vec<u32>> = Vec::with_capacity(classes.len());
+        let mut choice: Vec<Vec<usize>> = Vec::with_capacity(classes.len());
 
         // First class: best item with scaled weight <= c (prefix max).
         {
-            let mut ch = vec![u32::MAX; res + 1];
+            let mut ch = vec![usize::MAX; res + 1];
             for (pi, &item_idx) in pruned[0].iter().enumerate() {
                 let item = classes[0][item_idx];
                 let sw = self.scale(item.weight, capacity);
@@ -101,7 +106,7 @@ impl Solver for DpSolver {
                 }
                 if item.profit > dp[sw] {
                     dp[sw] = item.profit;
-                    ch[sw] = pi as u32;
+                    ch[sw] = pi;
                 }
             }
             // Make dp monotone in c.
@@ -116,7 +121,7 @@ impl Solver for DpSolver {
 
         for (k, class) in classes.iter().enumerate().skip(1) {
             let mut next = vec![NEG; res + 1];
-            let mut ch = vec![u32::MAX; res + 1];
+            let mut ch = vec![usize::MAX; res + 1];
             for c in 0..=res {
                 for (pi, &item_idx) in pruned[k].iter().enumerate() {
                     let item = class[item_idx];
@@ -132,7 +137,7 @@ impl Solver for DpSolver {
                     let value = base + item.profit;
                     if value > next[c] {
                         next[c] = value;
-                        ch[c] = pi as u32;
+                        ch[c] = pi;
                     }
                 }
             }
@@ -149,8 +154,8 @@ impl Solver for DpSolver {
         let mut picks = vec![0usize; classes.len()];
         for k in (0..classes.len()).rev() {
             let pi = choice[k][budget];
-            debug_assert_ne!(pi, u32::MAX, "reconstruction hit unreachable cell");
-            let item_idx = pruned[k][pi as usize];
+            debug_assert_ne!(pi, usize::MAX, "reconstruction hit unreachable cell");
+            let item_idx = pruned[k][pi];
             picks[k] = item_idx;
             let sw = self.scale(classes[k][item_idx].weight, capacity);
             budget -= sw;

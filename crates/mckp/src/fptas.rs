@@ -78,7 +78,11 @@ impl Solver for FptasSolver {
         }
 
         let k = self.epsilon * max_profit / n as f64;
-        let scale = |p: f64| (p / k).floor() as usize;
+        // Clamp before the cast: profits are validated non-negative and
+        // `k > 0` here, but the interval checker (A4) cannot bound
+        // `p / k` on its own, and a table beyond u32::MAX cells could
+        // never be allocated anyway.
+        let scale = |p: f64| (p / k).floor().clamp(0.0, u32::MAX as f64) as usize;
         // Only items that can fit contribute to the reachable profit
         // range (an unfittable 10⁹-profit item must not blow up the
         // table).
@@ -97,10 +101,10 @@ impl Solver for FptasSolver {
         // dp[q] = min weight achieving exactly scaled profit q.
         const INF: f64 = f64::INFINITY;
         let mut dp: Vec<f64> = vec![INF; q_max + 1];
-        let mut choice: Vec<Vec<u32>> = Vec::with_capacity(n);
+        let mut choice: Vec<Vec<usize>> = Vec::with_capacity(n);
         // First class.
         {
-            let mut ch = vec![u32::MAX; q_max + 1];
+            let mut ch = vec![usize::MAX; q_max + 1];
             for (pi, &item_idx) in pruned[0].iter().enumerate() {
                 let item = classes[0][item_idx];
                 if item.weight > capacity {
@@ -109,14 +113,14 @@ impl Solver for FptasSolver {
                 let q = scale(item.profit);
                 if item.weight < dp[q] {
                     dp[q] = item.weight;
-                    ch[q] = pi as u32;
+                    ch[q] = pi;
                 }
             }
             choice.push(ch);
         }
         for (cls, class) in classes.iter().enumerate().skip(1) {
             let mut next = vec![INF; q_max + 1];
-            let mut ch = vec![u32::MAX; q_max + 1];
+            let mut ch = vec![usize::MAX; q_max + 1];
             for (pi, &item_idx) in pruned[cls].iter().enumerate() {
                 let item = class[item_idx];
                 if item.weight > capacity {
@@ -130,7 +134,7 @@ impl Solver for FptasSolver {
                     let w = dp[q] + item.weight;
                     if w < next[q + dq] {
                         next[q + dq] = w;
-                        ch[q + dq] = pi as u32;
+                        ch[q + dq] = pi;
                     }
                 }
             }
@@ -149,8 +153,8 @@ impl Solver for FptasSolver {
         let mut picks = vec![0usize; n];
         for cls in (0..n).rev() {
             let pi = choice[cls][q];
-            debug_assert_ne!(pi, u32::MAX, "reconstruction hit unreachable cell");
-            let item_idx = pruned[cls][pi as usize];
+            debug_assert_ne!(pi, usize::MAX, "reconstruction hit unreachable cell");
+            let item_idx = pruned[cls][pi];
             picks[cls] = item_idx;
             q -= scale(classes[cls][item_idx].profit);
         }

@@ -19,7 +19,7 @@ cargo test --workspace --offline -q
 echo "==> rto-lint --workspace (domain invariants L1-L6, deny on findings)"
 cargo run -p rto-lint --offline -q -- --workspace
 
-echo "==> rto-analyze (A1 panic-reachability, A2 units, A3 stale waivers)"
+echo "==> rto-analyze (A1 reachability, A2 units, A3 waivers, A4 intervals, A5 concurrency)"
 rm -rf target/rto-analyze
 cargo run -p rto-analyze --offline -q -- --format sarif \
   --out target/rto-analyze-cold.sarif --bench-out target/rto-analyze-cold.json
@@ -61,8 +61,9 @@ else
   echo "==> skipping speedup gate (<4 cores; CI asserts it)"
 fi
 
-echo "==> loom model tests (obs metrics, RUSTFLAGS=--cfg loom)"
+echo "==> loom model tests (obs metrics + exp pool, RUSTFLAGS=--cfg loom)"
 RUSTFLAGS="--cfg loom" cargo test -p rto-obs --offline -q --test loom_metrics
+RUSTFLAGS="--cfg loom" cargo test -p rto-exp --offline -q --test loom_pool
 
 # Miri needs the nightly component; skip locally when unavailable (the
 # CI `miri` job always runs it).
