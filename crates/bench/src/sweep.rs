@@ -21,8 +21,11 @@
 //! points — see `rto_exp::legacy_xor_seed` for the regression tests.)
 
 use rto_core::odm::OffloadingDecisionManager;
-use rto_exp::{f64_from_hex, f64_hex, run_matrix, ExpOptions, MatrixSpec, RunStats, TrialData};
+use rto_exp::{
+    f64_from_hex, f64_hex, run_matrix_observed, ExpOptions, MatrixSpec, RunStats, TrialData,
+};
 use rto_mckp::DpSolver;
+use rto_obs::MetricsShard;
 use rto_server::gpu::GpuServer;
 use rto_server::network::NetworkModel;
 use rto_server::Scenario;
@@ -51,6 +54,10 @@ pub struct SweepRun {
     pub rows: Vec<SweepRow>,
     /// Engine tallies for the run.
     pub stats: RunStats,
+    /// Merged per-trial metrics (sim counters, server network meters).
+    /// Byte-identical for any `opts.jobs` on a cold cache; cache hits
+    /// contribute nothing (see `rto_exp::MatrixRun::shard`).
+    pub shard: MetricsShard,
 }
 
 /// One trial's raw measurements, as stored in the trial cache. Floats
@@ -146,7 +153,7 @@ pub fn run_with(
         trials_per_point: seeds as usize,
     };
 
-    let matrix = run_matrix(&spec, opts, |ctx| -> Result<SweepTrial, String> {
+    let matrix = run_matrix_observed(&spec, opts, |ctx, obs| -> Result<SweepTrial, String> {
         let util = utilizations[ctx.point];
         // Background jobs keep the presets' 45 ms mean service time;
         // arrival rate backs out of the target utilization:
@@ -161,9 +168,11 @@ pub fn run_with(
             NetworkModel::wlan(),
             ctx.seed,
         )
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| e.to_string())?
+        .with_obs(obs.clone());
         let report = Simulation::build(odm.tasks().to_vec(), plan.clone())
             .map_err(|e| e.to_string())?
+            .with_obs(obs.clone())
             .with_server(Box::new(server))
             .with_request_shaper(Box::new(shape_request))
             .run(SimConfig::for_seconds(horizon_secs, ctx.seed))
@@ -201,6 +210,7 @@ pub fn run_with(
     Ok(SweepRun {
         rows,
         stats: matrix.stats,
+        shard: matrix.shard,
     })
 }
 
@@ -230,6 +240,27 @@ mod tests {
         assert!(rows[0].normalized_benefit > 2.0);
         assert!(rows[3].normalized_benefit < 2.5);
         assert!(rows[3].normalized_benefit >= 1.0 - 1e-9);
+    }
+
+    /// The PR's shard byte-identity criterion: the merged metrics of a
+    /// `--jobs 8` sweep render to exactly the serial run's bytes.
+    #[test]
+    fn parallel_sweep_shard_matches_serial_byte_for_byte() {
+        let grid = [0.0, 0.9];
+        let serial = run_with(&grid, 2, 2, 33, &ExpOptions::default()).expect("serial sweep");
+        assert!(!serial.shard.is_empty(), "trials record metrics");
+        let parallel_opts = ExpOptions {
+            jobs: 8,
+            ..ExpOptions::default()
+        };
+        let parallel = run_with(&grid, 2, 2, 33, &parallel_opts).expect("parallel sweep");
+        assert_eq!(parallel.rows.len(), serial.rows.len());
+        assert_eq!(parallel.shard.to_json(), serial.shard.to_json());
+        // The shard actually carries the cross-layer meters.
+        let json = serial.shard.to_json();
+        for key in ["sim_jobs_released_total", "net_messages_total"] {
+            assert!(json.contains(key), "{key} missing from shard: {json}");
+        }
     }
 
     #[test]

@@ -301,7 +301,7 @@ pub fn cmd_trace(
     format: TraceFormat,
     out: &std::path::Path,
 ) -> Result<String, String> {
-    use rto_obs::{ChromeTraceSink, JsonlSink, Obs, TraceSink};
+    use rto_obs::{ChromeTraceSink, FanoutSink, JsonlSink, MemorySink, Obs, TraceSink};
     use std::sync::Arc;
 
     enum SinkKind {
@@ -315,9 +315,15 @@ pub fn cmd_trace(
             JsonlSink::create(out).map_err(|e| format!("cannot create {}: {e}", out.display()))?,
         )),
     };
+    // JSONL additionally captures the records in memory so the span
+    // summaries (`"view":"span"` lines) can be appended after the run.
+    let memory = Arc::new(MemorySink::new());
     let sink: Arc<dyn TraceSink> = match &kind {
         SinkKind::Chrome(s) => s.clone(),
-        SinkKind::Jsonl(s) => s.clone(),
+        SinkKind::Jsonl(s) => Arc::new(FanoutSink::new(vec![
+            s.clone() as Arc<dyn TraceSink>,
+            memory.clone(),
+        ])),
     };
     let obs = Obs::with_sink(sink);
 
@@ -364,13 +370,46 @@ pub fn cmd_trace(
             if s.had_io_error() {
                 return Err(format!("I/O error while streaming to {}", out.display()));
             }
+            // Append the span-summary view: one `"view":"span"` line per
+            // span, so `jq 'select(.view == "span")'` reconstructs the
+            // causal tree without replaying the event stream.
+            let summaries = rto_obs::span::summarize(&memory.snapshot());
+            let mut line = String::new();
+            for summary in &summaries {
+                line.clear();
+                summary.write_json(&mut line);
+                s.write_line(&line);
+            }
+            let completed: Vec<usize> = report
+                .jobs
+                .iter()
+                .filter(|j| j.completed_at.is_some())
+                .map(|j| j.job_id)
+                .collect();
+            let connected = completed
+                .iter()
+                .filter(|&&j| rto_obs::span::job_tree_is_connected(&summaries, j))
+                .count();
             // The simulation has finished and dropped its `Obs` clone, so
             // this Arc is unique again; unwrap to flush the writer.
             let sink = Arc::try_unwrap(s).map_err(|_| "trace sink still shared".to_string())?;
             sink.into_inner()
                 .and_then(|mut w| std::io::Write::flush(&mut w))
                 .map_err(|e| format!("cannot flush {}: {e}", out.display()))?;
-            let _ = writeln!(out_text, "jsonl trace written to {}", out.display());
+            let _ = writeln!(
+                out_text,
+                "jsonl trace written to {} ({} spans; {connected}/{} completed jobs with connected span trees)",
+                out.display(),
+                summaries.len(),
+                completed.len(),
+            );
+            if connected != completed.len() {
+                return Err(format!(
+                    "span tree disconnected for {} of {} completed jobs",
+                    completed.len() - connected,
+                    completed.len()
+                ));
+            }
         }
     }
 
@@ -484,6 +523,105 @@ pub fn cmd_sweep(args: &SweepArgs) -> Result<String, String> {
     Ok(out)
 }
 
+/// Parsed arguments for [`cmd_serve_metrics`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeArgs {
+    /// Bind address for the HTTP endpoint (`host:port`; port `0` picks
+    /// an ephemeral one).
+    pub addr: String,
+    /// The sweep that generates the metrics being served.
+    pub sweep: SweepArgs,
+    /// How long to keep serving after the sweep finishes, milliseconds.
+    pub linger_ms: u64,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            addr: "127.0.0.1:9184".to_string(),
+            sweep: SweepArgs::default(),
+            linger_ms: 0,
+        }
+    }
+}
+
+/// `serve-metrics`: run the case-study sweep with a live HTTP
+/// introspection endpoint attached — `/metrics` (Prometheus text),
+/// `/metrics.json`, `/healthz`, and `/spans/recent` — then keep serving
+/// for `--linger-ms` so the final state can be scraped.
+///
+/// The endpoint shares the engine's registry, so progress
+/// (`exp_trials_completed_total`, the `exp_trial_completions` series,
+/// `exp_trial_duration_ns`) is visible *while* trials run; the recent
+/// `trial_done` records are served from a bounded ring.
+///
+/// # Errors
+///
+/// Returns a human-readable message on bind or experiment errors.
+pub fn cmd_serve_metrics(args: &ServeArgs) -> Result<String, String> {
+    let linger_ms = args.linger_ms;
+    serve_metrics_impl(args, |_| {
+        if linger_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(linger_ms));
+        }
+    })
+}
+
+/// [`cmd_serve_metrics`] with the post-run hook exposed: `after_run`
+/// executes once the sweep is done but *before* the endpoint shuts
+/// down (the CLI lingers there; tests scrape there).
+fn serve_metrics_impl(
+    args: &ServeArgs,
+    after_run: impl FnOnce(std::net::SocketAddr),
+) -> Result<String, String> {
+    use rto_obs::serve::MetricsServer;
+    use rto_obs::{Obs, RingSink};
+    use std::sync::Arc;
+
+    let ring = Arc::new(RingSink::with_capacity(1024));
+    let obs = Obs::with_sink(ring.clone());
+    let server = MetricsServer::bind(&args.addr, obs.metrics().clone(), Some(ring))
+        .map_err(|e| format!("cannot bind {}: {e}", args.addr))?;
+    let addr = server.local_addr();
+    eprintln!(
+        "serving /metrics /metrics.json /healthz /spans/recent at http://{addr} (sweep running)"
+    );
+
+    let opts = rto_exp::ExpOptions {
+        jobs: args.sweep.jobs,
+        cache_root: args.sweep.cache.then(rto_exp::default_cache_root),
+        obs: obs.clone(),
+    };
+    let sweep = rto_bench::sweep::run_with(
+        &rto_bench::sweep::default_grid(),
+        args.sweep.seeds,
+        args.sweep.horizon_secs,
+        args.sweep.seed,
+        &opts,
+    )
+    .map_err(|e| e.to_string())?;
+
+    after_run(addr);
+    server.shutdown();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "served http://{addr} — /metrics /metrics.json /healthz /spans/recent"
+    );
+    let _ = writeln!(
+        out,
+        "{} trials ({} simulated, {} cached) in {:.1} ms across {} sweep points",
+        sweep.stats.trials_total,
+        sweep.stats.trials_simulated,
+        sweep.stats.trials_cached,
+        rto_core::time::Duration::from_ns(sweep.stats.wall_ns).as_ms_f64(),
+        sweep.rows.len(),
+    );
+    out.push_str(&obs.metrics().render_prometheus());
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -564,7 +702,47 @@ mod tests {
         assert!(lines > 10, "only {lines} events traced");
         assert!(text.contains("\"event\":\"odm_decision_chosen\""));
         assert!(text.contains("\"event\":\"job_released\""));
+        // Span view: summary lines appended after the event records, and
+        // the report asserts every completed job's tree is connected.
+        assert!(text.contains("\"view\":\"span\""), "no span summaries");
+        assert!(out.contains("connected span trees"), "{out}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        let request = format!("GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n");
+        stream.write_all(request.as_bytes()).expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        response
+    }
+
+    #[test]
+    fn serve_metrics_scrapes_live_endpoint() {
+        let args = ServeArgs {
+            addr: "127.0.0.1:0".to_string(),
+            sweep: SweepArgs {
+                jobs: 2,
+                seeds: 1,
+                horizon_secs: 1,
+                ..SweepArgs::default()
+            },
+            linger_ms: 0,
+        };
+        let mut metrics = String::new();
+        let mut health = String::new();
+        let out = serve_metrics_impl(&args, |addr| {
+            metrics = http_get(addr, "/metrics");
+            health = http_get(addr, "/healthz");
+        })
+        .unwrap();
+        assert!(metrics.starts_with("HTTP/1.1 200"), "{metrics}");
+        assert!(metrics.contains("exp_trials_completed_total"), "{metrics}");
+        assert!(health.contains("ok"), "{health}");
+        assert!(out.contains("served http://"), "{out}");
+        assert!(out.contains("exp_trials_completed_total"), "{out}");
     }
 
     #[test]

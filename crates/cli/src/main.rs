@@ -13,6 +13,9 @@
 //! rto-cli sweep [--jobs N] [--seeds K] [--horizon S] [--seed B] [--cache] [--json]
 //!                                    case-study utilization sweep on the parallel
 //!                                    deterministic experiment engine
+//! rto-cli serve-metrics [--addr H:P] [--linger-ms MS] [sweep flags]
+//!                                    the same sweep with a live HTTP endpoint:
+//!                                    /metrics /metrics.json /healthz /spans/recent
 //! ```
 
 #![forbid(unsafe_code)]
@@ -21,12 +24,13 @@ mod commands;
 mod config;
 
 use commands::{
-    cmd_analyze, cmd_demo, cmd_plan, cmd_simulate, cmd_sweep, cmd_trace, SweepArgs, TraceFormat,
+    cmd_analyze, cmd_demo, cmd_plan, cmd_serve_metrics, cmd_simulate, cmd_sweep, cmd_trace,
+    ServeArgs, SweepArgs, TraceFormat,
 };
 use config::SystemConfig;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: rto-cli <demo | plan <file> | analyze <file> | simulate <file> [--gantt] [--trace-json <out>] | trace <file> [--format chrome|jsonl] --out <path> | sweep [--jobs N] [--seeds K] [--horizon S] [--seed B] [--cache] [--json]>";
+const USAGE: &str = "usage: rto-cli <demo | plan <file> | analyze <file> | simulate <file> [--gantt] [--trace-json <out>] | trace <file> [--format chrome|jsonl] --out <path> | sweep [--jobs N] [--seeds K] [--horizon S] [--seed B] [--cache] [--json] | serve-metrics [--addr H:P] [--linger-ms MS] [sweep flags]>";
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter()
@@ -95,6 +99,17 @@ fn run() -> Result<String, String> {
             cmd_trace(&load(path)?, format, std::path::Path::new(out))
         }
         Some("sweep") => cmd_sweep(&parse_sweep_args(&args)?),
+        Some("serve-metrics") => {
+            let defaults = ServeArgs::default();
+            let linger_ms = flag_value(&args, "--linger-ms")
+                .map_or(Ok(defaults.linger_ms), str::parse)
+                .map_err(|e| format!("--linger-ms: {e}"))?;
+            cmd_serve_metrics(&ServeArgs {
+                addr: flag_value(&args, "--addr").map_or(defaults.addr, ToOwned::to_owned),
+                sweep: parse_sweep_args(&args)?,
+                linger_ms,
+            })
+        }
         _ => Err(USAGE.to_string()),
     }
 }

@@ -477,8 +477,9 @@ impl OffloadingDecisionManager {
         match &result {
             Ok(plan) => {
                 metrics.counter("odm_decisions_total").inc();
-                obs.emit(
+                obs.emit_in(
                     0,
+                    rto_obs::span::odm_ctx(),
                     rto_obs::TraceEvent::OdmDecisionChosen {
                         solver: solver.name(),
                         offloaded: plan.num_offloaded(),

@@ -19,7 +19,7 @@
 
 use std::path::PathBuf;
 
-use rto_obs::{Obs, Stopwatch, TraceEvent};
+use rto_obs::{MetricsShard, Obs, Stopwatch, TraceEvent};
 
 use crate::cache::{TrialCache, TrialData};
 use crate::pool::run_indexed;
@@ -110,6 +110,13 @@ pub struct MatrixRun<R> {
     pub points: Vec<Vec<R>>,
     /// Run tallies.
     pub stats: RunStats,
+    /// The merge of every simulated trial's private metrics shard (see
+    /// [`run_matrix_observed`]). Because [`MetricsShard::merge`] is a
+    /// commutative monoid, this value — and its canonical JSON — is
+    /// independent of worker count and completion order. Empty for
+    /// [`run_matrix`] and for fully cached runs (cache hits re-run no
+    /// metrics).
+    pub shard: MetricsShard,
 }
 
 /// What a worker hands the collector for one trial.
@@ -117,6 +124,7 @@ struct TrialOutcome<R> {
     value: R,
     cached: bool,
     elapsed_ns: u64,
+    shard: MetricsShard,
 }
 
 /// The cache key for one trial — covers everything that determines the
@@ -144,6 +152,23 @@ where
     R: TrialData + Send,
     F: Fn(&TrialCtx) -> R + Sync,
 {
+    run_matrix_observed(spec, opts, |ctx, _| f(ctx))
+}
+
+/// Like [`run_matrix`], but hands each trial a **private** [`Obs`]
+/// (null sink, fresh registry) alongside its [`TrialCtx`]. Whatever the
+/// trial records is exported as a [`MetricsShard`] and merged — on the
+/// single collector thread — into [`MatrixRun::shard`].
+///
+/// Per-trial registries are what keep the determinism contract intact
+/// under instrumentation: no two trials ever share a counter, so the
+/// merged shard is a set-union of per-trial monoid elements and cannot
+/// observe scheduling. Cache hits contribute the empty shard (identity).
+pub fn run_matrix_observed<R, F>(spec: &MatrixSpec, opts: &ExpOptions, f: F) -> MatrixRun<R>
+where
+    R: TrialData + Send,
+    F: Fn(&TrialCtx, &Obs) -> R + Sync,
+{
     let sw = Stopwatch::start();
     let npoints = spec.point_keys.len();
     let trials = spec.trials_per_point;
@@ -157,6 +182,7 @@ where
                 trials_cached: 0,
                 wall_ns: sw.elapsed_ns(),
             },
+            shard: MetricsShard::default(),
         };
     }
 
@@ -178,33 +204,45 @@ where
                     value,
                     cached: true,
                     elapsed_ns: trial_sw.elapsed_ns(),
+                    shard: MetricsShard::default(),
                 };
             }
-            let value = f(&ctx);
+            let trial_obs = Obs::disabled();
+            let value = f(&ctx, &trial_obs);
             // Best effort: a failed store only means re-simulating later.
             let _ = cache.store(&key, &value);
             return TrialOutcome {
                 value,
                 cached: false,
                 elapsed_ns: trial_sw.elapsed_ns(),
+                shard: trial_obs.metrics().shard(),
             };
         }
-        let value = f(&ctx);
+        let trial_obs = Obs::disabled();
+        let value = f(&ctx, &trial_obs);
         TrialOutcome {
             value,
             cached: false,
             elapsed_ns: trial_sw.elapsed_ns(),
+            shard: trial_obs.metrics().shard(),
         }
     };
 
     let completed = opts.obs.metrics().counter("exp_trials_completed_total");
     let cached_total = opts.obs.metrics().counter("exp_trials_cached_total");
     let duration = opts.obs.metrics().histogram("exp_trial_duration_ns");
+    let progress = opts
+        .obs
+        .metrics()
+        .series("exp_trial_completions", 1_000_000_000);
     let mut simulated = 0usize;
     let mut from_cache = 0usize;
+    let mut shard = MetricsShard::default();
     let on_done = |i: usize, out: &TrialOutcome<R>| {
         completed.inc();
         duration.record(out.elapsed_ns);
+        progress.record(sw.elapsed_ns(), 1);
+        shard.merge(&out.shard);
         if out.cached {
             cached_total.inc();
             from_cache += 1;
@@ -238,6 +276,7 @@ where
             trials_cached: from_cache,
             wall_ns: sw.elapsed_ns(),
         },
+        shard,
     }
 }
 
@@ -304,6 +343,33 @@ mod tests {
         assert_eq!(baseline.stats.trials_total, 35);
         assert_eq!(baseline.stats.trials_simulated, 35);
         assert_eq!(baseline.stats.trials_cached, 0);
+    }
+
+    fn observed_trial(ctx: &TrialCtx, obs: &Obs) -> Row {
+        obs.metrics().counter("trial_hits_total").add(ctx.seed % 7);
+        obs.metrics()
+            .histogram("trial_seed_residue")
+            .record(ctx.seed % 1000);
+        obs.metrics()
+            .series("trial_marks", 10)
+            .record((ctx.point as u64) * 100 + ctx.trial as u64, ctx.seed % 3);
+        trial(ctx)
+    }
+
+    #[test]
+    fn observed_shards_are_byte_identical_for_any_job_count() {
+        let base = run_matrix_observed(&spec("obs-det"), &ExpOptions::default(), observed_trial);
+        assert!(!base.shard.is_empty(), "trials recorded metrics");
+        let json = base.shard.to_json();
+        for jobs in [2, 8] {
+            let opts = ExpOptions {
+                jobs,
+                ..ExpOptions::default()
+            };
+            let run = run_matrix_observed(&spec("obs-det"), &opts, observed_trial);
+            assert_eq!(run.points, base.points, "jobs={jobs} results diverged");
+            assert_eq!(run.shard.to_json(), json, "jobs={jobs} shard diverged");
+        }
     }
 
     #[test]

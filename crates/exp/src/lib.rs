@@ -59,7 +59,8 @@ pub mod seed;
 
 pub use cache::{f64_from_hex, f64_hex, fnv64, TrialCache, TrialData};
 pub use engine::{
-    default_cache_root, run_matrix, ExpOptions, MatrixRun, MatrixSpec, RunStats, TrialCtx,
+    default_cache_root, run_matrix, run_matrix_observed, ExpOptions, MatrixRun, MatrixSpec,
+    RunStats, TrialCtx,
 };
 pub use pool::{effective_jobs, run_indexed};
 pub use seed::{derive_seed, legacy_xor_seed};

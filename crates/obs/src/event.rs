@@ -189,6 +189,16 @@ pub enum TraceEvent {
         /// Wall-clock solver latency in nanoseconds.
         latency_ns: u64,
     },
+    /// One network transfer (uplink or downlink leg of an offload) was
+    /// sampled by the network model.
+    NetTransfer {
+        /// Bytes moved (or attempted, when lost).
+        payload_bytes: u64,
+        /// Sampled transfer latency in nanoseconds (0 when lost).
+        elapsed_ns: u64,
+        /// `true` when the network dropped the message.
+        lost: bool,
+    },
 }
 
 impl TraceEvent {
@@ -210,6 +220,7 @@ impl TraceEvent {
             TraceEvent::FleetRouted { .. } => "fleet_routed",
             TraceEvent::TrialDone { .. } => "trial_done",
             TraceEvent::OdmDecisionChosen { .. } => "odm_decision_chosen",
+            TraceEvent::NetTransfer { .. } => "net_transfer",
         }
     }
 
@@ -230,7 +241,8 @@ impl TraceEvent {
             | TraceEvent::DeadlineMissed { job_id, .. } => Some(job_id),
             TraceEvent::FleetRouted { .. }
             | TraceEvent::TrialDone { .. }
-            | TraceEvent::OdmDecisionChosen { .. } => None,
+            | TraceEvent::OdmDecisionChosen { .. }
+            | TraceEvent::NetTransfer { .. } => None,
         }
     }
 
@@ -250,7 +262,9 @@ impl TraceEvent {
             | TraceEvent::DeadlineMet { task_id, .. }
             | TraceEvent::DeadlineMissed { task_id, .. }
             | TraceEvent::FleetRouted { task_id, .. } => Some(task_id),
-            TraceEvent::TrialDone { .. } | TraceEvent::OdmDecisionChosen { .. } => None,
+            TraceEvent::TrialDone { .. }
+            | TraceEvent::OdmDecisionChosen { .. }
+            | TraceEvent::NetTransfer { .. } => None,
         }
     }
 
@@ -365,6 +379,16 @@ impl TraceEvent {
                 let _ = write!(
                     out,
                     ",\"solver\":\"{solver}\",\"offloaded\":{offloaded},\"total_tasks\":{total_tasks},\"capacity_used_ppm\":{capacity_used_ppm},\"latency_ns\":{latency_ns}"
+                );
+            }
+            TraceEvent::NetTransfer {
+                payload_bytes,
+                elapsed_ns,
+                lost,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"payload_bytes\":{payload_bytes},\"elapsed_ns\":{elapsed_ns},\"lost\":{lost}"
                 );
             }
         }
@@ -512,6 +536,11 @@ mod tests {
                 total_tasks: 4,
                 capacity_used_ppm: 900_000,
                 latency_ns: 123,
+            },
+            TraceEvent::NetTransfer {
+                payload_bytes: 65536,
+                elapsed_ns: 1_500_000,
+                lost: false,
             },
         ];
         for e in all {

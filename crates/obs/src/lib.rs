@@ -7,13 +7,24 @@
 //! * **Trace layer** — a [`TraceEvent`] taxonomy covering every
 //!   observable runtime transition (releases, dispatches, preemptions,
 //!   offload round-trips, compensation timers, deadline outcomes, ODM
-//!   decisions), recorded through a [`TraceSink`]. Ships four sinks:
-//!   [`NullSink`] (default, allocation-free), [`MemorySink`] (tests),
-//!   [`JsonlSink`] (one JSON object per line), and [`ChromeTraceSink`]
-//!   (Chrome/Perfetto trace-event JSON).
-//! * **Metrics layer** — hand-rolled [`Counter`], [`Gauge`], and
-//!   log-linear [`Histogram`] handles in a [`MetricsRegistry`], exported
-//!   as a serializable [`MetricsSnapshot`], Prometheus text, or JSON.
+//!   decisions), stamped into [`Record`]s — optionally annotated with a
+//!   causal [`SpanContext`] — and recorded through a [`TraceSink`].
+//!   Ships six sinks: [`NullSink`] (default, allocation-free),
+//!   [`MemorySink`] (tests), [`RingSink`] (bounded, live endpoints),
+//!   [`JsonlSink`] (one JSON object per line), [`ChromeTraceSink`]
+//!   (Chrome/Perfetto trace-event JSON with flow arrows), and
+//!   [`FanoutSink`].
+//! * **Span layer** — deterministic [`SpanId`]s tie one job's whole
+//!   lifecycle (release → ODM → offload → network → completion) into a
+//!   connected tree; see [`span`].
+//! * **Metrics layer** — hand-rolled [`Counter`], [`Gauge`], log-linear
+//!   [`Histogram`], and windowed [`Series`] handles in a
+//!   [`MetricsRegistry`], exported as a serializable
+//!   [`MetricsSnapshot`], Prometheus text, JSON, or a mergeable
+//!   per-worker [`MetricsShard`] (see [`shard`] for the merge laws).
+//! * **Live export** — [`serve::MetricsServer`], a zero-dependency HTTP
+//!   endpoint exposing `/metrics`, `/metrics.json`, `/healthz`, and
+//!   `/spans/recent` while a run is in flight.
 //! * **[`Obs`]** — the bundle the instrumented crates actually thread
 //!   around: one shared sink plus one shared registry.
 //!
@@ -49,15 +60,22 @@
 pub mod clock;
 pub mod event;
 pub mod metrics;
+pub mod serve;
+pub mod shard;
 pub mod sink;
+pub mod span;
 
 pub use clock::Stopwatch;
 pub use event::{Phase, TraceEvent};
 pub use metrics::{
     Counter, CounterSample, Gauge, GaugeSample, Histogram, HistogramSample, MetricsRegistry,
-    MetricsSnapshot,
+    MetricsSnapshot, Series, SeriesSample,
 };
-pub use sink::{ChromeTraceSink, JsonlSink, MemorySink, NullSink, TraceSink};
+pub use shard::{GaugeShard, HistogramDigest, MetricsShard, SeriesShard};
+pub use sink::{
+    ChromeTraceSink, FanoutSink, JsonlSink, MemorySink, NullSink, Record, RingSink, TraceSink,
+};
+pub use span::{SpanContext, SpanId};
 
 use std::sync::Arc;
 
@@ -124,11 +142,34 @@ impl Obs {
         self.sink.enabled()
     }
 
-    /// Records `event` at `ts_ns` if tracing is enabled.
+    /// Records `event` at `ts_ns` (no span context) if tracing is
+    /// enabled.
     #[inline]
     pub fn emit(&self, ts_ns: u64, event: TraceEvent) {
         if self.sink.enabled() {
-            self.sink.record(ts_ns, &event);
+            self.sink.record(&Record::new(ts_ns, event));
+        }
+    }
+
+    /// Records `event` inside span context `ctx` if tracing is enabled.
+    #[inline]
+    pub fn emit_in(&self, ts_ns: u64, ctx: SpanContext, event: TraceEvent) {
+        if self.sink.enabled() {
+            self.sink.record(&Record::spanned(ts_ns, ctx, event));
+        }
+    }
+
+    /// Records `event` with an optional span context — the form relay
+    /// code uses when the context travels with a request and may be
+    /// absent.
+    #[inline]
+    pub fn emit_with(&self, ts_ns: u64, ctx: Option<SpanContext>, event: TraceEvent) {
+        if self.sink.enabled() {
+            self.sink.record(&Record {
+                ts_ns,
+                span: ctx,
+                event,
+            });
         }
     }
 }

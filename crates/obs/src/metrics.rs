@@ -60,9 +60,15 @@ impl Counter {
 }
 
 /// A gauge: a free-standing `f64` that can go up and down.
+///
+/// Besides the value, the gauge keeps a monotone *write stamp* (count
+/// of completed writes). Shard export pairs the stamp with the value so
+/// merging shards can arbitrate gauges by last-writer-wins
+/// deterministically (see [`crate::shard::GaugeShard`]).
 #[derive(Debug, Clone, Default)]
 pub struct Gauge {
     bits: Arc<AtomicU64>,
+    seq: Arc<AtomicU64>,
 }
 
 impl Gauge {
@@ -76,6 +82,8 @@ impl Gauge {
     pub fn set(&self, v: f64) {
         // lint: relaxed-ok: last-writer-wins gauge; no cross-variable ordering needed
         self.bits.store(v.to_bits(), Ordering::Relaxed);
+        // lint: relaxed-ok: monotone write tally; shard export tolerates a stale pairing
+        self.seq.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Adds `delta` (may be negative).
@@ -89,10 +97,12 @@ impl Gauge {
                 // lint: relaxed-ok: success/failure both re-validate the same cell; no other memory is published
                 .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
             {
-                Ok(_) => return,
+                Ok(_) => break,
                 Err(actual) => cur = actual,
             }
         }
+        // lint: relaxed-ok: monotone write tally; shard export tolerates a stale pairing
+        self.seq.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Current value.
@@ -100,14 +110,26 @@ impl Gauge {
         // lint: relaxed-ok: snapshot read; staleness is acceptable for a gauge
         f64::from_bits(self.bits.load(Ordering::Relaxed))
     }
+
+    /// Number of completed writes so far (the last-writer-wins stamp
+    /// exported in shards).
+    pub fn write_seq(&self) -> u64 {
+        // lint: relaxed-ok: snapshot read of a monotone tally
+        self.seq.load(Ordering::Relaxed)
+    }
 }
 
 /// Linear sub-bucket resolution: 2^5 = 32 sub-buckets per power of two.
 const SUB_BITS: u32 = 5;
-const SUB: u64 = 1 << SUB_BITS;
+/// `2^SUB_BITS` as a literal (and its `usize` twin below): spelled out
+/// so the index arithmetic uses target-width constants directly instead
+/// of cross-width casts the interval analysis (A4) cannot bound.
+const SUB: u64 = 32;
+const SUB_USIZE: usize = 32;
+const _: () = assert!(SUB == 1 << SUB_BITS && SUB_USIZE as u64 == SUB);
 /// Bucket count: 2^SUB_BITS unit buckets + one block of 2^SUB_BITS per
 /// exponent SUB_BITS..=63.
-const BUCKETS: usize = (SUB as usize) * (64 - SUB_BITS as usize + 1);
+const BUCKETS: usize = SUB_USIZE * (64 - SUB_BITS as usize + 1);
 
 #[derive(Debug)]
 struct HistCore {
@@ -136,21 +158,34 @@ fn bucket_index(v: u64) -> usize {
     if v < SUB {
         return v as usize;
     }
-    let exp = 63 - v.leading_zeros(); // >= SUB_BITS
+    // v >= 32 here, so the exponent is already >= SUB_BITS; the clamp
+    // states the range explicitly for the interval analysis (A4).
+    let exp = (63 - v.leading_zeros()).clamp(SUB_BITS, 63);
     let block = (exp - SUB_BITS) as usize;
-    let sub = ((v >> (exp - SUB_BITS)) - SUB) as usize;
-    SUB as usize + block * SUB as usize + sub
+    // The top SUB_BITS+1 bits of v select the linear sub-bucket: the
+    // shifted value is in [32, 63], so the subtraction lands in
+    // [0, 31]; saturating+min make those bounds explicit.
+    let sub = ((v >> (exp - SUB_BITS)).saturating_sub(SUB)).min(SUB - 1) as usize;
+    SUB_USIZE + block * SUB_USIZE + sub
 }
 
 /// Lower bound of bucket `i` (inverse of [`bucket_index`]).
 fn bucket_lower(i: usize) -> u64 {
-    if i < SUB as usize {
+    if i < SUB_USIZE {
         return i as u64;
     }
-    let block = (i - SUB as usize) / SUB as usize;
-    let sub = ((i - SUB as usize) % SUB as usize) as u64;
-    let exp = block as u32 + SUB_BITS;
+    let off = i - SUB_USIZE;
+    // In-range indices give block <= 59; the min keeps the shifts
+    // provably below 64 even for out-of-range input (A4).
+    let block = (off / SUB_USIZE).min(58);
+    let sub = (off % SUB_USIZE).min(31) as u64;
+    let exp = u32::try_from(block).unwrap_or(58) + SUB_BITS;
     (1u64 << exp) + (sub << (exp - SUB_BITS))
+}
+
+/// [`bucket_lower`] over the `u32` indices stored in shard digests.
+pub(crate) fn bucket_lower_u32(i: u32) -> u64 {
+    bucket_lower(usize::try_from(i).unwrap_or(0))
 }
 
 impl Histogram {
@@ -223,7 +258,7 @@ impl Histogram {
         if total == 0 {
             return None;
         }
-        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let rank = ((q * total as f64).ceil().clamp(0.0, u64::MAX as f64) as u64).clamp(1, total);
         let mut seen = 0u64;
         for (i, slot) in self.core.counts.iter().enumerate() {
             // lint: relaxed-ok: quantiles are approximate by design (±3.1%); racing records only shift the estimate
@@ -234,6 +269,117 @@ impl Histogram {
             }
         }
         self.max()
+    }
+
+    /// Exports the full bucket state as a mergeable
+    /// [`HistogramDigest`](crate::shard::HistogramDigest) (sparse:
+    /// only non-empty buckets are included).
+    pub fn digest(&self) -> crate::shard::HistogramDigest {
+        let c = &self.core;
+        let buckets = c
+            .counts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                // lint: relaxed-ok: snapshot read; digests are point-in-time exports
+                let n = slot.load(Ordering::Relaxed);
+                (n > 0).then(|| crate::shard::BucketCount {
+                    // BUCKETS = 1920, far below u32::MAX; total fallback
+                    // anyway (lint L3).
+                    index: u32::try_from(i).unwrap_or(u32::MAX),
+                    count: n,
+                })
+            })
+            .collect();
+        crate::shard::HistogramDigest {
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+            buckets,
+        }
+    }
+}
+
+/// Default ring capacity (in time buckets) of a windowed [`Series`].
+const SERIES_WINDOW: usize = 64;
+
+#[derive(Debug, Default)]
+struct SeriesInner {
+    bucket_width_ns: u64,
+    points: std::collections::VecDeque<crate::shard::TimePoint>,
+}
+
+/// A windowed time series: observations fold into fixed-width time
+/// buckets, and only the most recent [`SERIES_WINDOW`] buckets are kept
+/// (a ring), bounding memory for arbitrarily long runs.
+///
+/// Not a hot-path primitive (it takes a mutex); record at coarse-grained
+/// progress points — e.g. once per finished trial — not per event.
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    inner: Arc<Mutex<SeriesInner>>,
+}
+
+impl Series {
+    /// A series whose bucket width is fixed at construction (the
+    /// registry creates every series this way, so no post-registration
+    /// locking is needed).
+    fn with_width(bucket_width_ns: u64) -> Series {
+        Series {
+            inner: Arc::new(Mutex::new(SeriesInner {
+                bucket_width_ns: bucket_width_ns.max(1),
+                points: std::collections::VecDeque::new(),
+            })),
+        }
+    }
+
+    /// Lock with poison recovery (ring pushes only; lint L3).
+    fn lock(&self) -> std::sync::MutexGuard<'_, SeriesInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Records `value` at `ts_ns`. Observations land in the bucket
+    /// containing `ts_ns`; an observation older than the retained
+    /// window is dropped.
+    pub fn record(&self, ts_ns: u64, value: u64) {
+        let mut inner = self.lock();
+        let width = inner.bucket_width_ns.max(1);
+        // lint: allow(L1): bucket flooring on a u64 ns timestamp; obs sits below rto-core, so `Duration` is unavailable
+        let start_ns = ts_ns - ts_ns % width;
+        // The window is small (64 buckets); a linear scan beats keeping
+        // an index structure.
+        if let Some(p) = inner.points.iter_mut().find(|p| p.start_ns == start_ns) {
+            p.count = p.count.saturating_add(1);
+            p.sum = p.sum.saturating_add(value);
+            return;
+        }
+        // A new bucket. The ring stays sorted by start time, so an
+        // observation older than the newest retained bucket (and not in
+        // any retained bucket) is dropped.
+        if inner.points.back().is_some_and(|b| b.start_ns > start_ns) {
+            return;
+        }
+        if inner.points.len() == SERIES_WINDOW {
+            inner.points.pop_front();
+        }
+        inner.points.push_back(crate::shard::TimePoint {
+            start_ns,
+            count: 1,
+            sum: value,
+        });
+    }
+
+    /// Exports the retained window as a mergeable
+    /// [`SeriesShard`](crate::shard::SeriesShard).
+    pub fn shard(&self) -> crate::shard::SeriesShard {
+        let inner = self.lock();
+        crate::shard::SeriesShard {
+            bucket_width_ns: inner.bucket_width_ns,
+            points: inner.points.iter().copied().collect(),
+        }
     }
 }
 
@@ -283,6 +429,17 @@ pub struct HistogramSample {
     pub p99: Option<u64>,
 }
 
+/// One exported windowed time series (see [`Series`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeriesSample {
+    /// Metric name.
+    pub name: String,
+    /// Width of each time bucket in nanoseconds.
+    pub bucket_width_ns: u64,
+    /// Retained buckets, oldest first.
+    pub points: Vec<crate::shard::TimePoint>,
+}
+
 /// A point-in-time export of a whole registry, ordered by metric name.
 ///
 /// Serializable, comparable, and embeddable in reports (the simulator
@@ -295,6 +452,11 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<GaugeSample>,
     /// All histograms, by name.
     pub histograms: Vec<HistogramSample>,
+    /// All windowed time series, by name (absent in older snapshots,
+    /// omitted when no series are registered — so pre-series JSON stays
+    /// byte-identical).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub series: Vec<SeriesSample>,
 }
 
 impl MetricsSnapshot {
@@ -318,7 +480,10 @@ impl MetricsSnapshot {
 
     /// Whether nothing has been registered.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.series.is_empty()
     }
 }
 
@@ -327,6 +492,7 @@ struct RegistryInner {
     counters: BTreeMap<String, Counter>,
     gauges: BTreeMap<String, Gauge>,
     histograms: BTreeMap<String, Histogram>,
+    series: BTreeMap<String, Series>,
 }
 
 /// A named collection of metrics.
@@ -378,6 +544,18 @@ impl MetricsRegistry {
             .clone()
     }
 
+    /// Returns (registering on first use) the windowed time series
+    /// `name` with the given bucket width. The width is fixed on first
+    /// registration; later calls return the existing series unchanged.
+    pub fn series(&self, name: &str, bucket_width_ns: u64) -> Series {
+        let mut inner = self.lock();
+        inner
+            .series
+            .entry(name.to_string())
+            .or_insert_with(|| Series::with_width(bucket_width_ns))
+            .clone()
+    }
+
     /// Exports every metric's current value.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let inner = self.lock();
@@ -411,6 +589,56 @@ impl MetricsRegistry {
                     p90: h.quantile(0.90),
                     p99: h.quantile(0.99),
                 })
+                .collect(),
+            series: inner
+                .series
+                .iter()
+                .map(|(name, s)| {
+                    let shard = s.shard();
+                    SeriesSample {
+                        name: name.clone(),
+                        bucket_width_ns: shard.bucket_width_ns,
+                        points: shard.points,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Exports every metric as a mergeable
+    /// [`MetricsShard`](crate::shard::MetricsShard) — the per-worker
+    /// unit the sharded sweep dispatcher combines with
+    /// [`MetricsShard::merge`](crate::shard::MetricsShard::merge).
+    pub fn shard(&self) -> crate::shard::MetricsShard {
+        let inner = self.lock();
+        crate::shard::MetricsShard {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(name, c)| (name.clone(), c.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(name, g)| {
+                    (
+                        name.clone(),
+                        crate::shard::GaugeShard {
+                            seq: g.write_seq(),
+                            bits: g.get().to_bits(),
+                        },
+                    )
+                })
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(name, h)| (name.clone(), h.digest()))
+                .collect(),
+            series: inner
+                .series
+                .iter()
+                .map(|(name, s)| (name.clone(), s.shard()))
                 .collect(),
         }
     }

@@ -1,0 +1,258 @@
+//! Zero-dependency live export: a tiny HTTP/1.1 server over
+//! `std::net::TcpListener`.
+//!
+//! [`MetricsServer::bind`] spawns one background thread that serves:
+//!
+//! | Path            | Content                                        |
+//! |-----------------|------------------------------------------------|
+//! | `/metrics`      | Prometheus text exposition of the registry     |
+//! | `/metrics.json` | The same snapshot as pretty JSON               |
+//! | `/healthz`      | `{"ok":true}` liveness probe                   |
+//! | `/spans/recent` | JSON array of the most recent span records     |
+//!
+//! The server holds only a [`MetricsRegistry`] clone (shared handles)
+//! and an optional [`RingSink`], so a long sweep can be scraped while
+//! it runs without any coordination with the workers. Connections are
+//! handled sequentially with short read timeouts — this is an
+//! introspection port, not a web server.
+
+use crate::metrics::MetricsRegistry;
+use crate::sink::RingSink;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A live metrics/spans HTTP endpoint on its own thread.
+///
+/// Shuts down on [`MetricsServer::shutdown`] or drop.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving `registry` — and, when `spans` is given, the ring
+    /// of recent span records — in a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/spawn failures.
+    pub fn bind(
+        addr: &str,
+        registry: MetricsRegistry,
+        spans: Option<Arc<RingSink>>,
+    ) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("rto-obs-serve".to_string())
+            .spawn(move || serve_loop(&listener, &registry, spans.as_deref(), &thread_stop))?;
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (with the actual port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept call with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn serve_loop(
+    listener: &TcpListener,
+    registry: &MetricsRegistry,
+    spans: Option<&RingSink>,
+    stop: &AtomicBool,
+) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = conn else { continue };
+        let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(500)));
+        let _ = handle_connection(&mut stream, registry, spans);
+    }
+}
+
+/// Reads the request head and writes one response. Errors only bubble
+/// to the accept loop, which ignores them — a broken scrape must never
+/// disturb the run being observed.
+fn handle_connection(
+    stream: &mut TcpStream,
+    registry: &MetricsRegistry,
+    spans: Option<&RingSink>,
+) -> std::io::Result<()> {
+    let mut buf = [0u8; 4096];
+    let mut read = 0;
+    while read < buf.len() {
+        let n = match stream.read(&mut buf[read..]) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) => return Err(e),
+        };
+        read += n;
+        if buf[..read].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..read]);
+    let mut request_line = head.lines().next().unwrap_or("").split_whitespace();
+    let method = request_line.next().unwrap_or("");
+    let path = request_line.next().unwrap_or("");
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                registry.render_prometheus(),
+            ),
+            "/metrics.json" => ("200 OK", "application/json", registry.render_json()),
+            "/healthz" => ("200 OK", "application/json", "{\"ok\":true}\n".to_string()),
+            "/spans/recent" => ("200 OK", "application/json", spans_json(spans)),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found\n".to_string(),
+            ),
+        }
+    };
+    let mut response = String::with_capacity(body.len() + 128);
+    let _ = std::fmt::Write::write_fmt(
+        &mut response,
+        format_args!(
+            "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// The recent span records as a JSON array (empty without a ring).
+fn spans_json(spans: Option<&RingSink>) -> String {
+    let mut out = String::from("[");
+    if let Some(ring) = spans {
+        for (i, rec) in ring.recent().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            rec.write_json(&mut out);
+        }
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use crate::sink::{Record, TraceSink};
+    use crate::span;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let request = format!("GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n");
+        stream.write_all(request.as_bytes()).expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        response
+    }
+
+    #[test]
+    fn serves_metrics_health_and_spans() {
+        let registry = MetricsRegistry::new();
+        registry.counter("scrapes_total").add(7);
+        registry.histogram("lat_ns").record(1500);
+        let ring = Arc::new(RingSink::with_capacity(8));
+        ring.record(&Record::spanned(
+            5,
+            span::job_ctx(0),
+            TraceEvent::DeadlineMet {
+                job_id: 0,
+                task_id: 1,
+            },
+        ));
+        let server =
+            MetricsServer::bind("127.0.0.1:0", registry.clone(), Some(ring)).expect("bind");
+        let addr = server.local_addr();
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+        assert!(metrics.contains("scrapes_total 7"));
+        assert!(metrics.contains("lat_ns_count 1"));
+
+        let json = get(addr, "/metrics.json");
+        assert!(json.contains("\"scrapes_total\"") || json.contains("scrapes_total"));
+
+        let health = get(addr, "/healthz");
+        assert!(health.contains("{\"ok\":true}"));
+
+        let spans = get(addr, "/spans/recent");
+        assert!(spans.contains("\"event\":\"deadline_met\""), "{spans}");
+        assert!(spans.contains("\"span\":"));
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"));
+
+        // Live updates are visible on the next scrape.
+        registry.counter("scrapes_total").add(1);
+        assert!(get(addr, "/metrics").contains("scrapes_total 8"));
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_and_frees_the_port() {
+        let server =
+            MetricsServer::bind("127.0.0.1:0", MetricsRegistry::new(), None).expect("bind");
+        let addr = server.local_addr();
+        server.shutdown();
+        // The listener is gone: either refused or accepted-then-closed
+        // by the OS backlog, but never served by our loop.
+        let alive = TcpStream::connect(addr)
+            .and_then(|mut s| {
+                s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n")?;
+                let mut out = String::new();
+                s.read_to_string(&mut out)?;
+                Ok(out)
+            })
+            .unwrap_or_default();
+        assert!(!alive.contains("\"ok\":true"));
+    }
+}

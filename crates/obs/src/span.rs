@@ -1,0 +1,424 @@
+//! Causal span identifiers: one job's lifecycle as a connected tree.
+//!
+//! A [`SpanId`] names one node in a job's causal tree; a
+//! [`SpanContext`] pairs a span with its optional parent. The ids are
+//! *deterministic functions of the job id and span kind* — no global
+//! counter, no randomness — so two runs of the same system produce
+//! byte-identical span annotations, and shards can be merged without id
+//! remapping.
+//!
+//! ## Encoding
+//!
+//! A span id is a packed `NonZeroU64`: the low 3 bits carry the span
+//! kind, the remaining 61 bits carry `job_id + 1` (so the all-zero word
+//! never occurs and `Option<SpanId>` is pointer-sized). Raw values below
+//! 8 have no job component and name process-wide singleton spans; raw
+//! `1` is the ODM decision span.
+//!
+//! ## The tree a simulated job produces
+//!
+//! ```text
+//! job(j)                      release + deadline verdict
+//! ├── phase(j, Setup)         sub-job dispatch/start/complete
+//! │   ├── offload(j)          request sent, net transfers, response
+//! │   └── timer(j)            compensation timer armed/fired
+//! ├── phase(j, PostProcess)   (or Compensation, after a timeout)
+//! └── …
+//! ```
+//!
+//! [`summarize`] folds a recorded [`Record`] stream into per-span
+//! [`SpanSummary`] rows (the JSONL `spans` view), and
+//! [`job_tree_is_connected`] checks the acceptance invariant: every
+//! span observed for a job reaches the job root through recorded
+//! parents.
+
+use crate::event::Phase;
+use crate::sink::Record;
+use std::fmt::Write as _;
+use std::num::NonZeroU64;
+
+/// Number of low bits reserved for the span kind.
+const KIND_BITS: u32 = 3;
+/// Largest encodable job id (61 usable bits, minus the `+1` offset).
+const MAX_JOB: u64 = (u64::MAX >> KIND_BITS) - 1;
+
+const KIND_JOB: u64 = 0;
+const KIND_LOCAL: u64 = 1;
+const KIND_SETUP: u64 = 2;
+const KIND_POST: u64 = 3;
+const KIND_COMP: u64 = 4;
+const KIND_OFFLOAD: u64 = 5;
+const KIND_TIMER: u64 = 6;
+
+/// A deterministic causal span identifier (never zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(NonZeroU64);
+
+impl SpanId {
+    /// Packs `(job_id, kind)`; total (clamps oversized job ids rather
+    /// than panicking — lint L3).
+    fn pack(job_id: usize, kind: u64) -> SpanId {
+        let j = u64::try_from(job_id).unwrap_or(MAX_JOB).min(MAX_JOB);
+        // (j + 1) << 3 is at least 8, so the packed word is non-zero;
+        // the fallback keeps the constructor total anyway.
+        match NonZeroU64::new(((j + 1) << KIND_BITS) | (kind & 0x7)) {
+            Some(raw) => SpanId(raw),
+            None => SpanId(NonZeroU64::MIN),
+        }
+    }
+
+    /// The process-wide ODM decision span (raw `1`).
+    pub fn odm() -> SpanId {
+        SpanId(NonZeroU64::MIN)
+    }
+
+    /// The root span of job `job_id`'s causal tree.
+    pub fn job(job_id: usize) -> SpanId {
+        SpanId::pack(job_id, KIND_JOB)
+    }
+
+    /// The span of one execution phase of job `job_id`.
+    pub fn phase(job_id: usize, phase: Phase) -> SpanId {
+        let kind = match phase {
+            Phase::LocalWhole => KIND_LOCAL,
+            Phase::Setup => KIND_SETUP,
+            Phase::PostProcess => KIND_POST,
+            Phase::Compensation => KIND_COMP,
+        };
+        SpanId::pack(job_id, kind)
+    }
+
+    /// The offload round-trip span of job `job_id`.
+    pub fn offload(job_id: usize) -> SpanId {
+        SpanId::pack(job_id, KIND_OFFLOAD)
+    }
+
+    /// The compensation-timer span of job `job_id`.
+    pub fn timer(job_id: usize) -> SpanId {
+        SpanId::pack(job_id, KIND_TIMER)
+    }
+
+    /// The packed representation (for JSON export and flow-event ids).
+    pub fn raw(self) -> u64 {
+        self.0.get()
+    }
+
+    /// Reconstructs a span id from its packed representation.
+    pub fn from_raw(raw: u64) -> Option<SpanId> {
+        NonZeroU64::new(raw).map(SpanId)
+    }
+
+    /// The job this span belongs to, if it has a job component.
+    pub fn job_of(self) -> Option<usize> {
+        let raw = self.0.get();
+        if raw >> KIND_BITS == 0 {
+            return None;
+        }
+        usize::try_from((raw >> KIND_BITS) - 1).ok()
+    }
+
+    /// Stable lowercase kind tag used in the `spans` JSONL view.
+    pub fn kind_str(self) -> &'static str {
+        let raw = self.0.get();
+        if raw >> KIND_BITS == 0 {
+            return match raw {
+                1 => "odm",
+                _ => "reserved",
+            };
+        }
+        match raw & 0x7 {
+            KIND_JOB => "job",
+            KIND_LOCAL => "local",
+            KIND_SETUP => "setup",
+            KIND_POST => "post_process",
+            KIND_COMP => "compensation",
+            KIND_OFFLOAD => "offload",
+            KIND_TIMER => "timer",
+            _ => "reserved",
+        }
+    }
+
+    /// The parent this span kind has in the canonical job tree, or
+    /// `None` for roots (job spans, the ODM span).
+    pub fn canonical_parent(self) -> Option<SpanId> {
+        let job = self.job_of()?;
+        let raw = self.0.get();
+        match raw & 0x7 {
+            KIND_LOCAL | KIND_SETUP | KIND_POST | KIND_COMP => Some(SpanId::job(job)),
+            KIND_OFFLOAD | KIND_TIMER => Some(SpanId::phase(job, Phase::Setup)),
+            _ => None,
+        }
+    }
+}
+
+/// A span plus its optional parent: what an emitter attaches to an
+/// event. `Copy`, so attaching a context never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanContext {
+    /// The span this event belongs to.
+    pub span: SpanId,
+    /// The parent span, if this span is not a root.
+    pub parent: Option<SpanId>,
+}
+
+impl SpanContext {
+    /// A root context (no parent).
+    pub fn root(span: SpanId) -> SpanContext {
+        SpanContext { span, parent: None }
+    }
+
+    /// A child context.
+    pub fn child_of(span: SpanId, parent: SpanId) -> SpanContext {
+        SpanContext {
+            span,
+            parent: Some(parent),
+        }
+    }
+}
+
+/// Context for the ODM decision span (a root).
+pub fn odm_ctx() -> SpanContext {
+    SpanContext::root(SpanId::odm())
+}
+
+/// Context for job `job_id`'s root span.
+pub fn job_ctx(job_id: usize) -> SpanContext {
+    SpanContext::root(SpanId::job(job_id))
+}
+
+/// Context for one phase of job `job_id`, parented to the job root.
+pub fn phase_ctx(job_id: usize, phase: Phase) -> SpanContext {
+    SpanContext::child_of(SpanId::phase(job_id, phase), SpanId::job(job_id))
+}
+
+/// Context for job `job_id`'s offload round trip, parented to its setup
+/// phase (the offload is caused by setup completing).
+pub fn offload_ctx(job_id: usize) -> SpanContext {
+    SpanContext::child_of(SpanId::offload(job_id), SpanId::phase(job_id, Phase::Setup))
+}
+
+/// Context for job `job_id`'s compensation timer, parented to its setup
+/// phase (the timer is armed when the offload departs).
+pub fn timer_ctx(job_id: usize) -> SpanContext {
+    SpanContext::child_of(SpanId::timer(job_id), SpanId::phase(job_id, Phase::Setup))
+}
+
+/// One row of the `spans` view: a span aggregated over every event
+/// recorded in it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSummary {
+    /// The span.
+    pub span: SpanId,
+    /// Its recorded parent (from the first event that carried one).
+    pub parent: Option<SpanId>,
+    /// Timestamp of the first event in the span.
+    pub first_ts_ns: u64,
+    /// Timestamp of the last event in the span.
+    pub last_ts_ns: u64,
+    /// Number of events recorded in the span.
+    pub events: usize,
+}
+
+impl SpanSummary {
+    /// Appends this summary as one JSON object (the JSONL `spans` view),
+    /// with fixed field order: `view`, `span`, `kind`, optional
+    /// `job_id`, optional `parent`, `first_ts_ns`, `last_ts_ns`,
+    /// `events`.
+    pub fn write_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"view\":\"span\",\"span\":{},\"kind\":\"{}\"",
+            self.span.raw(),
+            self.span.kind_str()
+        );
+        if let Some(job) = self.span.job_of() {
+            let _ = write!(out, ",\"job_id\":{job}");
+        }
+        if let Some(parent) = self.parent {
+            let _ = write!(out, ",\"parent\":{}", parent.raw());
+        }
+        let _ = write!(
+            out,
+            ",\"first_ts_ns\":{},\"last_ts_ns\":{},\"events\":{}}}",
+            self.first_ts_ns, self.last_ts_ns, self.events
+        );
+    }
+}
+
+/// Folds a record stream into one [`SpanSummary`] per span, ordered by
+/// span id (deterministic regardless of interleaving). Records without
+/// a span context are ignored.
+pub fn summarize(records: &[Record]) -> Vec<SpanSummary> {
+    let mut by_span: std::collections::BTreeMap<SpanId, SpanSummary> =
+        std::collections::BTreeMap::new();
+    for rec in records {
+        let Some(ctx) = rec.span else { continue };
+        let entry = by_span.entry(ctx.span).or_insert(SpanSummary {
+            span: ctx.span,
+            parent: None,
+            first_ts_ns: rec.ts_ns,
+            last_ts_ns: rec.ts_ns,
+            events: 0,
+        });
+        entry.parent = entry.parent.or(ctx.parent);
+        entry.first_ts_ns = entry.first_ts_ns.min(rec.ts_ns);
+        entry.last_ts_ns = entry.last_ts_ns.max(rec.ts_ns);
+        entry.events += 1;
+    }
+    by_span.into_values().collect()
+}
+
+/// Whether every span observed for `job_id` reaches the job root
+/// `SpanId::job(job_id)` through recorded parents — i.e. the job's
+/// lifecycle is one connected tree. Jobs with no recorded spans are
+/// vacuously disconnected (`false`).
+pub fn job_tree_is_connected(summaries: &[SpanSummary], job_id: usize) -> bool {
+    let root = SpanId::job(job_id);
+    let mine: Vec<&SpanSummary> = summaries
+        .iter()
+        .filter(|s| s.span.job_of() == Some(job_id))
+        .collect();
+    if !mine.iter().any(|s| s.span == root) {
+        return false;
+    }
+    let ids: std::collections::BTreeSet<SpanId> = mine.iter().map(|s| s.span).collect();
+    mine.iter().all(|s| {
+        let mut cur = *s;
+        // Walk parents; the tree is at most a few levels deep, but bound
+        // the walk so a (malformed) parent cycle cannot hang us.
+        for _ in 0..ids.len() + 1 {
+            if cur.span == root {
+                return true;
+            }
+            let Some(parent) = cur.parent else {
+                return false;
+            };
+            if parent == root {
+                return true;
+            }
+            match mine.iter().find(|c| c.span == parent) {
+                Some(next) => cur = *next,
+                None => return false,
+            }
+        }
+        false
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    #[test]
+    fn ids_are_deterministic_and_distinct() {
+        assert_eq!(SpanId::job(3), SpanId::job(3));
+        assert_ne!(SpanId::job(3), SpanId::job(4));
+        let all = [
+            SpanId::odm(),
+            SpanId::job(0),
+            SpanId::phase(0, Phase::LocalWhole),
+            SpanId::phase(0, Phase::Setup),
+            SpanId::phase(0, Phase::PostProcess),
+            SpanId::phase(0, Phase::Compensation),
+            SpanId::offload(0),
+            SpanId::timer(0),
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn raw_round_trips_and_decodes() {
+        let s = SpanId::offload(41);
+        assert_eq!(SpanId::from_raw(s.raw()), Some(s));
+        assert_eq!(s.job_of(), Some(41));
+        assert_eq!(s.kind_str(), "offload");
+        assert_eq!(SpanId::odm().job_of(), None);
+        assert_eq!(SpanId::odm().kind_str(), "odm");
+        assert_eq!(SpanId::from_raw(0), None);
+    }
+
+    #[test]
+    fn oversized_job_ids_clamp_instead_of_wrapping() {
+        let s = SpanId::job(usize::MAX);
+        assert_eq!(s.kind_str(), "job");
+        assert!(s.raw() >= 8);
+    }
+
+    #[test]
+    fn canonical_parents_form_the_documented_tree() {
+        assert_eq!(SpanId::job(2).canonical_parent(), None);
+        assert_eq!(
+            SpanId::phase(2, Phase::Setup).canonical_parent(),
+            Some(SpanId::job(2))
+        );
+        assert_eq!(
+            SpanId::offload(2).canonical_parent(),
+            Some(SpanId::phase(2, Phase::Setup))
+        );
+        assert_eq!(
+            SpanId::timer(2).canonical_parent(),
+            Some(SpanId::phase(2, Phase::Setup))
+        );
+        assert_eq!(SpanId::odm().canonical_parent(), None);
+    }
+
+    fn met(job_id: usize) -> TraceEvent {
+        TraceEvent::DeadlineMet { job_id, task_id: 0 }
+    }
+
+    #[test]
+    fn summaries_aggregate_and_connectivity_holds() {
+        let records = [
+            Record::spanned(5, job_ctx(0), met(0)),
+            Record::spanned(7, phase_ctx(0, Phase::Setup), met(0)),
+            Record::spanned(9, offload_ctx(0), met(0)),
+            Record::spanned(11, job_ctx(0), met(0)),
+            Record::new(13, met(0)), // span-less records are ignored
+        ];
+        let sums = summarize(&records);
+        assert_eq!(sums.len(), 3);
+        let root = sums.iter().find(|s| s.span == SpanId::job(0)).unwrap();
+        assert_eq!((root.first_ts_ns, root.last_ts_ns, root.events), (5, 11, 2));
+        assert!(job_tree_is_connected(&sums, 0));
+        assert!(!job_tree_is_connected(&sums, 1));
+    }
+
+    #[test]
+    fn orphan_spans_break_connectivity() {
+        // An offload span whose setup-phase parent was never recorded.
+        let records = [
+            Record::spanned(1, job_ctx(4), met(4)),
+            Record::spanned(2, offload_ctx(4), met(4)),
+        ];
+        let sums = summarize(&records);
+        assert!(!job_tree_is_connected(&sums, 4));
+        // Recording the setup phase reconnects it.
+        let records = [
+            Record::spanned(1, job_ctx(4), met(4)),
+            Record::spanned(2, phase_ctx(4, Phase::Setup), met(4)),
+            Record::spanned(3, offload_ctx(4), met(4)),
+        ];
+        assert!(job_tree_is_connected(&summarize(&records), 4));
+    }
+
+    #[test]
+    fn span_summary_json_shape() {
+        let sums = summarize(&[Record::spanned(3, phase_ctx(1, Phase::Setup), met(1))]);
+        let mut out = String::new();
+        sums[0].write_json(&mut out);
+        assert_eq!(
+            out,
+            format!(
+                "{{\"view\":\"span\",\"span\":{},\"kind\":\"setup\",\"job_id\":1,\"parent\":{},\"first_ts_ns\":3,\"last_ts_ns\":3,\"events\":1}}",
+                SpanId::phase(1, Phase::Setup).raw(),
+                SpanId::job(1).raw()
+            )
+        );
+        let _: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+    }
+}

@@ -1,0 +1,205 @@
+//! Proptests for the shard merge laws.
+//!
+//! `MetricsShard::merge` must form a commutative monoid — associative,
+//! commutative, with the empty shard as identity — for every metric
+//! family (counters: saturating sum; gauges: last-writer-wins by
+//! `(seq, bits)`; histogram digests: bucket-wise sum; series:
+//! bucket-start-keyed sum). These laws are exactly what makes a
+//! parallel sweep's merged metrics independent of completion order,
+//! and therefore byte-identical to the serial run.
+
+use proptest::prelude::*;
+use rto_obs::metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+use rto_obs::shard::{GaugeShard, HistogramDigest, MetricsShard, SeriesShard, TimePoint};
+use std::collections::BTreeMap;
+
+const NAMES: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+/// A shard built the same way real exporters build them: by recording
+/// into live handles and exporting, so every structural invariant
+/// (sorted sparse buckets, bucket indices, ring order) holds by
+/// construction.
+#[derive(Debug, Clone)]
+struct ShardSpec {
+    counters: Vec<(usize, u64)>,
+    gauges: Vec<(usize, Vec<u32>)>,
+    histograms: Vec<(usize, Vec<u64>)>,
+    series: Vec<(usize, Vec<(u64, u64)>)>,
+}
+
+fn spec_strategy() -> impl Strategy<Value = ShardSpec> {
+    (
+        prop::collection::vec((0usize..4, 0u64..10_000), 0..4),
+        prop::collection::vec(
+            (0usize..4, prop::collection::vec(0u32..1_000_000, 0..4)),
+            0..3,
+        ),
+        prop::collection::vec(
+            (0usize..4, prop::collection::vec(0u64..10_000_000, 0..16)),
+            0..3,
+        ),
+        prop::collection::vec(
+            (
+                0usize..4,
+                prop::collection::vec((0u64..500, 0u64..100), 0..8),
+            ),
+            0..2,
+        ),
+    )
+        .prop_map(|(counters, gauges, histograms, series)| ShardSpec {
+            counters,
+            gauges,
+            histograms,
+            series,
+        })
+}
+
+fn build(spec: &ShardSpec) -> MetricsShard {
+    let reg = MetricsRegistry::new();
+    for (name, value) in &spec.counters {
+        reg.counter(NAMES[*name]).add(*value);
+    }
+    for (name, writes) in &spec.gauges {
+        let g = reg.gauge(NAMES[*name]);
+        for v in writes {
+            // Written via set() so the write stamp advances like real code.
+            g.set(f64::from(*v));
+        }
+    }
+    for (name, values) in &spec.histograms {
+        let h = reg.histogram(NAMES[*name]);
+        for v in values {
+            h.record(*v);
+        }
+    }
+    for (name, obs) in &spec.series {
+        let s = reg.series(NAMES[*name], 50);
+        for (ts, v) in obs {
+            s.record(*ts, *v);
+        }
+    }
+    reg.shard()
+}
+
+fn merged(a: &MetricsShard, b: &MetricsShard) -> MetricsShard {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_associative(
+        a in spec_strategy(),
+        b in spec_strategy(),
+        c in spec_strategy(),
+    ) {
+        let (a, b, c) = (build(&a), build(&b), build(&c));
+        let left = merged(&merged(&a, &b), &c);
+        let right = merged(&a, &merged(&b, &c));
+        prop_assert_eq!(&left, &right);
+        // Equality is also *byte* equality under the canonical encoding.
+        prop_assert_eq!(left.to_json(), right.to_json());
+    }
+
+    #[test]
+    fn merge_is_commutative(a in spec_strategy(), b in spec_strategy()) {
+        let (a, b) = (build(&a), build(&b));
+        prop_assert_eq!(merged(&a, &b).to_json(), merged(&b, &a).to_json());
+    }
+
+    #[test]
+    fn empty_shard_is_the_identity(a in spec_strategy()) {
+        let a = build(&a);
+        let empty = MetricsShard::default();
+        prop_assert_eq!(&merged(&a, &empty), &a);
+        prop_assert_eq!(&merged(&empty, &a), &a);
+    }
+
+    #[test]
+    fn shard_serde_round_trips_byte_stable(a in spec_strategy()) {
+        let a = build(&a);
+        let json = a.to_json();
+        let back: MetricsShard = serde_json::from_str(&json).expect("round trip");
+        prop_assert_eq!(&back, &a);
+        prop_assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn snapshot_with_series_round_trips(a in spec_strategy()) {
+        let shard = build(&a);
+        let snap = shard.to_snapshot();
+        let json = serde_json::to_string(&snap).expect("serialize");
+        let back: MetricsSnapshot = serde_json::from_str(&json).expect("round trip");
+        prop_assert_eq!(back, snap);
+    }
+
+    /// Merging per-worker digests equals digesting the union of the
+    /// observations — the histogram-specific statement of "sharding is
+    /// transparent".
+    #[test]
+    fn split_digests_merge_to_the_whole(
+        values in prop::collection::vec(0u64..10_000_000, 0..64),
+        split in 0usize..64,
+    ) {
+        let split = split.min(values.len());
+        let (left, right) = values.split_at(split);
+        let (ha, hb, hall) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for v in left { ha.record(*v); }
+        for v in right { hb.record(*v); }
+        for v in &values { hall.record(*v); }
+        let mut m = ha.digest();
+        m.merge(&hb.digest());
+        prop_assert_eq!(m, hall.digest());
+    }
+}
+
+#[test]
+fn gauge_lww_tie_break_is_deterministic() {
+    // Equal write counts: the larger bit pattern wins regardless of
+    // merge direction (documented arbitration, keeps commutativity).
+    let a = GaugeShard {
+        seq: 2,
+        bits: 1.0f64.to_bits(),
+    };
+    let b = GaugeShard {
+        seq: 2,
+        bits: 2.0f64.to_bits(),
+    };
+    let mut ab = a;
+    ab.merge(&b);
+    let mut ba = b;
+    ba.merge(&a);
+    assert_eq!(ab, ba);
+    assert_eq!(ab.value(), 2.0);
+}
+
+#[test]
+fn digest_and_series_defaults_are_identities_too() {
+    let mut d = HistogramDigest::default();
+    let h = Histogram::new();
+    h.record(42);
+    d.merge(&h.digest());
+    assert_eq!(d, h.digest());
+
+    let mut s = SeriesShard::default();
+    let real = SeriesShard {
+        bucket_width_ns: 10,
+        points: vec![TimePoint {
+            start_ns: 0,
+            count: 1,
+            sum: 3,
+        }],
+    };
+    s.merge(&real);
+    assert_eq!(s, real);
+
+    let mut m = MetricsShard {
+        counters: BTreeMap::from([("c".to_string(), 1)]),
+        ..MetricsShard::default()
+    };
+    m.merge(&MetricsShard::default());
+    assert_eq!(m.counters.get("c"), Some(&1));
+}

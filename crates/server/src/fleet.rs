@@ -187,8 +187,9 @@ impl OffloadServer for ServerFleet {
     fn submit(&mut self, request: &OffloadRequest, now: Instant) -> SubmitOutcome {
         let member = self.pick(request);
         self.submissions += 1;
-        self.obs.emit(
+        self.obs.emit_with(
             now.as_ns(),
+            request.span,
             TraceEvent::FleetRouted {
                 task_id: request.task_id,
                 member,
@@ -393,7 +394,7 @@ mod tests {
             response_ms(&mut f, 0, k);
         }
         let members: Vec<usize> = sink
-            .snapshot()
+            .events()
             .iter()
             .filter_map(|(_, e)| match e {
                 TraceEvent::FleetRouted { member, .. } => Some(*member),
@@ -435,7 +436,7 @@ mod tests {
         for k in 0..4 {
             response_ms(&mut f, 7, k);
         }
-        let events = sink.snapshot();
+        let events = sink.events();
         let members: Vec<usize> = events
             .iter()
             .filter_map(|(_, e)| match e {

@@ -17,7 +17,7 @@
 use crate::error::ServerError;
 use crate::network::NetworkModel;
 use rto_core::time::{Duration, Instant};
-use rto_obs::{Counter, Histogram, Obs, TraceEvent};
+use rto_obs::{Counter, Histogram, Obs, SpanContext, TraceEvent};
 use rto_stats::dist::{Distribution, DynDistribution, Exponential, LogNormal};
 use rto_stats::Rng;
 
@@ -33,6 +33,11 @@ pub struct OffloadRequest {
     /// Relative computational cost: the sampled GPU service time is
     /// multiplied by this factor (1.0 = the nominal kernel).
     pub compute_scale: f64,
+    /// Causal span context of the client-side offload attempt, if the
+    /// caller traces spans. Travels with the request so server-side
+    /// events (network transfers, fleet routing) attach to the same
+    /// span tree as the client's release/completion events.
+    pub span: Option<SpanContext>,
 }
 
 impl OffloadRequest {
@@ -43,6 +48,7 @@ impl OffloadRequest {
             payload_bytes: 64 * 1024,
             response_bytes: 4 * 1024,
             compute_scale: 1.0,
+            span: None,
         }
     }
 
@@ -61,6 +67,12 @@ impl OffloadRequest {
     /// Sets the compute-cost scale factor.
     pub fn with_compute_scale(mut self, scale: f64) -> Self {
         self.compute_scale = scale;
+        self
+    }
+
+    /// Attaches the client-side span context.
+    pub fn with_span(mut self, span: SpanContext) -> Self {
+        self.span = Some(span);
         self
     }
 }
@@ -109,6 +121,10 @@ pub struct GpuServer {
     background_service: DynDistribution,
     next_background: Instant,
     rng: Rng,
+    /// When attached (see [`GpuServer::with_obs`]), every uplink and
+    /// downlink transfer is metered and traced; `None` keeps the
+    /// unobserved hot path allocation-free.
+    obs: Option<Obs>,
 }
 
 impl GpuServer {
@@ -180,7 +196,20 @@ impl GpuServer {
             background_service,
             next_background,
             rng,
+            obs: None,
         })
+    }
+
+    /// Attaches an observability bundle: uplink/downlink transfers are
+    /// recorded through [`NetworkModel::sample_transfer_traced`]
+    /// (`net_messages_total`, `net_messages_lost_total`,
+    /// `net_transfer_ns`, plus `net_transfer` trace records carrying the
+    /// request's span). The RNG stream is identical to the unobserved
+    /// server, so attaching observation never perturbs a seeded run.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// Builds the case-study server for a contention scenario, with the
@@ -237,13 +266,24 @@ impl GpuServer {
     }
 }
 
+impl GpuServer {
+    /// One network transfer, metered/traced when observation is on.
+    /// Both arms draw the identical RNG stream.
+    fn transfer(&mut self, bytes: u64, at: Instant, span: Option<SpanContext>) -> Option<Duration> {
+        match &self.obs {
+            Some(obs) => {
+                self.network
+                    .sample_transfer_traced(bytes, &mut self.rng, obs, at.as_ns(), span)
+            }
+            None => self.network.sample_transfer(bytes, &mut self.rng),
+        }
+    }
+}
+
 impl OffloadServer for GpuServer {
     fn submit(&mut self, request: &OffloadRequest, now: Instant) -> SubmitOutcome {
         // Uplink.
-        let uplink = match self
-            .network
-            .sample_transfer(request.payload_bytes, &mut self.rng)
-        {
+        let uplink = match self.transfer(request.payload_bytes, now, request.span) {
             Some(d) => d,
             None => return SubmitOutcome::Lost,
         };
@@ -258,10 +298,7 @@ impl OffloadServer for GpuServer {
         let done = start + Duration::from_ms_f64_clamped(service_ms);
         self.boards[board] = done;
         // Downlink.
-        match self
-            .network
-            .sample_transfer(request.response_bytes, &mut self.rng)
-        {
+        match self.transfer(request.response_bytes, done, request.span) {
             Some(d) => SubmitOutcome::Response {
                 arrives_at: done + d,
             },
@@ -409,8 +446,9 @@ impl<S: OffloadServer> OffloadServer for ObservedServer<S> {
         let job_id = self.seq;
         self.seq += 1;
         self.submits.inc();
-        self.obs.emit(
+        self.obs.emit_with(
             now.as_ns(),
+            request.span,
             TraceEvent::OffloadRequestSent {
                 job_id,
                 task_id: request.task_id,
@@ -421,8 +459,9 @@ impl<S: OffloadServer> OffloadServer for ObservedServer<S> {
         match outcome {
             SubmitOutcome::Response { arrives_at } => {
                 self.response_ns.record(arrives_at.since(now).as_ns());
-                self.obs.emit(
+                self.obs.emit_with(
                     arrives_at.as_ns(),
+                    request.span,
                     TraceEvent::ServerResponseArrived {
                         job_id,
                         task_id: request.task_id,
@@ -432,8 +471,9 @@ impl<S: OffloadServer> OffloadServer for ObservedServer<S> {
             }
             SubmitOutcome::Lost => {
                 self.lost.inc();
-                self.obs.emit(
+                self.obs.emit_with(
                     now.as_ns(),
+                    request.span,
                     TraceEvent::OffloadRequestLost {
                         job_id,
                         task_id: request.task_id,
@@ -665,7 +705,7 @@ mod tests {
             obs.metrics().snapshot().counter("server_lost_total"),
             Some(1)
         );
-        let events = sink.snapshot();
+        let events = sink.events();
         assert_eq!(events.len(), 2);
         assert!(matches!(
             events[1].1,

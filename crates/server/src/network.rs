@@ -147,6 +147,38 @@ impl NetworkModel {
         sampled
     }
 
+    /// Like [`NetworkModel::sample_transfer_observed`], but additionally
+    /// emits a [`rto_obs::TraceEvent::NetTransfer`] record stamped at
+    /// `ts_ns`, carrying `span` when the caller traces causal spans —
+    /// the record lands inside the offload span of the request whose
+    /// payload is in flight.
+    ///
+    /// Draws exactly the same RNG stream as the unobserved variant.
+    pub fn sample_transfer_traced(
+        &self,
+        payload_bytes: u64,
+        rng: &mut Rng,
+        obs: &rto_obs::Obs,
+        ts_ns: u64,
+        span: Option<rto_obs::SpanContext>,
+    ) -> Option<Duration> {
+        let sampled = self.sample_transfer_observed(payload_bytes, rng, obs);
+        let (elapsed_ns, lost) = match sampled {
+            Some(d) => (d.as_ns(), false),
+            None => (0, true),
+        };
+        obs.emit_with(
+            ts_ns,
+            span,
+            rto_obs::TraceEvent::NetTransfer {
+                payload_bytes,
+                elapsed_ns,
+                lost,
+            },
+        );
+        sampled
+    }
+
     /// The deterministic part of the latency (floor + serialization) for
     /// a payload, ignoring jitter and loss. Useful for analytical checks.
     pub fn deterministic_latency(&self, payload_bytes: u64) -> Duration {
@@ -252,6 +284,44 @@ mod tests {
         assert_eq!(snap.counter("net_messages_total"), Some(500));
         assert_eq!(snap.counter("net_messages_lost_total"), Some(lost));
         assert_eq!(snap.histogram("net_transfer_ns").unwrap().count, delivered);
+    }
+
+    #[test]
+    fn traced_transfer_matches_stream_and_tags_spans() {
+        use rto_obs::{MemorySink, Obs, TraceEvent};
+        use std::sync::Arc;
+
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::with_sink(sink.clone());
+        let net = NetworkModel::new(Duration::ZERO, 1e6, 1.0, 0.3, 0.2).unwrap();
+        let ctx = rto_obs::span::offload_ctx(3);
+        let mut a = Rng::seed_from(8);
+        let mut b = Rng::seed_from(8);
+        for k in 0..100u64 {
+            let plain = net.sample_transfer(100, &mut a);
+            let traced = net.sample_transfer_traced(100, &mut b, &obs, k, Some(ctx));
+            assert_eq!(plain, traced, "tracing must not perturb the stream");
+        }
+        let records = sink.snapshot();
+        assert_eq!(records.len(), 100);
+        for rec in &records {
+            assert_eq!(rec.span, Some(ctx));
+            match rec.event {
+                TraceEvent::NetTransfer {
+                    payload_bytes,
+                    elapsed_ns,
+                    lost,
+                } => {
+                    assert_eq!(payload_bytes, 100);
+                    if lost {
+                        assert_eq!(elapsed_ns, 0);
+                    }
+                }
+                ref other => panic!("unexpected event {other:?}"),
+            }
+        }
+        let snap = obs.metrics().snapshot();
+        assert_eq!(snap.counter("net_messages_total"), Some(100));
     }
 
     #[test]

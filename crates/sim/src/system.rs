@@ -9,7 +9,7 @@ use rto_core::compensation::{CompensationManager, ResultDisposition, TimerDispos
 use rto_core::odm::{Decision, OdmTask, OffloadingPlan};
 use rto_core::task::TaskId;
 use rto_core::time::{Duration, Instant};
-use rto_obs::{Counter, Histogram, Obs, Phase, TraceEvent};
+use rto_obs::{span, Counter, Histogram, Obs, Phase, TraceEvent};
 use rto_server::gpu::{BlackHoleServer, OffloadRequest, OffloadServer};
 use rto_stats::Rng;
 use std::cmp::Reverse;
@@ -447,8 +447,9 @@ impl Engine {
                     let cur = (entry.job_id, entry.kind);
                     if self.running != Some(cur) {
                         if let Some((pj, pk)) = self.running.take() {
-                            self.obs.emit(
+                            self.obs.emit_in(
                                 self.running_end.as_ns(),
+                                span::phase_ctx(pj, phase_of(pk)),
                                 TraceEvent::SubJobPreempted {
                                     job_id: pj,
                                     task_id: self.jobs[pj].task_id.0,
@@ -457,8 +458,9 @@ impl Engine {
                             );
                             self.m.preemptions.inc();
                         }
-                        self.obs.emit(
+                        self.obs.emit_in(
                             self.clock.as_ns(),
+                            span::phase_ctx(entry.job_id, phase_of(entry.kind)),
                             TraceEvent::SubJobStarted {
                                 job_id: entry.job_id,
                                 task_id: self.jobs[entry.job_id].task_id.0,
@@ -539,8 +541,9 @@ impl Engine {
             setup_finished_at: None,
             response_at: None,
         });
-        self.obs.emit(
+        self.obs.emit_in(
             t0.as_ns(),
+            span::job_ctx(job_id),
             TraceEvent::JobReleased {
                 job_id,
                 task_id: task.id().0,
@@ -609,8 +612,9 @@ impl Engine {
             )
         };
         let late = disposition != ResultDisposition::Accepted;
-        self.obs.emit(
+        self.obs.emit_in(
             t.as_ns(),
+            span::offload_ctx(job_id),
             TraceEvent::ServerResponseArrived {
                 job_id,
                 task_id: self.jobs[job_id].task_id.0,
@@ -641,8 +645,9 @@ impl Engine {
             })?;
             (mgr.timer_fired(t)?, job.abs_deadline)
         };
-        self.obs.emit(
+        self.obs.emit_in(
             t.as_ns(),
+            span::timer_ctx(job_id),
             TraceEvent::CompensationTimerFired {
                 job_id,
                 task_id: self.jobs[job_id].task_id.0,
@@ -698,8 +703,9 @@ impl Engine {
             abs_deadline: deadline,
             completed_at: None,
         });
-        self.obs.emit(
+        self.obs.emit_in(
             now.as_ns(),
+            span::phase_ctx(job_id, phase_of(kind)),
             TraceEvent::SubJobDispatched {
                 job_id,
                 task_id: self.jobs[job_id].task_id.0,
@@ -740,8 +746,9 @@ impl Engine {
         if let Some(&idx) = self.subjob_index.get(&(job_id, kind)) {
             self.subjobs[idx].completed_at = Some(now);
         }
-        self.obs.emit(
+        self.obs.emit_in(
             now.as_ns(),
+            span::phase_ctx(job_id, phase_of(kind)),
             TraceEvent::SubJobCompleted {
                 job_id,
                 task_id: self.jobs[job_id].task_id.0,
@@ -777,10 +784,12 @@ impl Engine {
                 let request = match &self.shaper {
                     Some(shaper) => shaper(self.tasks[task_index].task(), level),
                     None => OffloadRequest::new(self.jobs[job_id].task_id.0),
-                };
+                }
+                .with_span(span::offload_ctx(job_id));
                 let task_id = self.jobs[job_id].task_id.0;
-                self.obs.emit(
+                self.obs.emit_in(
                     now.as_ns(),
+                    span::offload_ctx(job_id),
                     TraceEvent::OffloadRequestSent {
                         job_id,
                         task_id,
@@ -794,15 +803,17 @@ impl Engine {
                             .push(arrives_at, Event::ServerResponse { job_id });
                     }
                     None => {
-                        self.obs.emit(
+                        self.obs.emit_in(
                             now.as_ns(),
+                            span::offload_ctx(job_id),
                             TraceEvent::OffloadRequestLost { job_id, task_id },
                         );
                         self.m.requests_lost.inc();
                     }
                 }
-                self.obs.emit(
+                self.obs.emit_in(
                     now.as_ns(),
+                    span::timer_ctx(job_id),
                     TraceEvent::CompensationTimerArmed {
                         job_id,
                         task_id,
@@ -856,8 +867,9 @@ impl Engine {
         for (ts_ns, job_id) in verdicts {
             let job = &self.jobs[job_id];
             if job.missed_deadline(self.horizon) {
-                self.obs.emit(
+                self.obs.emit_in(
                     ts_ns,
+                    span::job_ctx(job_id),
                     TraceEvent::DeadlineMissed {
                         job_id,
                         task_id: job.task_id.0,
@@ -865,8 +877,9 @@ impl Engine {
                 );
                 self.m.misses.inc();
             } else {
-                self.obs.emit(
+                self.obs.emit_in(
                     ts_ns,
+                    span::job_ctx(job_id),
                     TraceEvent::DeadlineMet {
                         job_id,
                         task_id: job.task_id.0,

@@ -70,9 +70,11 @@ fn golden_two_task_fixed_seed_trace() {
         .unwrap();
     assert_eq!(report.total_deadline_misses(), 0);
 
+    // Span-annotated records: the golden file pins the span/parent
+    // encoding as well as the event encoding.
     let mut got = String::new();
-    for (ts, event) in sink.snapshot() {
-        event.write_json(ts, &mut got);
+    for rec in sink.snapshot() {
+        rec.write_json(&mut got);
         got.push('\n');
     }
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
@@ -89,6 +91,40 @@ fn golden_two_task_fixed_seed_trace() {
             .find(|(_, (g, w))| g != w)
             .map(|(i, pair)| (i, pair.0.to_string(), pair.1.to_string()))
     );
+}
+
+/// Every completed job's spans form one connected tree rooted at its
+/// job span: release, phases, offload round-trip, timer, and verdict
+/// all reachable from the root (the PR's span-connectivity criterion,
+/// on the fixed case-study-style fixture).
+#[test]
+fn completed_jobs_have_connected_span_trees() {
+    let (tasks, plan) = two_task_system();
+    let sink = Arc::new(MemorySink::new());
+    let report = Simulation::build(tasks, plan)
+        .unwrap()
+        .with_server(Box::new(PerfectServer {
+            response_time: ms(30),
+        }))
+        .with_obs(Obs::with_sink(sink.clone()))
+        .run(SimConfig::for_seconds(1, 7))
+        .unwrap();
+    let records = sink.snapshot();
+    assert!(records.iter().all(|r| r.span.is_some()), "all spanned");
+    let summaries = rto_obs::span::summarize(&records);
+    let completed: Vec<usize> = report
+        .jobs
+        .iter()
+        .filter(|j| j.completed_at.is_some())
+        .map(|j| j.job_id)
+        .collect();
+    assert!(!completed.is_empty());
+    for job_id in completed {
+        assert!(
+            rto_obs::span::job_tree_is_connected(&summaries, job_id),
+            "job {job_id} span tree disconnected"
+        );
+    }
 }
 
 /// Strategy: up to 3 tasks, each (C, C1, C2, T, R).
@@ -152,7 +188,7 @@ proptest! {
             .expect("valid config");
 
         let horizon = Instant::ZERO + report.horizon;
-        let events = sink.snapshot();
+        let events = sink.events();
         for stats in &report.per_task {
             let missed = events.iter().filter(|(_, e)| matches!(
                 e, TraceEvent::DeadlineMissed { task_id, .. } if TaskId(*task_id) == stats.task_id
@@ -176,6 +212,15 @@ proptest! {
                 }
                 _ => {}
             }
+        }
+        // Span connectivity holds for every completed job under random
+        // systems, seeds, and deadline policies.
+        let summaries = rto_obs::span::summarize(&sink.snapshot());
+        for job in report.jobs.iter().filter(|j| j.completed_at.is_some()) {
+            prop_assert!(
+                rto_obs::span::job_tree_is_connected(&summaries, job.job_id),
+                "job {} span tree disconnected", job.job_id
+            );
         }
         // The sim's own miss counter agrees with the aggregate too.
         prop_assert_eq!(

@@ -61,6 +61,19 @@ else
   echo "==> skipping speedup gate (<4 cores; CI asserts it)"
 fi
 
+echo "==> obs_bench: overhead budget (0 hot-path allocs, <=2x committed baseline)"
+cargo run --release -p rto-bench --offline -q --bin obs_bench -- --out BENCH_obs.json
+python3 - <<'EOF'
+import json
+b = json.load(open("BENCH_obs.json"))
+base = json.load(open("results/BENCH_obs_baseline.json"))
+assert b["hot_path_allocs"] == 0, f"hot path allocated: {b}"
+ratio = b["disabled_ns_per_event"] / max(base["disabled_ns_per_event"], 1e-9)
+print(f"    disabled path: {b['disabled_ns_per_event']:.1f} ns/event "
+      f"(baseline {base['disabled_ns_per_event']:.1f} ns, ratio {ratio:.2f}x)")
+assert ratio <= 2.0, f"disabled-path overhead regressed {ratio:.2f}x > 2x vs baseline"
+EOF
+
 echo "==> loom model tests (obs metrics + exp pool, RUSTFLAGS=--cfg loom)"
 RUSTFLAGS="--cfg loom" cargo test -p rto-obs --offline -q --test loom_metrics
 RUSTFLAGS="--cfg loom" cargo test -p rto-exp --offline -q --test loom_pool
