@@ -4,9 +4,15 @@
 //! holding a version-tagged, line-oriented serialization of
 //! [`FileFacts`] plus the FNV-1a hash of the source content it was
 //! computed from. A warm run re-parses exactly the files whose content
-//! hash changed; everything global (call graph, A1/A2/A3) is
-//! recomputed every run, so cached and uncached runs produce
-//! byte-identical diagnostics.
+//! hash changed.
+//!
+//! A second, whole-workspace entry (`global.diag`) caches the final
+//! diagnostics of the global phase, keyed by a fingerprint over every
+//! file's content hash, the allowlist, and the crate dependency graph.
+//! A fully warm run returns those diagnostics verbatim and skips the
+//! global phase (including the phase-2 fixpoint re-walk) entirely, so
+//! cached and uncached runs produce byte-identical diagnostics while
+//! the warm path stays fast.
 //!
 //! The format is deliberately dumb: tab-separated records, one per
 //! line, with `\t`/`\n`/`\\` escaped in free-text fields. Any parse
@@ -23,7 +29,9 @@ use std::path::{Path, PathBuf};
 /// Bump when the serialization or the fact model changes.
 /// v2: A4 interval sites + summaries (`I`, `ret_abs`/`ret_ty` on `F`,
 /// type on `A`, `in_spawn` on `C`) and A5 facts (`K`/`B`/`T`).
-const CACHE_VERSION: u32 = 2;
+/// v3: body token spans on `F` and module-level consts (`N`) for the
+/// interprocedural fixpoint engine.
+pub(crate) const CACHE_VERSION: u32 = 3;
 
 /// 64-bit FNV-1a hash (the cache key for both file names and content).
 #[must_use]
@@ -62,6 +70,76 @@ pub fn store(dir: &Path, facts: &FileFacts, hash: u64) -> Result<(), String> {
     let path = entry_path(dir, &facts.rel_path);
     fs::write(&path, encode(facts, hash))
         .map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// Path of the cached global-phase diagnostics.
+fn global_path(dir: &Path) -> PathBuf {
+    dir.join("global.diag")
+}
+
+/// Load the cached global diagnostics when the workspace fingerprint
+/// (and cache version) match; any mismatch or decode failure is a miss.
+#[must_use]
+pub fn load_global(dir: &Path, fingerprint: u64) -> Option<Vec<crate::Diagnostic>> {
+    let text = fs::read_to_string(global_path(dir)).ok()?;
+    let mut lines = text.lines();
+    let mut h = lines.next()?.split('\t');
+    if h.next()? != "rto-analyze-global" {
+        return None;
+    }
+    if h.next()?.parse::<u32>().ok()? != CACHE_VERSION {
+        return None;
+    }
+    if u64::from_str_radix(h.next()?, 16).ok()? != fingerprint {
+        return None;
+    }
+    let mut out = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        out.push(crate::Diagnostic {
+            path: unesc(parts.next()?),
+            line: parts.next()?.parse().ok()?,
+            rule: unesc(parts.next()?),
+            severity: unesc(parts.next()?),
+            message: unesc(parts.next()?),
+        });
+    }
+    Some(out)
+}
+
+/// Store the global diagnostics under a workspace fingerprint.
+///
+/// # Errors
+///
+/// When the cache directory or file cannot be written.
+pub fn store_global(
+    dir: &Path,
+    fingerprint: u64,
+    diags: &[crate::Diagnostic],
+) -> Result<(), String> {
+    fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(
+        out,
+        "rto-analyze-global\t{CACHE_VERSION}\t{fingerprint:016x}"
+    );
+    for d in diags {
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}",
+            esc(&d.path),
+            d.line,
+            esc(&d.rule),
+            esc(&d.severity),
+            esc(&d.message)
+        );
+    }
+    let path = global_path(dir);
+    fs::write(&path, out).map_err(|e| format!("cannot write {}: {e}", path.display()))
 }
 
 fn esc(s: &str) -> String {
@@ -121,7 +199,7 @@ pub fn encode(facts: &FileFacts, hash: u64) -> String {
     for f in &facts.fns {
         let _ = writeln!(
             out,
-            "F\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            "F\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             esc(&f.name),
             opt(f.qual.as_deref()),
             opt(f.trait_name.as_deref()),
@@ -133,7 +211,9 @@ pub fn encode(facts: &FileFacts, hash: u64) -> String {
                 "-"
             } else {
                 &f.ret_abs
-            }
+            },
+            f.body_span.0,
+            f.body_span.1
         );
         for (idx, (name, unit)) in f.params.iter().enumerate() {
             let ty = f.param_tys.get(idx).map_or("", String::as_str);
@@ -226,6 +306,15 @@ pub fn encode(facts: &FileFacts, hash: u64) -> String {
             }
         }
     }
+    for (name, ty, value) in &facts.consts {
+        let _ = writeln!(
+            out,
+            "N\t{}\t{}\t{}",
+            esc(name),
+            if ty.is_empty() { "-" } else { ty },
+            value
+        );
+    }
     if !facts.relaxed_lines.is_empty() {
         let lines: Vec<String> = facts
             .relaxed_lines
@@ -277,6 +366,7 @@ pub fn decode(text: &str, want_hash: u64) -> Option<FileFacts> {
                     ret_unit: Unit::from_str_lossy(parts.next()?),
                     ret_ty: opt_back(parts.next()?).unwrap_or_default(),
                     ret_abs: opt_back(parts.next()?).unwrap_or_default(),
+                    body_span: (parts.next()?.parse().ok()?, parts.next()?.parse().ok()?),
                     ..FnFact::default()
                 });
             }
@@ -388,6 +478,12 @@ pub fn decode(text: &str, want_hash: u64) -> Option<FileFacts> {
                     line: line_no,
                 });
             }
+            "N" => {
+                let name = unesc(parts.next()?);
+                let ty = opt_back(parts.next()?).unwrap_or_default();
+                let value = parts.next()?.parse().ok()?;
+                facts.consts.push((name, ty, value));
+            }
             "R" => {
                 facts.relaxed_lines = parts
                     .next()?
@@ -420,7 +516,8 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_everything() {
-        let src = "pub fn api_ns(d_ns: u64, w_ms: f64) -> u64 {\n\
+        let src = "const CAP: u64 = 32;\n\
+                   pub fn api_ns(d_ns: u64, w_ms: f64) -> u64 {\n\
                    // lint: allow(A1): reviewed\n    let x = d_ns;\n    helper(x);\n\
                    Duration::from_ns(d_ns);\n    v.unwrap();\n    x\n}\n\
                    // lint: relaxed-ok: tally\n\
@@ -436,7 +533,7 @@ mod tests {
         let facts = parse_file("crates/core/src/x.rs", "fn f() {}\n");
         let text = encode(&facts, 42);
         assert!(decode(&text, 43).is_none());
-        let bumped = text.replace("rto-analyze-cache\t2\t", "rto-analyze-cache\t999\t");
+        let bumped = text.replace("rto-analyze-cache\t3\t", "rto-analyze-cache\t999\t");
         assert!(decode(&bumped, 42).is_none());
     }
 

@@ -249,6 +249,10 @@ pub struct FnFact {
     /// Encoded abstract return interval ([`crate::domains::Abs`]
     /// encoding) — the interprocedural A4 summary for this function.
     pub ret_abs: String,
+    /// Token span of the body in the test-stripped token stream:
+    /// `(first, one-past-last)` — lets the phase-2 fixpoint engine
+    /// re-walk the body with callee summaries without re-parsing.
+    pub body_span: (usize, usize),
     /// Call sites in the body.
     pub calls: Vec<CallFact>,
     /// Panic-family seeds in the body.
@@ -330,6 +334,10 @@ pub struct FileFacts {
     pub a4: Vec<A4Site>,
     /// Atomic operations with explicit orderings (test-stripped).
     pub atomics: Vec<AtomicFact>,
+    /// Module-level integer constants (`const NAME: TY = <literal>;`),
+    /// as `(name, primitive type, value)` — the interval walker reads
+    /// them so masks and shifts by named constants stay bounded.
+    pub consts: Vec<(String, String, i128)>,
 }
 
 impl FileFacts {

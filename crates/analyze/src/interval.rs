@@ -17,36 +17,66 @@
 //!   division by zero, unsigned underflow, or overflow is not *proven*
 //!   absent.
 //!
-//! Sites whose value is exactly one call's result carry a `dep` key so
-//! the global half ([`check`]) can discharge them against the callee's
-//! return-interval summary. The summary itself (join of all `return`
-//! values and the tail expression) is encoded into
-//! [`crate::facts::FnFact::ret_abs`] and cached with the file.
+//! Phase-2 half ([`check`]): a **worklist-to-fixpoint summary engine**
+//! over the whole call graph. Per-function summaries (declared param
+//! ranges → return interval) are recomputed callee-first along the
+//! SCC condensation of the call graph; cycles (direct or mutual
+//! recursion, trait-dispatch loops) are cut at ⊤ — their members keep
+//! their declared return-type range and every witness tainted by the
+//! cut carries an explicit `assumed ⊤` provenance tag. A final
+//! emitting walk over every function then produces the diagnostic
+//! sites with all callee summaries in scope, so bounds flow through
+//! arbitrary-depth call chains, not just one level. The phase-1
+//! summary (join of all `return` values and the tail expression) is
+//! still encoded into [`crate::facts::FnFact::ret_abs`] and cached
+//! with the file as the fallback when a body cannot be re-walked.
 //!
 //! Soundness posture mirrors A1/A2: the walker runs on code the
 //! compiler already accepted and over-approximates aggressively
 //! (anything unrecognized evaluates to `Unknown`), so precision loss
 //! can only *add* warn/deny sites, never hide a real one the token IR
-//! saw. Known model caveats (`usize` = 64 bits, one-level summaries,
-//! no closures-capture tracking) are documented in DESIGN.md §11.
+//! saw. Known model caveats (`usize` = 64 bits, `u128` bounds
+//! saturated at `i128::MAX`, no closure-capture tracking, cycles cut
+//! at ⊤) are documented in DESIGN.md §11 and §13.
 
 use crate::domains::{Abs, FltItv, IntItv, IntTy};
 use crate::facts::{A4Kind, A4Site, FileFacts, FnFact};
 use crate::{allowlist_waived, inline_waived, Diagnostic};
 use rto_lint::allow::AllowEntry;
 use rto_lint::lexer::{TokKind, Token};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Files where an unproven A4 site is a **deny** (the paper-critical
-/// admission math); everywhere else A4 reports warn-severity sites.
+/// admission math and everything the fixpoint engine proved clean);
+/// everywhere else A4 reports warn-severity sites. Entries ending in
+/// `/` deny a whole directory prefix; other entries match by suffix.
 const DENY_PATHS: &[&str] = &[
     "crates/core/src/analysis.rs",
+    "crates/core/src/estimator.rs",
     "crates/core/src/qpa.rs",
     "crates/core/src/odm.rs",
     "crates/mckp/src/dp.rs",
     "crates/mckp/src/fptas.rs",
     "crates/mckp/src/branch_bound.rs",
+    "crates/sim/src/event.rs",
+    "crates/sim/src/system.rs",
+    "crates/stats/src/",
+    "crates/workloads/src/",
 ];
+
+/// Whether `rel_path` falls in A4 deny scope.
+fn is_deny_path(rel_path: &str) -> bool {
+    DENY_PATHS.iter().any(|p| {
+        if let Some(prefix) = p.strip_suffix('/') {
+            rel_path
+                .strip_prefix(prefix)
+                .is_some_and(|rest| rest.starts_with('/'))
+                || rel_path.starts_with(*p)
+        } else {
+            rel_path.ends_with(p)
+        }
+    })
+}
 
 /// One abstract value in the walker's environment.
 #[derive(Debug, Clone, Default)]
@@ -76,6 +106,28 @@ impl Val {
 
 type Env = HashMap<String, Val>;
 
+/// Shared evaluation context for one function walk: module-level
+/// constants from the surrounding file, plus — phase 2 only — a
+/// resolver mapping call keys to the current fixpoint summary.
+pub(crate) struct Ctx<'a> {
+    /// `const NAME: TY = lit;` values visible in the file.
+    pub consts: &'a HashMap<String, (String, i128)>,
+    /// Callee-summary resolver; `None` during the phase-1 walk.
+    #[allow(clippy::type_complexity)]
+    pub resolver: Option<&'a dyn Fn(Option<&str>, &str) -> Option<Resolved>>,
+}
+
+/// A resolved callee summary (the join over every candidate callee).
+pub(crate) struct Resolved {
+    /// Joined return interval.
+    pub abs: Abs,
+    /// Return type when every candidate agrees (`""` otherwise).
+    pub ty: String,
+    /// `Some(description)` when the summary was cut at ⊤ to break a
+    /// call-graph cycle — propagated into diagnostic witnesses.
+    pub assumed: Option<String>,
+}
+
 /// Analyze one function body (`toks[start..end]`, the region strictly
 /// inside the braces). Returns the encoded return-interval summary and
 /// the A4 sites found.
@@ -84,6 +136,7 @@ pub(crate) fn analyze_fn(
     start: usize,
     end: usize,
     fact: &FnFact,
+    ctx: &Ctx<'_>,
 ) -> (String, Vec<A4Site>) {
     let mut env = Env::new();
     for (idx, (name, _unit)) in fact.params.iter().enumerate() {
@@ -95,6 +148,8 @@ pub(crate) fn analyze_fn(
         sites: Vec::new(),
         rets: Vec::new(),
         emit: true,
+        ctx,
+        assumed_note: None,
     };
     let tail = w.walk_block(start, end, &mut env);
     let mut summary = Abs::Unknown;
@@ -120,6 +175,12 @@ struct W<'a> {
     rets: Vec<Abs>,
     /// `false` during the silent first pass over a loop body.
     emit: bool,
+    /// Constants and (phase 2) the fixpoint summary resolver.
+    ctx: &'a Ctx<'a>,
+    /// Sticky per-statement provenance: set when a value in the current
+    /// statement came from a summary that was cut at ⊤ to break a
+    /// call-graph cycle, so the sites it taints say so.
+    assumed_note: Option<String>,
 }
 
 impl W<'_> {
@@ -265,6 +326,10 @@ impl W<'_> {
         if !self.emit {
             return;
         }
+        let witness = match &self.assumed_note {
+            Some(note) => format!("{witness} (assumed ⊤: {note})"),
+            None => witness,
+        };
         self.sites.push(A4Site {
             kind,
             line,
@@ -284,6 +349,7 @@ impl W<'_> {
     fn walk_block(&mut self, mut i: usize, end: usize, env: &mut Env) -> Val {
         let mut tail = Val::unknown();
         while i < end {
+            self.assumed_note = None;
             let Some(t) = self.tok(i) else { break };
             tail = Val::unknown();
             match (t.kind, t.text.as_str()) {
@@ -909,7 +975,10 @@ impl W<'_> {
                 Some((None, v.map(IntItv::exact)))
             }
             TokKind::Ident => {
-                let itv = env.get(&t.text).and_then(|v| v.abs.as_int());
+                let itv = env
+                    .get(&t.text)
+                    .and_then(|v| v.abs.as_int())
+                    .or_else(|| self.ctx.consts.get(&t.text).map(|(_, k)| IntItv::exact(*k)));
                 Some((Some(t.text.clone()), itv))
             }
             _ => None,
@@ -1227,6 +1296,15 @@ impl W<'_> {
             }) {
                 let close = self.skip_group(*i);
                 self.eval_args(*i, env);
+                // `assert!(cond, ..)` refines the fall-through state
+                // exactly like an early-return guard.
+                if matches!(name.as_str(), "assert" | "debug_assert") {
+                    let inner_end = close.saturating_sub(1);
+                    let cond_end = self
+                        .find_top_level(*i + 1, inner_end, ",")
+                        .unwrap_or(inner_end);
+                    self.refine_into(*i + 1, cond_end, true, env);
+                }
                 *i = close;
             }
             return Val::unknown();
@@ -1273,11 +1351,7 @@ impl W<'_> {
                         }
                     }
                 }
-                return Val {
-                    abs: Abs::Unknown,
-                    ty: String::new(),
-                    dep: Some((qual, last)),
-                };
+                return self.call_result(qual, last);
             }
             // Associated constants on primitives.
             if let Some(q) = &qual {
@@ -1313,11 +1387,7 @@ impl W<'_> {
             let close = self.skip_group(*i + 1);
             self.eval_args(*i + 1, env);
             *i = close;
-            return Val {
-                abs: Abs::Unknown,
-                ty: String::new(),
-                dep: Some((None, name)),
-            };
+            return self.call_result(None, name);
         }
         // Struct literal `Type { .. }`.
         if self.is_punct(*i + 1, "{") && name.chars().next().is_some_and(char::is_uppercase) {
@@ -1326,7 +1396,38 @@ impl W<'_> {
             return Val::unknown();
         }
         *i += 1;
-        env.get(&name).cloned().unwrap_or_default()
+        if let Some(v) = env.get(&name) {
+            return v.clone();
+        }
+        // Module/impl-level `const NAME: TY = lit;` from this file.
+        if let Some((ty, k)) = self.ctx.consts.get(&name) {
+            return Val::of(Abs::Int(IntItv::exact(*k)), ty);
+        }
+        Val::unknown()
+    }
+
+    /// The value of a call expression: phase 1 leaves it unknown with a
+    /// `dep` key for later discharge; phase 2 consults the fixpoint
+    /// summary table and records ⊤-cut provenance for the statement.
+    fn call_result(&mut self, qual: Option<String>, name: String) -> Val {
+        let mut v = Val {
+            abs: Abs::Unknown,
+            ty: String::new(),
+            dep: Some((qual, name)),
+        };
+        if let Some(resolve) = self.ctx.resolver {
+            let key = v.dep.as_ref().map(|(q, n)| (q.as_deref(), n.as_str()));
+            if let Some((q, n)) = key {
+                if let Some(r) = resolve(q, n) {
+                    if let Some(note) = r.assumed {
+                        self.assumed_note.get_or_insert(note);
+                    }
+                    v.abs = r.abs;
+                    v.ty = r.ty;
+                }
+            }
+        }
+        v
     }
 
     /// Evaluate the comma-separated argument regions inside the group
@@ -1486,13 +1587,30 @@ impl W<'_> {
                     _ => Val::unknown(),
                 }
             }
-            "wrapping_add" | "wrapping_sub" | "wrapping_mul" => {
-                Val::of(Abs::of_type(&recv.ty), &recv.ty)
+            "wrapping_add"
+            | "wrapping_sub"
+            | "wrapping_mul"
+            | "wrapping_add_signed"
+            | "saturating_add_signed" => Val::of(Abs::of_type(&recv.ty), &recv.ty),
+            "leading_zeros" | "trailing_zeros" | "count_ones" | "count_zeros" => {
+                // Bounded by the receiver's bit width regardless of its
+                // value; kept non-derived so the bound never seeds
+                // overflow/underflow sites on surrounding arithmetic.
+                let bits = IntTy::parse(&recv.ty).map_or(128, |t| i128::from(t.bits));
+                Val::of(
+                    Abs::Int(IntItv {
+                        lo: 0,
+                        hi: bits,
+                        derived: false,
+                    }),
+                    "u32",
+                )
             }
             "isqrt" => match recv.abs {
                 Abs::Int(it) if it.lo >= 0 => {
                     #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
-                    let hi = ((it.hi as f64).sqrt() as i128).saturating_add(1);
+                    let hi = ((it.hi as f64).sqrt().clamp(0.0, i128::MAX as f64) as i128)
+                        .saturating_add(1);
                     Val::of(
                         Abs::Int(IntItv {
                             lo: 0,
@@ -1509,11 +1627,7 @@ impl W<'_> {
             // Checked/fallible forms never produce an A4 hazard; their
             // results are untracked on purpose.
             n if n.starts_with("checked_") || n == "try_into" || n == "try_from" => Val::unknown(),
-            _ => Val {
-                abs: Abs::Unknown,
-                ty: String::new(),
-                dep: Some((None, name.to_owned())),
-            },
+            _ => self.call_result(None, name.to_owned()),
         }
     }
 
@@ -1556,10 +1670,13 @@ impl W<'_> {
             }
             Abs::Float(f) => {
                 if f.fits_int(ty) {
+                    // Rust float→int `as` casts saturate, and `fits_int`
+                    // admits hi == 2^bits (the rounded type max), so pin
+                    // the post-cast interval to the target type's range.
                     #[allow(clippy::cast_possible_truncation)]
                     let it = IntItv {
-                        lo: f.lo.trunc() as i128,
-                        hi: f.hi.trunc() as i128,
+                        lo: (f.lo.trunc() as i128).clamp(ty.min(), ty.max()),
+                        hi: (f.hi.trunc() as i128).clamp(ty.min(), ty.max()),
                         derived: f.derived,
                     };
                     return Val::of(Abs::Int(it), ty_name);
@@ -1717,6 +1834,42 @@ impl W<'_> {
                     }
                     let res = if op == "/" { a.div(b) } else { a.rem(b) };
                     Val::of(res.map_or(Abs::Unknown, Abs::Int), &ty)
+                }
+                "&" if a.lo >= 0 && b.lo >= 0 => {
+                    // Masking with a non-negative operand bounds the
+                    // result by the smaller upper bound — the
+                    // `i & (len - 1)` power-of-two index idiom.
+                    Val::of(
+                        Abs::Int(IntItv {
+                            lo: 0,
+                            hi: a.hi.min(b.hi),
+                            derived: a.derived || b.derived,
+                        }),
+                        &ty,
+                    )
+                }
+                ">>" if a.lo >= 0 && b.derived && b.lo == b.hi && (0..128).contains(&b.lo) => {
+                    // Shift right by an exact constant amount.
+                    let k = u32::try_from(b.lo).unwrap_or(127);
+                    Val::of(
+                        Abs::Int(IntItv {
+                            lo: a.lo >> k.min(127),
+                            hi: a.hi >> k.min(127),
+                            derived: a.derived,
+                        }),
+                        &ty,
+                    )
+                }
+                ">>" if a.lo >= 0 => {
+                    // Right shift never grows a non-negative value.
+                    Val::of(
+                        Abs::Int(IntItv {
+                            lo: 0,
+                            hi: a.hi,
+                            derived: a.derived,
+                        }),
+                        &ty,
+                    )
                 }
                 "<<" | ">>" | "&" | "|" | "^" => Val::of(
                     match IntTy::parse(&ty) {
@@ -1899,7 +2052,7 @@ fn needs_space(before: &str, next: &str) -> bool {
 
 /// Parse an integer literal (underscores, radix prefixes, type
 /// suffix). Returns `(value, suffix type or "")`.
-fn parse_int_lit(text: &str) -> (Option<i128>, String) {
+pub(crate) fn parse_int_lit(text: &str) -> (Option<i128>, String) {
     let t: String = text.chars().filter(|c| *c != '_').collect();
     let mut body = t.as_str();
     let mut ty = String::new();
@@ -1952,16 +2105,12 @@ fn parse_float_lit(text: &str) -> (Option<f64>, String) {
 }
 
 // ----------------------------------------------------------------------
-// Phase 2: interprocedural discharge + diagnostics
+// Phase 2: interprocedural fixpoint summaries + diagnostics
 // ----------------------------------------------------------------------
 
-/// Keyed return-interval summaries over the whole workspace.
-struct Summaries {
-    by_name: HashMap<(String, String), Abs>,
-    by_qual: HashMap<(String, String, String), Abs>,
-}
-
-fn summary_of(f: &FnFact) -> Abs {
+/// The phase-1 (intra-procedural) summary of a function — the fallback
+/// when its body cannot be re-walked in phase 2.
+fn phase1_summary(f: &FnFact) -> Abs {
     let abs = Abs::decode(&f.ret_abs).unwrap_or(Abs::Unknown);
     if abs == Abs::Unknown && !f.ret_ty.is_empty() {
         return Abs::of_type(&f.ret_ty);
@@ -1969,80 +2118,335 @@ fn summary_of(f: &FnFact) -> Abs {
     abs
 }
 
-fn build_summaries(files: &[FileFacts]) -> Summaries {
-    let mut by_name: HashMap<(String, String), Abs> = HashMap::new();
-    let mut by_qual: HashMap<(String, String, String), Abs> = HashMap::new();
-    let joined = |map: &mut HashMap<(String, String, String), Abs>,
-                  key: (String, String, String),
-                  abs: Abs| {
-        map.entry(key)
-            .and_modify(|e| *e = e.join(abs))
-            .or_insert(abs);
-    };
-    for ff in files {
-        let ck = ff.crate_key().to_owned();
-        for f in &ff.fns {
-            let abs = summary_of(f);
-            by_name
-                .entry((ck.clone(), f.name.clone()))
-                .and_modify(|e| *e = e.join(abs))
-                .or_insert(abs);
-            if let Some(q) = &f.qual {
-                joined(&mut by_qual, (ck.clone(), q.clone(), f.name.clone()), abs);
-            }
-            if let Some(tr) = &f.trait_name {
-                joined(&mut by_qual, (ck.clone(), tr.clone(), f.name.clone()), abs);
-            }
-        }
-    }
-    Summaries { by_name, by_qual }
-}
-
-/// The joined callee summary visible from `ck` (its own crate plus
-/// direct dependencies), or `None` when the symbol is unknown.
-fn resolve_summary(
-    s: &Summaries,
-    ck: &str,
-    scope: &[String],
-    dep: &(Option<String>, String),
-) -> Option<Abs> {
-    let mut found: Option<Abs> = None;
-    let add = |found: &mut Option<Abs>, abs: Abs| {
-        *found = Some(match *found {
-            None => abs,
-            Some(p) => p.join(abs),
-        });
-    };
-    let _ = ck;
-    match &dep.0 {
-        Some(q) => {
-            for c in scope {
-                if let Some(abs) = s.by_qual.get(&(c.clone(), q.clone(), dep.1.clone())) {
-                    add(&mut found, *abs);
-                }
-            }
-            if found.is_some() {
-                return found;
-            }
-            for c in scope {
-                if let Some(abs) = s.by_name.get(&(c.clone(), dep.1.clone())) {
-                    add(&mut found, *abs);
-                }
-            }
-            found
-        }
-        None => {
-            for c in scope {
-                if let Some(abs) = s.by_name.get(&(c.clone(), dep.1.clone())) {
-                    add(&mut found, *abs);
-                }
-            }
-            found
-        }
+/// The ⊤-cut summary for a call-cycle member: its declared return-type
+/// range (assumed, never derived), or `Unknown`.
+fn cut_summary(f: &FnFact) -> Abs {
+    if f.ret_ty.is_empty() {
+        Abs::Unknown
+    } else {
+        Abs::of_type(&f.ret_ty)
     }
 }
 
-/// Can the callee summary discharge this site?
+/// Re-runs of a node's transfer function before widening kicks in.
+/// With cycles cut at ⊤ the schedule is callee-first and one visit
+/// suffices; the cap is a termination backstop, not a tuning knob.
+const WIDEN_AFTER: u32 = 3;
+
+/// The interprocedural fixpoint engine: call graph, SCC condensation,
+/// per-function summaries, and ⊤-cut provenance.
+struct Engine<'a> {
+    files: &'a [FileFacts],
+    /// Test-stripped token stream per file (`FnFact::body_span` indexes
+    /// into it); empty when the file's source was not supplied.
+    toks: Vec<Vec<Token>>,
+    /// Module-level constants per file, keyed by name.
+    consts: Vec<HashMap<String, (String, i128)>>,
+    /// Flat node list: `(file index, fn index)`.
+    nodes: Vec<(usize, usize)>,
+    by_name: HashMap<(String, String), Vec<usize>>,
+    by_qual: HashMap<(String, String, String), Vec<usize>>,
+    /// Crate-visibility scope per file: its own crate plus direct deps.
+    scopes: Vec<Vec<String>>,
+    /// Call edges caller → callees. Self-edges are **kept** — direct
+    /// recursion is a one-node cycle and must be cut like any other.
+    callees: Vec<Vec<usize>>,
+    callers: Vec<Vec<usize>>,
+    /// Current summary per node (monotonically refined).
+    summaries: Vec<Abs>,
+    /// ⊤-cut provenance per node (`Some` for cycle members).
+    assumed: Vec<Option<String>>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        files: &'a [FileFacts],
+        srcs: &HashMap<String, String>,
+        deps: &HashMap<String, Vec<String>>,
+    ) -> Engine<'a> {
+        let toks: Vec<Vec<Token>> = files
+            .iter()
+            .map(|ff| {
+                srcs.get(&ff.rel_path)
+                    .map(|s| crate::parse::stripped_tokens(s))
+                    .unwrap_or_default()
+            })
+            .collect();
+        let consts: Vec<HashMap<String, (String, i128)>> = files
+            .iter()
+            .map(|ff| {
+                ff.consts
+                    .iter()
+                    .map(|(n, t, v)| (n.clone(), (t.clone(), *v)))
+                    .collect()
+            })
+            .collect();
+        let scopes: Vec<Vec<String>> = files
+            .iter()
+            .map(|ff| {
+                let ck = ff.crate_key().to_owned();
+                let mut scope = vec![ck.clone()];
+                if let Some(ds) = deps.get(&ck) {
+                    scope.extend(ds.iter().cloned());
+                }
+                scope
+            })
+            .collect();
+        let mut nodes: Vec<(usize, usize)> = Vec::new();
+        let mut by_name: HashMap<(String, String), Vec<usize>> = HashMap::new();
+        let mut by_qual: HashMap<(String, String, String), Vec<usize>> = HashMap::new();
+        for (fi, ff) in files.iter().enumerate() {
+            let ck = ff.crate_key().to_owned();
+            for (gi, f) in ff.fns.iter().enumerate() {
+                let id = nodes.len();
+                nodes.push((fi, gi));
+                by_name
+                    .entry((ck.clone(), f.name.clone()))
+                    .or_default()
+                    .push(id);
+                if let Some(q) = &f.qual {
+                    by_qual
+                        .entry((ck.clone(), q.clone(), f.name.clone()))
+                        .or_default()
+                        .push(id);
+                }
+                if let Some(tr) = &f.trait_name {
+                    by_qual
+                        .entry((ck.clone(), tr.clone(), f.name.clone()))
+                        .or_default()
+                        .push(id);
+                }
+            }
+        }
+        let summaries: Vec<Abs> = nodes
+            .iter()
+            .map(|&(fi, gi)| phase1_summary(&files[fi].fns[gi]))
+            .collect();
+        let assumed = vec![None; nodes.len()];
+        let mut eng = Engine {
+            files,
+            toks,
+            consts,
+            nodes,
+            by_name,
+            by_qual,
+            scopes,
+            callees: Vec::new(),
+            callers: Vec::new(),
+            summaries,
+            assumed,
+        };
+        let mut callees: Vec<Vec<usize>> = vec![Vec::new(); eng.nodes.len()];
+        let mut callers: Vec<Vec<usize>> = vec![Vec::new(); eng.nodes.len()];
+        for (id, &(fi, gi)) in eng.nodes.iter().enumerate() {
+            for call in &eng.files[fi].fns[gi].calls {
+                let targets = eng.resolve_ids(fi, call.qual.as_deref(), &call.callee);
+                callees[id].extend(targets);
+            }
+            callees[id].sort_unstable();
+            callees[id].dedup();
+            for &t in &callees[id] {
+                callers[t].push(id);
+            }
+        }
+        for c in &mut callers {
+            c.sort_unstable();
+            c.dedup();
+        }
+        eng.callees = callees;
+        eng.callers = callers;
+        eng
+    }
+
+    fn fn_of(&self, id: usize) -> &FnFact {
+        let (fi, gi) = self.nodes[id];
+        &self.files[fi].fns[gi]
+    }
+
+    /// Candidate callee nodes visible from `fi` for a `(qual, name)`
+    /// call key: qualified matches first, bare-name fallback otherwise.
+    fn resolve_ids(&self, fi: usize, qual: Option<&str>, name: &str) -> Vec<usize> {
+        let scope = &self.scopes[fi];
+        let mut ids: Vec<usize> = Vec::new();
+        if let Some(q) = qual {
+            for c in scope {
+                if let Some(v) = self
+                    .by_qual
+                    .get(&(c.clone(), q.to_owned(), name.to_owned()))
+                {
+                    ids.extend(v);
+                }
+            }
+            if !ids.is_empty() {
+                ids.sort_unstable();
+                ids.dedup();
+                return ids;
+            }
+        }
+        for c in scope {
+            if let Some(v) = self.by_name.get(&(c.clone(), name.to_owned())) {
+                ids.extend(v);
+            }
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// The joined current summary for a call key, or `None` when the
+    /// symbol is not a workspace function.
+    fn resolved(&self, fi: usize, qual: Option<&str>, name: &str) -> Option<Resolved> {
+        let ids = self.resolve_ids(fi, qual, name);
+        if ids.is_empty() {
+            return None;
+        }
+        let mut abs: Option<Abs> = None;
+        let mut ty: Option<String> = None;
+        let mut assumed: Option<String> = None;
+        for &id in &ids {
+            abs = Some(match abs {
+                None => self.summaries[id],
+                Some(p) => p.join(self.summaries[id]),
+            });
+            let rt = &self.fn_of(id).ret_ty;
+            ty = Some(match ty {
+                None => rt.clone(),
+                Some(p) if &p == rt => p,
+                Some(_) => String::new(),
+            });
+            if assumed.is_none() {
+                assumed.clone_from(&self.assumed[id]);
+            }
+        }
+        Some(Resolved {
+            abs: abs.unwrap_or(Abs::Unknown),
+            ty: ty.unwrap_or_default(),
+            assumed,
+        })
+    }
+
+    /// One application of a node's transfer function: re-walk the body
+    /// with the current summary table in scope.
+    fn compute_summary(&self, id: usize) -> Abs {
+        let (fi, _) = self.nodes[id];
+        let f = self.fn_of(id);
+        let toks = &self.toks[fi];
+        let (start, end) = f.body_span;
+        if toks.is_empty() || start >= end || end > toks.len() {
+            return phase1_summary(f);
+        }
+        let resolver = |q: Option<&str>, n: &str| self.resolved(fi, q, n);
+        let ctx = Ctx {
+            consts: &self.consts[fi],
+            resolver: Some(&resolver),
+        };
+        let (enc, _sites) = analyze_fn(toks, start, end, f, &ctx);
+        let abs = Abs::decode(&enc).unwrap_or(Abs::Unknown);
+        if abs == Abs::Unknown && !f.ret_ty.is_empty() {
+            Abs::of_type(&f.ret_ty)
+        } else {
+            abs
+        }
+    }
+
+    /// Run the summaries to a fixpoint: cut every cyclic SCC at ⊤,
+    /// seed the worklist callee-first (Tarjan emits components in
+    /// reverse topological order), and propagate caller-ward until no
+    /// summary changes. A node revisited more than [`WIDEN_AFTER`]
+    /// times is widened against its previous value as a termination
+    /// backstop.
+    fn run(&mut self) {
+        let sccs = tarjan_sccs(&self.callees);
+        let mut order: Vec<usize> = Vec::with_capacity(self.nodes.len());
+        for scc in &sccs {
+            let cyclic = scc.len() > 1 || self.callees[scc[0]].contains(&scc[0]);
+            if cyclic {
+                let mut names: Vec<String> =
+                    scc.iter().map(|&n| self.fn_of(n).qualified()).collect();
+                names.sort();
+                names.dedup();
+                let desc = format!("cycle through `{}`", names.join("`, `"));
+                for &n in scc {
+                    self.summaries[n] = cut_summary(self.fn_of(n));
+                    self.assumed[n] = Some(desc.clone());
+                }
+                continue;
+            }
+            order.push(scc[0]);
+        }
+        let mut queued = vec![false; self.nodes.len()];
+        let mut visits = vec![0u32; self.nodes.len()];
+        let mut work: VecDeque<usize> = VecDeque::with_capacity(order.len());
+        for n in order {
+            queued[n] = true;
+            work.push_back(n);
+        }
+        while let Some(n) = work.pop_front() {
+            queued[n] = false;
+            if self.assumed[n].is_some() {
+                // ⊤-cut members are pinned; re-walking them cannot
+                // lower a summary (that would be unsound mid-cycle).
+                continue;
+            }
+            let new = self.compute_summary(n);
+            if new == self.summaries[n] {
+                continue;
+            }
+            visits[n] += 1;
+            self.summaries[n] = if visits[n] > WIDEN_AFTER {
+                new.widen(self.summaries[n])
+            } else {
+                new
+            };
+            for &c in &self.callers[n] {
+                if !queued[c] && self.assumed[c].is_none() {
+                    queued[c] = true;
+                    work.push_back(c);
+                }
+            }
+        }
+    }
+
+    /// Final emitting walk over one file: every function body is
+    /// re-walked with the fixpoint summaries in scope. Falls back to
+    /// the phase-1 sites when the source was not supplied.
+    fn emit_sites(&self, fi: usize) -> Vec<A4Site> {
+        let toks = &self.toks[fi];
+        if toks.is_empty() {
+            return self.files[fi]
+                .a4
+                .iter()
+                .filter(|site| {
+                    site.definite
+                        || !site.dep.as_ref().is_some_and(|(q, n)| {
+                            self.resolved(fi, q.as_deref(), n)
+                                .is_some_and(|r| discharged(site, r.abs))
+                        })
+                })
+                .cloned()
+                .collect();
+        }
+        let mut out: Vec<A4Site> = Vec::new();
+        for f in &self.files[fi].fns {
+            let (start, end) = f.body_span;
+            if start >= end || end > toks.len() {
+                continue;
+            }
+            let resolver = |q: Option<&str>, n: &str| self.resolved(fi, q, n);
+            let ctx = Ctx {
+                consts: &self.consts[fi],
+                resolver: Some(&resolver),
+            };
+            let (_enc, sites) = analyze_fn(toks, start, end, f, &ctx);
+            out.extend(sites);
+        }
+        out.sort_by_key(|s| s.line);
+        out
+    }
+}
+
+/// Can a callee summary discharge a phase-1 site? (Fallback path for
+/// files whose source is unavailable in phase 2.)
 fn discharged(site: &A4Site, abs: Abs) -> bool {
     match site.kind {
         A4Kind::LossyCast => {
@@ -2061,6 +2465,67 @@ fn discharged(site: &A4Site, abs: Abs) -> bool {
         },
         _ => false,
     }
+}
+
+/// Iterative Tarjan SCC over `callees`; components are emitted in
+/// reverse topological order of the condensation (callees before
+/// callers), which is exactly the fixpoint schedule.
+fn tarjan_sccs(callees: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = callees.len();
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    let mut next_index = 0usize;
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        frames.push((root, 0));
+        while let Some(frame) = frames.last_mut() {
+            let v = frame.0;
+            if frame.1 < callees[v].len() {
+                let w = callees[v][frame.1];
+                frame.1 += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(comp);
+                }
+                if let Some(parent) = frames.last() {
+                    let p = parent.0;
+                    low[p] = low[p].min(low[v]);
+                }
+            }
+        }
+    }
+    sccs
 }
 
 fn message_for(site: &A4Site) -> String {
@@ -2104,37 +2569,26 @@ fn message_for(site: &A4Site) -> String {
     }
 }
 
-/// The global A4 pass: discharge dep-carrying sites against callee
-/// summaries, apply waivers, and emit diagnostics (deny inside the
-/// paper-critical admission-math files, warn elsewhere).
+/// The global A4 pass: run the interprocedural summary engine to a
+/// fixpoint, re-walk every function with the final summaries in scope,
+/// apply waivers, and emit diagnostics (deny inside the paper-critical
+/// modules listed in [`DENY_PATHS`], warn elsewhere).
 #[must_use]
 pub fn check(
     files: &[FileFacts],
+    srcs: &HashMap<String, String>,
     allowlist: &[AllowEntry],
     deps: &HashMap<String, Vec<String>>,
 ) -> Vec<Diagnostic> {
-    let summaries = build_summaries(files);
+    let mut eng = Engine::new(files, srcs, deps);
+    eng.run();
     let mut out = Vec::new();
-    for ff in files {
-        let ck = ff.crate_key().to_owned();
-        let mut scope: Vec<String> = vec![ck.clone()];
-        if let Some(ds) = deps.get(&ck) {
-            scope.extend(ds.iter().cloned());
-        }
-        for site in &ff.a4 {
+    for (fi, ff) in files.iter().enumerate() {
+        for site in &eng.emit_sites(fi) {
             if inline_waived(ff, "A4", site.line) || allowlist_waived(allowlist, ff, "A4") {
                 continue;
             }
-            if !site.definite {
-                if let Some(dep) = &site.dep {
-                    if let Some(abs) = resolve_summary(&summaries, &ck, &scope, dep) {
-                        if discharged(site, abs) {
-                            continue;
-                        }
-                    }
-                }
-            }
-            let deny = DENY_PATHS.iter().any(|p| ff.rel_path.ends_with(p));
+            let deny = is_deny_path(&ff.rel_path);
             out.push(Diagnostic {
                 path: ff.rel_path.clone(),
                 line: site.line,
@@ -2161,7 +2615,9 @@ mod tests {
     /// one in-memory file.
     fn diags(path: &str, src: &str) -> Vec<Diagnostic> {
         let ff = parse_file(path, src);
-        check(&[ff], &[], &HashMap::new())
+        let mut srcs = HashMap::new();
+        srcs.insert(path.to_owned(), src.to_owned());
+        check(&[ff], &srcs, &[], &HashMap::new())
     }
 
     #[test]

@@ -136,6 +136,10 @@ fn run() -> i32 {
         elapsed_us as f64 / 1000.0
     );
 
+    if let Some(code) = enforce_a4_budget(&root, &analysis.diagnostics) {
+        return code;
+    }
+
     if analysis
         .diagnostics
         .iter()
@@ -145,4 +149,34 @@ fn run() -> i32 {
     } else {
         0
     }
+}
+
+/// Enforce the committed A4 warning-budget ratchet (`analyze.budget.toml`
+/// at the workspace root, key `a4_warn_max`): the build fails when the
+/// residual A4 warning count rises above the ceiling, and contributors
+/// lower the ceiling as they discharge warnings. Absent file = no
+/// budget (fixture workspaces). Returns `Some(exit code)` on failure.
+fn enforce_a4_budget(root: &std::path::Path, diags: &[rto_analyze::Diagnostic]) -> Option<i32> {
+    let text = std::fs::read_to_string(root.join("analyze.budget.toml")).ok()?;
+    let max: usize = text.lines().find_map(|line| {
+        let rest = line.split('#').next().unwrap_or("").trim();
+        let (key, value) = rest.split_once('=')?;
+        if key.trim() != "a4_warn_max" {
+            return None;
+        }
+        value.trim().parse().ok()
+    })?;
+    let count = diags
+        .iter()
+        .filter(|d| d.rule == "A4" && d.severity == "warn")
+        .count();
+    if count > max {
+        eprintln!(
+            "rto-analyze: A4 warning budget exceeded: {count} warnings > ceiling {max} \
+             (analyze.budget.toml); discharge the new warnings instead of raising the ceiling"
+        );
+        return Some(1);
+    }
+    eprintln!("rto-analyze: A4 warning budget: {count}/{max}");
+    None
 }

@@ -98,6 +98,14 @@ pub(crate) fn is_primitive_ty(name: &str) -> bool {
     )
 }
 
+/// Re-lex a source file into the same test-stripped token stream that
+/// [`parse_file`] walked — [`crate::facts::FnFact::body_span`] indices
+/// refer to this stream, so the phase-2 fixpoint engine uses this to
+/// re-walk function bodies.
+pub(crate) fn stripped_tokens(src: &str) -> Vec<Token> {
+    rules::strip_test_regions(&lex(src).tokens)
+}
+
 /// Parse one source file into facts. Pure in `(rel_path, src)` — the
 /// allowlist is *not* consulted here so cached facts stay valid when
 /// `lint.allow.toml` changes; whole-file waivers are applied in the
@@ -129,10 +137,17 @@ pub fn parse_file(rel_path: &str, src: &str) -> FileFacts {
         .crate_dir
         .as_deref()
         .is_some_and(|c| INDEX_SEED_CRATES.contains(&c));
+    facts.consts = collect_consts(&stripped);
+    let const_env: HashMap<String, (String, i128)> = facts
+        .consts
+        .iter()
+        .map(|(n, t, v)| (n.clone(), (t.clone(), *v)))
+        .collect();
     let mut scanner = Scanner {
         toks: &stripped,
         lexed: &lexed,
         index_seeds,
+        consts: &const_env,
         fns: Vec::new(),
         a2: Vec::new(),
         a4: Vec::new(),
@@ -157,6 +172,50 @@ pub fn parse_file(rel_path: &str, src: &str) -> FileFacts {
         .sort_by(|a, b| (a.line, &a.message).cmp(&(b.line, &b.message)));
     facts.a2_local.dedup();
     facts
+}
+
+/// Collect `const NAME: TY = <int literal>;` definitions anywhere in
+/// the (test-stripped) token stream — module level, impl blocks, and
+/// function bodies alike. Only single-literal initializers of primitive
+/// integer type are kept; a name defined twice with different values is
+/// dropped as ambiguous.
+fn collect_consts(toks: &[Token]) -> Vec<(String, String, i128)> {
+    let mut out: Vec<(String, String, i128)> = Vec::new();
+    let mut i = 0;
+    while i + 5 < toks.len() {
+        if toks[i].is_ident("const")
+            && toks[i + 1].kind == TokKind::Ident
+            && toks[i + 2].is_punct(":")
+            && toks[i + 3].kind == TokKind::Ident
+            && is_primitive_ty(&toks[i + 3].text)
+            && !matches!(toks[i + 3].text.as_str(), "f32" | "f64" | "bool" | "char")
+            && toks[i + 4].is_punct("=")
+        {
+            let (neg, lit_at) = if toks[i + 5].is_punct("-") {
+                (true, i + 6)
+            } else {
+                (false, i + 5)
+            };
+            if toks.get(lit_at).is_some_and(|t| t.kind == TokKind::Int)
+                && toks.get(lit_at + 1).is_some_and(|t| t.is_punct(";"))
+            {
+                let (value, _) = crate::interval::parse_int_lit(&toks[lit_at].text);
+                if let Some(v) = value {
+                    let v = if neg { -v } else { v };
+                    out.push((toks[i + 1].text.clone(), toks[i + 3].text.clone(), v));
+                }
+                i = lit_at + 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out.sort();
+    out.dedup();
+    // Same name, different (ty, value): ambiguous — drop every copy.
+    let names: Vec<String> = out.iter().map(|(n, _, _)| n.clone()).collect();
+    out.retain(|(n, _, _)| names.iter().filter(|m| *m == n).count() == 1);
+    out
 }
 
 fn findings_to_raw(findings: &[Finding]) -> Vec<RawFinding> {
@@ -266,6 +325,7 @@ struct Scanner<'a> {
     toks: &'a [Token],
     lexed: &'a Lexed,
     index_seeds: bool,
+    consts: &'a HashMap<String, (String, i128)>,
     fns: Vec<FnFact>,
     a2: Vec<RawFinding>,
     a4: Vec<A4Site>,
@@ -619,8 +679,13 @@ impl Scanner<'_> {
             ..FnFact::default()
         };
         self.scan_body(i + 1, body_end.saturating_sub(1), &mut fact);
+        fact.body_span = (i + 1, body_end.saturating_sub(1));
+        let ctx1 = interval::Ctx {
+            consts: self.consts,
+            resolver: None,
+        };
         let (ret_abs, mut sites) =
-            interval::analyze_fn(self.toks, i + 1, body_end.saturating_sub(1), &fact);
+            interval::analyze_fn(self.toks, i + 1, body_end.saturating_sub(1), &fact, &ctx1);
         fact.ret_abs = ret_abs;
         self.a4.append(&mut sites);
         self.fns.push(fact);

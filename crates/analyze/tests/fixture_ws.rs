@@ -139,7 +139,7 @@ fn a4_interval_findings_carry_witness_intervals() {
             .any(|m| m.starts_with("crates/core/src/lib.rs:36") && m.contains("contains zero")),
         "{a4:?}"
     );
-    assert_eq!(a4.len(), 5, "{a4:?}");
+    assert_eq!(a4.len(), 8, "{a4:?}");
     // Clean or waived counterparts stay quiet.
     for line in [13, 14, 38, 42, 49] {
         assert!(
@@ -195,6 +195,75 @@ fn a5_detects_cycle_ordering_and_blocking_in_workers() {
     for d in a.diagnostics.iter().filter(|d| d.rule == "A5") {
         assert_eq!(d.severity, "deny", "{d:?}");
     }
+}
+
+#[test]
+fn fixpoint_cycles_cut_at_top_with_provenance() {
+    // The engine terminates on every cycle shape (this test finishing
+    // is the termination witness) and tags diagnostics that lean on a
+    // ⊤-cut summary with the cycle that forced the cut.
+    let a = analyze();
+    let a4 = of_rule(&a, "A4");
+    // Direct recursion: one-node cycle.
+    assert!(
+        a4.iter().any(|m| m.starts_with("crates/sim/src/chain.rs")
+            && m.contains("assumed ⊤: cycle through `countdown`")),
+        "{a4:?}"
+    );
+    // Mutual recursion: both members named, sorted.
+    assert!(
+        a4.iter()
+            .any(|m| m.contains("assumed ⊤: cycle through `even_steps`, `odd_steps`")),
+        "{a4:?}"
+    );
+    // Cycle that only closes through a trait method.
+    assert!(
+        a4.iter()
+            .any(|m| m.contains("assumed ⊤: cycle through `Pendulum::tick`, `swing`")),
+        "{a4:?}"
+    );
+    // The 3-deep acyclic chain keeps the leaf's `% 16` bound through
+    // two summary hops: `chain_top(x) as u8` is provably lossless.
+    assert!(
+        !a4.iter().any(|m| m.contains("chain_top")),
+        "3-deep summary chain must stay precise: {a4:?}"
+    );
+}
+
+/// Recursively copy the fixture workspace so cached runs can write
+/// `target/rto-analyze/` without dirtying the source tree.
+fn copy_tree(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).expect("mkdir");
+    for entry in std::fs::read_dir(from).expect("read_dir") {
+        let entry = entry.expect("dir entry");
+        let dst = to.join(entry.file_name());
+        if entry.file_type().expect("file type").is_dir() {
+            copy_tree(&entry.path(), &dst);
+        } else {
+            std::fs::copy(entry.path(), &dst).expect("copy");
+        }
+    }
+}
+
+#[test]
+fn warm_cache_diagnostics_are_byte_identical() {
+    let tmp = std::env::temp_dir().join(format!("rto-analyze-fixture-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    copy_tree(&fixture_root(), &tmp);
+
+    let cold = analyze_workspace(&tmp, true).expect("cold run");
+    let warm = analyze_workspace(&tmp, true).expect("warm run");
+    assert_eq!(
+        warm.files_reparsed, 0,
+        "warm run must be served entirely from cache"
+    );
+    assert_eq!(
+        sarif::sarif(&cold.diagnostics),
+        sarif::sarif(&warm.diagnostics),
+        "warm-cache diagnostics drifted from the cold run"
+    );
+
+    let _ = std::fs::remove_dir_all(&tmp);
 }
 
 #[test]

@@ -1,0 +1,85 @@
+//! Fixture: interprocedural fixpoint summaries. Direct recursion,
+//! mutual recursion, a call-graph cycle through a trait method (all
+//! cut at ⊤ with provenance), and a 3-deep acyclic summary chain that
+//! stays precise end to end.
+
+/// Direct recursion: the one-node cycle `{countdown}` is cut at ⊤.
+fn countdown(fuel: u64) -> u64 {
+    if fuel == 0 {
+        0
+    } else {
+        countdown(fuel - 1)
+    }
+}
+
+/// The ⊤-cut return flows into a lossy cast: A4 fires with an
+/// `assumed ⊤` provenance tag naming the cycle.
+pub fn recursion_sink(fuel: u64) -> u32 {
+    countdown(fuel) as u32
+}
+
+/// Mutual recursion: a two-node cycle, both members cut together.
+fn even_steps(fuel: u64) -> u64 {
+    if fuel == 0 {
+        0
+    } else {
+        odd_steps(fuel - 1)
+    }
+}
+
+fn odd_steps(fuel: u64) -> u64 {
+    if fuel == 0 {
+        1
+    } else {
+        even_steps(fuel - 1)
+    }
+}
+
+pub fn mutual_sink(fuel: u64) -> u32 {
+    even_steps(fuel) as u32
+}
+
+/// A cycle that only closes through a trait method: `swing` calls
+/// `Tick::tick`, whose impl calls `swing` back.
+trait Tick {
+    fn tick(&self, fuel: u64) -> u64;
+}
+
+struct Pendulum;
+
+impl Tick for Pendulum {
+    fn tick(&self, fuel: u64) -> u64 {
+        if fuel == 0 {
+            0
+        } else {
+            swing(self, fuel - 1)
+        }
+    }
+}
+
+fn swing(p: &Pendulum, fuel: u64) -> u64 {
+    p.tick(fuel)
+}
+
+pub fn trait_cycle_sink(fuel: u64) -> u32 {
+    swing(&Pendulum, fuel) as u32
+}
+
+/// 3-deep acyclic chain: `% 16` bounds the leaf, and the bound
+/// survives two layers of summaries, so the final `as u8` is provably
+/// lossless and stays quiet.
+fn chain_leaf(x: u64) -> u64 {
+    x % 16
+}
+
+fn chain_mid(x: u64) -> u64 {
+    chain_leaf(x) + 1
+}
+
+fn chain_top(x: u64) -> u64 {
+    chain_mid(x) * 2
+}
+
+pub fn chain_sink(x: u64) -> u8 {
+    chain_top(x) as u8
+}

@@ -1,5 +1,6 @@
 //! Fixture sim crate: warn-severity surface.
 
+pub mod chain;
 pub mod grid;
 
 /// Warn: bare indexing directly in a public function.

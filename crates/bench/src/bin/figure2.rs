@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|r| {
             vec![
                 r.work_set.to_string(),
-                format!("{:?}", r.weights.map(|w| w as u64)),
+                format!(
+                    "{:?}",
+                    r.weights.map(|w| w.clamp(0.0, u64::MAX as f64) as u64)
+                ),
                 r.scenario.to_string(),
                 format!("{:.3}", r.normalized_benefit),
                 r.tasks_offloaded.to_string(),

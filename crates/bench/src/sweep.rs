@@ -198,7 +198,7 @@ pub fn run_with(
             let t = trial.as_ref().map_err(Clone::clone)?;
             benefit_sum += t.benefit;
             remote_sum += t.remote_rate;
-            misses += t.misses as usize;
+            misses += usize::try_from(t.misses).unwrap_or(usize::MAX);
         }
         rows.push(SweepRow {
             background_utilization: util,

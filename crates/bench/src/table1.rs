@@ -82,8 +82,10 @@ pub fn run(
             let response_p90_ms = if level == 0 {
                 None
             } else {
-                let server = Scenario::Idle
-                    .build_server(seed ^ ((task_idx as u64 * 8 + level as u64 + 1) << 16))?;
+                let task_i = u64::try_from(task_idx).unwrap_or(u64::MAX);
+                let level_i = u64::try_from(level).unwrap_or(u64::MAX);
+                let server =
+                    Scenario::Idle.build_server(seed ^ ((task_i * 8 + level_i + 1) << 16))?;
                 let mut proxy = ServerProxy::new(server);
                 let request = shape_request(task, level);
                 let report = proxy.measure(

@@ -70,7 +70,7 @@ impl Duration {
         if ns > u64::MAX as f64 {
             return Err(crate::CoreError::InvalidTime(format!("{ms} ms overflows")));
         }
-        Ok(Duration(ns.round() as u64))
+        Ok(Duration(ns.round().clamp(0.0, u64::MAX as f64) as u64))
     }
 
     /// Creates a duration from fractional seconds, rounding to the nearest
@@ -102,7 +102,7 @@ impl Duration {
         if ns >= u64::MAX as f64 {
             return Duration::MAX;
         }
-        Duration(ns.round() as u64)
+        Duration(ns.round().clamp(0.0, u64::MAX as f64) as u64)
     }
 
     /// The raw nanosecond count.
@@ -221,9 +221,9 @@ impl Duration {
     /// Panics if `denom` is zero or the result overflows `u64`.
     pub fn mul_div_floor(self, numer: u64, denom: u64) -> Duration {
         assert!(denom != 0, "mul_div_floor: zero denominator");
-        let v = (self.0 as u128 * numer as u128) / denom as u128;
+        let v = (u128::from(self.0) * u128::from(numer)) / u128::from(denom);
         assert!(v <= u64::MAX as u128, "mul_div_floor: overflow");
-        Duration(v as u64)
+        Duration(u64::try_from(v).unwrap_or(u64::MAX))
     }
 
     /// Scales this duration by a non-negative `f64` factor, rounding to the
@@ -245,7 +245,7 @@ impl Duration {
                 "scaled duration overflows".into(),
             ));
         }
-        Ok(Duration(ns.round() as u64))
+        Ok(Duration(ns.round().clamp(0.0, u64::MAX as f64) as u64))
     }
 }
 

@@ -74,7 +74,7 @@ pub fn derive_seed(base_seed: u64, point_index: u64, trial_index: u64) -> u64 {
 /// trial index — their "independent" samples were perfectly correlated.
 #[must_use]
 pub fn legacy_xor_seed(base_seed: u64, trial_index: u64, util: f64) -> u64 {
-    base_seed ^ (trial_index << 32) ^ ((util * 1000.0) as u64)
+    base_seed ^ (trial_index << 32) ^ ((util * 1000.0).clamp(0.0, u64::MAX as f64) as u64)
 }
 
 #[cfg(test)]

@@ -206,7 +206,7 @@ pub fn quantile_sorted(data: &[f64], q: f64) -> f64 {
     if data.len() == 1 {
         return data[0];
     }
-    let pos = q * (data.len() - 1) as f64;
+    let pos = q.clamp(0.0, 1.0) * (data.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
     let frac = pos - lo as f64;
@@ -264,7 +264,8 @@ impl Histogram {
             self.overflow += 1;
         } else {
             let width = (self.hi - self.lo) / self.bins.len() as f64;
-            let idx = (((x - self.lo) / width) as usize).min(self.bins.len() - 1);
+            let idx = (((x - self.lo) / width).clamp(0.0, u64::MAX as f64) as usize)
+                .min(self.bins.len() - 1);
             self.bins[idx] += 1;
         }
     }

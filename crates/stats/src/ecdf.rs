@@ -67,7 +67,7 @@ impl Ecdf {
             return self.sorted[0];
         }
         let n = self.sorted.len();
-        let k = (p * n as f64).ceil() as usize;
+        let k = (p.clamp(0.0, 1.0) * n as f64).ceil() as usize;
         self.sorted[k.clamp(1, n) - 1]
     }
 

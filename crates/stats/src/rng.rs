@@ -118,8 +118,8 @@ impl Rng {
         assert!(bound > 0, "u64_below: bound must be positive");
         loop {
             let x = self.next_u64();
-            let m = (x as u128) * (bound as u128);
-            let low = m as u64;
+            let m = u128::from(x) * u128::from(bound);
+            let low = (m & u128::from(u64::MAX)) as u64;
             if low >= bound {
                 return (m >> 64) as u64;
             }

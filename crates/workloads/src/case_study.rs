@@ -174,7 +174,7 @@ pub fn weight_permutations() -> Vec<[f64; 4]> {
 /// scaled frame.
 pub fn level_payload_bytes(level: usize) -> u64 {
     let f = SCALE_FACTORS[level.min(SCALE_FACTORS.len() - 1)];
-    ((FRAME_WIDTH as f64 * f) * (FRAME_HEIGHT as f64 * f)) as u64
+    ((FRAME_WIDTH as f64 * f) * (FRAME_HEIGHT as f64 * f)).clamp(0.0, u64::MAX as f64) as u64
 }
 
 /// The request shaper for the case study: payload grows with the scaling

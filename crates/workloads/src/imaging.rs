@@ -87,7 +87,7 @@ impl Image {
     /// Size in bytes when transmitted raw (the payload model for the
     /// offload request).
     pub fn payload_bytes(&self) -> u64 {
-        (self.width * self.height) as u64
+        u64::try_from(self.pixels.len()).unwrap_or(u64::MAX)
     }
 
     /// Bilinearly resizes to `(new_width, new_height)`.
@@ -108,10 +108,10 @@ impl Image {
                 // Sample at the source-space center of the target pixel.
                 let fx = ((x as f64 + 0.5) * sx - 0.5).clamp(0.0, (self.width - 1) as f64);
                 let fy = ((y as f64 + 0.5) * sy - 0.5).clamp(0.0, (self.height - 1) as f64);
-                let x0 = fx.floor() as usize;
-                let y0 = fy.floor() as usize;
-                let x1 = (x0 + 1).min(self.width - 1);
-                let y1 = (y0 + 1).min(self.height - 1);
+                let x0 = fx.floor().clamp(0.0, u64::MAX as f64) as usize;
+                let y0 = fy.floor().clamp(0.0, u64::MAX as f64) as usize;
+                let x1 = x0.saturating_add(1).min(self.width - 1);
+                let y1 = y0.saturating_add(1).min(self.height - 1);
                 let dx = fx - x0 as f64;
                 let dy = fy - y0 as f64;
                 let top = self.get(x0, y0) as f64 * (1.0 - dx) + self.get(x1, y0) as f64 * dx;
@@ -135,8 +135,14 @@ impl Image {
             factor > 0.0 && factor <= 1.0,
             "scale factor must be in (0, 1]"
         );
-        let w = ((self.width as f64 * factor).round() as usize).max(1);
-        let h = ((self.height as f64 * factor).round() as usize).max(1);
+        let w = ((self.width as f64 * factor)
+            .round()
+            .clamp(0.0, u64::MAX as f64) as usize)
+            .max(1);
+        let h = ((self.height as f64 * factor)
+            .round()
+            .clamp(0.0, u64::MAX as f64) as usize)
+            .max(1);
         if w == self.width && h == self.height {
             return self.clone();
         }
@@ -222,7 +228,7 @@ pub fn synthetic_scene(width: usize, height: usize, rng: &mut Rng) -> Image {
     for y in 0..height {
         for x in 0..width {
             let g = 40.0 + 80.0 * (x as f64 / width as f64) + 40.0 * (y as f64 / height as f64);
-            img.set(x, y, g as u8);
+            img.set(x, y, g.clamp(0.0, 255.0) as u8);
         }
     }
     // Blobs: foreground structure that scaling degrades.

@@ -164,7 +164,8 @@ pub fn uunifast_offloaded_system(
             let period = 400 + rng.u64_below(400);
             let r = 50 + rng.u64_below(period / 3);
             let slack = period - r;
-            let total_c = ((slack as f64 * rho).round() as u64).clamp(2, slack);
+            let total_c =
+                ((slack as f64 * rho).round().clamp(0.0, u64::MAX as f64) as u64).clamp(2, slack);
             let c1 = (total_c / 5).max(1);
             let c2 = (total_c - c1).max(1);
             let task = Task::builder(i, format!("uuf-{i}"))

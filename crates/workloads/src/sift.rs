@@ -86,21 +86,23 @@ impl Layer {
 
     /// Separable Gaussian blur.
     fn blur(&self, sigma: f64) -> Layer {
-        let radius = (3.0 * sigma).ceil() as isize;
-        let kernel: Vec<f64> = (-radius..=radius)
-            .map(|k| (-((k * k) as f64) / (2.0 * sigma * sigma)).exp())
+        let radius = (3.0 * sigma).ceil().clamp(0.0, 255.0) as usize;
+        let kernel: Vec<f64> = (0..=2 * radius)
+            .map(|k| {
+                let d = k as f64 - radius as f64;
+                (-(d * d) / (2.0 * sigma * sigma)).exp()
+            })
             .collect();
         let norm: f64 = kernel.iter().sum();
-        let clamp_x = |v: isize| v.clamp(0, self.width as isize - 1) as usize;
-        let clamp_y = |v: isize| v.clamp(0, self.height as isize - 1) as usize;
 
-        // Horizontal pass.
+        // Horizontal pass. `(x + i).saturating_sub(radius)` is the
+        // edge-clamped tap position `x + i - radius`, pinned to the image.
         let mut tmp = vec![0.0; self.data.len()];
         for y in 0..self.height {
             for x in 0..self.width {
                 let mut acc = 0.0;
                 for (i, w) in kernel.iter().enumerate() {
-                    let sx = clamp_x(x as isize + i as isize - radius);
+                    let sx = (x + i).saturating_sub(radius).min(self.width - 1);
                     acc += w * self.get(sx, y);
                 }
                 tmp[y * self.width + x] = acc / norm;
@@ -112,7 +114,7 @@ impl Layer {
             for x in 0..self.width {
                 let mut acc = 0.0;
                 for (i, w) in kernel.iter().enumerate() {
-                    let sy = clamp_y(y as isize + i as isize - radius);
+                    let sy = (y + i).saturating_sub(radius).min(self.height - 1);
                     acc += w * tmp[sy * self.width + x];
                 }
                 out[y * self.width + x] = acc / norm;
@@ -198,7 +200,7 @@ pub fn detect_keypoints(img: &Image, params: &SiftParams) -> Vec<Keypoint> {
                             if dx == 0 && dy == 0 {
                                 continue;
                             }
-                            let n = cur.get((x as isize + dx) as usize, (y as isize + dy) as usize);
+                            let n = cur.get(x.wrapping_add_signed(dx), y.wrapping_add_signed(dy));
                             if n > v {
                                 is_max = false;
                             }
@@ -234,7 +236,12 @@ pub fn detect_keypoints(img: &Image, params: &SiftParams) -> Vec<Keypoint> {
     // original-image bucket.
     keypoints.sort_by(|a, b| b.response.total_cmp(&a.response));
     let mut seen = std::collections::HashSet::new();
-    keypoints.retain(|kp| seen.insert((kp.x as i64 / 4, kp.y as i64 / 4)));
+    keypoints.retain(|kp| {
+        seen.insert((
+            kp.x.clamp(0.0, u64::MAX as f64) as u64 / 4,
+            kp.y.clamp(0.0, u64::MAX as f64) as u64 / 4,
+        ))
+    });
     keypoints
 }
 

@@ -18,7 +18,7 @@ pub fn sobel_edges(img: &Image) -> Image {
     for y in 1..h - 1 {
         for x in 1..w - 1 {
             let p = |dx: isize, dy: isize| {
-                img.get((x as isize + dx) as usize, (y as isize + dy) as usize) as f64
+                f64::from(img.get(x.wrapping_add_signed(dx), y.wrapping_add_signed(dy)))
             };
             let gx = -p(-1, -1) - 2.0 * p(-1, 0) - p(-1, 1) + p(1, -1) + 2.0 * p(1, 0) + p(1, 1);
             let gy = -p(-1, -1) - 2.0 * p(0, -1) - p(1, -1) + p(-1, 1) + 2.0 * p(0, 1) + p(1, 1);
@@ -66,8 +66,8 @@ pub fn stereo_disparity(
                 let mut sad = 0u64;
                 for y in y0..y0 + block {
                     for x in x0..x0 + block {
-                        let l = left.get(x, y) as i64;
-                        let r = right.get(x - d, y) as i64;
+                        let l = i64::from(left.get(x, y));
+                        let r = i64::from(right.get(x - d, y));
                         sad += l.abs_diff(r);
                     }
                 }
@@ -75,7 +75,7 @@ pub fn stereo_disparity(
                     best = (sad, d);
                 }
             }
-            disparities.push(best.1.min(255) as u8);
+            disparities.push(u8::try_from(best.1.min(255)).unwrap_or(255));
         }
     }
     (disparities, bw, bh)
@@ -119,7 +119,7 @@ pub fn harris_corners(img: &Image, threshold: f64) -> Vec<Corner> {
             let (mut sxx, mut syy, mut sxy) = (0.0, 0.0, 0.0);
             for dy in -1isize..=1 {
                 for dx in -1isize..=1 {
-                    let idx = (y as isize + dy) as usize * w + (x as isize + dx) as usize;
+                    let idx = y.wrapping_add_signed(dy) * w + x.wrapping_add_signed(dx);
                     sxx += ix[idx] * ix[idx];
                     syy += iy[idx] * iy[idx];
                     sxy += ix[idx] * iy[idx];
@@ -141,8 +141,7 @@ pub fn harris_corners(img: &Image, threshold: f64) -> Vec<Corner> {
             let is_max = (-1isize..=1).all(|dy| {
                 (-1isize..=1).all(|dx| {
                     (dx == 0 && dy == 0)
-                        || r >= response
-                            [(y as isize + dy) as usize * w + (x as isize + dx) as usize]
+                        || r >= response[y.wrapping_add_signed(dy) * w + x.wrapping_add_signed(dx)]
                 })
             });
             if is_max {

@@ -1,0 +1,85 @@
+//! Property tests pinning the checked `usize` neighborhood arithmetic
+//! that replaced the old `(x as isize + dx) as usize` index casts in
+//! the vision/SIFT kernels (rto-analyze rule A4).
+//!
+//! The rewrites must be *exactly* the old arithmetic, not merely
+//! "close": the kernels' golden-image tests compare outputs
+//! byte-for-byte, so any divergence in the index math would show up as
+//! a silently different tap position. Two identities carry the whole
+//! migration:
+//!
+//! * `x.wrapping_add_signed(dx)` is bit-identical to
+//!   `(x as isize + dx) as usize` (both are two's-complement addition
+//!   on the same 64 bits);
+//! * the Gaussian blur's edge clamp
+//!   `(x + i).saturating_sub(radius).min(w - 1)` equals the old
+//!   `(x as isize + i as isize - radius).clamp(0, w as isize - 1) as usize`
+//!   whenever the operands are in the kernel's validated ranges.
+
+use proptest::prelude::*;
+
+/// The retired index form: cast to `isize`, offset, cast back. The
+/// inner `+` is spelled `wrapping_add` so the reference itself is
+/// total — in the retired code a wrapped sum was what release builds
+/// computed (and debug builds panicked, which the loop bounds made
+/// unreachable).
+fn old_offset(x: usize, dx: isize) -> usize {
+    #[allow(clippy::cast_possible_wrap, clippy::cast_sign_loss)]
+    {
+        (x as isize).wrapping_add(dx) as usize
+    }
+}
+
+/// The retired blur tap clamp (closure `clamp_x` in the old `blur`).
+fn old_blur_tap(x: usize, i: usize, radius: usize, w: usize) -> usize {
+    #[allow(clippy::cast_possible_wrap, clippy::cast_sign_loss)]
+    {
+        (x as isize + i as isize - radius as isize).clamp(0, w as isize - 1) as usize
+    }
+}
+
+/// The new tap position used by `Layer::blur`.
+fn new_blur_tap(x: usize, i: usize, radius: usize, w: usize) -> usize {
+    (x + i).saturating_sub(radius).min(w - 1)
+}
+
+proptest! {
+    /// `wrapping_add_signed` is the old double cast, for *every* input
+    /// — including offsets that would take the index below zero, where
+    /// both forms wrap identically (the kernels' loop bounds keep such
+    /// taps unreachable, but the arithmetic must still agree).
+    #[test]
+    fn wrapping_add_signed_is_the_old_cast(
+        x in 0usize..=usize::MAX,
+        dx in isize::MIN..=isize::MAX,
+    ) {
+        prop_assert_eq!(x.wrapping_add_signed(dx), old_offset(x, dx));
+    }
+
+    /// The ±1 neighborhood taps used by Sobel/Harris/SIFT extrema:
+    /// interior pixels (`1 ≤ x`) with `dx ∈ {-1, 0, 1}` resolve to the
+    /// same neighbor under both forms.
+    #[test]
+    fn neighborhood_taps_agree(x in 1usize..10_000, dx in -1isize..=1) {
+        prop_assert_eq!(x.wrapping_add_signed(dx), old_offset(x, dx));
+    }
+
+    /// The blur edge clamp: for every in-range pixel `x < w`, kernel
+    /// index `i ≤ 2·radius`, and the radius bound the kernel enforces
+    /// (`radius ≤ 255`), the checked form lands on the same clamped
+    /// tap as the old isize clamp.
+    #[test]
+    fn blur_tap_agrees(
+        w in 1usize..5_000,
+        radius in 0usize..=255,
+        x in 0usize..5_000,
+        i in 0usize..=510,
+    ) {
+        let x = x % w; // in-range pixel
+        let i = i.min(2 * radius); // kernel index
+        prop_assert_eq!(
+            new_blur_tap(x, i, radius, w),
+            old_blur_tap(x, i, radius, w)
+        );
+    }
+}

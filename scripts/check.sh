@@ -20,6 +20,13 @@ echo "==> rto-lint --workspace (domain invariants L1-L6, deny on findings)"
 cargo run -p rto-lint --offline -q -- --workspace
 
 echo "==> rto-analyze (A1 reachability, A2 units, A3 waivers, A4 intervals, A5 concurrency)"
+# The A4 warning-budget ratchet lives in analyze.budget.toml and is
+# enforced by the rto-analyze runs below; an absent file would silently
+# disable it, so its presence is part of the gate.
+test -f analyze.budget.toml || {
+  echo "analyze.budget.toml missing: the A4 warning-budget ratchet must stay committed" >&2
+  exit 1
+}
 rm -rf target/rto-analyze
 cargo run -p rto-analyze --offline -q -- --format sarif \
   --out target/rto-analyze-cold.sarif --bench-out target/rto-analyze-cold.json
