@@ -20,8 +20,8 @@
 //! cache miss, never an error.
 
 use crate::facts::{
-    A4Kind, A4Site, AtomicFact, BlockFact, CallFact, FileFacts, FnFact, RawFinding, SeedFact,
-    SeedKind, Unit, WaiverComment, WaiverKind,
+    A4Kind, A4Site, AllocFact, AllocKind, AtomicFact, BlockFact, CallFact, FileFacts, FnFact,
+    NondetFact, NondetKind, RawFinding, SeedFact, SeedKind, Unit, WaiverComment, WaiverKind,
 };
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -31,7 +31,9 @@ use std::path::{Path, PathBuf};
 /// type on `A`, `in_spawn` on `C`) and A5 facts (`K`/`B`/`T`).
 /// v3: body token spans on `F` and module-level consts (`N`) for the
 /// interprocedural fixpoint engine.
-pub(crate) const CACHE_VERSION: u32 = 3;
+/// v4: A6 nondeterminism sources (`D`), A7 allocation sites (`G`), the
+/// `hot` flag on `F`, and file-level capacity evidence (`E`).
+pub(crate) const CACHE_VERSION: u32 = 4;
 
 /// 64-bit FNV-1a hash (the cache key for both file names and content).
 #[must_use]
@@ -199,7 +201,7 @@ pub fn encode(facts: &FileFacts, hash: u64) -> String {
     for f in &facts.fns {
         let _ = writeln!(
             out,
-            "F\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            "F\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             esc(&f.name),
             opt(f.qual.as_deref()),
             opt(f.trait_name.as_deref()),
@@ -213,7 +215,8 @@ pub fn encode(facts: &FileFacts, hash: u64) -> String {
                 &f.ret_abs
             },
             f.body_span.0,
-            f.body_span.1
+            f.body_span.1,
+            u8::from(f.hot)
         );
         for (idx, (name, unit)) in f.params.iter().enumerate() {
             let ty = f.param_tys.get(idx).map_or("", String::as_str);
@@ -260,6 +263,26 @@ pub fn encode(facts: &FileFacts, hash: u64) -> String {
                 esc(&b.desc),
                 b.line,
                 u8::from(b.in_spawn)
+            );
+        }
+        for n in &f.nondet {
+            let _ = writeln!(
+                out,
+                "D\t{}\t{}\t{}\t{}",
+                n.kind.as_str(),
+                n.line,
+                u8::from(n.waived),
+                esc(&n.desc)
+            );
+        }
+        for a in &f.allocs {
+            let _ = writeln!(
+                out,
+                "G\t{}\t{}\t{}\t{}",
+                a.kind.as_str(),
+                a.line,
+                u8::from(a.waived),
+                esc(&a.desc)
             );
         }
     }
@@ -315,6 +338,9 @@ pub fn encode(facts: &FileFacts, hash: u64) -> String {
             value
         );
     }
+    if facts.capacity_evidence {
+        let _ = writeln!(out, "E\t1");
+    }
     if !facts.relaxed_lines.is_empty() {
         let lines: Vec<String> = facts
             .relaxed_lines
@@ -367,6 +393,7 @@ pub fn decode(text: &str, want_hash: u64) -> Option<FileFacts> {
                     ret_ty: opt_back(parts.next()?).unwrap_or_default(),
                     ret_abs: opt_back(parts.next()?).unwrap_or_default(),
                     body_span: (parts.next()?.parse().ok()?, parts.next()?.parse().ok()?),
+                    hot: parts.next()? == "1",
                     ..FnFact::default()
                 });
             }
@@ -440,6 +467,33 @@ pub fn decode(text: &str, want_hash: u64) -> Option<FileFacts> {
                     definite,
                     dep: dep_name.map(|n| (dep_qual, n)),
                 });
+            }
+            "D" => {
+                let kind = NondetKind::from_str_lossy(parts.next()?);
+                let line_no = parts.next()?.parse().ok()?;
+                let waived = parts.next()? == "1";
+                let desc = unesc(parts.next()?);
+                cur_fn.as_mut()?.nondet.push(NondetFact {
+                    kind,
+                    line: line_no,
+                    waived,
+                    desc,
+                });
+            }
+            "G" => {
+                let kind = AllocKind::from_str_lossy(parts.next()?);
+                let line_no = parts.next()?.parse().ok()?;
+                let waived = parts.next()? == "1";
+                let desc = unesc(parts.next()?);
+                cur_fn.as_mut()?.allocs.push(AllocFact {
+                    kind,
+                    line: line_no,
+                    waived,
+                    desc,
+                });
+            }
+            "E" => {
+                facts.capacity_evidence = parts.next()? == "1";
             }
             "S" => {
                 let kind = SeedKind::from_str_lossy(parts.next()?);
@@ -521,7 +575,11 @@ mod tests {
                    // lint: allow(A1): reviewed\n    let x = d_ns;\n    helper(x);\n\
                    Duration::from_ns(d_ns);\n    v.unwrap();\n    x\n}\n\
                    // lint: relaxed-ok: tally\n\
-                   fn g(c: &AtomicU64) { c.load(Ordering::Relaxed); }\n";
+                   fn g(c: &AtomicU64) { c.load(Ordering::Relaxed); }\n\
+                   // analyze: hot-path\n\
+                   fn h(m: &HashMap<u8, u8>, s: &mut Vec<u8>) {\n\
+                   s.reserve(1);\n    for v in m.values() { s.push(*v); }\n\
+                   // analyze: allow(A7): sanctioned\n    let t = format!(\"x\");\n}\n";
         let facts = parse_file("crates/core/src/x.rs", src);
         let hash = fnv64(src.as_bytes());
         let decoded = decode(&encode(&facts, hash), hash).expect("roundtrip");
@@ -533,7 +591,7 @@ mod tests {
         let facts = parse_file("crates/core/src/x.rs", "fn f() {}\n");
         let text = encode(&facts, 42);
         assert!(decode(&text, 43).is_none());
-        let bumped = text.replace("rto-analyze-cache\t3\t", "rto-analyze-cache\t999\t");
+        let bumped = text.replace("rto-analyze-cache\t4\t", "rto-analyze-cache\t999\t");
         assert!(decode(&bumped, 42).is_none());
     }
 

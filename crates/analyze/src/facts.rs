@@ -212,6 +212,123 @@ pub struct AtomicFact {
     pub line: u32,
 }
 
+/// The class of a nondeterminism source (A6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NondetKind {
+    /// Iteration over a `HashMap`/`HashSet` (key order is randomized
+    /// per process by the SipHash seed).
+    HashIter,
+    /// `Instant::now()` / `SystemTime::now()` outside `obs::Stopwatch`.
+    WallClock,
+    /// `thread::current().id()` — scheduler-dependent identity.
+    ThreadId,
+    /// Ambient / unseeded RNG (`thread_rng`, `from_entropy`,
+    /// `RandomState::new`).
+    Rng,
+    /// Environment reads (`env::var`, `env::args`, …).
+    EnvRead,
+    /// Filesystem reads (`fs::read_to_string`, `File::open`, …).
+    FsRead,
+}
+
+impl NondetKind {
+    /// Stable spelling for cache + messages.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NondetKind::HashIter => "hash-iter",
+            NondetKind::WallClock => "wall-clock",
+            NondetKind::ThreadId => "thread-id",
+            NondetKind::Rng => "rng",
+            NondetKind::EnvRead => "env-read",
+            NondetKind::FsRead => "fs-read",
+        }
+    }
+
+    /// Inverse of [`NondetKind::as_str`].
+    #[must_use]
+    pub fn from_str_lossy(s: &str) -> Self {
+        match s {
+            "wall-clock" => NondetKind::WallClock,
+            "thread-id" => NondetKind::ThreadId,
+            "rng" => NondetKind::Rng,
+            "env-read" => NondetKind::EnvRead,
+            "fs-read" => NondetKind::FsRead,
+            _ => NondetKind::HashIter,
+        }
+    }
+}
+
+/// One nondeterminism source site inside a function body (A6).
+#[derive(Debug, Clone)]
+pub struct NondetFact {
+    /// Source class.
+    pub kind: NondetKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// True when a reviewed sanction covers this site (inline
+    /// `// analyze: allow(A6): reason` or an `lint.allow.toml` entry):
+    /// sanctioned sources do not seed the taint propagation.
+    pub waived: bool,
+    /// Human label for witness chains
+    /// (``"`HashMap` iteration (`seg_counts.values()`)"``).
+    pub desc: String,
+}
+
+/// The class of a hot-path allocation site (A7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocKind {
+    /// Growth into a dynamic container (`.push`, `.extend`, `.append`,
+    /// `.insert`) without `with_capacity`/`reserve` evidence in the
+    /// same file.
+    GrowPush,
+    /// String construction (`format!`, `.to_string()`, `.to_owned()`,
+    /// `String::from`).
+    Str,
+    /// Heap-box churn (`Box::new`, `Rc::new`, `Arc::new`).
+    BoxRc,
+    /// `.collect()` / `vec!` into a growable container.
+    Collect,
+}
+
+impl AllocKind {
+    /// Stable spelling for cache + messages.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AllocKind::GrowPush => "grow-push",
+            AllocKind::Str => "string",
+            AllocKind::BoxRc => "box-rc",
+            AllocKind::Collect => "collect",
+        }
+    }
+
+    /// Inverse of [`AllocKind::as_str`].
+    #[must_use]
+    pub fn from_str_lossy(s: &str) -> Self {
+        match s {
+            "string" => AllocKind::Str,
+            "box-rc" => AllocKind::BoxRc,
+            "collect" => AllocKind::Collect,
+            _ => AllocKind::GrowPush,
+        }
+    }
+}
+
+/// One allocating construct inside a function body (A7).
+#[derive(Debug, Clone)]
+pub struct AllocFact {
+    /// Allocation class.
+    pub kind: AllocKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// True when a reviewed sanction covers this site (inline
+    /// `// analyze: allow(A7): reason` or an `lint.allow.toml` entry).
+    pub waived: bool,
+    /// Human label (``"`format!`"``, ``"`buf.push(..)`"``).
+    pub desc: String,
+}
+
 /// One potentially blocking call site (A5).
 #[derive(Debug, Clone)]
 pub struct BlockFact {
@@ -262,6 +379,13 @@ pub struct FnFact {
     pub lock_acqs: Vec<(String, u32)>,
     /// Potentially blocking call sites in the body.
     pub blocking: Vec<BlockFact>,
+    /// Annotated as a hot region (`// analyze: hot-path` on the line
+    /// before the `fn`) — the A7 reachability roots.
+    pub hot: bool,
+    /// Nondeterminism sources in the body (A6).
+    pub nondet: Vec<NondetFact>,
+    /// Allocating constructs in the body (A7).
+    pub allocs: Vec<AllocFact>,
 }
 
 impl FnFact {
@@ -338,6 +462,10 @@ pub struct FileFacts {
     /// as `(name, primitive type, value)` — the interval walker reads
     /// them so masks and shifts by named constants stay bounded.
     pub consts: Vec<(String, String, i128)>,
+    /// The file contains a `with_capacity`/`reserve` token anywhere —
+    /// file-granular evidence that its `GrowPush` sites amortize into
+    /// a pre-sized buffer (a deliberate, documented over-approximation).
+    pub capacity_evidence: bool,
 }
 
 impl FileFacts {

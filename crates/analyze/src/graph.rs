@@ -6,7 +6,10 @@
 //! named `f` in the caller's crate or its direct `rto-*` dependencies;
 //! a qualified call `T::f(…)` resolves within the same scope but only
 //! to functions whose surrounding `impl`/`trait` type is `T`. Calls
-//! that resolve to nothing (std, vendored shims) contribute no edges.
+//! that resolve to nothing (std, vendored shims) contribute no edges,
+//! and a qualified call on a known `std` type ([`STD_QUALS`]) never
+//! falls back to bare-name matching — `Vec::new()` must not resolve to
+//! every workspace constructor named `new`.
 //! Over-approximation keeps the "no finding" direction trustworthy: if
 //! A1 reports a public function as panic-free, no call chain the
 //! scanner saw can reach a seed.
@@ -21,6 +24,44 @@ use std::collections::{HashMap, HashSet, VecDeque};
 const DENY_CRATES: &[&str] = &["core", "mckp"];
 /// Crates whose findings are `warn` (simulator/observability surface).
 const WARN_CRATES: &[&str] = &["sim", "obs"];
+
+/// Qualifiers that name well-known `std` types: a qualified call on one
+/// of these that resolves to no workspace `impl` is a `std` call, not a
+/// module-path call, so the bare-name fallback would only add spurious
+/// edges (every `new`/`from`/`with_capacity` in the crate).
+const STD_QUALS: &[&str] = &[
+    "Vec",
+    "String",
+    "Box",
+    "Rc",
+    "Arc",
+    "HashMap",
+    "HashSet",
+    "BTreeMap",
+    "BTreeSet",
+    "VecDeque",
+    "BinaryHeap",
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "PathBuf",
+    "Path",
+    "OsString",
+    "CString",
+    "Cell",
+    "RefCell",
+    "Cow",
+    "Option",
+    "Result",
+    "Ordering",
+    "Reverse",
+    "PoisonError",
+    "NonZeroUsize",
+    "AtomicBool",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+];
 
 /// Global function id: `(file index, fn index within the file)`.
 pub(crate) type Gid = (usize, usize);
@@ -103,7 +144,8 @@ impl Graph {
                             }
                         }
                     }
-                    if resolved.is_empty() {
+                    let std_qual = call.qual.as_deref().is_some_and(|q| STD_QUALS.contains(&q));
+                    if resolved.is_empty() && !std_qual {
                         // Unqualified calls, and qualified calls whose
                         // qualifier is a *module* path rather than an
                         // impl type (`deep::pick(…)`), fall back to

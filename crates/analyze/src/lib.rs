@@ -12,9 +12,21 @@
 //!   returns, and call arguments; cross-unit arithmetic and unguarded
 //!   `D − R` divisions are denied.
 //! * **A3 — stale waivers.** Every `lint.allow.toml` entry and every
-//!   inline `// lint: allow(..)` / `// lint: relaxed-ok` comment must
-//!   still justify at least one finding; dead waivers are denied so
-//!   suppressions cannot outlive the code they excused.
+//!   inline `// lint: allow(..)` / `// analyze: allow(..)` /
+//!   `// lint: relaxed-ok` comment must still justify at least one
+//!   finding; dead waivers are denied so suppressions cannot outlive
+//!   the code they excused.
+//! * **A4 — interval analysis** ([`interval`]) and **A5 — concurrency
+//!   audit** ([`concurrency`]): value-range proofs for casts/divisions
+//!   and ordering/lock-cycle/blocking checks over the worker pool.
+//! * **A6 — determinism taint** ([`determinism`]): interprocedural
+//!   propagation from nondeterminism sources (hash-ordered iteration,
+//!   wall-clock reads, ambient RNG, env/fs reads) to the public API of
+//!   the replay-critical crates, with witness chains.
+//! * **A7 — hot-path allocation** ([`hotpath`]): forward reachability
+//!   from `// analyze: hot-path` annotated functions to allocating
+//!   constructs — the static twin of the `obs_bench` counting-allocator
+//!   gate.
 //!
 //! The pipeline is two-phase: phase 1 ([`parse::parse_file`]) is
 //! per-file, pure, and cached under `target/rto-analyze/` keyed by
@@ -27,9 +39,11 @@
 
 pub mod cache;
 pub mod concurrency;
+pub mod determinism;
 pub mod domains;
 pub mod facts;
 pub mod graph;
+pub mod hotpath;
 pub mod interval;
 pub mod parse;
 pub mod sarif;
@@ -207,6 +221,8 @@ pub fn analyze_workspace(root: &Path, use_cache: bool) -> Result<Analysis, Strin
     diagnostics.extend(graph::check(&all_facts, &allowlist, &deps));
     diagnostics.extend(interval::check(&all_facts, &srcs, &allowlist, &deps));
     diagnostics.extend(concurrency::check(&all_facts, &allowlist, &deps));
+    diagnostics.extend(determinism::check(&all_facts, &allowlist, &deps));
+    diagnostics.extend(hotpath::check(&all_facts, &allowlist, &deps));
     diagnostics.extend(stale::check(&all_facts, &allowlist));
 
     diagnostics.sort();

@@ -136,7 +136,7 @@ fn run() -> i32 {
         elapsed_us as f64 / 1000.0
     );
 
-    if let Some(code) = enforce_a4_budget(&root, &analysis.diagnostics) {
+    if let Some(code) = enforce_budgets(&root, &analysis.diagnostics) {
         return code;
     }
 
@@ -151,32 +151,42 @@ fn run() -> i32 {
     }
 }
 
-/// Enforce the committed A4 warning-budget ratchet (`analyze.budget.toml`
-/// at the workspace root, key `a4_warn_max`): the build fails when the
-/// residual A4 warning count rises above the ceiling, and contributors
-/// lower the ceiling as they discharge warnings. Absent file = no
-/// budget (fixture workspaces). Returns `Some(exit code)` on failure.
-fn enforce_a4_budget(root: &std::path::Path, diags: &[rto_analyze::Diagnostic]) -> Option<i32> {
+/// Enforce the committed warning-budget ratchets (`analyze.budget.toml`
+/// at the workspace root, keys `a4_warn_max`/`a6_warn_max`/`a7_warn_max`):
+/// the build fails when a residual warning count rises above its
+/// ceiling, and contributors lower the ceilings as they discharge
+/// warnings. Absent file = no budget (fixture workspaces); an absent
+/// key leaves that rule unbudgeted. Returns `Some(exit code)` on the
+/// first failure.
+fn enforce_budgets(root: &std::path::Path, diags: &[rto_analyze::Diagnostic]) -> Option<i32> {
     let text = std::fs::read_to_string(root.join("analyze.budget.toml")).ok()?;
-    let max: usize = text.lines().find_map(|line| {
-        let rest = line.split('#').next().unwrap_or("").trim();
-        let (key, value) = rest.split_once('=')?;
-        if key.trim() != "a4_warn_max" {
-            return None;
+    for (rule, budget_key) in [
+        ("A4", "a4_warn_max"),
+        ("A6", "a6_warn_max"),
+        ("A7", "a7_warn_max"),
+    ] {
+        let Some(max) = text.lines().find_map(|line| {
+            let rest = line.split('#').next().unwrap_or("").trim();
+            let (key, value) = rest.split_once('=')?;
+            if key.trim() != budget_key {
+                return None;
+            }
+            value.trim().parse::<usize>().ok()
+        }) else {
+            continue;
+        };
+        let count = diags
+            .iter()
+            .filter(|d| d.rule == rule && d.severity == "warn")
+            .count();
+        if count > max {
+            eprintln!(
+                "rto-analyze: {rule} warning budget exceeded: {count} warnings > ceiling {max} \
+                 (analyze.budget.toml); discharge the new warnings instead of raising the ceiling"
+            );
+            return Some(1);
         }
-        value.trim().parse().ok()
-    })?;
-    let count = diags
-        .iter()
-        .filter(|d| d.rule == "A4" && d.severity == "warn")
-        .count();
-    if count > max {
-        eprintln!(
-            "rto-analyze: A4 warning budget exceeded: {count} warnings > ceiling {max} \
-             (analyze.budget.toml); discharge the new warnings instead of raising the ceiling"
-        );
-        return Some(1);
+        eprintln!("rto-analyze: {rule} warning budget: {count}/{max}");
     }
-    eprintln!("rto-analyze: A4 warning budget: {count}/{max}");
     None
 }

@@ -15,13 +15,13 @@
 //! never soundness of the "no finding" direction for seeds it did see.
 
 use crate::facts::{
-    A4Site, AtomicFact, BlockFact, CallFact, FileFacts, FnFact, RawFinding, SeedFact, SeedKind,
-    Unit, WaiverComment, WaiverKind,
+    A4Site, AllocFact, AllocKind, AtomicFact, BlockFact, CallFact, FileFacts, FnFact, NondetFact,
+    NondetKind, RawFinding, SeedFact, SeedKind, Unit, WaiverComment, WaiverKind,
 };
 use crate::interval;
 use rto_lint::lexer::{lex, Lexed, TokKind, Token};
 use rto_lint::rules::{self, FileCtx, Finding};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Crates whose bare indexing counts as an A1 seed (mirrors lint L3's
 /// library-crate scope).
@@ -77,6 +77,37 @@ const BLOCKING_METHODS: &[(&str, &str)] = &[
     ("read_line", "file I/O (`read_line`)"),
     ("sync_all", "file I/O (`sync_all`)"),
 ];
+
+/// Methods that expose the (seed-randomized) iteration order of a
+/// `HashMap`/`HashSet` receiver — A6's hash-iteration source set.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Method names that grow a dynamic container — A7's `GrowPush` class.
+/// Only flagged when the defining file carries no `with_capacity` /
+/// `reserve` evidence.
+const GROW_METHODS: &[&str] = &[
+    "push",
+    "push_back",
+    "push_front",
+    "extend",
+    "append",
+    "insert",
+];
+
+/// Order-sensitive reduction adaptors: folding floats in hash order is
+/// the classic silent nondeterminism, so A6 names them in the witness.
+const REDUCE_METHODS: &[&str] = &["sum", "fold", "product"];
 
 /// Primitive numeric type names tracked by the A4 interval pass.
 pub(crate) fn is_primitive_ty(name: &str) -> bool {
@@ -138,16 +169,24 @@ pub fn parse_file(rel_path: &str, src: &str) -> FileFacts {
         .as_deref()
         .is_some_and(|c| INDEX_SEED_CRATES.contains(&c));
     facts.consts = collect_consts(&stripped);
+    facts.capacity_evidence = stripped.iter().any(|t| {
+        t.is_ident("with_capacity") || t.is_ident("reserve") || t.is_ident("reserve_exact")
+    });
     let const_env: HashMap<String, (String, i128)> = facts
         .consts
         .iter()
         .map(|(n, t, v)| (n.clone(), (t.clone(), *v)))
         .collect();
+    let hash_idents = collect_hash_idents(&stripped);
     let mut scanner = Scanner {
         toks: &stripped,
         lexed: &lexed,
         index_seeds,
         consts: &const_env,
+        hash_idents: &hash_idents,
+        // `obs::Stopwatch` is the sanctioned wall-clock wrapper: the
+        // one place `Instant::now()` is allowed to live.
+        clock_exempt: rel_path == "crates/obs/src/clock.rs",
         fns: Vec::new(),
         a2: Vec::new(),
         a4: Vec::new(),
@@ -218,6 +257,60 @@ fn collect_consts(toks: &[Token]) -> Vec<(String, String, i128)> {
     out
 }
 
+/// Identifiers bound or declared with a `HashMap`/`HashSet` type
+/// anywhere in the (test-stripped) token stream: `let` bindings whose
+/// initializer statement mentions the type, and `name: HashMap<..>`
+/// field / parameter annotations. File-granular on purpose — a local
+/// in one fn shadows nothing the analysis cares about, and the
+/// over-approximation only ever *adds* A6 candidates.
+fn collect_hash_idents(toks: &[Token]) -> HashSet<String> {
+    let mut out = HashSet::new();
+    let mut let_name: Option<String> = None;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_ident("let") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            if let Some(n) = toks.get(j).filter(|t| t.kind == TokKind::Ident) {
+                let_name = Some(n.text.clone());
+            }
+        } else if t.is_punct(";") {
+            let_name = None;
+        } else if t.is_ident("HashMap") || t.is_ident("HashSet") {
+            if let Some(n) = let_name.clone() {
+                out.insert(n);
+            }
+            // `name: [&][std::collections::]HashMap<..>` annotation.
+            let mut j = i;
+            while j > 0
+                && toks[j - 1].kind == TokKind::Punct
+                && matches!(toks[j - 1].text.as_str(), "::" | "&" | "<")
+            {
+                j -= 1;
+                if toks[j].is_punct("::")
+                    && j > 0
+                    && toks[j - 1].kind == TokKind::Ident
+                    && toks[j - 1]
+                        .text
+                        .chars()
+                        .next()
+                        .is_some_and(char::is_lowercase)
+                {
+                    j -= 1; // skip `std` / `collections` path segments
+                }
+            }
+            if j > 1 && toks[j - 1].is_punct(":") && toks[j - 2].kind == TokKind::Ident {
+                out.insert(toks[j - 2].text.clone());
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
 fn findings_to_raw(findings: &[Finding]) -> Vec<RawFinding> {
     findings
         .iter()
@@ -243,16 +336,20 @@ fn collect_waivers(lexed: &Lexed) -> Vec<WaiverComment> {
         if text.starts_with("///") || text.starts_with("//!") {
             continue;
         }
-        if let Some(idx) = text.find("lint: allow(") {
-            let rest = &text[idx + "lint: allow(".len()..];
-            if let Some(close) = rest.find(')') {
-                let rule = rest[..close].trim().to_string();
-                let reason = rest[close + 1..].trim_start_matches(':').trim();
-                if is_rule_id(&rule) && !reason.is_empty() {
-                    out.push(WaiverComment {
-                        kind: WaiverKind::Allow(rule),
-                        line,
-                    });
+        // Two spellings share one machinery: `lint:` for the L-rules
+        // and the original A-rules, `analyze:` for the A6/A7 sanctions.
+        for prefix in ["lint: allow(", "analyze: allow("] {
+            if let Some(idx) = text.find(prefix) {
+                let rest = &text[idx + prefix.len()..];
+                if let Some(close) = rest.find(')') {
+                    let rule = rest[..close].trim().to_string();
+                    let reason = rest[close + 1..].trim_start_matches(':').trim();
+                    if is_rule_id(&rule) && !reason.is_empty() {
+                        out.push(WaiverComment {
+                            kind: WaiverKind::Allow(rule),
+                            line,
+                        });
+                    }
                 }
             }
         }
@@ -326,6 +423,8 @@ struct Scanner<'a> {
     lexed: &'a Lexed,
     index_seeds: bool,
     consts: &'a HashMap<String, (String, i128)>,
+    hash_idents: &'a HashSet<String>,
+    clock_exempt: bool,
     fns: Vec<FnFact>,
     a2: Vec<RawFinding>,
     a4: Vec<A4Site>,
@@ -616,6 +715,11 @@ impl Scanner<'_> {
         if !self.is_punct(i, "(") {
             return i;
         }
+        // `// analyze: hot-path` immediately above (or on) the `fn`
+        // line marks an A7 hot-region root.
+        let hot = [line.saturating_sub(1), line]
+            .iter()
+            .any(|l| self.lexed.comment_on(*l).contains("analyze: hot-path"));
         let params_end = self.skip_group(i);
         let (params, param_tys) = self.parse_params(i + 1, params_end.saturating_sub(1));
         i = params_end;
@@ -654,6 +758,7 @@ impl Scanner<'_> {
                         param_tys,
                         ret_unit: unit_of_fn_name(self.tok(at + 1).map_or("", |t| t.text.as_str())),
                         ret_ty,
+                        hot,
                         ..FnFact::default()
                     });
                     return i + 1;
@@ -676,6 +781,7 @@ impl Scanner<'_> {
             params,
             param_tys,
             ret_ty,
+            hot,
             ..FnFact::default()
         };
         self.scan_body(i + 1, body_end.saturating_sub(1), &mut fact);
@@ -843,6 +949,59 @@ impl Scanner<'_> {
                 i += 1;
                 continue;
             }
+            // `for pat in [&][mut] hashvar { … }` — direct iteration
+            // over a hash-ordered container (A6). Chained forms
+            // (`for k in map.keys()`) are caught by the method branch.
+            if t.is_ident("for") {
+                let mut j = i + 1;
+                let mut depth = 0i32;
+                while j < end {
+                    let Some(n) = self.tok(j) else { break };
+                    if n.kind == TokKind::Punct {
+                        match n.text.as_str() {
+                            "(" | "[" => depth += 1,
+                            ")" | "]" => depth -= 1,
+                            "{" => break,
+                            _ => {}
+                        }
+                    }
+                    if depth == 0 && n.is_ident("in") {
+                        let mut k = j + 1;
+                        while self
+                            .tok(k)
+                            .is_some_and(|t| t.is_punct("&") || t.is_ident("mut"))
+                        {
+                            k += 1;
+                        }
+                        if let Some(v) = self.tok(k).filter(|v| v.kind == TokKind::Ident) {
+                            if self.hash_idents.contains(&v.text) && self.is_punct(k + 1, "{") {
+                                let desc = format!("`for` over hash-ordered `{}`", v.text);
+                                let nd = self.nondet(NondetKind::HashIter, v.line, desc);
+                                fact.nondet.push(nd);
+                            }
+                        }
+                        break;
+                    }
+                    j += 1;
+                }
+                i += 1;
+                continue;
+            }
+            // Allocating macros: `format!(..)` builds a `String`,
+            // `vec![..]` a heap buffer (A7).
+            if t.kind == TokKind::Ident && self.is_punct(i + 1, "!") {
+                match t.text.as_str() {
+                    "format" => {
+                        let a = self.alloc(AllocKind::Str, t.line, "`format!`".into());
+                        fact.allocs.push(a);
+                    }
+                    "vec" => {
+                        let a = self.alloc(AllocKind::Collect, t.line, "`vec![..]`".into());
+                        fact.allocs.push(a);
+                    }
+                    _ => {}
+                }
+            }
             // Panic macros: `name!(…)`.
             if t.kind == TokKind::Ident
                 && PANIC_MACROS.contains(&t.text.as_str())
@@ -894,6 +1053,28 @@ impl Scanner<'_> {
                         line,
                         in_spawn,
                     });
+                }
+                // A6: iteration over a hash-ordered container.
+                if HASH_ITER_METHODS.contains(&callee.as_str()) && self.hash_idents.contains(&recv)
+                {
+                    let mut desc = format!("hash-ordered iteration (`{recv}.{callee}()`)");
+                    if let Some(red) = self.trailing_reduction(args_end, end) {
+                        desc.push_str(&format!(" feeding an order-sensitive `{red}` reduction"));
+                    }
+                    let nd = self.nondet(NondetKind::HashIter, line, desc);
+                    fact.nondet.push(nd);
+                }
+                // A7: container growth and owned-string / collected
+                // allocations.
+                if GROW_METHODS.contains(&callee.as_str()) {
+                    let a = self.alloc(AllocKind::GrowPush, line, format!("`{recv}.{callee}(..)`"));
+                    fact.allocs.push(a);
+                } else if matches!(callee.as_str(), "to_string" | "to_owned") {
+                    let a = self.alloc(AllocKind::Str, line, format!("`.{callee}()`"));
+                    fact.allocs.push(a);
+                } else if callee == "collect" {
+                    let a = self.alloc(AllocKind::Collect, line, "`.collect()`".into());
+                    fact.allocs.push(a);
                 }
                 if ATOMIC_OPS.contains(&callee.as_str()) {
                     for j in i + 3..args_end.saturating_sub(1) {
@@ -954,6 +1135,63 @@ impl Scanner<'_> {
                         line: t.line,
                         in_spawn,
                     });
+                }
+                // A6 source classes behind path calls.
+                let nondet = match (qual.as_deref(), t.text.as_str()) {
+                    (Some(q @ ("Instant" | "SystemTime")), "now") => {
+                        (!self.clock_exempt).then(|| {
+                            (
+                                NondetKind::WallClock,
+                                format!("wall-clock read (`{q}::now`)"),
+                            )
+                        })
+                    }
+                    (Some("thread"), "current") => Some((
+                        NondetKind::ThreadId,
+                        "scheduler-dependent `thread::current()`".to_string(),
+                    )),
+                    (_, n @ ("thread_rng" | "from_entropy")) => {
+                        Some((NondetKind::Rng, format!("ambient RNG (`{n}`)")))
+                    }
+                    (Some("RandomState"), "new") => Some((
+                        NondetKind::Rng,
+                        "ambient hasher seed (`RandomState::new`)".to_string(),
+                    )),
+                    (
+                        Some("env"),
+                        n @ ("var" | "vars" | "var_os" | "vars_os" | "args" | "args_os"),
+                    ) => Some((
+                        NondetKind::EnvRead,
+                        format!("environment read (`env::{n}`)"),
+                    )),
+                    (
+                        Some("fs"),
+                        n @ ("read" | "read_to_string" | "read_dir" | "metadata" | "canonicalize"),
+                    ) => Some((NondetKind::FsRead, format!("filesystem read (`fs::{n}`)"))),
+                    (Some("File"), "open") => Some((
+                        NondetKind::FsRead,
+                        "filesystem read (`File::open`)".to_string(),
+                    )),
+                    _ => None,
+                };
+                if let Some((kind, desc)) = nondet {
+                    let nd = self.nondet(kind, t.line, desc);
+                    fact.nondet.push(nd);
+                }
+                // A7: heap boxes and owned strings behind path calls.
+                let alloc = match (qual.as_deref(), t.text.as_str()) {
+                    (Some(q @ ("Box" | "Rc" | "Arc")), "new") => {
+                        Some((AllocKind::BoxRc, format!("`{q}::new`")))
+                    }
+                    (Some("String"), "from") => {
+                        Some((AllocKind::Str, "`String::from`".to_string()))
+                    }
+                    (Some("Vec"), "from") => Some((AllocKind::Collect, "`Vec::from`".to_string())),
+                    _ => None,
+                };
+                if let Some((kind, desc)) = alloc {
+                    let a = self.alloc(kind, t.line, desc);
+                    fact.allocs.push(a);
                 }
                 fact.calls.push(CallFact {
                     callee: t.text.clone(),
@@ -1025,6 +1263,51 @@ impl Scanner<'_> {
                 .any(|l| rules::has_reason(self.lexed.comment_on(*l), &marker))
         });
         SeedFact { kind, line, waived }
+    }
+
+    /// A reviewed `// analyze: allow(Ax): reason` (or the legacy
+    /// `lint:` spelling) on this line or the one above.
+    fn sanctioned(&self, rule: &str, line: u32) -> bool {
+        ["analyze", "lint"].iter().any(|ns| {
+            let marker = format!("{ns}: allow({rule}):");
+            [line, line.saturating_sub(1)]
+                .iter()
+                .any(|l| rules::has_reason(self.lexed.comment_on(*l), &marker))
+        })
+    }
+
+    fn nondet(&self, kind: NondetKind, line: u32, desc: String) -> NondetFact {
+        NondetFact {
+            kind,
+            line,
+            waived: self.sanctioned("A6", line),
+            desc,
+        }
+    }
+
+    fn alloc(&self, kind: AllocKind, line: u32, desc: String) -> AllocFact {
+        AllocFact {
+            kind,
+            line,
+            waived: self.sanctioned("A7", line),
+            desc,
+        }
+    }
+
+    /// An order-sensitive reduction (`.sum()`, `.fold(..)`) in the rest
+    /// of the statement starting at `from` — appended to hash-iteration
+    /// witnesses because folding floats in hash order compounds the
+    /// hazard with non-associativity.
+    fn trailing_reduction(&self, from: usize, end: usize) -> Option<&'static str> {
+        let stop = self.stmt_end(from, end);
+        (from..stop).find_map(|j| {
+            let t = self.tok(j)?;
+            if self.is_punct(j.wrapping_sub(1), ".") && self.is_punct(j + 1, "(") {
+                REDUCE_METHODS.iter().find(|m| t.is_ident(m)).copied()
+            } else {
+                None
+            }
+        })
     }
 
     /// `let [mut] name … =`: returns the bound name and the index of

@@ -37,6 +37,18 @@ const RULES: &[(&str, &str)] = &[
         "Concurrency hazard: unjustified non-Relaxed atomic ordering, a lock-order cycle, \
          or a blocking call reachable from a spawned worker closure.",
     ),
+    (
+        "A6",
+        "Determinism hazard: a public function of a replay-scoped crate can reach a \
+         nondeterminism source (hash-ordered iteration, wall clock, thread id, ambient \
+         RNG, environment or filesystem read).",
+    ),
+    (
+        "A7",
+        "Hot-path allocation: an allocating construct (unsized growth, String/format!, \
+         Box/Rc churn, collect) is reachable from a function annotated \
+         `// analyze: hot-path`.",
+    ),
 ];
 
 /// Render diagnostics for terminals: `path:line: [rule/severity] msg`.
@@ -181,7 +193,7 @@ mod tests {
         let s = sarif(&d);
         assert!(s.contains("\"version\": \"2.1.0\""));
         assert!(s.contains("sarif-schema-2.1.0.json"));
-        for id in ["A1", "A2", "A3", "A4", "A5"] {
+        for id in ["A1", "A2", "A3", "A4", "A5", "A6", "A7"] {
             assert!(s.contains(&format!("\"id\": \"{id}\"")), "{s}");
         }
         assert!(s.contains("\"level\": \"error\""));

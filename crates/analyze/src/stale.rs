@@ -30,6 +30,8 @@ pub fn check(files: &[FileFacts], allowlist: &[AllowEntry]) -> Vec<Diagnostic> {
             }
             match entry.rule.as_str() {
                 "A4" => !ff.a4.is_empty(),
+                "A6" => ff.fns.iter().any(|f| !f.nondet.is_empty()),
+                "A7" => ff.fns.iter().any(|f| !f.allocs.is_empty()),
                 "A5" => {
                     ff.atomics.iter().any(|a| a.ordering != "Relaxed")
                         || ff
@@ -74,6 +76,20 @@ pub fn check(files: &[FileFacts], allowlist: &[AllowEntry]) -> Vec<Diagnostic> {
                     ff.a4.iter().any(|s| lines.contains(&s.line)),
                     "an A4 interval site".to_string(),
                 ),
+                WaiverKind::Allow(rule) if rule == "A6" => (
+                    ff.fns
+                        .iter()
+                        .flat_map(|f| &f.nondet)
+                        .any(|n| lines.contains(&n.line)),
+                    "an A6 nondeterminism source".to_string(),
+                ),
+                WaiverKind::Allow(rule) if rule == "A7" => (
+                    ff.fns
+                        .iter()
+                        .flat_map(|f| &f.allocs)
+                        .any(|a| lines.contains(&a.line)),
+                    "an A7 allocation site".to_string(),
+                ),
                 WaiverKind::Allow(rule) if rule == "A5" => (
                     ff.atomics
                         .iter()
@@ -100,6 +116,9 @@ pub fn check(files: &[FileFacts], allowlist: &[AllowEntry]) -> Vec<Diagnostic> {
             };
             if !live {
                 let label = match &w.kind {
+                    WaiverKind::Allow(rule) if rule == "A6" || rule == "A7" => {
+                        format!("analyze: allow({rule})")
+                    }
                     WaiverKind::Allow(rule) => format!("lint: allow({rule})"),
                     WaiverKind::RelaxedOk => "lint: relaxed-ok".to_string(),
                 };

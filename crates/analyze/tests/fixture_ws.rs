@@ -198,6 +198,112 @@ fn a5_detects_cycle_ordering_and_blocking_in_workers() {
 }
 
 #[test]
+fn a6_determinism_set_is_exact() {
+    let a = analyze();
+    let a6 = of_rule(&a, "A6");
+    // Interprocedural witness: the public caller names the tainted
+    // helper and the order-sensitive reduction it performs.
+    assert!(
+        a6.iter().any(|m| m.contains("`report`")
+            && m.contains("report → tally")
+            && m.contains("`sum` reduction")),
+        "{a6:?}"
+    );
+    // Direct `for` loop over a hash container.
+    assert!(
+        a6.iter()
+            .any(|m| m.contains("`drain`") && m.contains("`for` over hash-ordered")),
+        "{a6:?}"
+    );
+    // Each remaining source kind appears once.
+    for (fname, source) in [
+        ("`stamp`", "wall-clock read"),
+        ("`worker_tag`", "thread::current()"),
+        ("`fresh_hasher`", "ambient hasher seed"),
+        ("`configured`", "environment read"),
+        ("`jitter`", "ambient RNG"),
+        ("`spawn_reader`", "filesystem read"),
+    ] {
+        assert!(
+            a6.iter().any(|m| m.contains(fname) && m.contains(source)),
+            "{fname} with {source}: {a6:?}"
+        );
+    }
+    // Interprocedural filesystem taint carries the chain.
+    assert!(
+        a6.iter()
+            .any(|m| m.contains("spawn_loader → load_trials → filesystem read")),
+        "{a6:?}"
+    );
+    // Quiet: membership-only hash use, ordered containers, sanctioned
+    // sinks, and private sources no public function reaches.
+    for quiet in ["`dedup`", "`ordered_total`", "`manifest`", "`idle_probe`"] {
+        assert!(
+            !a6.iter().any(|m| m.contains(quiet)),
+            "{quiet} must not be A6-tainted: {a6:?}"
+        );
+    }
+    assert_eq!(a6.len(), 9, "{a6:?}");
+    // Severity: deny in sim/exp (replay-scoped), warn in mckp.
+    for d in a.diagnostics.iter().filter(|d| d.rule == "A6") {
+        let expect = if d.path.starts_with("crates/mckp/") {
+            "warn"
+        } else {
+            "deny"
+        };
+        assert_eq!(d.severity, expect, "{d:?}");
+    }
+}
+
+#[test]
+fn a7_hotpath_set_is_exact() {
+    let a = analyze();
+    let a7 = of_rule(&a, "A7");
+    // Every allocation kind fires directly inside an annotated hot
+    // function, with `hot `...`` provenance.
+    for (site, fname) in [
+        ("`format!`", "emit_row"),
+        ("`Box::new`", "box_event"),
+        ("`.collect()`", "snapshot"),
+        ("`buf.push(..)`", "enqueue"),
+    ] {
+        assert!(
+            a7.iter()
+                .any(|m| m.contains(site) && m.contains(&format!("hot `{fname}`"))),
+            "{site} in {fname}: {a7:?}"
+        );
+    }
+    // Reachable-only allocation warns and carries the call chain.
+    assert!(
+        a7.iter().any(
+            |m| m.contains("`vec![..]`") && m.contains("reachable from hot: drain_all → stage")
+        ),
+        "{a7:?}"
+    );
+    // Quiet: sanctioned site, unannotated function, and growth vouched
+    // for by file-level capacity evidence.
+    for quiet in ["`label`", "`setup`", "`refill`"] {
+        assert!(
+            !a7.iter().any(|m| m.contains(quiet)),
+            "{quiet} must be quiet: {a7:?}"
+        );
+    }
+    assert_eq!(a7.len(), 5, "{a7:?}");
+    // Severity: deny when directly hot, warn when merely reachable.
+    let denies = a
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "A7" && d.severity == "deny")
+        .count();
+    let warns = a
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "A7" && d.severity == "warn")
+        .count();
+    assert_eq!((denies, warns), (4, 1));
+}
+
+#[test]
 fn fixpoint_cycles_cut_at_top_with_provenance() {
     // The engine terminates on every cycle shape (this test finishing
     // is the termination witness) and tags diagnostics that lean on a

@@ -1,0 +1,56 @@
+//! Fixture hot-path surface: every A7 allocation kind, a sanctioned
+//! site, a reachable-warn chain, and an unannotated control.
+//!
+//! This file deliberately contains no `with_capacity`/`reserve`, so the
+//! growth site below is flagged; the evidenced counterpart lives in
+//! `ring.rs`.
+
+/// Deny: string construction directly in a hot function.
+// analyze: hot-path
+pub fn emit_row(v: u64) -> String {
+    format!("row {v}")
+}
+
+/// Deny: box churn in a hot function.
+// analyze: hot-path
+pub fn box_event(v: u64) -> Box<u64> {
+    Box::new(v)
+}
+
+/// Deny: collect into a growable container in a hot function.
+// analyze: hot-path
+pub fn snapshot(xs: &[u64]) -> Vec<u64> {
+    xs.iter().copied().collect()
+}
+
+/// Deny: growth without capacity evidence anywhere in this file.
+// analyze: hot-path
+pub fn enqueue(buf: &mut Vec<u64>, v: u64) {
+    buf.push(v);
+}
+
+/// Warn with provenance: the hot entry only calls a helper that
+/// allocates.
+// analyze: hot-path
+pub fn drain_all(n: u64) -> u64 {
+    stage(n)
+}
+
+fn stage(n: u64) -> u64 {
+    let labels = vec![n];
+    labels.first().copied().unwrap_or(0)
+}
+
+/// Quiet: sanctioned allocation in a hot function.
+// analyze: hot-path
+pub fn label(v: u64) -> String {
+    // analyze: allow(A7): fixture sanction — one label per trial, off the steady-state path
+    v.to_string()
+}
+
+/// Quiet: unannotated functions are not scanned.
+pub fn setup() -> Vec<u64> {
+    let mut v = Vec::new();
+    v.push(1);
+    v
+}

@@ -3,3 +3,5 @@
 
 pub mod pool;
 pub mod state;
+pub mod hot;
+pub mod ring;

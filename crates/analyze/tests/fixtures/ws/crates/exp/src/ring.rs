@@ -1,0 +1,12 @@
+//! Fixture ring buffer: file-level capacity evidence discharges hot
+//! growth sites.
+
+/// Quiet: `with_capacity` in this file vouches for the push.
+// analyze: hot-path
+pub fn refill(n: usize) -> Vec<u64> {
+    let mut buf = Vec::with_capacity(n);
+    for _ in 0..n {
+        buf.push(0);
+    }
+    buf
+}

@@ -1,3 +1,4 @@
 //! Fixture mckp crate: A4 interval-analysis seeds at deny severity.
 
 pub mod fptas;
+pub mod seed;

@@ -1,0 +1,8 @@
+//! Fixture RNG seeding: ambient randomness in a warn-scoped crate.
+
+/// Warn: ambient RNG in `mckp` (a warn crate for A6).
+pub fn jitter() -> u64 {
+    let r = thread_rng();
+    let _ = r;
+    0
+}

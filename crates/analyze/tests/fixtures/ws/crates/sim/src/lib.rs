@@ -15,3 +15,4 @@ pub fn drift(delta_ns: u64, jitter_ms: f64) -> f64 {
 
 // lint: allow(L1): fixture stale waiver, nothing to waive here
 pub fn quiet() {}
+pub mod report;

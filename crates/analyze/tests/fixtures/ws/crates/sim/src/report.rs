@@ -1,0 +1,72 @@
+//! Fixture determinism surface: every A6 source kind with clean and
+//! sanctioned counterparts.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Tainted helper: hash-ordered iteration feeding an order-sensitive
+/// reduction — the public caller below reports the witness chain.
+fn tally(m: &HashMap<u32, f64>) -> f64 {
+    m.values().sum()
+}
+
+/// Deny: reaches the tainted helper.
+pub fn report(m: &HashMap<u32, f64>) -> f64 {
+    tally(m)
+}
+
+/// Deny: `for` loop over a hash container.
+pub fn drain(s: &HashSet<u32>) -> u32 {
+    let mut n = 0;
+    for v in s {
+        n = n.max(*v);
+    }
+    n
+}
+
+/// Quiet: membership-only hash use is order-free.
+pub fn dedup(seen: &mut HashSet<u32>, v: u32) -> bool {
+    seen.insert(v)
+}
+
+/// Quiet: ordered iteration over a `BTreeMap`. (The parameter name must
+/// not collide with a hash-bound ident elsewhere in the file — the
+/// hash-ident set is file-granular, a documented over-approximation.)
+pub fn ordered_total(totals: &BTreeMap<u32, u64>) -> u64 {
+    let mut t = 0u64;
+    for v in totals.values() {
+        t = t.saturating_add(*v);
+    }
+    t
+}
+
+/// Deny: wall-clock read outside `obs::Stopwatch`.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+/// Deny: scheduler identity.
+pub fn worker_tag() -> std::thread::ThreadId {
+    std::thread::current().id()
+}
+
+/// Deny: ambient hasher seed.
+pub fn fresh_hasher() -> std::collections::hash_map::RandomState {
+    std::collections::hash_map::RandomState::new()
+}
+
+/// Deny: environment read.
+pub fn configured() -> bool {
+    std::env::var("RTO_MODE").is_ok()
+}
+
+/// Quiet: the sanction comment vouches for replay safety (and A3 keeps
+/// it honest).
+pub fn manifest() -> bool {
+    // analyze: allow(A6): fixture sanction — reads a pinned manifest recorded in the replay bundle
+    std::env::var("RTO_MANIFEST").is_ok()
+}
+
+/// Quiet: a private source no public function reaches.
+fn idle_probe() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -169,6 +169,7 @@ impl TrialCache {
     /// Looks up `key`; any failure mode is a miss.
     #[must_use]
     pub fn load<R: TrialData>(&self, key: &str) -> Option<R> {
+        // analyze: allow(A6): content-addressed trial cache; a hit replays byte-identical recorded rows
         let text = fs::read_to_string(self.entry_path(key)).ok()?;
         let mut lines = text.lines();
         let header = lines.next()?;

@@ -31,6 +31,7 @@ pub fn effective_jobs(requested: usize) -> usize {
 /// * `on_done(index, &result)` is invoked on the **collector** thread
 ///   as each result lands (out of order); the engine uses it for
 ///   progress metrics and trace events.
+// analyze: hot-path
 pub fn run_indexed<R, F, D>(count: usize, jobs: usize, f: F, mut on_done: D) -> Vec<R>
 where
     R: Send,
@@ -45,6 +46,7 @@ where
                 on_done(i, &r);
                 r
             })
+            // analyze: allow(A7): one result vector per sweep, sized by the iterator
             .collect();
     }
 
@@ -89,6 +91,7 @@ where
         }
     });
 
+    // analyze: allow(A7): one result vector per sweep, assembled after the workers drain
     let out: Vec<R> = slots.into_iter().flatten().collect();
     assert_eq!(
         out.len(),

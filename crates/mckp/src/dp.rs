@@ -80,16 +80,19 @@ impl Default for DpSolver {
 }
 
 impl Solver for DpSolver {
+    // analyze: hot-path
     fn solve(&self, instance: &MckpInstance) -> Result<Selection, SolveError> {
         let res = self.resolution;
         let capacity = instance.capacity();
         let classes = instance.classes();
 
         // Dominance-pruned item indices per class (exactness preserved).
+        // analyze: allow(A7): one prune pass per solve, before the DP loops
         let pruned: Vec<Vec<usize>> = classes.iter().map(|c| dominance_filter(c)).collect();
 
         // dp[c] = max profit over processed classes with scaled weight <= c.
         const NEG: f64 = f64::NEG_INFINITY;
+        // analyze: allow(A7): DP row allocated once per solve, reused across classes
         let mut dp: Vec<f64> = vec![NEG; res + 1];
         // choice[k][c] = index (into pruned[k]) of the item chosen at class
         // k when the remaining budget is c; usize::MAX = unreachable.
@@ -97,6 +100,7 @@ impl Solver for DpSolver {
 
         // First class: best item with scaled weight <= c (prefix max).
         {
+            // analyze: allow(A7): one choice row per class — O(classes) setup, not per-cell work
             let mut ch = vec![usize::MAX; res + 1];
             for (pi, &item_idx) in pruned[0].iter().enumerate() {
                 let item = classes[0][item_idx];
@@ -120,7 +124,9 @@ impl Solver for DpSolver {
         }
 
         for (k, class) in classes.iter().enumerate().skip(1) {
+            // analyze: allow(A7): fresh DP row per class — O(classes) allocations per solve
             let mut next = vec![NEG; res + 1];
+            // analyze: allow(A7): one choice row per class — O(classes) setup, not per-cell work
             let mut ch = vec![usize::MAX; res + 1];
             for c in 0..=res {
                 for (pi, &item_idx) in pruned[k].iter().enumerate() {
@@ -151,6 +157,7 @@ impl Solver for DpSolver {
 
         // Reconstruct backwards from the full budget.
         let mut budget = res;
+        // analyze: allow(A7): reconstruction buffer built once per solve
         let mut picks = vec![0usize; classes.len()];
         for k in (0..classes.len()).rev() {
             let pi = choice[k][budget];

@@ -124,6 +124,7 @@ impl MckpInstance {
         field: fn(&Item) -> f64,
     ) -> Result<f64, SolveError> {
         if selection.len() != self.classes.len() {
+            // analyze: allow(A7): error-path message; the hot path never formats
             return Err(SolveError::bad(format!(
                 "selection shape mismatch: {} choices vs {} classes",
                 selection.len(),
@@ -134,6 +135,7 @@ impl MckpInstance {
         for (i, (&j, class)) in selection.choices().iter().zip(&self.classes).enumerate() {
             let item = class
                 .get(j)
+                // analyze: allow(A7): error-path message inside ok_or_else; never runs on a feasible selection
                 .ok_or_else(|| SolveError::bad(format!("class {i}: item {j} out of range")))?;
             total += field(item);
         }

@@ -26,6 +26,7 @@ use crate::instance::{Item, MckpInstance};
 /// Ties in weight keep only the most profitable item; ties in both keep the
 /// earliest index (deterministic).
 pub fn dominance_filter(class: &[Item]) -> Vec<usize> {
+    // analyze: allow(A7): index permutation sized to the class, built once per prune
     let mut order: Vec<usize> = (0..class.len()).collect();
     order.sort_by(|&a, &b| {
         class[a]

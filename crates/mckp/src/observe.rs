@@ -46,10 +46,9 @@ impl<S: Solver> ObservedSolver<S> {
 
 impl<S: Solver> Solver for ObservedSolver<S> {
     fn solve(&self, instance: &MckpInstance) -> Result<Selection, SolveError> {
-        let t0 = std::time::Instant::now();
+        let sw = rto_obs::Stopwatch::start();
         let result = self.inner.solve(instance);
-        let elapsed = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        self.latency_ns.record(elapsed);
+        self.latency_ns.record(sw.elapsed_ns());
         self.solves.inc();
         if result.is_err() {
             self.errors.inc();

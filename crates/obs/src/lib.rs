@@ -145,6 +145,7 @@ impl Obs {
     /// Records `event` at `ts_ns` (no span context) if tracing is
     /// enabled.
     #[inline]
+    // analyze: hot-path
     pub fn emit(&self, ts_ns: u64, event: TraceEvent) {
         if self.sink.enabled() {
             self.sink.record(&Record::new(ts_ns, event));
@@ -153,6 +154,7 @@ impl Obs {
 
     /// Records `event` inside span context `ctx` if tracing is enabled.
     #[inline]
+    // analyze: hot-path
     pub fn emit_in(&self, ts_ns: u64, ctx: SpanContext, event: TraceEvent) {
         if self.sink.enabled() {
             self.sink.record(&Record::spanned(ts_ns, ctx, event));
@@ -163,6 +165,7 @@ impl Obs {
     /// code uses when the context travels with a request and may be
     /// absent.
     #[inline]
+    // analyze: hot-path
     pub fn emit_with(&self, ts_ns: u64, ctx: Option<SpanContext>, event: TraceEvent) {
         if self.sink.enabled() {
             self.sink.record(&Record {

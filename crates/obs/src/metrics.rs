@@ -365,6 +365,7 @@ impl Series {
         if inner.points.len() == SERIES_WINDOW {
             inner.points.pop_front();
         }
+        // analyze: allow(A7): bounded ring — the pop_front above caps the deque at SERIES_WINDOW
         inner.points.push_back(crate::shard::TimePoint {
             start_ns,
             count: 1,

@@ -60,7 +60,18 @@ impl EventQueue {
         EventQueue::default()
     }
 
+    /// Creates an empty queue with room for `cap` events before the
+    /// first reallocation — the engine pre-sizes for its steady-state
+    /// population so `push` stays allocation-free on the hot path.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+
     /// Schedules `event` at `at`.
+    // analyze: hot-path
     pub fn push(&mut self, at: Instant, event: Event) {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -73,6 +84,7 @@ impl EventQueue {
     }
 
     /// Removes and returns the next `(instant, event)` pair.
+    // analyze: hot-path
     pub fn pop(&mut self) -> Option<(Instant, Event)> {
         self.heap.pop().map(|Reverse(e)| (e.at, e.event))
     }

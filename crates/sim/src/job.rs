@@ -6,7 +6,7 @@ use rto_core::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 /// What a sub-job is doing on the processor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum SubJobKind {
     /// The entire job of a non-offloaded task (`C_i`).
     LocalWhole,

@@ -18,7 +18,7 @@ use crate::job::SubJobKind;
 use crate::metrics::SimReport;
 use rto_core::task::TaskId;
 use rto_core::time::{Duration, Instant};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 fn glyph(kind: SubJobKind) -> char {
@@ -42,13 +42,13 @@ pub fn render_gantt(report: &SimReport, width: usize) -> String {
         Duration::from_ns(horizon.as_ns().div_ceil(width as u64)).max(Duration::from_ns(1));
 
     // job_id -> task_id.
-    let task_of: HashMap<usize, TaskId> =
+    let task_of: BTreeMap<usize, TaskId> =
         report.jobs.iter().map(|j| (j.job_id, j.task_id)).collect();
     let mut task_ids: Vec<TaskId> = report.per_task.iter().map(|t| t.task_id).collect();
     task_ids.sort();
 
     // Accumulate execution time per (task, bucket, kind).
-    let mut cells: HashMap<(TaskId, usize, SubJobKind), u64> = HashMap::new();
+    let mut cells: BTreeMap<(TaskId, usize, SubJobKind), u64> = BTreeMap::new();
     for seg in &report.trace {
         let Some(&task) = task_of.get(&seg.job_id) else {
             continue;
@@ -143,9 +143,9 @@ pub fn render_svg(report: &SimReport, width_px: usize) -> String {
     let label_width = 110usize;
     let chart_width = width_px - label_width;
     let height = lane_height * task_ids.len() + 40;
-    let lane_of: HashMap<TaskId, usize> =
+    let lane_of: BTreeMap<TaskId, usize> =
         task_ids.iter().enumerate().map(|(i, &t)| (t, i)).collect();
-    let task_of: HashMap<usize, TaskId> =
+    let task_of: BTreeMap<usize, TaskId> =
         report.jobs.iter().map(|j| (j.job_id, j.task_id)).collect();
 
     let mut out = String::new();

@@ -334,6 +334,10 @@ impl Simulation {
         let exec_rng = rng.fork(1);
         let release_rng = rng.fork(2);
         let m = SimMetrics::new(&self.obs);
+        // Steady state holds at most one release, one response, and one
+        // timer per task; pre-sizing keeps `push` off the allocator on
+        // the hot path (A7).
+        let event_cap = self.tasks.len().saturating_mul(3).max(16);
         let mut engine = Engine {
             tasks: self.tasks,
             modes: self.modes,
@@ -343,7 +347,7 @@ impl Simulation {
             config,
             horizon: Instant::ZERO + config.horizon,
             clock: Instant::ZERO,
-            events: EventQueue::new(),
+            events: EventQueue::with_capacity(event_cap),
             ready: BinaryHeap::new(),
             ready_seq: 0,
             jobs: Vec::new(),
@@ -842,7 +846,10 @@ impl Engine {
     fn report(&mut self) -> SimReport {
         // Preemptions: every extra (merged) segment of a sub-job implies
         // one earlier preemption.
-        let mut seg_counts: HashMap<(usize, SubJobKind), usize> = HashMap::new();
+        // BTreeMap so the preemption fold visits keys in a fixed order
+        // (hash iteration order is per-process and trips A6).
+        let mut seg_counts: std::collections::BTreeMap<(usize, SubJobKind), usize> =
+            std::collections::BTreeMap::new();
         for seg in &self.trace {
             *seg_counts.entry((seg.job_id, seg.kind)).or_insert(0) += 1;
         }

@@ -18,7 +18,7 @@
 use crate::job::SubJobKind;
 use crate::metrics::{SimReport, SubJobLog};
 use rto_core::time::{Duration, Instant};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A structural audit of the execution trace.
 ///
@@ -45,8 +45,8 @@ pub fn audit_trace(report: &SimReport) -> Vec<String> {
     }
 
     // Per-sub-job executed time vs recorded work.
-    let mut executed: HashMap<(usize, SubJobKind), Duration> = HashMap::new();
-    let mut last_end: HashMap<(usize, SubJobKind), Instant> = HashMap::new();
+    let mut executed: BTreeMap<(usize, SubJobKind), Duration> = BTreeMap::new();
+    let mut last_end: BTreeMap<(usize, SubJobKind), Instant> = BTreeMap::new();
     for seg in &report.trace {
         let key = (seg.job_id, seg.kind);
         *executed.entry(key).or_insert(Duration::ZERO) += seg.len();
@@ -141,7 +141,7 @@ pub fn audit_trace(report: &SimReport) -> Vec<String> {
 pub fn audit_edf(report: &SimReport) -> Vec<String> {
     let mut violations = Vec::new();
     // Precompute segments per sub-job for executed-before queries.
-    let mut segs: HashMap<(usize, SubJobKind), Vec<(Instant, Instant)>> = HashMap::new();
+    let mut segs: BTreeMap<(usize, SubJobKind), Vec<(Instant, Instant)>> = BTreeMap::new();
     for seg in &report.trace {
         segs.entry((seg.job_id, seg.kind))
             .or_default()

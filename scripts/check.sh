@@ -19,14 +19,20 @@ cargo test --workspace --offline -q
 echo "==> rto-lint --workspace (domain invariants L1-L6, deny on findings)"
 cargo run -p rto-lint --offline -q -- --workspace
 
-echo "==> rto-analyze (A1 reachability, A2 units, A3 waivers, A4 intervals, A5 concurrency)"
-# The A4 warning-budget ratchet lives in analyze.budget.toml and is
-# enforced by the rto-analyze runs below; an absent file would silently
-# disable it, so its presence is part of the gate.
+echo "==> rto-analyze (A1 reachability, A2 units, A3 waivers, A4 intervals, A5 concurrency, A6 determinism, A7 hot-path allocs)"
+# The warning-budget ratchets live in analyze.budget.toml and are
+# enforced by the rto-analyze runs below; an absent file or key would
+# silently disable a ratchet, so their presence is part of the gate.
 test -f analyze.budget.toml || {
-  echo "analyze.budget.toml missing: the A4 warning-budget ratchet must stay committed" >&2
+  echo "analyze.budget.toml missing: the warning-budget ratchets must stay committed" >&2
   exit 1
 }
+for key in a4_warn_max a6_warn_max a7_warn_max; do
+  grep -q "^${key}" analyze.budget.toml || {
+    echo "analyze.budget.toml: missing ${key} — the ratchet must stay committed" >&2
+    exit 1
+  }
+done
 rm -rf target/rto-analyze
 cargo run -p rto-analyze --offline -q -- --format sarif \
   --out target/rto-analyze-cold.sarif --bench-out target/rto-analyze-cold.json
@@ -45,6 +51,22 @@ print(f"    cache speedup: {speedup:.1f}x "
       f"(cold {cold['elapsed_us']} us -> warm {warm['elapsed_us']} us, "
       f"{cold['files_total']} files)")
 assert speedup >= 5.0, f"warm-cache speedup {speedup:.1f}x < 5x"
+EOF
+
+echo "==> rto-analyze runtime budget (<=2x committed baseline, cold and warm)"
+python3 - <<'EOF'
+import json
+cold = json.load(open("target/rto-analyze-cold.json"))
+warm = json.load(open("BENCH_analyze.json"))
+base = json.load(open("results/BENCH_analyze_baseline.json"))
+for label, run, key in [("cold", cold, "cold_elapsed_us"),
+                        ("warm", warm, "warm_elapsed_us")]:
+    ratio = run["elapsed_us"] / max(base[key], 1)
+    print(f"    {label}: {run['elapsed_us']} us "
+          f"(baseline {base[key]} us, ratio {ratio:.2f}x)")
+    assert ratio <= 2.0, (
+        f"{label} analyzer run regressed {ratio:.2f}x > 2x vs committed "
+        f"baseline; investigate before re-blessing results/BENCH_analyze_baseline.json")
 EOF
 
 echo "==> rto-exp determinism: byte-identical rows for jobs 1/2/8 + warm cache"
@@ -94,5 +116,8 @@ if rustup component list --toolchain nightly 2>/dev/null | grep -q "^miri.*(inst
 else
   echo "==> skipping miri (nightly miri component not installed; CI runs it)"
 fi
+
+echo "==> bench trend (informational: fresh BENCH_*.json vs committed baselines)"
+python3 scripts/bench_trend
 
 echo "==> all checks passed"
