@@ -18,6 +18,23 @@ pub enum SubJobKind {
     Compensation,
 }
 
+impl SubJobKind {
+    /// Number of variants (the row width of dense per-job tables).
+    pub const COUNT: usize = 4;
+
+    /// Dense index of this variant, for per-job `[_; COUNT]` tables —
+    /// the engine's sub-job lookup is a two-array index instead of a
+    /// hash of `(job_id, kind)`.
+    pub fn slot(self) -> usize {
+        match self {
+            SubJobKind::LocalWhole => 0,
+            SubJobKind::Setup => 1,
+            SubJobKind::PostProcess => 2,
+            SubJobKind::Compensation => 3,
+        }
+    }
+}
+
 /// A schedulable unit: one sub-job with an absolute deadline.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SubJob {

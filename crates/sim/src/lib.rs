@@ -67,6 +67,7 @@ pub mod system;
 pub mod validate;
 
 pub use error::SimError;
+pub use event::EventQueueKind;
 pub use metrics::{EnergyModel, EnergyReport, SimReport};
 pub use system::{
     DeadlinePolicy, ExecutionTimeModel, ReleasePolicy, SchedulerPolicy, SimConfig, Simulation,
@@ -75,6 +76,7 @@ pub use system::{
 /// Convenient re-exports.
 pub mod prelude {
     pub use crate::error::SimError;
+    pub use crate::event::EventQueueKind;
     pub use crate::metrics::{EnergyModel, EnergyReport, SimReport};
     pub use crate::render::render_gantt;
     pub use crate::system::{

@@ -2,7 +2,7 @@
 //! compensation timers + server.
 
 use crate::error::SimError;
-use crate::event::{Event, EventQueue};
+use crate::event::{Event, EventQueue, EventQueueKind};
 use crate::job::{JobRecord, Outcome, Segment, SubJobKind};
 use crate::metrics::{aggregate, SimReport, SubJobLog};
 use rto_core::compensation::{CompensationManager, ResultDisposition, TimerDisposition};
@@ -13,7 +13,7 @@ use rto_obs::{span, Counter, Histogram, Obs, Phase, TraceEvent};
 use rto_server::gpu::{BlackHoleServer, OffloadRequest, OffloadServer};
 use rto_stats::Rng;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// Maps the simulator's sub-job kind onto the observability phase tag.
 fn phase_of(kind: SubJobKind) -> Phase {
@@ -82,21 +82,27 @@ pub enum ExecutionTimeModel {
 }
 
 impl ExecutionTimeModel {
+    /// Samples an actual execution time for a sub-job with the given
+    /// WCET. The contract — relied on by every call site, none of which
+    /// re-clamps — is: zero demand stays zero (zero-work sub-jobs
+    /// complete instantly, without touching the ready queue), and any
+    /// nonzero demand costs at least one tick, so the scheduler always
+    /// makes progress.
     fn sample(&self, wcet: Duration, rng: &mut Rng) -> Duration {
         if wcet.is_zero() {
             return Duration::ZERO;
         }
-        match *self {
+        let d = match *self {
             ExecutionTimeModel::Wcet => wcet,
             ExecutionTimeModel::UniformFraction { min_fraction } => {
                 let f = rng.f64_range(min_fraction.clamp(0.0, 1.0), 1.0);
                 // `f` is clamped to [0,1], so scaling cannot fail; the
                 // fallback over-approximates with the full WCET, the
                 // safe direction for demand (lint L3).
-                let d = wcet.scale_f64(f).unwrap_or(wcet);
-                d.max(Duration::from_ns(1))
+                wcet.scale_f64(f).unwrap_or(wcet)
             }
-        }
+        };
+        d.max(Duration::from_ns(1))
     }
 }
 
@@ -140,6 +146,10 @@ pub struct SimConfig {
     pub deadline_policy: DeadlinePolicy,
     /// Ready-queue ordering policy.
     pub scheduler: SchedulerPolicy,
+    /// Event-queue implementation. The default calendar queue and the
+    /// legacy heap are semantically identical (differential-tested);
+    /// the heap exists only as the oracle for that test.
+    pub queue: EventQueueKind,
 }
 
 impl SimConfig {
@@ -153,6 +163,7 @@ impl SimConfig {
             exec_time: ExecutionTimeModel::Wcet,
             deadline_policy: DeadlinePolicy::PlanSplit,
             scheduler: SchedulerPolicy::Edf,
+            queue: EventQueueKind::Calendar,
         }
     }
 
@@ -182,6 +193,13 @@ impl SimConfig {
     /// Sets the scheduler policy.
     pub fn with_scheduler(mut self, scheduler: SchedulerPolicy) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// Sets the event-queue implementation (differential testing only;
+    /// the default calendar queue is strictly faster).
+    pub fn with_event_queue(mut self, queue: EventQueueKind) -> Self {
+        self.queue = queue;
         self
     }
 }
@@ -347,12 +365,12 @@ impl Simulation {
             config,
             horizon: Instant::ZERO + config.horizon,
             clock: Instant::ZERO,
-            events: EventQueue::with_capacity(event_cap),
+            events: EventQueue::with_kind(config.queue, event_cap),
             ready: BinaryHeap::new(),
             ready_seq: 0,
             jobs: Vec::new(),
             subjobs: Vec::new(),
-            subjob_index: HashMap::new(),
+            subjob_slot: Vec::new(),
             trace: Vec::new(),
             busy: Duration::ZERO,
             exec_rng,
@@ -371,7 +389,7 @@ impl Simulation {
 /// Under EDF the key is the sub-job's absolute deadline; under
 /// deadline-monotonic it is the owning task's relative deadline (a static
 /// priority). `deadline` is kept for tracing regardless of policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy)]
 struct Ready {
     priority_key: u64,
     deadline: Instant,
@@ -395,6 +413,18 @@ impl PartialOrd for Ready {
     }
 }
 
+// Equality must agree with `Ord` (whose `Equal` is decided by
+// `(priority_key, seq)` alone), so it is implemented from the same keys
+// rather than derived over all fields — `seq` is unique per engine, so
+// distinct entries never compare equal anyway.
+impl PartialEq for Ready {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority_key == other.priority_key && self.seq == other.seq
+    }
+}
+
+impl Eq for Ready {}
+
 /// The running simulation state.
 struct Engine {
     tasks: Vec<OdmTask>,
@@ -410,7 +440,11 @@ struct Engine {
     ready_seq: u64,
     jobs: Vec<JobRecord>,
     subjobs: Vec<SubJobLog>,
-    subjob_index: HashMap<(usize, SubJobKind), usize>,
+    /// Dense sub-job lookup: `subjob_slot[job_id][kind.slot()]` is the
+    /// index into `subjobs`, or `usize::MAX` while unreleased. One row
+    /// is pushed per job, so this replaces a `HashMap<(usize,
+    /// SubJobKind), usize>` with two array indexes on the hot path.
+    subjob_slot: Vec<[usize; SubJobKind::COUNT]>,
     trace: Vec<Segment>,
     busy: Duration,
     exec_rng: Rng,
@@ -430,11 +464,10 @@ impl Engine {
                 .push(Instant::ZERO, Event::Release { task_index: i });
         }
         loop {
-            // Drain all events due at or before the clock.
-            while self.events.peek_time().is_some_and(|t| t <= self.clock) {
-                let Some((t, ev)) = self.events.pop() else {
-                    break; // unreachable: peek_time just returned Some
-                };
+            // Drain all events due at or before the clock (batched:
+            // one call peeks and pops, and a same-instant burst streams
+            // out of the calendar bucket's sorted run).
+            while let Some((t, ev)) = self.events.pop_due(self.clock) {
                 self.handle_event(ev, t)?;
             }
             match self.ready.pop() {
@@ -442,7 +475,17 @@ impl Engine {
                     let next_event = self.events.peek_time().unwrap_or(Instant::MAX);
                     let completion = self.clock + entry.remaining;
                     let run_until = completion.min(next_event).min(self.horizon);
-                    debug_assert!(run_until > self.clock, "zero-length scheduling step");
+                    if run_until <= self.clock {
+                        // Ready entries always carry nonzero remaining
+                        // work, due events are fully drained above, and
+                        // the loop exits at the horizon — so a
+                        // zero-length step is unreachable. If the
+                        // invariant ever breaks, a release build must
+                        // fail the run rather than spin forever making
+                        // no progress (a `debug_assert!` guarded this
+                        // before, i.e. not at all in release).
+                        return Err(SimError::invariant("zero-length scheduling step"));
+                    }
                     let executed = run_until.since(self.clock);
                     self.busy += executed;
                     // Trace the processor hand-off: close the previous
@@ -545,6 +588,8 @@ impl Engine {
             setup_finished_at: None,
             response_at: None,
         });
+        // One dense sub-job-lookup row per job, in lockstep with `jobs`.
+        self.subjob_slot.push([usize::MAX; SubJobKind::COUNT]);
         self.obs.emit_in(
             t0.as_ns(),
             span::job_ctx(job_id),
@@ -557,11 +602,7 @@ impl Engine {
         self.m.jobs_released.inc();
         match mode {
             Mode::Local => {
-                let work = self
-                    .config
-                    .exec_time
-                    .sample(local_wcet, &mut self.exec_rng)
-                    .max(Duration::from_ns(1));
+                let work = self.config.exec_time.sample(local_wcet, &mut self.exec_rng);
                 self.release_subjob(job_id, SubJobKind::LocalWhole, work, abs_deadline, t0)?;
             }
             Mode::Offload {
@@ -573,11 +614,7 @@ impl Engine {
                     DeadlinePolicy::PlanSplit => setup_deadline,
                     DeadlinePolicy::NaiveSameDeadline => deadline_rel,
                 };
-                let work = self
-                    .config
-                    .exec_time
-                    .sample(setup_wcet, &mut self.exec_rng)
-                    .max(Duration::from_ns(1));
+                let work = self.config.exec_time.sample(setup_wcet, &mut self.exec_rng);
                 self.release_subjob(job_id, SubJobKind::Setup, work, t0 + d1, t0)?;
             }
         }
@@ -669,11 +706,7 @@ impl Engine {
                     ))
                 }
             };
-            let work = self
-                .config
-                .exec_time
-                .sample(c2, &mut self.exec_rng)
-                .max(Duration::from_ns(1));
+            let work = self.config.exec_time.sample(c2, &mut self.exec_rng);
             self.release_subjob(job_id, SubJobKind::Compensation, work, abs_deadline, t)?;
         }
         Ok(())
@@ -698,7 +731,13 @@ impl Engine {
         deadline: Instant,
         now: Instant,
     ) -> Result<(), SimError> {
-        self.subjob_index.insert((job_id, kind), self.subjobs.len());
+        if let Some(slot) = self
+            .subjob_slot
+            .get_mut(job_id)
+            .and_then(|row| row.get_mut(kind.slot()))
+        {
+            *slot = self.subjobs.len();
+        }
         self.subjobs.push(SubJobLog {
             job_id,
             kind,
@@ -747,8 +786,15 @@ impl Engine {
         kind: SubJobKind,
         now: Instant,
     ) -> Result<(), SimError> {
-        if let Some(&idx) = self.subjob_index.get(&(job_id, kind)) {
-            self.subjobs[idx].completed_at = Some(now);
+        // `usize::MAX` (unreleased) falls through the bounds check.
+        let idx = self
+            .subjob_slot
+            .get(job_id)
+            .and_then(|row| row.get(kind.slot()))
+            .copied()
+            .unwrap_or(usize::MAX);
+        if let Some(log) = self.subjobs.get_mut(idx) {
+            log.completed_at = Some(now);
         }
         self.obs.emit_in(
             now.as_ns(),
@@ -1210,6 +1256,138 @@ mod tests {
         assert_eq!(a.total_realized_benefit(), b.total_realized_benefit());
         let c = run(43);
         assert_ne!(a.trace, c.trace);
+    }
+
+    /// Regression: a zero-length scheduling step must fail the run with
+    /// a typed invariant error. Before, it was only `debug_assert!`ed —
+    /// a release build hitting it would spin forever making no
+    /// progress. The engine is constructed directly with a corrupt
+    /// ready entry (zero remaining work) since no valid input can reach
+    /// the state.
+    #[test]
+    fn zero_length_step_is_an_error_not_a_hang() {
+        let config = SimConfig::for_seconds(1, 0);
+        let obs = Obs::disabled();
+        let m = SimMetrics::new(&obs);
+        let mut engine = Engine {
+            tasks: Vec::new(),
+            modes: Vec::new(),
+            benefits: Vec::new(),
+            server: Box::new(BlackHoleServer),
+            shaper: None,
+            config,
+            horizon: Instant::ZERO + config.horizon,
+            clock: Instant::ZERO,
+            events: EventQueue::new(),
+            ready: BinaryHeap::new(),
+            ready_seq: 0,
+            jobs: Vec::new(),
+            subjobs: Vec::new(),
+            subjob_slot: Vec::new(),
+            trace: Vec::new(),
+            busy: Duration::ZERO,
+            exec_rng: Rng::seed_from(0),
+            release_rng: Rng::seed_from(1),
+            obs,
+            m,
+            running: None,
+            running_end: Instant::ZERO,
+        };
+        engine.ready.push(Reverse(Ready {
+            priority_key: 0,
+            deadline: Instant::ZERO,
+            seq: 1,
+            job_id: 0,
+            kind: SubJobKind::LocalWhole,
+            remaining: Duration::ZERO,
+        }));
+        let err = engine.run().unwrap_err();
+        assert!(
+            matches!(err, SimError::Invariant(ref msg) if msg.contains("zero-length")),
+            "expected the zero-length-step invariant error, got {err:?}"
+        );
+    }
+
+    /// `Ready`'s equality must agree with its ordering keys
+    /// (`Ord` contract): same `(priority_key, seq)` means `Equal` *and*
+    /// `==`, regardless of the payload fields.
+    #[test]
+    fn ready_eq_agrees_with_ord() {
+        use std::cmp::Ordering;
+        let a = Ready {
+            priority_key: 10,
+            deadline: Instant::from_ns(10),
+            seq: 1,
+            job_id: 0,
+            kind: SubJobKind::Setup,
+            remaining: ms(1),
+        };
+        let b = Ready {
+            priority_key: 10,
+            deadline: Instant::from_ns(99),
+            seq: 1,
+            job_id: 7,
+            kind: SubJobKind::Compensation,
+            remaining: ms(2),
+        };
+        assert_eq!(a.cmp(&b), Ordering::Equal);
+        assert_eq!(a, b);
+        let c = Ready { seq: 2, ..a };
+        assert_eq!(a.cmp(&c), Ordering::Less);
+        assert_ne!(a, c);
+    }
+
+    /// The sampling contract lives in `sample` alone: zero demand stays
+    /// zero (zero-work sub-jobs complete instantly) and nonzero demand
+    /// costs at least one tick — call sites no longer re-clamp.
+    #[test]
+    fn sample_zero_stays_zero_nonzero_at_least_one_tick() {
+        let mut rng = Rng::seed_from(7);
+        let models = [
+            ExecutionTimeModel::Wcet,
+            ExecutionTimeModel::UniformFraction { min_fraction: 0.0 },
+        ];
+        for model in models {
+            assert_eq!(model.sample(Duration::ZERO, &mut rng), Duration::ZERO);
+            for _ in 0..64 {
+                let d = model.sample(Duration::from_ns(1), &mut rng);
+                assert!(d >= Duration::from_ns(1), "sampled below one tick: {d:?}");
+            }
+        }
+        // The worst-case model passes the WCET through unchanged.
+        let mut rng = Rng::seed_from(8);
+        assert_eq!(ExecutionTimeModel::Wcet.sample(ms(5), &mut rng), ms(5));
+    }
+
+    /// Both event-queue implementations drive identical runs (the full
+    /// cross-policy differential proptest lives in
+    /// `tests/engine_differential.rs`).
+    #[test]
+    fn legacy_heap_queue_reproduces_calendar_run() {
+        let t1 = offloadable_task(0, 60, 5, 60, 400);
+        let t2 = offloadable_task(1, 80, 5, 80, 400);
+        let g1 = BenefitFunction::from_ms_points(&[(0.0, 1.0), (150.0, 5.0)]).unwrap();
+        let g2 = BenefitFunction::from_ms_points(&[(0.0, 2.0), (200.0, 8.0)]).unwrap();
+        let (tasks, plan) = plan_for(vec![OdmTask::new(t1, g1), OdmTask::new(t2, g2)]);
+        let run = |kind| {
+            let server = Scenario::NotBusy.build_server(5).unwrap();
+            Simulation::build(tasks.clone(), plan.clone())
+                .unwrap()
+                .with_server(Box::new(server))
+                .run(
+                    SimConfig::for_seconds(5, 11)
+                        .with_exec_time(ExecutionTimeModel::UniformFraction { min_fraction: 0.3 })
+                        .with_event_queue(kind),
+                )
+                .unwrap()
+        };
+        let calendar = run(EventQueueKind::Calendar);
+        let heap = run(EventQueueKind::LegacyHeap);
+        assert_eq!(
+            serde_json::to_string(&calendar).unwrap(),
+            serde_json::to_string(&heap).unwrap(),
+            "calendar and heap engines diverged"
+        );
     }
 
     #[test]

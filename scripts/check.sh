@@ -103,6 +103,22 @@ print(f"    disabled path: {b['disabled_ns_per_event']:.1f} ns/event "
 assert ratio <= 2.0, f"disabled-path overhead regressed {ratio:.2f}x > 2x vs baseline"
 EOF
 
+echo "==> sim_bench: event-engine throughput (>=10x at 100k, <=1% hold allocs, <=2x committed baseline)"
+# The binary itself fails if the calendar queue is under 10x the legacy
+# heap at 100k concurrent events, if steady-state holds allocate on
+# more than 1% of operations, or if the two engines' reports diverge.
+cargo run --release -p rto-bench --offline -q --bin sim_bench -- --out BENCH_sim.json
+python3 - <<'EOF'
+import json
+b = json.load(open("BENCH_sim.json"))
+base = json.load(open("results/BENCH_sim_baseline.json"))
+ratio = b["calendar_ns_per_event_100000"] / max(base["calendar_ns_per_event_100000"], 1e-9)
+print(f"    100k hold: {b['calendar_ns_per_event_100000']:.1f} ns/event "
+      f"(baseline {base['calendar_ns_per_event_100000']:.1f} ns, ratio {ratio:.2f}x), "
+      f"speedup {b['speedup_100000']:.1f}x vs heap")
+assert ratio <= 2.0, f"calendar hold regressed {ratio:.2f}x > 2x vs committed baseline"
+EOF
+
 echo "==> loom model tests (obs metrics + exp pool, RUSTFLAGS=--cfg loom)"
 RUSTFLAGS="--cfg loom" cargo test -p rto-obs --offline -q --test loom_metrics
 RUSTFLAGS="--cfg loom" cargo test -p rto-exp --offline -q --test loom_pool
