@@ -21,7 +21,8 @@
 
 use crate::facts::{
     A4Kind, A4Site, AllocFact, AllocKind, AtomicFact, BlockFact, CallFact, FileFacts, FnFact,
-    NondetFact, NondetKind, RawFinding, SeedFact, SeedKind, Unit, WaiverComment, WaiverKind,
+    LoopFact, LoopKind, NondetFact, NondetKind, RawFinding, SeedFact, SeedKind, Unit,
+    WaiverComment, WaiverKind,
 };
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -33,7 +34,9 @@ use std::path::{Path, PathBuf};
 /// interprocedural fixpoint engine.
 /// v4: A6 nondeterminism sources (`D`), A7 allocation sites (`G`), the
 /// `hot` flag on `F`, and file-level capacity evidence (`E`).
-pub(crate) const CACHE_VERSION: u32 = 4;
+/// v5: A8 loop facts (`O`) and `method`/`loop_depth`/`decreasing` on
+/// `C`.
+pub(crate) const CACHE_VERSION: u32 = 5;
 
 /// 64-bit FNV-1a hash (the cache key for both file names and content).
 #[must_use]
@@ -232,7 +235,7 @@ pub fn encode(facts: &FileFacts, hash: u64) -> String {
             let units: Vec<&str> = c.arg_units.iter().map(|u| u.as_str()).collect();
             let _ = writeln!(
                 out,
-                "C\t{}\t{}\t{}\t{}\t{}",
+                "C\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
                 esc(&c.callee),
                 opt(c.qual.as_deref()),
                 c.line,
@@ -241,7 +244,11 @@ pub fn encode(facts: &FileFacts, hash: u64) -> String {
                 } else {
                     units.join(",")
                 },
-                u8::from(c.in_spawn)
+                u8::from(c.in_spawn),
+                u8::from(c.method),
+                u8::from(c.recv_self),
+                c.loop_depth,
+                u8::from(c.decreasing)
             );
         }
         for s in &f.seeds {
@@ -283,6 +290,18 @@ pub fn encode(facts: &FileFacts, hash: u64) -> String {
                 a.line,
                 u8::from(a.waived),
                 esc(&a.desc)
+            );
+        }
+        for l in &f.loops {
+            let _ = writeln!(
+                out,
+                "O\t{}\t{}\t{}\t{}\t{}\t{}",
+                l.kind.as_str(),
+                l.line,
+                l.depth,
+                esc(&l.desc),
+                esc(&l.witness),
+                u8::from(l.waived)
             );
         }
     }
@@ -416,12 +435,20 @@ pub fn decode(text: &str, want_hash: u64) -> Option<FileFacts> {
                     units_field.split(',').map(Unit::from_str_lossy).collect()
                 };
                 let in_spawn = parts.next()? == "1";
+                let method = parts.next()? == "1";
+                let recv_self = parts.next()? == "1";
+                let loop_depth = parts.next()?.parse().ok()?;
+                let decreasing = parts.next()? == "1";
                 cur_fn.as_mut()?.calls.push(CallFact {
                     callee,
                     qual,
                     line: line_no,
                     arg_units,
                     in_spawn,
+                    method,
+                    recv_self,
+                    loop_depth,
+                    decreasing,
                 });
             }
             "K" => {
@@ -490,6 +517,22 @@ pub fn decode(text: &str, want_hash: u64) -> Option<FileFacts> {
                     line: line_no,
                     waived,
                     desc,
+                });
+            }
+            "O" => {
+                let kind = LoopKind::from_str_lossy(parts.next()?);
+                let line_no = parts.next()?.parse().ok()?;
+                let depth = parts.next()?.parse().ok()?;
+                let desc = unesc(parts.next()?);
+                let witness = unesc(parts.next()?);
+                let waived = parts.next()? == "1";
+                cur_fn.as_mut()?.loops.push(LoopFact {
+                    kind,
+                    line: line_no,
+                    depth,
+                    desc,
+                    witness,
+                    waived,
                 });
             }
             "E" => {
@@ -579,7 +622,9 @@ mod tests {
                    // analyze: hot-path\n\
                    fn h(m: &HashMap<u8, u8>, s: &mut Vec<u8>) {\n\
                    s.reserve(1);\n    for v in m.values() { s.push(*v); }\n\
-                   // analyze: allow(A7): sanctioned\n    let t = format!(\"x\");\n}\n";
+                   // analyze: allow(A7): sanctioned\n    let t = format!(\"x\");\n\
+                   let mut i = 0;\n    while i < 4 { i += 1; step(i - 1); }\n\
+                   loop { s.pop(); }\n}\n";
         let facts = parse_file("crates/core/src/x.rs", src);
         let hash = fnv64(src.as_bytes());
         let decoded = decode(&encode(&facts, hash), hash).expect("roundtrip");
@@ -591,7 +636,7 @@ mod tests {
         let facts = parse_file("crates/core/src/x.rs", "fn f() {}\n");
         let text = encode(&facts, 42);
         assert!(decode(&text, 43).is_none());
-        let bumped = text.replace("rto-analyze-cache\t4\t", "rto-analyze-cache\t999\t");
+        let bumped = text.replace("rto-analyze-cache\t5\t", "rto-analyze-cache\t999\t");
         assert!(decode(&bumped, 42).is_none());
     }
 

@@ -134,6 +134,22 @@ pub struct CallFact {
     /// `spawn(..)` call (i.e. inside a worker closure) — A5 uses this
     /// to seed the blocking-reachability check.
     pub in_spawn: bool,
+    /// The call was written method-style (`recv.f(…)`). A8's step-bound
+    /// graph keeps only *uniquely* resolving method calls, because the
+    /// bare-name over-approximation would manufacture recursion cycles
+    /// out of every same-named `push`/`pop` pair.
+    pub method: bool,
+    /// Method call whose immediate receiver is `self` (`self.f(…)`,
+    /// not `self.field.f(…)`) — the only method shape A8 trusts for
+    /// call-graph edges.
+    pub recv_self: bool,
+    /// Number of loops lexically enclosing the call site — A8 composes
+    /// symbolic step bounds as `loop_depth + degree(callee)`.
+    pub loop_depth: u32,
+    /// The argument list carries a decreasing-argument pattern
+    /// (`n - 1`, `n / 2`, `n >> 1`, `.saturating_sub(..)`, a shrunk
+    /// slice) — A8's witness that a recursive call makes progress.
+    pub decreasing: bool,
 }
 
 /// The hazard class of one A4 interval finding site.
@@ -329,6 +345,81 @@ pub struct AllocFact {
     pub desc: String,
 }
 
+/// How A8 classified one loop (the termination lattice; see
+/// DESIGN.md §16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopKind {
+    /// `for` over a visibly finite iterable (range, container, chained
+    /// iterator) — trip count bounded by the iterable's extent.
+    ForBounded,
+    /// `for` over an endless-iterator idiom: an open range (`lo..`),
+    /// `.cycle()`, or `iter::repeat(..)` with no `.take(..)` in sight.
+    ForEndless,
+    /// `while`/`while let` with a monotone progress witness: a guard
+    /// variable strictly advanced in the body, or a scrutinee that
+    /// drains a finite source the body does not refill.
+    WhileProgress,
+    /// `loop`/`while` whose body reaches an unconditional top-level
+    /// `break`/`return` — every iteration that completes exits.
+    LoopBreaks,
+    /// No witness found: the loop cannot be shown to terminate.
+    Unbounded,
+}
+
+impl LoopKind {
+    /// Stable spelling for cache + messages.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LoopKind::ForBounded => "for-bounded",
+            LoopKind::ForEndless => "for-endless",
+            LoopKind::WhileProgress => "while-progress",
+            LoopKind::LoopBreaks => "loop-breaks",
+            LoopKind::Unbounded => "unbounded",
+        }
+    }
+
+    /// Inverse of [`LoopKind::as_str`].
+    #[must_use]
+    pub fn from_str_lossy(s: &str) -> Self {
+        match s {
+            "for-bounded" => LoopKind::ForBounded,
+            "for-endless" => LoopKind::ForEndless,
+            "while-progress" => LoopKind::WhileProgress,
+            "loop-breaks" => LoopKind::LoopBreaks,
+            _ => LoopKind::Unbounded,
+        }
+    }
+
+    /// A bounded classification: contributes its nesting depth to the
+    /// function's step-bound degree instead of forcing `⊤`.
+    #[must_use]
+    pub fn is_bounded(self) -> bool {
+        !matches!(self, LoopKind::ForEndless | LoopKind::Unbounded)
+    }
+}
+
+/// One loop inside a function body (A8).
+#[derive(Debug, Clone)]
+pub struct LoopFact {
+    /// Termination classification.
+    pub kind: LoopKind,
+    /// 1-based line of the loop keyword.
+    pub line: u32,
+    /// Nesting depth inside the function, 1-based (a loop directly in
+    /// the body is depth 1; a loop inside it is depth 2, …).
+    pub depth: u32,
+    /// Human label (``"`loop`"``, ``"`while hull.len() >= 2`"``).
+    pub desc: String,
+    /// The progress witness, empty when none was found
+    /// (``"guard `i` advanced by `+=`"``, ``"drains `heap.pop()`"``).
+    pub witness: String,
+    /// True when a reviewed sanction covers this loop (inline
+    /// `// analyze: allow(A8): reason` or an `lint.allow.toml` entry):
+    /// sanctioned loops count as bounded.
+    pub waived: bool,
+}
+
 /// One potentially blocking call site (A5).
 #[derive(Debug, Clone)]
 pub struct BlockFact {
@@ -386,6 +477,8 @@ pub struct FnFact {
     pub nondet: Vec<NondetFact>,
     /// Allocating constructs in the body (A7).
     pub allocs: Vec<AllocFact>,
+    /// Loops in the body with their termination classification (A8).
+    pub loops: Vec<LoopFact>,
 }
 
 impl FnFact {

@@ -2470,7 +2470,7 @@ fn discharged(site: &A4Site, abs: Abs) -> bool {
 /// Iterative Tarjan SCC over `callees`; components are emitted in
 /// reverse topological order of the condensation (callees before
 /// callers), which is exactly the fixpoint schedule.
-fn tarjan_sccs(callees: &[Vec<usize>]) -> Vec<Vec<usize>> {
+pub(crate) fn tarjan_sccs(callees: &[Vec<usize>]) -> Vec<Vec<usize>> {
     let n = callees.len();
     const UNVISITED: usize = usize::MAX;
     let mut index = vec![UNVISITED; n];

@@ -27,6 +27,11 @@
 //!   from `// analyze: hot-path` annotated functions to allocating
 //!   constructs — the static twin of the `obs_bench` counting-allocator
 //!   gate.
+//! * **A8 — termination & loop bounds** ([`termination`]): every loop
+//!   in the engine/solver core must carry a trip-count bound or a
+//!   monotone progress witness, recursion needs a decreasing argument,
+//!   and per-function symbolic step bounds are composed bottom-up so a
+//!   `⊤`-bound function reachable from a hot-path root is denied.
 //!
 //! The pipeline is two-phase: phase 1 ([`parse::parse_file`]) is
 //! per-file, pure, and cached under `target/rto-analyze/` keyed by
@@ -48,6 +53,7 @@ pub mod interval;
 pub mod parse;
 pub mod sarif;
 pub mod stale;
+pub mod termination;
 
 use facts::{FileFacts, WaiverKind};
 use rto_lint::allow::{self, AllowEntry};
@@ -223,6 +229,7 @@ pub fn analyze_workspace(root: &Path, use_cache: bool) -> Result<Analysis, Strin
     diagnostics.extend(concurrency::check(&all_facts, &allowlist, &deps));
     diagnostics.extend(determinism::check(&all_facts, &allowlist, &deps));
     diagnostics.extend(hotpath::check(&all_facts, &allowlist, &deps));
+    diagnostics.extend(termination::check(&all_facts, &allowlist, &deps));
     diagnostics.extend(stale::check(&all_facts, &allowlist));
 
     diagnostics.sort();

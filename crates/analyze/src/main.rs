@@ -152,7 +152,8 @@ fn run() -> i32 {
 }
 
 /// Enforce the committed warning-budget ratchets (`analyze.budget.toml`
-/// at the workspace root, keys `a4_warn_max`/`a6_warn_max`/`a7_warn_max`):
+/// at the workspace root, keys
+/// `a4_warn_max`/`a6_warn_max`/`a7_warn_max`/`a8_warn_max`):
 /// the build fails when a residual warning count rises above its
 /// ceiling, and contributors lower the ceilings as they discharge
 /// warnings. Absent file = no budget (fixture workspaces); an absent
@@ -164,6 +165,7 @@ fn enforce_budgets(root: &std::path::Path, diags: &[rto_analyze::Diagnostic]) ->
         ("A4", "a4_warn_max"),
         ("A6", "a6_warn_max"),
         ("A7", "a7_warn_max"),
+        ("A8", "a8_warn_max"),
     ] {
         let Some(max) = text.lines().find_map(|line| {
             let rest = line.split('#').next().unwrap_or("").trim();

@@ -15,8 +15,9 @@
 //! never soundness of the "no finding" direction for seeds it did see.
 
 use crate::facts::{
-    A4Site, AllocFact, AllocKind, AtomicFact, BlockFact, CallFact, FileFacts, FnFact, NondetFact,
-    NondetKind, RawFinding, SeedFact, SeedKind, Unit, WaiverComment, WaiverKind,
+    A4Site, AllocFact, AllocKind, AtomicFact, BlockFact, CallFact, FileFacts, FnFact, LoopFact,
+    LoopKind, NondetFact, NondetKind, RawFinding, SeedFact, SeedKind, Unit, WaiverComment,
+    WaiverKind,
 };
 use crate::interval;
 use rto_lint::lexer::{lex, Lexed, TokKind, Token};
@@ -108,6 +109,49 @@ const GROW_METHODS: &[&str] = &[
 /// Order-sensitive reduction adaptors: folding floats in hash order is
 /// the classic silent nondeterminism, so A6 names them in the witness.
 const REDUCE_METHODS: &[&str] = &["sum", "fold", "product"];
+
+/// Methods that consume an element from a finite source — the
+/// `while let` drain witness (A8). `recv` terminates when every sender
+/// is dropped; `next` when the iterator is exhausted.
+const DRAIN_METHODS: &[&str] = &[
+    "pop",
+    "pop_front",
+    "pop_back",
+    "pop_first",
+    "pop_last",
+    "next",
+    "next_back",
+    "recv",
+    "try_recv",
+    "recv_timeout",
+    "pop_due",
+];
+
+/// Methods that refill a source — a drain witness is void when the
+/// loop body feeds the very source it drains (A8).
+const REFILL_METHODS: &[&str] = &[
+    "push",
+    "push_back",
+    "push_front",
+    "insert",
+    "extend",
+    "append",
+];
+
+/// Mutating methods on a guard container that count as monotone
+/// progress toward the `while` bound (A8): shrinking drains and
+/// bounded growth (`while v.len() < n { v.push(..) }`) alike.
+const PROGRESS_METHODS: &[&str] = &[
+    "pop",
+    "pop_front",
+    "pop_back",
+    "remove",
+    "truncate",
+    "drain",
+    "clear",
+    "next",
+    "push",
+];
 
 /// Primitive numeric type names tracked by the A4 interval pass.
 pub(crate) fn is_primitive_ty(name: &str) -> bool {
@@ -883,11 +927,456 @@ impl Scanner<'_> {
         out
     }
 
+    /// Skip a nested `fn` item starting at its `fn` keyword: returns
+    /// the index one past its body (or declaration `;`). Used by the
+    /// loop extractor so a nested function's loops are attributed to
+    /// its own fact, not the enclosing one.
+    fn skip_fn_item(&self, at: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        let mut i = at + 1;
+        while i < end {
+            let Some(t) = self.tok(i) else { break };
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "<" => depth += 1,
+                    "<<" => depth += 2,
+                    ")" | "]" | ">" => depth -= 1,
+                    ">>" => depth -= 2,
+                    "{" if depth <= 0 => return self.skip_group(i),
+                    ";" if depth <= 0 => return i + 1,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Body tokens at brace-depth 0 contain an unconditional `break` or
+    /// `return` — the `loop { …; break; }` exit idiom (a seed nested in
+    /// `if`/`match` braces does not count).
+    fn top_level_exit(&self, start: usize, end: usize) -> bool {
+        let mut depth = 0i32;
+        let mut i = start;
+        while i < end {
+            let Some(t) = self.tok(i) else { break };
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "{" => depth += 1,
+                    "}" => depth -= 1,
+                    _ => {}
+                }
+            } else if depth == 0 && (t.is_ident("break") || t.is_ident("return")) {
+                return true;
+            }
+            i += 1;
+        }
+        false
+    }
+
+    /// A `recv.m(` token triple inside `[start, end)` with `m` drawn
+    /// from `methods`; returns the receiver/method pair of the first
+    /// match.
+    fn find_recv_call(
+        &self,
+        start: usize,
+        end: usize,
+        methods: &[&str],
+    ) -> Option<(String, String)> {
+        let mut i = start;
+        while i + 2 < end {
+            if self.is_punct(i, ".")
+                && self
+                    .tok(i + 1)
+                    .is_some_and(|t| methods.contains(&t.text.as_str()))
+                && self.is_punct(i + 2, "(")
+            {
+                let recv = self
+                    .tok(i.wrapping_sub(1))
+                    .filter(|r| r.kind == TokKind::Ident)
+                    .map_or_else(|| "<expr>".to_string(), |r| r.text.clone());
+                let m = self.toks[i + 1].text.clone();
+                return Some((recv, m));
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// `recv.m(` for a *specific* receiver name and method list.
+    fn recv_calls(&self, start: usize, end: usize, recv: &str, methods: &[&str]) -> Option<String> {
+        let mut i = start;
+        while i + 3 < end + 1 {
+            if self.is_ident(i, recv)
+                && self.is_punct(i + 1, ".")
+                && self
+                    .tok(i + 2)
+                    .is_some_and(|t| methods.contains(&t.text.as_str()))
+                && self.is_punct(i + 3, "(")
+            {
+                return Some(self.toks[i + 2].text.clone());
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Render `[start, end)` as a short source-ish snippet for loop
+    /// descriptions (capped so messages stay one-line).
+    fn snippet(&self, start: usize, end: usize) -> String {
+        let mut out = String::new();
+        for j in start..end {
+            let Some(t) = self.tok(j) else { break };
+            if !out.is_empty()
+                && t.kind != TokKind::Punct
+                && !out.ends_with(['(', '[', '.', ':', '&'])
+            {
+                out.push(' ');
+            }
+            out.push_str(&t.text);
+            if out.len() > 40 {
+                out.truncate(40);
+                out.push('…');
+                break;
+            }
+        }
+        out
+    }
+
+    /// A8 loop-shape extraction: classify every loop in `[start, end)`
+    /// and record body token spans (for call-site loop depths).
+    fn extract_loops(
+        &self,
+        start: usize,
+        end: usize,
+        depth: u32,
+        loops: &mut Vec<LoopFact>,
+        spans: &mut Vec<(usize, usize)>,
+    ) {
+        let mut i = start;
+        while i < end {
+            let Some(t) = self.tok(i) else { break };
+            if t.is_punct("#") {
+                i = self.skip_attr(i);
+                continue;
+            }
+            if t.is_ident("fn") {
+                i = self.skip_fn_item(i, end);
+                continue;
+            }
+            if t.is_ident("loop") && self.is_punct(i + 1, "{") {
+                let body_end = self.skip_group(i + 1);
+                let (bs, be) = (i + 2, body_end.saturating_sub(1));
+                let (kind, witness) = if self.top_level_exit(bs, be) {
+                    (
+                        LoopKind::LoopBreaks,
+                        "unconditional top-level `break`/`return`".to_string(),
+                    )
+                } else {
+                    (LoopKind::Unbounded, String::new())
+                };
+                loops.push(LoopFact {
+                    kind,
+                    line: t.line,
+                    depth,
+                    desc: "`loop`".into(),
+                    witness,
+                    waived: self.sanctioned("A8", t.line),
+                });
+                spans.push((bs, be));
+                self.extract_loops(bs, be, depth + 1, loops, spans);
+                i = body_end;
+                continue;
+            }
+            if t.is_ident("while") {
+                i = self.extract_while(i, end, depth, loops, spans);
+                continue;
+            }
+            if t.is_ident("for") {
+                i = self.extract_for(i, end, depth, loops, spans);
+                continue;
+            }
+            i += 1;
+        }
+    }
+
+    /// Classify one `while`/`while let` loop starting at the `while`
+    /// keyword; returns the scan-resume index.
+    fn extract_while(
+        &self,
+        at: usize,
+        end: usize,
+        depth: u32,
+        loops: &mut Vec<LoopFact>,
+        spans: &mut Vec<(usize, usize)>,
+    ) -> usize {
+        let line = self.toks[at].line;
+        let is_let = self.tok(at + 1).is_some_and(|t| t.is_ident("let"));
+        // Scan the condition to the body brace (struct literals are not
+        // legal in conditions, so the first depth-0 `{` opens the body).
+        let cond_start = at + 1;
+        let mut j = cond_start;
+        let mut pdepth = 0i32;
+        while j < end {
+            let Some(t) = self.tok(j) else { break };
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => pdepth += 1,
+                    ")" | "]" => pdepth -= 1,
+                    "{" if pdepth == 0 => break,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        if !self.is_punct(j, "{") {
+            return at + 1;
+        }
+        let body_end = self.skip_group(j);
+        let (bs, be) = (j + 1, body_end.saturating_sub(1));
+        let (kind, witness) = self.while_witness(cond_start, j, bs, be, is_let);
+        loops.push(LoopFact {
+            kind,
+            line,
+            depth,
+            // The condition snippet already starts at `let` for
+            // `while let` loops.
+            desc: format!("`while {}`", self.snippet(cond_start, j)),
+            witness,
+            waived: self.sanctioned("A8", line),
+        });
+        spans.push((bs, be));
+        self.extract_loops(bs, be, depth + 1, loops, spans);
+        body_end
+    }
+
+    /// The monotone-progress search for a `while` loop: condition in
+    /// `[cs, ce)`, body in `[bs, be)`.
+    fn while_witness(
+        &self,
+        cs: usize,
+        ce: usize,
+        bs: usize,
+        be: usize,
+        is_let: bool,
+    ) -> (LoopKind, String) {
+        if is_let {
+            // `while let P = source` terminates when the scrutinee
+            // drains a finite source the body does not refill.
+            if let Some((recv, m)) = self.find_recv_call(cs, ce, DRAIN_METHODS) {
+                let refilled =
+                    recv != "<expr>" && self.recv_calls(bs, be, &recv, REFILL_METHODS).is_some();
+                if !refilled {
+                    return (LoopKind::WhileProgress, format!("drains `{recv}.{m}()`"));
+                }
+            }
+            // Scrutinee is a non-draining probe (`.peek()`): accept a
+            // drain of the same receiver inside the body instead.
+            if let Some((recv, _)) = self.find_recv_call(cs, ce, &["peek", "front", "back", "last"])
+            {
+                if recv != "<expr>" {
+                    if let Some(m) = self.recv_calls(bs, be, &recv, DRAIN_METHODS) {
+                        if self.recv_calls(bs, be, &recv, REFILL_METHODS).is_none() {
+                            return (
+                                LoopKind::WhileProgress,
+                                format!("probes `{recv}`, drains it via `.{m}()`"),
+                            );
+                        }
+                    }
+                }
+            }
+        } else {
+            // Guard identifiers: every ident in the condition.
+            let mut guards: Vec<String> = Vec::new();
+            for j in cs..ce {
+                if let Some(t) = self.tok(j) {
+                    if t.kind == TokKind::Ident && !is_expr_keyword(&t.text) && !t.is_ident("self")
+                    {
+                        guards.push(t.text.clone());
+                    }
+                }
+            }
+            for g in &guards {
+                let mut j = bs;
+                while j < be {
+                    if self.is_ident(j, g)
+                        && !self.tok(j.wrapping_sub(1)).is_some_and(|p| {
+                            p.is_ident("let") || p.is_ident("mut") || p.is_punct(".")
+                        })
+                    {
+                        if let Some(op) = self.tok(j + 1).filter(|o| {
+                            o.kind == TokKind::Punct
+                                && matches!(
+                                    o.text.as_str(),
+                                    "+=" | "-=" | "<<=" | ">>=" | "*=" | "/=" | "="
+                                )
+                        }) {
+                            let w = if op.text == "=" {
+                                format!("guard `{g}` reassigned each iteration")
+                            } else {
+                                format!("guard `{g}` advanced by `{}`", op.text)
+                            };
+                            return (LoopKind::WhileProgress, w);
+                        }
+                    }
+                    j += 1;
+                }
+                if let Some(m) = self.recv_calls(bs, be, g, PROGRESS_METHODS) {
+                    return (
+                        LoopKind::WhileProgress,
+                        format!("guard container `{g}` mutated by `.{m}()`"),
+                    );
+                }
+            }
+        }
+        if self.top_level_exit(bs, be) {
+            (
+                LoopKind::LoopBreaks,
+                "unconditional top-level `break`/`return`".to_string(),
+            )
+        } else {
+            (LoopKind::Unbounded, String::new())
+        }
+    }
+
+    /// Classify one `for` loop starting at the `for` keyword; returns
+    /// the scan-resume index.
+    fn extract_for(
+        &self,
+        at: usize,
+        end: usize,
+        depth: u32,
+        loops: &mut Vec<LoopFact>,
+        spans: &mut Vec<(usize, usize)>,
+    ) -> usize {
+        let line = self.toks[at].line;
+        // Find `in` at depth 0, then the iterable up to the body brace.
+        let mut j = at + 1;
+        let mut pdepth = 0i32;
+        let mut in_at = None;
+        while j < end {
+            let Some(t) = self.tok(j) else { break };
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => pdepth += 1,
+                    ")" | "]" => pdepth -= 1,
+                    "{" if pdepth == 0 => break,
+                    _ => {}
+                }
+            } else if pdepth == 0 && t.is_ident("in") {
+                in_at = Some(j);
+            }
+            j += 1;
+        }
+        let (Some(in_at), true) = (in_at, self.is_punct(j, "{")) else {
+            // `for` in a non-loop position (`impl Trait for`, bounds).
+            return at + 1;
+        };
+        let (is_, ie) = (in_at + 1, j);
+        let body_end = self.skip_group(j);
+        let (bs, be) = (j + 1, body_end.saturating_sub(1));
+        let (kind, witness) = self.for_witness(is_, ie);
+        loops.push(LoopFact {
+            kind,
+            line,
+            depth,
+            desc: format!("`for … in {}`", self.snippet(is_, ie)),
+            witness,
+            waived: self.sanctioned("A8", line),
+        });
+        spans.push((bs, be));
+        self.extract_loops(bs, be, depth + 1, loops, spans);
+        body_end
+    }
+
+    /// Bound the iterable of a `for` loop in `[is_, ie)`: endless
+    /// idioms flag; literal/const ranges get an exact trip count (the
+    /// same const table the §13 interval engine seeds from).
+    fn for_witness(&self, is_: usize, ie: usize) -> (LoopKind, String) {
+        let has_take = (is_..ie).any(|k| {
+            self.is_punct(k, ".") && self.is_ident(k + 1, "take") && self.is_punct(k + 2, "(")
+        });
+        if !has_take {
+            // Open range `lo..` (the `..` is the last iterable token,
+            // or directly precedes the body brace).
+            if self
+                .tok(ie.saturating_sub(1))
+                .is_some_and(|t| t.is_punct(".."))
+            {
+                return (LoopKind::ForEndless, "open range `..` never ends".into());
+            }
+            for k in is_..ie {
+                if (self.is_ident(k, "cycle") || self.is_ident(k, "repeat"))
+                    && self.is_punct(k + 1, "(")
+                {
+                    return (
+                        LoopKind::ForEndless,
+                        format!("`{}` iterates forever", self.toks[k].text),
+                    );
+                }
+            }
+        }
+        // Exact trip count for `a..b` / `a..=b` over literals/consts.
+        let resolve = |k: usize| -> Option<i128> {
+            let t = self.tok(k)?;
+            match t.kind {
+                TokKind::Int => crate::interval::parse_int_lit(&t.text).0,
+                TokKind::Ident => self.consts.get(&t.text).map(|(_, v)| *v),
+                _ => None,
+            }
+        };
+        if ie - is_ == 3 && (self.is_punct(is_ + 1, "..") || self.is_punct(is_ + 1, "..=")) {
+            if let (Some(lo), Some(hi)) = (resolve(is_), resolve(is_ + 2)) {
+                let n = (hi - lo + i128::from(self.is_punct(is_ + 1, "..="))).max(0);
+                return (LoopKind::ForBounded, format!("≤ {n} iterations"));
+            }
+        }
+        (LoopKind::ForBounded, "bounded by iterable extent".into())
+    }
+
+    /// A decreasing-argument pattern anywhere in a call's argument
+    /// tokens — A8's witness that a recursive call makes progress
+    /// (`n - 1`, `n / 2`, `n >> 1`, `a % b`, `.saturating_sub(..)`,
+    /// `&xs[1..]`).
+    fn decreasing_args(&self, start: usize, end: usize) -> bool {
+        let mut j = start;
+        while j < end {
+            let Some(t) = self.tok(j) else { break };
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "-" | "/" | ">>" if self.tok(j + 1).is_some_and(|n| n.kind == TokKind::Int) => {
+                        return true;
+                    }
+                    // A remainder is strictly below its divisor — the
+                    // Euclid-style `gcd(b, a % b)` witness.
+                    "%" => return true,
+                    ".." if self
+                        .tok(j.wrapping_sub(1))
+                        .is_some_and(|p| p.kind == TokKind::Int) =>
+                    {
+                        return true;
+                    }
+                    _ => {}
+                }
+            } else if t.is_ident("saturating_sub") || t.is_ident("split_first") {
+                return true;
+            }
+            j += 1;
+        }
+        false
+    }
+
     /// Walk a function body: record calls, seeds, let-bound units, and
     /// intra-function A2 findings.
     fn scan_body(&mut self, start: usize, end: usize, fact: &mut FnFact) {
         let spawn_ranges = self.spawn_ranges(start, end);
         let in_spawn_at = |i: usize| spawn_ranges.iter().any(|&(s, e)| s <= i && i < e);
+        let mut loop_spans: Vec<(usize, usize)> = Vec::new();
+        self.extract_loops(start, end, 1, &mut fact.loops, &mut loop_spans);
+        let loop_depth_at = |i: usize| -> u32 {
+            let n = loop_spans.iter().filter(|&&(s, e)| s <= i && i < e).count();
+            u32::try_from(n).unwrap_or(u32::MAX)
+        };
         let mut env: HashMap<String, Unit> = fact
             .params
             .iter()
@@ -1096,6 +1585,10 @@ impl Scanner<'_> {
                     line,
                     arg_units: self.arg_units(i + 3, args_end.saturating_sub(1), &env),
                     in_spawn,
+                    method: true,
+                    recv_self: recv == "self",
+                    loop_depth: loop_depth_at(i),
+                    decreasing: self.decreasing_args(i + 3, args_end.saturating_sub(1)),
                 });
                 self.denominator_check(i + 1, i + 3, args_end.saturating_sub(1), &env);
                 i += 3; // keep scanning inside the args
@@ -1199,6 +1692,10 @@ impl Scanner<'_> {
                     line: t.line,
                     arg_units: self.arg_units(i + 2, args_end.saturating_sub(1), &env),
                     in_spawn,
+                    method: false,
+                    recv_self: false,
+                    loop_depth: loop_depth_at(i),
+                    decreasing: self.decreasing_args(i + 2, args_end.saturating_sub(1)),
                 });
                 i += 2;
                 continue;

@@ -49,6 +49,12 @@ const RULES: &[(&str, &str)] = &[
          Box/Rc churn, collect) is reachable from a function annotated \
          `// analyze: hot-path`.",
     ),
+    (
+        "A8",
+        "Termination hazard: a loop without a trip-count bound or monotone progress \
+         witness, recursion without a decreasing argument, or a \u{22a4}-step-bound \
+         function reachable from a `// analyze: hot-path` root.",
+    ),
 ];
 
 /// Render diagnostics for terminals: `path:line: [rule/severity] msg`.
@@ -193,7 +199,7 @@ mod tests {
         let s = sarif(&d);
         assert!(s.contains("\"version\": \"2.1.0\""));
         assert!(s.contains("sarif-schema-2.1.0.json"));
-        for id in ["A1", "A2", "A3", "A4", "A5", "A6", "A7"] {
+        for id in ["A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8"] {
             assert!(s.contains(&format!("\"id\": \"{id}\"")), "{s}");
         }
         assert!(s.contains("\"level\": \"error\""));

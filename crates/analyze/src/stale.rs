@@ -32,6 +32,7 @@ pub fn check(files: &[FileFacts], allowlist: &[AllowEntry]) -> Vec<Diagnostic> {
                 "A4" => !ff.a4.is_empty(),
                 "A6" => ff.fns.iter().any(|f| !f.nondet.is_empty()),
                 "A7" => ff.fns.iter().any(|f| !f.allocs.is_empty()),
+                "A8" => ff.fns.iter().any(|f| !f.loops.is_empty()),
                 "A5" => {
                     ff.atomics.iter().any(|a| a.ordering != "Relaxed")
                         || ff
@@ -90,6 +91,16 @@ pub fn check(files: &[FileFacts], allowlist: &[AllowEntry]) -> Vec<Diagnostic> {
                         .any(|a| lines.contains(&a.line)),
                     "an A7 allocation site".to_string(),
                 ),
+                WaiverKind::Allow(rule) if rule == "A8" => (
+                    // A loop sanction sits above the loop keyword; a
+                    // recursion / hot-path sanction sits above the
+                    // `fn` line of a function that makes calls.
+                    ff.fns.iter().any(|f| {
+                        f.loops.iter().any(|l| lines.contains(&l.line))
+                            || (lines.contains(&f.line) && !f.calls.is_empty())
+                    }),
+                    "an A8 loop or recursive function".to_string(),
+                ),
                 WaiverKind::Allow(rule) if rule == "A5" => (
                     ff.atomics
                         .iter()
@@ -116,7 +127,7 @@ pub fn check(files: &[FileFacts], allowlist: &[AllowEntry]) -> Vec<Diagnostic> {
             };
             if !live {
                 let label = match &w.kind {
-                    WaiverKind::Allow(rule) if rule == "A6" || rule == "A7" => {
+                    WaiverKind::Allow(rule) if rule == "A6" || rule == "A7" || rule == "A8" => {
                         format!("analyze: allow({rule})")
                     }
                     WaiverKind::Allow(rule) => format!("lint: allow({rule})"),

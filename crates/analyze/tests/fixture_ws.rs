@@ -304,6 +304,78 @@ fn a7_hotpath_set_is_exact() {
 }
 
 #[test]
+fn a8_termination_set_is_exact() {
+    let a = analyze();
+    let a8 = of_rule(&a, "A8");
+    // Deny path (sim/event.rs): unwitnessed spin, endless `for`, the
+    // unbounded stage, and the hot-path ⊤ chain that reaches it.
+    assert!(
+        a8.iter()
+            .any(|m| m.contains("`while q.busy()`") && m.contains("`spin`")),
+        "{a8:?}"
+    );
+    assert!(
+        a8.iter()
+            .any(|m| m.contains("`drain_forever`") && m.contains("endless source")),
+        "{a8:?}"
+    );
+    assert!(
+        a8.iter()
+            .any(|m| m.contains("`stall_stage`") && m.contains("no progress witness")),
+        "{a8:?}"
+    );
+    assert!(
+        a8.iter().any(|m| m.contains("hot-path `pump`")
+            && m.contains("step bound ⊤")
+            && m.contains("pump → relay_stage → stall_stage")),
+        "{a8:?}"
+    );
+    // Warn scope (mckp/shapes.rs): direct and mutual recursion without
+    // a decreasing argument.
+    assert!(
+        a8.iter().any(|m| m.contains("`churn` calls itself")),
+        "{a8:?}"
+    );
+    assert!(
+        a8.iter()
+            .any(|m| m.contains("`flip` is mutually recursive with `flop`")),
+        "{a8:?}"
+    );
+    assert!(
+        a8.iter()
+            .any(|m| m.contains("`flop` is mutually recursive with `flip`")),
+        "{a8:?}"
+    );
+    // Quiet: monotone guard, top-level break, sanctioned spin, bounded
+    // and exact-count `for`, decreasing recursion, sanctioned cycle.
+    for quiet in [
+        "`settle`",
+        "`one_shot`",
+        "`gated`",
+        "`warm`",
+        "`shrink`",
+        "`ping`",
+        "`pong`",
+    ] {
+        assert!(
+            !a8.iter().any(|m| m.contains(quiet)),
+            "{quiet} must be A8-quiet: {a8:?}"
+        );
+    }
+    assert_eq!(a8.len(), 7, "{a8:?}");
+    // Severity: deny on the scoped file, warn elsewhere in the product
+    // crates; the hot-path ⊤ chain is always deny.
+    for d in a.diagnostics.iter().filter(|d| d.rule == "A8") {
+        let expect = if d.path == "crates/sim/src/event.rs" {
+            "deny"
+        } else {
+            "warn"
+        };
+        assert_eq!(d.severity, expect, "{d:?}");
+    }
+}
+
+#[test]
 fn fixpoint_cycles_cut_at_top_with_provenance() {
     // The engine terminates on every cycle shape (this test finishing
     // is the termination witness) and tags diagnostics that lean on a

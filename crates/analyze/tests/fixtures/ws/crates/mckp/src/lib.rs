@@ -2,3 +2,4 @@
 
 pub mod fptas;
 pub mod seed;
+pub mod shapes;

@@ -1,0 +1,39 @@
+//! A8 fixture: recursion shapes in the warn scope (`mckp` files off
+//! the deny list).
+
+/// Warn: direct recursion with no decreasing argument.
+fn churn(v: u64) -> u64 {
+    if v == 0 {
+        0
+    } else {
+        churn(v)
+    }
+}
+
+/// Warn (both members): mutual recursion with no decreasing argument.
+fn flip(n: u64) -> u64 {
+    flop(n)
+}
+
+fn flop(n: u64) -> u64 {
+    flip(n)
+}
+
+/// Quiet: the recursive call strictly shrinks its argument.
+fn shrink(n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        shrink(n / 2)
+    }
+}
+
+// analyze: allow(A8): fixture sanction — ping/pong alternates a finite phase
+fn ping(n: u64) -> u64 {
+    pong(n)
+}
+
+// analyze: allow(A8): fixture sanction — ping/pong alternates a finite phase
+fn pong(n: u64) -> u64 {
+    ping(n)
+}

@@ -1,0 +1,67 @@
+//! A8 fixture: every loop shape on the deny path
+//! (`crates/sim/src/event.rs` is in the A8 deny scope).
+
+/// Deny: a spin loop with no progress witness.
+fn spin(q: &Gate) {
+    while q.busy() {}
+}
+
+/// Deny: `for` over an endless open range.
+fn drain_forever(base: u64) -> u64 {
+    let mut acc = base;
+    for step in base.. {
+        acc = acc.wrapping_add(step);
+    }
+    acc
+}
+
+/// Quiet: monotone guard, advanced every iteration.
+fn settle(n: u64) -> u64 {
+    let mut i = 0;
+    while i < n {
+        i += 1;
+    }
+    i
+}
+
+/// Quiet: the body reaches an unconditional top-level `break`.
+fn one_shot(q: &Gate) {
+    loop {
+        q.arm();
+        break;
+    }
+}
+
+/// Quiet: a reviewed sanction covers the spin.
+fn gated(q: &Gate) {
+    // analyze: allow(A8): fixture sanction — gate is released by the watchdog
+    while q.busy() {}
+}
+
+/// Quiet: bounded `for` with an exact literal trip count.
+fn warm() -> u64 {
+    let mut acc = 0;
+    for i in 0..8 {
+        acc = acc.wrapping_add(i);
+    }
+    acc
+}
+
+// analyze: hot-path
+fn pump() {
+    relay_stage();
+}
+
+fn relay_stage() {
+    stall_stage();
+}
+
+/// Deny (and the ⊤ cause for `pump`'s chain): an unbounded stage two
+/// calls below a hot-path root.
+fn stall_stage() {
+    loop {
+        step_once();
+    }
+}
+
+fn step_once() {}

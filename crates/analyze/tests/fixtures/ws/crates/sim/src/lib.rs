@@ -1,6 +1,7 @@
 //! Fixture sim crate: warn-severity surface.
 
 pub mod chain;
+pub mod event;
 pub mod grid;
 
 /// Warn: bare indexing directly in a public function.

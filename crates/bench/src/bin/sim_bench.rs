@@ -1,4 +1,8 @@
-//! Event-engine throughput benchmark: calendar queue vs legacy heap.
+//! Event-engine throughput benchmark: calendar queue vs a bench-local
+//! reference heap (the production `LegacyHeap` engine was retired after
+//! soaking as the differential oracle; the textbook
+//! `BinaryHeap<Reverse<(at, seq, job)>>` model here keeps the speedup
+//! gate honest without keeping dead code in the simulator).
 //!
 //! Two workloads, both deterministic:
 //!
@@ -9,16 +13,17 @@
 //!   then repeatedly pop the earliest event and push that job's next
 //!   one a period ahead. Every millisecond tick fires a batch of
 //!   same-instant events — the synchronized-release clustering that
-//!   drove this rewrite, and the case where the heap pays `log n` per
-//!   event of a batch while the calendar streams it. Timed as the best
-//!   of three back-to-back trials (each a full pass over the pending
-//!   population several times) to shed scheduler noise. Reported as
-//!   events/sec per implementation and the calendar/heap speedup — this
-//!   is the number the ≥10x acceptance gate reads at `n = 100 000`.
+//!   drove the calendar rewrite, and the case where a heap pays `log n`
+//!   per event of a batch while the calendar streams it. Timed as the
+//!   best of three back-to-back trials (each a full pass over the
+//!   pending population several times) to shed scheduler noise.
+//!   Reported as events/sec per implementation and the
+//!   calendar/reference speedup — this is the number the ≥10x
+//!   acceptance gate reads at `n = 100 000`.
 //! * **Engine fleet** — a full `Simulation::run` over an offloaded task
-//!   fleet, per queue implementation, reporting jobs/sec and asserting
-//!   the two reports serialize identically (cheap cross-check of the
-//!   differential suite).
+//!   fleet, reporting jobs/sec and asserting two identical runs
+//!   serialize identically (cheap determinism cross-check of the
+//!   `engine_differential` suite).
 //!
 //! A counting `#[global_allocator]` measures steady-state hold
 //! allocations at 10⁵ events after warm-up — the calendar queue's hot
@@ -34,9 +39,11 @@
 
 use rto_core::time::{Duration, Instant};
 use rto_obs::Stopwatch;
-use rto_sim::event::{Event, EventQueue, EventQueueKind};
+use rto_sim::event::{Event, EventQueue};
 use rto_stats::Rng;
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::hint::black_box;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
@@ -82,14 +89,95 @@ const NS_PER_MS: u64 = 1_000_000;
 /// Hold trials per measurement; the best (fastest) one is reported.
 const HOLD_TRIALS: usize = 3;
 
-/// Prefills a queue of the given kind with one event per job, phases
-/// staggered on the millisecond grid inside one shared period — the
-/// stagger a synchronized fleet's release pattern has.
-fn prefill(kind: EventQueueKind, n: usize, rng: &mut Rng) -> EventQueue {
-    let mut q = EventQueue::with_kind(kind, n);
+/// One reference-heap entry: the retired engine's layout verbatim —
+/// `(at, seq)` ordering key plus the full 16-byte [`Event`] payload —
+/// so the speedup gate keeps measuring the same competitor it did when
+/// the heap engine still lived in the simulator.
+#[derive(Clone, Copy)]
+struct RefEntry {
+    at: u64,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for RefEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for RefEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for RefEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for RefEntry {}
+
+/// The reference competitor: the textbook `BinaryHeap` event queue the
+/// simulator used before the calendar rewrite, with the same
+/// `(time, insertion order)` pop contract as the production queue.
+#[derive(Default)]
+struct RefHeap {
+    heap: BinaryHeap<Reverse<RefEntry>>,
+    next_seq: u64,
+}
+
+impl RefHeap {
+    fn with_capacity(cap: usize) -> Self {
+        RefHeap {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+
+    fn push(&mut self, at: Instant, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        self.heap.push(Reverse(RefEntry {
+            at: at.as_ns(),
+            seq,
+            event,
+        }));
+    }
+
+    fn pop(&mut self) -> Option<(Instant, Event)> {
+        self.heap
+            .pop()
+            .map(|Reverse(e)| (Instant::from_ns(e.at), e.event))
+    }
+}
+
+/// The shared prefill schedule: phase (in ns) of the `i`-th job's first
+/// event, staggered on the millisecond grid inside one shared period —
+/// the stagger a synchronized fleet's release pattern has. Both
+/// implementations prefill from the same seed, so their schedules (and
+/// hence hold checksums) are identical.
+fn prefill_phase(rng: &mut Rng) -> Instant {
+    let phase_ms = rng.u64_range(0, PERIOD_BASE_MS.saturating_sub(1));
+    Instant::from_ns(phase_ms.saturating_mul(NS_PER_MS))
+}
+
+/// Prefills a calendar queue with one event per job.
+fn prefill(n: usize, rng: &mut Rng) -> EventQueue {
+    let mut q = EventQueue::with_capacity(n);
     for i in 0..n {
-        let phase_ms = rng.u64_range(0, PERIOD_BASE_MS.saturating_sub(1));
-        let t = Instant::from_ns(phase_ms.saturating_mul(NS_PER_MS));
+        q.push(prefill_phase(rng), Event::ServerResponse { job_id: i });
+    }
+    q
+}
+
+/// Prefills the reference heap with the identical schedule.
+fn prefill_ref(n: usize, rng: &mut Rng) -> RefHeap {
+    let mut q = RefHeap::with_capacity(n);
+    for i in 0..n {
+        let t = prefill_phase(rng);
         q.push(t, Event::ServerResponse { job_id: i });
     }
     q
@@ -114,14 +202,28 @@ fn hold(q: &mut EventQueue, ops: u64) -> u64 {
     black_box(checksum)
 }
 
+/// The identical hold loop over the reference heap.
+fn hold_ref(q: &mut RefHeap, ops: u64) -> u64 {
+    let gap = Duration::from_ms(PERIOD_BASE_MS);
+    let mut checksum = 0u64;
+    for i in 0..ops {
+        let Some((t, _)) = q.pop() else {
+            break;
+        };
+        checksum = checksum.rotate_left(1) ^ t.as_ns();
+        q.push(t + gap, Event::ServerResponse { job_id: i as usize });
+    }
+    black_box(checksum)
+}
+
 /// Times one hold run; returns (events/sec, ns/event, checksum). Takes
 /// the best of [`HOLD_TRIALS`] timed trials — the queue state each
 /// trial starts from is deterministic, so the fold of every trial's
 /// checksum is too, and the minimum elapsed time is the least
 /// noise-polluted view of the same steady state.
-fn run_hold(kind: EventQueueKind, n: usize, ops: u64) -> (f64, f64, u64) {
+fn run_hold(n: usize, ops: u64) -> (f64, f64, u64) {
     let mut rng = Rng::seed_from(0xC0FFEE ^ n as u64);
-    let mut q = prefill(kind, n, &mut rng);
+    let mut q = prefill(n, &mut rng);
     // One warm-up pass so the measured region sees steady-state
     // capacities and an adapted bucket width.
     hold(&mut q, ops / 2);
@@ -140,11 +242,32 @@ fn run_hold(kind: EventQueueKind, n: usize, ops: u64) -> (f64, f64, u64) {
     (1e9 / per_event.max(1e-9), per_event, checksum)
 }
 
+/// [`run_hold`] for the reference heap — same seed, same warm-up, same
+/// trial fold, so the returned checksum must equal the calendar one.
+fn run_hold_ref(n: usize, ops: u64) -> (f64, f64, u64) {
+    let mut rng = Rng::seed_from(0xC0FFEE ^ n as u64);
+    let mut q = prefill_ref(n, &mut rng);
+    hold_ref(&mut q, ops / 2);
+    let mut checksum = 0u64;
+    let mut best_elapsed = f64::INFINITY;
+    for _ in 0..HOLD_TRIALS {
+        let sw = Stopwatch::start();
+        let trial_sum = hold_ref(&mut q, ops);
+        let elapsed = Duration::from_ns(sw.elapsed_ns()).as_ns_f64();
+        checksum = checksum.wrapping_mul(31).wrapping_add(trial_sum);
+        if elapsed < best_elapsed {
+            best_elapsed = elapsed;
+        }
+    }
+    let per_event = best_elapsed / ops as f64;
+    (1e9 / per_event.max(1e-9), per_event, checksum)
+}
+
 /// Counts steady-state allocations over `ops` hold operations (after
 /// its own warm-up, so one-time capacity growth is excluded).
 fn count_hold_allocs(n: usize, ops: u64) -> u64 {
     let mut rng = Rng::seed_from(0xC0FFEE ^ n as u64);
-    let mut q = prefill(EventQueueKind::Calendar, n, &mut rng);
+    let mut q = prefill(n, &mut rng);
     hold(&mut q, ops);
     // lint: allow(A5): SeqCst fences bound the counted region around the allocator's relaxed tallies
     ALLOCATIONS.store(0, Ordering::SeqCst);
@@ -159,11 +282,8 @@ fn count_hold_allocs(n: usize, ops: u64) -> u64 {
 
 /// A full-engine fleet run: `tasks` offloaded tasks with staggered
 /// periods against a perfect server. Returns (jobs/sec, serialized
-/// report) for the given queue implementation.
-fn run_engine(
-    kind: EventQueueKind,
-    tasks: usize,
-) -> Result<(f64, String), Box<dyn std::error::Error>> {
+/// report).
+fn run_engine(tasks: usize) -> Result<(f64, String), Box<dyn std::error::Error>> {
     use rto_core::benefit::BenefitFunction;
     use rto_core::odm::{OdmTask, OffloadingDecisionManager};
     use rto_core::task::Task;
@@ -193,8 +313,7 @@ fn run_engine(
     let sw = Stopwatch::start();
     let report = sim.run(
         SimConfig::for_seconds(20, 7)
-            .with_exec_time(ExecutionTimeModel::UniformFraction { min_fraction: 0.4 })
-            .with_event_queue(kind),
+            .with_exec_time(ExecutionTimeModel::UniformFraction { min_fraction: 0.4 }),
     )?;
     let elapsed = Duration::from_ns(sw.elapsed_ns()).as_secs_f64();
     // lint: allow(A4): released is a usize job count; the widening is lossless
@@ -222,7 +341,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut fields = String::new();
     let mut speedup_at_100k = 0.0;
     let mut calendar_per_event_100k = 0.0;
-    let mut heap_per_event_100k = 0.0;
+    let mut ref_per_event_100k = 0.0;
     for &n in &[1_000usize, 10_000, 100_000] {
         // The 10x gate at n = 100k sits well inside the true margin
         // (~10.9x on an idle machine) but a single noisy scheduling
@@ -232,60 +351,61 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // cross-check repeated every round.
         let rounds = if n == 100_000 { 3 } else { 1 };
         let mut cal_per_event = f64::INFINITY;
-        let mut heap_per_event = f64::INFINITY;
+        let mut ref_per_event = f64::INFINITY;
         for _ in 0..rounds {
-            let (_, cal_round, cal_sum) = run_hold(EventQueueKind::Calendar, n, ops);
-            let (_, heap_round, heap_sum) = run_hold(EventQueueKind::LegacyHeap, n, ops);
-            if cal_sum != heap_sum {
+            let (_, cal_round, cal_sum) = run_hold(n, ops);
+            let (_, ref_round, ref_sum) = run_hold_ref(n, ops);
+            if cal_sum != ref_sum {
                 return Err(format!(
-                    "hold-model divergence at n={n}: calendar checksum {cal_sum}, heap {heap_sum}"
+                    "hold-model divergence at n={n}: calendar checksum {cal_sum}, \
+                     reference heap {ref_sum}"
                 )
                 .into());
             }
             cal_per_event = cal_per_event.min(cal_round);
-            heap_per_event = heap_per_event.min(heap_round);
-            if heap_per_event / cal_per_event.max(1e-9) >= 10.0 {
+            ref_per_event = ref_per_event.min(ref_round);
+            if ref_per_event / cal_per_event.max(1e-9) >= 10.0 {
                 break;
             }
         }
         let cal_eps = 1e9 / cal_per_event.max(1e-9);
-        let heap_eps = 1e9 / heap_per_event.max(1e-9);
-        let speedup = cal_eps / heap_eps.max(1e-9);
+        let ref_eps = 1e9 / ref_per_event.max(1e-9);
+        let speedup = cal_eps / ref_eps.max(1e-9);
         eprintln!(
             "sim_bench: n={n:>6}  calendar {cal_eps:>12.0} ev/s ({cal_per_event:.1} ns)  \
-             heap {heap_eps:>12.0} ev/s ({heap_per_event:.1} ns)  speedup {speedup:.1}x"
+             ref heap {ref_eps:>12.0} ev/s ({ref_per_event:.1} ns)  speedup {speedup:.1}x"
         );
         fields.push_str(&format!(
             concat!(
                 "\"calendar_events_per_sec_{n}\":{:.0},",
-                "\"heap_events_per_sec_{n}\":{:.0},",
+                "\"ref_heap_events_per_sec_{n}\":{:.0},",
                 "\"calendar_ns_per_event_{n}\":{:.2},",
-                "\"heap_ns_per_event_{n}\":{:.2},",
+                "\"ref_heap_ns_per_event_{n}\":{:.2},",
                 "\"speedup_{n}\":{:.2},"
             ),
             cal_eps,
-            heap_eps,
+            ref_eps,
             cal_per_event,
-            heap_per_event,
+            ref_per_event,
             speedup,
             n = n,
         ));
         if n == 100_000 {
             speedup_at_100k = speedup;
             calendar_per_event_100k = cal_per_event;
-            heap_per_event_100k = heap_per_event;
+            ref_per_event_100k = ref_per_event;
         }
     }
 
     let hold_allocs = count_hold_allocs(100_000, ops.min(500_000));
     let allocs_per_op = hold_allocs as f64 / ops.min(500_000) as f64;
 
-    let (cal_jps, cal_report) = run_engine(EventQueueKind::Calendar, 100)?;
-    let (heap_jps, heap_report) = run_engine(EventQueueKind::LegacyHeap, 100)?;
-    let engine_identical = cal_report == heap_report;
+    let (cal_jps, first_report) = run_engine(100)?;
+    let (_, second_report) = run_engine(100)?;
+    let engine_deterministic = first_report == second_report;
     eprintln!(
-        "sim_bench: engine fleet  calendar {cal_jps:.0} jobs/s  heap {heap_jps:.0} jobs/s  \
-         identical={engine_identical}  steady allocs/op {allocs_per_op:.4}"
+        "sim_bench: engine fleet  {cal_jps:.0} jobs/s  \
+         deterministic={engine_deterministic}  steady allocs/op {allocs_per_op:.4}"
     );
 
     let summary = format!(
@@ -294,20 +414,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "\"hold_allocs\":{},",
             "\"hold_allocs_per_op\":{:.4},",
             "\"engine_jobs_per_sec_calendar\":{:.0},",
-            "\"engine_jobs_per_sec_heap\":{:.0},",
-            "\"engine_identical\":{}}}"
+            "\"engine_deterministic\":{}}}"
         ),
-        ops, fields, hold_allocs, allocs_per_op, cal_jps, heap_jps, engine_identical
+        ops, fields, hold_allocs, allocs_per_op, cal_jps, engine_deterministic
     );
     std::fs::write(out, format!("{summary}\n"))?;
     println!("{summary}");
     eprintln!(
-        "sim_bench: 100k hold  calendar {calendar_per_event_100k:.1} ns/event vs heap \
-         {heap_per_event_100k:.1} ns/event ({speedup_at_100k:.1}x), wrote {out}"
+        "sim_bench: 100k hold  calendar {calendar_per_event_100k:.1} ns/event vs reference heap \
+         {ref_per_event_100k:.1} ns/event ({speedup_at_100k:.1}x), wrote {out}"
     );
 
-    if !engine_identical {
-        return Err("calendar and heap engine reports diverged".into());
+    if !engine_deterministic {
+        return Err("two identical engine runs serialized differently".into());
     }
     if speedup_at_100k < 10.0 {
         return Err(format!(

@@ -273,6 +273,7 @@ pub fn qpa_test<'a>(
             })
         }
     };
+    // analyze: allow(A8): t strictly decreases every iteration (to h when h < t, else to the last release before t) and exits at or below d_min
     loop {
         let h = total_demand(t);
         evaluations += 1;

@@ -60,6 +60,7 @@ where
             let tx = tx.clone();
             let cursor = &cursor;
             let f = &f;
+            // analyze: allow(A8): the shared cursor is fetch_add'd every iteration, so workers claim strictly increasing indices and break past `count`
             scope.spawn(move || loop {
                 // The cursor is the single work-distribution point.
                 // Relaxed suffices: uniqueness of the handed-out index

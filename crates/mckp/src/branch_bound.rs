@@ -54,6 +54,7 @@ struct Search<'a> {
 }
 
 impl Search<'_> {
+    // analyze: allow(A8): recursion advances class index k by one per level and leaf-exits when classes.get(k) runs out; depth ≤ class count
     fn dfs(&mut self, k: usize, weight: f64, profit: f64) {
         if self.aborted {
             return;

@@ -46,6 +46,7 @@ impl Solver for BruteForceSolver {
         let classes = instance.classes();
         let mut indices = vec![0usize; classes.len()];
         let mut best: Option<(f64, Vec<usize>)> = None;
+        // analyze: allow(A8): the odometer below strictly increments the mixed-radix value of `indices` each pass and returns on wrap-around
         loop {
             // `indices[c]` is kept `< classes[c].len()` by the odometer;
             // the zip + flatten lookup stays total regardless.
@@ -61,6 +62,7 @@ impl Solver for BruteForceSolver {
             }
             // Odometer increment.
             let mut k = 0;
+            // analyze: allow(A8): each iteration either returns a carried-out digit to zero and advances k, or breaks having incremented digit k
             loop {
                 let Some((digit, class)) = indices.get_mut(k).zip(classes.get(k)) else {
                     // Wrapped past the most significant digit: enumeration

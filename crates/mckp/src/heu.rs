@@ -138,6 +138,7 @@ impl Solver for HeuOeSolver {
             .map(|c| upgrade(c, 1))
             .collect();
         let mut level: Vec<usize> = vec![0; classes.len()];
+        // analyze: allow(A8): every pop discards a stale entry or advances level[class]; at most one push per pop, bounded by Σ hull lengths
         while let Some(up) = heap.pop() {
             if up.pos != level[up.class] + 1 {
                 continue; // stale entry from a discarded branch

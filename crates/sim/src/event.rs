@@ -4,19 +4,15 @@
 //! increasing sequence number breaks ties), which makes every simulation
 //! fully deterministic.
 //!
-//! Two implementations share that contract:
-//!
-//! * [`EventQueueKind::Calendar`] (the default) — a calendar queue:
-//!   power-of-two near-future buckets, each kept sorted by `(time, seq)`
-//!   behind a drain cursor, plus an overflow min-heap for events beyond
-//!   the bucket window. Push and pop are O(1) amortized, so the engine's
-//!   event throughput no longer degrades as `log n` of the concurrent
-//!   population (see `DESIGN.md` §15).
-//! * [`EventQueueKind::LegacyHeap`] — the pre-rewrite
-//!   `BinaryHeap<Reverse<Entry>>`. It is kept only as the differential
-//!   oracle: `crates/sim/tests/engine_differential.rs` proves both
-//!   implementations drive byte-identical simulations, after which the
-//!   heap can be deleted.
+//! The backing store is a calendar queue: power-of-two near-future
+//! buckets, each kept sorted by `(time, seq)` behind a drain cursor,
+//! plus an overflow min-heap for events beyond the bucket window. Push
+//! and pop are O(1) amortized, so the engine's event throughput does
+//! not degrade as `log n` of the concurrent population (see `DESIGN.md`
+//! §15). The pre-rewrite `BinaryHeap` engine soaked as a differential
+//! oracle (byte-identical simulations across seeds and policies) and
+//! has been deleted; a test-local reference heap in this module's tests
+//! still cross-checks pop order on adversarial schedules.
 
 use rto_core::time::Instant;
 use std::cmp::{Ordering, Reverse};
@@ -123,17 +119,6 @@ fn unpack_event(packed: u64) -> Event {
     }
 }
 
-/// Which implementation backs an [`EventQueue`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum EventQueueKind {
-    /// Calendar queue: O(1) amortized push/pop (the default).
-    #[default]
-    Calendar,
-    /// The pre-rewrite binary heap, kept as the differential-testing
-    /// oracle until the calendar queue has soaked.
-    LegacyHeap,
-}
-
 /// Fewest buckets a calendar queue ever holds.
 const MIN_BUCKETS: usize = 16;
 /// Most buckets a calendar queue ever holds (2^20).
@@ -213,24 +198,12 @@ impl Bucket {
     }
 }
 
-/// A deterministic min-queue of timed events — see the module docs for
-/// the two implementations behind it.
+/// A deterministic min-queue of timed events, backed by the calendar
+/// queue described in the module docs.
 #[derive(Debug)]
 pub struct EventQueue {
-    imp: QueueImpl,
+    cal: CalendarQueue,
     next_seq: u64,
-}
-
-#[derive(Debug)]
-enum QueueImpl {
-    Calendar(CalendarQueue),
-    Heap(HeapQueue),
-}
-
-/// The legacy `BinaryHeap` implementation (differential oracle).
-#[derive(Debug, Default)]
-struct HeapQueue {
-    heap: BinaryHeap<Reverse<Entry>>,
 }
 
 /// Circular calendar queue. Bucket `(t / slot_len) mod buckets.len()`
@@ -314,18 +287,10 @@ impl EventQueue {
     /// events — the engine pre-sizes for its steady-state population so
     /// `push` stays allocation-free on the hot path.
     pub fn with_capacity(cap: usize) -> Self {
-        EventQueue::with_kind(EventQueueKind::Calendar, cap)
-    }
-
-    /// Creates an empty queue of the given implementation.
-    pub fn with_kind(kind: EventQueueKind, cap: usize) -> Self {
-        let imp = match kind {
-            EventQueueKind::Calendar => QueueImpl::Calendar(CalendarQueue::sized(cap)),
-            EventQueueKind::LegacyHeap => QueueImpl::Heap(HeapQueue {
-                heap: BinaryHeap::with_capacity(cap),
-            }),
-        };
-        EventQueue { imp, next_seq: 0 }
+        EventQueue {
+            cal: CalendarQueue::sized(cap),
+            next_seq: 0,
+        }
     }
 
     /// Schedules `event` at `at`.
@@ -333,28 +298,18 @@ impl EventQueue {
     pub fn push(&mut self, at: Instant, event: Event) {
         let seq = self.next_seq;
         self.next_seq = self.next_seq.wrapping_add(1);
-        let entry = Entry { at, seq, event };
-        match &mut self.imp {
-            QueueImpl::Calendar(c) => c.push(entry),
-            QueueImpl::Heap(h) => h.heap.push(Reverse(entry)),
-        }
+        self.cal.push(Entry { at, seq, event });
     }
 
     /// The instant of the next event, if any.
     pub fn peek_time(&self) -> Option<Instant> {
-        match &self.imp {
-            QueueImpl::Calendar(c) => c.peek_time(),
-            QueueImpl::Heap(h) => h.heap.peek().map(|Reverse(e)| e.at),
-        }
+        self.cal.peek_time()
     }
 
     /// Removes and returns the next `(instant, event)` pair.
     // analyze: hot-path
     pub fn pop(&mut self) -> Option<(Instant, Event)> {
-        match &mut self.imp {
-            QueueImpl::Calendar(c) => c.pop(),
-            QueueImpl::Heap(h) => h.heap.pop().map(|Reverse(e)| (e.at, e.event)),
-        }
+        self.cal.pop()
     }
 
     /// Pops the next event only if it is due at or before `now` — the
@@ -363,30 +318,16 @@ impl EventQueue {
     /// bucket's sorted run without re-searching the queue.
     // analyze: hot-path
     pub fn pop_due(&mut self, now: Instant) -> Option<(Instant, Event)> {
-        match &mut self.imp {
-            QueueImpl::Calendar(c) => {
-                if c.peek_time().is_some_and(|t| t <= now) {
-                    c.pop()
-                } else {
-                    None
-                }
-            }
-            QueueImpl::Heap(h) => {
-                if h.heap.peek().is_some_and(|Reverse(e)| e.at <= now) {
-                    h.heap.pop().map(|Reverse(e)| (e.at, e.event))
-                } else {
-                    None
-                }
-            }
+        if self.cal.peek_time().is_some_and(|t| t <= now) {
+            self.cal.pop()
+        } else {
+            None
         }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        match &self.imp {
-            QueueImpl::Calendar(c) => c.len(),
-            QueueImpl::Heap(h) => h.heap.len(),
-        }
+        self.cal.len()
     }
 
     /// Whether the queue is empty.
@@ -814,11 +755,39 @@ mod tests {
         Instant::from_ns(ns)
     }
 
-    /// Runs the same scenario against both implementations.
+    /// Runs a scenario against a fresh queue. (Kept as a helper so the
+    /// contract tests below read the same as they did when they ran
+    /// against both the calendar queue and the since-deleted legacy
+    /// heap.)
     fn both(f: impl Fn(&mut EventQueue)) {
-        for kind in [EventQueueKind::Calendar, EventQueueKind::LegacyHeap] {
-            let mut q = EventQueue::with_kind(kind, 0);
-            f(&mut q);
+        let mut q = EventQueue::new();
+        f(&mut q);
+    }
+
+    /// A test-local reference queue: the textbook
+    /// `BinaryHeap<Reverse<Entry>>` the production engine used before
+    /// the calendar rewrite. Trivially correct by `Entry`'s `(at, seq)`
+    /// ordering, so it serves as the oracle for the adversarial
+    /// self-consistency test.
+    #[derive(Default)]
+    struct OracleQueue {
+        heap: BinaryHeap<Reverse<Entry>>,
+        next_seq: u64,
+    }
+
+    impl OracleQueue {
+        fn push(&mut self, at: Instant, event: Event) {
+            let seq = self.next_seq;
+            self.next_seq = self.next_seq.wrapping_add(1);
+            self.heap.push(Reverse(Entry { at, seq, event }));
+        }
+
+        fn pop(&mut self) -> Option<(Instant, Event)> {
+            self.heap.pop().map(|Reverse(e)| (e.at, e.event))
+        }
+
+        fn len(&self) -> usize {
+            self.heap.len()
         }
     }
 
@@ -965,15 +934,16 @@ mod tests {
         assert_ne!(a, c);
     }
 
-    /// Differential check: a long, adversarial push/pop schedule with
-    /// clustered instants, far-future spikes (exercising the overflow
-    /// heap and window advances), and enough volume to trigger grid
-    /// rebuilds must produce the identical pop sequence on both
-    /// implementations.
+    /// Self-consistency check against the test-local oracle: a long,
+    /// adversarial push/pop schedule with clustered instants,
+    /// far-future spikes (exercising the overflow heap and window
+    /// advances), and enough volume to trigger grid rebuilds must
+    /// produce the identical pop sequence on the calendar queue and the
+    /// trivially-correct reference heap.
     #[test]
-    fn calendar_matches_heap_on_adversarial_schedule() {
-        let mut cal = EventQueue::with_kind(EventQueueKind::Calendar, 0);
-        let mut heap = EventQueue::with_kind(EventQueueKind::LegacyHeap, 0);
+    fn calendar_matches_oracle_on_adversarial_schedule() {
+        let mut cal = EventQueue::new();
+        let mut heap = OracleQueue::default();
         // Deterministic pseudo-random times (SplitMix64 step).
         let mut state = 0x9E3779B97F4A7C15u64;
         let mut next = || {
@@ -1066,7 +1036,7 @@ mod tests {
     /// but the heap tolerated it) still pops first.
     #[test]
     fn past_push_pops_first() {
-        let mut q = EventQueue::with_kind(EventQueueKind::Calendar, 0);
+        let mut q = EventQueue::new();
         // Drive the window far forward.
         for i in 0..100u64 {
             q.push(
@@ -1090,7 +1060,7 @@ mod tests {
     /// every event exactly once, in order.
     #[test]
     fn rebuild_preserves_content_and_order() {
-        let mut q = EventQueue::with_kind(EventQueueKind::Calendar, 4);
+        let mut q = EventQueue::with_capacity(4);
         let n = 10_000u64;
         for i in 0..n {
             // Reversed times to defeat the append fast path.

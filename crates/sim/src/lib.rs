@@ -67,7 +67,6 @@ pub mod system;
 pub mod validate;
 
 pub use error::SimError;
-pub use event::EventQueueKind;
 pub use metrics::{EnergyModel, EnergyReport, SimReport};
 pub use system::{
     DeadlinePolicy, ExecutionTimeModel, ReleasePolicy, SchedulerPolicy, SimConfig, Simulation,
@@ -76,7 +75,6 @@ pub use system::{
 /// Convenient re-exports.
 pub mod prelude {
     pub use crate::error::SimError;
-    pub use crate::event::EventQueueKind;
     pub use crate::metrics::{EnergyModel, EnergyReport, SimReport};
     pub use crate::render::render_gantt;
     pub use crate::system::{

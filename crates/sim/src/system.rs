@@ -2,7 +2,7 @@
 //! compensation timers + server.
 
 use crate::error::SimError;
-use crate::event::{Event, EventQueue, EventQueueKind};
+use crate::event::{Event, EventQueue};
 use crate::job::{JobRecord, Outcome, Segment, SubJobKind};
 use crate::metrics::{aggregate, SimReport, SubJobLog};
 use rto_core::compensation::{CompensationManager, ResultDisposition, TimerDisposition};
@@ -146,10 +146,6 @@ pub struct SimConfig {
     pub deadline_policy: DeadlinePolicy,
     /// Ready-queue ordering policy.
     pub scheduler: SchedulerPolicy,
-    /// Event-queue implementation. The default calendar queue and the
-    /// legacy heap are semantically identical (differential-tested);
-    /// the heap exists only as the oracle for that test.
-    pub queue: EventQueueKind,
 }
 
 impl SimConfig {
@@ -163,7 +159,6 @@ impl SimConfig {
             exec_time: ExecutionTimeModel::Wcet,
             deadline_policy: DeadlinePolicy::PlanSplit,
             scheduler: SchedulerPolicy::Edf,
-            queue: EventQueueKind::Calendar,
         }
     }
 
@@ -193,13 +188,6 @@ impl SimConfig {
     /// Sets the scheduler policy.
     pub fn with_scheduler(mut self, scheduler: SchedulerPolicy) -> Self {
         self.scheduler = scheduler;
-        self
-    }
-
-    /// Sets the event-queue implementation (differential testing only;
-    /// the default calendar queue is strictly faster).
-    pub fn with_event_queue(mut self, queue: EventQueueKind) -> Self {
-        self.queue = queue;
         self
     }
 }
@@ -365,7 +353,7 @@ impl Simulation {
             config,
             horizon: Instant::ZERO + config.horizon,
             clock: Instant::ZERO,
-            events: EventQueue::with_kind(config.queue, event_cap),
+            events: EventQueue::with_capacity(event_cap),
             ready: BinaryHeap::new(),
             ready_seq: 0,
             jobs: Vec::new(),
@@ -463,6 +451,7 @@ impl Engine {
             self.events
                 .push(Instant::ZERO, Event::Release { task_index: i });
         }
+        // analyze: allow(A8): each pass drains due events and either advances the clock to the next event / horizon or exits; the zero-length-step invariant below denies stalls
         loop {
             // Drain all events due at or before the clock (batched:
             // one call peeks and pops, and a same-instant burst streams
@@ -1359,34 +1348,31 @@ mod tests {
         assert_eq!(ExecutionTimeModel::Wcet.sample(ms(5), &mut rng), ms(5));
     }
 
-    /// Both event-queue implementations drive identical runs (the full
-    /// cross-policy differential proptest lives in
-    /// `tests/engine_differential.rs`).
+    /// Two runs of the identical configuration serialize to the same
+    /// bytes — the engine is fully deterministic (the cross-policy
+    /// adversarial proptest lives in `tests/engine_differential.rs`).
     #[test]
-    fn legacy_heap_queue_reproduces_calendar_run() {
+    fn identical_configs_reproduce_byte_identical_runs() {
         let t1 = offloadable_task(0, 60, 5, 60, 400);
         let t2 = offloadable_task(1, 80, 5, 80, 400);
         let g1 = BenefitFunction::from_ms_points(&[(0.0, 1.0), (150.0, 5.0)]).unwrap();
         let g2 = BenefitFunction::from_ms_points(&[(0.0, 2.0), (200.0, 8.0)]).unwrap();
         let (tasks, plan) = plan_for(vec![OdmTask::new(t1, g1), OdmTask::new(t2, g2)]);
-        let run = |kind| {
+        let run = || {
             let server = Scenario::NotBusy.build_server(5).unwrap();
             Simulation::build(tasks.clone(), plan.clone())
                 .unwrap()
                 .with_server(Box::new(server))
                 .run(
                     SimConfig::for_seconds(5, 11)
-                        .with_exec_time(ExecutionTimeModel::UniformFraction { min_fraction: 0.3 })
-                        .with_event_queue(kind),
+                        .with_exec_time(ExecutionTimeModel::UniformFraction { min_fraction: 0.3 }),
                 )
                 .unwrap()
         };
-        let calendar = run(EventQueueKind::Calendar);
-        let heap = run(EventQueueKind::LegacyHeap);
         assert_eq!(
-            serde_json::to_string(&calendar).unwrap(),
-            serde_json::to_string(&heap).unwrap(),
-            "calendar and heap engines diverged"
+            serde_json::to_string(&run()).unwrap(),
+            serde_json::to_string(&run()).unwrap(),
+            "identical configurations produced diverging runs"
         );
     }
 

@@ -19,7 +19,7 @@ cargo test --workspace --offline -q
 echo "==> rto-lint --workspace (domain invariants L1-L6, deny on findings)"
 cargo run -p rto-lint --offline -q -- --workspace
 
-echo "==> rto-analyze (A1 reachability, A2 units, A3 waivers, A4 intervals, A5 concurrency, A6 determinism, A7 hot-path allocs)"
+echo "==> rto-analyze (A1 reachability, A2 units, A3 waivers, A4 intervals, A5 concurrency, A6 determinism, A7 hot-path allocs, A8 termination)"
 # The warning-budget ratchets live in analyze.budget.toml and are
 # enforced by the rto-analyze runs below; an absent file or key would
 # silently disable a ratchet, so their presence is part of the gate.
@@ -27,7 +27,7 @@ test -f analyze.budget.toml || {
   echo "analyze.budget.toml missing: the warning-budget ratchets must stay committed" >&2
   exit 1
 }
-for key in a4_warn_max a6_warn_max a7_warn_max; do
+for key in a4_warn_max a6_warn_max a7_warn_max a8_warn_max; do
   grep -q "^${key}" analyze.budget.toml || {
     echo "analyze.budget.toml: missing ${key} — the ratchet must stay committed" >&2
     exit 1
@@ -104,9 +104,10 @@ assert ratio <= 2.0, f"disabled-path overhead regressed {ratio:.2f}x > 2x vs bas
 EOF
 
 echo "==> sim_bench: event-engine throughput (>=10x at 100k, <=1% hold allocs, <=2x committed baseline)"
-# The binary itself fails if the calendar queue is under 10x the legacy
-# heap at 100k concurrent events, if steady-state holds allocate on
-# more than 1% of operations, or if the two engines' reports diverge.
+# The binary itself fails if the calendar queue is under 10x the
+# bench-local reference heap at 100k concurrent events, if steady-state
+# holds allocate on more than 1% of operations, or if two identical
+# engine runs diverge.
 cargo run --release -p rto-bench --offline -q --bin sim_bench -- --out BENCH_sim.json
 python3 - <<'EOF'
 import json
@@ -115,7 +116,7 @@ base = json.load(open("results/BENCH_sim_baseline.json"))
 ratio = b["calendar_ns_per_event_100000"] / max(base["calendar_ns_per_event_100000"], 1e-9)
 print(f"    100k hold: {b['calendar_ns_per_event_100000']:.1f} ns/event "
       f"(baseline {base['calendar_ns_per_event_100000']:.1f} ns, ratio {ratio:.2f}x), "
-      f"speedup {b['speedup_100000']:.1f}x vs heap")
+      f"speedup {b['speedup_100000']:.1f}x vs reference heap")
 assert ratio <= 2.0, f"calendar hold regressed {ratio:.2f}x > 2x vs committed baseline"
 EOF
 
@@ -133,7 +134,7 @@ else
   echo "==> skipping miri (nightly miri component not installed; CI runs it)"
 fi
 
-echo "==> bench trend (informational: fresh BENCH_*.json vs committed baselines)"
+echo "==> bench trend (fresh BENCH_*.json vs committed baselines; fails on missing/malformed records)"
 python3 scripts/bench_trend
 
 echo "==> all checks passed"
